@@ -1,0 +1,87 @@
+//===- bench/bench_ablation.cpp - Design-choice ablations ------------------===//
+//
+// Ablation studies for the design decisions DESIGN.md §6 calls out,
+// beyond the algorithm comparison of Table 4:
+//
+//  1. Geometric parameter p: the paper derives p ∈ (0.022, 0.025) and
+//     picks 3/129. Sweep p across and beyond that range to show the
+//     trade-off (too flat = uniform selection, too sharp = starved
+//     exploration).
+//  2. Seed feedback (Algorithm 1 line 14): accepted mutants rejoin the
+//     mutation pool. Ablating the feedback isolates the §3.2 claim
+//     that representative seeds breed representative mutants.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../bench/BenchUtil.h"
+#include "mcmc/McmcSelector.h"
+
+#include <cstdio>
+
+using namespace classfuzz;
+using namespace classfuzz::bench;
+
+namespace {
+
+/// Averages |TestClasses| over \p Trials campaign runs.
+double meanTests(CampaignConfig Config, size_t Trials = 3) {
+  double Sum = 0;
+  for (size_t T = 0; T != Trials; ++T) {
+    Config.RngSeed = CampaignRngSeed + T * 7919;
+    Sum += static_cast<double>(runCampaign(Config).numTests());
+  }
+  return Sum / static_cast<double>(Trials);
+}
+
+} // namespace
+
+int main() {
+  std::printf("Ablation studies (scale=%.2f, 3 trials per cell)\n\n",
+              scale());
+
+  // --- 1. p sweep -----------------------------------------------------------
+  PBounds Bounds = estimatePBounds(129, 0.001);
+  std::printf("1. Geometric parameter p "
+              "(valid range per the paper's conditions: %.4f..%.4f)\n\n",
+              Bounds.Lo, Bounds.Hi);
+  std::printf("%-22s %14s\n", "p", "mean |TestClasses|");
+  rule(38);
+  struct PPoint {
+    const char *Label;
+    double P;
+  };
+  const PPoint Points[] = {
+      {"1/129 (cond.2 floor)", 1.0 / 129.0},
+      {"3/129 (paper)", 3.0 / 129.0},
+      {"10/129", 10.0 / 129.0},
+      {"0.20 (too sharp)", 0.20},
+      {"0.50 (degenerate)", 0.50},
+  };
+  for (const PPoint &Pt : Points) {
+    CampaignConfig Config = configFor(FuzzAlgorithm::ClassfuzzStBr);
+    Config.Iterations /= 2; // Keep the sweep quick.
+    Config.GeometricP = Pt.P;
+    std::printf("%-22s %14.1f\n", Pt.Label, meanTests(Config));
+  }
+
+  // --- 2. seed feedback -----------------------------------------------------
+  std::printf("\n2. Mutation-pool feedback (Algorithm 1 line 14)\n\n");
+  std::printf("%-36s %14s\n", "configuration", "mean |TestClasses|");
+  rule(52);
+  for (bool Feedback : {true, false}) {
+    CampaignConfig Config = configFor(FuzzAlgorithm::ClassfuzzStBr);
+    Config.Iterations /= 2;
+    Config.FeedbackAcceptedMutants = Feedback;
+    std::printf("%-36s %14.1f\n",
+                Feedback ? "feedback ON (mutate accepted mutants)"
+                         : "feedback OFF (mutate seeds only)",
+                meanTests(Config));
+  }
+  std::printf(
+      "\nExpected shape: feedback ON clearly beats OFF (the §3.2 "
+      "representative-seeds claim).\nFor p, sharper-than-paper values "
+      "keep helping here because our smaller coverage space\nmakes "
+      "exploitation cheap; the paper's conditions trade that against "
+      "exploration headroom\n(condition 3) that matters at its scale.\n");
+  return 0;
+}

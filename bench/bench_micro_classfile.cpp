@@ -1,0 +1,96 @@
+//===- bench/bench_micro_classfile.cpp -------------------------------------===//
+//
+// Microbenchmarks of the classfile substrate: parse, serialize, round
+// trip, JIR lowering/assembly, and printing. These quantify the cost
+// per fuzzing iteration that Table 4's timing columns build on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "classfile/ClassReader.h"
+#include "classfile/ClassWriter.h"
+#include "classfile/Printer.h"
+#include "jir/Jir.h"
+#include "runtime/SeedCorpus.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace classfuzz;
+
+namespace {
+
+Bytes sampleClass(size_t Which = 0) {
+  Rng R(99);
+  auto Seeds = generateSeedCorpus(R, Which + 1);
+  return Seeds[Which].Data;
+}
+
+void BM_ParseClassFile(benchmark::State &State) {
+  Bytes Data = sampleClass();
+  for (auto _ : State) {
+    auto CF = parseClassFile(Data);
+    benchmark::DoNotOptimize(CF.ok());
+  }
+}
+BENCHMARK(BM_ParseClassFile);
+
+void BM_WriteClassFile(benchmark::State &State) {
+  Bytes Data = sampleClass();
+  auto CF = parseClassFile(Data);
+  for (auto _ : State) {
+    ClassFile Copy = *CF;
+    auto Out = writeClassFile(Copy);
+    benchmark::DoNotOptimize(Out.ok());
+  }
+}
+BENCHMARK(BM_WriteClassFile);
+
+void BM_RoundTrip(benchmark::State &State) {
+  Bytes Data = sampleClass();
+  for (auto _ : State) {
+    auto CF = parseClassFile(Data);
+    auto Out = writeClassFile(*CF);
+    benchmark::DoNotOptimize(Out.ok());
+  }
+}
+BENCHMARK(BM_RoundTrip);
+
+void BM_LowerToJir(benchmark::State &State) {
+  Bytes Data = sampleClass(2); // the arithmetic/loop seed
+  for (auto _ : State) {
+    auto J = lowerClassBytes(Data);
+    benchmark::DoNotOptimize(J.ok());
+  }
+}
+BENCHMARK(BM_LowerToJir);
+
+void BM_AssembleFromJir(benchmark::State &State) {
+  Bytes Data = sampleClass(2);
+  auto J = lowerClassBytes(Data);
+  for (auto _ : State) {
+    auto Out = assembleToBytes(*J);
+    benchmark::DoNotOptimize(Out.ok());
+  }
+}
+BENCHMARK(BM_AssembleFromJir);
+
+void BM_PrintClassFile(benchmark::State &State) {
+  auto CF = parseClassFile(sampleClass());
+  for (auto _ : State) {
+    std::string Dump = printClassFile(*CF);
+    benchmark::DoNotOptimize(Dump.size());
+  }
+}
+BENCHMARK(BM_PrintClassFile);
+
+void BM_SeedCorpusGeneration(benchmark::State &State) {
+  for (auto _ : State) {
+    Rng R(static_cast<uint64_t>(State.iterations()));
+    auto Seeds = generateSeedCorpus(R, 13);
+    benchmark::DoNotOptimize(Seeds.size());
+  }
+}
+BENCHMARK(BM_SeedCorpusGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,229 @@
+//===- examples/discrepancy_gallery.cpp - Problems 1-4 showcase ----------===//
+//
+// Crafts one classfile per reported problem family of §3.3 and runs each
+// on the five JVM profiles, printing the encoded outcome sequences --
+// a living catalog of the paper's 62 reported discrepancies' mechanisms.
+//
+// Run: ./discrepancy_gallery
+//
+//===----------------------------------------------------------------------===//
+
+#include "classfile/ClassWriter.h"
+#include "classfile/CodeBuilder.h"
+#include "difftest/DiffTest.h"
+#include "runtime/RuntimeLib.h"
+
+#include <cstdio>
+
+using namespace classfuzz;
+
+namespace {
+
+ClassFile baseClass(const std::string &Name) {
+  ClassFile CF;
+  CF.ThisClass = Name;
+  CF.SuperClass = "java/lang/Object";
+  CF.AccessFlags = ACC_PUBLIC | ACC_SUPER;
+  MethodInfo Main;
+  Main.Name = "main";
+  Main.Descriptor = "([Ljava/lang/String;)V";
+  Main.AccessFlags = ACC_PUBLIC | ACC_STATIC;
+  CodeBuilder B(CF.CP);
+  B.getStatic("java/lang/System", "out", "Ljava/io/PrintStream;");
+  B.pushString("Completed!");
+  B.invokeVirtual("java/io/PrintStream", "println",
+                  "(Ljava/lang/String;)V");
+  B.emit(OP_return);
+  CodeAttr Code;
+  Code.MaxStack = 2;
+  Code.MaxLocals = 1;
+  Code.Code = B.build();
+  Main.Code = std::move(Code);
+  CF.Methods.push_back(std::move(Main));
+  return CF;
+}
+
+Bytes mustSerialize(ClassFile CF) {
+  auto Data = writeClassFile(CF);
+  if (!Data) {
+    std::fprintf(stderr, "serialize: %s\n", Data.error().c_str());
+    std::exit(1);
+  }
+  return Data.take();
+}
+
+struct Exhibit {
+  const char *Title;
+  const char *Explanation;
+  std::string Name;
+  Bytes Data;
+  EnvironmentMode Mode;
+};
+
+std::vector<Exhibit> buildGallery() {
+  std::vector<Exhibit> Out;
+
+  // Problem 1: non-static <clinit>.
+  {
+    ClassFile CF = baseClass("P1_Clinit");
+    MethodInfo M;
+    M.Name = "<clinit>";
+    M.Descriptor = "()V";
+    M.AccessFlags = ACC_PUBLIC | ACC_ABSTRACT;
+    CF.Methods.push_back(std::move(M));
+    Out.push_back({"Problem 1: public abstract <clinit> (Figure 2)",
+                   "HotSpot treats it as an ordinary method (the SE 9 "
+                   "clarification); J9 raises ClassFormatError",
+                   "P1_Clinit", mustSerialize(CF),
+                   EnvironmentMode::Shared});
+  }
+
+  // Problem 2a: unsafe reference parameter cast (M1433982529).
+  {
+    ClassFile CF = baseClass("P2_UnsafeCast");
+    MethodInfo M;
+    M.Name = "internalTransform";
+    M.Descriptor = "(Ljava/lang/String;)V";
+    M.AccessFlags = ACC_PROTECTED | ACC_STATIC;
+    CodeBuilder B(CF.CP);
+    B.loadLocal('a', 0);
+    // Parameter declared String, but used as a Map argument.
+    B.invokeStatic("java/lang/Boolean", "getBoolean",
+                   "(Ljava/util/Map;)Z");
+    B.emit(OP_pop);
+    B.emit(OP_return);
+    CodeAttr Code;
+    Code.MaxStack = 1;
+    Code.MaxLocals = 1;
+    Code.Code = B.build();
+    M.Code = std::move(Code);
+    CF.Methods.push_back(std::move(M));
+    Out.push_back({"Problem 2: String passed where java.util.Map is "
+                   "declared (M1433982529)",
+                   "GIJ's verifier flags the incompatible type; HotSpot "
+                   "and J9 miss it",
+                   "P2_UnsafeCast", mustSerialize(CF),
+                   EnvironmentMode::Shared});
+  }
+
+  // Problem 2b: J9's lazy method verification.
+  {
+    ClassFile CF = baseClass("P2_LazyVerify");
+    MethodInfo M;
+    M.Name = "neverCalled";
+    M.Descriptor = "()V";
+    M.AccessFlags = ACC_PUBLIC | ACC_STATIC;
+    CodeAttr Code;
+    Code.MaxStack = 1;
+    Code.MaxLocals = 0;
+    Code.Code = {OP_pop, OP_return}; // Underflows: unverifiable.
+    M.Code = std::move(Code);
+    CF.Methods.push_back(std::move(M));
+    Out.push_back({"Problem 2: broken method that is never invoked",
+                   "HotSpot/GIJ verify every method before execution "
+                   "(VerifyError); J9 verifies lazily and runs the class",
+                   "P2_LazyVerify", mustSerialize(CF),
+                   EnvironmentMode::Shared});
+  }
+
+  // Problem 3: inaccessible class in a throws clause (M1437121261).
+  {
+    ClassFile CF = baseClass("P3_Throws");
+    CF.findMethod("main", "([Ljava/lang/String;)V")->Exceptions = {
+        versionSkewedClasses().InaccessibleClass};
+    Out.push_back({"Problem 3: throws sun.java2d.pisces."
+                   "PiscesRenderingEngine$2 (M1437121261)",
+                   "HotSpot raises IllegalAccessError for the "
+                   "package-private synthetic class; J9 and GIJ do not",
+                   "P3_Throws", mustSerialize(CF),
+                   EnvironmentMode::Shared});
+  }
+
+  // Problem 4a: interface extending a class.
+  {
+    ClassFile CF;
+    CF.ThisClass = "P4_IfaceSuper";
+    CF.SuperClass = "java/lang/Exception";
+    CF.AccessFlags = ACC_PUBLIC | ACC_INTERFACE | ACC_ABSTRACT;
+    Out.push_back({"Problem 4: interface extending java.lang.Exception",
+                   "HotSpot/J9 raise ClassFormatError (interface super "
+                   "must be Object); GIJ misses the illegal hierarchy",
+                   "P4_IfaceSuper", mustSerialize(CF),
+                   EnvironmentMode::Shared});
+  }
+
+  // Problem 4b: static <init> (illegal constructor shape).
+  {
+    ClassFile CF = baseClass("P4_StaticInit");
+    MethodInfo M;
+    M.Name = "<init>";
+    M.Descriptor = "()V";
+    M.AccessFlags = ACC_PUBLIC | ACC_STATIC;
+    CodeAttr Code;
+    Code.MaxStack = 0;
+    Code.MaxLocals = 1;
+    Code.Code = {OP_return};
+    M.Code = std::move(Code);
+    CF.Methods.push_back(std::move(M));
+    Out.push_back({"Problem 4: public static void <init>()",
+                   "Rejected by HotSpot and J9 (<init> must not be "
+                   "static); GIJ accepts it",
+                   "P4_StaticInit", mustSerialize(CF),
+                   EnvironmentMode::Shared});
+  }
+
+  // Problem 4c: duplicate fields.
+  {
+    ClassFile CF = baseClass("P4_DupFields");
+    FieldInfo F;
+    F.Name = "dup";
+    F.Descriptor = "I";
+    F.AccessFlags = ACC_PUBLIC;
+    CF.Fields.push_back(F);
+    CF.Fields.push_back(F);
+    Out.push_back({"Problem 4: class with duplicate fields",
+                   "GIJ accepts duplicate fields; the others raise "
+                   "ClassFormatError",
+                   "P4_DupFields", mustSerialize(CF),
+                   EnvironmentMode::Shared});
+  }
+
+  // Compatibility (the preliminary study): EnumEditor finalization.
+  {
+    ClassFile CF = baseClass("C_EnumEditor");
+    CF.SuperClass = "sun/beans/editors/EnumEditor";
+    Out.push_back({"Compatibility: extends sun.beans.editors.EnumEditor",
+                   "Superclass is final from JRE 8 on (VerifyError) and "
+                   "removed in JRE 9 (NoClassDefFoundError) -- an "
+                   "environment discrepancy, not a defect",
+                   "C_EnumEditor", mustSerialize(CF),
+                   EnvironmentMode::PerJvm});
+  }
+
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  std::printf("classfuzz-cpp discrepancy gallery (the §3.3 problem "
+              "families)\n");
+  std::printf("encoding: 0 ok, 1 loading, 2 linking, 3 init, 4 runtime; "
+              "JVM order: HS7 HS8 HS9 J9 GIJ\n\n");
+
+  for (const Exhibit &E : buildGallery()) {
+    ClassPath Corpus;
+    Corpus.add(E.Name, E.Data);
+    auto Tester =
+        DifferentialTester::withAllProfiles(Corpus, E.Mode, "jre8");
+    DiffOutcome O = Tester.testClass(E.Name);
+    std::printf("%s\n  %s\n  encoded \"%s\"%s\n", E.Title, E.Explanation,
+                O.encodedString().c_str(),
+                O.isDiscrepancy() ? "  ** DISCREPANCY **" : "");
+    for (size_t I = 0; I != O.Results.size(); ++I)
+      std::printf("    %-22s %s\n", Tester.policies()[I].Name.c_str(),
+                  O.Results[I].toString().c_str());
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+//===- examples/quickstart.cpp - First steps with classfuzz-cpp ----------===//
+//
+// Builds a classfile in memory, mutates it with one of the 129 mutators,
+// and differentially runs seed and mutant on the five JVM profiles --
+// reproducing the paper's Figure 2 discrepancy end to end.
+//
+// Run: ./quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "classfile/ClassWriter.h"
+#include "classfile/CodeBuilder.h"
+#include "difftest/DiffTest.h"
+#include "mutation/Engine.h"
+
+#include <cstdio>
+
+using namespace classfuzz;
+
+namespace {
+
+/// Step 1: author a valid classfile programmatically.
+Bytes buildSeedClass() {
+  ClassFile CF;
+  CF.ThisClass = "M1436188543";
+  CF.SuperClass = "java/lang/Object";
+  CF.AccessFlags = ACC_PUBLIC | ACC_SUPER;
+  CF.MajorVersion = MajorVersionJava7; // 51, as all the paper's mutants.
+
+  MethodInfo Main;
+  Main.Name = "main";
+  Main.Descriptor = "([Ljava/lang/String;)V";
+  Main.AccessFlags = ACC_PUBLIC | ACC_STATIC;
+  CodeBuilder B(CF.CP);
+  B.getStatic("java/lang/System", "out", "Ljava/io/PrintStream;");
+  B.pushString("Completed!");
+  B.invokeVirtual("java/io/PrintStream", "println",
+                  "(Ljava/lang/String;)V");
+  B.emit(OP_return);
+  CodeAttr Code;
+  Code.MaxStack = 2;
+  Code.MaxLocals = 1;
+  Code.Code = B.build();
+  Main.Code = std::move(Code);
+  CF.Methods.push_back(std::move(Main));
+
+  auto Data = writeClassFile(CF);
+  if (!Data) {
+    std::fprintf(stderr, "serialization failed: %s\n",
+                 Data.error().c_str());
+    std::exit(1);
+  }
+  return Data.take();
+}
+
+void runOnAllJvms(const char *Label, const std::string &Name,
+                  const Bytes &Data) {
+  ClassPath Corpus;
+  Corpus.add(Name, Data);
+  auto Tester = DifferentialTester::withAllProfiles(
+      Corpus, EnvironmentMode::Shared, "jre8");
+  DiffOutcome O = Tester.testClass(Name);
+  std::printf("%s -> encoded \"%s\"%s\n", Label,
+              O.encodedString().c_str(),
+              O.isDiscrepancy() ? "  ** DISCREPANCY **" : "");
+  for (size_t I = 0; I != O.Results.size(); ++I)
+    std::printf("  %-22s %s\n", Tester.policies()[I].Name.c_str(),
+                O.Results[I].toString().c_str());
+}
+
+} // namespace
+
+int main() {
+  std::printf("classfuzz-cpp quickstart\n========================\n\n");
+
+  Bytes Seed = buildSeedClass();
+  std::printf("1. built a %zu-byte classfile M1436188543\n\n",
+              Seed.size());
+
+  runOnAllJvms("2. seed on the five JVMs", "M1436188543", Seed);
+
+  // Step 3: apply the Figure 2 mutator -- insert a public abstract
+  // method named <clinit> with no Code attribute.
+  size_t MutatorIndex = 0;
+  for (size_t I = 0; I != mutatorRegistry().size(); ++I)
+    if (mutatorRegistry()[I].Id == "method.insert-nonstatic-clinit")
+      MutatorIndex = I;
+  Rng R(1);
+  std::vector<std::string> Known;
+  MutationContext Ctx{R, Known};
+  MutationOutcome Mutant = mutateClass(Seed, MutatorIndex, Ctx);
+  if (!Mutant.Produced) {
+    std::fprintf(stderr, "mutation failed: %s\n", Mutant.Error.c_str());
+    return 1;
+  }
+  std::printf("\n3. applied mutator \"%s\"\n\n",
+              mutatorRegistry()[MutatorIndex].Description.c_str());
+
+  runOnAllJvms("4. mutant on the five JVMs", Mutant.ClassName,
+               Mutant.Data);
+
+  std::printf("\nThe mutant reproduces the paper's Problem 1: HotSpot "
+              "treats the non-static\n<clinit> as an ordinary method, "
+              "while J9 raises a ClassFormatError.\n");
+  return 0;
+}

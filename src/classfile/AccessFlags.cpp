@@ -1,0 +1,67 @@
+//===- classfile/AccessFlags.cpp ------------------------------------------===//
+
+#include "classfile/AccessFlags.h"
+
+using namespace classfuzz;
+
+namespace {
+
+struct FlagName {
+  uint16_t Bit;
+  const char *Name;
+};
+
+std::string renderFlags(uint16_t Flags, const FlagName *Names, size_t Count) {
+  std::string Out;
+  for (size_t I = 0; I != Count; ++I) {
+    if (!(Flags & Names[I].Bit))
+      continue;
+    if (!Out.empty())
+      Out += ", ";
+    Out += Names[I].Name;
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string classfuzz::classFlagsToString(uint16_t Flags) {
+  static const FlagName Names[] = {
+      {ACC_PUBLIC, "ACC_PUBLIC"},       {ACC_PRIVATE, "ACC_PRIVATE"},
+      {ACC_PROTECTED, "ACC_PROTECTED"}, {ACC_STATIC, "ACC_STATIC"},
+      {ACC_FINAL, "ACC_FINAL"},         {ACC_SUPER, "ACC_SUPER"},
+      {ACC_INTERFACE, "ACC_INTERFACE"}, {ACC_ABSTRACT, "ACC_ABSTRACT"},
+      {ACC_SYNTHETIC, "ACC_SYNTHETIC"}, {ACC_ANNOTATION, "ACC_ANNOTATION"},
+      {ACC_ENUM, "ACC_ENUM"},
+  };
+  return renderFlags(Flags, Names, sizeof(Names) / sizeof(Names[0]));
+}
+
+std::string classfuzz::methodFlagsToString(uint16_t Flags) {
+  static const FlagName Names[] = {
+      {ACC_PUBLIC, "ACC_PUBLIC"},
+      {ACC_PRIVATE, "ACC_PRIVATE"},
+      {ACC_PROTECTED, "ACC_PROTECTED"},
+      {ACC_STATIC, "ACC_STATIC"},
+      {ACC_FINAL, "ACC_FINAL"},
+      {ACC_SYNCHRONIZED, "ACC_SYNCHRONIZED"},
+      {ACC_BRIDGE, "ACC_BRIDGE"},
+      {ACC_VARARGS, "ACC_VARARGS"},
+      {ACC_NATIVE, "ACC_NATIVE"},
+      {ACC_ABSTRACT, "ACC_ABSTRACT"},
+      {ACC_STRICT, "ACC_STRICT"},
+      {ACC_SYNTHETIC, "ACC_SYNTHETIC"},
+  };
+  return renderFlags(Flags, Names, sizeof(Names) / sizeof(Names[0]));
+}
+
+std::string classfuzz::fieldFlagsToString(uint16_t Flags) {
+  static const FlagName Names[] = {
+      {ACC_PUBLIC, "ACC_PUBLIC"},       {ACC_PRIVATE, "ACC_PRIVATE"},
+      {ACC_PROTECTED, "ACC_PROTECTED"}, {ACC_STATIC, "ACC_STATIC"},
+      {ACC_FINAL, "ACC_FINAL"},         {ACC_VOLATILE, "ACC_VOLATILE"},
+      {ACC_TRANSIENT, "ACC_TRANSIENT"}, {ACC_SYNTHETIC, "ACC_SYNTHETIC"},
+      {ACC_ENUM, "ACC_ENUM"},
+  };
+  return renderFlags(Flags, Names, sizeof(Names) / sizeof(Names[0]));
+}

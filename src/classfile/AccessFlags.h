@@ -1,0 +1,51 @@
+//===- classfile/AccessFlags.h - JVM access/property flag constants ------===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The access_flags bit constants of the JVM specification (Tables 4.1-A,
+/// 4.5-A, 4.6-A of JVMS SE 8) and pretty-printing helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_CLASSFILE_ACCESSFLAGS_H
+#define CLASSFUZZ_CLASSFILE_ACCESSFLAGS_H
+
+#include <cstdint>
+#include <string>
+
+namespace classfuzz {
+
+enum AccessFlag : uint16_t {
+  ACC_PUBLIC = 0x0001,
+  ACC_PRIVATE = 0x0002,
+  ACC_PROTECTED = 0x0004,
+  ACC_STATIC = 0x0008,
+  ACC_FINAL = 0x0010,
+  ACC_SUPER = 0x0020,      // class
+  ACC_SYNCHRONIZED = 0x0020, // method
+  ACC_VOLATILE = 0x0040,   // field
+  ACC_BRIDGE = 0x0040,     // method
+  ACC_TRANSIENT = 0x0080,  // field
+  ACC_VARARGS = 0x0080,    // method
+  ACC_NATIVE = 0x0100,
+  ACC_INTERFACE = 0x0200,
+  ACC_ABSTRACT = 0x0400,
+  ACC_STRICT = 0x0800,
+  ACC_SYNTHETIC = 0x1000,
+  ACC_ANNOTATION = 0x2000,
+  ACC_ENUM = 0x4000,
+};
+
+/// Renders class-level flags, e.g. "ACC_PUBLIC, ACC_SUPER".
+std::string classFlagsToString(uint16_t Flags);
+/// Renders method-level flags.
+std::string methodFlagsToString(uint16_t Flags);
+/// Renders field-level flags.
+std::string fieldFlagsToString(uint16_t Flags);
+
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_CLASSFILE_ACCESSFLAGS_H

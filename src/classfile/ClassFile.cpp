@@ -1,0 +1,33 @@
+//===- classfile/ClassFile.cpp --------------------------------------------===//
+
+#include "classfile/ClassFile.h"
+
+using namespace classfuzz;
+
+const MethodInfo *ClassFile::findMethod(const std::string &Name,
+                                        const std::string &Descriptor) const {
+  for (const MethodInfo &M : Methods)
+    if (M.Name == Name && M.Descriptor == Descriptor)
+      return &M;
+  return nullptr;
+}
+
+MethodInfo *ClassFile::findMethod(const std::string &Name,
+                                  const std::string &Descriptor) {
+  return const_cast<MethodInfo *>(
+      static_cast<const ClassFile *>(this)->findMethod(Name, Descriptor));
+}
+
+const MethodInfo *ClassFile::findMethodByName(const std::string &Name) const {
+  for (const MethodInfo &M : Methods)
+    if (M.Name == Name)
+      return &M;
+  return nullptr;
+}
+
+const FieldInfo *ClassFile::findField(const std::string &Name) const {
+  for (const FieldInfo &F : Fields)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}

@@ -1,0 +1,130 @@
+//===- classfile/ClassFile.h - In-memory class file model ----------------===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The in-memory representation of a parsed Java class file (JVMS §4.1).
+/// Member names/descriptors and class references are stored resolved (as
+/// strings) for ergonomic mutation, while bytecode stays as raw code bytes
+/// whose embedded constant-pool indices refer into the owned ConstantPool.
+/// The pool is append-only, so resolved strings and raw code indices stay
+/// consistent across mutation and re-serialization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_CLASSFILE_CLASSFILE_H
+#define CLASSFUZZ_CLASSFILE_CLASSFILE_H
+
+#include "classfile/AccessFlags.h"
+#include "classfile/ConstantPool.h"
+#include "support/ByteBuffer.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace classfuzz {
+
+/// Magic number of every class file.
+inline constexpr uint32_t ClassFileMagic = 0xCAFEBABE;
+
+/// Major versions of interest (J2SE 7 = 51, the paper pins mutants to 51).
+inline constexpr uint16_t MajorVersionJava5 = 49;
+inline constexpr uint16_t MajorVersionJava6 = 50;
+inline constexpr uint16_t MajorVersionJava7 = 51;
+inline constexpr uint16_t MajorVersionJava8 = 52;
+inline constexpr uint16_t MajorVersionJava9 = 53;
+
+/// An attribute kept in raw form (unknown or passthrough attributes).
+struct AttributeInfo {
+  std::string Name;
+  Bytes Data;
+};
+
+/// One entry of a Code attribute's exception_table.
+struct ExceptionTableEntry {
+  uint16_t StartPc = 0;
+  uint16_t EndPc = 0;
+  uint16_t HandlerPc = 0;
+  /// Internal name of the caught class; empty means catch-all (finally).
+  std::string CatchType;
+};
+
+/// A parsed Code attribute (JVMS §4.7.3).
+struct CodeAttr {
+  uint16_t MaxStack = 0;
+  uint16_t MaxLocals = 0;
+  Bytes Code;
+  std::vector<ExceptionTableEntry> ExceptionTable;
+  std::vector<AttributeInfo> Attributes; ///< Nested attributes, raw.
+};
+
+/// A parsed ConstantValue attribute (JVMS §4.7.2): the compile-time
+/// constant a static field is initialized to during preparation.
+struct FieldConstant {
+  /// 'i' int-like, 'j' long, 'f' float, 'd' double, 's' String.
+  char Kind = 'i';
+  int64_t IntValue = 0;
+  double FpValue = 0;
+  std::string StrValue;
+};
+
+/// field_info with resolved name/descriptor.
+struct FieldInfo {
+  uint16_t AccessFlags = 0;
+  std::string Name;
+  std::string Descriptor;
+  /// ConstantValue attribute, when present.
+  std::optional<FieldConstant> ConstantValue;
+  std::vector<AttributeInfo> Attributes;
+
+  bool isStatic() const { return AccessFlags & ACC_STATIC; }
+};
+
+/// method_info with resolved name/descriptor, the Code attribute parsed,
+/// and the Exceptions attribute resolved to class names.
+struct MethodInfo {
+  uint16_t AccessFlags = 0;
+  std::string Name;
+  std::string Descriptor;
+  std::optional<CodeAttr> Code;
+  /// Declared thrown exception class names (Exceptions attribute).
+  std::vector<std::string> Exceptions;
+  std::vector<AttributeInfo> Attributes;
+
+  bool isStatic() const { return AccessFlags & ACC_STATIC; }
+  bool isAbstract() const { return AccessFlags & ACC_ABSTRACT; }
+  bool isNative() const { return AccessFlags & ACC_NATIVE; }
+};
+
+/// A whole class file.
+struct ClassFile {
+  uint16_t MinorVersion = 0;
+  uint16_t MajorVersion = MajorVersionJava7;
+  ConstantPool CP;
+  uint16_t AccessFlags = ACC_PUBLIC | ACC_SUPER;
+  std::string ThisClass;  ///< Internal name, e.g. "M1436188543".
+  std::string SuperClass; ///< Internal name; empty only for java/lang/Object.
+  std::vector<std::string> Interfaces;
+  std::vector<FieldInfo> Fields;
+  std::vector<MethodInfo> Methods;
+  std::vector<AttributeInfo> Attributes;
+
+  bool isInterface() const { return AccessFlags & ACC_INTERFACE; }
+
+  /// Finds a method by name+descriptor; nullptr when absent.
+  const MethodInfo *findMethod(const std::string &Name,
+                               const std::string &Descriptor) const;
+  MethodInfo *findMethod(const std::string &Name,
+                         const std::string &Descriptor);
+  /// Finds the first method with \p Name regardless of descriptor.
+  const MethodInfo *findMethodByName(const std::string &Name) const;
+  /// Finds a field by name; nullptr when absent.
+  const FieldInfo *findField(const std::string &Name) const;
+};
+
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_CLASSFILE_CLASSFILE_H

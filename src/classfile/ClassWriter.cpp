@@ -1,0 +1,227 @@
+//===- classfile/ClassWriter.cpp ------------------------------------------===//
+
+#include "classfile/ClassWriter.h"
+
+using namespace classfuzz;
+
+namespace {
+
+void writeCpEntry(ByteWriter &W, const CpEntry &E) {
+  // The upper-half placeholder of a Long/Double occupies an index but
+  // has no wire representation at all (JVMS §4.4.5).
+  if (E.Tag == CpTag::Invalid)
+    return;
+  W.writeU1(static_cast<uint8_t>(E.Tag));
+  switch (E.Tag) {
+  case CpTag::Utf8:
+    W.writeU2(static_cast<uint16_t>(E.Utf8.size()));
+    W.writeString(E.Utf8);
+    break;
+  case CpTag::Integer:
+    W.writeU4(static_cast<uint32_t>(E.IntValue));
+    break;
+  case CpTag::Float: {
+    uint32_t Raw;
+    __builtin_memcpy(&Raw, &E.FloatValue, 4);
+    W.writeU4(Raw);
+    break;
+  }
+  case CpTag::Long:
+    W.writeU8(static_cast<uint64_t>(E.LongValue));
+    break;
+  case CpTag::Double: {
+    uint64_t Raw;
+    __builtin_memcpy(&Raw, &E.DoubleValue, 8);
+    W.writeU8(Raw);
+    break;
+  }
+  case CpTag::Class:
+  case CpTag::String:
+  case CpTag::MethodType:
+    W.writeU2(E.Ref1);
+    break;
+  case CpTag::Fieldref:
+  case CpTag::Methodref:
+  case CpTag::InterfaceMethodref:
+  case CpTag::NameAndType:
+  case CpTag::InvokeDynamic:
+    W.writeU2(E.Ref1);
+    W.writeU2(E.Ref2);
+    break;
+  case CpTag::MethodHandle:
+    W.writeU1(E.Kind);
+    W.writeU2(E.Ref1);
+    break;
+  case CpTag::Invalid:
+    // Placeholder slot of a Long/Double: nothing on the wire.
+    break;
+  }
+}
+
+void writeAttribute(ByteWriter &W, ConstantPool &CP,
+                    const AttributeInfo &Attr) {
+  W.writeU2(CP.utf8(Attr.Name));
+  W.writeU4(static_cast<uint32_t>(Attr.Data.size()));
+  W.writeBytes(Attr.Data);
+}
+
+Bytes serializeCode(ConstantPool &CP, const CodeAttr &Code) {
+  ByteWriter W;
+  W.writeU2(Code.MaxStack);
+  W.writeU2(Code.MaxLocals);
+  W.writeU4(static_cast<uint32_t>(Code.Code.size()));
+  W.writeBytes(Code.Code);
+  W.writeU2(static_cast<uint16_t>(Code.ExceptionTable.size()));
+  for (const ExceptionTableEntry &E : Code.ExceptionTable) {
+    W.writeU2(E.StartPc);
+    W.writeU2(E.EndPc);
+    W.writeU2(E.HandlerPc);
+    W.writeU2(E.CatchType.empty() ? 0 : CP.classRef(E.CatchType));
+  }
+  W.writeU2(static_cast<uint16_t>(Code.Attributes.size()));
+  for (const AttributeInfo &Attr : Code.Attributes)
+    writeAttribute(W, CP, Attr);
+  return W.take();
+}
+
+Bytes serializeExceptions(ConstantPool &CP,
+                          const std::vector<std::string> &Exceptions) {
+  ByteWriter W;
+  W.writeU2(static_cast<uint16_t>(Exceptions.size()));
+  for (const std::string &Name : Exceptions)
+    W.writeU2(CP.classRef(Name));
+  return W.take();
+}
+
+} // namespace
+
+Result<Bytes> classfuzz::writeClassFile(ClassFile &CF) {
+  ConstantPool &CP = CF.CP;
+
+  // Phase 1: intern every name so the pool is complete before emission.
+  // Collecting indices up front also serializes nested attribute payloads,
+  // which themselves intern into the pool.
+  uint16_t ThisIndex = CP.classRef(CF.ThisClass);
+  uint16_t SuperIndex = CF.SuperClass.empty() ? 0 : CP.classRef(CF.SuperClass);
+  std::vector<uint16_t> InterfaceIndices;
+  InterfaceIndices.reserve(CF.Interfaces.size());
+  for (const std::string &Name : CF.Interfaces)
+    InterfaceIndices.push_back(CP.classRef(Name));
+
+  struct SerializedMember {
+    uint16_t NameIndex;
+    uint16_t DescIndex;
+    std::vector<std::pair<uint16_t, Bytes>> Attrs; // (name idx, payload)
+  };
+
+  std::vector<SerializedMember> Fields;
+  for (const FieldInfo &F : CF.Fields) {
+    SerializedMember M;
+    M.NameIndex = CP.utf8(F.Name);
+    M.DescIndex = CP.utf8(F.Descriptor);
+    if (F.ConstantValue) {
+      uint16_t CvIndex = 0;
+      switch (F.ConstantValue->Kind) {
+      case 'i':
+        CvIndex = CP.integer(
+            static_cast<int32_t>(F.ConstantValue->IntValue));
+        break;
+      case 'j':
+        CvIndex = CP.longConst(F.ConstantValue->IntValue);
+        break;
+      case 'f':
+        CvIndex =
+            CP.floatConst(static_cast<float>(F.ConstantValue->FpValue));
+        break;
+      case 'd':
+        CvIndex = CP.doubleConst(F.ConstantValue->FpValue);
+        break;
+      default:
+        CvIndex = CP.stringConst(F.ConstantValue->StrValue);
+        break;
+      }
+      ByteWriter W;
+      W.writeU2(CvIndex);
+      M.Attrs.emplace_back(CP.utf8("ConstantValue"), W.take());
+    }
+    for (const AttributeInfo &Attr : F.Attributes)
+      M.Attrs.emplace_back(CP.utf8(Attr.Name), Attr.Data);
+    Fields.push_back(std::move(M));
+  }
+
+  std::vector<SerializedMember> Methods;
+  for (const MethodInfo &Method : CF.Methods) {
+    SerializedMember M;
+    M.NameIndex = CP.utf8(Method.Name);
+    M.DescIndex = CP.utf8(Method.Descriptor);
+    if (Method.Code)
+      M.Attrs.emplace_back(CP.utf8("Code"), serializeCode(CP, *Method.Code));
+    if (!Method.Exceptions.empty())
+      M.Attrs.emplace_back(CP.utf8("Exceptions"),
+                           serializeExceptions(CP, Method.Exceptions));
+    for (const AttributeInfo &Attr : Method.Attributes)
+      M.Attrs.emplace_back(CP.utf8(Attr.Name), Attr.Data);
+    Methods.push_back(std::move(M));
+  }
+
+  std::vector<std::pair<uint16_t, Bytes>> ClassAttrs;
+  for (const AttributeInfo &Attr : CF.Attributes)
+    ClassAttrs.emplace_back(CP.utf8(Attr.Name), Attr.Data);
+
+  if (CP.count() == 0xFFFF)
+    return makeError("constant pool overflow while writing class file");
+
+  // Phase 2: emit.
+  ByteWriter W;
+  W.writeU4(ClassFileMagic);
+  W.writeU2(CF.MinorVersion);
+  W.writeU2(CF.MajorVersion);
+
+  W.writeU2(CP.count());
+  for (uint16_t I = 1; I < CP.count(); ++I)
+    writeCpEntry(W, CP.at(I));
+
+  W.writeU2(CF.AccessFlags);
+  W.writeU2(ThisIndex);
+  W.writeU2(SuperIndex);
+
+  W.writeU2(static_cast<uint16_t>(InterfaceIndices.size()));
+  for (uint16_t Index : InterfaceIndices)
+    W.writeU2(Index);
+
+  auto emitMembers = [&](const std::vector<SerializedMember> &Members,
+                         const std::vector<uint16_t> &Flags) {
+    W.writeU2(static_cast<uint16_t>(Members.size()));
+    for (size_t I = 0; I != Members.size(); ++I) {
+      const SerializedMember &M = Members[I];
+      W.writeU2(Flags[I]);
+      W.writeU2(M.NameIndex);
+      W.writeU2(M.DescIndex);
+      W.writeU2(static_cast<uint16_t>(M.Attrs.size()));
+      for (const auto &[NameIndex, Data] : M.Attrs) {
+        W.writeU2(NameIndex);
+        W.writeU4(static_cast<uint32_t>(Data.size()));
+        W.writeBytes(Data);
+      }
+    }
+  };
+
+  std::vector<uint16_t> FieldFlags;
+  for (const FieldInfo &F : CF.Fields)
+    FieldFlags.push_back(F.AccessFlags);
+  emitMembers(Fields, FieldFlags);
+
+  std::vector<uint16_t> MethodFlags;
+  for (const MethodInfo &M : CF.Methods)
+    MethodFlags.push_back(M.AccessFlags);
+  emitMembers(Methods, MethodFlags);
+
+  W.writeU2(static_cast<uint16_t>(ClassAttrs.size()));
+  for (const auto &[NameIndex, Data] : ClassAttrs) {
+    W.writeU2(NameIndex);
+    W.writeU4(static_cast<uint32_t>(Data.size()));
+    W.writeBytes(Data);
+  }
+
+  return W.take();
+}

@@ -1,0 +1,28 @@
+//===- classfile/ClassWriter.h - Class file serialization ----------------===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes a ClassFile back to class file bytes. Resolved names are
+/// re-interned into the class's (append-only) constant pool, so raw code
+/// bytes carrying constant-pool indices stay valid.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_CLASSFILE_CLASSWRITER_H
+#define CLASSFUZZ_CLASSFILE_CLASSWRITER_H
+
+#include "classfile/ClassFile.h"
+#include "support/Result.h"
+
+namespace classfuzz {
+
+/// Serializes \p CF. Mutates CF's constant pool by interning any names not
+/// yet present. Fails only on hard limits (constant pool overflow).
+Result<Bytes> writeClassFile(ClassFile &CF);
+
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_CLASSFILE_CLASSWRITER_H

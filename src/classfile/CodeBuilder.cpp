@@ -1,0 +1,196 @@
+//===- classfile/CodeBuilder.cpp ------------------------------------------===//
+
+#include "classfile/CodeBuilder.h"
+
+#include "classfile/Descriptor.h"
+
+#include <cassert>
+
+using namespace classfuzz;
+
+void CodeBuilder::bind(Label L) {
+  assert(!Bound.count(L) && "label bound twice");
+  Bound[L] = currentOffset();
+}
+
+void CodeBuilder::emit(Opcode Op) { Code.push_back(Op); }
+
+void CodeBuilder::emitU1(Opcode Op, uint8_t Operand) {
+  Code.push_back(Op);
+  Code.push_back(Operand);
+}
+
+void CodeBuilder::emitU2(Opcode Op, uint16_t Operand) {
+  Code.push_back(Op);
+  Code.push_back(static_cast<uint8_t>(Operand >> 8));
+  Code.push_back(static_cast<uint8_t>(Operand));
+}
+
+void CodeBuilder::pushInt(int32_t Value) {
+  if (Value >= -1 && Value <= 5) {
+    emit(static_cast<Opcode>(OP_iconst_0 + Value));
+    return;
+  }
+  if (Value >= -128 && Value <= 127) {
+    emitU1(OP_bipush, static_cast<uint8_t>(Value));
+    return;
+  }
+  if (Value >= -32768 && Value <= 32767) {
+    emitU2(OP_sipush, static_cast<uint16_t>(Value));
+    return;
+  }
+  uint16_t Index = CP.integer(Value);
+  if (Index <= 0xFF)
+    emitU1(OP_ldc, static_cast<uint8_t>(Index));
+  else
+    emitU2(OP_ldc_w, Index);
+}
+
+void CodeBuilder::pushString(const std::string &S) {
+  uint16_t Index = CP.stringConst(S);
+  if (Index <= 0xFF)
+    emitU1(OP_ldc, static_cast<uint8_t>(Index));
+  else
+    emitU2(OP_ldc_w, Index);
+}
+
+void CodeBuilder::pushNull() { emit(OP_aconst_null); }
+
+void CodeBuilder::loadLocal(char Kind, uint16_t Slot) {
+  assert((Kind == 'i' || Kind == 'a') && "unsupported local kind");
+  Opcode Base = Kind == 'i' ? OP_iload : OP_aload;
+  Opcode ShortBase = Kind == 'i' ? OP_iload_0 : OP_aload_0;
+  if (Slot <= 3) {
+    emit(static_cast<Opcode>(ShortBase + Slot));
+    return;
+  }
+  assert(Slot <= 0xFF && "wide locals not supported by CodeBuilder");
+  emitU1(Base, static_cast<uint8_t>(Slot));
+}
+
+void CodeBuilder::storeLocal(char Kind, uint16_t Slot) {
+  assert((Kind == 'i' || Kind == 'a') && "unsupported local kind");
+  Opcode Base = Kind == 'i' ? OP_istore : OP_astore;
+  Opcode ShortBase = Kind == 'i' ? OP_istore_0 : OP_astore_0;
+  if (Slot <= 3) {
+    emit(static_cast<Opcode>(ShortBase + Slot));
+    return;
+  }
+  assert(Slot <= 0xFF && "wide locals not supported by CodeBuilder");
+  emitU1(Base, static_cast<uint8_t>(Slot));
+}
+
+void CodeBuilder::iinc(uint8_t Slot, int8_t Delta) {
+  Code.push_back(OP_iinc);
+  Code.push_back(Slot);
+  Code.push_back(static_cast<uint8_t>(Delta));
+}
+
+void CodeBuilder::emitMember(Opcode Op, CpTag Tag, const std::string &Class,
+                             const std::string &Name,
+                             const std::string &Desc) {
+  uint16_t Index = 0;
+  switch (Tag) {
+  case CpTag::Fieldref:
+    Index = CP.fieldRef(Class, Name, Desc);
+    break;
+  case CpTag::Methodref:
+    Index = CP.methodRef(Class, Name, Desc);
+    break;
+  case CpTag::InterfaceMethodref:
+    Index = CP.interfaceMethodRef(Class, Name, Desc);
+    break;
+  default:
+    assert(false && "not a member tag");
+  }
+  emitU2(Op, Index);
+}
+
+void CodeBuilder::getStatic(const std::string &Class, const std::string &Name,
+                            const std::string &Desc) {
+  emitMember(OP_getstatic, CpTag::Fieldref, Class, Name, Desc);
+}
+
+void CodeBuilder::putStatic(const std::string &Class, const std::string &Name,
+                            const std::string &Desc) {
+  emitMember(OP_putstatic, CpTag::Fieldref, Class, Name, Desc);
+}
+
+void CodeBuilder::getField(const std::string &Class, const std::string &Name,
+                           const std::string &Desc) {
+  emitMember(OP_getfield, CpTag::Fieldref, Class, Name, Desc);
+}
+
+void CodeBuilder::putField(const std::string &Class, const std::string &Name,
+                           const std::string &Desc) {
+  emitMember(OP_putfield, CpTag::Fieldref, Class, Name, Desc);
+}
+
+void CodeBuilder::invokeVirtual(const std::string &Class,
+                                const std::string &Name,
+                                const std::string &Desc) {
+  emitMember(OP_invokevirtual, CpTag::Methodref, Class, Name, Desc);
+}
+
+void CodeBuilder::invokeSpecial(const std::string &Class,
+                                const std::string &Name,
+                                const std::string &Desc) {
+  emitMember(OP_invokespecial, CpTag::Methodref, Class, Name, Desc);
+}
+
+void CodeBuilder::invokeStatic(const std::string &Class,
+                               const std::string &Name,
+                               const std::string &Desc) {
+  emitMember(OP_invokestatic, CpTag::Methodref, Class, Name, Desc);
+}
+
+void CodeBuilder::invokeInterface(const std::string &Class,
+                                  const std::string &Name,
+                                  const std::string &Desc) {
+  uint16_t Index = CP.interfaceMethodRef(Class, Name, Desc);
+  MethodDescriptor MD;
+  int Count = 1;
+  if (parseMethodDescriptor(Desc, MD))
+    Count = 1 + MD.argSlots();
+  Code.push_back(OP_invokeinterface);
+  Code.push_back(static_cast<uint8_t>(Index >> 8));
+  Code.push_back(static_cast<uint8_t>(Index));
+  Code.push_back(static_cast<uint8_t>(Count));
+  Code.push_back(0);
+}
+
+void CodeBuilder::newObject(const std::string &Class) {
+  emitU2(OP_new, CP.classRef(Class));
+}
+
+void CodeBuilder::checkCast(const std::string &Class) {
+  emitU2(OP_checkcast, CP.classRef(Class));
+}
+
+void CodeBuilder::instanceOf(const std::string &Class) {
+  emitU2(OP_instanceof, CP.classRef(Class));
+}
+
+void CodeBuilder::aNewArray(const std::string &ComponentClass) {
+  emitU2(OP_anewarray, CP.classRef(ComponentClass));
+}
+
+void CodeBuilder::branch(Opcode Op, Label L) {
+  Fixups.emplace_back(currentOffset(), L);
+  emitU2(Op, 0); // Placeholder displacement.
+}
+
+Bytes CodeBuilder::build() {
+  for (const auto &[BranchOffset, L] : Fixups) {
+    auto It = Bound.find(L);
+    assert(It != Bound.end() && "branch to unbound label");
+    int32_t Displacement =
+        static_cast<int32_t>(It->second) - static_cast<int32_t>(BranchOffset);
+    assert(Displacement >= -32768 && Displacement <= 32767 &&
+           "branch displacement out of s2 range");
+    Code[BranchOffset + 1] = static_cast<uint8_t>(Displacement >> 8);
+    Code[BranchOffset + 2] = static_cast<uint8_t>(Displacement);
+  }
+  Fixups.clear();
+  return std::move(Code);
+}

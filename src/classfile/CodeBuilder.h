@@ -1,0 +1,99 @@
+//===- classfile/CodeBuilder.h - Bytecode emission helper ----------------===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small assembler for JVM bytecode used by the runtime-library builder
+/// and the JIR-to-classfile assembler: emits instructions into a code
+/// array, supports forward branch labels with fixups, and tracks a
+/// conservative operand-stack high-water mark.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_CLASSFILE_CODEBUILDER_H
+#define CLASSFUZZ_CLASSFILE_CODEBUILDER_H
+
+#include "classfile/ClassFile.h"
+#include "classfile/Opcodes.h"
+
+#include <map>
+
+namespace classfuzz {
+
+/// Builds the code array of one method.
+class CodeBuilder {
+public:
+  explicit CodeBuilder(ConstantPool &CP) : CP(CP) {}
+
+  using Label = uint32_t;
+
+  /// Creates a fresh, not-yet-bound label.
+  Label newLabel() { return NextLabel++; }
+  /// Binds \p L to the current code offset.
+  void bind(Label L);
+
+  // Simple instructions.
+  void emit(Opcode Op);
+  void emitU1(Opcode Op, uint8_t Operand);
+  void emitU2(Opcode Op, uint16_t Operand);
+
+  /// Pushes an int constant using the shortest encoding
+  /// (iconst_N / bipush / sipush / ldc).
+  void pushInt(int32_t Value);
+  /// Pushes a string constant (ldc/ldc_w of a CONSTANT_String).
+  void pushString(const std::string &S);
+  /// aconst_null.
+  void pushNull();
+
+  void loadLocal(char Kind, uint16_t Slot);  ///< Kind in {'i','a'}.
+  void storeLocal(char Kind, uint16_t Slot); ///< Kind in {'i','a'}.
+  void iinc(uint8_t Slot, int8_t Delta);
+
+  void getStatic(const std::string &Class, const std::string &Name,
+                 const std::string &Desc);
+  void putStatic(const std::string &Class, const std::string &Name,
+                 const std::string &Desc);
+  void getField(const std::string &Class, const std::string &Name,
+                const std::string &Desc);
+  void putField(const std::string &Class, const std::string &Name,
+                const std::string &Desc);
+  void invokeVirtual(const std::string &Class, const std::string &Name,
+                     const std::string &Desc);
+  void invokeSpecial(const std::string &Class, const std::string &Name,
+                     const std::string &Desc);
+  void invokeStatic(const std::string &Class, const std::string &Name,
+                    const std::string &Desc);
+  void invokeInterface(const std::string &Class, const std::string &Name,
+                       const std::string &Desc);
+  void newObject(const std::string &Class);
+  void checkCast(const std::string &Class);
+  void instanceOf(const std::string &Class);
+  void aNewArray(const std::string &ComponentClass);
+
+  /// Emits a branch to \p L (fixup applied at build() for forward refs).
+  void branch(Opcode Op, Label L);
+
+  /// Finalizes: applies fixups and returns the code bytes. All referenced
+  /// labels must be bound.
+  Bytes build();
+
+  uint32_t currentOffset() const {
+    return static_cast<uint32_t>(Code.size());
+  }
+
+private:
+  void emitMember(Opcode Op, CpTag Tag, const std::string &Class,
+                  const std::string &Name, const std::string &Desc);
+
+  ConstantPool &CP;
+  Bytes Code;
+  Label NextLabel = 0;
+  std::map<Label, uint32_t> Bound;
+  std::vector<std::pair<uint32_t, Label>> Fixups; // (branch offset, label)
+};
+
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_CLASSFILE_CODEBUILDER_H

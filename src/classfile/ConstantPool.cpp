@@ -1,0 +1,219 @@
+//===- classfile/ConstantPool.cpp -----------------------------------------===//
+
+#include "classfile/ConstantPool.h"
+
+#include <cassert>
+
+using namespace classfuzz;
+
+const char *classfuzz::cpTagName(CpTag Tag) {
+  switch (Tag) {
+  case CpTag::Invalid:
+    return "CONSTANT_Invalid";
+  case CpTag::Utf8:
+    return "CONSTANT_Utf8";
+  case CpTag::Integer:
+    return "CONSTANT_Integer";
+  case CpTag::Float:
+    return "CONSTANT_Float";
+  case CpTag::Long:
+    return "CONSTANT_Long";
+  case CpTag::Double:
+    return "CONSTANT_Double";
+  case CpTag::Class:
+    return "CONSTANT_Class";
+  case CpTag::String:
+    return "CONSTANT_String";
+  case CpTag::Fieldref:
+    return "CONSTANT_Fieldref";
+  case CpTag::Methodref:
+    return "CONSTANT_Methodref";
+  case CpTag::InterfaceMethodref:
+    return "CONSTANT_InterfaceMethodref";
+  case CpTag::NameAndType:
+    return "CONSTANT_NameAndType";
+  case CpTag::MethodHandle:
+    return "CONSTANT_MethodHandle";
+  case CpTag::MethodType:
+    return "CONSTANT_MethodType";
+  case CpTag::InvokeDynamic:
+    return "CONSTANT_InvokeDynamic";
+  }
+  return "CONSTANT_Unknown";
+}
+
+static bool entriesEqual(const CpEntry &A, const CpEntry &B) {
+  if (A.Tag != B.Tag)
+    return false;
+  switch (A.Tag) {
+  case CpTag::Utf8:
+    return A.Utf8 == B.Utf8;
+  case CpTag::Integer:
+    return A.IntValue == B.IntValue;
+  case CpTag::Float:
+    return A.FloatValue == B.FloatValue;
+  case CpTag::Long:
+    return A.LongValue == B.LongValue;
+  case CpTag::Double:
+    return A.DoubleValue == B.DoubleValue;
+  default:
+    return A.Ref1 == B.Ref1 && A.Ref2 == B.Ref2 && A.Kind == B.Kind;
+  }
+}
+
+uint16_t ConstantPool::addRaw(CpEntry Entry) {
+  assert(Entries.size() < 0xFFFF && "constant pool overflow");
+  CpTag Tag = Entry.Tag;
+  Entries.push_back(std::move(Entry));
+  uint16_t Index = static_cast<uint16_t>(Entries.size() - 1);
+  // Long and Double take two slots (JVMS §4.4.5): append a placeholder.
+  if (Tag == CpTag::Long || Tag == CpTag::Double)
+    Entries.emplace_back();
+  return Index;
+}
+
+uint16_t ConstantPool::intern(const CpEntry &Entry) {
+  for (size_t I = 1; I < Entries.size(); ++I)
+    if (entriesEqual(Entries[I], Entry))
+      return static_cast<uint16_t>(I);
+  return addRaw(Entry);
+}
+
+uint16_t ConstantPool::utf8(const std::string &S) {
+  CpEntry E;
+  E.Tag = CpTag::Utf8;
+  E.Utf8 = S;
+  return intern(E);
+}
+
+uint16_t ConstantPool::integer(int32_t V) {
+  CpEntry E;
+  E.Tag = CpTag::Integer;
+  E.IntValue = V;
+  return intern(E);
+}
+
+uint16_t ConstantPool::floatConst(float V) {
+  CpEntry E;
+  E.Tag = CpTag::Float;
+  E.FloatValue = V;
+  return intern(E);
+}
+
+uint16_t ConstantPool::longConst(int64_t V) {
+  CpEntry E;
+  E.Tag = CpTag::Long;
+  E.LongValue = V;
+  return intern(E);
+}
+
+uint16_t ConstantPool::doubleConst(double V) {
+  CpEntry E;
+  E.Tag = CpTag::Double;
+  E.DoubleValue = V;
+  return intern(E);
+}
+
+uint16_t ConstantPool::classRef(const std::string &InternalName) {
+  CpEntry E;
+  E.Tag = CpTag::Class;
+  E.Ref1 = utf8(InternalName);
+  return intern(E);
+}
+
+uint16_t ConstantPool::stringConst(const std::string &S) {
+  CpEntry E;
+  E.Tag = CpTag::String;
+  E.Ref1 = utf8(S);
+  return intern(E);
+}
+
+uint16_t ConstantPool::nameAndType(const std::string &Name,
+                                   const std::string &Desc) {
+  CpEntry E;
+  E.Tag = CpTag::NameAndType;
+  E.Ref1 = utf8(Name);
+  E.Ref2 = utf8(Desc);
+  return intern(E);
+}
+
+uint16_t ConstantPool::fieldRef(const std::string &Class,
+                                const std::string &Name,
+                                const std::string &Desc) {
+  CpEntry E;
+  E.Tag = CpTag::Fieldref;
+  E.Ref1 = classRef(Class);
+  E.Ref2 = nameAndType(Name, Desc);
+  return intern(E);
+}
+
+uint16_t ConstantPool::methodRef(const std::string &Class,
+                                 const std::string &Name,
+                                 const std::string &Desc) {
+  CpEntry E;
+  E.Tag = CpTag::Methodref;
+  E.Ref1 = classRef(Class);
+  E.Ref2 = nameAndType(Name, Desc);
+  return intern(E);
+}
+
+uint16_t ConstantPool::interfaceMethodRef(const std::string &Class,
+                                          const std::string &Name,
+                                          const std::string &Desc) {
+  CpEntry E;
+  E.Tag = CpTag::InterfaceMethodref;
+  E.Ref1 = classRef(Class);
+  E.Ref2 = nameAndType(Name, Desc);
+  return intern(E);
+}
+
+Result<std::string> ConstantPool::getUtf8(uint16_t Index) const {
+  if (!isValidIndex(Index) || Entries[Index].Tag != CpTag::Utf8)
+    return makeError("constant pool index " + std::to_string(Index) +
+                     " is not a CONSTANT_Utf8");
+  return Entries[Index].Utf8;
+}
+
+Result<std::string> ConstantPool::getClassName(uint16_t Index) const {
+  if (!isValidIndex(Index) || Entries[Index].Tag != CpTag::Class)
+    return makeError("constant pool index " + std::to_string(Index) +
+                     " is not a CONSTANT_Class");
+  return getUtf8(Entries[Index].Ref1);
+}
+
+Result<std::pair<std::string, std::string>>
+ConstantPool::getNameAndType(uint16_t Index) const {
+  if (!isValidIndex(Index) || Entries[Index].Tag != CpTag::NameAndType)
+    return makeError("constant pool index " + std::to_string(Index) +
+                     " is not a CONSTANT_NameAndType");
+  auto Name = getUtf8(Entries[Index].Ref1);
+  if (!Name)
+    return makeError(Name.error());
+  auto Desc = getUtf8(Entries[Index].Ref2);
+  if (!Desc)
+    return makeError(Desc.error());
+  return std::make_pair(Name.take(), Desc.take());
+}
+
+Result<ConstantPool::MemberRef>
+ConstantPool::getMemberRef(uint16_t Index) const {
+  if (!isValidIndex(Index))
+    return makeError("constant pool index " + std::to_string(Index) +
+                     " out of range");
+  const CpEntry &E = Entries[Index];
+  if (E.Tag != CpTag::Fieldref && E.Tag != CpTag::Methodref &&
+      E.Tag != CpTag::InterfaceMethodref)
+    return makeError("constant pool index " + std::to_string(Index) +
+                     " is not a member reference");
+  auto Class = getClassName(E.Ref1);
+  if (!Class)
+    return makeError(Class.error());
+  auto NaT = getNameAndType(E.Ref2);
+  if (!NaT)
+    return makeError(NaT.error());
+  MemberRef Ref;
+  Ref.ClassName = Class.take();
+  Ref.Name = NaT->first;
+  Ref.Descriptor = NaT->second;
+  return Ref;
+}

@@ -1,0 +1,128 @@
+//===- classfile/ConstantPool.h - Class file constant pool ---------------===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The constant_pool table of the Java class file format (JVMS §4.4),
+/// including the 1-based indexing scheme and the double-width Long/Double
+/// entries. Provides interning factories so that the class writer and the
+/// JIR assembler can build pools without duplicating entries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_CLASSFILE_CONSTANTPOOL_H
+#define CLASSFUZZ_CLASSFILE_CONSTANTPOOL_H
+
+#include "support/Result.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace classfuzz {
+
+/// constant_pool entry tags (JVMS Table 4.4-A).
+enum class CpTag : uint8_t {
+  Invalid = 0, // Placeholder for index 0 and the upper half of Long/Double.
+  Utf8 = 1,
+  Integer = 3,
+  Float = 4,
+  Long = 5,
+  Double = 6,
+  Class = 7,
+  String = 8,
+  Fieldref = 9,
+  Methodref = 10,
+  InterfaceMethodref = 11,
+  NameAndType = 12,
+  MethodHandle = 15,
+  MethodType = 16,
+  InvokeDynamic = 18,
+};
+
+/// Returns the spec name of a tag ("CONSTANT_Utf8", ...).
+const char *cpTagName(CpTag Tag);
+
+/// A single constant pool entry. A plain struct (rather than a variant
+/// hierarchy) keeps parsing, serialization, and mutation simple; which
+/// fields are meaningful depends on Tag.
+struct CpEntry {
+  CpTag Tag = CpTag::Invalid;
+  std::string Utf8;    // Utf8
+  int32_t IntValue = 0;   // Integer
+  float FloatValue = 0;   // Float
+  int64_t LongValue = 0;  // Long
+  double DoubleValue = 0; // Double
+  uint16_t Ref1 = 0; // Class.name / String.utf8 / ref.class / NaT.name /
+                     // MethodHandle.ref / MethodType.desc / InDy.bootstrap
+  uint16_t Ref2 = 0; // ref.name_and_type / NaT.descriptor / InDy.name_and_type
+  uint8_t Kind = 0;  // MethodHandle.reference_kind
+};
+
+/// The constant pool: 1-based, with slot 0 reserved and Long/Double
+/// occupying two slots (the second being an Invalid placeholder).
+class ConstantPool {
+public:
+  ConstantPool() { Entries.emplace_back(); } // Reserved slot 0.
+
+  /// Number of slots including the reserved slot 0; this is the value
+  /// written as constant_pool_count.
+  uint16_t count() const { return static_cast<uint16_t>(Entries.size()); }
+
+  /// True when \p Index addresses a real (non-placeholder) entry.
+  bool isValidIndex(uint16_t Index) const {
+    return Index > 0 && Index < Entries.size() &&
+           Entries[Index].Tag != CpTag::Invalid;
+  }
+
+  const CpEntry &at(uint16_t Index) const { return Entries[Index]; }
+  CpEntry &at(uint16_t Index) { return Entries[Index]; }
+
+  /// Appends a raw entry (used by the parser); returns its index.
+  uint16_t addRaw(CpEntry Entry);
+
+  // Interning factories: return the index of an existing equal entry or
+  // append a new one.
+  uint16_t utf8(const std::string &S);
+  uint16_t integer(int32_t V);
+  uint16_t floatConst(float V);
+  uint16_t longConst(int64_t V);
+  uint16_t doubleConst(double V);
+  uint16_t classRef(const std::string &InternalName);
+  uint16_t stringConst(const std::string &S);
+  uint16_t nameAndType(const std::string &Name, const std::string &Desc);
+  uint16_t fieldRef(const std::string &Class, const std::string &Name,
+                    const std::string &Desc);
+  uint16_t methodRef(const std::string &Class, const std::string &Name,
+                     const std::string &Desc);
+  uint16_t interfaceMethodRef(const std::string &Class,
+                              const std::string &Name,
+                              const std::string &Desc);
+
+  // Checked readers used by the format checker and the JVM; they return
+  // errors instead of asserting because indices come from untrusted bytes.
+  Result<std::string> getUtf8(uint16_t Index) const;
+  Result<std::string> getClassName(uint16_t Index) const;
+  /// Resolves a Fieldref/Methodref/InterfaceMethodref into
+  /// (class, name, descriptor).
+  struct MemberRef {
+    std::string ClassName;
+    std::string Name;
+    std::string Descriptor;
+  };
+  Result<MemberRef> getMemberRef(uint16_t Index) const;
+  Result<std::pair<std::string, std::string>>
+  getNameAndType(uint16_t Index) const;
+
+private:
+  uint16_t intern(const CpEntry &Entry);
+
+  std::vector<CpEntry> Entries;
+};
+
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_CLASSFILE_CONSTANTPOOL_H

@@ -1,0 +1,234 @@
+//===- classfile/Descriptor.cpp -------------------------------------------===//
+
+#include "classfile/Descriptor.h"
+
+#include <cassert>
+
+using namespace classfuzz;
+
+std::string JType::toDescriptor() const {
+  std::string Out(ArrayDims, '[');
+  switch (Kind) {
+  case TypeKind::Void:
+    Out += 'V';
+    break;
+  case TypeKind::Boolean:
+    Out += 'Z';
+    break;
+  case TypeKind::Byte:
+    Out += 'B';
+    break;
+  case TypeKind::Char:
+    Out += 'C';
+    break;
+  case TypeKind::Short:
+    Out += 'S';
+    break;
+  case TypeKind::Int:
+    Out += 'I';
+    break;
+  case TypeKind::Long:
+    Out += 'J';
+    break;
+  case TypeKind::Float:
+    Out += 'F';
+    break;
+  case TypeKind::Double:
+    Out += 'D';
+    break;
+  case TypeKind::Reference:
+    Out += 'L';
+    Out += ClassName;
+    Out += ';';
+    break;
+  case TypeKind::Array:
+    assert(false && "Array kind must be expressed via ArrayDims");
+    break;
+  }
+  return Out;
+}
+
+std::string JType::toJavaName() const {
+  std::string Base;
+  switch (Kind) {
+  case TypeKind::Void:
+    Base = "void";
+    break;
+  case TypeKind::Boolean:
+    Base = "boolean";
+    break;
+  case TypeKind::Byte:
+    Base = "byte";
+    break;
+  case TypeKind::Char:
+    Base = "char";
+    break;
+  case TypeKind::Short:
+    Base = "short";
+    break;
+  case TypeKind::Int:
+    Base = "int";
+    break;
+  case TypeKind::Long:
+    Base = "long";
+    break;
+  case TypeKind::Float:
+    Base = "float";
+    break;
+  case TypeKind::Double:
+    Base = "double";
+    break;
+  case TypeKind::Reference:
+  case TypeKind::Array: {
+    Base = ClassName;
+    for (char &C : Base)
+      if (C == '/')
+        C = '.';
+    break;
+  }
+  }
+  for (unsigned I = 0; I != ArrayDims; ++I)
+    Base += "[]";
+  return Base;
+}
+
+int MethodDescriptor::argSlots() const {
+  int Slots = 0;
+  for (const JType &P : Params)
+    Slots += P.slotWidth();
+  return Slots;
+}
+
+std::string MethodDescriptor::toDescriptor() const {
+  std::string Out = "(";
+  for (const JType &P : Params)
+    Out += P.toDescriptor();
+  Out += ")";
+  Out += ReturnType.toDescriptor();
+  return Out;
+}
+
+/// Parses one type starting at \p Pos; advances Pos past it. Returns false
+/// on malformed input. \p AllowVoid permits 'V' (return position only).
+static bool parseOneType(const std::string &Desc, size_t &Pos, JType &Out,
+                         bool AllowVoid) {
+  Out = JType();
+  unsigned Dims = 0;
+  while (Pos < Desc.size() && Desc[Pos] == '[') {
+    ++Pos;
+    if (++Dims > 255)
+      return false; // JVMS limit on array dimensionality.
+  }
+  if (Pos >= Desc.size())
+    return false;
+  Out.ArrayDims = static_cast<uint8_t>(Dims);
+  switch (Desc[Pos]) {
+  case 'V':
+    if (!AllowVoid || Dims != 0)
+      return false;
+    Out.Kind = TypeKind::Void;
+    ++Pos;
+    return true;
+  case 'Z':
+    Out.Kind = TypeKind::Boolean;
+    ++Pos;
+    return true;
+  case 'B':
+    Out.Kind = TypeKind::Byte;
+    ++Pos;
+    return true;
+  case 'C':
+    Out.Kind = TypeKind::Char;
+    ++Pos;
+    return true;
+  case 'S':
+    Out.Kind = TypeKind::Short;
+    ++Pos;
+    return true;
+  case 'I':
+    Out.Kind = TypeKind::Int;
+    ++Pos;
+    return true;
+  case 'J':
+    Out.Kind = TypeKind::Long;
+    ++Pos;
+    return true;
+  case 'F':
+    Out.Kind = TypeKind::Float;
+    ++Pos;
+    return true;
+  case 'D':
+    Out.Kind = TypeKind::Double;
+    ++Pos;
+    return true;
+  case 'L': {
+    size_t End = Desc.find(';', Pos);
+    if (End == std::string::npos || End == Pos + 1)
+      return false;
+    Out.Kind = TypeKind::Reference;
+    Out.ClassName = Desc.substr(Pos + 1, End - Pos - 1);
+    Pos = End + 1;
+    return true;
+  }
+  default:
+    return false;
+  }
+}
+
+bool classfuzz::parseFieldDescriptor(const std::string &Desc, JType &Out) {
+  size_t Pos = 0;
+  if (!parseOneType(Desc, Pos, Out, /*AllowVoid=*/false))
+    return false;
+  return Pos == Desc.size();
+}
+
+bool classfuzz::parseMethodDescriptor(const std::string &Desc,
+                                      MethodDescriptor &Out) {
+  Out = MethodDescriptor();
+  if (Desc.empty() || Desc[0] != '(')
+    return false;
+  size_t Pos = 1;
+  while (Pos < Desc.size() && Desc[Pos] != ')') {
+    JType Param;
+    if (!parseOneType(Desc, Pos, Param, /*AllowVoid=*/false))
+      return false;
+    Out.Params.push_back(std::move(Param));
+  }
+  if (Pos >= Desc.size() || Desc[Pos] != ')')
+    return false;
+  ++Pos;
+  if (!parseOneType(Desc, Pos, Out.ReturnType, /*AllowVoid=*/true))
+    return false;
+  return Pos == Desc.size();
+}
+
+bool classfuzz::isValidFieldDescriptor(const std::string &Desc) {
+  JType T;
+  return parseFieldDescriptor(Desc, T);
+}
+
+bool classfuzz::isValidMethodDescriptor(const std::string &Desc) {
+  MethodDescriptor M;
+  return parseMethodDescriptor(Desc, M);
+}
+
+JType classfuzz::intType() {
+  JType T;
+  T.Kind = TypeKind::Int;
+  return T;
+}
+
+JType classfuzz::voidType() { return JType(); }
+
+JType classfuzz::refType(const std::string &InternalName) {
+  JType T;
+  T.Kind = TypeKind::Reference;
+  T.ClassName = InternalName;
+  return T;
+}
+
+JType classfuzz::arrayOf(JType Component) {
+  assert(Component.Kind != TypeKind::Void && "array of void");
+  Component.ArrayDims = static_cast<uint8_t>(Component.ArrayDims + 1);
+  return Component;
+}

@@ -1,0 +1,100 @@
+//===- classfile/Descriptor.h - Field and method descriptors -------------===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parsing and validity checking for JVM type descriptors (JVMS §4.3):
+/// field descriptors like "Ljava/lang/String;", "[I", and method
+/// descriptors like "([Ljava/lang/String;)V". The verifier and the format
+/// checker use these to compute argument slot counts and to reject
+/// malformed descriptors, a classic source of JVM discrepancies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_CLASSFILE_DESCRIPTOR_H
+#define CLASSFUZZ_CLASSFILE_DESCRIPTOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace classfuzz {
+
+/// The basic kind of a parsed JVM type.
+enum class TypeKind : uint8_t {
+  Void,
+  Boolean,
+  Byte,
+  Char,
+  Short,
+  Int,
+  Long,
+  Float,
+  Double,
+  Reference, // L<name>;
+  Array,     // [<component>
+};
+
+/// A parsed JVM type: kind, array dimensionality, and for references the
+/// internal class name ("java/lang/String").
+struct JType {
+  TypeKind Kind = TypeKind::Void;
+  uint8_t ArrayDims = 0;
+  std::string ClassName;
+
+  bool isReferenceLike() const {
+    return ArrayDims > 0 || Kind == TypeKind::Reference;
+  }
+  /// Number of operand-stack / local-variable slots the type occupies
+  /// (2 for long/double, 0 for void, else 1).
+  int slotWidth() const {
+    if (Kind == TypeKind::Void)
+      return 0;
+    if (ArrayDims == 0 && (Kind == TypeKind::Long || Kind == TypeKind::Double))
+      return 2;
+    return 1;
+  }
+  /// Renders back into descriptor syntax ("[I", "Ljava/lang/String;").
+  std::string toDescriptor() const;
+  /// Human-readable Java-like name ("int", "java.lang.String[]").
+  std::string toJavaName() const;
+
+  bool operator==(const JType &Other) const {
+    return Kind == Other.Kind && ArrayDims == Other.ArrayDims &&
+           ClassName == Other.ClassName;
+  }
+};
+
+/// A parsed method descriptor: parameter types and return type.
+struct MethodDescriptor {
+  std::vector<JType> Params;
+  JType ReturnType;
+
+  /// Total argument slot count (long/double are 2), excluding `this`.
+  int argSlots() const;
+  std::string toDescriptor() const;
+};
+
+/// Parses a field descriptor. Returns false on malformed input.
+bool parseFieldDescriptor(const std::string &Desc, JType &Out);
+
+/// Parses a method descriptor. Returns false on malformed input.
+bool parseMethodDescriptor(const std::string &Desc, MethodDescriptor &Out);
+
+/// True if \p Desc is a well-formed field descriptor.
+bool isValidFieldDescriptor(const std::string &Desc);
+
+/// True if \p Desc is a well-formed method descriptor.
+bool isValidMethodDescriptor(const std::string &Desc);
+
+/// Shorthand constructors used throughout the IR and runtime builders.
+JType intType();
+JType voidType();
+JType refType(const std::string &InternalName);
+JType arrayOf(JType Component);
+
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_CLASSFILE_DESCRIPTOR_H

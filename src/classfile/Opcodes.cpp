@@ -1,0 +1,409 @@
+//===- classfile/Opcodes.cpp ----------------------------------------------===//
+
+#include "classfile/Opcodes.h"
+
+using namespace classfuzz;
+
+namespace {
+
+struct OpInfo {
+  const char *Name;
+  int Length; // 0 undefined, -1 variable.
+};
+
+// Full standard instruction table, opcodes 0x00..0xC9 (JVMS §6.5 and §7).
+const OpInfo OpTable[256] = {
+    /*0x00*/ {"nop", 1},
+    {"aconst_null", 1},
+    {"iconst_m1", 1},
+    {"iconst_0", 1},
+    {"iconst_1", 1},
+    {"iconst_2", 1},
+    {"iconst_3", 1},
+    {"iconst_4", 1},
+    {"iconst_5", 1},
+    {"lconst_0", 1},
+    /*0x0a*/ {"lconst_1", 1},
+    {"fconst_0", 1},
+    {"fconst_1", 1},
+    {"fconst_2", 1},
+    {"dconst_0", 1},
+    {"dconst_1", 1},
+    {"bipush", 2},
+    {"sipush", 3},
+    {"ldc", 2},
+    {"ldc_w", 3},
+    /*0x14*/ {"ldc2_w", 3},
+    {"iload", 2},
+    {"lload", 2},
+    {"fload", 2},
+    {"dload", 2},
+    {"aload", 2},
+    {"iload_0", 1},
+    {"iload_1", 1},
+    {"iload_2", 1},
+    {"iload_3", 1},
+    /*0x1e*/ {"lload_0", 1},
+    {"lload_1", 1},
+    {"lload_2", 1},
+    {"lload_3", 1},
+    {"fload_0", 1},
+    {"fload_1", 1},
+    {"fload_2", 1},
+    {"fload_3", 1},
+    {"dload_0", 1},
+    {"dload_1", 1},
+    /*0x28*/ {"dload_2", 1},
+    {"dload_3", 1},
+    {"aload_0", 1},
+    {"aload_1", 1},
+    {"aload_2", 1},
+    {"aload_3", 1},
+    {"iaload", 1},
+    {"laload", 1},
+    {"faload", 1},
+    {"daload", 1},
+    /*0x32*/ {"aaload", 1},
+    {"baload", 1},
+    {"caload", 1},
+    {"saload", 1},
+    {"istore", 2},
+    {"lstore", 2},
+    {"fstore", 2},
+    {"dstore", 2},
+    {"astore", 2},
+    {"istore_0", 1},
+    /*0x3c*/ {"istore_1", 1},
+    {"istore_2", 1},
+    {"istore_3", 1},
+    {"lstore_0", 1},
+    {"lstore_1", 1},
+    {"lstore_2", 1},
+    {"lstore_3", 1},
+    {"fstore_0", 1},
+    {"fstore_1", 1},
+    {"fstore_2", 1},
+    /*0x46*/ {"fstore_3", 1},
+    {"dstore_0", 1},
+    {"dstore_1", 1},
+    {"dstore_2", 1},
+    {"dstore_3", 1},
+    {"astore_0", 1},
+    {"astore_1", 1},
+    {"astore_2", 1},
+    {"astore_3", 1},
+    {"iastore", 1},
+    /*0x50*/ {"lastore", 1},
+    {"fastore", 1},
+    {"dastore", 1},
+    {"aastore", 1},
+    {"bastore", 1},
+    {"castore", 1},
+    {"sastore", 1},
+    {"pop", 1},
+    {"pop2", 1},
+    {"dup", 1},
+    /*0x5a*/ {"dup_x1", 1},
+    {"dup_x2", 1},
+    {"dup2", 1},
+    {"dup2_x1", 1},
+    {"dup2_x2", 1},
+    {"swap", 1},
+    {"iadd", 1},
+    {"ladd", 1},
+    {"fadd", 1},
+    {"dadd", 1},
+    /*0x64*/ {"isub", 1},
+    {"lsub", 1},
+    {"fsub", 1},
+    {"dsub", 1},
+    {"imul", 1},
+    {"lmul", 1},
+    {"fmul", 1},
+    {"dmul", 1},
+    {"idiv", 1},
+    {"ldiv", 1},
+    /*0x6e*/ {"fdiv", 1},
+    {"ddiv", 1},
+    {"irem", 1},
+    {"lrem", 1},
+    {"frem", 1},
+    {"drem", 1},
+    {"ineg", 1},
+    {"lneg", 1},
+    {"fneg", 1},
+    {"dneg", 1},
+    /*0x78*/ {"ishl", 1},
+    {"lshl", 1},
+    {"ishr", 1},
+    {"lshr", 1},
+    {"iushr", 1},
+    {"lushr", 1},
+    {"iand", 1},
+    {"land", 1},
+    {"ior", 1},
+    {"lor", 1},
+    /*0x82*/ {"ixor", 1},
+    {"lxor", 1},
+    {"iinc", 3},
+    {"i2l", 1},
+    {"i2f", 1},
+    {"i2d", 1},
+    {"l2i", 1},
+    {"l2f", 1},
+    {"l2d", 1},
+    {"f2i", 1},
+    /*0x8c*/ {"f2l", 1},
+    {"f2d", 1},
+    {"d2i", 1},
+    {"d2l", 1},
+    {"d2f", 1},
+    {"i2b", 1},
+    {"i2c", 1},
+    {"i2s", 1},
+    {"lcmp", 1},
+    {"fcmpl", 1},
+    /*0x96*/ {"fcmpg", 1},
+    {"dcmpl", 1},
+    {"dcmpg", 1},
+    {"ifeq", 3},
+    {"ifne", 3},
+    {"iflt", 3},
+    {"ifge", 3},
+    {"ifgt", 3},
+    {"ifle", 3},
+    {"if_icmpeq", 3},
+    /*0xa0*/ {"if_icmpne", 3},
+    {"if_icmplt", 3},
+    {"if_icmpge", 3},
+    {"if_icmpgt", 3},
+    {"if_icmple", 3},
+    {"if_acmpeq", 3},
+    {"if_acmpne", 3},
+    {"goto", 3},
+    {"jsr", 3},
+    {"ret", 2},
+    /*0xaa*/ {"tableswitch", -1},
+    {"lookupswitch", -1},
+    {"ireturn", 1},
+    {"lreturn", 1},
+    {"freturn", 1},
+    {"dreturn", 1},
+    {"areturn", 1},
+    {"return", 1},
+    {"getstatic", 3},
+    {"putstatic", 3},
+    /*0xb4*/ {"getfield", 3},
+    {"putfield", 3},
+    {"invokevirtual", 3},
+    {"invokespecial", 3},
+    {"invokestatic", 3},
+    {"invokeinterface", 5},
+    {"invokedynamic", 5},
+    {"new", 3},
+    {"newarray", 2},
+    {"anewarray", 3},
+    /*0xbe*/ {"arraylength", 1},
+    {"athrow", 1},
+    {"checkcast", 3},
+    {"instanceof", 3},
+    {"monitorenter", 1},
+    {"monitorexit", 1},
+    {"wide", -1},
+    {"multianewarray", 4},
+    {"ifnull", 3},
+    {"ifnonnull", 3},
+    /*0xc8*/ {"goto_w", 5},
+    {"jsr_w", 5},
+    // 0xca..0xff undefined (breakpoint/impdep are reserved, treated as
+    // undefined by the verifier, matching strict format checking).
+};
+
+} // namespace
+
+std::string classfuzz::opcodeName(uint8_t Op) {
+  const OpInfo &Info = OpTable[Op];
+  if (!Info.Name)
+    return "illegal_0x" + [&] {
+      const char *Hex = "0123456789abcdef";
+      std::string S;
+      S += Hex[Op >> 4];
+      S += Hex[Op & 0xF];
+      return S;
+    }();
+  return Info.Name;
+}
+
+int classfuzz::opcodeLength(uint8_t Op) { return OpTable[Op].Length; }
+
+bool classfuzz::isDefinedOpcode(uint8_t Op) { return OpTable[Op].Name; }
+
+static int32_t readS2(const Bytes &Code, uint32_t At) {
+  return static_cast<int16_t>(Code[At] << 8 | Code[At + 1]);
+}
+
+static int32_t readS4(const Bytes &Code, uint32_t At) {
+  return static_cast<int32_t>(static_cast<uint32_t>(Code[At]) << 24 |
+                              static_cast<uint32_t>(Code[At + 1]) << 16 |
+                              static_cast<uint32_t>(Code[At + 2]) << 8 |
+                              static_cast<uint32_t>(Code[At + 3]));
+}
+
+bool InsnDecoder::decodeNext(Insn &Out) {
+  if (Malformed || Pos >= Code.size())
+    return false;
+
+  Out = Insn();
+  Out.Offset = Pos;
+  Out.Op = Code[Pos];
+  int Len = opcodeLength(Out.Op);
+  if (Len == 0) {
+    Malformed = true;
+    return false;
+  }
+
+  if (Len > 0) {
+    if (Pos + static_cast<uint32_t>(Len) > Code.size()) {
+      Malformed = true;
+      return false;
+    }
+    Out.Length = static_cast<uint32_t>(Len);
+    switch (Out.Op) {
+    case OP_bipush:
+      Out.Operand1 = static_cast<int8_t>(Code[Pos + 1]);
+      break;
+    case OP_sipush:
+      Out.Operand1 = readS2(Code, Pos + 1);
+      break;
+    case OP_ldc:
+    case OP_newarray:
+      Out.Operand1 = Code[Pos + 1];
+      break;
+    case OP_iload:
+    case OP_lload:
+    case OP_fload:
+    case OP_dload:
+    case OP_aload:
+    case OP_istore:
+    case OP_lstore:
+    case OP_fstore:
+    case OP_dstore:
+    case OP_astore:
+    case OP_ret:
+      Out.Operand1 = Code[Pos + 1];
+      break;
+    case OP_iinc:
+      Out.Operand1 = Code[Pos + 1];
+      Out.Operand2 = static_cast<int8_t>(Code[Pos + 2]);
+      break;
+    case OP_ifeq:
+    case OP_ifne:
+    case OP_iflt:
+    case OP_ifge:
+    case OP_ifgt:
+    case OP_ifle:
+    case OP_if_icmpeq:
+    case OP_if_icmpne:
+    case OP_if_icmplt:
+    case OP_if_icmpge:
+    case OP_if_icmpgt:
+    case OP_if_icmple:
+    case OP_if_acmpeq:
+    case OP_if_acmpne:
+    case OP_goto:
+    case OP_jsr:
+    case OP_ifnull:
+    case OP_ifnonnull:
+      // Branch targets are materialized as absolute code offsets.
+      Out.Operand1 = static_cast<int32_t>(Pos) + readS2(Code, Pos + 1);
+      break;
+    case OP_goto_w:
+    case OP_jsr_w:
+      Out.Operand1 = static_cast<int32_t>(Pos) + readS4(Code, Pos + 1);
+      break;
+    case OP_invokeinterface:
+      Out.Operand1 = Code[Pos + 1] << 8 | Code[Pos + 2];
+      Out.Operand2 = Code[Pos + 3]; // count operand
+      break;
+    case OP_multianewarray:
+      Out.Operand1 = Code[Pos + 1] << 8 | Code[Pos + 2];
+      Out.Operand2 = Code[Pos + 3]; // dimensions
+      break;
+    default:
+      if (Len == 3 || Len == 5)
+        Out.Operand1 = Code[Pos + 1] << 8 | Code[Pos + 2];
+      break;
+    }
+    Pos += Out.Length;
+    return true;
+  }
+
+  // Variable-length instructions.
+  if (Out.Op == OP_wide) {
+    if (Pos + 2 > Code.size()) {
+      Malformed = true;
+      return false;
+    }
+    uint8_t Widened = Code[Pos + 1];
+    uint32_t WideLen = (Widened == OP_iinc) ? 6 : 4;
+    if (Pos + WideLen > Code.size() ||
+        (Widened != OP_iinc && opcodeLength(Widened) != 2)) {
+      Malformed = true;
+      return false;
+    }
+    Out.Length = WideLen;
+    Out.Operand1 = Code[Pos + 2] << 8 | Code[Pos + 3];
+    if (Widened == OP_iinc)
+      Out.Operand2 = readS2(Code, Pos + 4);
+    Pos += WideLen;
+    return true;
+  }
+
+  // tableswitch / lookupswitch: 0..3 padding bytes then aligned tables.
+  uint32_t Aligned = (Pos + 4) & ~3u;
+  if (Out.Op == OP_tableswitch) {
+    if (Aligned + 12 > Code.size()) {
+      Malformed = true;
+      return false;
+    }
+    int32_t Low = readS4(Code, Aligned + 4);
+    int32_t High = readS4(Code, Aligned + 8);
+    if (Low > High) {
+      Malformed = true;
+      return false;
+    }
+    uint64_t NumTargets = static_cast<uint64_t>(High) - Low + 1;
+    uint64_t End = Aligned + 12 + NumTargets * 4;
+    if (End > Code.size()) {
+      Malformed = true;
+      return false;
+    }
+    Out.Length = static_cast<uint32_t>(End - Pos);
+    Out.Operand1 = static_cast<int32_t>(Pos) + readS4(Code, Aligned);
+    Pos = static_cast<uint32_t>(End);
+    return true;
+  }
+  if (Out.Op == OP_lookupswitch) {
+    if (Aligned + 8 > Code.size()) {
+      Malformed = true;
+      return false;
+    }
+    int32_t NumPairs = readS4(Code, Aligned + 4);
+    if (NumPairs < 0) {
+      Malformed = true;
+      return false;
+    }
+    uint64_t End = Aligned + 8 + static_cast<uint64_t>(NumPairs) * 8;
+    if (End > Code.size()) {
+      Malformed = true;
+      return false;
+    }
+    Out.Length = static_cast<uint32_t>(End - Pos);
+    Out.Operand1 = static_cast<int32_t>(Pos) + readS4(Code, Aligned);
+    Pos = static_cast<uint32_t>(End);
+    return true;
+  }
+
+  Malformed = true;
+  return false;
+}

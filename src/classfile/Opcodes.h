@@ -1,0 +1,194 @@
+//===- classfile/Opcodes.h - JVM bytecode opcodes and decoding -----------===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The standard JVM instruction set (JVMS §6): opcode constants, mnemonic
+/// names, instruction lengths, and a bounds-checked decoder that iterates a
+/// Code array instruction-by-instruction. The verifier and the interpreter
+/// are both built on the decoder.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_CLASSFILE_OPCODES_H
+#define CLASSFUZZ_CLASSFILE_OPCODES_H
+
+#include "support/ByteBuffer.h"
+
+#include <cstdint>
+#include <string>
+
+namespace classfuzz {
+
+/// JVM opcodes (subset constants are named; all 0x00-0xC9 are decodable).
+enum Opcode : uint8_t {
+  OP_nop = 0x00,
+  OP_aconst_null = 0x01,
+  OP_iconst_m1 = 0x02,
+  OP_iconst_0 = 0x03,
+  OP_iconst_1 = 0x04,
+  OP_iconst_2 = 0x05,
+  OP_iconst_3 = 0x06,
+  OP_iconst_4 = 0x07,
+  OP_iconst_5 = 0x08,
+  OP_lconst_0 = 0x09,
+  OP_lconst_1 = 0x0A,
+  OP_fconst_0 = 0x0B,
+  OP_dconst_0 = 0x0E,
+  OP_bipush = 0x10,
+  OP_sipush = 0x11,
+  OP_ldc = 0x12,
+  OP_ldc_w = 0x13,
+  OP_ldc2_w = 0x14,
+  OP_iload = 0x15,
+  OP_lload = 0x16,
+  OP_fload = 0x17,
+  OP_dload = 0x18,
+  OP_aload = 0x19,
+  OP_iload_0 = 0x1A,
+  OP_iload_1 = 0x1B,
+  OP_iload_2 = 0x1C,
+  OP_iload_3 = 0x1D,
+  OP_aload_0 = 0x2A,
+  OP_aload_1 = 0x2B,
+  OP_aload_2 = 0x2C,
+  OP_aload_3 = 0x2D,
+  OP_iaload = 0x2E,
+  OP_aaload = 0x32,
+  OP_istore = 0x36,
+  OP_lstore = 0x37,
+  OP_fstore = 0x38,
+  OP_dstore = 0x39,
+  OP_astore = 0x3A,
+  OP_istore_0 = 0x3B,
+  OP_istore_1 = 0x3C,
+  OP_istore_2 = 0x3D,
+  OP_istore_3 = 0x3E,
+  OP_astore_0 = 0x4B,
+  OP_astore_1 = 0x4C,
+  OP_astore_2 = 0x4D,
+  OP_astore_3 = 0x4E,
+  OP_iastore = 0x4F,
+  OP_aastore = 0x53,
+  OP_pop = 0x57,
+  OP_pop2 = 0x58,
+  OP_dup = 0x59,
+  OP_dup_x1 = 0x5A,
+  OP_swap = 0x5F,
+  OP_iadd = 0x60,
+  OP_isub = 0x64,
+  OP_imul = 0x68,
+  OP_idiv = 0x6C,
+  OP_irem = 0x70,
+  OP_ineg = 0x74,
+  OP_ishl = 0x78,
+  OP_ishr = 0x7A,
+  OP_iand = 0x7E,
+  OP_ior = 0x80,
+  OP_ixor = 0x82,
+  OP_iinc = 0x84,
+  OP_i2l = 0x85,
+  OP_i2b = 0x91,
+  OP_ifeq = 0x99,
+  OP_ifne = 0x9A,
+  OP_iflt = 0x9B,
+  OP_ifge = 0x9C,
+  OP_ifgt = 0x9D,
+  OP_ifle = 0x9E,
+  OP_if_icmpeq = 0x9F,
+  OP_if_icmpne = 0xA0,
+  OP_if_icmplt = 0xA1,
+  OP_if_icmpge = 0xA2,
+  OP_if_icmpgt = 0xA3,
+  OP_if_icmple = 0xA4,
+  OP_if_acmpeq = 0xA5,
+  OP_if_acmpne = 0xA6,
+  OP_goto = 0xA7,
+  OP_jsr = 0xA8,
+  OP_ret = 0xA9,
+  OP_tableswitch = 0xAA,
+  OP_lookupswitch = 0xAB,
+  OP_ireturn = 0xAC,
+  OP_lreturn = 0xAD,
+  OP_freturn = 0xAE,
+  OP_dreturn = 0xAF,
+  OP_areturn = 0xB0,
+  OP_return = 0xB1,
+  OP_getstatic = 0xB2,
+  OP_putstatic = 0xB3,
+  OP_getfield = 0xB4,
+  OP_putfield = 0xB5,
+  OP_invokevirtual = 0xB6,
+  OP_invokespecial = 0xB7,
+  OP_invokestatic = 0xB8,
+  OP_invokeinterface = 0xB9,
+  OP_invokedynamic = 0xBA,
+  OP_new = 0xBB,
+  OP_newarray = 0xBC,
+  OP_anewarray = 0xBD,
+  OP_arraylength = 0xBE,
+  OP_athrow = 0xBF,
+  OP_checkcast = 0xC0,
+  OP_instanceof = 0xC1,
+  OP_monitorenter = 0xC2,
+  OP_monitorexit = 0xC3,
+  OP_wide = 0xC4,
+  OP_multianewarray = 0xC5,
+  OP_ifnull = 0xC6,
+  OP_ifnonnull = 0xC7,
+  OP_goto_w = 0xC8,
+  OP_jsr_w = 0xC9,
+};
+
+/// Returns the mnemonic of \p Op, or "illegal_0xNN" for undefined opcodes.
+std::string opcodeName(uint8_t Op);
+
+/// Fixed instruction length of \p Op in bytes (opcode included); 0 for
+/// undefined opcodes; -1 for variable-length (tableswitch, lookupswitch,
+/// wide).
+int opcodeLength(uint8_t Op);
+
+/// True when \p Op is a defined standard JVM opcode.
+bool isDefinedOpcode(uint8_t Op);
+
+/// One decoded instruction. Operands beyond two u2s are not materialized;
+/// clients re-read switch tables from the code bytes via Offset.
+struct Insn {
+  uint8_t Op = OP_nop;
+  uint32_t Offset = 0; ///< Byte offset of the opcode within the code array.
+  uint32_t Length = 1; ///< Total encoded length.
+  int32_t Operand1 = 0; ///< Index / value / branch target (absolute offset).
+  int32_t Operand2 = 0; ///< Secondary operand (iinc delta, interface count).
+};
+
+/// Iterates the instructions of a code array. decodeNext() returns false at
+/// the end of the array or on malformed encoding (truncated operands,
+/// undefined opcode) -- check valid() to distinguish.
+class InsnDecoder {
+public:
+  explicit InsnDecoder(const Bytes &Code) : Code(Code) {}
+
+  /// Decodes the instruction at the cursor into \p Out and advances.
+  bool decodeNext(Insn &Out);
+
+  /// True while no malformed encoding has been seen.
+  bool valid() const { return !Malformed; }
+  bool atEnd() const { return Pos >= Code.size(); }
+  uint32_t position() const { return Pos; }
+  /// Repositions the cursor (used for branch-target re-decoding).
+  void seek(uint32_t Offset) {
+    Pos = Offset;
+    Malformed = false;
+  }
+
+private:
+  const Bytes &Code;
+  uint32_t Pos = 0;
+  bool Malformed = false;
+};
+
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_CLASSFILE_OPCODES_H

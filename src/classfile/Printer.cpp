@@ -1,0 +1,135 @@
+//===- classfile/Printer.cpp ----------------------------------------------===//
+
+#include "classfile/Printer.h"
+
+#include "classfile/Opcodes.h"
+
+#include <sstream>
+
+using namespace classfuzz;
+
+namespace {
+
+std::string cpEntrySummary(const ConstantPool &CP, uint16_t Index) {
+  if (Index == 0 || Index >= CP.count())
+    return "<bad index>";
+  const CpEntry &E = CP.at(Index);
+  switch (E.Tag) {
+  case CpTag::Utf8:
+    return E.Utf8;
+  case CpTag::Integer:
+    return std::to_string(E.IntValue);
+  case CpTag::Float:
+    return std::to_string(E.FloatValue) + "f";
+  case CpTag::Long:
+    return std::to_string(E.LongValue) + "l";
+  case CpTag::Double:
+    return std::to_string(E.DoubleValue) + "d";
+  case CpTag::Class:
+  case CpTag::String:
+    return cpEntrySummary(CP, E.Ref1);
+  case CpTag::NameAndType:
+    return cpEntrySummary(CP, E.Ref1) + ":" + cpEntrySummary(CP, E.Ref2);
+  case CpTag::Fieldref:
+  case CpTag::Methodref:
+  case CpTag::InterfaceMethodref:
+    return cpEntrySummary(CP, E.Ref1) + "." + cpEntrySummary(CP, E.Ref2);
+  default:
+    return "?";
+  }
+}
+
+} // namespace
+
+std::string classfuzz::disassemble(const ConstantPool &CP,
+                                   const Bytes &Code) {
+  std::ostringstream OS;
+  InsnDecoder Decoder(Code);
+  Insn I;
+  while (Decoder.decodeNext(I)) {
+    OS << "      " << I.Offset << ": " << opcodeName(I.Op);
+    switch (I.Op) {
+    case OP_getstatic:
+    case OP_putstatic:
+    case OP_getfield:
+    case OP_putfield:
+    case OP_invokevirtual:
+    case OP_invokespecial:
+    case OP_invokestatic:
+    case OP_invokeinterface:
+    case OP_new:
+    case OP_anewarray:
+    case OP_checkcast:
+    case OP_instanceof:
+    case OP_ldc:
+    case OP_ldc_w:
+    case OP_ldc2_w:
+      OS << " #" << I.Operand1 << " // "
+         << cpEntrySummary(CP, static_cast<uint16_t>(I.Operand1));
+      break;
+    case OP_bipush:
+    case OP_sipush:
+      OS << " " << I.Operand1;
+      break;
+    case OP_iinc:
+      OS << " " << I.Operand1 << ", " << I.Operand2;
+      break;
+    default:
+      if (I.Length == 3 && I.Op >= OP_ifeq && I.Op <= OP_jsr)
+        OS << " " << I.Operand1; // Branch target (absolute).
+      else if (I.Length == 2)
+        OS << " " << I.Operand1;
+      break;
+    }
+    OS << "\n";
+  }
+  if (!Decoder.valid())
+    OS << "      <malformed bytecode at offset " << Decoder.position()
+       << ">\n";
+  return OS.str();
+}
+
+std::string classfuzz::printClassFile(const ClassFile &CF) {
+  std::ostringstream OS;
+  OS << (CF.isInterface() ? "interface " : "class ") << CF.ThisClass << "\n";
+  OS << "  minor version: " << CF.MinorVersion << "\n";
+  OS << "  major version: " << CF.MajorVersion << "\n";
+  OS << "  flags: " << classFlagsToString(CF.AccessFlags) << "\n";
+  if (!CF.SuperClass.empty())
+    OS << "  super: " << CF.SuperClass << "\n";
+  for (const std::string &Interface : CF.Interfaces)
+    OS << "  implements: " << Interface << "\n";
+
+  OS << "Constant pool:\n";
+  for (uint16_t I = 1; I < CF.CP.count(); ++I) {
+    const CpEntry &E = CF.CP.at(I);
+    if (E.Tag == CpTag::Invalid)
+      continue;
+    OS << "  #" << I << " = " << (cpTagName(E.Tag) + 9 /* skip CONSTANT_ */)
+       << " " << cpEntrySummary(CF.CP, I) << "\n";
+  }
+
+  OS << "{\n";
+  for (const FieldInfo &F : CF.Fields) {
+    OS << "  " << F.Descriptor << " " << F.Name << ";\n";
+    OS << "    flags: " << fieldFlagsToString(F.AccessFlags) << "\n";
+  }
+  for (const MethodInfo &M : CF.Methods) {
+    OS << "  " << M.Name << M.Descriptor << "\n";
+    OS << "    flags: " << methodFlagsToString(M.AccessFlags) << "\n";
+    if (!M.Exceptions.empty()) {
+      OS << "    throws:";
+      for (const std::string &E : M.Exceptions)
+        OS << " " << E;
+      OS << "\n";
+    }
+    if (M.Code) {
+      OS << "    Code:\n";
+      OS << "      stack=" << M.Code->MaxStack
+         << ", locals=" << M.Code->MaxLocals << "\n";
+      OS << disassemble(CF.CP, M.Code->Code);
+    }
+  }
+  OS << "}\n";
+  return OS.str();
+}

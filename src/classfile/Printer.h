@@ -1,0 +1,31 @@
+//===- classfile/Printer.h - javap-style class file dumping --------------===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a ClassFile in a javap -v style textual form (Figure 2 of the
+/// paper shows such a dump). Used by the inspect_classfile example and by
+/// discrepancy reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_CLASSFILE_PRINTER_H
+#define CLASSFUZZ_CLASSFILE_PRINTER_H
+
+#include "classfile/ClassFile.h"
+
+#include <string>
+
+namespace classfuzz {
+
+/// Full dump: header, constant pool, fields, methods with disassembly.
+std::string printClassFile(const ClassFile &CF);
+
+/// Disassembles one code array ("0: getstatic #12", ...).
+std::string disassemble(const ConstantPool &CP, const Bytes &Code);
+
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_CLASSFILE_PRINTER_H

@@ -1,0 +1,24 @@
+//===- coverage/Tracefile.cpp ---------------------------------------------===//
+
+#include "coverage/Tracefile.h"
+
+#include "support/Hashing.h"
+
+using namespace classfuzz;
+
+Tracefile Tracefile::mergedWith(const Tracefile &Other) const {
+  Tracefile Out = *this;
+  Out.Stmts.insert(Other.Stmts.begin(), Other.Stmts.end());
+  Out.Branches.insert(Other.Branches.begin(), Other.Branches.end());
+  return Out;
+}
+
+uint64_t Tracefile::fingerprint() const {
+  Hasher H;
+  for (uint32_t Id : Stmts)
+    H.addU32(Id);
+  H.addU32(0xFFFFFFFF); // Separator between the two sets.
+  for (uint32_t Id : Branches)
+    H.addU32(Id);
+  return H.value();
+}

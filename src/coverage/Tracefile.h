@@ -1,0 +1,90 @@
+//===- coverage/Tracefile.h - Execution trace coverage sets --------------===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Tracefile records which statements and branches of the reference JVM
+/// a classfile exercised (the paper collects these with GCOV/LCOV over
+/// HotSpot's classfile/ package; we collect them with compile-time probes,
+/// see Probes.h). Statement coverage `tr.stmt` and branch coverage `tr.br`
+/// are the statistics compared by the uniqueness criteria of §2.2.3, and
+/// the ⊕ merge operator supports the `[tr]` criterion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_COVERAGE_TRACEFILE_H
+#define CLASSFUZZ_COVERAGE_TRACEFILE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+
+namespace classfuzz {
+
+/// The statement/branch hit sets of one execution on the reference JVM.
+class Tracefile {
+public:
+  void addStmt(uint32_t Id) { Stmts.insert(Id); }
+  /// Branch probes record (site, direction): the low bit encodes whether
+  /// the branch was taken.
+  void addBranch(uint32_t SiteId, bool Taken) {
+    Branches.insert(SiteId << 1 | static_cast<uint32_t>(Taken));
+  }
+
+  /// Statement coverage statistic (number of distinct statements hit).
+  size_t stmtCount() const { return Stmts.size(); }
+  /// Branch coverage statistic (number of distinct branch directions hit).
+  size_t branchCount() const { return Branches.size(); }
+
+  bool empty() const { return Stmts.empty() && Branches.empty(); }
+  void clear() {
+    Stmts.clear();
+    Branches.clear();
+  }
+
+  /// The ⊕ operator of §2.2.3: the union tracefile.
+  Tracefile mergedWith(const Tracefile &Other) const;
+
+  /// True when both hit sets are identical (static tracefile equality;
+  /// execution order and frequencies are deliberately not recorded).
+  bool sameSets(const Tracefile &Other) const {
+    return Stmts == Other.Stmts && Branches == Other.Branches;
+  }
+
+  /// Order-independent fingerprint of the hit sets.
+  uint64_t fingerprint() const;
+
+  const std::set<uint32_t> &stmts() const { return Stmts; }
+  const std::set<uint32_t> &branches() const { return Branches; }
+
+private:
+  std::set<uint32_t> Stmts;
+  std::set<uint32_t> Branches;
+};
+
+/// Receives probe events during one JVM run and accumulates a Tracefile.
+/// The Vm holds a (possibly null) pointer to a recorder; a null recorder
+/// disables collection, mirroring running a non-reference JVM without
+/// coverage instrumentation.
+class CoverageRecorder {
+public:
+  void stmt(uint32_t Id) { Trace.addStmt(Id); }
+  void branch(uint32_t SiteId, bool Taken) { Trace.addBranch(SiteId, Taken); }
+
+  const Tracefile &trace() const { return Trace; }
+  Tracefile takeTrace() {
+    Tracefile Out = std::move(Trace);
+    Trace = Tracefile();
+    return Out;
+  }
+  void reset() { Trace.clear(); }
+
+private:
+  Tracefile Trace;
+};
+
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_COVERAGE_TRACEFILE_H

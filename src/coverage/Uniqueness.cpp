@@ -1,0 +1,68 @@
+//===- coverage/Uniqueness.cpp --------------------------------------------===//
+
+#include "coverage/Uniqueness.h"
+
+using namespace classfuzz;
+
+const char *classfuzz::criterionName(UniquenessCriterion C) {
+  switch (C) {
+  case UniquenessCriterion::St:
+    return "[st]";
+  case UniquenessCriterion::StBr:
+    return "[stbr]";
+  case UniquenessCriterion::Tr:
+    return "[tr]";
+  }
+  return "?";
+}
+
+bool UniquenessChecker::isUnique(const Tracefile &Trace) const {
+  StatPair Stats{Trace.stmtCount(), Trace.branchCount()};
+  switch (Criterion) {
+  case UniquenessCriterion::St:
+    return !SeenStmtCounts.count(Stats.first);
+  case UniquenessCriterion::StBr:
+    return !SeenStatPairs.count(Stats);
+  case UniquenessCriterion::Tr: {
+    auto It = SeenFingerprints.find(Stats);
+    if (It == SeenFingerprints.end())
+      return true;
+    // Equal statistics: representative only if the full hit sets differ
+    // from every accepted tracefile with the same statistics (merge test).
+    return !It->second.count(Trace.fingerprint());
+  }
+  }
+  return false;
+}
+
+void UniquenessChecker::insert(const Tracefile &Trace) {
+  StatPair Stats{Trace.stmtCount(), Trace.branchCount()};
+  SeenStmtCounts.insert(Stats.first);
+  SeenStatPairs.insert(Stats);
+  SeenFingerprints[Stats].insert(Trace.fingerprint());
+  ++NumInserted;
+}
+
+bool UniquenessChecker::tryInsert(const Tracefile &Trace) {
+  if (!isUnique(Trace))
+    return false;
+  insert(Trace);
+  return true;
+}
+
+bool AccumulativeCoverage::addsNew(const Tracefile &Trace) const {
+  for (uint32_t Id : Trace.stmts())
+    if (!Total.stmts().count(Id))
+      return true;
+  for (uint32_t Id : Trace.branches())
+    if (!Total.branches().count(Id))
+      return true;
+  return false;
+}
+
+bool AccumulativeCoverage::tryAdd(const Tracefile &Trace) {
+  if (!addsNew(Trace))
+    return false;
+  add(Trace);
+  return true;
+}

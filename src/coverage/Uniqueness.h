@@ -1,0 +1,90 @@
+//===- coverage/Uniqueness.h - Coverage-uniqueness criteria --------------===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three coverage-uniqueness acceptance criteria of §2.2.3:
+///
+///   [st]   no accepted test has the same statement-coverage statistic;
+///   [stbr] no accepted test has the same (stmt, branch) statistic pair;
+///   [tr]   no accepted test has a statically identical tracefile
+///          (equal statistics AND merging changes nothing, i.e. equal
+///          hit sets).
+///
+/// Also provides AccumulativeCoverage for the greedyfuzz baseline, which
+/// accepts a mutant only when it increases total coverage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_COVERAGE_UNIQUENESS_H
+#define CLASSFUZZ_COVERAGE_UNIQUENESS_H
+
+#include "coverage/Tracefile.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace classfuzz {
+
+/// Which uniqueness discipline a campaign uses.
+enum class UniquenessCriterion { St, StBr, Tr };
+
+/// Returns "[st]" / "[stbr]" / "[tr]".
+const char *criterionName(UniquenessCriterion C);
+
+/// Tracks the coverage signatures of accepted tests and decides whether a
+/// candidate tracefile is representative w.r.t. them.
+class UniquenessChecker {
+public:
+  explicit UniquenessChecker(UniquenessCriterion C) : Criterion(C) {}
+
+  /// True when \p Trace is unique under the configured criterion.
+  bool isUnique(const Tracefile &Trace) const;
+
+  /// Records \p Trace as accepted. Asserts on isUnique in debug builds is
+  /// deliberately omitted: callers may insert seeds unconditionally.
+  void insert(const Tracefile &Trace);
+
+  /// Convenience: isUnique + insert when unique. Returns acceptance.
+  bool tryInsert(const Tracefile &Trace);
+
+  UniquenessCriterion criterion() const { return Criterion; }
+  size_t size() const { return NumInserted; }
+
+private:
+  using StatPair = std::pair<size_t, size_t>;
+
+  UniquenessCriterion Criterion;
+  size_t NumInserted = 0;
+  std::set<size_t> SeenStmtCounts;
+  std::set<StatPair> SeenStatPairs;
+  /// For [tr]: per statistic pair, the fingerprints of full hit sets.
+  std::map<StatPair, std::set<uint64_t>> SeenFingerprints;
+};
+
+/// Accumulative-coverage acceptance used by greedyfuzz: a candidate is
+/// accepted iff it covers at least one statement or branch never covered
+/// by any previously accepted test.
+class AccumulativeCoverage {
+public:
+  /// True when \p Trace adds new coverage (without recording it).
+  bool addsNew(const Tracefile &Trace) const;
+  /// Merges \p Trace into the accumulated totals.
+  void add(const Tracefile &Trace) { Total = Total.mergedWith(Trace); }
+  /// Convenience: addsNew + add when new. Returns acceptance.
+  bool tryAdd(const Tracefile &Trace);
+
+  const Tracefile &total() const { return Total; }
+
+private:
+  Tracefile Total;
+};
+
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_COVERAGE_UNIQUENESS_H

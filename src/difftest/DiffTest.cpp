@@ -1,0 +1,103 @@
+//===- difftest/DiffTest.cpp -----------------------------------------------===//
+
+#include "difftest/DiffTest.h"
+
+#include "jvm/Vm.h"
+#include "runtime/RuntimeLib.h"
+
+#include <array>
+#include <cassert>
+
+using namespace classfuzz;
+
+bool DiffOutcome::isDiscrepancy() const {
+  for (size_t I = 1; I < Encoded.size(); ++I)
+    if (Encoded[I] != Encoded[0])
+      return true;
+  return false;
+}
+
+std::string DiffOutcome::encodedString() const {
+  std::string Out;
+  Out.reserve(Encoded.size());
+  for (int Code : Encoded)
+    Out += static_cast<char>('0' + Code);
+  return Out;
+}
+
+DifferentialTester::DifferentialTester(std::vector<JvmPolicy> Policies,
+                                       const ClassPath &Extra,
+                                       EnvironmentMode Mode,
+                                       const std::string &SharedLibVersion)
+    : Policies(std::move(Policies)) {
+  if (Mode == EnvironmentMode::Shared) {
+    ClassPath Shared =
+        buildRuntimeLibrary(SharedLibVersion).overlaidWith(Extra);
+    Envs.assign(this->Policies.size(), Shared);
+    return;
+  }
+  for (const JvmPolicy &P : this->Policies)
+    Envs.push_back(runtimeLibraryFor(P).overlaidWith(Extra));
+}
+
+DifferentialTester DifferentialTester::withAllProfiles(
+    const ClassPath &Extra, EnvironmentMode Mode,
+    const std::string &SharedLibVersion) {
+  return DifferentialTester(allJvmPolicies(), Extra, Mode,
+                            SharedLibVersion);
+}
+
+DiffOutcome DifferentialTester::testClass(const std::string &Name) const {
+  DiffOutcome Out;
+  for (size_t I = 0; I != Policies.size(); ++I) {
+    Vm Jvm(Policies[I], Envs[I]);
+    JvmResult R = Jvm.run(Name);
+    Out.Encoded.push_back(encodeOutcome(R));
+    Out.Results.push_back(std::move(R));
+  }
+  return Out;
+}
+
+DiffOutcome DifferentialTester::testClass(const std::string &Name,
+                                          const Bytes &Data) const {
+  DiffOutcome Out;
+  for (size_t I = 0; I != Policies.size(); ++I) {
+    ClassPath Env = Envs[I];
+    Env.add(Name, Data);
+    Vm Jvm(Policies[I], Env);
+    JvmResult R = Jvm.run(Name);
+    Out.Encoded.push_back(encodeOutcome(R));
+    Out.Results.push_back(std::move(R));
+  }
+  return Out;
+}
+
+void DiffStats::add(const DiffOutcome &Outcome) {
+  ++Total;
+  if (PhaseCounts.size() < Outcome.Encoded.size())
+    PhaseCounts.resize(Outcome.Encoded.size());
+  bool AllZero = true;
+  for (size_t I = 0; I != Outcome.Encoded.size(); ++I) {
+    assert(Outcome.Encoded[I] >= 0 && Outcome.Encoded[I] <= 4 &&
+           "encoded outcome out of range");
+    ++PhaseCounts[I][static_cast<size_t>(Outcome.Encoded[I])];
+    if (Outcome.Encoded[I] != 0)
+      AllZero = false;
+  }
+  if (Outcome.isDiscrepancy()) {
+    ++Discrepancies;
+    ++DistinctDiscrepancies[Outcome.encodedString()];
+    return;
+  }
+  if (AllZero)
+    ++AllInvoked;
+  else
+    ++AllRejectedSameStage;
+}
+
+double DiffStats::diffRatePercent() const {
+  if (Total == 0)
+    return 0.0;
+  return 100.0 * static_cast<double>(Discrepancies) /
+         static_cast<double>(Total);
+}

@@ -1,0 +1,99 @@
+//===- difftest/DiffTest.h - Differential testing of the JVM profiles ----===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs classfiles on the five JVM profiles and compares the encoded
+/// outcomes (§2.3, Figure 3): each run is simplified to
+/// {0 = normally invoked, 1 = rejected while loading, 2 = linking,
+/// 3 = initialization, 4 = runtime}, the five outputs form a sequence,
+/// and a discrepancy is a non-constant sequence. Discrepancies with the
+/// same encoded sequence fall into one *distinct discrepancy* category.
+///
+/// Environments: with PerJvmEnvironments each profile uses its own
+/// runtime-library version (Definition 1 discrepancies, including
+/// compatibility effects); with a shared environment all profiles see
+/// the same library (Definition 2: surviving discrepancies indicate
+/// defects or policy differences, not JRE skew).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_DIFFTEST_DIFFTEST_H
+#define CLASSFUZZ_DIFFTEST_DIFFTEST_H
+
+#include "jvm/ClassPath.h"
+#include "jvm/JvmTypes.h"
+#include "jvm/Policy.h"
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace classfuzz {
+
+/// How the tester provisions environments.
+enum class EnvironmentMode {
+  PerJvm, ///< Each profile ships its own runtime library (Definition 1).
+  Shared, ///< One library for all profiles (Definition 2 defect hunting).
+};
+
+/// The outcome of one classfile across all profiles.
+struct DiffOutcome {
+  std::vector<int> Encoded;      ///< One 0..4 code per JVM.
+  std::vector<JvmResult> Results; ///< Full per-JVM results.
+
+  /// True when the encoded sequence is not constant.
+  bool isDiscrepancy() const;
+  /// The sequence as a string, e.g. "00012" (the Figure 3 encoding).
+  std::string encodedString() const;
+};
+
+/// Differential tester over a fixed set of profiles and a corpus.
+class DifferentialTester {
+public:
+  /// \p Extra holds the classes under test plus any helper classes; it
+  /// is layered over each profile's runtime library.
+  DifferentialTester(std::vector<JvmPolicy> Policies,
+                     const ClassPath &Extra, EnvironmentMode Mode,
+                     const std::string &SharedLibVersion = "jre8");
+
+  /// Convenience: the paper's five JVMs.
+  static DifferentialTester
+  withAllProfiles(const ClassPath &Extra, EnvironmentMode Mode,
+                  const std::string &SharedLibVersion = "jre8");
+
+  /// Runs `java <Name>` on every profile.
+  DiffOutcome testClass(const std::string &Name) const;
+
+  /// Runs a class not present in the corpus by overlaying its bytes.
+  DiffOutcome testClass(const std::string &Name, const Bytes &Data) const;
+
+  const std::vector<JvmPolicy> &policies() const { return Policies; }
+
+private:
+  std::vector<JvmPolicy> Policies;
+  std::vector<ClassPath> Envs; ///< One per policy.
+};
+
+/// Aggregate statistics over a set of outcomes (the Table 6 rows).
+struct DiffStats {
+  size_t Total = 0;
+  size_t AllInvoked = 0;
+  size_t AllRejectedSameStage = 0;
+  size_t Discrepancies = 0;
+  /// Encoded sequence -> count; its size is |Distinct_Discrepancies|.
+  std::map<std::string, size_t> DistinctDiscrepancies;
+  /// Per-JVM phase counters (the Table 7 rows): [jvm][encoded 0..4].
+  std::vector<std::array<size_t, 5>> PhaseCounts;
+
+  void add(const DiffOutcome &Outcome);
+  /// The diff rate |Discrepancies| / |Classes| in percent.
+  double diffRatePercent() const;
+};
+
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_DIFFTEST_DIFFTEST_H

@@ -1,0 +1,57 @@
+//===- difftest/Report.cpp -------------------------------------------------===//
+
+#include "difftest/Report.h"
+
+#include <map>
+#include <sstream>
+
+using namespace classfuzz;
+
+std::string classfuzz::renderDiscrepancyReport(
+    const std::vector<JvmPolicy> &Policies,
+    const std::vector<DiscrepancyRecord> &Records, const DiffStats &Stats,
+    size_t ExamplesPerCategory) {
+  std::ostringstream OS;
+
+  OS << "# JVM discrepancy report\n\n";
+  OS << "- classfiles tested: " << Stats.Total << "\n";
+  OS << "- discrepancy-triggering: " << Stats.Discrepancies << " ("
+     << static_cast<int>(Stats.diffRatePercent() * 10) / 10.0 << "%)\n";
+  OS << "- distinct categories: " << Stats.DistinctDiscrepancies.size()
+     << "\n\n";
+  OS << "Encoding: one digit per JVM (";
+  for (size_t I = 0; I != Policies.size(); ++I)
+    OS << (I ? ", " : "") << Policies[I].Name;
+  OS << "); 0 = normally invoked, 1 = rejected during loading, "
+        "2 = linking, 3 = initialization, 4 = runtime.\n\n";
+
+  std::map<std::string, std::vector<const DiscrepancyRecord *>>
+      ByCategory;
+  for (const DiscrepancyRecord &R : Records)
+    ByCategory[R.Outcome.encodedString()].push_back(&R);
+
+  for (const auto &[Sequence, Group] : ByCategory) {
+    size_t Count = 0;
+    if (auto It = Stats.DistinctDiscrepancies.find(Sequence);
+        It != Stats.DistinctDiscrepancies.end())
+      Count = It->second;
+    OS << "## Category `" << Sequence << "` (" << Count
+       << " classfiles)\n\n";
+
+    const DiscrepancyRecord &First = *Group.front();
+    OS << "| JVM | outcome |\n|---|---|\n";
+    for (size_t I = 0; I != First.Outcome.Results.size(); ++I)
+      OS << "| " << Policies[I].Name << " | "
+         << First.Outcome.Results[I].toString() << " |\n";
+    OS << "\nExamples:\n\n";
+    for (size_t I = 0; I != Group.size() && I != ExamplesPerCategory;
+         ++I) {
+      OS << "- `" << Group[I]->ClassName << "`";
+      if (!Group[I]->Provenance.empty())
+        OS << " — produced by: " << Group[I]->Provenance;
+      OS << "\n";
+    }
+    OS << "\n";
+  }
+  return OS.str();
+}

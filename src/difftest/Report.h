@@ -1,0 +1,44 @@
+//===- difftest/Report.h - Discrepancy report rendering ------------------===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a human-readable (markdown) report of the discrepancies a
+/// campaign found -- the artifact an engineer attaches to JVM bug
+/// reports after §2.3 reduction. One section per distinct discrepancy
+/// category (encoded sequence), listing per-JVM behavior and example
+/// classfiles with their provenance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_DIFFTEST_REPORT_H
+#define CLASSFUZZ_DIFFTEST_REPORT_H
+
+#include "difftest/DiffTest.h"
+
+#include <string>
+#include <vector>
+
+namespace classfuzz {
+
+/// One discrepancy-triggering classfile with provenance.
+struct DiscrepancyRecord {
+  std::string ClassName;
+  DiffOutcome Outcome;
+  /// How the classfile was produced ("Select a method and rename it"),
+  /// empty for seeds/library classes.
+  std::string Provenance;
+};
+
+/// Renders a markdown report: summary statistics, then one section per
+/// distinct category with up to \p ExamplesPerCategory examples.
+std::string renderDiscrepancyReport(
+    const std::vector<JvmPolicy> &Policies,
+    const std::vector<DiscrepancyRecord> &Records, const DiffStats &Stats,
+    size_t ExamplesPerCategory = 3);
+
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_DIFFTEST_REPORT_H

@@ -1,0 +1,255 @@
+//===- fuzzing/Campaign.cpp ------------------------------------------------===//
+
+#include "fuzzing/Campaign.h"
+
+#include "jvm/Vm.h"
+#include "mutation/Engine.h"
+#include "runtime/RuntimeLib.h"
+
+#include <chrono>
+#include <set>
+
+using namespace classfuzz;
+
+const char *classfuzz::fuzzAlgorithmName(FuzzAlgorithm Algo) {
+  switch (Algo) {
+  case FuzzAlgorithm::ClassfuzzStBr:
+    return "classfuzz[stbr]";
+  case FuzzAlgorithm::ClassfuzzSt:
+    return "classfuzz[st]";
+  case FuzzAlgorithm::ClassfuzzTr:
+    return "classfuzz[tr]";
+  case FuzzAlgorithm::Uniquefuzz:
+    return "uniquefuzz";
+  case FuzzAlgorithm::Greedyfuzz:
+    return "greedyfuzz";
+  case FuzzAlgorithm::Randfuzz:
+    return "randfuzz";
+  }
+  return "?";
+}
+
+CampaignConfig::CampaignConfig() : ReferencePolicy(referenceJvmPolicy()) {}
+
+double CampaignResult::successRatePercent() const {
+  if (Iterations == 0)
+    return 0.0;
+  return 100.0 * static_cast<double>(TestClassIndices.size()) /
+         static_cast<double>(Iterations);
+}
+
+size_t CampaignResult::uniqueCoverageStats() const {
+  std::set<std::pair<size_t, size_t>> Stats;
+  for (const GeneratedClass &G : GenClasses)
+    Stats.insert({G.Trace.stmtCount(), G.Trace.branchCount()});
+  return Stats.size();
+}
+
+ClassPath CampaignResult::corpusClassPath() const {
+  ClassPath Out;
+  for (const SeedClass &Seed : Seeds) {
+    Out.add(Seed.Name, Seed.Data);
+    for (const auto &[Name, Data] : Seed.Helpers)
+      Out.add(Name, Data);
+  }
+  for (const GeneratedClass &G : GenClasses)
+    Out.add(G.Name, G.Data);
+  return Out;
+}
+
+namespace {
+
+/// The acceptance discipline, dispatching on the algorithm.
+class Acceptor {
+public:
+  explicit Acceptor(FuzzAlgorithm Algo)
+      : Algo(Algo), Unique(criterionFor(Algo)) {}
+
+  /// True when a mutant with \p Trace is representative.
+  bool accept(const Tracefile &Trace) {
+    switch (Algo) {
+    case FuzzAlgorithm::Randfuzz:
+      return true; // Every produced mutant is kept.
+    case FuzzAlgorithm::Greedyfuzz:
+      return Greedy.tryAdd(Trace);
+    default:
+      return Unique.tryInsert(Trace);
+    }
+  }
+
+  /// Seeds participate in the uniqueness pool (TestClasses starts as
+  /// Seeds, Algorithm 1 line 1).
+  void registerSeed(const Tracefile &Trace) {
+    switch (Algo) {
+    case FuzzAlgorithm::Randfuzz:
+      break;
+    case FuzzAlgorithm::Greedyfuzz:
+      Greedy.add(Trace);
+      break;
+    default:
+      Unique.insert(Trace);
+      break;
+    }
+  }
+
+private:
+  static UniquenessCriterion criterionFor(FuzzAlgorithm Algo) {
+    switch (Algo) {
+    case FuzzAlgorithm::ClassfuzzSt:
+      return UniquenessCriterion::St;
+    case FuzzAlgorithm::ClassfuzzTr:
+      return UniquenessCriterion::Tr;
+    default:
+      return UniquenessCriterion::StBr;
+    }
+  }
+
+  FuzzAlgorithm Algo;
+  UniquenessChecker Unique;
+  AccumulativeCoverage Greedy;
+};
+
+bool usesMcmc(FuzzAlgorithm Algo) {
+  return Algo == FuzzAlgorithm::ClassfuzzStBr ||
+         Algo == FuzzAlgorithm::ClassfuzzSt ||
+         Algo == FuzzAlgorithm::ClassfuzzTr;
+}
+
+bool usesCoverage(FuzzAlgorithm Algo) {
+  return Algo != FuzzAlgorithm::Randfuzz;
+}
+
+} // namespace
+
+CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
+  auto StartTime = std::chrono::steady_clock::now();
+
+  CampaignResult Result;
+  Result.Algo = Config.Algo;
+  Result.Iterations = Config.Iterations;
+
+  Rng R(Config.RngSeed);
+  Result.Seeds = Config.ExternalSeeds.empty()
+                     ? generateSeedCorpus(R, Config.NumSeeds)
+                     : Config.ExternalSeeds;
+
+  // The reference environment: reference JRE + the whole corpus. Mutants
+  // are added as they are accepted so later runs can reference them.
+  ClassPath RefEnv = runtimeLibraryFor(Config.ReferencePolicy);
+  for (const SeedClass &Seed : Result.Seeds) {
+    RefEnv.add(Seed.Name, Seed.Data);
+    for (const auto &[Name, Data] : Seed.Helpers)
+      RefEnv.add(Name, Data);
+  }
+
+  std::vector<std::string> KnownClasses = RefEnv.names();
+  MutationContext Ctx{R, KnownClasses};
+
+  const size_t NumMu = mutatorRegistry().size();
+  McmcSelector Selector(NumMu, Config.GeometricP > 0
+                                   ? Config.GeometricP
+                                   : defaultGeometricP(NumMu));
+  Result.MutatorSelected.assign(NumMu, 0);
+  Result.MutatorSucceeded.assign(NumMu, 0);
+
+  /// Runs \p Name on the reference JVM, collecting coverage.
+  auto coverageOf = [&](const std::string &Name,
+                        const Bytes &Data) -> Tracefile {
+    CoverageRecorder Recorder;
+    ClassPath Env = RefEnv; // Copy: the mutant overlays the corpus.
+    Env.add(Name, Data);
+    Vm Jvm(Config.ReferencePolicy, Env, &Recorder);
+    Jvm.run(Name);
+    return Recorder.takeTrace();
+  };
+
+  Acceptor Accept(Config.Algo);
+
+  // TestClasses <- Seeds (Algorithm 1 line 1): the mutation pool holds
+  // (name, bytes) copies; seeds also prime the uniqueness pool so
+  // mutants must differ from them.
+  struct PoolEntry {
+    std::string Name;
+    Bytes Data;
+  };
+  std::vector<PoolEntry> Pool;
+  for (const SeedClass &Seed : Result.Seeds) {
+    Pool.push_back({Seed.Name, Seed.Data});
+    if (usesCoverage(Config.Algo))
+      Accept.registerSeed(coverageOf(Seed.Name, Seed.Data));
+  }
+
+  // Stopping rule: wall-clock budget when configured (Algorithm 1's
+  // "until the time budget is used up"), else the iteration budget.
+  auto budgetLeft = [&](size_t Iter) {
+    if (Config.TimeBudgetSeconds > 0) {
+      double Elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - StartTime)
+                           .count();
+      return Elapsed < Config.TimeBudgetSeconds;
+    }
+    return Iter < Config.Iterations;
+  };
+
+  size_t Iter = 0;
+  for (; budgetLeft(Iter); ++Iter) {
+    // Line 5: pick a classfile from TestClasses. (Index, not reference:
+    // the pool may grow below.)
+    size_t PoolIndex = R.choiceIndex(Pool.size());
+
+    // Lines 6-10: mutator selection.
+    size_t MutatorIndex = usesMcmc(Config.Algo)
+                              ? Selector.selectNext(R)
+                              : R.choiceIndex(NumMu);
+    ++Result.MutatorSelected[MutatorIndex];
+
+    // Line 11: mutate.
+    MutationOutcome Mutant =
+        mutateClass(Pool[PoolIndex].Data, MutatorIndex, Ctx);
+    if (!Mutant.Produced) {
+      if (usesMcmc(Config.Algo))
+        Selector.recordOutcome(MutatorIndex, false);
+      continue;
+    }
+
+    GeneratedClass G;
+    G.Name = Mutant.ClassName;
+    G.Data = std::move(Mutant.Data);
+    G.MutatorIndex = MutatorIndex;
+
+    // Lines 12-16: record, run on the reference JVM, accept on
+    // uniqueness.
+    bool Representative;
+    if (usesCoverage(Config.Algo)) {
+      G.Trace = coverageOf(G.Name, G.Data);
+      Representative = Accept.accept(G.Trace);
+    } else {
+      Representative = true;
+    }
+    G.Representative = Representative;
+
+    if (usesMcmc(Config.Algo))
+      Selector.recordOutcome(MutatorIndex, Representative);
+    if (Representative)
+      ++Result.MutatorSucceeded[MutatorIndex];
+
+    Result.GenClasses.push_back(std::move(G));
+    const GeneratedClass &Stored = Result.GenClasses.back();
+
+    if (Representative) {
+      Result.TestClassIndices.push_back(Result.GenClasses.size() - 1);
+      // Line 14: representative mutants become seeds; they also join
+      // the reference environment so later mutants can reference them.
+      RefEnv.add(Stored.Name, Stored.Data);
+      if (Config.FeedbackAcceptedMutants)
+        Pool.push_back({Stored.Name, Stored.Data});
+    }
+  }
+  Result.Iterations = Iter;
+
+  Result.ElapsedSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    StartTime)
+          .count();
+  return Result;
+}

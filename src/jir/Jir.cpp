@@ -1,0 +1,541 @@
+//===- jir/Jir.cpp - Lowering and assembly between classfile and JIR ------===//
+
+#include "jir/Jir.h"
+
+#include "classfile/ClassReader.h"
+#include "classfile/ClassWriter.h"
+#include "classfile/CodeBuilder.h"
+#include "classfile/Descriptor.h"
+#include "classfile/Opcodes.h"
+
+#include <map>
+#include <sstream>
+
+using namespace classfuzz;
+
+bool JirStmt::isBranch() const {
+  return (Op >= OP_ifeq && Op <= OP_goto) || Op == OP_ifnull ||
+         Op == OP_ifnonnull;
+}
+
+JirMethod *JirClass::findMethod(const std::string &MethodName) {
+  for (JirMethod &M : Methods)
+    if (M.Name == MethodName)
+      return &M;
+  return nullptr;
+}
+
+const JirMethod *
+JirClass::findMethodByName(const std::string &MethodName) const {
+  for (const JirMethod &M : Methods)
+    if (M.Name == MethodName)
+      return &M;
+  return nullptr;
+}
+
+namespace {
+
+bool isMemberOp(uint8_t Op) {
+  return Op >= OP_getstatic && Op <= OP_invokeinterface;
+}
+
+bool isClassOp(uint8_t Op) {
+  return Op == OP_new || Op == OP_anewarray || Op == OP_checkcast ||
+         Op == OP_instanceof;
+}
+
+bool isLocalOp(uint8_t Op) {
+  return (Op >= OP_iload && Op <= OP_aload) ||
+         (Op >= OP_istore && Op <= OP_astore);
+}
+
+/// Canonicalizes short-form load/store opcodes to the indexed form.
+void canonicalizeLocal(uint8_t Op, JirStmt &S) {
+  if (Op >= OP_iload_0 && Op <= OP_aload_3) {
+    unsigned Group = (Op - OP_iload_0) / 4;
+    S.Op = static_cast<uint8_t>(OP_iload + Group);
+    S.IntOperand = (Op - OP_iload_0) % 4;
+    return;
+  }
+  if (Op >= OP_istore_0 && Op <= OP_astore_3) {
+    unsigned Group = (Op - OP_istore_0) / 4;
+    S.Op = static_cast<uint8_t>(OP_istore + Group);
+    S.IntOperand = (Op - OP_istore_0) % 4;
+    return;
+  }
+}
+
+Result<JirMethod> lowerMethod(const ClassFile &CF, const MethodInfo &M) {
+  JirMethod Out;
+  Out.Name = M.Name;
+  Out.Descriptor = M.Descriptor;
+  Out.AccessFlags = M.AccessFlags;
+  Out.Exceptions = M.Exceptions;
+  if (!M.Code)
+    return Out;
+
+  Out.HasBody = true;
+  Out.MaxStack = M.Code->MaxStack;
+  Out.MaxLocals = M.Code->MaxLocals;
+
+  // Decode and index.
+  std::vector<Insn> Insns;
+  std::map<uint32_t, uint32_t> OffsetToIndex;
+  {
+    InsnDecoder Decoder(M.Code->Code);
+    Insn I;
+    while (Decoder.decodeNext(I)) {
+      OffsetToIndex[I.Offset] = static_cast<uint32_t>(Insns.size());
+      Insns.push_back(I);
+    }
+    if (!Decoder.valid())
+      return makeError("method " + M.Name +
+                       " has malformed bytecode; cannot lower");
+  }
+
+  for (const Insn &I : Insns) {
+    JirStmt S;
+    S.Op = I.Op;
+    uint8_t Op = I.Op;
+
+    if (Op == OP_tableswitch || Op == OP_lookupswitch || Op == OP_wide ||
+        Op == OP_jsr || Op == OP_jsr_w || Op == OP_ret ||
+        Op == OP_goto_w || Op == OP_invokedynamic ||
+        Op == OP_multianewarray)
+      return makeError("method " + M.Name + " uses " + opcodeName(Op) +
+                       ", not modeled by JIR");
+
+    if ((Op >= OP_iload_0 && Op <= OP_aload_3) ||
+        (Op >= OP_istore_0 && Op <= OP_astore_3)) {
+      canonicalizeLocal(Op, S);
+    } else if (isLocalOp(Op)) {
+      S.IntOperand = I.Operand1;
+    } else if (Op == OP_iinc) {
+      S.IntOperand = I.Operand1;
+      S.Operand2 = I.Operand2;
+    } else if (Op == OP_bipush || Op == OP_sipush) {
+      // Canonicalize to an int constant (re-encoded compactly later).
+      S.Op = OP_ldc;
+      S.ConstKind = 'i';
+      S.IntOperand = I.Operand1;
+    } else if (Op >= OP_iconst_m1 && Op <= OP_iconst_5) {
+      S.Op = OP_ldc;
+      S.ConstKind = 'i';
+      S.IntOperand = static_cast<int32_t>(Op) - OP_iconst_0;
+    } else if (Op == OP_ldc || Op == OP_ldc_w || Op == OP_ldc2_w) {
+      uint16_t Index = static_cast<uint16_t>(I.Operand1);
+      if (!CF.CP.isValidIndex(Index))
+        return makeError("ldc of invalid constant pool index");
+      const CpEntry &E = CF.CP.at(Index);
+      S.Op = OP_ldc;
+      switch (E.Tag) {
+      case CpTag::Integer:
+        S.ConstKind = 'i';
+        S.IntOperand = E.IntValue;
+        break;
+      case CpTag::Float:
+        S.ConstKind = 'f';
+        S.FpOperand = E.FloatValue;
+        break;
+      case CpTag::Long:
+        S.ConstKind = 'j';
+        S.LongOperand = E.LongValue;
+        break;
+      case CpTag::Double:
+        S.ConstKind = 'd';
+        S.FpOperand = E.DoubleValue;
+        break;
+      case CpTag::String: {
+        auto Str = CF.CP.getUtf8(E.Ref1);
+        if (!Str)
+          return makeError("ldc of dangling string constant");
+        S.ConstKind = 's';
+        S.StrOperand = Str.take();
+        break;
+      }
+      case CpTag::Class: {
+        auto Name = CF.CP.getClassName(Index);
+        if (!Name)
+          return makeError("ldc of dangling class constant");
+        S.ConstKind = 'c';
+        S.StrOperand = Name.take();
+        break;
+      }
+      default:
+        return makeError("ldc of unloadable constant tag");
+      }
+    } else if (isMemberOp(Op)) {
+      auto Ref = CF.CP.getMemberRef(static_cast<uint16_t>(I.Operand1));
+      if (!Ref)
+        return makeError("member instruction with dangling reference: " +
+                         Ref.error());
+      S.RefClass = Ref->ClassName;
+      S.RefName = Ref->Name;
+      S.RefDesc = Ref->Descriptor;
+      if (Op == OP_invokeinterface)
+        S.Operand2 = I.Operand2;
+    } else if (isClassOp(Op)) {
+      auto Name = CF.CP.getClassName(static_cast<uint16_t>(I.Operand1));
+      if (!Name)
+        return makeError("class instruction with dangling reference");
+      S.StrOperand = Name.take();
+    } else if (Op == OP_newarray) {
+      S.IntOperand = I.Operand1;
+    } else if (S.isBranch()) {
+      auto It = OffsetToIndex.find(static_cast<uint32_t>(I.Operand1));
+      if (It == OffsetToIndex.end())
+        return makeError("branch into the middle of an instruction");
+      S.TargetIndex = static_cast<int32_t>(It->second);
+    }
+    // All remaining opcodes are operand-free.
+
+    Out.Body.push_back(std::move(S));
+  }
+
+  // Exception table into index space.
+  for (const ExceptionTableEntry &E : M.Code->ExceptionTable) {
+    JirExceptionEntry JE;
+    auto Start = OffsetToIndex.find(E.StartPc);
+    auto Handler = OffsetToIndex.find(E.HandlerPc);
+    if (Start == OffsetToIndex.end() || Handler == OffsetToIndex.end())
+      return makeError("exception table entry not on instruction "
+                       "boundaries");
+    JE.StartIndex = Start->second;
+    auto End = OffsetToIndex.find(E.EndPc);
+    JE.EndIndex = End == OffsetToIndex.end()
+                      ? static_cast<uint32_t>(Out.Body.size())
+                      : End->second;
+    JE.HandlerIndex = Handler->second;
+    JE.CatchType = E.CatchType;
+    Out.ExceptionTable.push_back(std::move(JE));
+  }
+
+  return Out;
+}
+
+} // namespace
+
+Result<JirClass> classfuzz::lowerToJir(const ClassFile &CF) {
+  JirClass J;
+  J.Name = CF.ThisClass;
+  J.SuperClass = CF.SuperClass;
+  J.AccessFlags = CF.AccessFlags;
+  J.MajorVersion = CF.MajorVersion;
+  J.MinorVersion = CF.MinorVersion;
+  J.Interfaces = CF.Interfaces;
+  for (const FieldInfo &F : CF.Fields)
+    J.Fields.push_back({F.Name, F.Descriptor, F.AccessFlags,
+                        F.ConstantValue});
+  for (const MethodInfo &M : CF.Methods) {
+    auto Lowered = lowerMethod(CF, M);
+    if (!Lowered)
+      return makeError(Lowered.error());
+    J.Methods.push_back(Lowered.take());
+  }
+  return J;
+}
+
+Result<JirClass> classfuzz::lowerClassBytes(const Bytes &Data) {
+  auto CF = parseClassFile(Data);
+  if (!CF)
+    return makeError(CF.error());
+  return lowerToJir(*CF);
+}
+
+namespace {
+
+Result<CodeAttr> assembleBody(ConstantPool &CP, const JirMethod &M) {
+  if (M.Body.size() > 4096)
+    return makeError("method body too large to assemble");
+
+  CodeBuilder B(CP);
+  std::vector<CodeBuilder::Label> Labels(M.Body.size());
+  for (size_t I = 0; I != M.Body.size(); ++I)
+    Labels[I] = B.newLabel();
+  std::vector<uint32_t> Offsets(M.Body.size() + 1, 0);
+
+  for (size_t I = 0; I != M.Body.size(); ++I) {
+    const JirStmt &S = M.Body[I];
+    B.bind(Labels[I]);
+    Offsets[I] = B.currentOffset();
+    uint8_t Op = S.Op;
+
+    if (Op == OP_ldc) {
+      switch (S.ConstKind) {
+      case 'i':
+        B.pushInt(S.IntOperand);
+        break;
+      case 's':
+        B.pushString(S.StrOperand);
+        break;
+      case 'c':
+        B.emitU2(OP_ldc_w, CP.classRef(S.StrOperand));
+        break;
+      case 'f': {
+        uint16_t Index = CP.floatConst(static_cast<float>(S.FpOperand));
+        B.emitU2(OP_ldc_w, Index);
+        break;
+      }
+      case 'j':
+        B.emitU2(OP_ldc2_w, CP.longConst(S.LongOperand));
+        break;
+      case 'd':
+        B.emitU2(OP_ldc2_w, CP.doubleConst(S.FpOperand));
+        break;
+      default:
+        return makeError("ldc statement with unknown constant kind");
+      }
+      continue;
+    }
+    if (isLocalOp(Op)) {
+      if (S.IntOperand < 0 || S.IntOperand > 0xFF)
+        return makeError("local slot out of encodable range");
+      bool IsLoad = Op >= OP_iload && Op <= OP_aload;
+      uint8_t Base = IsLoad ? OP_iload : OP_istore;
+      uint8_t ShortBase = IsLoad ? OP_iload_0 : OP_istore_0;
+      unsigned Group = Op - Base;
+      if (S.IntOperand <= 3)
+        B.emit(static_cast<Opcode>(ShortBase + Group * 4 + S.IntOperand));
+      else
+        B.emitU1(static_cast<Opcode>(Op),
+                 static_cast<uint8_t>(S.IntOperand));
+      continue;
+    }
+    if (Op == OP_iinc) {
+      if (S.IntOperand < 0 || S.IntOperand > 0xFF ||
+          S.Operand2 < -128 || S.Operand2 > 127)
+        return makeError("iinc operands out of range");
+      B.iinc(static_cast<uint8_t>(S.IntOperand),
+             static_cast<int8_t>(S.Operand2));
+      continue;
+    }
+    if (isMemberOp(Op)) {
+      if (S.RefClass.empty() || S.RefName.empty() || S.RefDesc.empty())
+        return makeError("member instruction with empty reference");
+      switch (Op) {
+      case OP_getstatic:
+        B.getStatic(S.RefClass, S.RefName, S.RefDesc);
+        break;
+      case OP_putstatic:
+        B.putStatic(S.RefClass, S.RefName, S.RefDesc);
+        break;
+      case OP_getfield:
+        B.getField(S.RefClass, S.RefName, S.RefDesc);
+        break;
+      case OP_putfield:
+        B.putField(S.RefClass, S.RefName, S.RefDesc);
+        break;
+      case OP_invokevirtual:
+        B.invokeVirtual(S.RefClass, S.RefName, S.RefDesc);
+        break;
+      case OP_invokespecial:
+        B.invokeSpecial(S.RefClass, S.RefName, S.RefDesc);
+        break;
+      case OP_invokestatic:
+        B.invokeStatic(S.RefClass, S.RefName, S.RefDesc);
+        break;
+      case OP_invokeinterface:
+        B.invokeInterface(S.RefClass, S.RefName, S.RefDesc);
+        break;
+      }
+      continue;
+    }
+    if (isClassOp(Op)) {
+      if (S.StrOperand.empty())
+        return makeError("class instruction with empty class name");
+      B.emitU2(static_cast<Opcode>(Op), CP.classRef(S.StrOperand));
+      continue;
+    }
+    if (Op == OP_newarray) {
+      B.emitU1(OP_newarray, static_cast<uint8_t>(S.IntOperand));
+      continue;
+    }
+    if (S.isBranch()) {
+      if (S.TargetIndex < 0 ||
+          static_cast<size_t>(S.TargetIndex) >= M.Body.size())
+        return makeError("branch statement with dangling target index");
+      B.branch(static_cast<Opcode>(Op),
+               Labels[static_cast<size_t>(S.TargetIndex)]);
+      continue;
+    }
+    if (opcodeLength(Op) == 1) {
+      B.emit(static_cast<Opcode>(Op));
+      continue;
+    }
+    return makeError(std::string("cannot assemble opcode ") +
+                     opcodeName(Op));
+  }
+  Offsets[M.Body.size()] = B.currentOffset();
+
+  CodeAttr Code;
+  Code.MaxStack = M.MaxStack;
+  Code.MaxLocals = M.MaxLocals;
+  Code.Code = B.build();
+  if (Code.Code.size() > 0xFFFF)
+    return makeError("assembled code exceeds 64k");
+
+  for (const JirExceptionEntry &E : M.ExceptionTable) {
+    if (E.StartIndex >= E.EndIndex || E.EndIndex > M.Body.size() ||
+        E.HandlerIndex >= M.Body.size())
+      return makeError("exception table entry with dangling indices");
+    ExceptionTableEntry Out;
+    Out.StartPc = static_cast<uint16_t>(Offsets[E.StartIndex]);
+    Out.EndPc = static_cast<uint16_t>(Offsets[E.EndIndex]);
+    Out.HandlerPc = static_cast<uint16_t>(Offsets[E.HandlerIndex]);
+    Out.CatchType = E.CatchType;
+    Code.ExceptionTable.push_back(std::move(Out));
+  }
+  return Code;
+}
+
+} // namespace
+
+Result<ClassFile> classfuzz::assembleFromJir(const JirClass &J) {
+  if (J.Name.empty())
+    return makeError("class without a name");
+  ClassFile CF;
+  CF.ThisClass = J.Name;
+  CF.SuperClass = J.SuperClass;
+  CF.AccessFlags = J.AccessFlags;
+  CF.MajorVersion = J.MajorVersion;
+  CF.MinorVersion = J.MinorVersion;
+  CF.Interfaces = J.Interfaces;
+  for (const JirField &F : J.Fields) {
+    if (F.Name.empty())
+      return makeError("field without a name");
+    FieldInfo Out;
+    Out.Name = F.Name;
+    Out.Descriptor = F.Descriptor;
+    Out.AccessFlags = F.AccessFlags;
+    if (F.ConstantValue)
+      Out.ConstantValue = *F.ConstantValue;
+    CF.Fields.push_back(std::move(Out));
+  }
+  for (const JirMethod &M : J.Methods) {
+    if (M.Name.empty())
+      return makeError("method without a name");
+    MethodInfo Out;
+    Out.Name = M.Name;
+    Out.Descriptor = M.Descriptor;
+    Out.AccessFlags = M.AccessFlags;
+    Out.Exceptions = M.Exceptions;
+    if (M.HasBody) {
+      auto Code = assembleBody(CF.CP, M);
+      if (!Code)
+        return makeError("method " + M.Name + ": " + Code.error());
+      Out.Code = Code.take();
+    }
+    CF.Methods.push_back(std::move(Out));
+  }
+  return CF;
+}
+
+Result<Bytes> classfuzz::assembleToBytes(const JirClass &J) {
+  auto CF = assembleFromJir(J);
+  if (!CF)
+    return makeError(CF.error());
+  return writeClassFile(*CF);
+}
+
+void classfuzz::renameClassInPlace(JirClass &J,
+                                   const std::string &NewName) {
+  const std::string OldName = J.Name;
+  J.Name = NewName;
+  if (J.SuperClass == OldName)
+    J.SuperClass = NewName;
+  for (std::string &Iface : J.Interfaces)
+    if (Iface == OldName)
+      Iface = NewName;
+  for (JirMethod &M : J.Methods) {
+    for (std::string &Exc : M.Exceptions)
+      if (Exc == OldName)
+        Exc = NewName;
+    for (JirExceptionEntry &E : M.ExceptionTable)
+      if (E.CatchType == OldName)
+        E.CatchType = NewName;
+    for (JirStmt &S : M.Body) {
+      if (S.RefClass == OldName)
+        S.RefClass = NewName;
+      if (!S.StrOperand.empty() && S.StrOperand == OldName &&
+          S.ConstKind != 's')
+        S.StrOperand = NewName; // Class operands, not string literals.
+    }
+  }
+}
+
+std::string classfuzz::printJir(const JirClass &J) {
+  std::ostringstream OS;
+  auto dotted = [](std::string S) {
+    for (char &C : S)
+      if (C == '/')
+        C = '.';
+    return S;
+  };
+
+  std::string Flags = classFlagsToString(J.AccessFlags);
+  OS << (J.isInterface() ? "interface " : "class ") << dotted(J.Name);
+  if (!J.SuperClass.empty())
+    OS << " extends " << dotted(J.SuperClass);
+  if (!J.Interfaces.empty()) {
+    OS << " implements";
+    for (size_t I = 0; I != J.Interfaces.size(); ++I)
+      OS << (I ? ", " : " ") << dotted(J.Interfaces[I]);
+  }
+  OS << "  [" << Flags << "]\n{\n";
+  for (const JirField &F : J.Fields)
+    OS << "  " << fieldFlagsToString(F.AccessFlags) << " " << F.Descriptor
+       << " " << F.Name << ";\n";
+  for (const JirMethod &M : J.Methods) {
+    OS << "  " << methodFlagsToString(M.AccessFlags) << " " << M.Name
+       << M.Descriptor;
+    if (!M.Exceptions.empty()) {
+      OS << " throws";
+      for (size_t I = 0; I != M.Exceptions.size(); ++I)
+        OS << (I ? ", " : " ") << dotted(M.Exceptions[I]);
+    }
+    if (!M.HasBody) {
+      OS << ";\n";
+      continue;
+    }
+    OS << " {\n";
+    for (size_t I = 0; I != M.Body.size(); ++I) {
+      const JirStmt &S = M.Body[I];
+      OS << "    " << I << ": " << opcodeName(S.Op);
+      if (S.Op == OP_ldc) {
+        switch (S.ConstKind) {
+        case 'i':
+          OS << " " << S.IntOperand;
+          break;
+        case 's':
+          OS << " \"" << S.StrOperand << "\"";
+          break;
+        case 'c':
+          OS << " class " << dotted(S.StrOperand);
+          break;
+        case 'f':
+        case 'd':
+          OS << " " << S.FpOperand;
+          break;
+        case 'j':
+          OS << " " << S.LongOperand << "L";
+          break;
+        }
+      } else if (!S.RefClass.empty()) {
+        OS << " " << dotted(S.RefClass) << "." << S.RefName << ":"
+           << S.RefDesc;
+      } else if (!S.StrOperand.empty()) {
+        OS << " " << dotted(S.StrOperand);
+      } else if (S.isBranch()) {
+        OS << " -> " << S.TargetIndex;
+      } else if (S.Op == OP_iinc) {
+        OS << " " << S.IntOperand << " += " << S.Operand2;
+      } else if (isLocalOp(S.Op)) {
+        OS << " slot " << S.IntOperand;
+      }
+      OS << "\n";
+    }
+    OS << "  }\n";
+  }
+  OS << "}\n";
+  return OS.str();
+}

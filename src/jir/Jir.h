@@ -1,0 +1,126 @@
+//===- jir/Jir.h - Jimple-like intermediate representation ---------------===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// JIR is this project's Soot/Jimple analog: a symbolic, relocatable,
+/// statement-level view of a class. Method bodies are lists of JirStmt
+/// (one per bytecode instruction) whose constant-pool operands are
+/// resolved to names and whose branch targets are statement indices, so
+/// mutators can insert/delete/replace statements, members, and
+/// attributes without byte-offset bookkeeping. Assembly back to a
+/// classfile can fail for invalid IR -- mirroring Soot's refusal to dump
+/// broken SootClasses, which is one reason fuzzing iterations produce no
+/// classfile (§3.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_JIR_JIR_H
+#define CLASSFUZZ_JIR_JIR_H
+
+#include "classfile/ClassFile.h"
+#include "support/Result.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace classfuzz {
+
+/// One statement: a symbolic bytecode instruction.
+struct JirStmt {
+  uint8_t Op = 0;          ///< The JVM opcode.
+  int32_t IntOperand = 0;  ///< Constant / local slot / array type code.
+  int32_t Operand2 = 0;    ///< iinc delta, invokeinterface count.
+  int32_t TargetIndex = -1; ///< Branch target as a statement index.
+  std::string StrOperand;  ///< String constant or class name operand.
+  std::string RefClass;    ///< Member reference: class...
+  std::string RefName;     ///< ...name...
+  std::string RefDesc;     ///< ...descriptor.
+  /// For ldc-family statements: which constant kind IntOperand /
+  /// LongOperand / FpOperand / StrOperand carries
+  /// ('i' int, 'f' float, 'j' long, 'd' double, 's' string, 'c' class).
+  char ConstKind = 0;
+  int64_t LongOperand = 0;
+  double FpOperand = 0;
+
+  bool isBranch() const;
+};
+
+/// Exception table entry in statement-index space. EndIndex is
+/// exclusive; HandlerIndex addresses a statement.
+struct JirExceptionEntry {
+  uint32_t StartIndex = 0;
+  uint32_t EndIndex = 0;
+  uint32_t HandlerIndex = 0;
+  std::string CatchType; ///< Empty = catch-all.
+};
+
+/// A method with a decoded body (or none, for abstract/native methods).
+struct JirMethod {
+  std::string Name;
+  std::string Descriptor;
+  uint16_t AccessFlags = 0;
+  bool HasBody = false;
+  uint16_t MaxStack = 0;
+  uint16_t MaxLocals = 0;
+  std::vector<JirStmt> Body;
+  std::vector<JirExceptionEntry> ExceptionTable;
+  std::vector<std::string> Exceptions; ///< throws clause.
+
+  bool isStatic() const { return AccessFlags & ACC_STATIC; }
+};
+
+/// A field (fields need no decoding; the classfile form is symbolic
+/// enough).
+struct JirField {
+  std::string Name;
+  std::string Descriptor;
+  uint16_t AccessFlags = 0;
+  std::optional<FieldConstant> ConstantValue;
+};
+
+/// A whole class in JIR form.
+struct JirClass {
+  std::string Name;
+  std::string SuperClass;
+  uint16_t AccessFlags = 0;
+  uint16_t MajorVersion = MajorVersionJava7;
+  uint16_t MinorVersion = 0;
+  std::vector<std::string> Interfaces;
+  std::vector<JirField> Fields;
+  std::vector<JirMethod> Methods;
+
+  bool isInterface() const { return AccessFlags & ACC_INTERFACE; }
+  JirMethod *findMethod(const std::string &Name);
+  const JirMethod *findMethodByName(const std::string &Name) const;
+};
+
+/// Decodes a classfile into JIR. Fails on bodies using constructs the IR
+/// does not model (switches, wide, jsr, invokedynamic) or malformed
+/// bytecode -- such seeds "cannot be used as inputs for mutation".
+Result<JirClass> lowerToJir(const ClassFile &CF);
+
+/// Assembles JIR back into a classfile. Fails on invalid IR (dangling
+/// branch targets, unserializable operands, exceeded limits).
+Result<ClassFile> assembleFromJir(const JirClass &J);
+
+/// Convenience: parse bytes -> JIR.
+Result<JirClass> lowerClassBytes(const Bytes &Data);
+
+/// Convenience: JIR -> classfile bytes.
+Result<Bytes> assembleToBytes(const JirClass &J);
+
+/// Renders a Jimple-flavored textual dump (used in discrepancy reports).
+std::string printJir(const JirClass &J);
+
+/// Renames the class *with reference fixup* (as Soot does): every
+/// self-reference -- member refs, class-operand statements, superclass,
+/// interface list, throws clauses -- is rewritten to \p NewName.
+void renameClassInPlace(JirClass &J, const std::string &NewName);
+
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_JIR_JIR_H

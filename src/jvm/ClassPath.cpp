@@ -1,0 +1,40 @@
+//===- jvm/ClassPath.cpp --------------------------------------------------===//
+
+#include "jvm/ClassPath.h"
+
+#include "support/Hashing.h"
+
+using namespace classfuzz;
+
+void ClassPath::add(const std::string &InternalName, Bytes Data) {
+  Classes[InternalName] = std::move(Data);
+}
+
+const Bytes *ClassPath::lookup(const std::string &InternalName) const {
+  auto It = Classes.find(InternalName);
+  return It == Classes.end() ? nullptr : &It->second;
+}
+
+std::vector<std::string> ClassPath::names() const {
+  std::vector<std::string> Out;
+  Out.reserve(Classes.size());
+  for (const auto &[Name, Data] : Classes)
+    Out.push_back(Name);
+  return Out;
+}
+
+uint64_t ClassPath::fingerprint() const {
+  Hasher H;
+  for (const auto &[Name, Data] : Classes) {
+    H.addString(Name);
+    H.addU64(hashBytes(Data));
+  }
+  return H.value();
+}
+
+ClassPath ClassPath::overlaidWith(const ClassPath &Overlay) const {
+  ClassPath Out = *this;
+  for (const auto &[Name, Data] : Overlay.Classes)
+    Out.Classes[Name] = Data;
+  return Out;
+}

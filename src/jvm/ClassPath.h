@@ -1,0 +1,60 @@
+//===- jvm/ClassPath.h - The execution environment e ---------------------===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The environment e of a JVM execution r = jvm(e, c, i): the set of
+/// loadable classfiles (runtime library plus test classes). Definition 2
+/// of the paper distinguishes defects (same environment) from
+/// compatibility discrepancies (different environments); fingerprint()
+/// supports that equality check.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_JVM_CLASSPATH_H
+#define CLASSFUZZ_JVM_CLASSPATH_H
+
+#include "support/ByteBuffer.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace classfuzz {
+
+/// A name -> classfile-bytes map modeling the class path plus runtime
+/// library of one JVM setup.
+class ClassPath {
+public:
+  /// Registers (or replaces) the classfile for \p InternalName.
+  void add(const std::string &InternalName, Bytes Data);
+
+  /// Bytes for \p InternalName, or nullptr when unavailable (the JVM then
+  /// raises NoClassDefFoundError).
+  const Bytes *lookup(const std::string &InternalName) const;
+
+  bool has(const std::string &InternalName) const {
+    return Classes.count(InternalName) != 0;
+  }
+
+  /// All registered internal names, sorted.
+  std::vector<std::string> names() const;
+
+  size_t size() const { return Classes.size(); }
+
+  /// Content fingerprint for environment-equality checks (Definition 2).
+  uint64_t fingerprint() const;
+
+  /// Layers \p Overlay on top of this class path (overlay entries win).
+  ClassPath overlaidWith(const ClassPath &Overlay) const;
+
+private:
+  std::map<std::string, Bytes> Classes;
+};
+
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_JVM_CLASSPATH_H

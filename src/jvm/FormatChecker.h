@@ -1,0 +1,60 @@
+//===- jvm/FormatChecker.h - Loading-phase classfile checks --------------===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The semantic format checks a JVM performs while creating a class
+/// (JVMS §4.8 "format checking" plus the static constraints of §4.9),
+/// parameterized by JvmPolicy. This is where most of the paper's
+/// documented implementation differences live: <clinit> handling,
+/// interface member rules, duplicate members, <init> shape, flag
+/// consistency, and descriptor validity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_JVM_FORMATCHECKER_H
+#define CLASSFUZZ_JVM_FORMATCHECKER_H
+
+#include "classfile/ClassFile.h"
+#include "coverage/Tracefile.h"
+#include "jvm/JvmTypes.h"
+#include "jvm/Policy.h"
+
+#include <optional>
+
+namespace classfuzz {
+
+/// A failed format check: the error kind and message to raise.
+struct CheckFailure {
+  JvmErrorKind Kind = JvmErrorKind::ClassFormatError;
+  std::string Message;
+};
+
+/// Runs the loading-phase format checks of \p Policy over \p CF.
+/// \p Cov receives coverage probes when non-null (reference JVM runs).
+/// Returns the first failure, or nullopt when the class is acceptable.
+std::optional<CheckFailure> checkClassFormat(const ClassFile &CF,
+                                             const JvmPolicy &Policy,
+                                             CoverageRecorder *Cov);
+
+/// The deferred (lazy) per-method checks a JVM performs when a method is
+/// about to be invoked: Code presence (RequireCode == Lazy) and
+/// abstract-in-concrete (CheckConcreteAbstractMethod == Lazy). Returns
+/// the failure to raise at invocation time, or nullopt.
+std::optional<CheckFailure> checkMethodInvocable(const ClassFile &CF,
+                                                 const MethodInfo &Method,
+                                                 const JvmPolicy &Policy,
+                                                 CoverageRecorder *Cov);
+
+/// True when \p Method is a class/interface initialization method under
+/// \p Policy's reading of the spec (the Problem 1 ambiguity): named
+/// <clinit>, and -- for policies following the SE 9 clarification --
+/// ACC_STATIC with descriptor ()V.
+bool isInitializationMethod(const MethodInfo &Method,
+                            const JvmPolicy &Policy);
+
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_JVM_FORMATCHECKER_H

@@ -1,0 +1,106 @@
+//===- jvm/JvmTypes.cpp ---------------------------------------------------===//
+
+#include "jvm/JvmTypes.h"
+
+using namespace classfuzz;
+
+const char *classfuzz::phaseName(JvmPhase Phase) {
+  switch (Phase) {
+  case JvmPhase::Loading:
+    return "loading";
+  case JvmPhase::Linking:
+    return "linking";
+  case JvmPhase::Initialization:
+    return "initialization";
+  case JvmPhase::Execution:
+    return "execution";
+  case JvmPhase::Completed:
+    return "completed";
+  }
+  return "?";
+}
+
+const char *classfuzz::errorKindName(JvmErrorKind Kind) {
+  switch (Kind) {
+  case JvmErrorKind::None:
+    return "None";
+  case JvmErrorKind::ClassFormatError:
+    return "ClassFormatError";
+  case JvmErrorKind::UnsupportedClassVersionError:
+    return "UnsupportedClassVersionError";
+  case JvmErrorKind::NoClassDefFoundError:
+    return "NoClassDefFoundError";
+  case JvmErrorKind::ClassCircularityError:
+    return "ClassCircularityError";
+  case JvmErrorKind::VerifyError:
+    return "VerifyError";
+  case JvmErrorKind::IncompatibleClassChangeError:
+    return "IncompatibleClassChangeError";
+  case JvmErrorKind::AbstractMethodError:
+    return "AbstractMethodError";
+  case JvmErrorKind::IllegalAccessError:
+    return "IllegalAccessError";
+  case JvmErrorKind::InstantiationError:
+    return "InstantiationError";
+  case JvmErrorKind::NoSuchFieldError:
+    return "NoSuchFieldError";
+  case JvmErrorKind::NoSuchMethodError:
+    return "NoSuchMethodError";
+  case JvmErrorKind::UnsatisfiedLinkError:
+    return "UnsatisfiedLinkError";
+  case JvmErrorKind::ExceptionInInitializerError:
+    return "ExceptionInInitializerError";
+  case JvmErrorKind::MainMethodNotFound:
+    return "MainMethodNotFound";
+  case JvmErrorKind::NullPointerException:
+    return "NullPointerException";
+  case JvmErrorKind::ArithmeticException:
+    return "ArithmeticException";
+  case JvmErrorKind::ClassCastException:
+    return "ClassCastException";
+  case JvmErrorKind::ArrayIndexOutOfBoundsException:
+    return "ArrayIndexOutOfBoundsException";
+  case JvmErrorKind::NegativeArraySizeException:
+    return "NegativeArraySizeException";
+  case JvmErrorKind::StackOverflowError:
+    return "StackOverflowError";
+  case JvmErrorKind::OutOfMemoryError:
+    return "OutOfMemoryError";
+  case JvmErrorKind::UserException:
+    return "UserException";
+  case JvmErrorKind::InternalError:
+    return "InternalError";
+  }
+  return "?";
+}
+
+std::string JvmResult::toString() const {
+  if (Invoked)
+    return "ok";
+  std::string Out = errorKindName(Error);
+  Out += " (";
+  Out += phaseName(Phase);
+  Out += ")";
+  if (!Message.empty()) {
+    Out += ": ";
+    Out += Message;
+  }
+  return Out;
+}
+
+int classfuzz::encodeOutcome(const JvmResult &Result) {
+  if (Result.Invoked)
+    return 0;
+  switch (Result.Phase) {
+  case JvmPhase::Loading:
+    return 1;
+  case JvmPhase::Linking:
+    return 2;
+  case JvmPhase::Initialization:
+    return 3;
+  case JvmPhase::Execution:
+  case JvmPhase::Completed:
+    return 4;
+  }
+  return 4;
+}

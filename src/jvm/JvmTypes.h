@@ -1,0 +1,90 @@
+//===- jvm/JvmTypes.h - JVM execution outcomes ---------------------------===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The observable behavior r = jvm(e, c, i) of a JVM run: the startup
+/// phase reached, the error/exception kind if any (Table 1 of the paper),
+/// and the program output. encodeOutcome() maps a result to the paper's
+/// {0..4} test-output encoding (§2.3, Figure 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_JVM_JVMTYPES_H
+#define CLASSFUZZ_JVM_JVMTYPES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace classfuzz {
+
+/// The startup phases of Table 1.
+enum class JvmPhase : uint8_t {
+  Loading,        ///< Creation & loading.
+  Linking,        ///< Verification, preparation, resolution.
+  Initialization, ///< <clinit> execution.
+  Execution,      ///< main lookup and interpretation.
+  Completed,      ///< main returned normally.
+};
+
+const char *phaseName(JvmPhase Phase);
+
+/// The built-in error/exception kinds a startup can raise (Table 1).
+enum class JvmErrorKind : uint8_t {
+  None,
+  // Creation & loading.
+  ClassFormatError,
+  UnsupportedClassVersionError,
+  NoClassDefFoundError,
+  ClassCircularityError,
+  // Linking.
+  VerifyError,
+  IncompatibleClassChangeError,
+  AbstractMethodError,
+  IllegalAccessError,
+  InstantiationError,
+  NoSuchFieldError,
+  NoSuchMethodError,
+  UnsatisfiedLinkError,
+  // Initialization.
+  ExceptionInInitializerError,
+  // Invocation & execution.
+  MainMethodNotFound,
+  NullPointerException,
+  ArithmeticException,
+  ClassCastException,
+  ArrayIndexOutOfBoundsException,
+  NegativeArraySizeException,
+  StackOverflowError,
+  OutOfMemoryError,
+  UserException, ///< athrow of a user/library exception object.
+  InternalError, ///< Interpreter resource limits / unsupported opcode.
+};
+
+const char *errorKindName(JvmErrorKind Kind);
+
+/// The observable behavior of one JVM run.
+struct JvmResult {
+  /// True when main was invoked and returned normally.
+  bool Invoked = false;
+  /// The phase in which the run ended (Completed when Invoked).
+  JvmPhase Phase = JvmPhase::Completed;
+  JvmErrorKind Error = JvmErrorKind::None;
+  std::string Message;
+  /// Lines printed via the modeled System.out.
+  std::vector<std::string> Output;
+
+  /// Formats like "VerifyError (linking): <message>" or "ok".
+  std::string toString() const;
+};
+
+/// The paper's 0..4 output encoding: 0 normally invoked, 1 rejected
+/// during loading, 2 linking, 3 initialization, 4 runtime.
+int encodeOutcome(const JvmResult &Result);
+
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_JVM_JVMTYPES_H

@@ -1,0 +1,122 @@
+//===- jvm/Policy.cpp -----------------------------------------------------===//
+
+#include "jvm/Policy.h"
+
+using namespace classfuzz;
+
+static JvmPolicy hotSpotBase() {
+  JvmPolicy P;
+  P.VendorId = "hotspot";
+  // HotSpot: eager whole-class verification; treats non-static <clinit>
+  // as an ordinary method (Problem 1); checks throws-clause class
+  // accessibility (Problem 3); misses unsafe reference parameter casts
+  // (Problem 2).
+  P.StrictClinitStatic = false;
+  P.Verification = CheckMode::Eager;
+  P.RequireCode = CheckMode::Eager;
+  P.CheckConcreteAbstractMethod = CheckMode::Lazy;
+  P.CheckUninitializedMerge = false;
+  P.StrictInvokeArgTypes = false;
+  P.CheckThrowsAccessibility = true;
+  return P;
+}
+
+JvmPolicy classfuzz::makeHotSpot7Policy() {
+  JvmPolicy P = hotSpotBase();
+  P.Name = "HotSpot for Java 7";
+  P.JavaVersion = "1.7.0";
+  P.MaxClassFileMajor = 51;
+  P.RuntimeLib = "jre7";
+  // Pre-JDK8 HotSpot releases did not yet reject final superclasses as
+  // aggressively (the sun.beans EnumEditor case surfaced with JRE8).
+  P.CheckFinalSuperclass = true;
+  return P;
+}
+
+JvmPolicy classfuzz::makeHotSpot8Policy() {
+  JvmPolicy P = hotSpotBase();
+  P.Name = "HotSpot for Java 8";
+  P.JavaVersion = "1.8.0";
+  P.MaxClassFileMajor = 52;
+  P.RuntimeLib = "jre8";
+  return P;
+}
+
+JvmPolicy classfuzz::makeHotSpot9Policy() {
+  JvmPolicy P = hotSpotBase();
+  P.Name = "HotSpot for Java 9";
+  P.JavaVersion = "1.9.0-internal";
+  P.MaxClassFileMajor = 53;
+  P.RuntimeLib = "jre9";
+  // JDK 9 tightened duplicate-member and flag-consistency checking.
+  P.CheckClassFlagConsistency = true;
+  P.CheckMemberFlagConsistency = true;
+  return P;
+}
+
+JvmPolicy classfuzz::makeJ9Policy() {
+  JvmPolicy P;
+  P.Name = "J9 for IBM SDK8";
+  P.VendorId = "j9";
+  P.JavaVersion = "1.8.0";
+  P.MaxClassFileMajor = 52;
+  P.RuntimeLib = "jre8";
+  // J9: strict eager format checking -- rejects non-static <clinit>
+  // ("no Code attribute specified", Problem 1) and abstract methods in
+  // concrete classes at load time -- but verifies a method's bytecode
+  // only when it is first invoked (Problem 2 mailing-list finding).
+  P.StrictClinitStatic = true;
+  P.RequireCode = CheckMode::Eager;
+  P.CheckConcreteAbstractMethod = CheckMode::Eager;
+  P.Verification = CheckMode::Lazy;
+  P.StructuralVerifyOnLink = true;
+  P.StrictPrimitiveMerge = true;
+  P.CheckUninitializedMerge = false;
+  P.StrictInvokeArgTypes = false;
+  P.CheckThrowsAccessibility = false;
+  return P;
+}
+
+JvmPolicy classfuzz::makeGijPolicy() {
+  JvmPolicy P;
+  P.Name = "GIJ 5.1.0";
+  P.VendorId = "gij";
+  P.JavaVersion = "1.5.0";
+  // GIJ conforms to Java 1.5 but happens to process version-51 classes
+  // (§3.3 Problem 4), so the loader accepts major <= 51.
+  P.MaxClassFileMajor = 51;
+  P.RuntimeLib = "jre5";
+  // The most lenient implementation of the five (Problem 4): accepts
+  // illegal inheritance for interfaces, non-public interface members,
+  // malformed <init>, duplicate fields, interface main methods, and a
+  // non-static main; its verifier is eager and *stricter* on type merges
+  // and unsafe parameter casts than HotSpot (Problem 2).
+  P.StrictClinitStatic = false;
+  P.RequireCode = CheckMode::Lazy;
+  P.CheckInitShape = false;
+  P.CheckDuplicateFields = false;
+  P.CheckDuplicateMethods = true;
+  P.CheckInterfaceSuper = false;
+  P.CheckInterfaceMemberFlags = false;
+  P.CheckClassFlagConsistency = false;
+  P.CheckMemberFlagConsistency = false;
+  P.CheckDescriptors = false;
+  P.CheckConcreteAbstractMethod = CheckMode::Off;
+  P.Verification = CheckMode::Eager;
+  P.CheckFinalSuperclass = false;
+  P.CheckUninitializedMerge = true;
+  P.StrictInvokeArgTypes = true;
+  P.CheckThrowsAccessibility = false;
+  P.CheckHierarchyKinds = false;
+  P.RequireStaticMain = false;
+  P.AllowInterfaceMain = true;
+  P.CheckMemberAccess = false;
+  return P;
+}
+
+std::vector<JvmPolicy> classfuzz::allJvmPolicies() {
+  return {makeHotSpot7Policy(), makeHotSpot8Policy(), makeHotSpot9Policy(),
+          makeJ9Policy(), makeGijPolicy()};
+}
+
+JvmPolicy classfuzz::referenceJvmPolicy() { return makeHotSpot9Policy(); }

@@ -1,0 +1,87 @@
+//===- jvm/Value.h - Runtime values and heap objects ---------------------===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interpreter's value model: a tagged scalar (int/long/float/double/
+/// reference) and a simple heap object (class instance, string, or array).
+/// References are 1-based indices into the Vm's heap; 0 is null.
+///
+/// Wide types (long/double) occupy ONE interpreter stack slot (the
+/// verifier models the spec's two-slot discipline; the interpreter's
+/// pop2/dup handling compensates). Code mixing raw two-slot stack
+/// shuffles over wide values beyond pop2 is rejected by the interpreter
+/// as unsupported rather than misexecuted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_JVM_VALUE_H
+#define CLASSFUZZ_JVM_VALUE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace classfuzz {
+
+/// A JVM runtime value.
+struct Value {
+  enum class Tag : uint8_t { Int, Long, Float, Double, Ref };
+
+  Tag T = Tag::Int;
+  int64_t I = 0;  ///< Int/Long payload.
+  double D = 0;   ///< Float/Double payload.
+  int32_t R = 0;  ///< Ref payload: heap id, 0 = null.
+
+  static Value makeInt(int32_t V) {
+    Value Out;
+    Out.T = Tag::Int;
+    Out.I = V;
+    return Out;
+  }
+  static Value makeLong(int64_t V) {
+    Value Out;
+    Out.T = Tag::Long;
+    Out.I = V;
+    return Out;
+  }
+  static Value makeFloat(double V) {
+    Value Out;
+    Out.T = Tag::Float;
+    Out.D = V;
+    return Out;
+  }
+  static Value makeDouble(double V) {
+    Value Out;
+    Out.T = Tag::Double;
+    Out.D = V;
+    return Out;
+  }
+  static Value makeRef(int32_t HeapId) {
+    Value Out;
+    Out.T = Tag::Ref;
+    Out.R = HeapId;
+    return Out;
+  }
+  static Value null() { return makeRef(0); }
+
+  bool isNull() const { return T == Tag::Ref && R == 0; }
+  int32_t asInt() const { return static_cast<int32_t>(I); }
+};
+
+/// One heap cell: a plain instance, a string, or an array.
+struct HeapObject {
+  std::string ClassName; ///< Internal name ("java/lang/String", "[I", ...).
+  std::map<std::string, Value> Fields; ///< Keyed "name:descriptor".
+  bool IsString = false;
+  std::string Str; ///< Payload when IsString.
+  bool IsArray = false;
+  std::vector<Value> Elems; ///< Payload when IsArray.
+};
+
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_JVM_VALUE_H

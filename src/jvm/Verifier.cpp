@@ -1,0 +1,1523 @@
+//===- jvm/Verifier.cpp ---------------------------------------------------===//
+
+#include "jvm/Verifier.h"
+
+#include "classfile/Descriptor.h"
+#include "classfile/Opcodes.h"
+#include "coverage/Probes.h"
+
+#include <deque>
+#include <map>
+
+CF_COV_FILE(2)
+
+using namespace classfuzz;
+
+bool classfuzz::isRefAssignable(const std::string &Sub,
+                                const std::string &Super,
+                                const ClassLookupFn &Lookup) {
+  if (Sub == Super || Super == "java/lang/Object")
+    return true;
+  // Walk Sub's superclass chain and direct interfaces.
+  std::string Cur = Sub;
+  for (int Depth = 0; Depth < 64; ++Depth) {
+    const ClassFile *CF = Lookup ? Lookup(Cur) : nullptr;
+    if (!CF)
+      return false; // Unknown class: only Object accepts it.
+    for (const std::string &Iface : CF->Interfaces)
+      if (Iface == Super || isRefAssignable(Iface, Super, Lookup))
+        return true;
+    if (CF->SuperClass.empty())
+      return false;
+    if (CF->SuperClass == Super)
+      return true;
+    Cur = CF->SuperClass;
+  }
+  return false;
+}
+
+namespace {
+
+/// Verification types (JVMS §4.10.1.2, simplified).
+enum class VKind : uint8_t {
+  Top,        ///< Unusable (merge conflict or long/double upper half).
+  Int,
+  Float,
+  Long,
+  Double,
+  Null,
+  Ref,        ///< Reference with class name.
+  UninitThis, ///< `this` in <init> before the super call.
+  Uninit,     ///< Result of `new`, identified by the new's offset.
+  RetAddr,    ///< jsr return address (accepted, not tracked precisely).
+};
+
+struct VType {
+  VKind Kind = VKind::Top;
+  std::string RefName;    ///< For Ref.
+  uint32_t NewOffset = 0; ///< For Uninit.
+
+  bool operator==(const VType &O) const {
+    return Kind == O.Kind && RefName == O.RefName && NewOffset == O.NewOffset;
+  }
+  bool isRefLike() const {
+    return Kind == VKind::Ref || Kind == VKind::Null ||
+           Kind == VKind::UninitThis || Kind == VKind::Uninit;
+  }
+  bool isWide() const { return Kind == VKind::Long || Kind == VKind::Double; }
+};
+
+VType makeRef(std::string Name) {
+  VType T;
+  T.Kind = VKind::Ref;
+  T.RefName = std::move(Name);
+  return T;
+}
+
+VType makeKind(VKind K) {
+  VType T;
+  T.Kind = K;
+  return T;
+}
+
+/// One abstract machine frame.
+struct Frame {
+  std::vector<VType> Locals;
+  std::vector<VType> Stack;
+
+  bool operator==(const Frame &O) const {
+    return Locals == O.Locals && Stack == O.Stack;
+  }
+};
+
+/// The per-method verification engine.
+class MethodVerifier {
+public:
+  MethodVerifier(const ClassFile &CF, const MethodInfo &M,
+                 const JvmPolicy &Policy, const ClassLookupFn &Lookup,
+                 CoverageRecorder *Cov, bool StructuralOnly = false)
+      : CF(CF), M(M), Policy(Policy), Lookup(Lookup), Cov(Cov),
+        StructuralOnly(StructuralOnly), Code(M.Code->Code) {}
+
+  std::optional<CheckFailure> run();
+
+private:
+  // -- error helpers -------------------------------------------------------
+  std::optional<CheckFailure> Failure;
+  bool failed() const { return Failure.has_value(); }
+  void fail(const std::string &Message) {
+    if (!Failure)
+      Failure = CheckFailure{JvmErrorKind::VerifyError,
+                             "(class: " + CF.ThisClass + ", method: " +
+                                 M.Name + M.Descriptor + ") " + Message};
+  }
+
+  // -- frame operations ----------------------------------------------------
+  void push(Frame &F, VType T) {
+    int Width = T.isWide() ? 2 : 1;
+    if (COV_BRANCH(Cov, F.Stack.size() + Width > M.Code->MaxStack)) {
+      fail("operand stack overflow");
+      return;
+    }
+    F.Stack.push_back(std::move(T));
+    if (Width == 2)
+      F.Stack.push_back(makeKind(VKind::Top));
+  }
+
+  VType pop(Frame &F) {
+    if (COV_BRANCH(Cov, F.Stack.empty())) {
+      fail("operand stack underflow");
+      return makeKind(VKind::Top);
+    }
+    VType T = F.Stack.back();
+    F.Stack.pop_back();
+    return T;
+  }
+
+  VType popKind(Frame &F, VKind K) {
+    VType T = pop(F);
+    if (failed())
+      return T;
+    if (COV_BRANCH(Cov, T.Kind != K))
+      fail("expected " + kindName(K) + " on stack, found " +
+           kindName(T.Kind));
+    return T;
+  }
+
+  VType popWide(Frame &F, VKind K) {
+    VType TopHalf = pop(F);
+    if (failed())
+      return TopHalf;
+    if (TopHalf.Kind != VKind::Top) {
+      fail("expected wide-type upper half on stack");
+      return TopHalf;
+    }
+    return popKind(F, K);
+  }
+
+  VType popRefLike(Frame &F) {
+    VType T = pop(F);
+    if (failed())
+      return T;
+    if (COV_BRANCH(Cov, !T.isRefLike()))
+      fail("expected reference on stack, found " + kindName(T.Kind));
+    return T;
+  }
+
+  void setLocal(Frame &F, uint32_t Index, VType T) {
+    int Width = T.isWide() ? 2 : 1;
+    if (COV_BRANCH(Cov, Index + Width > F.Locals.size())) {
+      fail("local variable index " + std::to_string(Index) +
+           " out of range");
+      return;
+    }
+    // Storing into half of a wide pair invalidates the pair.
+    if (Index > 0 && F.Locals[Index - 1].isWide())
+      F.Locals[Index - 1] = makeKind(VKind::Top);
+    F.Locals[Index] = std::move(T);
+    if (Width == 2)
+      F.Locals[Index + 1] = makeKind(VKind::Top);
+  }
+
+  VType getLocal(Frame &F, uint32_t Index, VKind Expected) {
+    if (COV_BRANCH(Cov, Index >= F.Locals.size())) {
+      fail("local variable index " + std::to_string(Index) +
+           " out of range");
+      return makeKind(VKind::Top);
+    }
+    VType &T = F.Locals[Index];
+    if (Expected == VKind::Ref) {
+      if (COV_BRANCH(Cov, !T.isRefLike())) {
+        fail("local " + std::to_string(Index) + " is not a reference");
+        return makeKind(VKind::Top);
+      }
+    } else if (COV_BRANCH(Cov, T.Kind != Expected)) {
+      fail("local " + std::to_string(Index) + " holds " + kindName(T.Kind) +
+           ", expected " + kindName(Expected));
+      return makeKind(VKind::Top);
+    }
+    return T;
+  }
+
+  static std::string kindName(VKind K) {
+    switch (K) {
+    case VKind::Top:
+      return "top";
+    case VKind::Int:
+      return "int";
+    case VKind::Float:
+      return "float";
+    case VKind::Long:
+      return "long";
+    case VKind::Double:
+      return "double";
+    case VKind::Null:
+      return "null";
+    case VKind::Ref:
+      return "reference";
+    case VKind::UninitThis:
+      return "uninitializedThis";
+    case VKind::Uninit:
+      return "uninitialized";
+    case VKind::RetAddr:
+      return "returnAddress";
+    }
+    return "?";
+  }
+
+  // -- type utilities ------------------------------------------------------
+  VType typeFromJType(const JType &T) {
+    if (T.ArrayDims > 0) {
+      // Arrays are modeled as references carrying their descriptor.
+      return makeRef(T.toDescriptor());
+    }
+    switch (T.Kind) {
+    case TypeKind::Boolean:
+    case TypeKind::Byte:
+    case TypeKind::Char:
+    case TypeKind::Short:
+    case TypeKind::Int:
+      return makeKind(VKind::Int);
+    case TypeKind::Long:
+      return makeKind(VKind::Long);
+    case TypeKind::Float:
+      return makeKind(VKind::Float);
+    case TypeKind::Double:
+      return makeKind(VKind::Double);
+    case TypeKind::Reference:
+      return makeRef(T.ClassName);
+    case TypeKind::Void:
+    case TypeKind::Array:
+      return makeKind(VKind::Top);
+    }
+    return makeKind(VKind::Top);
+  }
+
+  std::string commonSuper(const std::string &A, const std::string &B) {
+    if (A == B)
+      return A;
+    if (isRefAssignable(A, B, Lookup))
+      return B;
+    if (isRefAssignable(B, A, Lookup))
+      return A;
+    // Walk A's chain looking for an ancestor of B.
+    std::string Cur = A;
+    for (int Depth = 0; Depth < 64; ++Depth) {
+      const ClassFile *ACls = Lookup ? Lookup(Cur) : nullptr;
+      if (!ACls || ACls->SuperClass.empty())
+        break;
+      Cur = ACls->SuperClass;
+      if (isRefAssignable(B, Cur, Lookup))
+        return Cur;
+    }
+    return "java/lang/Object";
+  }
+
+  /// Merges \p Incoming into \p Target; returns true when Target changed.
+  /// Sets a VerifyError on incompatible shapes.
+  bool mergeFrames(const Frame &Incoming, Frame &Target, bool &Changed);
+  VType mergeTypes(const VType &A, const VType &B);
+
+  /// Depth-only stack dataflow used by the structural (pre-verifier)
+  /// mode. Requires Insns to be populated.
+  void runDepthOnly();
+  /// Net (pops, pushes) of \p I; false when the opcode's effect depends
+  /// on information the pre-verifier does not track.
+  bool stackEffect(const Insn &I, int &Pops, int &Pushes);
+
+  // -- constant pool helpers -----------------------------------------------
+  bool cpTagIs(uint16_t Index, CpTag Tag) {
+    return CF.CP.isValidIndex(Index) && CF.CP.at(Index).Tag == Tag;
+  }
+
+  // -- transfer function ---------------------------------------------------
+  /// Applies \p I to \p F; appends successor offsets to \p Successors and
+  /// sets \p FallsThrough.
+  void transfer(const Insn &I, Frame &F, std::vector<uint32_t> &Successors,
+                bool &FallsThrough);
+  void transferInvoke(const Insn &I, Frame &F);
+  void transferField(const Insn &I, Frame &F);
+  void checkReturn(const Insn &I, Frame &F);
+
+  const ClassFile &CF;
+  const MethodInfo &M;
+  const JvmPolicy &Policy;
+  const ClassLookupFn &Lookup;
+  CoverageRecorder *Cov;
+  bool StructuralOnly;
+  const Bytes &Code;
+
+  std::map<uint32_t, Insn> Insns; ///< offset -> decoded instruction.
+  std::map<uint32_t, Frame> InFrames;
+  MethodDescriptor Desc;
+};
+
+VType MethodVerifier::mergeTypes(const VType &A, const VType &B) {
+  if (A == B)
+    return A;
+  // Top is the absorbing "unusable" element: merging with it is never
+  // itself an error (errors arise only if the slot is later used).
+  if (A.Kind == VKind::Top || B.Kind == VKind::Top)
+    return makeKind(VKind::Top);
+  // Per-kind-pair probe: each merge rule of the verifier's type lattice
+  // is its own code path in a real verifier.
+  covStmt(Cov, (CovFileId << 16) | 0xC000u |
+                   (static_cast<uint32_t>(A.Kind) << 4) |
+                   static_cast<uint32_t>(B.Kind));
+  // Problem 2 (GIJ): merging initialized and uninitialized values is
+  // itself a verification error under CheckUninitializedMerge.
+  bool AUninit = A.Kind == VKind::Uninit || A.Kind == VKind::UninitThis;
+  bool BUninit = B.Kind == VKind::Uninit || B.Kind == VKind::UninitThis;
+  if (COV_BRANCH(Cov, AUninit != BUninit && (A.isRefLike() && B.isRefLike()))) {
+    if (Policy.CheckUninitializedMerge) {
+      fail("merging initialized and uninitialized types");
+      return makeKind(VKind::Top);
+    }
+    return makeKind(VKind::Top);
+  }
+  if (A.Kind == VKind::Null && B.isRefLike())
+    return B;
+  if (B.Kind == VKind::Null && A.isRefLike())
+    return A;
+  if (A.Kind == VKind::Ref && B.Kind == VKind::Ref)
+    return makeRef(commonSuper(A.RefName, B.RefName));
+  // Incompatible kinds: strict profiles (J9's stack-frame discipline)
+  // report "stack shape inconsistent" immediately; lenient ones merge
+  // to Top, failing only if the slot is later used.
+  if (COV_BRANCH(Cov, Policy.StrictPrimitiveMerge)) {
+    fail("stack shape inconsistent");
+    return makeKind(VKind::Top);
+  }
+  return makeKind(VKind::Top);
+}
+
+bool MethodVerifier::mergeFrames(const Frame &Incoming, Frame &Target,
+                                 bool &Changed) {
+  if (COV_BRANCH(Cov, Incoming.Stack.size() != Target.Stack.size() ||
+                          Incoming.Locals.size() != Target.Locals.size())) {
+    fail("stack shape inconsistent");
+    return false;
+  }
+  Changed = false;
+  for (size_t I = 0; I != Target.Locals.size(); ++I) {
+    VType Merged = mergeTypes(Incoming.Locals[I], Target.Locals[I]);
+    if (failed())
+      return false;
+    if (!(Merged == Target.Locals[I])) {
+      Target.Locals[I] = Merged;
+      Changed = true;
+    }
+  }
+  for (size_t I = 0; I != Target.Stack.size(); ++I) {
+    VType Merged = mergeTypes(Incoming.Stack[I], Target.Stack[I]);
+    if (failed())
+      return false;
+    if (!(Merged == Target.Stack[I])) {
+      Target.Stack[I] = Merged;
+      Changed = true;
+    }
+  }
+  return true;
+}
+
+void MethodVerifier::transferField(const Insn &I, Frame &F) {
+  COV_STMT(Cov);
+  uint16_t Index = static_cast<uint16_t>(I.Operand1);
+  if (COV_BRANCH(Cov, !cpTagIs(Index, CpTag::Fieldref))) {
+    fail("field instruction operand is not a CONSTANT_Fieldref");
+    return;
+  }
+  auto Ref = CF.CP.getMemberRef(Index);
+  if (!Ref) {
+    fail(Ref.error());
+    return;
+  }
+  JType FieldType;
+  if (COV_BRANCH(Cov, !parseFieldDescriptor(Ref->Descriptor, FieldType))) {
+    fail("malformed field descriptor " + Ref->Descriptor);
+    return;
+  }
+  // Per-field-type probe (the descriptor switch of a real verifier).
+  covStmt(Cov, (CovFileId << 16) | 0xA000u |
+                   (static_cast<uint32_t>(FieldType.Kind) << 2) |
+                   (FieldType.ArrayDims ? 2u : 0u) | (I.Op & 1u));
+  VType VT = typeFromJType(FieldType);
+  switch (I.Op) {
+  case OP_getstatic:
+    push(F, VT);
+    break;
+  case OP_putstatic: {
+    if (VT.isWide())
+      popWide(F, VT.Kind);
+    else if (VT.isRefLike())
+      popRefLike(F);
+    else
+      popKind(F, VT.Kind);
+    break;
+  }
+  case OP_getfield:
+    popRefLike(F);
+    push(F, VT);
+    break;
+  case OP_putfield: {
+    if (VT.isWide())
+      popWide(F, VT.Kind);
+    else if (VT.isRefLike())
+      popRefLike(F);
+    else
+      popKind(F, VT.Kind);
+    popRefLike(F);
+    break;
+  }
+  default:
+    break;
+  }
+}
+
+void MethodVerifier::transferInvoke(const Insn &I, Frame &F) {
+  COV_STMT(Cov);
+  uint16_t Index = static_cast<uint16_t>(I.Operand1);
+  CpTag Expected =
+      I.Op == OP_invokeinterface ? CpTag::InterfaceMethodref : CpTag::Methodref;
+  // HotSpot tolerates InterfaceMethodref for invokevirtual on some paths;
+  // we require the canonical tags but accept either ref form for
+  // invokespecial/static, matching common leniency.
+  if (COV_BRANCH(Cov, !cpTagIs(Index, Expected) &&
+                          !cpTagIs(Index, CpTag::InterfaceMethodref) &&
+                          !cpTagIs(Index, CpTag::Methodref))) {
+    fail("invoke instruction operand is not a method reference");
+    return;
+  }
+  auto Ref = CF.CP.getMemberRef(Index);
+  if (!Ref) {
+    fail(Ref.error());
+    return;
+  }
+  MethodDescriptor MD;
+  if (COV_BRANCH(Cov, !parseMethodDescriptor(Ref->Descriptor, MD))) {
+    fail("malformed method descriptor " + Ref->Descriptor);
+    return;
+  }
+  // Per-signature-shape probe: argument count x return kind x invoke
+  // kind, the loop/switch structure of real invoke verification.
+  covStmt(Cov, (CovFileId << 16) | 0xB000u |
+                   (std::min<uint32_t>(
+                        static_cast<uint32_t>(MD.Params.size()), 7)
+                    << 6) |
+                   (static_cast<uint32_t>(MD.ReturnType.Kind) << 2) |
+                   (I.Op & 3u));
+
+  // Pop arguments right-to-left, checking each against the declared type.
+  for (auto It = MD.Params.rbegin(); It != MD.Params.rend(); ++It) {
+    VType Want = typeFromJType(*It);
+    if (Want.isWide()) {
+      popWide(F, Want.Kind);
+    } else if (Want.isRefLike()) {
+      VType Got = popRefLike(F);
+      if (failed())
+        return;
+      // Problem 2: strict policies (GIJ) reject arguments whose static
+      // type is not assignable to the declared parameter type; HotSpot
+      // accepts any reference here.
+      if (Policy.StrictInvokeArgTypes && Got.Kind == VKind::Ref &&
+          Want.Kind == VKind::Ref) {
+        if (COV_BRANCH(Cov,
+                       !isRefAssignable(Got.RefName, Want.RefName, Lookup) &&
+                           Lookup && Lookup(Got.RefName) &&
+                           Lookup(Want.RefName))) {
+          fail("incompatible argument type " + Got.RefName +
+               " for parameter " + Want.RefName);
+          return;
+        }
+      }
+    } else {
+      popKind(F, Want.Kind);
+    }
+    if (failed())
+      return;
+  }
+
+  // Receiver.
+  if (I.Op != OP_invokestatic) {
+    VType Receiver = popRefLike(F);
+    if (failed())
+      return;
+    if (I.Op == OP_invokespecial && Ref->Name == "<init>") {
+      // Initialize: rewrite the matching uninitialized type everywhere.
+      VType Initialized = Receiver.Kind == VKind::UninitThis
+                              ? makeRef(CF.ThisClass)
+                              : makeRef(Ref->ClassName);
+      if (COV_BRANCH(Cov, Receiver.Kind != VKind::Uninit &&
+                              Receiver.Kind != VKind::UninitThis &&
+                              Receiver.Kind != VKind::Ref)) {
+        fail("<init> called on non-object");
+        return;
+      }
+      for (VType &T : F.Locals)
+        if (T == Receiver)
+          T = Initialized;
+      for (VType &T : F.Stack)
+        if (T == Receiver)
+          T = Initialized;
+    } else if (COV_BRANCH(Cov, Receiver.Kind == VKind::Uninit ||
+                                   Receiver.Kind == VKind::UninitThis)) {
+      fail("method invoked on uninitialized object");
+      return;
+    }
+  }
+
+  if (MD.ReturnType.Kind != TypeKind::Void)
+    push(F, typeFromJType(MD.ReturnType));
+}
+
+void MethodVerifier::checkReturn(const Insn &I, Frame &F) {
+  COV_STMT(Cov);
+  switch (I.Op) {
+  case OP_return:
+    if (COV_BRANCH(Cov, Desc.ReturnType.Kind != TypeKind::Void))
+      fail("return in non-void method");
+    break;
+  case OP_ireturn: {
+    popKind(F, VKind::Int);
+    bool IntLike = Desc.ReturnType.ArrayDims == 0 &&
+                   (Desc.ReturnType.Kind == TypeKind::Int ||
+                    Desc.ReturnType.Kind == TypeKind::Boolean ||
+                    Desc.ReturnType.Kind == TypeKind::Byte ||
+                    Desc.ReturnType.Kind == TypeKind::Char ||
+                    Desc.ReturnType.Kind == TypeKind::Short);
+    if (COV_BRANCH(Cov, !IntLike))
+      fail("ireturn does not match declared return type");
+    break;
+  }
+  case OP_areturn: {
+    VType T = popRefLike(F);
+    if (failed())
+      return;
+    bool RefLike = Desc.ReturnType.isReferenceLike();
+    if (COV_BRANCH(Cov, !RefLike)) {
+      fail("areturn does not match declared return type");
+      return;
+    }
+    if (Policy.StrictInvokeArgTypes && T.Kind == VKind::Ref &&
+        Desc.ReturnType.ArrayDims == 0 &&
+        Desc.ReturnType.Kind == TypeKind::Reference) {
+      if (COV_BRANCH(Cov, !isRefAssignable(T.RefName,
+                                           Desc.ReturnType.ClassName,
+                                           Lookup) &&
+                              Lookup && Lookup(T.RefName) &&
+                              Lookup(Desc.ReturnType.ClassName)))
+        fail("areturn of incompatible type " + T.RefName);
+    }
+    break;
+  }
+  case OP_lreturn:
+    popWide(F, VKind::Long);
+    if (COV_BRANCH(Cov, Desc.ReturnType.Kind != TypeKind::Long ||
+                            Desc.ReturnType.ArrayDims != 0))
+      fail("lreturn does not match declared return type");
+    break;
+  case OP_freturn:
+    popKind(F, VKind::Float);
+    if (COV_BRANCH(Cov, Desc.ReturnType.Kind != TypeKind::Float ||
+                            Desc.ReturnType.ArrayDims != 0))
+      fail("freturn does not match declared return type");
+    break;
+  case OP_dreturn:
+    popWide(F, VKind::Double);
+    if (COV_BRANCH(Cov, Desc.ReturnType.Kind != TypeKind::Double ||
+                            Desc.ReturnType.ArrayDims != 0))
+      fail("dreturn does not match declared return type");
+    break;
+  default:
+    break;
+  }
+}
+
+void MethodVerifier::transfer(const Insn &I, Frame &F,
+                              std::vector<uint32_t> &Successors,
+                              bool &FallsThrough) {
+  FallsThrough = true;
+  uint8_t Op = I.Op;
+
+  // Per-opcode statement probe: which handler of the verifier's dispatch
+  // switch ran (the analog of statement coverage over HotSpot's
+  // verifier.cpp opcode cases).
+  covStmt(Cov, (CovFileId << 16) | 0x8000u | Op);
+
+  // Constants.
+  if (Op == OP_nop) {
+    return;
+  }
+  if (Op == OP_aconst_null) {
+    push(F, makeKind(VKind::Null));
+    return;
+  }
+  if (Op >= OP_iconst_m1 && Op <= OP_iconst_5) {
+    push(F, makeKind(VKind::Int));
+    return;
+  }
+  if (Op == OP_lconst_0 || Op == OP_lconst_1) {
+    push(F, makeKind(VKind::Long));
+    return;
+  }
+  if (Op >= OP_fconst_0 && Op <= 0x0D) {
+    push(F, makeKind(VKind::Float));
+    return;
+  }
+  if (Op == 0x0E || Op == 0x0F) {
+    push(F, makeKind(VKind::Double));
+    return;
+  }
+  if (Op == OP_bipush || Op == OP_sipush) {
+    push(F, makeKind(VKind::Int));
+    return;
+  }
+  if (Op == OP_ldc || Op == OP_ldc_w || Op == OP_ldc2_w) {
+    COV_STMT(Cov);
+    uint16_t Index = static_cast<uint16_t>(I.Operand1);
+    if (COV_BRANCH(Cov, !CF.CP.isValidIndex(Index))) {
+      fail("ldc of invalid constant pool index " + std::to_string(Index));
+      return;
+    }
+    switch (CF.CP.at(Index).Tag) {
+    case CpTag::Integer:
+      push(F, makeKind(VKind::Int));
+      break;
+    case CpTag::Float:
+      push(F, makeKind(VKind::Float));
+      break;
+    case CpTag::String:
+      push(F, makeRef("java/lang/String"));
+      break;
+    case CpTag::Class:
+      push(F, makeRef("java/lang/Class"));
+      break;
+    case CpTag::Long:
+      if (Op != OP_ldc2_w) {
+        fail("ldc of long requires ldc2_w");
+        return;
+      }
+      push(F, makeKind(VKind::Long));
+      break;
+    case CpTag::Double:
+      if (Op != OP_ldc2_w) {
+        fail("ldc of double requires ldc2_w");
+        return;
+      }
+      push(F, makeKind(VKind::Double));
+      break;
+    default:
+      fail("ldc of unloadable constant");
+      return;
+    }
+    return;
+  }
+
+  // Loads.
+  if (Op == OP_iload || (Op >= OP_iload_0 && Op <= OP_iload_3)) {
+    uint32_t Slot = Op == OP_iload ? static_cast<uint32_t>(I.Operand1)
+                                   : static_cast<uint32_t>(Op - OP_iload_0);
+    getLocal(F, Slot, VKind::Int);
+    push(F, makeKind(VKind::Int));
+    return;
+  }
+  if (Op == OP_lload || (Op >= 0x1E && Op <= 0x21)) {
+    uint32_t Slot =
+        Op == OP_lload ? static_cast<uint32_t>(I.Operand1) : Op - 0x1E;
+    getLocal(F, Slot, VKind::Long);
+    push(F, makeKind(VKind::Long));
+    return;
+  }
+  if (Op == OP_fload || (Op >= 0x22 && Op <= 0x25)) {
+    uint32_t Slot =
+        Op == OP_fload ? static_cast<uint32_t>(I.Operand1) : Op - 0x22;
+    getLocal(F, Slot, VKind::Float);
+    push(F, makeKind(VKind::Float));
+    return;
+  }
+  if (Op == OP_dload || (Op >= 0x26 && Op <= 0x29)) {
+    uint32_t Slot =
+        Op == OP_dload ? static_cast<uint32_t>(I.Operand1) : Op - 0x26;
+    getLocal(F, Slot, VKind::Double);
+    push(F, makeKind(VKind::Double));
+    return;
+  }
+  if (Op == OP_aload || (Op >= OP_aload_0 && Op <= OP_aload_3)) {
+    uint32_t Slot = Op == OP_aload ? static_cast<uint32_t>(I.Operand1)
+                                   : static_cast<uint32_t>(Op - OP_aload_0);
+    VType T = getLocal(F, Slot, VKind::Ref);
+    push(F, T);
+    return;
+  }
+
+  // Array loads.
+  if (Op >= OP_iaload && Op <= 0x35) {
+    COV_STMT(Cov);
+    popKind(F, VKind::Int); // index
+    popRefLike(F);          // array
+    switch (Op) {
+    case OP_iaload:
+    case 0x33: // baload
+    case 0x34: // caload
+    case 0x35: // saload
+      push(F, makeKind(VKind::Int));
+      break;
+    case 0x2F:
+      push(F, makeKind(VKind::Long));
+      break;
+    case 0x30:
+      push(F, makeKind(VKind::Float));
+      break;
+    case 0x31:
+      push(F, makeKind(VKind::Double));
+      break;
+    case OP_aaload:
+      push(F, makeRef("java/lang/Object"));
+      break;
+    }
+    return;
+  }
+
+  // Stores.
+  if (Op == OP_istore || (Op >= OP_istore_0 && Op <= OP_istore_3)) {
+    uint32_t Slot = Op == OP_istore ? static_cast<uint32_t>(I.Operand1)
+                                    : static_cast<uint32_t>(Op - OP_istore_0);
+    popKind(F, VKind::Int);
+    if (!failed())
+      setLocal(F, Slot, makeKind(VKind::Int));
+    return;
+  }
+  if (Op == OP_lstore || (Op >= 0x3F && Op <= 0x42)) {
+    uint32_t Slot =
+        Op == OP_lstore ? static_cast<uint32_t>(I.Operand1) : Op - 0x3F;
+    popWide(F, VKind::Long);
+    if (!failed())
+      setLocal(F, Slot, makeKind(VKind::Long));
+    return;
+  }
+  if (Op == OP_fstore || (Op >= 0x43 && Op <= 0x46)) {
+    uint32_t Slot =
+        Op == OP_fstore ? static_cast<uint32_t>(I.Operand1) : Op - 0x43;
+    popKind(F, VKind::Float);
+    if (!failed())
+      setLocal(F, Slot, makeKind(VKind::Float));
+    return;
+  }
+  if (Op == OP_dstore || (Op >= 0x47 && Op <= 0x4A)) {
+    uint32_t Slot =
+        Op == OP_dstore ? static_cast<uint32_t>(I.Operand1) : Op - 0x47;
+    popWide(F, VKind::Double);
+    if (!failed())
+      setLocal(F, Slot, makeKind(VKind::Double));
+    return;
+  }
+  if (Op == OP_astore || (Op >= OP_astore_0 && Op <= OP_astore_3)) {
+    uint32_t Slot = Op == OP_astore ? static_cast<uint32_t>(I.Operand1)
+                                    : static_cast<uint32_t>(Op - OP_astore_0);
+    VType T = popRefLike(F);
+    if (!failed())
+      setLocal(F, Slot, T);
+    return;
+  }
+
+  // Array stores.
+  if (Op >= OP_iastore && Op <= 0x56) {
+    COV_STMT(Cov);
+    switch (Op) {
+    case OP_iastore:
+    case 0x54: // bastore
+    case 0x55: // castore
+    case 0x56: // sastore
+      popKind(F, VKind::Int);
+      break;
+    case 0x50:
+      popWide(F, VKind::Long);
+      break;
+    case 0x51:
+      popKind(F, VKind::Float);
+      break;
+    case 0x52:
+      popWide(F, VKind::Double);
+      break;
+    case OP_aastore:
+      popRefLike(F);
+      break;
+    }
+    popKind(F, VKind::Int); // index
+    popRefLike(F);          // array
+    return;
+  }
+
+  // Stack manipulation.
+  switch (Op) {
+  case OP_pop:
+    pop(F);
+    return;
+  case OP_pop2:
+    pop(F);
+    pop(F);
+    return;
+  case OP_dup: {
+    VType T = pop(F);
+    if (failed())
+      return;
+    if (COV_BRANCH(Cov, T.Kind == VKind::Top)) {
+      fail("dup of unusable value");
+      return;
+    }
+    push(F, T);
+    push(F, T);
+    return;
+  }
+  case OP_dup_x1: {
+    VType A = pop(F);
+    VType B = pop(F);
+    if (failed())
+      return;
+    push(F, A);
+    push(F, B);
+    push(F, A);
+    return;
+  }
+  case OP_swap: {
+    VType A = pop(F);
+    VType B = pop(F);
+    if (failed())
+      return;
+    push(F, A);
+    push(F, B);
+    return;
+  }
+  default:
+    break;
+  }
+
+  // Int arithmetic (two-operand): iadd..irem column 0 (0x60..0x70),
+  // shifts, and bitwise ops. The negation family (0x74..0x77) shares
+  // column 0 but is unary and handled below.
+  if ((Op >= OP_iadd && Op <= OP_irem && ((Op - OP_iadd) % 4 == 0)) ||
+      Op == OP_ishl || Op == OP_ishr || Op == 0x7C /*iushr*/ ||
+      Op == OP_iand || Op == OP_ior || Op == OP_ixor) {
+    popKind(F, VKind::Int);
+    popKind(F, VKind::Int);
+    push(F, makeKind(VKind::Int));
+    return;
+  }
+  if (Op == OP_ineg) {
+    popKind(F, VKind::Int);
+    push(F, makeKind(VKind::Int));
+    return;
+  }
+  if (Op == OP_iinc) {
+    getLocal(F, static_cast<uint32_t>(I.Operand1), VKind::Int);
+    return;
+  }
+  // Long/float/double arithmetic: group by operand column.
+  if (Op >= OP_iadd && Op <= 0x83) {
+    int Column = (Op - OP_iadd) % 4;
+    VKind K = Column == 1   ? VKind::Long
+              : Column == 2 ? VKind::Float
+                            : VKind::Double;
+    bool Unary = (Op >= 0x74 && Op <= 0x77); // ineg..dneg
+    if (K == VKind::Long || K == VKind::Double) {
+      popWide(F, K);
+      if (!Unary)
+        popWide(F, K);
+    } else {
+      popKind(F, K);
+      if (!Unary)
+        popKind(F, K);
+    }
+    push(F, makeKind(K));
+    return;
+  }
+  // Conversions (i2l .. i2s) and comparisons (lcmp..dcmpg): modeled
+  // coarsely -- pop per source kind, push per destination kind.
+  if (Op >= OP_i2l && Op <= 0x93) {
+    static const VKind Src[] = {VKind::Int,    VKind::Int,    VKind::Int,
+                                VKind::Long,   VKind::Long,   VKind::Long,
+                                VKind::Float,  VKind::Float,  VKind::Float,
+                                VKind::Double, VKind::Double, VKind::Double,
+                                VKind::Int,    VKind::Int,    VKind::Int};
+    static const VKind Dst[] = {VKind::Long,  VKind::Float, VKind::Double,
+                                VKind::Int,   VKind::Float, VKind::Double,
+                                VKind::Int,   VKind::Long,  VKind::Double,
+                                VKind::Int,   VKind::Long,  VKind::Float,
+                                VKind::Int,   VKind::Int,   VKind::Int};
+    unsigned Idx = Op - OP_i2l;
+    VKind S = Src[Idx], D = Dst[Idx];
+    if (S == VKind::Long || S == VKind::Double)
+      popWide(F, S);
+    else
+      popKind(F, S);
+    push(F, makeKind(D));
+    return;
+  }
+  if (Op >= 0x94 && Op <= 0x98) { // lcmp..dcmpg
+    VKind K = Op == 0x94 ? VKind::Long
+                         : (Op <= 0x96 ? VKind::Float : VKind::Double);
+    if (K == VKind::Long) {
+      popWide(F, K);
+      popWide(F, K);
+    } else {
+      popKind(F, K);
+      popKind(F, K);
+    }
+    push(F, makeKind(VKind::Int));
+    return;
+  }
+
+  // Branches.
+  if (Op >= OP_ifeq && Op <= OP_ifle) {
+    popKind(F, VKind::Int);
+    Successors.push_back(static_cast<uint32_t>(I.Operand1));
+    return;
+  }
+  if (Op >= OP_if_icmpeq && Op <= OP_if_icmple) {
+    popKind(F, VKind::Int);
+    popKind(F, VKind::Int);
+    Successors.push_back(static_cast<uint32_t>(I.Operand1));
+    return;
+  }
+  if (Op == OP_if_acmpeq || Op == OP_if_acmpne) {
+    popRefLike(F);
+    popRefLike(F);
+    Successors.push_back(static_cast<uint32_t>(I.Operand1));
+    return;
+  }
+  if (Op == OP_ifnull || Op == OP_ifnonnull) {
+    popRefLike(F);
+    Successors.push_back(static_cast<uint32_t>(I.Operand1));
+    return;
+  }
+  if (Op == OP_goto || Op == OP_goto_w) {
+    Successors.push_back(static_cast<uint32_t>(I.Operand1));
+    FallsThrough = false;
+    return;
+  }
+  if (Op == OP_tableswitch || Op == OP_lookupswitch) {
+    popKind(F, VKind::Int);
+    // Conservative: default target only (our assembler never emits
+    // switches; decoded mutants with switches verify their default arm).
+    Successors.push_back(static_cast<uint32_t>(I.Operand1));
+    FallsThrough = false;
+    return;
+  }
+  if (Op == OP_jsr || Op == OP_jsr_w || Op == OP_ret) {
+    // jsr/ret subroutines are legacy; reject like modern verifiers.
+    fail("jsr/ret not supported by this verifier");
+    return;
+  }
+
+  // Returns.
+  if (Op >= OP_ireturn && Op <= OP_return) {
+    checkReturn(I, F);
+    FallsThrough = false;
+    return;
+  }
+
+  // Field and invoke instructions.
+  if (Op >= OP_getstatic && Op <= OP_putfield) {
+    transferField(I, F);
+    return;
+  }
+  if (Op >= OP_invokevirtual && Op <= OP_invokeinterface) {
+    transferInvoke(I, F);
+    return;
+  }
+  if (Op == OP_invokedynamic) {
+    fail("invokedynamic not supported by this verifier");
+    return;
+  }
+
+  // Object creation and checks.
+  switch (Op) {
+  case OP_new: {
+    COV_STMT(Cov);
+    uint16_t Index = static_cast<uint16_t>(I.Operand1);
+    if (COV_BRANCH(Cov, !cpTagIs(Index, CpTag::Class))) {
+      fail("new of non-class constant");
+      return;
+    }
+    VType T;
+    T.Kind = VKind::Uninit;
+    T.NewOffset = I.Offset;
+    push(F, T);
+    return;
+  }
+  case OP_newarray:
+    popKind(F, VKind::Int);
+    push(F, makeRef("[I"));
+    return;
+  case OP_anewarray: {
+    uint16_t Index = static_cast<uint16_t>(I.Operand1);
+    if (COV_BRANCH(Cov, !cpTagIs(Index, CpTag::Class))) {
+      fail("anewarray of non-class constant");
+      return;
+    }
+    popKind(F, VKind::Int);
+    auto Name = CF.CP.getClassName(Index);
+    push(F, makeRef("[L" + (Name ? *Name : "java/lang/Object") + ";"));
+    return;
+  }
+  case OP_arraylength:
+    popRefLike(F);
+    push(F, makeKind(VKind::Int));
+    return;
+  case OP_athrow:
+    popRefLike(F);
+    FallsThrough = false;
+    return;
+  case OP_checkcast: {
+    uint16_t Index = static_cast<uint16_t>(I.Operand1);
+    if (COV_BRANCH(Cov, !cpTagIs(Index, CpTag::Class))) {
+      fail("checkcast of non-class constant");
+      return;
+    }
+    popRefLike(F);
+    auto Name = CF.CP.getClassName(Index);
+    push(F, makeRef(Name ? *Name : "java/lang/Object"));
+    return;
+  }
+  case OP_instanceof: {
+    uint16_t Index = static_cast<uint16_t>(I.Operand1);
+    if (COV_BRANCH(Cov, !cpTagIs(Index, CpTag::Class))) {
+      fail("instanceof of non-class constant");
+      return;
+    }
+    popRefLike(F);
+    push(F, makeKind(VKind::Int));
+    return;
+  }
+  case OP_monitorenter:
+  case OP_monitorexit:
+    popRefLike(F);
+    return;
+  case OP_multianewarray: {
+    for (int Dim = 0; Dim != I.Operand2; ++Dim)
+      popKind(F, VKind::Int);
+    push(F, makeRef("java/lang/Object"));
+    return;
+  }
+  default:
+    break;
+  }
+
+  fail("unsupported opcode " + opcodeName(Op));
+}
+
+bool MethodVerifier::stackEffect(const Insn &I, int &Pops, int &Pushes) {
+  uint8_t Op = I.Op;
+  Pops = 0;
+  Pushes = 0;
+
+  // Constants and loads.
+  if (Op == OP_nop) {
+    return true;
+  }
+  if ((Op >= OP_aconst_null && Op <= 0x0F) || Op == OP_bipush ||
+      Op == OP_sipush || (Op >= OP_iload && Op <= OP_aload) ||
+      (Op >= OP_iload_0 && Op <= OP_aload_3)) {
+    bool Wide = (Op >= OP_lconst_0 && Op <= OP_lconst_1) ||
+                (Op >= 0x0E && Op <= 0x0F) || Op == OP_lload ||
+                Op == OP_dload || (Op >= 0x1E && Op <= 0x21) ||
+                (Op >= 0x26 && Op <= 0x29);
+    Pushes = Wide ? 2 : 1;
+    return true;
+  }
+  if (Op == OP_ldc || Op == OP_ldc_w) {
+    Pushes = 1;
+    return true;
+  }
+  if (Op == OP_ldc2_w) {
+    Pushes = 2;
+    return true;
+  }
+  if (Op >= OP_iaload && Op <= 0x35) { // array loads
+    Pops = 2;
+    Pushes = (Op == 0x2F || Op == 0x31) ? 2 : 1; // laload/daload
+    return true;
+  }
+  if ((Op >= OP_istore && Op <= OP_astore) ||
+      (Op >= OP_istore_0 && Op <= OP_astore_3)) {
+    bool Wide = Op == OP_lstore || Op == OP_dstore ||
+                (Op >= 0x3F && Op <= 0x42) || (Op >= 0x47 && Op <= 0x4A);
+    Pops = Wide ? 2 : 1;
+    return true;
+  }
+  if (Op >= OP_iastore && Op <= 0x56) { // array stores
+    Pops = (Op == 0x50 || Op == 0x52) ? 4 : 3; // lastore/dastore
+    return true;
+  }
+  switch (Op) {
+  case OP_pop:
+    Pops = 1;
+    return true;
+  case OP_pop2:
+    Pops = 2;
+    return true;
+  case OP_dup:
+    Pops = 1;
+    Pushes = 2;
+    return true;
+  case OP_dup_x1:
+    Pops = 2;
+    Pushes = 3;
+    return true;
+  case 0x5B: // dup_x2
+    Pops = 3;
+    Pushes = 4;
+    return true;
+  case 0x5C: // dup2
+    Pops = 2;
+    Pushes = 4;
+    return true;
+  case OP_swap:
+    Pops = 2;
+    Pushes = 2;
+    return true;
+  case OP_iinc:
+    return true;
+  default:
+    break;
+  }
+  if (Op >= OP_iadd && Op <= 0x83) { // arithmetic
+    int Column = (Op - OP_iadd) % 4;
+    bool Wide = Column == 1 || Column == 3; // long / double columns
+    bool Unary = Op >= 0x74 && Op <= 0x77;
+    // Shifts of longs take (long, int); approximate as non-shift.
+    Pops = (Unary ? 1 : 2) * (Wide ? 2 : 1);
+    if (!Unary && Op >= 0x79 && Op <= 0x7D && Wide)
+      Pops = 3; // lshl/lshr/lushr: long + int shift count
+    Pushes = Wide ? 2 : 1;
+    return true;
+  }
+  if (Op >= OP_i2l && Op <= 0x93) { // conversions
+    static const int SrcW[] = {1, 1, 1, 2, 2, 2, 1, 1, 1,
+                               2, 2, 2, 1, 1, 1};
+    static const int DstW[] = {2, 1, 2, 1, 1, 2, 1, 2, 2,
+                               1, 2, 1, 1, 1, 1};
+    Pops = SrcW[Op - OP_i2l];
+    Pushes = DstW[Op - OP_i2l];
+    return true;
+  }
+  if (Op >= 0x94 && Op <= 0x98) { // lcmp..dcmpg
+    Pops = Op == 0x94 ? 4 : (Op <= 0x96 ? 2 : 4);
+    Pushes = 1;
+    return true;
+  }
+  if (Op >= OP_ifeq && Op <= OP_ifle) {
+    Pops = 1;
+    return true;
+  }
+  if (Op >= OP_if_icmpeq && Op <= OP_if_acmpne) {
+    Pops = 2;
+    return true;
+  }
+  if (Op == OP_ifnull || Op == OP_ifnonnull) {
+    Pops = 1;
+    return true;
+  }
+  if (Op == OP_goto || Op == OP_goto_w) {
+    return true;
+  }
+  if (Op == OP_tableswitch || Op == OP_lookupswitch) {
+    Pops = 1;
+    return true;
+  }
+  if (Op >= OP_ireturn && Op <= OP_return) {
+    Pops = Op == OP_return ? 0
+                           : ((Op == OP_lreturn || Op == OP_dreturn) ? 2
+                                                                     : 1);
+    return true;
+  }
+  if (Op >= OP_getstatic && Op <= OP_invokeinterface) {
+    auto Ref = CF.CP.getMemberRef(static_cast<uint16_t>(I.Operand1));
+    if (!Ref)
+      return false;
+    if (Op <= OP_putfield) {
+      JType FieldType;
+      if (!parseFieldDescriptor(Ref->Descriptor, FieldType))
+        return false;
+      int W = FieldType.slotWidth();
+      switch (Op) {
+      case OP_getstatic:
+        Pushes = W;
+        break;
+      case OP_putstatic:
+        Pops = W;
+        break;
+      case OP_getfield:
+        Pops = 1;
+        Pushes = W;
+        break;
+      case OP_putfield:
+        Pops = 1 + W;
+        break;
+      }
+      return true;
+    }
+    MethodDescriptor MD;
+    if (!parseMethodDescriptor(Ref->Descriptor, MD))
+      return false;
+    Pops = MD.argSlots() + (Op == OP_invokestatic ? 0 : 1);
+    Pushes = MD.ReturnType.slotWidth();
+    return true;
+  }
+  switch (Op) {
+  case OP_new:
+    Pushes = 1;
+    return true;
+  case OP_newarray:
+  case OP_anewarray:
+    Pops = 1;
+    Pushes = 1;
+    return true;
+  case OP_arraylength:
+  case OP_checkcast:
+    Pops = 1;
+    Pushes = 1;
+    return true;
+  case OP_instanceof:
+    Pops = 1;
+    Pushes = 1;
+    return true;
+  case OP_athrow:
+  case OP_monitorenter:
+  case OP_monitorexit:
+    Pops = 1;
+    return true;
+  case OP_multianewarray:
+    Pops = I.Operand2;
+    Pushes = 1;
+    return true;
+  default:
+    return false;
+  }
+}
+
+void MethodVerifier::runDepthOnly() {
+  // Entry condition: the arguments must fit in max_locals.
+  MethodDescriptor MD;
+  if (COV_BRANCH(Cov, !parseMethodDescriptor(M.Descriptor, MD))) {
+    fail("malformed method descriptor " + M.Descriptor);
+    return;
+  }
+  int ArgSlots = MD.argSlots() + (M.isStatic() ? 0 : 1);
+  if (COV_BRANCH(Cov, ArgSlots > M.Code->MaxLocals)) {
+    fail("arguments exceed max_locals");
+    return;
+  }
+
+  std::map<uint32_t, int> DepthAt;
+  std::deque<uint32_t> Worklist;
+  DepthAt[0] = 0;
+  Worklist.push_back(0);
+  for (const ExceptionTableEntry &E : M.Code->ExceptionTable) {
+    DepthAt[E.HandlerPc] = 1;
+    Worklist.push_back(E.HandlerPc);
+  }
+
+  size_t Steps = 0;
+  while (!Worklist.empty() && !failed()) {
+    if (++Steps > 4 * Insns.size() + 64)
+      return; // Converged enough; the pre-verifier is best-effort.
+    uint32_t Offset = Worklist.front();
+    Worklist.pop_front();
+    const Insn &I = Insns[Offset];
+    int Pops = 0, Pushes = 0;
+    if (!stackEffect(I, Pops, Pushes))
+      return; // Unknown effect: give up silently (lazy pass catches it).
+    int Depth = DepthAt[Offset];
+    if (COV_BRANCH(Cov, Depth < Pops)) {
+      fail("stack shape inconsistent");
+      return;
+    }
+    int Next = Depth - Pops + Pushes;
+    if (COV_BRANCH(Cov, Next > M.Code->MaxStack)) {
+      fail("operand stack overflow (pre-verifier)");
+      return;
+    }
+    // Local-index bounds for the canonical local ops.
+    bool LocalOp = (I.Op >= OP_iload && I.Op <= OP_aload) ||
+                   (I.Op >= OP_istore && I.Op <= OP_astore) ||
+                   I.Op == OP_iinc;
+    if (LocalOp &&
+        COV_BRANCH(Cov, I.Operand1 >= M.Code->MaxLocals)) {
+      fail("local variable index out of range (pre-verifier)");
+      return;
+    }
+
+    auto propagate = [&](uint32_t Succ) {
+      auto It = DepthAt.find(Succ);
+      if (It == DepthAt.end()) {
+        DepthAt[Succ] = Next;
+        Worklist.push_back(Succ);
+      } else if (COV_BRANCH(Cov, It->second != Next)) {
+        fail("stack shape inconsistent");
+      }
+    };
+    bool IsBranch = (I.Op >= OP_ifeq && I.Op <= OP_jsr) ||
+                    I.Op == OP_ifnull || I.Op == OP_ifnonnull ||
+                    I.Op == OP_goto_w;
+    bool Terminates = (I.Op >= OP_ireturn && I.Op <= OP_return) ||
+                      I.Op == OP_athrow || I.Op == OP_goto ||
+                      I.Op == OP_goto_w || I.Op == OP_tableswitch ||
+                      I.Op == OP_lookupswitch;
+    if (IsBranch)
+      propagate(static_cast<uint32_t>(I.Operand1));
+    if (!Terminates) {
+      uint32_t FallThrough = Offset + I.Length;
+      if (Insns.count(FallThrough))
+        propagate(FallThrough);
+      else if (COV_BRANCH(Cov, true)) {
+        fail("execution falls off the end of the code");
+        return;
+      }
+    }
+  }
+}
+
+std::optional<CheckFailure> MethodVerifier::run() {
+  COV_STMT(Cov);
+
+  if (COV_BRANCH(Cov, Code.empty())) {
+    fail("code array is empty");
+    return Failure;
+  }
+  if (COV_BRANCH(Cov, !parseMethodDescriptor(M.Descriptor, Desc))) {
+    fail("malformed method descriptor " + M.Descriptor);
+    return Failure;
+  }
+
+  // Pass 1: decode all instructions; record valid instruction starts.
+  {
+    InsnDecoder Decoder(Code);
+    Insn I;
+    while (Decoder.decodeNext(I))
+      Insns[I.Offset] = I;
+    if (COV_BRANCH(Cov, !Decoder.valid())) {
+      fail("malformed bytecode at offset " +
+           std::to_string(Decoder.position()));
+      return Failure;
+    }
+  }
+
+  // Pass 2: validate branch targets and exception table entries.
+  for (const auto &[Offset, I] : Insns) {
+    bool IsBranch = (I.Op >= OP_ifeq && I.Op <= OP_jsr) ||
+                    I.Op == OP_ifnull || I.Op == OP_ifnonnull ||
+                    I.Op == OP_goto_w || I.Op == OP_jsr_w ||
+                    I.Op == OP_tableswitch || I.Op == OP_lookupswitch;
+    if (IsBranch &&
+        COV_BRANCH(Cov, I.Operand1 < 0 ||
+                            !Insns.count(static_cast<uint32_t>(I.Operand1)))) {
+      fail("branch target " + std::to_string(I.Operand1) +
+           " is not an instruction start");
+      return Failure;
+    }
+  }
+  for (const ExceptionTableEntry &E : M.Code->ExceptionTable) {
+    if (COV_BRANCH(Cov, !Insns.count(E.HandlerPc) ||
+                            E.StartPc >= E.EndPc ||
+                            E.EndPc > Code.size() ||
+                            !Insns.count(E.StartPc))) {
+      fail("malformed exception table entry");
+      return Failure;
+    }
+  }
+
+  if (StructuralOnly) {
+    // The pre-verifier: a depth-only stack dataflow (J9 validates stack
+    // shapes eagerly even though full type checking waits for the first
+    // invocation). Catches max_stack/max_locals violations and
+    // inconsistent depths at joins with the classic J9 message.
+    runDepthOnly();
+    return Failure;
+  }
+
+  // Initial frame from the descriptor.
+  Frame Entry;
+  Entry.Locals.resize(M.Code->MaxLocals, makeKind(VKind::Top));
+  uint32_t Slot = 0;
+  auto placeLocal = [&](VType T) {
+    uint32_t Width = T.isWide() ? 2 : 1;
+    if (Slot + Width > Entry.Locals.size()) {
+      fail("arguments exceed max_locals");
+      return;
+    }
+    Entry.Locals[Slot] = std::move(T);
+    Slot += Width;
+  };
+  if (!M.isStatic()) {
+    if (M.Name == "<init>" && CF.ThisClass != "java/lang/Object")
+      placeLocal(makeKind(VKind::UninitThis));
+    else
+      placeLocal(makeRef(CF.ThisClass));
+  }
+  for (const JType &P : Desc.Params) {
+    if (failed())
+      return Failure;
+    placeLocal(typeFromJType(P));
+  }
+  if (failed())
+    return Failure;
+
+  InFrames[0] = Entry;
+  std::deque<uint32_t> Worklist{0};
+
+  size_t Steps = 0;
+  const size_t MaxSteps = 20000 + 64 * Insns.size();
+  while (!Worklist.empty()) {
+    if (++Steps > MaxSteps) {
+      fail("verification did not converge");
+      return Failure;
+    }
+    uint32_t Offset = Worklist.front();
+    Worklist.pop_front();
+    Frame F = InFrames[Offset];
+    const Insn &I = Insns[Offset];
+
+    std::vector<uint32_t> Successors;
+    bool FallsThrough = true;
+    transfer(I, F, Successors, FallsThrough);
+    if (failed())
+      return Failure;
+
+    if (FallsThrough) {
+      uint32_t Next = Offset + I.Length;
+      if (COV_BRANCH(Cov, Next >= Code.size() && !Insns.count(Next))) {
+        fail("execution falls off the end of the code");
+        return Failure;
+      }
+      Successors.push_back(Next);
+    }
+
+    // Exception edges: every instruction inside a protected region can
+    // transfer to the handler with stack = [exception].
+    for (const ExceptionTableEntry &E : M.Code->ExceptionTable) {
+      if (Offset < E.StartPc || Offset >= E.EndPc)
+        continue;
+      Frame HandlerFrame;
+      HandlerFrame.Locals = F.Locals;
+      HandlerFrame.Stack.push_back(makeRef(
+          E.CatchType.empty() ? "java/lang/Throwable" : E.CatchType));
+      auto It = InFrames.find(E.HandlerPc);
+      if (It == InFrames.end()) {
+        InFrames[E.HandlerPc] = HandlerFrame;
+        Worklist.push_back(E.HandlerPc);
+      } else {
+        bool Changed = false;
+        if (!mergeFrames(HandlerFrame, It->second, Changed))
+          return Failure;
+        if (Changed)
+          Worklist.push_back(E.HandlerPc);
+      }
+    }
+
+    for (uint32_t Succ : Successors) {
+      if (COV_BRANCH(Cov, !Insns.count(Succ))) {
+        fail("control transfers to offset " + std::to_string(Succ) +
+             " which is not an instruction start");
+        return Failure;
+      }
+      auto It = InFrames.find(Succ);
+      if (It == InFrames.end()) {
+        InFrames[Succ] = F;
+        Worklist.push_back(Succ);
+      } else {
+        bool Changed = false;
+        if (!mergeFrames(F, It->second, Changed))
+          return Failure;
+        if (Changed)
+          Worklist.push_back(Succ);
+      }
+    }
+  }
+
+  return Failure;
+}
+
+} // namespace
+
+std::optional<CheckFailure>
+classfuzz::verifyMethod(const ClassFile &CF, const MethodInfo &Method,
+                        const JvmPolicy &Policy, const ClassLookupFn &Lookup,
+                        CoverageRecorder *Cov) {
+  if (!Method.Code)
+    return std::nullopt; // Abstract/native methods verify trivially.
+  return MethodVerifier(CF, Method, Policy, Lookup, Cov).run();
+}
+
+std::optional<CheckFailure>
+classfuzz::verifyMethodStructural(const ClassFile &CF,
+                                  const MethodInfo &Method,
+                                  const JvmPolicy &Policy,
+                                  CoverageRecorder *Cov) {
+  if (!Method.Code)
+    return std::nullopt;
+  ClassLookupFn NoLookup;
+  return MethodVerifier(CF, Method, Policy, NoLookup, Cov,
+                        /*StructuralOnly=*/true)
+      .run();
+}

@@ -1,0 +1,64 @@
+//===- jvm/Verifier.h - Dataflow bytecode verifier -----------------------===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A type-inference bytecode verifier in the style of JVMS §4.10.2: a
+/// worklist dataflow over the instructions of one method, tracking a
+/// typed operand stack and local-variable frame, merging frames at join
+/// points, and rejecting ill-typed code with VerifyError. Policy knobs
+/// reproduce the paper's Problem 2 differences:
+///
+///  * CheckUninitializedMerge -- GIJ reports a VerifyError when
+///    initialized and uninitialized types merge; HotSpot does not.
+///  * StrictInvokeArgTypes -- GIJ flags reference arguments that are not
+///    assignable to the declared parameter type (the unsafe-cast classes
+///    like M1433982529); HotSpot accepts any reference.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_JVM_VERIFIER_H
+#define CLASSFUZZ_JVM_VERIFIER_H
+
+#include "classfile/ClassFile.h"
+#include "coverage/Tracefile.h"
+#include "jvm/FormatChecker.h"
+#include "jvm/Policy.h"
+
+#include <functional>
+#include <optional>
+
+namespace classfuzz {
+
+/// Hierarchy oracle: returns the parsed classfile for an internal name,
+/// or nullptr when the class is not on the class path. The verifier is
+/// deliberately lenient about unknown classes (real JVMs resolve lazily).
+using ClassLookupFn = std::function<const ClassFile *(const std::string &)>;
+
+/// Verifies one method's bytecode. Returns the VerifyError to raise, or
+/// nullopt when the method passes. Methods without code verify trivially.
+std::optional<CheckFailure> verifyMethod(const ClassFile &CF,
+                                         const MethodInfo &Method,
+                                         const JvmPolicy &Policy,
+                                         const ClassLookupFn &Lookup,
+                                         CoverageRecorder *Cov);
+
+/// The structural subset of verification only: instruction decoding,
+/// branch-target validity, exception-table sanity -- no type dataflow.
+/// Lazy-verification profiles (J9) run this for every method at link
+/// time (Policy.StructuralVerifyOnLink).
+std::optional<CheckFailure>
+verifyMethodStructural(const ClassFile &CF, const MethodInfo &Method,
+                       const JvmPolicy &Policy, CoverageRecorder *Cov);
+
+/// True when \p Sub is assignable to \p Super under the hierarchy visible
+/// through \p Lookup (reflexive; walks superclasses and interfaces;
+/// unknown classes are treated as assignable-to-Object only).
+bool isRefAssignable(const std::string &Sub, const std::string &Super,
+                     const ClassLookupFn &Lookup);
+
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_JVM_VERIFIER_H

@@ -1,0 +1,102 @@
+//===- mcmc/McmcSelector.cpp -----------------------------------------------===//
+
+#include "mcmc/McmcSelector.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace classfuzz;
+
+bool classfuzz::satisfiesPConditions(double P, size_t NumMutators,
+                                     double Epsilon) {
+  if (P <= 0.0 || P >= 1.0)
+    return false;
+  double N = static_cast<double>(NumMutators);
+  // Condition 1: cumulative probability over the first N ranks in
+  // [0.95, 1]. The geometric CDF at N is 1 - (1-p)^N.
+  double Cumulative = 1.0 - std::pow(1.0 - P, N);
+  if (Cumulative < 0.95)
+    return false;
+  // Condition 2: the top-ranked mutator gets at least uniform mass.
+  if (P < 1.0 / N)
+    return false;
+  // Condition 3: the bottom-ranked mutator keeps a real chance.
+  if (std::pow(1.0 - P, N - 1.0) * P <= Epsilon)
+    return false;
+  return true;
+}
+
+PBounds classfuzz::estimatePBounds(size_t NumMutators, double Epsilon) {
+  PBounds Out;
+  const double Step = 1e-5;
+  bool InRange = false;
+  for (double P = Step; P < 1.0; P += Step) {
+    bool Ok = satisfiesPConditions(P, NumMutators, Epsilon);
+    if (Ok && !InRange) {
+      Out.Lo = P;
+      InRange = true;
+    }
+    if (!Ok && InRange) {
+      Out.Hi = P - Step;
+      return Out;
+    }
+  }
+  if (InRange)
+    Out.Hi = 1.0 - Step;
+  return Out;
+}
+
+McmcSelector::McmcSelector(size_t NumMutators, double P)
+    : P(P), Selected(NumMutators, 0), Succeeded(NumMutators, 0),
+      Ranking(NumMutators), Rank(NumMutators) {
+  assert(NumMutators > 0 && "selector over empty mutator set");
+  for (size_t I = 0; I != NumMutators; ++I) {
+    Ranking[I] = I;
+    Rank[I] = I;
+  }
+}
+
+double McmcSelector::successRate(size_t MutatorIndex) const {
+  // Optimistic prior for never-selected mutators: 0/0 ranks top so that
+  // every mutator gets tried before the ranking settles (otherwise the
+  // chain under-explores and the Figure 4 correlation degrades).
+  if (Selected[MutatorIndex] == 0)
+    return 1.0;
+  return static_cast<double>(Succeeded[MutatorIndex]) /
+         static_cast<double>(Selected[MutatorIndex]);
+}
+
+void McmcSelector::resort() {
+  std::stable_sort(Ranking.begin(), Ranking.end(),
+                   [this](size_t A, size_t B) {
+                     return successRate(A) > successRate(B);
+                   });
+  for (size_t R = 0; R != Ranking.size(); ++R)
+    Rank[Ranking[R]] = R;
+}
+
+size_t McmcSelector::selectNext(Rng &R) {
+  size_t K1 = Rank[Current];
+  // Propose uniformly (the symmetric proposal distribution g), accept
+  // with min(1, (1-p)^(k2-k1)).
+  for (;;) {
+    size_t Proposal = R.choiceIndex(Selected.size());
+    size_t K2 = Rank[Proposal];
+    double Accept = std::pow(1.0 - P, static_cast<double>(K2) -
+                                          static_cast<double>(K1));
+    if (Accept >= 1.0 || R.nextDouble() < Accept) {
+      Current = Proposal;
+      return Current;
+    }
+  }
+}
+
+void McmcSelector::recordOutcome(size_t MutatorIndex,
+                                 bool Representative) {
+  assert(MutatorIndex < Selected.size() && "mutator index out of range");
+  ++Selected[MutatorIndex];
+  if (Representative)
+    ++Succeeded[MutatorIndex];
+  resort();
+}

@@ -1,0 +1,104 @@
+//===- mcmc/McmcSelector.h - Metropolis-Hastings mutator selection -------===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MCMC mutator-selection machinery of §2.2.2: mutators are ranked
+/// by success rate (descending), the target distribution over ranks is
+/// geometric Pr(X=k) = (1-p)^(k-1) p, and the Metropolis choice
+///
+///   A(mu1 -> mu2) = min(1, (1-p)^(k2-k1))
+///
+/// accepts proposals toward higher-ranked (more successful) mutators
+/// always and toward lower-ranked ones with geometrically decaying
+/// probability. Success rates are re-computed and the ranking re-sorted
+/// after every acceptance decision (Algorithm 1 lines 15-16).
+///
+/// Note on Algorithm 1 line 10: the paper's pseudocode loops
+/// "until random() >= (1-p)^(k2-k1)", which as printed would never
+/// accept a *better* mutator (threshold > 1). We implement the
+/// Metropolis choice the surrounding text defines: accept mu2 iff
+/// random() < min(1, (1-p)^(k2-k1)).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_MCMC_MCMCSELECTOR_H
+#define CLASSFUZZ_MCMC_MCMCSELECTOR_H
+
+#include "support/Rng.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace classfuzz {
+
+/// Bounds for the geometric parameter p.
+struct PBounds {
+  double Lo = 0;
+  double Hi = 0;
+};
+
+/// True when \p P satisfies the paper's three conditions (§2.2.2
+/// "Parameter estimation"):
+///   1. 0.95 <= sum_{k=1..N} Pr(X=k) <= 1
+///   2. p >= 1/N
+///   3. (1-p)^(N-1) p > epsilon
+bool satisfiesPConditions(double P, size_t NumMutators = 129,
+                          double Epsilon = 0.001);
+
+/// Numerically estimates the valid (Lo, Hi) range of p. The paper
+/// reports (0.022, 0.025) for N = 129.
+PBounds estimatePBounds(size_t NumMutators = 129, double Epsilon = 0.001);
+
+/// The p the paper uses: 3/129 (~0.023).
+inline double defaultGeometricP(size_t NumMutators = 129) {
+  return 3.0 / static_cast<double>(NumMutators);
+}
+
+/// Metropolis-Hastings sampler over mutator indices.
+class McmcSelector {
+public:
+  explicit McmcSelector(size_t NumMutators,
+                        double P = defaultGeometricP());
+
+  /// Algorithm 1 lines 6-10: proposes uniformly until a proposal is
+  /// accepted by the Metropolis choice; returns the mutator index and
+  /// makes it the current sample.
+  size_t selectNext(Rng &R);
+
+  /// Records the outcome of applying \p MutatorIndex (whether the
+  /// mutant was accepted as representative), then re-sorts the ranking.
+  void recordOutcome(size_t MutatorIndex, bool Representative);
+
+  double successRate(size_t MutatorIndex) const;
+  size_t timesSelected(size_t MutatorIndex) const {
+    return Selected[MutatorIndex];
+  }
+  size_t timesSucceeded(size_t MutatorIndex) const {
+    return Succeeded[MutatorIndex];
+  }
+
+  /// Mutator indices in descending order of success rate.
+  const std::vector<size_t> &ranking() const { return Ranking; }
+  /// Rank (0-based) of a mutator in the current ordering.
+  size_t rankOf(size_t MutatorIndex) const { return Rank[MutatorIndex]; }
+
+  size_t current() const { return Current; }
+  double p() const { return P; }
+
+private:
+  void resort();
+
+  double P;
+  size_t Current = 0;
+  std::vector<size_t> Selected;
+  std::vector<size_t> Succeeded;
+  std::vector<size_t> Ranking; ///< rank -> mutator index.
+  std::vector<size_t> Rank;    ///< mutator index -> rank.
+};
+
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_MCMC_MCMCSELECTOR_H

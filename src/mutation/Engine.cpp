@@ -1,0 +1,81 @@
+//===- mutation/Engine.cpp -------------------------------------------------===//
+
+#include "mutation/Engine.h"
+
+#include "classfile/Opcodes.h"
+
+#include <cassert>
+
+using namespace classfuzz;
+
+void classfuzz::ensureMainMethod(JirClass &J) {
+  if (J.findMethodByName("main"))
+    return;
+  JirMethod Main;
+  Main.Name = "main";
+  Main.Descriptor = "([Ljava/lang/String;)V";
+  Main.AccessFlags = ACC_PUBLIC | ACC_STATIC;
+  Main.HasBody = true;
+  Main.MaxStack = 2;
+  Main.MaxLocals = 1;
+  JirStmt GetOut;
+  GetOut.Op = OP_getstatic;
+  GetOut.RefClass = "java/lang/System";
+  GetOut.RefName = "out";
+  GetOut.RefDesc = "Ljava/io/PrintStream;";
+  JirStmt Ldc;
+  Ldc.Op = OP_ldc;
+  Ldc.ConstKind = 's';
+  Ldc.StrOperand = SupplementedMainMessage;
+  JirStmt Call;
+  Call.Op = OP_invokevirtual;
+  Call.RefClass = "java/io/PrintStream";
+  Call.RefName = "println";
+  Call.RefDesc = "(Ljava/lang/String;)V";
+  JirStmt Ret;
+  Ret.Op = OP_return;
+  Main.Body = {GetOut, Ldc, Call, Ret};
+  J.Methods.push_back(std::move(Main));
+}
+
+MutationOutcome classfuzz::mutateClass(const Bytes &SeedData,
+                                       size_t MutatorIndex,
+                                       MutationContext &Ctx) {
+  assert(MutatorIndex < mutatorRegistry().size() &&
+         "mutator index out of range");
+  MutationOutcome Out;
+
+  auto Lowered = lowerClassBytes(SeedData);
+  if (!Lowered) {
+    Out.Error = "lowering: " + Lowered.error();
+    return Out;
+  }
+  JirClass J = Lowered.take();
+
+  const Mutator &Mu = mutatorRegistry()[MutatorIndex];
+  if (!Mu.Apply(J, Ctx)) {
+    Out.Error = "mutator " + Mu.Id + " not applicable";
+    return Out;
+  }
+
+  // §2.2.1: supplement each mutant with a simple main so that "a mutated
+  // classfile can either be normally invoked or trigger an error".
+  ensureMainMethod(J);
+
+  // Every mutant gets a fresh unique name (the paper's M1436188543
+  // style), with Soot-like self-reference fixup. Unique names keep
+  // mutants from shadowing each other on the class path.
+  renameClassInPlace(
+      J, "M" + std::to_string(1400000000 + Ctx.R.nextBelow(99999999)) +
+             std::to_string(Ctx.R.nextBelow(997)));
+
+  auto Data = assembleToBytes(J);
+  if (!Data) {
+    Out.Error = "assembly: " + Data.error();
+    return Out;
+  }
+  Out.Produced = true;
+  Out.ClassName = J.Name;
+  Out.Data = Data.take();
+  return Out;
+}

@@ -1,0 +1,43 @@
+//===- mutation/Engine.h - Seed -> mutant classfile pipeline --------------===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs one mutation: parse seed bytes, lower to JIR, apply a selected
+/// mutator, supplement a main method when absent (§2.2.1: "we supplement
+/// each classfile mutant with a simple main method"), and assemble back
+/// to classfile bytes. Any stage can fail, which is why fuzzing
+/// iterations do not always produce a classfile (Finding 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_MUTATION_ENGINE_H
+#define CLASSFUZZ_MUTATION_ENGINE_H
+
+#include "mutation/Mutator.h"
+
+namespace classfuzz {
+
+/// The outcome of one mutation attempt.
+struct MutationOutcome {
+  bool Produced = false;
+  std::string ClassName; ///< The mutant's (possibly renamed) class name.
+  Bytes Data;            ///< Classfile bytes when Produced.
+  std::string Error;     ///< Failure reason when !Produced.
+};
+
+/// The message the supplemented main prints.
+inline constexpr const char *SupplementedMainMessage = "Completed!";
+
+/// Appends the standard supplemented main method when \p J lacks one.
+void ensureMainMethod(JirClass &J);
+
+/// Applies \p MutatorIndex (into mutatorRegistry()) to the seed.
+MutationOutcome mutateClass(const Bytes &SeedData, size_t MutatorIndex,
+                            MutationContext &Ctx);
+
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_MUTATION_ENGINE_H

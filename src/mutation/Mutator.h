@@ -1,0 +1,59 @@
+//===- mutation/Mutator.h - The 129 mutation operators --------------------===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mutator registry: 129 mutation operators over JIR (123 syntactic
+/// + 6 statement-level), mirroring §2.2.1 and Table 2 of the paper.
+/// Mutators rewrite class attributes, supertypes, interfaces, fields,
+/// methods, throws clauses, parameter lists, local-variable slots, and
+/// Jimple-level statements; many deliberately produce illegal constructs
+/// (the raw material for JVM discrepancies).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_MUTATION_MUTATOR_H
+#define CLASSFUZZ_MUTATION_MUTATOR_H
+
+#include "jir/Jir.h"
+#include "support/Rng.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace classfuzz {
+
+/// The number of mutators, fixed by the paper.
+inline constexpr size_t NumMutators = 129;
+
+/// Shared inputs of a mutation: the random stream and the class names
+/// visible on the class path (used by "...from a class list" mutators).
+struct MutationContext {
+  Rng &R;
+  const std::vector<std::string> &KnownClasses;
+};
+
+/// One mutation operator.
+struct Mutator {
+  /// Identifier, e.g. "method.rename".
+  std::string Id;
+  /// Human-readable description in the paper's style, e.g.
+  /// "Select a method and rename it".
+  std::string Description;
+  /// Mutation target group of Table 2: "Class", "Interface", "Field",
+  /// "Method", "Exception", "Parameter", "LocalVariable", "JimpleStmt".
+  std::string Category;
+  /// Applies the mutation in place. Returns false when inapplicable
+  /// (e.g. deleting a field from a fieldless class).
+  std::function<bool(JirClass &, MutationContext &)> Apply;
+};
+
+/// The full registry; exactly NumMutators entries, stable order.
+const std::vector<Mutator> &mutatorRegistry();
+
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_MUTATION_MUTATOR_H

@@ -1,0 +1,1367 @@
+//===- mutation/Mutators.cpp - Registry of the 129 mutators ---------------===//
+
+#include "mutation/Mutator.h"
+
+#include "classfile/Descriptor.h"
+#include "classfile/Opcodes.h"
+
+#include <cassert>
+
+using namespace classfuzz;
+
+namespace {
+
+// ---- small helpers --------------------------------------------------------
+
+/// Index of a random element, or -1 when empty.
+template <typename T>
+int pickIndex(const std::vector<T> &Items, Rng &R) {
+  if (Items.empty())
+    return -1;
+  return static_cast<int>(R.choiceIndex(Items.size()));
+}
+
+/// Index of a random method with a body, or -1.
+int pickBodyMethod(const JirClass &J, Rng &R) {
+  std::vector<int> Candidates;
+  for (size_t I = 0; I != J.Methods.size(); ++I)
+    if (J.Methods[I].HasBody)
+      Candidates.push_back(static_cast<int>(I));
+  if (Candidates.empty())
+    return -1;
+  return Candidates[R.choiceIndex(Candidates.size())];
+}
+
+int pickMethod(const JirClass &J, Rng &R) {
+  if (J.Methods.empty())
+    return -1;
+  return static_cast<int>(R.choiceIndex(J.Methods.size()));
+}
+
+std::string randomIdentifier(Rng &R) {
+  static const char *Stems[] = {"m",  "run",   "value", "doIt", "x",
+                                "op", "apply", "get",   "next", "work"};
+  return std::string(Stems[R.choiceIndex(10)]) +
+         std::to_string(R.nextBelow(1000));
+}
+
+std::string randomKnownClass(MutationContext &Ctx) {
+  if (Ctx.KnownClasses.empty())
+    return "java/lang/Object";
+  return Ctx.KnownClasses[Ctx.R.choiceIndex(Ctx.KnownClasses.size())];
+}
+
+/// A fresh void method with a trivial body.
+JirMethod makeVoidMethod(const std::string &Name, uint16_t Flags) {
+  JirMethod M;
+  M.Name = Name;
+  M.Descriptor = "()V";
+  M.AccessFlags = Flags;
+  M.HasBody = true;
+  M.MaxStack = 1;
+  M.MaxLocals = 1;
+  JirStmt Ret;
+  Ret.Op = OP_return;
+  M.Body.push_back(Ret);
+  return M;
+}
+
+/// A method printing a constant via System.out.
+JirMethod makePrintingMethod(const std::string &Name, uint16_t Flags,
+                             const std::string &Message) {
+  JirMethod M;
+  M.Name = Name;
+  M.Descriptor = "()V";
+  M.AccessFlags = Flags;
+  M.HasBody = true;
+  M.MaxStack = 2;
+  M.MaxLocals = 1;
+  JirStmt GetOut;
+  GetOut.Op = OP_getstatic;
+  GetOut.RefClass = "java/lang/System";
+  GetOut.RefName = "out";
+  GetOut.RefDesc = "Ljava/io/PrintStream;";
+  JirStmt Ldc;
+  Ldc.Op = OP_ldc;
+  Ldc.ConstKind = 's';
+  Ldc.StrOperand = Message;
+  JirStmt Call;
+  Call.Op = OP_invokevirtual;
+  Call.RefClass = "java/io/PrintStream";
+  Call.RefName = "println";
+  Call.RefDesc = "(Ljava/lang/String;)V";
+  JirStmt Ret;
+  Ret.Op = OP_return;
+  M.Body = {GetOut, Ldc, Call, Ret};
+  return M;
+}
+
+/// Rewrites one parameter of a method descriptor; returns false when the
+/// descriptor is malformed or has no parameter at \p Which.
+bool retypeParameter(JirMethod &M, size_t Which, const JType &NewType) {
+  MethodDescriptor MD;
+  if (!parseMethodDescriptor(M.Descriptor, MD) ||
+      Which >= MD.Params.size() || MD.Params[Which] == NewType)
+    return false;
+  MD.Params[Which] = NewType;
+  M.Descriptor = MD.toDescriptor();
+  return true;
+}
+
+bool changeReturnType(JirMethod &M, const JType &NewType) {
+  MethodDescriptor MD;
+  if (!parseMethodDescriptor(M.Descriptor, MD) ||
+      MD.ReturnType == NewType)
+    return false;
+  MD.ReturnType = NewType;
+  M.Descriptor = MD.toDescriptor();
+  return true;
+}
+
+/// All body statements touching local \p Slot as load/store of any kind.
+std::vector<size_t> localRefs(const JirMethod &M, int32_t Slot) {
+  std::vector<size_t> Out;
+  for (size_t I = 0; I != M.Body.size(); ++I) {
+    uint8_t Op = M.Body[I].Op;
+    bool Local = (Op >= OP_iload && Op <= OP_aload) ||
+                 (Op >= OP_istore && Op <= OP_astore) || Op == OP_iinc;
+    if (Local && M.Body[I].IntOperand == Slot)
+      Out.push_back(I);
+  }
+  return Out;
+}
+
+/// Picks a local slot referenced in the body, or -1.
+int pickReferencedSlot(const JirMethod &M, Rng &R) {
+  std::vector<int32_t> Slots;
+  for (const JirStmt &S : M.Body) {
+    uint8_t Op = S.Op;
+    bool Local = (Op >= OP_iload && Op <= OP_aload) ||
+                 (Op >= OP_istore && Op <= OP_astore) || Op == OP_iinc;
+    if (Local)
+      Slots.push_back(S.IntOperand);
+  }
+  if (Slots.empty())
+    return -1;
+  return Slots[R.choiceIndex(Slots.size())];
+}
+
+/// Fields of a canned donor class ("replace all fields with those of
+/// another class", Table 5).
+std::vector<JirField> donorFields() {
+  return {
+      {"out", "Ljava/io/PrintStream;",
+       ACC_PUBLIC | ACC_STATIC | ACC_FINAL, std::nullopt},
+      {"MAP", "Ljava/util/Map;", ACC_PROTECTED | ACC_FINAL,
+       std::nullopt},
+      {"count", "I", ACC_PRIVATE, std::nullopt},
+  };
+}
+
+/// Methods of a canned donor class ("replace all methods with those of
+/// another class", the top Table 5 mutator).
+std::vector<JirMethod> donorMethods() {
+  std::vector<JirMethod> Out;
+  JirMethod Ctor = makeVoidMethod("<init>", ACC_PUBLIC);
+  {
+    // Proper constructor body: aload_0; invokespecial Object.<init>.
+    JirStmt Load;
+    Load.Op = OP_aload;
+    Load.IntOperand = 0;
+    JirStmt Call;
+    Call.Op = OP_invokespecial;
+    Call.RefClass = "java/lang/Object";
+    Call.RefName = "<init>";
+    Call.RefDesc = "()V";
+    JirStmt Ret;
+    Ret.Op = OP_return;
+    Ctor.Body = {Load, Call, Ret};
+  }
+  Out.push_back(Ctor);
+  Out.push_back(makePrintingMethod("run", ACC_PUBLIC, "donor-run"));
+  JirMethod Getter;
+  Getter.Name = "size";
+  Getter.Descriptor = "()I";
+  Getter.AccessFlags = ACC_PUBLIC;
+  Getter.HasBody = true;
+  Getter.MaxStack = 1;
+  Getter.MaxLocals = 1;
+  JirStmt Zero;
+  Zero.Op = OP_ldc;
+  Zero.ConstKind = 'i';
+  Zero.IntOperand = 0;
+  JirStmt Ret;
+  Ret.Op = OP_ireturn;
+  Getter.Body = {Zero, Ret};
+  Out.push_back(Getter);
+  return Out;
+}
+
+JirStmt makeNop() {
+  JirStmt S;
+  S.Op = OP_nop;
+  return S;
+}
+
+/// A random harmless-ish statement for statement insertion.
+JirStmt makeRandomSimpleStmt(Rng &R) {
+  switch (R.nextBelow(3)) {
+  case 0:
+    return makeNop();
+  case 1: {
+    JirStmt S;
+    S.Op = OP_ldc;
+    S.ConstKind = 'i';
+    S.IntOperand = static_cast<int32_t>(R.nextInRange(-4, 9));
+    return S;
+  }
+  default: {
+    JirStmt S;
+    S.Op = OP_pop;
+    return S;
+  }
+  }
+}
+
+// ---- registry construction ------------------------------------------------
+
+using Fn = std::function<bool(JirClass &, MutationContext &)>;
+
+void add(std::vector<Mutator> &Reg, const char *Id, const char *Category,
+         const char *Description, Fn Apply) {
+  Reg.push_back(Mutator{Id, Description, Category, std::move(Apply)});
+}
+
+void addClassMutators(std::vector<Mutator> &Reg) {
+  auto flagAdd = [](uint16_t Flag) {
+    return [Flag](JirClass &J, MutationContext &) {
+      if (J.AccessFlags & Flag)
+        return false;
+      J.AccessFlags |= Flag;
+      return true;
+    };
+  };
+  auto flagRemove = [](uint16_t Flag) {
+    return [Flag](JirClass &J, MutationContext &) {
+      if (!(J.AccessFlags & Flag))
+        return false;
+      J.AccessFlags = static_cast<uint16_t>(J.AccessFlags & ~Flag);
+      return true;
+    };
+  };
+  auto setSuper = [](const char *Super) {
+    return [Super](JirClass &J, MutationContext &) {
+      if (J.SuperClass == Super)
+        return false;
+      J.SuperClass = Super;
+      return true;
+    };
+  };
+  auto setMajor = [](uint16_t Major) {
+    return [Major](JirClass &J, MutationContext &) {
+      if (J.MajorVersion == Major)
+        return false;
+      J.MajorVersion = Major;
+      return true;
+    };
+  };
+
+  add(Reg, "class.add-final", "Class",
+      "Select a class and add the final modifier", flagAdd(ACC_FINAL));
+  add(Reg, "class.remove-final", "Class",
+      "Select a class and remove the final modifier",
+      flagRemove(ACC_FINAL));
+  add(Reg, "class.add-abstract", "Class",
+      "Select a class and add the abstract modifier",
+      flagAdd(ACC_ABSTRACT));
+  add(Reg, "class.remove-abstract", "Class",
+      "Select a class and remove the abstract modifier",
+      flagRemove(ACC_ABSTRACT));
+  add(Reg, "class.add-interface-flag", "Class",
+      "Select a class and turn it into an interface",
+      flagAdd(ACC_INTERFACE));
+  add(Reg, "class.remove-interface-flag", "Class",
+      "Select an interface and turn it into a class",
+      flagRemove(ACC_INTERFACE));
+  add(Reg, "class.add-annotation-flag", "Class",
+      "Select a class and mark it as an annotation",
+      flagAdd(ACC_ANNOTATION));
+  add(Reg, "class.add-enum-flag", "Class",
+      "Select a class and mark it as an enum", flagAdd(ACC_ENUM));
+  add(Reg, "class.add-synthetic-flag", "Class",
+      "Select a class and mark it synthetic", flagAdd(ACC_SYNTHETIC));
+  add(Reg, "class.remove-public", "Class",
+      "Select a class and remove the public modifier",
+      flagRemove(ACC_PUBLIC));
+  add(Reg, "class.add-private", "Class",
+      "Select a class and add the private modifier",
+      flagAdd(ACC_PRIVATE));
+  add(Reg, "class.remove-super-flag", "Class",
+      "Select a class and remove the ACC_SUPER flag",
+      flagRemove(ACC_SUPER));
+  add(Reg, "class.rename", "Class",
+      "Select a class and rename it",
+      [](JirClass &J, MutationContext &Ctx) {
+        J.Name = "M" + std::to_string(1400000000 +
+                                      Ctx.R.nextBelow(99999999));
+        return true;
+      });
+  add(Reg, "class.reset-package", "Class",
+      "Select a class and reset its package name",
+      [](JirClass &J, MutationContext &Ctx) {
+        size_t Slash = J.Name.rfind('/');
+        std::string Simple =
+            Slash == std::string::npos ? J.Name : J.Name.substr(Slash + 1);
+        J.Name = "pkg" + std::to_string(Ctx.R.nextBelow(100)) + "/" +
+                 Simple;
+        return true;
+      });
+  add(Reg, "class.set-super-thread", "Class",
+      "Select a class and set java.lang.Thread as its superclass",
+      setSuper("java/lang/Thread"));
+  add(Reg, "class.set-super-exception", "Class",
+      "Select a class and set java.lang.Exception as its superclass",
+      setSuper("java/lang/Exception"));
+  add(Reg, "class.set-super-final", "Class",
+      "Select a class and set a final class as its superclass",
+      setSuper("java/lang/String"));
+  add(Reg, "class.set-super-interface", "Class",
+      "Select a class and set an interface as its superclass",
+      setSuper("java/lang/Runnable"));
+  add(Reg, "class.set-super-missing", "Class",
+      "Select a class and set a missing class as its superclass",
+      setSuper("no/such/Clazz"));
+  add(Reg, "class.set-super-random", "Class",
+      "Select a class and set its superclass as a class randomly "
+      "selected from a class list",
+      [](JirClass &J, MutationContext &Ctx) {
+        J.SuperClass = randomKnownClass(Ctx);
+        return true;
+      });
+  add(Reg, "class.set-super-self", "Class",
+      "Select a class and set the class itself as its superclass",
+      [](JirClass &J, MutationContext &) {
+        J.SuperClass = J.Name;
+        return true;
+      });
+  add(Reg, "class.set-super-object", "Class",
+      "Select a class and reset its superclass to java.lang.Object",
+      setSuper("java/lang/Object"));
+  add(Reg, "class.set-version-49", "Class",
+      "Select a class and set its major version to 49", setMajor(49));
+  add(Reg, "class.set-version-52", "Class",
+      "Select a class and set its major version to 52", setMajor(52));
+  add(Reg, "class.set-version-53", "Class",
+      "Select a class and set its major version to 53", setMajor(53));
+  add(Reg, "class.set-version-99", "Class",
+      "Select a class and set an unsupported major version",
+      setMajor(99));
+  add(Reg, "class.set-super-sun-internal", "Class",
+      "Select a class and set a sun.* internal class as its superclass",
+      setSuper("sun/misc/BASE64Encoder"));
+  add(Reg, "class.set-minor-version", "Class",
+      "Select a class and set a nonzero minor version",
+      [](JirClass &J, MutationContext &Ctx) {
+        J.MinorVersion = static_cast<uint16_t>(1 + Ctx.R.nextBelow(9));
+        return true;
+      });
+}
+
+void addInterfaceListMutators(std::vector<Mutator> &Reg) {
+  auto addIface = [](const char *Name) {
+    return [Name](JirClass &J, MutationContext &) {
+      for (const std::string &I : J.Interfaces)
+        if (I == Name)
+          return false;
+      J.Interfaces.push_back(Name);
+      return true;
+    };
+  };
+  add(Reg, "iface.add-runnable", "Interface",
+      "Insert java.lang.Runnable as an implemented interface",
+      addIface("java/lang/Runnable"));
+  add(Reg, "iface.add-privileged-action", "Interface",
+      "Insert java.security.PrivilegedAction as an implemented "
+      "interface",
+      addIface("java/security/PrivilegedAction"));
+  add(Reg, "iface.add-comparable", "Interface",
+      "Insert java.lang.Comparable as an implemented interface",
+      addIface("java/lang/Comparable"));
+  add(Reg, "iface.add-serializable", "Interface",
+      "Insert java.io.Serializable as an implemented interface",
+      addIface("java/io/Serializable"));
+  add(Reg, "iface.add-map", "Interface",
+      "Insert java.util.Map as an implemented interface",
+      addIface("java/util/Map"));
+  add(Reg, "iface.add-random", "Interface",
+      "Insert an interface randomly selected from a class list",
+      [](JirClass &J, MutationContext &Ctx) {
+        J.Interfaces.push_back(randomKnownClass(Ctx));
+        return true;
+      });
+  add(Reg, "iface.add-non-interface", "Interface",
+      "Insert a non-interface class into the implements list",
+      addIface("java/lang/Thread"));
+  add(Reg, "iface.add-missing", "Interface",
+      "Insert a missing class into the implements list",
+      addIface("no/such/Iface"));
+  add(Reg, "iface.add-self", "Interface",
+      "Insert the class itself into its implements list",
+      [](JirClass &J, MutationContext &) {
+        J.Interfaces.push_back(J.Name);
+        return true;
+      });
+  add(Reg, "iface.duplicate-one", "Interface",
+      "Duplicate one implemented interface",
+      [](JirClass &J, MutationContext &Ctx) {
+        int I = pickIndex(J.Interfaces, Ctx.R);
+        if (I < 0)
+          return false;
+        J.Interfaces.push_back(J.Interfaces[I]);
+        return true;
+      });
+  add(Reg, "iface.delete-one", "Interface",
+      "Delete one implemented interface",
+      [](JirClass &J, MutationContext &Ctx) {
+        int I = pickIndex(J.Interfaces, Ctx.R);
+        if (I < 0)
+          return false;
+        J.Interfaces.erase(J.Interfaces.begin() + I);
+        return true;
+      });
+  add(Reg, "iface.delete-all", "Interface",
+      "Delete all implemented interfaces",
+      [](JirClass &J, MutationContext &) {
+        if (J.Interfaces.empty())
+          return false;
+        J.Interfaces.clear();
+        return true;
+      });
+}
+
+void addFieldMutators(std::vector<Mutator> &Reg) {
+  auto insertField = [](const char *Desc, uint16_t Flags) {
+    return [Desc, Flags](JirClass &J, MutationContext &Ctx) {
+      J.Fields.push_back({"f" + std::to_string(Ctx.R.nextBelow(1000)),
+                          Desc, Flags, std::nullopt});
+      return true;
+    };
+  };
+  add(Reg, "field.insert-int", "Field",
+      "Insert an int field", insertField("I", ACC_PUBLIC));
+  add(Reg, "field.insert-string", "Field",
+      "Insert a java.lang.String field",
+      insertField("Ljava/lang/String;", ACC_PROTECTED));
+  add(Reg, "field.insert-object", "Field",
+      "Insert a java.lang.Object field",
+      insertField("Ljava/lang/Object;", ACC_PUBLIC));
+  add(Reg, "field.insert-static", "Field",
+      "Insert a static field", insertField("I", ACC_PUBLIC | ACC_STATIC));
+  add(Reg, "field.insert-static-final", "Field",
+      "Insert a static final field",
+      insertField("I", ACC_PUBLIC | ACC_STATIC | ACC_FINAL));
+  add(Reg, "field.insert-duplicate", "Field",
+      "Insert one or more class fields that exist in the seed",
+      [](JirClass &J, MutationContext &Ctx) {
+        int I = pickIndex(J.Fields, Ctx.R);
+        if (I < 0)
+          return false;
+        J.Fields.push_back(J.Fields[I]);
+        return true;
+      });
+  add(Reg, "field.insert-bad-descriptor", "Field",
+      "Insert a field with a malformed descriptor",
+      insertField("Q", ACC_PUBLIC));
+  add(Reg, "field.insert-conflicting-visibility", "Field",
+      "Insert a field that is both public and private",
+      insertField("I", ACC_PUBLIC | ACC_PRIVATE));
+  add(Reg, "field.insert-final-volatile", "Field",
+      "Insert a field that is both final and volatile",
+      insertField("I", ACC_FINAL | ACC_VOLATILE));
+  add(Reg, "field.delete-one", "Field",
+      "Delete one field",
+      [](JirClass &J, MutationContext &Ctx) {
+        int I = pickIndex(J.Fields, Ctx.R);
+        if (I < 0)
+          return false;
+        J.Fields.erase(J.Fields.begin() + I);
+        return true;
+      });
+  add(Reg, "field.delete-all", "Field",
+      "Delete all fields",
+      [](JirClass &J, MutationContext &) {
+        if (J.Fields.empty())
+          return false;
+        J.Fields.clear();
+        return true;
+      });
+  add(Reg, "field.rename-one", "Field",
+      "Select a field and rename it",
+      [](JirClass &J, MutationContext &Ctx) {
+        int I = pickIndex(J.Fields, Ctx.R);
+        if (I < 0)
+          return false;
+        J.Fields[I].Name = randomIdentifier(Ctx.R);
+        return true;
+      });
+  add(Reg, "field.retype-object", "Field",
+      "Select a field and set its type to java.lang.Object",
+      [](JirClass &J, MutationContext &Ctx) {
+        int I = pickIndex(J.Fields, Ctx.R);
+        if (I < 0 || J.Fields[I].Descriptor == "Ljava/lang/Object;")
+          return false;
+        J.Fields[I].Descriptor = "Ljava/lang/Object;";
+        return true;
+      });
+  add(Reg, "field.retype-int", "Field",
+      "Select a field and set its type to int",
+      [](JirClass &J, MutationContext &Ctx) {
+        int I = pickIndex(J.Fields, Ctx.R);
+        if (I < 0 || J.Fields[I].Descriptor == "I")
+          return false;
+        J.Fields[I].Descriptor = "I";
+        return true;
+      });
+  add(Reg, "field.add-static", "Field",
+      "Select a field and add the static modifier",
+      [](JirClass &J, MutationContext &Ctx) {
+        int I = pickIndex(J.Fields, Ctx.R);
+        if (I < 0 || (J.Fields[I].AccessFlags & ACC_STATIC))
+          return false;
+        J.Fields[I].AccessFlags |= ACC_STATIC;
+        return true;
+      });
+  add(Reg, "field.remove-static", "Field",
+      "Select a field and remove the static modifier",
+      [](JirClass &J, MutationContext &Ctx) {
+        int I = pickIndex(J.Fields, Ctx.R);
+        if (I < 0 || !(J.Fields[I].AccessFlags & ACC_STATIC))
+          return false;
+        J.Fields[I].AccessFlags =
+            static_cast<uint16_t>(J.Fields[I].AccessFlags & ~ACC_STATIC);
+        return true;
+      });
+  add(Reg, "field.add-final", "Field",
+      "Select a field and add the final modifier",
+      [](JirClass &J, MutationContext &Ctx) {
+        int I = pickIndex(J.Fields, Ctx.R);
+        if (I < 0 || (J.Fields[I].AccessFlags & ACC_FINAL))
+          return false;
+        J.Fields[I].AccessFlags |= ACC_FINAL;
+        return true;
+      });
+  add(Reg, "field.make-private", "Field",
+      "Select a field and make it private",
+      [](JirClass &J, MutationContext &Ctx) {
+        int I = pickIndex(J.Fields, Ctx.R);
+        if (I < 0)
+          return false;
+        J.Fields[I].AccessFlags = static_cast<uint16_t>(
+            (J.Fields[I].AccessFlags & ~(ACC_PUBLIC | ACC_PROTECTED)) |
+            ACC_PRIVATE);
+        return true;
+      });
+  add(Reg, "field.add-enum-flag", "Field",
+      "Select a field and mark it as an enum constant",
+      [](JirClass &J, MutationContext &Ctx) {
+        int I = pickIndex(J.Fields, Ctx.R);
+        if (I < 0 || (J.Fields[I].AccessFlags & ACC_ENUM))
+          return false;
+        J.Fields[I].AccessFlags |= ACC_ENUM;
+        return true;
+      });
+  add(Reg, "field.replace-all-with-donor", "Field",
+      "Select a class and replace all of its fields with those of "
+      "another class",
+      [](JirClass &J, MutationContext &) {
+        J.Fields = donorFields();
+        return true;
+      });
+}
+
+void addMethodMutators(std::vector<Mutator> &Reg) {
+  add(Reg, "method.insert-void", "Method",
+      "Insert an empty void method",
+      [](JirClass &J, MutationContext &Ctx) {
+        J.Methods.push_back(
+            makeVoidMethod(randomIdentifier(Ctx.R), ACC_PUBLIC));
+        return true;
+      });
+  add(Reg, "method.insert-printing", "Method",
+      "Insert a method with a printing body",
+      [](JirClass &J, MutationContext &Ctx) {
+        J.Methods.push_back(makePrintingMethod(randomIdentifier(Ctx.R),
+                                               ACC_PUBLIC, "inserted"));
+        return true;
+      });
+  add(Reg, "method.insert-abstract", "Method",
+      "Insert an abstract method",
+      [](JirClass &J, MutationContext &Ctx) {
+        JirMethod M;
+        M.Name = randomIdentifier(Ctx.R);
+        M.Descriptor = "()V";
+        M.AccessFlags = ACC_PUBLIC | ACC_ABSTRACT;
+        J.Methods.push_back(std::move(M));
+        return true;
+      });
+  add(Reg, "method.insert-native", "Method",
+      "Insert a native method",
+      [](JirClass &J, MutationContext &Ctx) {
+        JirMethod M;
+        M.Name = randomIdentifier(Ctx.R);
+        M.Descriptor = "()V";
+        M.AccessFlags = ACC_PUBLIC | ACC_NATIVE;
+        J.Methods.push_back(std::move(M));
+        return true;
+      });
+  add(Reg, "method.insert-static", "Method",
+      "Insert a static method",
+      [](JirClass &J, MutationContext &Ctx) {
+        J.Methods.push_back(makeVoidMethod(randomIdentifier(Ctx.R),
+                                           ACC_PUBLIC | ACC_STATIC));
+        return true;
+      });
+  add(Reg, "method.insert-duplicate", "Method",
+      "Insert a copy of an existing method",
+      [](JirClass &J, MutationContext &Ctx) {
+        int I = pickMethod(J, Ctx.R);
+        if (I < 0)
+          return false;
+        J.Methods.push_back(J.Methods[I]);
+        return true;
+      });
+  add(Reg, "method.insert-main", "Method",
+      "Insert a main method (e.g. into a seeding interface)",
+      [](JirClass &J, MutationContext &) {
+        if (J.findMethodByName("main"))
+          return false;
+        JirMethod M = makePrintingMethod("main", ACC_PUBLIC | ACC_STATIC,
+                                         "Completed!");
+        M.Descriptor = "([Ljava/lang/String;)V";
+        J.Methods.push_back(std::move(M));
+        return true;
+      });
+  add(Reg, "method.insert-clinit", "Method",
+      "Insert a static class initializer",
+      [](JirClass &J, MutationContext &) {
+        if (J.findMethodByName("<clinit>"))
+          return false;
+        J.Methods.push_back(makeVoidMethod("<clinit>", ACC_STATIC));
+        return true;
+      });
+  add(Reg, "method.insert-nonstatic-clinit", "Method",
+      "Insert a non-static method named <clinit> (the Figure 2 shape)",
+      [](JirClass &J, MutationContext &) {
+        if (J.findMethodByName("<clinit>"))
+          return false;
+        JirMethod M;
+        M.Name = "<clinit>";
+        M.Descriptor = "()V";
+        M.AccessFlags = ACC_PUBLIC | ACC_ABSTRACT;
+        J.Methods.push_back(std::move(M));
+        return true;
+      });
+  add(Reg, "method.delete-clinit", "Method",
+      "Delete the class initializer",
+      [](JirClass &J, MutationContext &) {
+        for (size_t I = 0; I != J.Methods.size(); ++I)
+          if (J.Methods[I].Name == "<clinit>") {
+            J.Methods.erase(J.Methods.begin() + I);
+            return true;
+          }
+        return false;
+      });
+  add(Reg, "method.delete-one", "Method",
+      "Select a method and delete it",
+      [](JirClass &J, MutationContext &Ctx) {
+        int I = pickMethod(J, Ctx.R);
+        if (I < 0)
+          return false;
+        J.Methods.erase(J.Methods.begin() + I);
+        return true;
+      });
+  add(Reg, "method.delete-all", "Method",
+      "Delete all methods",
+      [](JirClass &J, MutationContext &) {
+        if (J.Methods.empty())
+          return false;
+        J.Methods.clear();
+        return true;
+      });
+  add(Reg, "method.delete-constructor", "Method",
+      "Delete a constructor",
+      [](JirClass &J, MutationContext &) {
+        for (size_t I = 0; I != J.Methods.size(); ++I)
+          if (J.Methods[I].Name == "<init>") {
+            J.Methods.erase(J.Methods.begin() + I);
+            return true;
+          }
+        return false;
+      });
+  add(Reg, "method.rename-one", "Method",
+      "Select a method and rename it",
+      [](JirClass &J, MutationContext &Ctx) {
+        int I = pickMethod(J, Ctx.R);
+        if (I < 0)
+          return false;
+        J.Methods[I].Name = randomIdentifier(Ctx.R);
+        return true;
+      });
+  add(Reg, "method.rename-to-clinit", "Method",
+      "Select a method and rename it to <clinit>",
+      [](JirClass &J, MutationContext &Ctx) {
+        int I = pickMethod(J, Ctx.R);
+        if (I < 0 || J.Methods[I].Name == "<clinit>")
+          return false;
+        J.Methods[I].Name = "<clinit>";
+        return true;
+      });
+  add(Reg, "method.rename-to-init", "Method",
+      "Select a method and rename it to <init>",
+      [](JirClass &J, MutationContext &Ctx) {
+        int I = pickMethod(J, Ctx.R);
+        if (I < 0 || J.Methods[I].Name == "<init>")
+          return false;
+        J.Methods[I].Name = "<init>";
+        return true;
+      });
+  add(Reg, "method.rename-to-main", "Method",
+      "Select a method and rename it to main",
+      [](JirClass &J, MutationContext &Ctx) {
+        int I = pickMethod(J, Ctx.R);
+        if (I < 0 || J.Methods[I].Name == "main")
+          return false;
+        J.Methods[I].Name = "main";
+        return true;
+      });
+  add(Reg, "method.return-type-int", "Method",
+      "Select a method and change its return type to int",
+      [](JirClass &J, MutationContext &Ctx) {
+        int I = pickMethod(J, Ctx.R);
+        return I >= 0 && changeReturnType(J.Methods[I], intType());
+      });
+  add(Reg, "method.return-type-void", "Method",
+      "Select a method and change its return type to void",
+      [](JirClass &J, MutationContext &Ctx) {
+        int I = pickMethod(J, Ctx.R);
+        return I >= 0 && changeReturnType(J.Methods[I], voidType());
+      });
+  add(Reg, "method.return-type-thread", "Method",
+      "Select a method and change its return type to java.lang.Thread",
+      [](JirClass &J, MutationContext &Ctx) {
+        int I = pickMethod(J, Ctx.R);
+        return I >= 0 &&
+               changeReturnType(J.Methods[I], refType("java/lang/Thread"));
+      });
+  add(Reg, "method.add-static", "Method",
+      "Select a method and add the static modifier",
+      [](JirClass &J, MutationContext &Ctx) {
+        int I = pickMethod(J, Ctx.R);
+        if (I < 0 || J.Methods[I].isStatic())
+          return false;
+        J.Methods[I].AccessFlags |= ACC_STATIC;
+        return true;
+      });
+  add(Reg, "method.remove-static", "Method",
+      "Select a method and remove the static modifier",
+      [](JirClass &J, MutationContext &Ctx) {
+        int I = pickMethod(J, Ctx.R);
+        if (I < 0 || !J.Methods[I].isStatic())
+          return false;
+        J.Methods[I].AccessFlags = static_cast<uint16_t>(
+            J.Methods[I].AccessFlags & ~ACC_STATIC);
+        return true;
+      });
+  add(Reg, "method.add-abstract-keep-code", "Method",
+      "Select a method and add the abstract modifier (keeping its code)",
+      [](JirClass &J, MutationContext &Ctx) {
+        int I = pickBodyMethod(J, Ctx.R);
+        if (I < 0)
+          return false;
+        J.Methods[I].AccessFlags |= ACC_ABSTRACT;
+        return true;
+      });
+  add(Reg, "method.add-abstract-drop-code", "Method",
+      "Select a method, add the abstract modifier and delete its opcode",
+      [](JirClass &J, MutationContext &Ctx) {
+        int I = pickBodyMethod(J, Ctx.R);
+        if (I < 0)
+          return false;
+        J.Methods[I].AccessFlags |= ACC_ABSTRACT;
+        J.Methods[I].HasBody = false;
+        J.Methods[I].Body.clear();
+        J.Methods[I].ExceptionTable.clear();
+        return true;
+      });
+  add(Reg, "method.add-final", "Method",
+      "Select a method and add the final modifier",
+      [](JirClass &J, MutationContext &Ctx) {
+        int I = pickMethod(J, Ctx.R);
+        if (I < 0 || (J.Methods[I].AccessFlags & ACC_FINAL))
+          return false;
+        J.Methods[I].AccessFlags |= ACC_FINAL;
+        return true;
+      });
+  add(Reg, "method.add-native-keep-code", "Method",
+      "Select a method and add the native modifier (keeping its code)",
+      [](JirClass &J, MutationContext &Ctx) {
+        int I = pickBodyMethod(J, Ctx.R);
+        if (I < 0)
+          return false;
+        J.Methods[I].AccessFlags |= ACC_NATIVE;
+        return true;
+      });
+  add(Reg, "method.make-private", "Method",
+      "Select a method and make it private",
+      [](JirClass &J, MutationContext &Ctx) {
+        int I = pickMethod(J, Ctx.R);
+        if (I < 0)
+          return false;
+        J.Methods[I].AccessFlags = static_cast<uint16_t>(
+            (J.Methods[I].AccessFlags & ~(ACC_PUBLIC | ACC_PROTECTED)) |
+            ACC_PRIVATE);
+        return true;
+      });
+  add(Reg, "method.conflicting-visibility", "Method",
+      "Select a method and set conflicting visibility flags",
+      [](JirClass &J, MutationContext &Ctx) {
+        int I = pickMethod(J, Ctx.R);
+        if (I < 0)
+          return false;
+        J.Methods[I].AccessFlags |= ACC_PUBLIC | ACC_PRIVATE;
+        return true;
+      });
+  add(Reg, "method.delete-code", "Method",
+      "Select a method and delete its Code attribute",
+      [](JirClass &J, MutationContext &Ctx) {
+        int I = pickBodyMethod(J, Ctx.R);
+        if (I < 0)
+          return false;
+        J.Methods[I].HasBody = false;
+        J.Methods[I].Body.clear();
+        J.Methods[I].ExceptionTable.clear();
+        return true;
+      });
+  add(Reg, "method.replace-all-with-donor", "Method",
+      "Select a class and replace all of its methods with those of "
+      "another class",
+      [](JirClass &J, MutationContext &) {
+        J.Methods = donorMethods();
+        return true;
+      });
+  add(Reg, "method.swap-bodies", "Method",
+      "Select two methods and exchange their bodies",
+      [](JirClass &J, MutationContext &Ctx) {
+        std::vector<int> WithBody;
+        for (size_t I = 0; I != J.Methods.size(); ++I)
+          if (J.Methods[I].HasBody)
+            WithBody.push_back(static_cast<int>(I));
+        if (WithBody.size() < 2)
+          return false;
+        int A = WithBody[Ctx.R.choiceIndex(WithBody.size())];
+        int B = WithBody[Ctx.R.choiceIndex(WithBody.size())];
+        if (A == B)
+          return false;
+        std::swap(J.Methods[A].Body, J.Methods[B].Body);
+        std::swap(J.Methods[A].MaxStack, J.Methods[B].MaxStack);
+        std::swap(J.Methods[A].MaxLocals, J.Methods[B].MaxLocals);
+        std::swap(J.Methods[A].ExceptionTable,
+                  J.Methods[B].ExceptionTable);
+        return true;
+      });
+}
+
+void addExceptionMutators(std::vector<Mutator> &Reg) {
+  auto addThrow = [](const char *Exc) {
+    return [Exc](JirClass &J, MutationContext &Ctx) {
+      int I = pickMethod(J, Ctx.R);
+      if (I < 0)
+        return false;
+      J.Methods[I].Exceptions.push_back(Exc);
+      return true;
+    };
+  };
+  add(Reg, "throws.add-exception", "Exception",
+      "Select a method and insert one exception thrown",
+      addThrow("java/lang/Exception"));
+  add(Reg, "throws.add-runtime-exception", "Exception",
+      "Select a method and insert a runtime exception thrown",
+      addThrow("java/lang/RuntimeException"));
+  add(Reg, "throws.add-inaccessible", "Exception",
+      "Select a method and insert an inaccessible synthetic class as an "
+      "exception thrown (the M1437121261 shape)",
+      addThrow("sun/java2d/pisces/PiscesRenderingEngine$2"));
+  add(Reg, "throws.add-non-throwable", "Exception",
+      "Select a method and insert a non-throwable class as an exception "
+      "thrown",
+      addThrow("java/lang/String"));
+  add(Reg, "throws.add-missing", "Exception",
+      "Select a method and insert a missing class as an exception "
+      "thrown",
+      addThrow("no/such/Exc"));
+  add(Reg, "throws.add-list", "Exception",
+      "Select a method and add a list of exceptions thrown",
+      [](JirClass &J, MutationContext &Ctx) {
+        int I = pickMethod(J, Ctx.R);
+        if (I < 0)
+          return false;
+        J.Methods[I].Exceptions.push_back("java/lang/Exception");
+        J.Methods[I].Exceptions.push_back(
+            "java/lang/IllegalStateException");
+        J.Methods[I].Exceptions.push_back(
+            "java/lang/ClassNotFoundException");
+        return true;
+      });
+  add(Reg, "throws.add-duplicate", "Exception",
+      "Select a method and duplicate one of its exceptions thrown",
+      [](JirClass &J, MutationContext &Ctx) {
+        int I = pickMethod(J, Ctx.R);
+        if (I < 0 || J.Methods[I].Exceptions.empty())
+          return false;
+        J.Methods[I].Exceptions.push_back(
+            J.Methods[I].Exceptions[Ctx.R.choiceIndex(
+                J.Methods[I].Exceptions.size())]);
+        return true;
+      });
+  add(Reg, "throws.add-random", "Exception",
+      "Select a method and insert an exception randomly selected from a "
+      "class list",
+      [](JirClass &J, MutationContext &Ctx) {
+        int I = pickMethod(J, Ctx.R);
+        if (I < 0)
+          return false;
+        J.Methods[I].Exceptions.push_back(randomKnownClass(Ctx));
+        return true;
+      });
+  add(Reg, "throws.delete-one", "Exception",
+      "Select a method and delete one exception thrown",
+      [](JirClass &J, MutationContext &Ctx) {
+        std::vector<int> Candidates;
+        for (size_t I = 0; I != J.Methods.size(); ++I)
+          if (!J.Methods[I].Exceptions.empty())
+            Candidates.push_back(static_cast<int>(I));
+        if (Candidates.empty())
+          return false;
+        JirMethod &M =
+            J.Methods[Candidates[Ctx.R.choiceIndex(Candidates.size())]];
+        M.Exceptions.erase(M.Exceptions.begin() +
+                           Ctx.R.choiceIndex(M.Exceptions.size()));
+        return true;
+      });
+  add(Reg, "throws.delete-all", "Exception",
+      "Select a method and delete all exceptions thrown",
+      [](JirClass &J, MutationContext &Ctx) {
+        std::vector<int> Candidates;
+        for (size_t I = 0; I != J.Methods.size(); ++I)
+          if (!J.Methods[I].Exceptions.empty())
+            Candidates.push_back(static_cast<int>(I));
+        if (Candidates.empty())
+          return false;
+        J.Methods[Candidates[Ctx.R.choiceIndex(Candidates.size())]]
+            .Exceptions.clear();
+        return true;
+      });
+}
+
+void addParameterMutators(std::vector<Mutator> &Reg) {
+  auto editDescriptor = [](auto Edit) {
+    return [Edit](JirClass &J, MutationContext &Ctx) {
+      int I = pickMethod(J, Ctx.R);
+      if (I < 0)
+        return false;
+      MethodDescriptor MD;
+      if (!parseMethodDescriptor(J.Methods[I].Descriptor, MD))
+        return false;
+      if (!Edit(MD, Ctx))
+        return false;
+      J.Methods[I].Descriptor = MD.toDescriptor();
+      return true;
+    };
+  };
+  add(Reg, "param.prepend-object", "Parameter",
+      "Select a method and insert a java.lang.Object parameter at the "
+      "front",
+      editDescriptor([](MethodDescriptor &MD, MutationContext &) {
+        MD.Params.insert(MD.Params.begin(), refType("java/lang/Object"));
+        return true;
+      }));
+  add(Reg, "param.prepend-int", "Parameter",
+      "Select a method and insert an int parameter at the front",
+      editDescriptor([](MethodDescriptor &MD, MutationContext &) {
+        MD.Params.insert(MD.Params.begin(), intType());
+        return true;
+      }));
+  add(Reg, "param.append-string", "Parameter",
+      "Select a method and append a java.lang.String parameter",
+      editDescriptor([](MethodDescriptor &MD, MutationContext &) {
+        MD.Params.push_back(refType("java/lang/String"));
+        return true;
+      }));
+  add(Reg, "param.delete-first", "Parameter",
+      "Select a method and delete its first parameter",
+      editDescriptor([](MethodDescriptor &MD, MutationContext &) {
+        if (MD.Params.empty())
+          return false;
+        MD.Params.erase(MD.Params.begin());
+        return true;
+      }));
+  add(Reg, "param.delete-all", "Parameter",
+      "Select a method and delete all parameters",
+      editDescriptor([](MethodDescriptor &MD, MutationContext &) {
+        if (MD.Params.empty())
+          return false;
+        MD.Params.clear();
+        return true;
+      }));
+  add(Reg, "param.swap-first-two", "Parameter",
+      "Select a method and swap its first two parameters",
+      editDescriptor([](MethodDescriptor &MD, MutationContext &) {
+        if (MD.Params.size() < 2 || MD.Params[0] == MD.Params[1])
+          return false;
+        std::swap(MD.Params[0], MD.Params[1]);
+        return true;
+      }));
+  add(Reg, "param.retype-to-string", "Parameter",
+      "Select a method parameter and set its type to java.lang.String "
+      "(the M1433982529 unsafe-cast shape)",
+      [](JirClass &J, MutationContext &Ctx) {
+        int I = pickMethod(J, Ctx.R);
+        if (I < 0)
+          return false;
+        MethodDescriptor MD;
+        if (!parseMethodDescriptor(J.Methods[I].Descriptor, MD) ||
+            MD.Params.empty())
+          return false;
+        return retypeParameter(J.Methods[I],
+                               Ctx.R.choiceIndex(MD.Params.size()),
+                               refType("java/lang/String"));
+      });
+  add(Reg, "param.retype-to-map", "Parameter",
+      "Select a method parameter and set its type to java.util.Map",
+      [](JirClass &J, MutationContext &Ctx) {
+        int I = pickMethod(J, Ctx.R);
+        if (I < 0)
+          return false;
+        MethodDescriptor MD;
+        if (!parseMethodDescriptor(J.Methods[I].Descriptor, MD) ||
+            MD.Params.empty())
+          return false;
+        return retypeParameter(J.Methods[I],
+                               Ctx.R.choiceIndex(MD.Params.size()),
+                               refType("java/util/Map"));
+      });
+  add(Reg, "param.retype-to-int", "Parameter",
+      "Select a method parameter and set its type to int",
+      [](JirClass &J, MutationContext &Ctx) {
+        int I = pickMethod(J, Ctx.R);
+        if (I < 0)
+          return false;
+        MethodDescriptor MD;
+        if (!parseMethodDescriptor(J.Methods[I].Descriptor, MD) ||
+            MD.Params.empty())
+          return false;
+        return retypeParameter(J.Methods[I],
+                               Ctx.R.choiceIndex(MD.Params.size()),
+                               intType());
+      });
+  add(Reg, "param.main-prepend-object", "Parameter",
+      "Insert a java.lang.Object parameter in front of main's "
+      "parameters (the Table 2 example)",
+      [](JirClass &J, MutationContext &) {
+        JirMethod *Main = J.findMethod("main");
+        if (!Main)
+          return false;
+        MethodDescriptor MD;
+        if (!parseMethodDescriptor(Main->Descriptor, MD))
+          return false;
+        MD.Params.insert(MD.Params.begin(), refType("java/lang/Object"));
+        Main->Descriptor = MD.toDescriptor();
+        return true;
+      });
+}
+
+void addLocalVariableMutators(std::vector<Mutator> &Reg) {
+  auto onBody = [](auto Edit) {
+    return [Edit](JirClass &J, MutationContext &Ctx) {
+      int I = pickBodyMethod(J, Ctx.R);
+      if (I < 0)
+        return false;
+      return Edit(J.Methods[I], Ctx);
+    };
+  };
+  add(Reg, "local.increase-max-locals", "LocalVariable",
+      "Select a method and insert local variable slots",
+      onBody([](JirMethod &M, MutationContext &Ctx) {
+        M.MaxLocals = static_cast<uint16_t>(
+            M.MaxLocals + 1 + Ctx.R.nextBelow(3));
+        return true;
+      }));
+  add(Reg, "local.decrease-max-locals", "LocalVariable",
+      "Select a method and delete local variable slots",
+      onBody([](JirMethod &M, MutationContext &) {
+        if (M.MaxLocals == 0)
+          return false;
+        --M.MaxLocals;
+        return true;
+      }));
+  add(Reg, "local.zero-max-locals", "LocalVariable",
+      "Select a method and delete all local variable slots",
+      onBody([](JirMethod &M, MutationContext &) {
+        if (M.MaxLocals == 0)
+          return false;
+        M.MaxLocals = 0;
+        return true;
+      }));
+  add(Reg, "local.increase-max-stack", "LocalVariable",
+      "Select a method and enlarge its operand stack",
+      onBody([](JirMethod &M, MutationContext &Ctx) {
+        M.MaxStack =
+            static_cast<uint16_t>(M.MaxStack + 1 + Ctx.R.nextBelow(3));
+        return true;
+      }));
+  add(Reg, "local.decrease-max-stack", "LocalVariable",
+      "Select a method and shrink its operand stack",
+      onBody([](JirMethod &M, MutationContext &) {
+        if (M.MaxStack == 0)
+          return false;
+        --M.MaxStack;
+        return true;
+      }));
+  add(Reg, "local.zero-max-stack", "LocalVariable",
+      "Select a method and delete its operand stack",
+      onBody([](JirMethod &M, MutationContext &) {
+        if (M.MaxStack == 0)
+          return false;
+        M.MaxStack = 0;
+        return true;
+      }));
+  add(Reg, "local.retype-int-to-ref", "LocalVariable",
+      "Select a local variable and change its type from int to a "
+      "reference (the Table 2 example)",
+      onBody([](JirMethod &M, MutationContext &Ctx) {
+        int Slot = pickReferencedSlot(M, Ctx.R);
+        if (Slot < 0)
+          return false;
+        bool Changed = false;
+        for (size_t I : localRefs(M, Slot)) {
+          JirStmt &S = M.Body[I];
+          if (S.Op == OP_iload) {
+            S.Op = OP_aload;
+            Changed = true;
+          } else if (S.Op == OP_istore) {
+            S.Op = OP_astore;
+            Changed = true;
+          }
+        }
+        return Changed;
+      }));
+  add(Reg, "local.retype-ref-to-int", "LocalVariable",
+      "Select a local variable and change its type from a reference to "
+      "int",
+      onBody([](JirMethod &M, MutationContext &Ctx) {
+        int Slot = pickReferencedSlot(M, Ctx.R);
+        if (Slot < 0)
+          return false;
+        bool Changed = false;
+        for (size_t I : localRefs(M, Slot)) {
+          JirStmt &S = M.Body[I];
+          if (S.Op == OP_aload) {
+            S.Op = OP_iload;
+            Changed = true;
+          } else if (S.Op == OP_astore) {
+            S.Op = OP_istore;
+            Changed = true;
+          }
+        }
+        return Changed;
+      }));
+  add(Reg, "local.renumber-slot", "LocalVariable",
+      "Select a local variable and renumber its slot",
+      onBody([](JirMethod &M, MutationContext &Ctx) {
+        int Slot = pickReferencedSlot(M, Ctx.R);
+        if (Slot < 0)
+          return false;
+        for (size_t I : localRefs(M, Slot))
+          M.Body[I].IntOperand = Slot + 1;
+        return true;
+      }));
+  add(Reg, "local.insert-store", "LocalVariable",
+      "Select a method and insert a local variable (a constant store "
+      "into a fresh slot)",
+      onBody([](JirMethod &M, MutationContext &Ctx) {
+        if (M.Body.empty())
+          return false;
+        JirStmt Push;
+        Push.Op = OP_ldc;
+        Push.ConstKind = 'i';
+        Push.IntOperand = static_cast<int32_t>(Ctx.R.nextBelow(100));
+        JirStmt Store;
+        Store.Op = OP_istore;
+        Store.IntOperand = M.MaxLocals;
+        M.MaxLocals = static_cast<uint16_t>(M.MaxLocals + 1);
+        if (M.MaxStack < 1)
+          M.MaxStack = 1;
+        // Insert at the front; fix branch targets and handler ranges.
+        M.Body.insert(M.Body.begin(), {Push, Store});
+        for (JirStmt &S : M.Body)
+          if (S.isBranch())
+            S.TargetIndex += 2;
+        for (JirExceptionEntry &E : M.ExceptionTable) {
+          E.StartIndex += 2;
+          E.EndIndex += 2;
+          E.HandlerIndex += 2;
+        }
+        return true;
+      }));
+  add(Reg, "local.delete-stores", "LocalVariable",
+      "Select a local variable and delete all stores to it",
+      onBody([](JirMethod &M, MutationContext &Ctx) {
+        int Slot = pickReferencedSlot(M, Ctx.R);
+        if (Slot < 0)
+          return false;
+        bool Changed = false;
+        for (size_t I : localRefs(M, Slot)) {
+          JirStmt &S = M.Body[I];
+          if (S.Op >= OP_istore && S.Op <= OP_astore) {
+            // Keep indices stable: replace with pop (value discarded).
+            S = JirStmt();
+            S.Op = OP_pop;
+            Changed = true;
+          }
+        }
+        return Changed;
+      }));
+  add(Reg, "local.swap-slots", "LocalVariable",
+      "Select two local variables and exchange their slots",
+      onBody([](JirMethod &M, MutationContext &Ctx) {
+        int A = pickReferencedSlot(M, Ctx.R);
+        int B = pickReferencedSlot(M, Ctx.R);
+        if (A < 0 || B < 0 || A == B)
+          return false;
+        for (JirStmt &S : M.Body) {
+          uint8_t Op = S.Op;
+          bool Local = (Op >= OP_iload && Op <= OP_aload) ||
+                       (Op >= OP_istore && Op <= OP_astore) ||
+                       Op == OP_iinc;
+          if (!Local)
+            continue;
+          if (S.IntOperand == A)
+            S.IntOperand = B;
+          else if (S.IntOperand == B)
+            S.IntOperand = A;
+        }
+        return true;
+      }));
+}
+
+void addStatementMutators(std::vector<Mutator> &Reg) {
+  auto onBody = [](auto Edit) {
+    return [Edit](JirClass &J, MutationContext &Ctx) {
+      int I = pickBodyMethod(J, Ctx.R);
+      if (I < 0 || J.Methods[I].Body.empty())
+        return false;
+      return Edit(J.Methods[I], Ctx);
+    };
+  };
+  /// Fixes branch targets / handler ranges after inserting \p Count
+  /// statements at \p At.
+  auto shiftAfterInsert = [](JirMethod &M, size_t At, int Count) {
+    for (JirStmt &S : M.Body)
+      if (S.isBranch() && S.TargetIndex >= static_cast<int32_t>(At))
+        S.TargetIndex += Count;
+    for (JirExceptionEntry &E : M.ExceptionTable) {
+      if (E.StartIndex >= At)
+        E.StartIndex += Count;
+      if (E.EndIndex >= At)
+        E.EndIndex += Count;
+      if (E.HandlerIndex >= At)
+        E.HandlerIndex += Count;
+    }
+  };
+
+  add(Reg, "stmt.insert", "JimpleStmt",
+      "Insert one or more program statements",
+      onBody([shiftAfterInsert](JirMethod &M, MutationContext &Ctx) {
+        size_t At = Ctx.R.choiceIndex(M.Body.size());
+        M.Body.insert(M.Body.begin() + At, makeRandomSimpleStmt(Ctx.R));
+        shiftAfterInsert(M, At, 1);
+        return true;
+      }));
+  add(Reg, "stmt.delete", "JimpleStmt",
+      "Delete one or more program statements",
+      onBody([](JirMethod &M, MutationContext &Ctx) {
+        size_t At = Ctx.R.choiceIndex(M.Body.size());
+        M.Body.erase(M.Body.begin() + At);
+        // Deliberately does NOT rewrite branch targets: deletions can
+        // leave dangling targets, which fail at assembly or change the
+        // control flow -- the stochastic effect the paper describes.
+        for (JirStmt &S : M.Body)
+          if (S.isBranch() &&
+              S.TargetIndex >= static_cast<int32_t>(M.Body.size()))
+            return true; // keep; assembly will reject
+        return true;
+      }));
+  add(Reg, "stmt.duplicate", "JimpleStmt",
+      "Duplicate one program statement",
+      onBody([shiftAfterInsert](JirMethod &M, MutationContext &Ctx) {
+        size_t At = Ctx.R.choiceIndex(M.Body.size());
+        JirStmt Copy = M.Body[At];
+        M.Body.insert(M.Body.begin() + At, Copy);
+        shiftAfterInsert(M, At, 1);
+        return true;
+      }));
+  add(Reg, "stmt.swap-adjacent", "JimpleStmt",
+      "Exchange two adjacent program statements (the Table 2 reordering "
+      "example)",
+      onBody([](JirMethod &M, MutationContext &Ctx) {
+        if (M.Body.size() < 2)
+          return false;
+        size_t At = Ctx.R.choiceIndex(M.Body.size() - 1);
+        std::swap(M.Body[At], M.Body[At + 1]);
+        return true;
+      }));
+  add(Reg, "stmt.replace-with-nop", "JimpleStmt",
+      "Replace one program statement with nop",
+      onBody([](JirMethod &M, MutationContext &Ctx) {
+        size_t At = Ctx.R.choiceIndex(M.Body.size());
+        if (M.Body[At].Op == OP_nop)
+          return false;
+        JirStmt Nop = makeNop();
+        // Preserve branch-target structure by keeping the slot.
+        M.Body[At] = Nop;
+        return true;
+      }));
+  add(Reg, "stmt.insert-early-return", "JimpleStmt",
+      "Insert a return in the middle of a method",
+      onBody([shiftAfterInsert](JirMethod &M, MutationContext &Ctx) {
+        size_t At = Ctx.R.choiceIndex(M.Body.size());
+        JirStmt Ret;
+        Ret.Op = OP_return;
+        M.Body.insert(M.Body.begin() + At, Ret);
+        shiftAfterInsert(M, At, 1);
+        return true;
+      }));
+}
+
+std::vector<Mutator> buildRegistry() {
+  std::vector<Mutator> Reg;
+  Reg.reserve(NumMutators);
+  addClassMutators(Reg);         // 28
+  addInterfaceListMutators(Reg); // 12
+  addFieldMutators(Reg);         // 20
+  addMethodMutators(Reg);        // 31
+  addExceptionMutators(Reg);     // 10
+  addParameterMutators(Reg);     // 10
+  addLocalVariableMutators(Reg); // 12
+  addStatementMutators(Reg);     // 6
+  return Reg;
+}
+
+} // namespace
+
+const std::vector<Mutator> &classfuzz::mutatorRegistry() {
+  static const std::vector<Mutator> Registry = buildRegistry();
+  assert(Registry.size() == NumMutators &&
+         "the registry must contain exactly 129 mutators");
+  return Registry;
+}

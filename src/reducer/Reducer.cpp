@@ -1,0 +1,190 @@
+//===- reducer/Reducer.cpp -------------------------------------------------===//
+
+#include "reducer/Reducer.h"
+
+using namespace classfuzz;
+
+namespace {
+
+/// Shared state of one reduction run.
+struct Reduction {
+  const ReductionOracle &Oracle;
+  ReductionStats Stats;
+  size_t MaxQueries;
+
+  bool budgetLeft() const { return Stats.OracleQueries < MaxQueries; }
+
+  /// Assembles \p Candidate and asks the oracle; true when the
+  /// discrepancy persists.
+  bool stillTriggers(const JirClass &Candidate) {
+    if (!budgetLeft())
+      return false;
+    auto Data = assembleToBytes(Candidate);
+    if (!Data)
+      return false; // Unassemblable candidates are discarded (Step 2).
+    ++Stats.OracleQueries;
+    return Oracle(Candidate.Name, *Data);
+  }
+
+  /// Tries deleting elements of a vector member one by one (back to
+  /// front so indices stay stable). \p Delete performs the deletion on a
+  /// copy; \p Count counts elements.
+  template <typename CountFn, typename DeleteFn>
+  bool pass(JirClass &J, CountFn Count, DeleteFn Delete,
+            size_t &RemovedCounter) {
+    bool Changed = false;
+    for (size_t I = Count(J); I-- > 0;) {
+      if (!budgetLeft())
+        return Changed;
+      JirClass Candidate = J;
+      if (!Delete(Candidate, I))
+        continue;
+      if (stillTriggers(Candidate)) {
+        J = std::move(Candidate);
+        ++Stats.DeletionsKept;
+        ++RemovedCounter;
+        Changed = true;
+      }
+    }
+    return Changed;
+  }
+};
+
+} // namespace
+
+Result<Bytes> classfuzz::reduceClassfile(const Bytes &Input,
+                                         const ReductionOracle &Oracle,
+                                         ReductionStats *Stats,
+                                         size_t MaxOracleQueries) {
+  auto Lowered = lowerClassBytes(Input);
+  if (!Lowered)
+    return makeError("cannot lower input for reduction: " +
+                     Lowered.error());
+  JirClass J = Lowered.take();
+
+  Reduction Run{Oracle, {}, MaxOracleQueries};
+
+  if (!Run.stillTriggers(J))
+    return makeError("input does not satisfy the reduction oracle");
+
+  // Fixed-point loop over hierarchical passes: coarse (methods, fields,
+  // interfaces, throws) before fine (statements), as in HDD.
+  bool Changed = true;
+  while (Changed && Run.budgetLeft()) {
+    Changed = false;
+
+    Changed |= Run.pass(
+        J, [](const JirClass &C) { return C.Methods.size(); },
+        [](JirClass &C, size_t I) {
+          C.Methods.erase(C.Methods.begin() + I);
+          return true;
+        },
+        Run.Stats.MethodsRemoved);
+
+    Changed |= Run.pass(
+        J, [](const JirClass &C) { return C.Fields.size(); },
+        [](JirClass &C, size_t I) {
+          C.Fields.erase(C.Fields.begin() + I);
+          return true;
+        },
+        Run.Stats.FieldsRemoved);
+
+    Changed |= Run.pass(
+        J, [](const JirClass &C) { return C.Interfaces.size(); },
+        [](JirClass &C, size_t I) {
+          C.Interfaces.erase(C.Interfaces.begin() + I);
+          return true;
+        },
+        Run.Stats.InterfacesRemoved);
+
+    // Throws-clause entries, flattened across methods.
+    auto countThrows = [](const JirClass &C) {
+      size_t N = 0;
+      for (const JirMethod &M : C.Methods)
+        N += M.Exceptions.size();
+      return N;
+    };
+    auto deleteThrow = [](JirClass &C, size_t Flat) {
+      for (JirMethod &M : C.Methods) {
+        if (Flat < M.Exceptions.size()) {
+          M.Exceptions.erase(M.Exceptions.begin() + Flat);
+          return true;
+        }
+        Flat -= M.Exceptions.size();
+      }
+      return false;
+    };
+    Changed |= Run.pass(J, countThrows, deleteThrow,
+                        Run.Stats.ThrowsRemoved);
+
+    // Statements, flattened across method bodies. Deleting a statement
+    // shifts branch targets that point past it (so structurally valid
+    // candidates stay valid).
+    auto countStmts = [](const JirClass &C) {
+      size_t N = 0;
+      for (const JirMethod &M : C.Methods)
+        N += M.Body.size();
+      return N;
+    };
+    auto deleteStmt = [](JirClass &C, size_t Flat) {
+      for (JirMethod &M : C.Methods) {
+        if (Flat < M.Body.size()) {
+          M.Body.erase(M.Body.begin() + Flat);
+          for (JirStmt &S : M.Body)
+            if (S.isBranch() &&
+                S.TargetIndex > static_cast<int32_t>(Flat))
+              --S.TargetIndex;
+          for (JirExceptionEntry &E : M.ExceptionTable) {
+            if (E.StartIndex > Flat)
+              --E.StartIndex;
+            if (E.EndIndex > Flat)
+              --E.EndIndex;
+            if (E.HandlerIndex > Flat)
+              --E.HandlerIndex;
+          }
+          return true;
+        }
+        Flat -= M.Body.size();
+      }
+      return false;
+    };
+    Changed |= Run.pass(J, countStmts, deleteStmt,
+                        Run.Stats.StatementsRemoved);
+
+    // Adjacent-pair deletion (the coarser ddmin granularity): removes
+    // balanced push/pop-style pairs a single deletion cannot, because
+    // either half alone breaks verification.
+    auto countPairs = [](const JirClass &C) {
+      size_t N = 0;
+      for (const JirMethod &M : C.Methods)
+        if (M.Body.size() >= 2)
+          N += M.Body.size() - 1;
+      return N;
+    };
+    auto deletePair = [&deleteStmt](JirClass &C, size_t Flat) {
+      for (JirMethod &M : C.Methods) {
+        size_t Pairs = M.Body.size() >= 2 ? M.Body.size() - 1 : 0;
+        if (Flat < Pairs) {
+          // Recompute the flattened index of this method's statements.
+          size_t Base = 0;
+          for (const JirMethod &Prev : C.Methods) {
+            if (&Prev == &M)
+              break;
+            Base += Prev.Body.size();
+          }
+          return deleteStmt(C, Base + Flat + 1) &&
+                 deleteStmt(C, Base + Flat);
+        }
+        Flat -= Pairs;
+      }
+      return false;
+    };
+    size_t PairDeletions = 0;
+    Changed |= Run.pass(J, countPairs, deletePair, PairDeletions);
+    Run.Stats.StatementsRemoved += 2 * PairDeletions;
+  }
+
+  if (Stats)
+    *Stats = Run.Stats;
+  return assembleToBytes(J);
+}

@@ -1,0 +1,51 @@
+//===- reducer/Reducer.h - Hierarchical delta debugging of classfiles ----===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The §2.3 reducer: hierarchical delta debugging over JIR. Given a
+/// discrepancy-triggering classfile and an oracle that retests a
+/// candidate on the JVMs, the reducer repeatedly deletes methods,
+/// fields, statements, interfaces, and throws-clause entries, keeping a
+/// deletion whenever the discrepancy persists, until a fixed point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_REDUCER_REDUCER_H
+#define CLASSFUZZ_REDUCER_REDUCER_H
+
+#include "jir/Jir.h"
+
+#include <functional>
+
+namespace classfuzz {
+
+/// Oracle: true when the candidate classfile still triggers the
+/// discrepancy o under study (Step 2 of §2.3).
+using ReductionOracle =
+    std::function<bool(const std::string &Name, const Bytes &Data)>;
+
+/// Statistics of one reduction run.
+struct ReductionStats {
+  size_t OracleQueries = 0;
+  size_t DeletionsKept = 0;
+  size_t MethodsRemoved = 0;
+  size_t FieldsRemoved = 0;
+  size_t StatementsRemoved = 0;
+  size_t InterfacesRemoved = 0;
+  size_t ThrowsRemoved = 0;
+};
+
+/// Reduces \p Input (which must satisfy the oracle) to a smaller
+/// classfile that still satisfies it. Returns the reduced bytes;
+/// \p Stats (optional) receives accounting.
+Result<Bytes> reduceClassfile(const Bytes &Input,
+                              const ReductionOracle &Oracle,
+                              ReductionStats *Stats = nullptr,
+                              size_t MaxOracleQueries = 10000);
+
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_REDUCER_REDUCER_H

@@ -1,0 +1,428 @@
+//===- runtime/RuntimeLib.cpp ---------------------------------------------===//
+
+#include "runtime/RuntimeLib.h"
+
+#include "classfile/ClassWriter.h"
+#include "classfile/CodeBuilder.h"
+#include "classfile/Opcodes.h"
+
+#include <cassert>
+
+using namespace classfuzz;
+
+namespace {
+
+/// Incrementally builds one library class and registers it.
+class LibClassBuilder {
+public:
+  LibClassBuilder(ClassPath &Out, std::string Name, std::string Super,
+                  uint16_t Flags)
+      : Out(Out) {
+    CF.ThisClass = std::move(Name);
+    CF.SuperClass = std::move(Super);
+    CF.AccessFlags = Flags;
+    CF.MajorVersion = MajorVersionJava7;
+  }
+
+  ~LibClassBuilder() { finish(); }
+
+  LibClassBuilder &implement(const std::string &Iface) {
+    CF.Interfaces.push_back(Iface);
+    return *this;
+  }
+
+  LibClassBuilder &field(const std::string &Name, const std::string &Desc,
+                         uint16_t Flags) {
+    FieldInfo F;
+    F.Name = Name;
+    F.Descriptor = Desc;
+    F.AccessFlags = Flags;
+    CF.Fields.push_back(std::move(F));
+    return *this;
+  }
+
+  /// A method implemented natively by the interpreter.
+  LibClassBuilder &native(const std::string &Name, const std::string &Desc,
+                          uint16_t Flags = ACC_PUBLIC) {
+    MethodInfo M;
+    M.Name = Name;
+    M.Descriptor = Desc;
+    M.AccessFlags = static_cast<uint16_t>(Flags | ACC_NATIVE);
+    CF.Methods.push_back(std::move(M));
+    return *this;
+  }
+
+  /// An abstract (e.g. interface) method.
+  LibClassBuilder &abstractMethod(const std::string &Name,
+                                  const std::string &Desc,
+                                  uint16_t Flags = ACC_PUBLIC |
+                                                   ACC_ABSTRACT) {
+    MethodInfo M;
+    M.Name = Name;
+    M.Descriptor = Desc;
+    M.AccessFlags = Flags;
+    CF.Methods.push_back(std::move(M));
+    return *this;
+  }
+
+  /// A trivial constructor that just calls super.<init>.
+  LibClassBuilder &defaultCtor() {
+    MethodInfo M;
+    M.Name = "<init>";
+    M.Descriptor = "()V";
+    M.AccessFlags = ACC_PUBLIC;
+    CodeBuilder B(CF.CP);
+    B.loadLocal('a', 0);
+    B.invokeSpecial(CF.SuperClass, "<init>", "()V");
+    B.emit(OP_return);
+    CodeAttr Code;
+    Code.MaxStack = 1;
+    Code.MaxLocals = 1;
+    Code.Code = B.build();
+    M.Code = std::move(Code);
+    CF.Methods.push_back(std::move(M));
+    return *this;
+  }
+
+  /// Direct access for bespoke methods.
+  ClassFile &classFile() { return CF; }
+
+  void finish() {
+    if (Finished)
+      return;
+    Finished = true;
+    auto Data = writeClassFile(CF);
+    assert(Data.ok() && "runtime library class failed to serialize");
+    Out.add(CF.ThisClass, Data.take());
+  }
+
+private:
+  ClassPath &Out;
+  ClassFile CF;
+  bool Finished = false;
+};
+
+/// The <clinit> of java/lang/System: out = new PrintStream().
+void addSystemClinit(ClassFile &CF) {
+  MethodInfo M;
+  M.Name = "<clinit>";
+  M.Descriptor = "()V";
+  M.AccessFlags = ACC_STATIC;
+  CodeBuilder B(CF.CP);
+  B.newObject("java/io/PrintStream");
+  B.emit(OP_dup);
+  B.invokeSpecial("java/io/PrintStream", "<init>", "()V");
+  B.putStatic("java/lang/System", "out", "Ljava/io/PrintStream;");
+  B.emit(OP_return);
+  CodeAttr Code;
+  Code.MaxStack = 2;
+  Code.MaxLocals = 0;
+  Code.Code = B.build();
+  M.Code = std::move(Code);
+  CF.Methods.push_back(std::move(M));
+}
+
+/// Throwable-style constructor taking a message string (kept native; the
+/// interpreter stores the message field).
+void addThrowableClass(ClassPath &Out, const std::string &Name,
+                       const std::string &Super) {
+  LibClassBuilder B(Out, Name, Super, ACC_PUBLIC | ACC_SUPER);
+  B.native("<init>", "()V");
+  B.native("<init>", "(Ljava/lang/String;)V");
+}
+
+void addCoreClasses(ClassPath &Lib) {
+  {
+    LibClassBuilder B(Lib, "java/lang/Object", "", ACC_PUBLIC | ACC_SUPER);
+    B.native("<init>", "()V");
+    B.native("hashCode", "()I");
+    B.native("equals", "(Ljava/lang/Object;)Z");
+    B.native("toString", "()Ljava/lang/String;");
+  }
+  {
+    LibClassBuilder B(Lib, "java/lang/String", "java/lang/Object",
+                      ACC_PUBLIC | ACC_SUPER | ACC_FINAL);
+    B.implement("java/lang/Comparable");
+    B.native("<init>", "()V");
+    B.native("length", "()I");
+    B.native("concat", "(Ljava/lang/String;)Ljava/lang/String;");
+    B.native("equals", "(Ljava/lang/Object;)Z");
+    B.native("compareTo", "(Ljava/lang/Object;)I");
+  }
+  {
+    LibClassBuilder B(Lib, "java/lang/Class", "java/lang/Object",
+                      ACC_PUBLIC | ACC_SUPER | ACC_FINAL);
+    B.native("getName", "()Ljava/lang/String;");
+  }
+  {
+    LibClassBuilder B(Lib, "java/io/PrintStream", "java/lang/Object",
+                      ACC_PUBLIC | ACC_SUPER);
+    B.native("<init>", "()V");
+    B.native("println", "(Ljava/lang/String;)V");
+    B.native("println", "(I)V");
+    B.native("println", "(Ljava/lang/Object;)V");
+    B.native("println", "()V");
+    B.native("print", "(Ljava/lang/String;)V");
+    B.native("print", "(I)V");
+  }
+  {
+    LibClassBuilder B(Lib, "java/lang/System", "java/lang/Object",
+                      ACC_PUBLIC | ACC_SUPER | ACC_FINAL);
+    B.field("out", "Ljava/io/PrintStream;",
+            ACC_PUBLIC | ACC_STATIC | ACC_FINAL);
+    addSystemClinit(B.classFile());
+  }
+  {
+    LibClassBuilder B(Lib, "java/lang/StringBuilder", "java/lang/Object",
+                      ACC_PUBLIC | ACC_SUPER | ACC_FINAL);
+    B.native("<init>", "()V");
+    B.native("append",
+             "(Ljava/lang/String;)Ljava/lang/StringBuilder;");
+    B.native("append", "(I)Ljava/lang/StringBuilder;");
+    B.native("toString", "()Ljava/lang/String;");
+  }
+  {
+    LibClassBuilder B(Lib, "java/lang/Math", "java/lang/Object",
+                      ACC_PUBLIC | ACC_SUPER | ACC_FINAL);
+    B.native("abs", "(I)I", ACC_PUBLIC | ACC_STATIC);
+    B.native("max", "(II)I", ACC_PUBLIC | ACC_STATIC);
+  }
+
+  // Interfaces.
+  constexpr uint16_t IfaceFlags =
+      ACC_PUBLIC | ACC_INTERFACE | ACC_ABSTRACT;
+  {
+    LibClassBuilder B(Lib, "java/lang/Runnable", "java/lang/Object",
+                      IfaceFlags);
+    B.abstractMethod("run", "()V");
+  }
+  {
+    LibClassBuilder B(Lib, "java/lang/Comparable", "java/lang/Object",
+                      IfaceFlags);
+    B.abstractMethod("compareTo", "(Ljava/lang/Object;)I");
+  }
+  {
+    LibClassBuilder B(Lib, "java/lang/Cloneable", "java/lang/Object",
+                      IfaceFlags);
+  }
+  {
+    LibClassBuilder B(Lib, "java/io/Serializable", "java/lang/Object",
+                      IfaceFlags);
+  }
+  {
+    LibClassBuilder B(Lib, "java/security/PrivilegedAction",
+                      "java/lang/Object", IfaceFlags);
+    B.abstractMethod("run", "()Ljava/lang/Object;");
+  }
+  {
+    LibClassBuilder B(Lib, "java/util/Map", "java/lang/Object",
+                      IfaceFlags);
+    B.abstractMethod(
+        "get", "(Ljava/lang/Object;)Ljava/lang/Object;");
+    B.abstractMethod(
+        "put",
+        "(Ljava/lang/Object;Ljava/lang/Object;)Ljava/lang/Object;");
+    B.abstractMethod("size", "()I");
+  }
+  {
+    LibClassBuilder B(Lib, "java/util/List", "java/lang/Object",
+                      IfaceFlags);
+    B.abstractMethod("add", "(Ljava/lang/Object;)Z");
+    B.abstractMethod("get", "(I)Ljava/lang/Object;");
+    B.abstractMethod("size", "()I");
+  }
+  {
+    LibClassBuilder B(Lib, "java/util/Enumeration", "java/lang/Object",
+                      IfaceFlags);
+    B.abstractMethod("hasMoreElements", "()Z");
+    B.abstractMethod("nextElement", "()Ljava/lang/Object;");
+  }
+
+  // Thread / wrappers / collections.
+  {
+    LibClassBuilder B(Lib, "java/lang/Thread", "java/lang/Object",
+                      ACC_PUBLIC | ACC_SUPER);
+    B.implement("java/lang/Runnable");
+    B.native("<init>", "()V");
+    B.native("run", "()V");
+    B.native("start", "()V");
+  }
+  {
+    LibClassBuilder B(Lib, "java/lang/Number", "java/lang/Object",
+                      ACC_PUBLIC | ACC_SUPER | ACC_ABSTRACT);
+    B.native("<init>", "()V");
+    B.abstractMethod("intValue", "()I");
+  }
+  {
+    LibClassBuilder B(Lib, "java/lang/Integer", "java/lang/Number",
+                      ACC_PUBLIC | ACC_SUPER | ACC_FINAL);
+    B.native("<init>", "(I)V");
+    B.native("intValue", "()I");
+    B.native("valueOf", "(I)Ljava/lang/Integer;",
+             ACC_PUBLIC | ACC_STATIC);
+  }
+  {
+    LibClassBuilder B(Lib, "java/lang/Boolean", "java/lang/Object",
+                      ACC_PUBLIC | ACC_SUPER | ACC_FINAL);
+    B.native("<init>", "(Z)V");
+    B.native("booleanValue", "()Z");
+    B.native("getBoolean", "(Ljava/lang/String;)Z",
+             ACC_PUBLIC | ACC_STATIC);
+  }
+  {
+    LibClassBuilder B(Lib, "java/util/HashMap", "java/lang/Object",
+                      ACC_PUBLIC | ACC_SUPER);
+    B.implement("java/util/Map");
+    B.native("<init>", "()V");
+    B.native("get", "(Ljava/lang/Object;)Ljava/lang/Object;");
+    B.native("put",
+             "(Ljava/lang/Object;Ljava/lang/Object;)Ljava/lang/Object;");
+    B.native("size", "()I");
+  }
+  {
+    LibClassBuilder B(Lib, "java/util/ArrayList", "java/lang/Object",
+                      ACC_PUBLIC | ACC_SUPER);
+    B.implement("java/util/List");
+    B.native("<init>", "()V");
+    B.native("add", "(Ljava/lang/Object;)Z");
+    B.native("get", "(I)Ljava/lang/Object;");
+    B.native("size", "()I");
+  }
+
+  // Throwable hierarchy.
+  {
+    LibClassBuilder B(Lib, "java/lang/Throwable", "java/lang/Object",
+                      ACC_PUBLIC | ACC_SUPER);
+    B.field("message", "Ljava/lang/String;", ACC_PRIVATE);
+    B.native("<init>", "()V");
+    B.native("<init>", "(Ljava/lang/String;)V");
+    B.native("getMessage", "()Ljava/lang/String;");
+  }
+  addThrowableClass(Lib, "java/lang/Exception", "java/lang/Throwable");
+  addThrowableClass(Lib, "java/lang/Error", "java/lang/Throwable");
+  addThrowableClass(Lib, "java/lang/RuntimeException",
+                    "java/lang/Exception");
+  addThrowableClass(Lib, "java/lang/NullPointerException",
+                    "java/lang/RuntimeException");
+  addThrowableClass(Lib, "java/lang/ArithmeticException",
+                    "java/lang/RuntimeException");
+  addThrowableClass(Lib, "java/lang/ClassCastException",
+                    "java/lang/RuntimeException");
+  addThrowableClass(Lib, "java/lang/IndexOutOfBoundsException",
+                    "java/lang/RuntimeException");
+  addThrowableClass(Lib, "java/lang/ArrayIndexOutOfBoundsException",
+                    "java/lang/IndexOutOfBoundsException");
+  addThrowableClass(Lib, "java/lang/NegativeArraySizeException",
+                    "java/lang/RuntimeException");
+  addThrowableClass(Lib, "java/lang/IllegalArgumentException",
+                    "java/lang/RuntimeException");
+  addThrowableClass(Lib, "java/lang/IllegalStateException",
+                    "java/lang/RuntimeException");
+  addThrowableClass(Lib, "java/lang/ClassNotFoundException",
+                    "java/lang/Exception");
+  addThrowableClass(Lib, "java/lang/LinkageError", "java/lang/Error");
+  addThrowableClass(Lib, "java/lang/VerifyError",
+                    "java/lang/LinkageError");
+}
+
+/// Classes present only from a given version on, plus the sun/* internals
+/// that JDK 9 hides.
+void addVersionedClasses(ClassPath &Lib, const std::string &Version) {
+  bool AtLeast7 = Version != "jre5";
+  bool AtLeast8 = Version == "jre8" || Version == "jre9";
+  bool Is9 = Version == "jre9";
+
+  constexpr uint16_t IfaceFlags =
+      ACC_PUBLIC | ACC_INTERFACE | ACC_ABSTRACT;
+
+  if (AtLeast7) {
+    {
+      LibClassBuilder B(Lib, "java/lang/AutoCloseable",
+                        "java/lang/Object", IfaceFlags);
+      B.abstractMethod("close", "()V");
+    }
+    {
+      LibClassBuilder B(Lib, "java/util/Objects", "java/lang/Object",
+                        ACC_PUBLIC | ACC_SUPER | ACC_FINAL);
+      B.native("requireNonNull",
+               "(Ljava/lang/Object;)Ljava/lang/Object;",
+               ACC_PUBLIC | ACC_STATIC);
+    }
+  }
+  if (AtLeast8) {
+    {
+      LibClassBuilder B(Lib, "java/util/function/Function",
+                        "java/lang/Object", IfaceFlags);
+      B.abstractMethod("apply",
+                       "(Ljava/lang/Object;)Ljava/lang/Object;");
+    }
+    {
+      LibClassBuilder B(Lib, "java/util/stream/Stream",
+                        "java/lang/Object", IfaceFlags);
+      B.abstractMethod("count", "()J");
+    }
+  }
+
+  // com/sun/beans/editors/EnumEditor: subclassable through jre7, final
+  // from jre8 on (the paper's preliminary-study VerifyError example).
+  {
+    uint16_t Flags = ACC_PUBLIC | ACC_SUPER;
+    if (AtLeast8)
+      Flags |= ACC_FINAL;
+    LibClassBuilder B(Lib, "com/sun/beans/editors/EnumEditor",
+                      "java/lang/Object", Flags);
+    B.native("<init>", "()V");
+  }
+  // sun/beans/editors/EnumEditor extends the above; present through
+  // jre8, dropped (with all sun/* internals) in jre9.
+  if (!Is9) {
+    {
+      LibClassBuilder B(Lib, "sun/beans/editors/EnumEditor",
+                        "com/sun/beans/editors/EnumEditor",
+                        ACC_PUBLIC | ACC_SUPER);
+      B.native("<init>", "()V");
+    }
+    {
+      LibClassBuilder B(Lib, "sun/java2d/pisces/PiscesRenderingEngine",
+                        "java/lang/Object", ACC_PUBLIC | ACC_SUPER);
+      B.native("<init>", "()V");
+    }
+    // The synthetic, package-private nested class of Problem 3.
+    {
+      LibClassBuilder B(Lib,
+                        "sun/java2d/pisces/PiscesRenderingEngine$2",
+                        "java/lang/Object", ACC_SUPER | ACC_SYNTHETIC);
+      B.native("<init>", "()V", /*Flags=*/0);
+    }
+    {
+      LibClassBuilder B(Lib, "sun/misc/BASE64Encoder",
+                        "java/lang/Object", ACC_PUBLIC | ACC_SUPER);
+      B.native("<init>", "()V");
+    }
+  }
+}
+
+} // namespace
+
+ClassPath classfuzz::buildRuntimeLibrary(const std::string &Version) {
+  ClassPath Lib;
+  addCoreClasses(Lib);
+  addVersionedClasses(Lib, Version);
+  return Lib;
+}
+
+ClassPath classfuzz::runtimeLibraryFor(const JvmPolicy &Policy) {
+  return buildRuntimeLibrary(Policy.RuntimeLib);
+}
+
+VersionSkewedClasses classfuzz::versionSkewedClasses() {
+  VersionSkewedClasses Out;
+  Out.Jre7Plus = {"java/lang/AutoCloseable", "java/util/Objects"};
+  Out.Jre8Plus = {"java/util/function/Function", "java/util/stream/Stream"};
+  Out.RemovedInJre9 = {"sun/beans/editors/EnumEditor",
+                       "sun/java2d/pisces/PiscesRenderingEngine",
+                       "sun/misc/BASE64Encoder"};
+  Out.FinalizedClass = "com/sun/beans/editors/EnumEditor";
+  Out.InaccessibleClass = "sun/java2d/pisces/PiscesRenderingEngine$2";
+  return Out;
+}

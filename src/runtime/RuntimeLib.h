@@ -1,0 +1,56 @@
+//===- runtime/RuntimeLib.h - Synthetic runtime class library ------------===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the runtime class library (our JRE substitute) as real class
+/// file bytes: java/lang core types, the exception hierarchy, IO, a few
+/// util interfaces/classes, and the special classes the paper's reported
+/// problems hinge on (a package-private synthetic nested class for
+/// Problem 3, a class whose final-ness changed between versions for the
+/// EnumEditor discrepancy).
+///
+/// Four versions model the JRE skew behind compatibility discrepancies:
+///   "jre5"  -- GIJ's library: missing post-1.5 classes
+///   "jre7"  -- baseline (the paper's seed JRE)
+///   "jre8"  -- adds 1.8 classes; EnumEditor becomes final
+///   "jre9"  -- additionally removes sun/* internals (JDK 9 modules)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_RUNTIME_RUNTIMELIB_H
+#define CLASSFUZZ_RUNTIME_RUNTIMELIB_H
+
+#include "jvm/ClassPath.h"
+#include "jvm/Policy.h"
+
+namespace classfuzz {
+
+/// Builds the library for \p Version in {"jre5","jre7","jre8","jre9"}.
+/// Unknown versions build the jre8 baseline.
+ClassPath buildRuntimeLibrary(const std::string &Version);
+
+/// The library a given JVM profile ships with (Policy.RuntimeLib).
+ClassPath runtimeLibraryFor(const JvmPolicy &Policy);
+
+/// Class names whose referencing classes exhibit version skew (used by
+/// the corpus generators to seed compatibility discrepancies).
+struct VersionSkewedClasses {
+  /// Present in jre7+ only.
+  std::vector<std::string> Jre7Plus;
+  /// Present in jre8+ only.
+  std::vector<std::string> Jre8Plus;
+  /// Removed in jre9 (sun/* internals).
+  std::vector<std::string> RemovedInJre9;
+  /// Final in jre8+ but subclassable in jre5/jre7.
+  std::string FinalizedClass;
+  /// Package-private synthetic class (Problem 3 throws-accessibility).
+  std::string InaccessibleClass;
+};
+VersionSkewedClasses versionSkewedClasses();
+
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_RUNTIME_RUNTIMELIB_H

@@ -1,0 +1,619 @@
+//===- runtime/SeedCorpus.cpp ---------------------------------------------===//
+
+#include "runtime/SeedCorpus.h"
+
+#include "classfile/ClassWriter.h"
+#include "classfile/CodeBuilder.h"
+#include "classfile/Opcodes.h"
+#include "runtime/RuntimeLib.h"
+
+#include <cassert>
+
+using namespace classfuzz;
+
+namespace {
+
+/// Builds one seed class with a fluent interface.
+class SeedBuilder {
+public:
+  explicit SeedBuilder(std::string Name,
+                       std::string Super = "java/lang/Object",
+                       uint16_t Flags = ACC_PUBLIC | ACC_SUPER) {
+    CF.ThisClass = std::move(Name);
+    CF.SuperClass = std::move(Super);
+    CF.AccessFlags = Flags;
+    CF.MajorVersion = MajorVersionJava7;
+  }
+
+  ClassFile &cf() { return CF; }
+
+  void implement(const std::string &Iface) {
+    CF.Interfaces.push_back(Iface);
+  }
+
+  void field(const std::string &Name, const std::string &Desc,
+             uint16_t Flags) {
+    FieldInfo F;
+    F.Name = Name;
+    F.Descriptor = Desc;
+    F.AccessFlags = Flags;
+    CF.Fields.push_back(std::move(F));
+  }
+
+  /// A static final int with a ConstantValue attribute (initialized
+  /// during preparation, no <clinit> involvement).
+  void constantIntField(const std::string &Name, int32_t V) {
+    FieldInfo F;
+    F.Name = Name;
+    F.Descriptor = "I";
+    F.AccessFlags = ACC_PUBLIC | ACC_STATIC | ACC_FINAL;
+    FieldConstant CV;
+    CV.Kind = 'i';
+    CV.IntValue = V;
+    F.ConstantValue = CV;
+    CF.Fields.push_back(std::move(F));
+  }
+
+  /// Adds a method whose body is produced by \p Emit on a CodeBuilder.
+  /// \p ExceptionTable is read *after* Emit runs, so emitters may fill a
+  /// table they captured by reference while laying out offsets.
+  template <typename EmitFn>
+  void method(const std::string &Name, const std::string &Desc,
+              uint16_t Flags, uint16_t MaxStack, uint16_t MaxLocals,
+              EmitFn Emit,
+              const std::vector<ExceptionTableEntry> &ExceptionTable = {},
+              std::vector<std::string> Throws = {}) {
+    MethodInfo M;
+    M.Name = Name;
+    M.Descriptor = Desc;
+    M.AccessFlags = Flags;
+    M.Exceptions = std::move(Throws);
+    CodeBuilder B(CF.CP);
+    Emit(B);
+    CodeAttr Code;
+    Code.MaxStack = MaxStack;
+    Code.MaxLocals = MaxLocals;
+    Code.Code = B.build();
+    Code.ExceptionTable = ExceptionTable;
+    M.Code = std::move(Code);
+    CF.Methods.push_back(std::move(M));
+  }
+
+  void abstractMethod(const std::string &Name, const std::string &Desc,
+                      uint16_t Flags) {
+    MethodInfo M;
+    M.Name = Name;
+    M.Descriptor = Desc;
+    M.AccessFlags = Flags;
+    CF.Methods.push_back(std::move(M));
+  }
+
+  void defaultCtor() {
+    std::string Super = CF.SuperClass;
+    method("<init>", "()V", ACC_PUBLIC, 1, 1, [&](CodeBuilder &B) {
+      B.loadLocal('a', 0);
+      B.invokeSpecial(Super, "<init>", "()V");
+      B.emit(OP_return);
+    });
+  }
+
+  /// public static void main(String[]) printing \p Message.
+  void mainPrinting(const std::string &Message) {
+    method("main", "([Ljava/lang/String;)V", ACC_PUBLIC | ACC_STATIC, 2,
+           1, [&](CodeBuilder &B) {
+             B.getStatic("java/lang/System", "out",
+                         "Ljava/io/PrintStream;");
+             B.pushString(Message);
+             B.invokeVirtual("java/io/PrintStream", "println",
+                             "(Ljava/lang/String;)V");
+             B.emit(OP_return);
+           });
+  }
+
+  Bytes build() {
+    auto Data = writeClassFile(CF);
+    assert(Data.ok() && "seed class failed to serialize");
+    return Data.take();
+  }
+
+private:
+  ClassFile CF;
+};
+
+using Gen = SeedClass (*)(Rng &, const std::string &);
+
+/// Plain hello class (the Figure 2 shape, valid form).
+SeedClass genHello(Rng &R, const std::string &Name) {
+  (void)R;
+  SeedBuilder B(Name);
+  B.defaultCtor();
+  B.mainPrinting("Completed!");
+  return {Name, B.build(), {}};
+}
+
+/// Class with a batch of fields, a static initializer, and a main that
+/// reads a static.
+SeedClass genFields(Rng &R, const std::string &Name) {
+  SeedBuilder B(Name);
+  int NumFields = static_cast<int>(R.nextInRange(1, 6));
+  static const char *Descs[] = {"I", "Ljava/lang/String;",
+                                "Ljava/lang/Object;", "[I", "Z", "J"};
+  for (int I = 0; I != NumFields; ++I) {
+    uint16_t Flags = R.nextBool() ? (ACC_PRIVATE | ACC_STATIC)
+                                  : static_cast<uint16_t>(ACC_PROTECTED);
+    if (R.nextBool(0.3))
+      Flags = static_cast<uint16_t>(Flags | ACC_FINAL);
+    B.field("f" + std::to_string(I), Descs[R.choiceIndex(6)], Flags);
+  }
+  B.field("COUNTER", "I", ACC_PUBLIC | ACC_STATIC);
+  B.cf().Methods.push_back([&] {
+    MethodInfo M;
+    M.Name = "<clinit>";
+    M.Descriptor = "()V";
+    M.AccessFlags = ACC_STATIC;
+    CodeBuilder CB(B.cf().CP);
+    CB.pushInt(static_cast<int32_t>(R.nextInRange(1, 99)));
+    CB.putStatic(Name, "COUNTER", "I");
+    CB.emit(OP_return);
+    CodeAttr Code;
+    Code.MaxStack = 1;
+    Code.MaxLocals = 0;
+    Code.Code = CB.build();
+    M.Code = std::move(Code);
+    return M;
+  }());
+  B.defaultCtor();
+  B.method("main", "([Ljava/lang/String;)V", ACC_PUBLIC | ACC_STATIC, 2,
+           1, [&](CodeBuilder &CB) {
+             CB.getStatic("java/lang/System", "out",
+                          "Ljava/io/PrintStream;");
+             CB.getStatic(Name, "COUNTER", "I");
+             CB.invokeVirtual("java/io/PrintStream", "println", "(I)V");
+             CB.emit(OP_return);
+           });
+  return {Name, B.build(), {}};
+}
+
+/// Loop-and-arithmetic main (branches, iinc, int ops).
+SeedClass genArith(Rng &R, const std::string &Name) {
+  int32_t Limit = static_cast<int32_t>(R.nextInRange(3, 20));
+  SeedBuilder B(Name);
+  B.defaultCtor();
+  B.method(
+      "main", "([Ljava/lang/String;)V", ACC_PUBLIC | ACC_STATIC, 3, 3,
+      [&](CodeBuilder &CB) {
+        // int sum = 0; for (int i = 0; i < Limit; ++i) sum += i;
+        CB.pushInt(0);
+        CB.storeLocal('i', 1); // sum
+        CB.pushInt(0);
+        CB.storeLocal('i', 2); // i
+        CodeBuilder::Label Head = CB.newLabel();
+        CodeBuilder::Label Done = CB.newLabel();
+        CB.bind(Head);
+        CB.loadLocal('i', 2);
+        CB.pushInt(Limit);
+        CB.branch(OP_if_icmpge, Done);
+        CB.loadLocal('i', 1);
+        CB.loadLocal('i', 2);
+        CB.emit(OP_iadd);
+        CB.storeLocal('i', 1);
+        CB.iinc(2, 1);
+        CB.branch(OP_goto, Head);
+        CB.bind(Done);
+        CB.getStatic("java/lang/System", "out", "Ljava/io/PrintStream;");
+        CB.loadLocal('i', 1);
+        CB.invokeVirtual("java/io/PrintStream", "println", "(I)V");
+        CB.emit(OP_return);
+      });
+  return {Name, B.build(), {}};
+}
+
+/// An interface with constants and abstract methods (main-less seed, as
+/// most JRE classfiles are).
+SeedClass genInterface(Rng &R, const std::string &Name) {
+  SeedBuilder B(Name, "java/lang/Object",
+                ACC_PUBLIC | ACC_INTERFACE | ACC_ABSTRACT);
+  int NumConsts = static_cast<int>(R.nextInRange(0, 3));
+  for (int I = 0; I != NumConsts; ++I)
+    B.constantIntField("K" + std::to_string(I),
+                       static_cast<int32_t>(R.nextInRange(0, 999)));
+  int NumMethods = static_cast<int>(R.nextInRange(1, 4));
+  static const char *Descs[] = {"()V", "(I)I", "(Ljava/lang/String;)V",
+                                "()Ljava/lang/Object;"};
+  for (int I = 0; I != NumMethods; ++I)
+    B.abstractMethod("op" + std::to_string(I), Descs[R.choiceIndex(4)],
+                     ACC_PUBLIC | ACC_ABSTRACT);
+  return {Name, B.build(), {}};
+}
+
+/// Implements Runnable and Comparable with real bodies; main dispatches
+/// through the interface.
+SeedClass genImpl(Rng &R, const std::string &Name) {
+  (void)R;
+  SeedBuilder B(Name);
+  B.implement("java/lang/Runnable");
+  B.implement("java/lang/Comparable");
+  B.defaultCtor();
+  B.method("run", "()V", ACC_PUBLIC, 2, 1, [&](CodeBuilder &CB) {
+    CB.getStatic("java/lang/System", "out", "Ljava/io/PrintStream;");
+    CB.pushString("run");
+    CB.invokeVirtual("java/io/PrintStream", "println",
+                     "(Ljava/lang/String;)V");
+    CB.emit(OP_return);
+  });
+  B.method("compareTo", "(Ljava/lang/Object;)I", ACC_PUBLIC, 1, 2,
+           [&](CodeBuilder &CB) {
+             CB.pushInt(0);
+             CB.emit(OP_ireturn);
+           });
+  B.method("main", "([Ljava/lang/String;)V", ACC_PUBLIC | ACC_STATIC, 2,
+           2, [&](CodeBuilder &CB) {
+             CB.newObject(Name);
+             CB.emit(OP_dup);
+             CB.invokeSpecial(Name, "<init>", "()V");
+             CB.storeLocal('a', 1);
+             CB.loadLocal('a', 1);
+             CB.invokeInterface("java/lang/Runnable", "run", "()V");
+             CB.emit(OP_return);
+           });
+  return {Name, B.build(), {}};
+}
+
+/// Subclass of Thread overriding run (inheritance + virtual dispatch).
+SeedClass genSubThread(Rng &R, const std::string &Name) {
+  (void)R;
+  SeedBuilder B(Name, "java/lang/Thread");
+  B.defaultCtor();
+  B.method("run", "()V", ACC_PUBLIC, 2, 1, [&](CodeBuilder &CB) {
+    CB.getStatic("java/lang/System", "out", "Ljava/io/PrintStream;");
+    CB.pushString("thread-run");
+    CB.invokeVirtual("java/io/PrintStream", "println",
+                     "(Ljava/lang/String;)V");
+    CB.emit(OP_return);
+  });
+  B.method("main", "([Ljava/lang/String;)V", ACC_PUBLIC | ACC_STATIC, 2,
+           1, [&](CodeBuilder &CB) {
+             CB.newObject(Name);
+             CB.emit(OP_dup);
+             CB.invokeSpecial(Name, "<init>", "()V");
+             CB.invokeVirtual(Name, "run", "()V");
+             CB.emit(OP_return);
+           });
+  return {Name, B.build(), {}};
+}
+
+/// try/catch with a deliberate ArithmeticException, plus a throws clause.
+SeedClass genException(Rng &R, const std::string &Name) {
+  (void)R;
+  SeedBuilder B(Name);
+  B.defaultCtor();
+  B.method("risky", "(I)I", ACC_PUBLIC | ACC_STATIC, 2, 1,
+           [&](CodeBuilder &CB) {
+             CB.pushInt(100);
+             CB.loadLocal('i', 0);
+             CB.emit(OP_idiv);
+             CB.emit(OP_ireturn);
+           },
+           /*ExceptionTable=*/{},
+           /*Throws=*/{"java/lang/ArithmeticException"});
+  // main: try { risky(0) } catch (ArithmeticException e) { print }
+  std::vector<ExceptionTableEntry> Table;
+  B.method("main", "([Ljava/lang/String;)V", ACC_PUBLIC | ACC_STATIC, 2,
+           2, [&](CodeBuilder &CB) {
+             uint32_t TryStart = CB.currentOffset();
+             CB.pushInt(0);
+             CB.invokeStatic(Name, "risky", "(I)I");
+             CB.emit(OP_pop);
+             uint32_t TryEnd = CB.currentOffset();
+             CodeBuilder::Label Out = CB.newLabel();
+             CB.branch(OP_goto, Out);
+             uint32_t Handler = CB.currentOffset();
+             CB.storeLocal('a', 1);
+             CB.getStatic("java/lang/System", "out",
+                          "Ljava/io/PrintStream;");
+             CB.pushString("caught");
+             CB.invokeVirtual("java/io/PrintStream", "println",
+                              "(Ljava/lang/String;)V");
+             CB.bind(Out);
+             CB.emit(OP_return);
+             ExceptionTableEntry E;
+             E.StartPc = static_cast<uint16_t>(TryStart);
+             E.EndPc = static_cast<uint16_t>(TryEnd);
+             E.HandlerPc = static_cast<uint16_t>(Handler);
+             E.CatchType = "java/lang/ArithmeticException";
+             Table.push_back(E);
+           },
+           Table);
+  return {Name, B.build(), {}};
+}
+
+/// Arrays: int[] and String[] round trips.
+SeedClass genArray(Rng &R, const std::string &Name) {
+  int32_t Len = static_cast<int32_t>(R.nextInRange(1, 8));
+  SeedBuilder B(Name);
+  B.defaultCtor();
+  B.method("main", "([Ljava/lang/String;)V", ACC_PUBLIC | ACC_STATIC, 4,
+           2, [&](CodeBuilder &CB) {
+             CB.pushInt(Len);
+             CB.emitU1(OP_newarray, 10); // T_INT
+             CB.storeLocal('a', 1);
+             CB.loadLocal('a', 1);
+             CB.pushInt(0);
+             CB.pushInt(42);
+             CB.emit(OP_iastore);
+             CB.getStatic("java/lang/System", "out",
+                          "Ljava/io/PrintStream;");
+             CB.loadLocal('a', 1);
+             CB.pushInt(0);
+             CB.emit(OP_iaload);
+             CB.invokeVirtual("java/io/PrintStream", "println", "(I)V");
+             CB.emit(OP_return);
+           });
+  return {Name, B.build(), {}};
+}
+
+/// StringBuilder chain.
+SeedClass genStringBuilder(Rng &R, const std::string &Name) {
+  int32_t N = static_cast<int32_t>(R.nextInRange(1, 5));
+  SeedBuilder B(Name);
+  B.defaultCtor();
+  B.method("main", "([Ljava/lang/String;)V", ACC_PUBLIC | ACC_STATIC, 3,
+           2, [&](CodeBuilder &CB) {
+             CB.newObject("java/lang/StringBuilder");
+             CB.emit(OP_dup);
+             CB.invokeSpecial("java/lang/StringBuilder", "<init>", "()V");
+             CB.pushString("n=");
+             CB.invokeVirtual(
+                 "java/lang/StringBuilder", "append",
+                 "(Ljava/lang/String;)Ljava/lang/StringBuilder;");
+             CB.pushInt(N);
+             CB.invokeVirtual("java/lang/StringBuilder", "append",
+                              "(I)Ljava/lang/StringBuilder;");
+             CB.invokeVirtual("java/lang/StringBuilder", "toString",
+                              "()Ljava/lang/String;");
+             CB.storeLocal('a', 1);
+             CB.getStatic("java/lang/System", "out",
+                          "Ljava/io/PrintStream;");
+             CB.loadLocal('a', 1);
+             CB.invokeVirtual("java/io/PrintStream", "println",
+                              "(Ljava/lang/String;)V");
+             CB.emit(OP_return);
+           });
+  return {Name, B.build(), {}};
+}
+
+/// A two-class hierarchy: Name extends NameBase, with an overridden
+/// virtual method dispatched through the base type.
+SeedClass genHierarchy(Rng &R, const std::string &Name) {
+  (void)R;
+  std::string Base = Name + "Base";
+  SeedBuilder BB(Base);
+  BB.defaultCtor();
+  BB.method("describe", "()Ljava/lang/String;", ACC_PUBLIC, 1, 1,
+            [&](CodeBuilder &CB) {
+              CB.pushString("base");
+              CB.emit(OP_areturn);
+            });
+
+  SeedBuilder B(Name, Base);
+  B.defaultCtor();
+  B.method("describe", "()Ljava/lang/String;", ACC_PUBLIC, 1, 1,
+           [&](CodeBuilder &CB) {
+             CB.pushString("derived");
+             CB.emit(OP_areturn);
+           });
+  B.method("main", "([Ljava/lang/String;)V", ACC_PUBLIC | ACC_STATIC, 2,
+           2, [&](CodeBuilder &CB) {
+             CB.newObject(Name);
+             CB.emit(OP_dup);
+             CB.invokeSpecial(Name, "<init>", "()V");
+             CB.storeLocal('a', 1);
+             CB.getStatic("java/lang/System", "out",
+                          "Ljava/io/PrintStream;");
+             CB.loadLocal('a', 1);
+             CB.invokeVirtual(Base, "describe", "()Ljava/lang/String;");
+             CB.invokeVirtual("java/io/PrintStream", "println",
+                              "(Ljava/lang/String;)V");
+             CB.emit(OP_return);
+           });
+  SeedClass Out{Name, B.build(), {}};
+  Out.Helpers.emplace_back(Base, BB.build());
+  return Out;
+}
+
+/// checkcast / instanceof over the runtime hierarchy.
+SeedClass genCast(Rng &R, const std::string &Name) {
+  (void)R;
+  SeedBuilder B(Name);
+  B.defaultCtor();
+  B.method("main", "([Ljava/lang/String;)V", ACC_PUBLIC | ACC_STATIC, 2,
+           2, [&](CodeBuilder &CB) {
+             CB.pushString("s");
+             CB.storeLocal('a', 1);
+             CB.loadLocal('a', 1);
+             CB.instanceOf("java/lang/Comparable");
+             CodeBuilder::Label No = CB.newLabel();
+             CodeBuilder::Label End = CB.newLabel();
+             CB.branch(OP_ifeq, No);
+             CB.getStatic("java/lang/System", "out",
+                          "Ljava/io/PrintStream;");
+             CB.pushString("comparable");
+             CB.invokeVirtual("java/io/PrintStream", "println",
+                              "(Ljava/lang/String;)V");
+             CB.branch(OP_goto, End);
+             CB.bind(No);
+             CB.getStatic("java/lang/System", "out",
+                          "Ljava/io/PrintStream;");
+             CB.pushString("not");
+             CB.invokeVirtual("java/io/PrintStream", "println",
+                              "(Ljava/lang/String;)V");
+             CB.bind(End);
+             CB.emit(OP_return);
+           });
+  return {Name, B.build(), {}};
+}
+
+/// Static helper methods invoked from main.
+SeedClass genStaticHelpers(Rng &R, const std::string &Name) {
+  int NumHelpers = static_cast<int>(R.nextInRange(1, 3));
+  SeedBuilder B(Name);
+  B.defaultCtor();
+  for (int I = 0; I != NumHelpers; ++I) {
+    int32_t K = static_cast<int32_t>(R.nextInRange(1, 9));
+    B.method("h" + std::to_string(I), "(I)I", ACC_PRIVATE | ACC_STATIC,
+             2, 1, [&](CodeBuilder &CB) {
+               CB.loadLocal('i', 0);
+               CB.pushInt(K);
+               CB.emit(OP_imul);
+               CB.emit(OP_ireturn);
+             });
+  }
+  B.method("main", "([Ljava/lang/String;)V", ACC_PUBLIC | ACC_STATIC, 2,
+           1, [&](CodeBuilder &CB) {
+             CB.getStatic("java/lang/System", "out",
+                          "Ljava/io/PrintStream;");
+             CB.pushInt(7);
+             CB.invokeStatic(Name, "h0", "(I)I");
+             CB.invokeVirtual("java/io/PrintStream", "println", "(I)V");
+             CB.emit(OP_return);
+           });
+  return {Name, B.build(), {}};
+}
+
+/// References a version-skewed library class: compatibility seed.
+SeedClass genSkewRef(Rng &R, const std::string &Name) {
+  VersionSkewedClasses Skew = versionSkewedClasses();
+  std::vector<std::string> Pool = Skew.Jre7Plus;
+  Pool.insert(Pool.end(), Skew.Jre8Plus.begin(), Skew.Jre8Plus.end());
+  Pool.insert(Pool.end(), Skew.RemovedInJre9.begin(),
+              Skew.RemovedInJre9.end());
+  std::string Target = Pool[R.choiceIndex(Pool.size())];
+  SeedBuilder B(Name);
+  B.defaultCtor();
+  B.method("main", "([Ljava/lang/String;)V", ACC_PUBLIC | ACC_STATIC, 2,
+           2, [&](CodeBuilder &CB) {
+             // Mentioning the class is enough: instanceof forces
+             // resolution without needing a constructible instance.
+             CB.pushNull();
+             CB.instanceOf(Target);
+             CB.emit(OP_pop);
+             CB.getStatic("java/lang/System", "out",
+                          "Ljava/io/PrintStream;");
+             CB.pushString("resolved");
+             CB.invokeVirtual("java/io/PrintStream", "println",
+                              "(Ljava/lang/String;)V");
+             CB.emit(OP_return);
+           });
+  return {Name, B.build(), {}};
+}
+
+// genSkewRef (a seed referencing a version-skewed runtime class) appears
+// once per 25 seeds, matching the paper's ~3% compatibility-discrepancy
+// rate among seeding classfiles.
+const Gen SeedGenerators[] = {
+    genHello,         genFields,    genArith,   genInterface,
+    genImpl,          genSubThread, genException, genArray,
+    genStringBuilder, genHierarchy, genCast,    genStaticHelpers,
+    genSkewRef,       genHello,     genFields,  genArith,
+    genInterface,     genImpl,      genSubThread, genException,
+    genArray,         genStringBuilder, genHierarchy, genCast,
+    genStaticHelpers,
+};
+
+// ---- library corpus (preliminary study) ----------------------------------
+
+/// A plain library-like class: no main, a few members.
+SeedClass genLibPlain(Rng &R, const std::string &Name) {
+  SeedBuilder B(Name);
+  B.defaultCtor();
+  int NumFields = static_cast<int>(R.nextInRange(0, 4));
+  for (int I = 0; I != NumFields; ++I)
+    B.field("v" + std::to_string(I), "I", ACC_PRIVATE);
+  B.method("get", "()I", ACC_PUBLIC, 1, 1, [&](CodeBuilder &CB) {
+    CB.pushInt(static_cast<int32_t>(R.nextInRange(0, 50)));
+    CB.emit(OP_ireturn);
+  });
+  return {Name, B.build(), {}};
+}
+
+/// Library class extending the EnumEditor whose final-ness changed in
+/// jre8 (VerifyError on jre8+ profiles, NoClassDefFoundError where the
+/// parent is absent).
+SeedClass genLibFinalSub(Rng &R, const std::string &Name) {
+  (void)R;
+  VersionSkewedClasses Skew = versionSkewedClasses();
+  SeedBuilder B(Name, Skew.FinalizedClass);
+  B.defaultCtor();
+  return {Name, B.build(), {}};
+}
+
+/// Library class referencing a sun/* internal (gone in jre9) or a
+/// jre7+/jre8+ addition via its superclass.
+SeedClass genLibSkewSuper(Rng &R, const std::string &Name) {
+  VersionSkewedClasses Skew = versionSkewedClasses();
+  std::vector<std::string> Pool = Skew.RemovedInJre9;
+  // Only concrete classes can serve as superclasses.
+  std::string Super = Pool[R.choiceIndex(Pool.size())];
+  if (Super == "sun/beans/editors/EnumEditor" && R.nextBool())
+    Super = "sun/misc/BASE64Encoder";
+  SeedBuilder B(Name, Super);
+  B.defaultCtor();
+  return {Name, B.build(), {}};
+}
+
+/// Library interface.
+SeedClass genLibInterface(Rng &R, const std::string &Name) {
+  return genInterface(R, Name);
+}
+
+// One finalized-superclass user and one sun/*-internal user per 64
+// classes: running the corpus across the version-skewed per-JVM
+// libraries then yields the paper's low-single-digit compatibility
+// discrepancy background (1.7% in the preliminary study).
+const Gen LibraryGenerators[] = {
+    genLibPlain, genLibPlain,     genLibPlain, genLibPlain, genLibPlain,
+    genLibPlain, genLibInterface, genLibPlain, genLibPlain, genLibPlain,
+    genLibPlain, genLibPlain,     genLibPlain, genLibPlain, genLibPlain,
+    genLibFinalSub,
+    genLibPlain, genLibPlain,     genLibPlain, genLibPlain, genLibPlain,
+    genLibPlain, genLibInterface, genLibPlain, genLibPlain, genLibPlain,
+    genLibPlain, genLibPlain,     genLibPlain, genLibPlain, genLibPlain,
+    genLibPlain,
+    genLibPlain, genLibPlain,     genLibPlain, genLibPlain, genLibPlain,
+    genLibPlain, genLibInterface, genLibPlain, genLibPlain, genLibPlain,
+    genLibPlain, genLibPlain,     genLibPlain, genLibPlain, genLibPlain,
+    genLibSkewSuper,
+    genLibPlain, genLibPlain,     genLibPlain, genLibPlain, genLibPlain,
+    genLibPlain, genLibInterface, genLibPlain, genLibPlain, genLibPlain,
+    genLibPlain, genLibPlain,     genLibPlain, genLibPlain, genLibPlain,
+    genLibPlain,
+};
+
+} // namespace
+
+std::vector<SeedClass> classfuzz::generateSeedCorpus(Rng &R, size_t Count) {
+  std::vector<SeedClass> Out;
+  Out.reserve(Count);
+  constexpr size_t NumGens = sizeof(SeedGenerators) / sizeof(Gen);
+  for (size_t I = 0; I != Count; ++I) {
+    std::string Name =
+        "M" + std::to_string(1400000000 + R.nextBelow(99999999));
+    Gen G = SeedGenerators[I % NumGens];
+    Out.push_back(G(R, Name));
+  }
+  return Out;
+}
+
+std::vector<SeedClass> classfuzz::generateLibraryCorpus(Rng &R,
+                                                        size_t Count) {
+  std::vector<SeedClass> Out;
+  Out.reserve(Count);
+  constexpr size_t NumGens = sizeof(LibraryGenerators) / sizeof(Gen);
+  for (size_t I = 0; I != Count; ++I) {
+    std::string Name = "lib/pkg" + std::to_string(I % 16) + "/L" +
+                       std::to_string(1000 + I);
+    Gen G = LibraryGenerators[I % NumGens];
+    Out.push_back(G(R, Name));
+  }
+  return Out;
+}

@@ -1,0 +1,51 @@
+//===- runtime/SeedCorpus.h - Seed classfile generation ------------------===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates the seed corpora of the evaluation:
+///
+///  * generateSeedCorpus -- the 1,216-seed analog: structurally diverse,
+///    valid classfiles (field-heavy classes, interfaces, hierarchies,
+///    exception users, array/string programs) for mutation.
+///  * generateLibraryCorpus -- the "JRE7 library classes" analog for the
+///    preliminary study: main-less library-like classes, a fraction of
+///    which reference version-skewed runtime classes so that running
+///    them across JVM profiles with their own JREs reproduces the
+///    ~1.7%-discrepancy compatibility background.
+///
+/// All generation is deterministic in the provided Rng.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_RUNTIME_SEEDCORPUS_H
+#define CLASSFUZZ_RUNTIME_SEEDCORPUS_H
+
+#include "support/ByteBuffer.h"
+#include "support/Rng.h"
+
+#include <string>
+#include <vector>
+
+namespace classfuzz {
+
+/// One seed: internal class name plus classfile bytes. Multi-class seeds
+/// (hierarchies) also carry their helper classes.
+struct SeedClass {
+  std::string Name;
+  Bytes Data;
+  /// Additional classes this seed needs on the class path.
+  std::vector<std::pair<std::string, Bytes>> Helpers;
+};
+
+/// Generates \p Count mutation seeds (valid, diverse classes).
+std::vector<SeedClass> generateSeedCorpus(Rng &R, size_t Count);
+
+/// Generates \p Count library-like classes for the preliminary study.
+std::vector<SeedClass> generateLibraryCorpus(Rng &R, size_t Count);
+
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_RUNTIME_SEEDCORPUS_H

@@ -1,0 +1,114 @@
+//===- support/ByteBuffer.cpp ---------------------------------------------===//
+
+#include "support/ByteBuffer.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace classfuzz;
+
+bool ByteReader::ensure(size_t Count) {
+  if (Error || Size - Pos < Count) {
+    Error = true;
+    return false;
+  }
+  return true;
+}
+
+uint8_t ByteReader::readU1() {
+  if (!ensure(1))
+    return 0;
+  return Data[Pos++];
+}
+
+uint16_t ByteReader::readU2() {
+  if (!ensure(2))
+    return 0;
+  uint16_t V = static_cast<uint16_t>(Data[Pos] << 8 | Data[Pos + 1]);
+  Pos += 2;
+  return V;
+}
+
+uint32_t ByteReader::readU4() {
+  if (!ensure(4))
+    return 0;
+  uint32_t V = static_cast<uint32_t>(Data[Pos]) << 24 |
+               static_cast<uint32_t>(Data[Pos + 1]) << 16 |
+               static_cast<uint32_t>(Data[Pos + 2]) << 8 |
+               static_cast<uint32_t>(Data[Pos + 3]);
+  Pos += 4;
+  return V;
+}
+
+uint64_t ByteReader::readU8() {
+  uint64_t Hi = readU4();
+  uint64_t Lo = readU4();
+  return Hi << 32 | Lo;
+}
+
+Bytes ByteReader::readBytes(size_t Count) {
+  if (!ensure(Count))
+    return {};
+  Bytes Out(Data + Pos, Data + Pos + Count);
+  Pos += Count;
+  return Out;
+}
+
+std::string ByteReader::readString(size_t Count) {
+  if (!ensure(Count))
+    return {};
+  std::string Out(reinterpret_cast<const char *>(Data + Pos), Count);
+  Pos += Count;
+  return Out;
+}
+
+void ByteReader::skip(size_t Count) {
+  if (!ensure(Count))
+    return;
+  Pos += Count;
+}
+
+void ByteWriter::writeU1(uint8_t V) { Buffer.push_back(V); }
+
+void ByteWriter::writeU2(uint16_t V) {
+  Buffer.push_back(static_cast<uint8_t>(V >> 8));
+  Buffer.push_back(static_cast<uint8_t>(V));
+}
+
+void ByteWriter::writeU4(uint32_t V) {
+  Buffer.push_back(static_cast<uint8_t>(V >> 24));
+  Buffer.push_back(static_cast<uint8_t>(V >> 16));
+  Buffer.push_back(static_cast<uint8_t>(V >> 8));
+  Buffer.push_back(static_cast<uint8_t>(V));
+}
+
+void ByteWriter::writeU8(uint64_t V) {
+  writeU4(static_cast<uint32_t>(V >> 32));
+  writeU4(static_cast<uint32_t>(V));
+}
+
+void ByteWriter::writeBytes(const Bytes &Data) {
+  Buffer.insert(Buffer.end(), Data.begin(), Data.end());
+}
+
+void ByteWriter::writeBytes(const uint8_t *Data, size_t Count) {
+  Buffer.insert(Buffer.end(), Data, Data + Count);
+}
+
+void ByteWriter::writeString(const std::string &S) {
+  Buffer.insert(Buffer.end(), S.begin(), S.end());
+}
+
+void ByteWriter::patchU2(size_t At, uint16_t V) {
+  assert(At + 2 <= Buffer.size() && "patch beyond written data");
+  Buffer[At] = static_cast<uint8_t>(V >> 8);
+  Buffer[At + 1] = static_cast<uint8_t>(V);
+}
+
+void ByteWriter::patchU4(size_t At, uint32_t V) {
+  assert(At + 4 <= Buffer.size() && "patch beyond written data");
+  Buffer[At] = static_cast<uint8_t>(V >> 24);
+  Buffer[At + 1] = static_cast<uint8_t>(V >> 16);
+  Buffer[At + 2] = static_cast<uint8_t>(V >> 8);
+  Buffer[At + 3] = static_cast<uint8_t>(V);
+}

@@ -1,0 +1,92 @@
+//===- support/ByteBuffer.h - Big-endian byte readers and writers --------===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ByteReader and ByteWriter implement the big-endian primitive encoding of
+/// the Java class file format (u1/u2/u4/u8, length-prefixed byte runs).
+/// ByteReader is bounds-checked: overruns set a sticky error flag instead of
+/// reading out of bounds, letting the classfile parser report truncation as
+/// a ClassFormatError-style failure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_SUPPORT_BYTEBUFFER_H
+#define CLASSFUZZ_SUPPORT_BYTEBUFFER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace classfuzz {
+
+using Bytes = std::vector<uint8_t>;
+
+/// Bounds-checked big-endian reader over an externally owned byte span.
+class ByteReader {
+public:
+  ByteReader(const uint8_t *Data, size_t Size) : Data(Data), Size(Size) {}
+  explicit ByteReader(const Bytes &Buffer)
+      : ByteReader(Buffer.data(), Buffer.size()) {}
+
+  uint8_t readU1();
+  uint16_t readU2();
+  uint32_t readU4();
+  uint64_t readU8();
+
+  /// Reads \p Count raw bytes; returns an empty vector (and sets the error
+  /// flag) on overrun.
+  Bytes readBytes(size_t Count);
+
+  /// Reads \p Count bytes as a (modified-UTF8-carrying) string.
+  std::string readString(size_t Count);
+
+  /// Skips \p Count bytes.
+  void skip(size_t Count);
+
+  size_t position() const { return Pos; }
+  size_t remaining() const { return Size - Pos; }
+  bool atEnd() const { return Pos == Size; }
+
+  /// True once any read has overrun the buffer. All subsequent reads
+  /// return zeros.
+  bool hasError() const { return Error; }
+
+private:
+  bool ensure(size_t Count);
+
+  const uint8_t *Data;
+  size_t Size;
+  size_t Pos = 0;
+  bool Error = false;
+};
+
+/// Big-endian writer producing a growable byte vector.
+class ByteWriter {
+public:
+  void writeU1(uint8_t V);
+  void writeU2(uint16_t V);
+  void writeU4(uint32_t V);
+  void writeU8(uint64_t V);
+  void writeBytes(const Bytes &Data);
+  void writeBytes(const uint8_t *Data, size_t Count);
+  void writeString(const std::string &S);
+
+  /// Patches a previously written u2 at absolute offset \p At.
+  void patchU2(size_t At, uint16_t V);
+  /// Patches a previously written u4 at absolute offset \p At.
+  void patchU4(size_t At, uint32_t V);
+
+  size_t size() const { return Buffer.size(); }
+  const Bytes &bytes() const { return Buffer; }
+  Bytes take() { return std::move(Buffer); }
+
+private:
+  Bytes Buffer;
+};
+
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_SUPPORT_BYTEBUFFER_H

@@ -1,0 +1,73 @@
+//===- support/Hashing.h - FNV-1a hashing helpers -------------------------===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// 64-bit FNV-1a hashing over byte runs and integer sequences. Used for
+/// tracefile fingerprints (coverage-uniqueness checks compare hashed
+/// statement/branch sets before falling back to full set comparison).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_SUPPORT_HASHING_H
+#define CLASSFUZZ_SUPPORT_HASHING_H
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace classfuzz {
+
+inline constexpr uint64_t FnvOffsetBasis = 0xCBF29CE484222325ULL;
+inline constexpr uint64_t FnvPrime = 0x100000001B3ULL;
+
+/// Incrementally combinable FNV-1a hash state.
+class Hasher {
+public:
+  void addByte(uint8_t B) {
+    State ^= B;
+    State *= FnvPrime;
+  }
+
+  void addU32(uint32_t V) {
+    addByte(static_cast<uint8_t>(V));
+    addByte(static_cast<uint8_t>(V >> 8));
+    addByte(static_cast<uint8_t>(V >> 16));
+    addByte(static_cast<uint8_t>(V >> 24));
+  }
+
+  void addU64(uint64_t V) {
+    addU32(static_cast<uint32_t>(V));
+    addU32(static_cast<uint32_t>(V >> 32));
+  }
+
+  void addBytes(const std::vector<uint8_t> &Data) {
+    for (uint8_t B : Data)
+      addByte(B);
+  }
+
+  void addString(const std::string &S) {
+    for (char C : S)
+      addByte(static_cast<uint8_t>(C));
+    addByte(0xFF); // Separator so {"ab","c"} != {"a","bc"}.
+  }
+
+  uint64_t value() const { return State; }
+
+private:
+  uint64_t State = FnvOffsetBasis;
+};
+
+/// One-shot hash of a byte vector.
+inline uint64_t hashBytes(const std::vector<uint8_t> &Data) {
+  Hasher H;
+  H.addBytes(Data);
+  return H.value();
+}
+
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_SUPPORT_HASHING_H

@@ -1,0 +1,103 @@
+//===- support/Result.h - Lightweight expected-or-error type -------------===//
+//
+// Part of classfuzz-cpp, a reproduction of "Coverage-Directed Differential
+// Testing of JVM Implementations" (PLDI 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Result<T> carries either a value or a human-readable error message.
+/// Library code in this project does not use C++ exceptions; fallible
+/// operations (classfile parsing, IR assembly, ...) return Result<T>.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_SUPPORT_RESULT_H
+#define CLASSFUZZ_SUPPORT_RESULT_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace classfuzz {
+
+/// Tag type used to construct an errored Result from a message.
+struct ResultError {
+  std::string Message;
+};
+
+/// Convenience factory for error values, mirroring llvm::createStringError.
+inline ResultError makeError(std::string Message) {
+  return ResultError{std::move(Message)};
+}
+
+/// A value-or-error holder. Either holds a T (success) or an error message
+/// (failure). Callers must check ok() / operator bool before dereferencing.
+template <typename T> class Result {
+public:
+  /*implicit*/ Result(T Value) : Value(std::move(Value)) {}
+  /*implicit*/ Result(ResultError Err) : Message(std::move(Err.Message)) {}
+
+  /// True when a value is present.
+  bool ok() const { return Value.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// The error message; only valid when !ok().
+  const std::string &error() const {
+    assert(!ok() && "no error in a successful Result");
+    return Message;
+  }
+
+  T &operator*() {
+    assert(ok() && "dereferencing errored Result");
+    return *Value;
+  }
+  const T &operator*() const {
+    assert(ok() && "dereferencing errored Result");
+    return *Value;
+  }
+  T *operator->() {
+    assert(ok() && "dereferencing errored Result");
+    return &*Value;
+  }
+  const T *operator->() const {
+    assert(ok() && "dereferencing errored Result");
+    return &*Value;
+  }
+
+  /// Moves the contained value out; only valid when ok().
+  T take() {
+    assert(ok() && "taking from errored Result");
+    return std::move(*Value);
+  }
+
+private:
+  std::optional<T> Value;
+  std::string Message;
+};
+
+/// Specialization-free void-like result for operations with no payload.
+class Status {
+public:
+  Status() = default;
+  /*implicit*/ Status(ResultError Err)
+      : Failed(true), Message(std::move(Err.Message)) {}
+
+  static Status success() { return Status(); }
+
+  bool ok() const { return !Failed; }
+  explicit operator bool() const { return ok(); }
+  const std::string &error() const {
+    assert(Failed && "no error in a successful Status");
+    return Message;
+  }
+
+private:
+  bool Failed = false;
+  std::string Message;
+};
+
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_SUPPORT_RESULT_H

@@ -1,0 +1,67 @@
+//===- support/Rng.h - Deterministic random number generation ------------===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (SplitMix64-seeded xoshiro256**) used by every
+/// stochastic component (mutator selection, MCMC proposals, corpus
+/// sampling). Campaigns seeded identically reproduce bit-for-bit, which the
+/// benchmark harness and the property tests rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_SUPPORT_RNG_H
+#define CLASSFUZZ_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace classfuzz {
+
+/// Deterministic pseudo-random generator with convenience sampling helpers.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t next();
+
+  /// Uniform integer in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi);
+
+  /// Uniform double in [0, 1).
+  double nextDouble();
+
+  /// True with probability \p P (clamped to [0,1]).
+  bool nextBool(double P = 0.5);
+
+  /// Uniformly chosen element of \p Items; the vector must be non-empty.
+  template <typename T> const T &choice(const std::vector<T> &Items) {
+    assert(!Items.empty() && "choice() from empty vector");
+    return Items[nextBelow(Items.size())];
+  }
+
+  /// Uniformly chosen index into a container of \p Size elements.
+  size_t choiceIndex(size_t Size) {
+    assert(Size != 0 && "choiceIndex() over empty range");
+    return static_cast<size_t>(nextBelow(Size));
+  }
+
+  /// Forks an independent stream (for sub-components), deterministically
+  /// derived from this generator's state.
+  Rng fork();
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_SUPPORT_RNG_H

@@ -1,0 +1,100 @@
+//===- tests/TestHelpers.h - Shared fixtures for the test suite ----------===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_TESTS_TESTHELPERS_H
+#define CLASSFUZZ_TESTS_TESTHELPERS_H
+
+#include "classfile/ClassWriter.h"
+#include "classfile/CodeBuilder.h"
+#include "classfile/Opcodes.h"
+#include "jvm/Policy.h"
+#include "jvm/Vm.h"
+#include "runtime/RuntimeLib.h"
+
+#include <gtest/gtest.h>
+
+namespace classfuzz {
+namespace testhelpers {
+
+/// Builds a valid "hello" class: default ctor + main printing "Completed!".
+inline ClassFile makeHelloClass(const std::string &Name) {
+  ClassFile CF;
+  CF.ThisClass = Name;
+  CF.SuperClass = "java/lang/Object";
+  CF.AccessFlags = ACC_PUBLIC | ACC_SUPER;
+  CF.MajorVersion = MajorVersionJava7;
+
+  {
+    MethodInfo Ctor;
+    Ctor.Name = "<init>";
+    Ctor.Descriptor = "()V";
+    Ctor.AccessFlags = ACC_PUBLIC;
+    CodeBuilder B(CF.CP);
+    B.loadLocal('a', 0);
+    B.invokeSpecial("java/lang/Object", "<init>", "()V");
+    B.emit(OP_return);
+    CodeAttr Code;
+    Code.MaxStack = 1;
+    Code.MaxLocals = 1;
+    Code.Code = B.build();
+    Ctor.Code = std::move(Code);
+    CF.Methods.push_back(std::move(Ctor));
+  }
+  {
+    MethodInfo Main;
+    Main.Name = "main";
+    Main.Descriptor = "([Ljava/lang/String;)V";
+    Main.AccessFlags = ACC_PUBLIC | ACC_STATIC;
+    CodeBuilder B(CF.CP);
+    B.getStatic("java/lang/System", "out", "Ljava/io/PrintStream;");
+    B.pushString("Completed!");
+    B.invokeVirtual("java/io/PrintStream", "println",
+                    "(Ljava/lang/String;)V");
+    B.emit(OP_return);
+    CodeAttr Code;
+    Code.MaxStack = 2;
+    Code.MaxLocals = 1;
+    Code.Code = B.build();
+    Main.Code = std::move(Code);
+    CF.Methods.push_back(std::move(Main));
+  }
+  return CF;
+}
+
+/// Serializes, asserting success.
+inline Bytes serialize(ClassFile CF) {
+  auto Data = writeClassFile(CF);
+  EXPECT_TRUE(Data.ok()) << (Data.ok() ? "" : Data.error());
+  return Data.ok() ? Data.take() : Bytes{};
+}
+
+/// jre8 library + the given extra classes.
+inline ClassPath makeEnv(
+    const std::vector<std::pair<std::string, Bytes>> &Extra = {},
+    const std::string &LibVersion = "jre8") {
+  ClassPath Env = buildRuntimeLibrary(LibVersion);
+  for (const auto &[Name, Data] : Extra)
+    Env.add(Name, Data);
+  return Env;
+}
+
+/// One-shot: run \p MainName on a fresh Vm with \p Policy over the jre
+/// matching the policy plus \p Extra classes.
+inline JvmResult
+runOn(const JvmPolicy &Policy,
+      const std::vector<std::pair<std::string, Bytes>> &Extra,
+      const std::string &MainName) {
+  ClassPath Env = runtimeLibraryFor(Policy);
+  for (const auto &[Name, Data] : Extra)
+    Env.add(Name, Data);
+  Vm Jvm(Policy, Env);
+  return Jvm.run(MainName);
+}
+
+} // namespace testhelpers
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_TESTS_TESTHELPERS_H

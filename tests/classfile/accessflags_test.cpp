@@ -1,0 +1,31 @@
+//===- tests/classfile/accessflags_test.cpp --------------------------------===//
+
+#include "classfile/AccessFlags.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+
+TEST(AccessFlags, ClassFlagRendering) {
+  EXPECT_EQ(classFlagsToString(ACC_PUBLIC | ACC_SUPER),
+            "ACC_PUBLIC, ACC_SUPER");
+  EXPECT_EQ(classFlagsToString(0), "");
+  EXPECT_EQ(classFlagsToString(ACC_INTERFACE | ACC_ABSTRACT),
+            "ACC_INTERFACE, ACC_ABSTRACT");
+}
+
+TEST(AccessFlags, MethodFlagRendering) {
+  EXPECT_EQ(methodFlagsToString(ACC_PUBLIC | ACC_STATIC),
+            "ACC_PUBLIC, ACC_STATIC");
+  EXPECT_EQ(methodFlagsToString(ACC_PUBLIC | ACC_ABSTRACT),
+            "ACC_PUBLIC, ACC_ABSTRACT");
+  // ACC_SYNCHRONIZED shares the bit with ACC_SUPER but renders with the
+  // method meaning.
+  EXPECT_EQ(methodFlagsToString(ACC_SYNCHRONIZED), "ACC_SYNCHRONIZED");
+}
+
+TEST(AccessFlags, FieldFlagRendering) {
+  EXPECT_EQ(fieldFlagsToString(ACC_PRIVATE | ACC_VOLATILE),
+            "ACC_PRIVATE, ACC_VOLATILE");
+  EXPECT_EQ(fieldFlagsToString(ACC_ENUM), "ACC_ENUM");
+}

@@ -1,0 +1,114 @@
+//===- tests/classfile/codebuilder_test.cpp --------------------------------===//
+
+#include "classfile/CodeBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+
+TEST(CodeBuilder, PushIntPicksShortestEncoding) {
+  ConstantPool CP;
+  CodeBuilder B(CP);
+  B.pushInt(3);      // iconst_3 (1 byte)
+  B.pushInt(-1);     // iconst_m1 (1 byte)
+  B.pushInt(100);    // bipush (2 bytes)
+  B.pushInt(1000);   // sipush (3 bytes)
+  B.pushInt(100000); // ldc (2 bytes)
+  Bytes Code = B.build();
+  ASSERT_EQ(Code.size(), 9u);
+  EXPECT_EQ(Code[0], OP_iconst_3);
+  EXPECT_EQ(Code[1], OP_iconst_m1);
+  EXPECT_EQ(Code[2], OP_bipush);
+  EXPECT_EQ(Code[4], OP_sipush);
+  EXPECT_EQ(Code[7], OP_ldc);
+}
+
+TEST(CodeBuilder, LocalsUseShortFormsWhenPossible) {
+  ConstantPool CP;
+  CodeBuilder B(CP);
+  B.loadLocal('i', 0);
+  B.loadLocal('a', 3);
+  B.storeLocal('i', 2);
+  B.loadLocal('i', 7);
+  Bytes Code = B.build();
+  EXPECT_EQ(Code[0], OP_iload_0);
+  EXPECT_EQ(Code[1], OP_aload_3);
+  EXPECT_EQ(Code[2], OP_istore_2);
+  EXPECT_EQ(Code[3], OP_iload);
+  EXPECT_EQ(Code[4], 7);
+}
+
+TEST(CodeBuilder, ForwardBranchFixup) {
+  ConstantPool CP;
+  CodeBuilder B(CP);
+  auto L = B.newLabel();
+  B.pushInt(0);
+  B.branch(OP_ifeq, L); // at offset 1, branch forward
+  B.pushInt(1);
+  B.bind(L);
+  B.emit(OP_return);
+  Bytes Code = B.build();
+  // Offsets: 0 iconst_0; 1 ifeq (3B); 4 iconst_1; 5 return.
+  InsnDecoder D(Code);
+  Insn I;
+  ASSERT_TRUE(D.decodeNext(I)); // iconst_0
+  ASSERT_TRUE(D.decodeNext(I)); // ifeq
+  EXPECT_EQ(I.Op, OP_ifeq);
+  EXPECT_EQ(I.Operand1, 5);
+}
+
+TEST(CodeBuilder, BackwardBranch) {
+  ConstantPool CP;
+  CodeBuilder B(CP);
+  auto Head = B.newLabel();
+  B.bind(Head);
+  B.emit(OP_nop);
+  B.branch(OP_goto, Head);
+  Bytes Code = B.build();
+  InsnDecoder D(Code);
+  Insn I;
+  ASSERT_TRUE(D.decodeNext(I)); // nop
+  ASSERT_TRUE(D.decodeNext(I)); // goto
+  EXPECT_EQ(I.Operand1, 0);
+}
+
+TEST(CodeBuilder, MemberInstructionsInternIntoPool) {
+  ConstantPool CP;
+  CodeBuilder B(CP);
+  B.getStatic("java/lang/System", "out", "Ljava/io/PrintStream;");
+  B.invokeVirtual("java/io/PrintStream", "println",
+                  "(Ljava/lang/String;)V");
+  Bytes Code = B.build();
+  InsnDecoder D(Code);
+  Insn I;
+  ASSERT_TRUE(D.decodeNext(I));
+  EXPECT_EQ(I.Op, OP_getstatic);
+  auto Ref = CP.getMemberRef(static_cast<uint16_t>(I.Operand1));
+  ASSERT_TRUE(Ref.ok());
+  EXPECT_EQ(Ref->ClassName, "java/lang/System");
+  EXPECT_EQ(Ref->Name, "out");
+}
+
+TEST(CodeBuilder, InvokeInterfaceCountsArgSlots) {
+  ConstantPool CP;
+  CodeBuilder B(CP);
+  B.invokeInterface("java/util/Map", "put",
+                    "(Ljava/lang/Object;Ljava/lang/Object;)"
+                    "Ljava/lang/Object;");
+  Bytes Code = B.build();
+  ASSERT_EQ(Code.size(), 5u);
+  EXPECT_EQ(Code[0], OP_invokeinterface);
+  EXPECT_EQ(Code[3], 3) << "this + 2 args";
+  EXPECT_EQ(Code[4], 0);
+}
+
+TEST(CodeBuilder, PushStringEmitsLdc) {
+  ConstantPool CP;
+  CodeBuilder B(CP);
+  B.pushString("hi");
+  Bytes Code = B.build();
+  ASSERT_EQ(Code.size(), 2u);
+  EXPECT_EQ(Code[0], OP_ldc);
+  const CpEntry &E = CP.at(Code[1]);
+  EXPECT_EQ(E.Tag, CpTag::String);
+}

@@ -1,0 +1,94 @@
+//===- tests/classfile/constantpool_test.cpp -------------------------------===//
+
+#include "classfile/ConstantPool.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+
+TEST(ConstantPool, SlotZeroIsReserved) {
+  ConstantPool CP;
+  EXPECT_EQ(CP.count(), 1);
+  EXPECT_FALSE(CP.isValidIndex(0));
+}
+
+TEST(ConstantPool, Utf8Interning) {
+  ConstantPool CP;
+  uint16_t A = CP.utf8("hello");
+  uint16_t B = CP.utf8("hello");
+  uint16_t C = CP.utf8("world");
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  auto S = CP.getUtf8(A);
+  ASSERT_TRUE(S.ok());
+  EXPECT_EQ(*S, "hello");
+}
+
+TEST(ConstantPool, ClassRefResolvesToName) {
+  ConstantPool CP;
+  uint16_t Idx = CP.classRef("java/lang/Object");
+  auto Name = CP.getClassName(Idx);
+  ASSERT_TRUE(Name.ok());
+  EXPECT_EQ(*Name, "java/lang/Object");
+}
+
+TEST(ConstantPool, LongTakesTwoSlots) {
+  ConstantPool CP;
+  uint16_t A = CP.longConst(123456789012345LL);
+  uint16_t B = CP.utf8("after");
+  EXPECT_EQ(B, A + 2) << "Long occupies two constant pool slots";
+  EXPECT_FALSE(CP.isValidIndex(A + 1)) << "upper half is a placeholder";
+}
+
+TEST(ConstantPool, DoubleTakesTwoSlots) {
+  ConstantPool CP;
+  uint16_t A = CP.doubleConst(3.25);
+  uint16_t B = CP.integer(7);
+  EXPECT_EQ(B, A + 2);
+}
+
+TEST(ConstantPool, MethodRefRoundTrip) {
+  ConstantPool CP;
+  uint16_t Idx = CP.methodRef("java/io/PrintStream", "println",
+                              "(Ljava/lang/String;)V");
+  auto Ref = CP.getMemberRef(Idx);
+  ASSERT_TRUE(Ref.ok());
+  EXPECT_EQ(Ref->ClassName, "java/io/PrintStream");
+  EXPECT_EQ(Ref->Name, "println");
+  EXPECT_EQ(Ref->Descriptor, "(Ljava/lang/String;)V");
+}
+
+TEST(ConstantPool, FieldRefInterning) {
+  ConstantPool CP;
+  uint16_t A = CP.fieldRef("C", "f", "I");
+  uint16_t B = CP.fieldRef("C", "f", "I");
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, CP.fieldRef("C", "g", "I"));
+}
+
+TEST(ConstantPool, GetUtf8RejectsWrongTag) {
+  ConstantPool CP;
+  uint16_t Idx = CP.integer(1);
+  EXPECT_FALSE(CP.getUtf8(Idx).ok());
+  EXPECT_FALSE(CP.getUtf8(999).ok());
+}
+
+TEST(ConstantPool, GetMemberRefRejectsNonMember) {
+  ConstantPool CP;
+  uint16_t Idx = CP.utf8("x");
+  EXPECT_FALSE(CP.getMemberRef(Idx).ok());
+}
+
+TEST(ConstantPool, NameAndTypeAccessor) {
+  ConstantPool CP;
+  uint16_t Idx = CP.nameAndType("main", "([Ljava/lang/String;)V");
+  auto NaT = CP.getNameAndType(Idx);
+  ASSERT_TRUE(NaT.ok());
+  EXPECT_EQ(NaT->first, "main");
+  EXPECT_EQ(NaT->second, "([Ljava/lang/String;)V");
+}
+
+TEST(ConstantPool, TagNames) {
+  EXPECT_STREQ(cpTagName(CpTag::Utf8), "CONSTANT_Utf8");
+  EXPECT_STREQ(cpTagName(CpTag::InvokeDynamic), "CONSTANT_InvokeDynamic");
+}

@@ -1,0 +1,89 @@
+//===- tests/classfile/descriptor_test.cpp ---------------------------------===//
+
+#include "classfile/Descriptor.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+
+TEST(Descriptor, ParsesPrimitives) {
+  JType T;
+  ASSERT_TRUE(parseFieldDescriptor("I", T));
+  EXPECT_EQ(T.Kind, TypeKind::Int);
+  EXPECT_EQ(T.slotWidth(), 1);
+
+  ASSERT_TRUE(parseFieldDescriptor("J", T));
+  EXPECT_EQ(T.Kind, TypeKind::Long);
+  EXPECT_EQ(T.slotWidth(), 2);
+
+  ASSERT_TRUE(parseFieldDescriptor("D", T));
+  EXPECT_EQ(T.slotWidth(), 2);
+}
+
+TEST(Descriptor, ParsesReference) {
+  JType T;
+  ASSERT_TRUE(parseFieldDescriptor("Ljava/lang/String;", T));
+  EXPECT_EQ(T.Kind, TypeKind::Reference);
+  EXPECT_EQ(T.ClassName, "java/lang/String");
+  EXPECT_EQ(T.toDescriptor(), "Ljava/lang/String;");
+  EXPECT_EQ(T.toJavaName(), "java.lang.String");
+}
+
+TEST(Descriptor, ParsesArrays) {
+  JType T;
+  ASSERT_TRUE(parseFieldDescriptor("[[I", T));
+  EXPECT_EQ(T.ArrayDims, 2);
+  EXPECT_EQ(T.slotWidth(), 1) << "arrays are references";
+  EXPECT_EQ(T.toDescriptor(), "[[I");
+  EXPECT_EQ(T.toJavaName(), "int[][]");
+}
+
+TEST(Descriptor, RejectsMalformedFieldDescriptors) {
+  EXPECT_FALSE(isValidFieldDescriptor(""));
+  EXPECT_FALSE(isValidFieldDescriptor("V")) << "void is not a field type";
+  EXPECT_FALSE(isValidFieldDescriptor("L;"));
+  EXPECT_FALSE(isValidFieldDescriptor("Ljava/lang/String"));
+  EXPECT_FALSE(isValidFieldDescriptor("II")) << "trailing characters";
+  EXPECT_FALSE(isValidFieldDescriptor("X"));
+  EXPECT_FALSE(isValidFieldDescriptor("["));
+}
+
+TEST(Descriptor, ParsesMethodDescriptors) {
+  MethodDescriptor M;
+  ASSERT_TRUE(parseMethodDescriptor("([Ljava/lang/String;)V", M));
+  ASSERT_EQ(M.Params.size(), 1u);
+  EXPECT_EQ(M.Params[0].ArrayDims, 1);
+  EXPECT_EQ(M.ReturnType.Kind, TypeKind::Void);
+  EXPECT_EQ(M.argSlots(), 1);
+  EXPECT_EQ(M.toDescriptor(), "([Ljava/lang/String;)V");
+}
+
+TEST(Descriptor, ArgSlotsCountWideTypes) {
+  MethodDescriptor M;
+  ASSERT_TRUE(parseMethodDescriptor("(IJD)I", M));
+  EXPECT_EQ(M.argSlots(), 5) << "int(1) + long(2) + double(2)";
+}
+
+TEST(Descriptor, RejectsMalformedMethodDescriptors) {
+  EXPECT_FALSE(isValidMethodDescriptor(""));
+  EXPECT_FALSE(isValidMethodDescriptor("()"));
+  EXPECT_FALSE(isValidMethodDescriptor("(V)V")) << "void parameter";
+  EXPECT_FALSE(isValidMethodDescriptor("I)V"));
+  EXPECT_FALSE(isValidMethodDescriptor("(I)VV"));
+  EXPECT_FALSE(isValidMethodDescriptor("(I"));
+}
+
+TEST(Descriptor, EmptyParamsAndVoid) {
+  MethodDescriptor M;
+  ASSERT_TRUE(parseMethodDescriptor("()V", M));
+  EXPECT_TRUE(M.Params.empty());
+  EXPECT_EQ(M.argSlots(), 0);
+}
+
+TEST(Descriptor, Shorthands) {
+  EXPECT_EQ(intType().toDescriptor(), "I");
+  EXPECT_EQ(voidType().toDescriptor(), "V");
+  EXPECT_EQ(refType("java/util/Map").toDescriptor(), "Ljava/util/Map;");
+  EXPECT_EQ(arrayOf(intType()).toDescriptor(), "[I");
+  EXPECT_EQ(arrayOf(refType("A")).toDescriptor(), "[LA;");
+}

@@ -1,0 +1,195 @@
+//===- tests/classfile/roundtrip_test.cpp ----------------------------------===//
+//
+// Write -> parse -> write round trips over realistic classfiles, plus
+// structural-parser rejection tests.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../TestHelpers.h"
+#include "classfile/ClassReader.h"
+#include "classfile/Printer.h"
+#include "runtime/RuntimeLib.h"
+#include "runtime/SeedCorpus.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+using namespace classfuzz::testhelpers;
+
+TEST(RoundTrip, HelloClassParsesBack) {
+  Bytes Data = serialize(makeHelloClass("Hello"));
+  auto Parsed = parseClassFile(Data);
+  ASSERT_TRUE(Parsed.ok()) << Parsed.error();
+  EXPECT_EQ(Parsed->ThisClass, "Hello");
+  EXPECT_EQ(Parsed->SuperClass, "java/lang/Object");
+  EXPECT_EQ(Parsed->MajorVersion, MajorVersionJava7);
+  ASSERT_EQ(Parsed->Methods.size(), 2u);
+  const MethodInfo *Main =
+      Parsed->findMethod("main", "([Ljava/lang/String;)V");
+  ASSERT_NE(Main, nullptr);
+  EXPECT_TRUE(Main->isStatic());
+  ASSERT_TRUE(Main->Code.has_value());
+  EXPECT_EQ(Main->Code->MaxStack, 2);
+}
+
+TEST(RoundTrip, SecondSerializationIsStable) {
+  Bytes First = serialize(makeHelloClass("Stable"));
+  auto Parsed = parseClassFile(First);
+  ASSERT_TRUE(Parsed.ok());
+  ClassFile CF = Parsed.take();
+  auto Second = writeClassFile(CF);
+  ASSERT_TRUE(Second.ok());
+  auto Reparsed = parseClassFile(*Second);
+  ASSERT_TRUE(Reparsed.ok()) << Reparsed.error();
+  EXPECT_EQ(Reparsed->ThisClass, "Stable");
+  EXPECT_EQ(Reparsed->Methods.size(), CF.Methods.size());
+}
+
+TEST(RoundTrip, WholeRuntimeLibraryParses) {
+  for (const char *Version : {"jre5", "jre7", "jre8", "jre9"}) {
+    ClassPath Lib = buildRuntimeLibrary(Version);
+    for (const std::string &Name : Lib.names()) {
+      const Bytes *Data = Lib.lookup(Name);
+      ASSERT_NE(Data, nullptr);
+      auto Parsed = parseClassFile(*Data);
+      ASSERT_TRUE(Parsed.ok())
+          << Version << "/" << Name << ": " << Parsed.error();
+      EXPECT_EQ(Parsed->ThisClass, Name);
+    }
+  }
+}
+
+TEST(RoundTrip, SeedCorpusParses) {
+  Rng R(1234);
+  auto Seeds = generateSeedCorpus(R, 40);
+  ASSERT_EQ(Seeds.size(), 40u);
+  for (const SeedClass &Seed : Seeds) {
+    auto Parsed = parseClassFile(Seed.Data);
+    ASSERT_TRUE(Parsed.ok()) << Seed.Name << ": " << Parsed.error();
+    EXPECT_EQ(Parsed->ThisClass, Seed.Name);
+    for (const auto &[HelperName, HelperData] : Seed.Helpers) {
+      auto HelperParsed = parseClassFile(HelperData);
+      ASSERT_TRUE(HelperParsed.ok()) << HelperName;
+    }
+  }
+}
+
+TEST(RoundTrip, WideConstantsInPoolAndCode) {
+  // Regression: the Long/Double placeholder slot must not appear on the
+  // wire. Exercise both a ConstantValue double and ldc2_w in code.
+  ClassFile CF = makeHelloClass("Wide");
+  FieldInfo F;
+  F.Name = "L";
+  F.Descriptor = "J";
+  F.AccessFlags = ACC_PUBLIC | ACC_STATIC | ACC_FINAL;
+  FieldConstant CV;
+  CV.Kind = 'j';
+  CV.IntValue = 0x1122334455667788LL;
+  F.ConstantValue = CV;
+  CF.Fields.push_back(std::move(F));
+
+  MethodInfo *Main = CF.findMethod("main", "([Ljava/lang/String;)V");
+  CodeBuilder B(CF.CP);
+  B.emitU2(OP_ldc2_w, CF.CP.longConst(42));
+  B.emit(OP_pop2);
+  B.emitU2(OP_ldc2_w, CF.CP.doubleConst(1.5));
+  B.emit(OP_pop2);
+  B.emit(OP_return);
+  Main->Code->Code = B.build();
+  Main->Code->MaxStack = 2;
+
+  Bytes Data = serialize(CF);
+  auto Parsed = parseClassFile(Data);
+  ASSERT_TRUE(Parsed.ok()) << Parsed.error();
+  const FieldInfo *PF = Parsed->findField("L");
+  ASSERT_NE(PF, nullptr);
+  ASSERT_TRUE(PF->ConstantValue.has_value());
+  EXPECT_EQ(PF->ConstantValue->IntValue, 0x1122334455667788LL);
+  // Second serialization must be byte-identical (pool is complete).
+  ClassFile Copy = Parsed.take();
+  auto Again = writeClassFile(Copy);
+  ASSERT_TRUE(Again.ok());
+  EXPECT_TRUE(parseClassFile(*Again).ok());
+}
+
+TEST(Opcodes, LengthTableAgreesWithDecoderForAllDefinedOpcodes) {
+  // Property sweep: for every fixed-length opcode, a code array of
+  // exactly that length (padded with zero operands) decodes to one
+  // instruction of that length. Zero operands are valid paddings for
+  // every fixed-length instruction encoding.
+  for (unsigned Op = 0; Op != 256; ++Op) {
+    int Len = opcodeLength(static_cast<uint8_t>(Op));
+    if (Len <= 0)
+      continue; // Undefined or variable-length.
+    Bytes Code(static_cast<size_t>(Len), 0);
+    Code[0] = static_cast<uint8_t>(Op);
+    InsnDecoder D(Code);
+    Insn I;
+    ASSERT_TRUE(D.decodeNext(I)) << opcodeName(static_cast<uint8_t>(Op));
+    EXPECT_EQ(I.Length, static_cast<uint32_t>(Len))
+        << opcodeName(static_cast<uint8_t>(Op));
+    EXPECT_TRUE(D.atEnd());
+    EXPECT_TRUE(D.valid());
+    // One byte short must be flagged as truncation, never read OOB.
+    if (Len > 1) {
+      Bytes Short(Code.begin(), Code.end() - 1);
+      InsnDecoder DS(Short);
+      Insn J;
+      EXPECT_FALSE(DS.decodeNext(J))
+          << opcodeName(static_cast<uint8_t>(Op));
+      EXPECT_FALSE(DS.valid());
+    }
+  }
+}
+
+TEST(Parser, RejectsBadMagic) {
+  Bytes Data = serialize(makeHelloClass("M"));
+  Data[0] = 0xDE;
+  auto Parsed = parseClassFile(Data);
+  ASSERT_FALSE(Parsed.ok());
+  EXPECT_NE(Parsed.error().find("magic"), std::string::npos);
+}
+
+TEST(Parser, RejectsTruncation) {
+  Bytes Data = serialize(makeHelloClass("M"));
+  Data.resize(Data.size() / 2);
+  EXPECT_FALSE(parseClassFile(Data).ok());
+}
+
+TEST(Parser, RejectsTrailingGarbage) {
+  Bytes Data = serialize(makeHelloClass("M"));
+  Data.push_back(0x00);
+  auto Parsed = parseClassFile(Data);
+  ASSERT_FALSE(Parsed.ok());
+  EXPECT_NE(Parsed.error().find("extra bytes"), std::string::npos);
+}
+
+TEST(Parser, RejectsUnknownConstantTag) {
+  Bytes Data = serialize(makeHelloClass("M"));
+  // Byte 10 is the first constant's tag (magic 4 + versions 4 + count 2).
+  Data[10] = 99;
+  EXPECT_FALSE(parseClassFile(Data).ok());
+}
+
+TEST(Parser, EmptyInputRejected) {
+  EXPECT_FALSE(parseClassFile({}).ok());
+}
+
+TEST(Printer, DumpsKeyStructure) {
+  ClassFile CF = makeHelloClass("M1436188543");
+  std::string Dump = printClassFile(CF);
+  EXPECT_NE(Dump.find("class M1436188543"), std::string::npos);
+  EXPECT_NE(Dump.find("major version: 51"), std::string::npos);
+  EXPECT_NE(Dump.find("ACC_PUBLIC"), std::string::npos);
+  EXPECT_NE(Dump.find("main"), std::string::npos);
+  EXPECT_NE(Dump.find("getstatic"), std::string::npos);
+  EXPECT_NE(Dump.find("Completed!"), std::string::npos);
+}
+
+TEST(Printer, DisassemblesBranches) {
+  ConstantPool CP;
+  Bytes Code = {OP_iconst_0, OP_ifeq, 0x00, 0x04, OP_return};
+  std::string Asm = disassemble(CP, Code);
+  EXPECT_NE(Asm.find("ifeq"), std::string::npos);
+  EXPECT_NE(Asm.find("return"), std::string::npos);
+}

@@ -1,0 +1,74 @@
+//===- tests/coverage/tracefile_test.cpp -----------------------------------===//
+
+#include "coverage/Tracefile.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+
+TEST(Tracefile, CountsDistinctStatements) {
+  Tracefile T;
+  T.addStmt(1);
+  T.addStmt(2);
+  T.addStmt(1); // Duplicate: sets, not counters.
+  EXPECT_EQ(T.stmtCount(), 2u);
+}
+
+TEST(Tracefile, BranchDirectionsAreDistinct) {
+  Tracefile T;
+  T.addBranch(10, true);
+  T.addBranch(10, false);
+  T.addBranch(10, true);
+  EXPECT_EQ(T.branchCount(), 2u) << "taken and not-taken are separate";
+}
+
+TEST(Tracefile, MergeIsUnion) {
+  Tracefile A, B;
+  A.addStmt(1);
+  A.addBranch(5, true);
+  B.addStmt(2);
+  B.addBranch(5, false);
+  Tracefile M = A.mergedWith(B);
+  EXPECT_EQ(M.stmtCount(), 2u);
+  EXPECT_EQ(M.branchCount(), 2u);
+  // ⊕ with a subset leaves the trace unchanged (the [tr] criterion).
+  EXPECT_TRUE(M.mergedWith(A).sameSets(M));
+}
+
+TEST(Tracefile, SameSetsIsExact) {
+  Tracefile A, B;
+  A.addStmt(1);
+  B.addStmt(1);
+  EXPECT_TRUE(A.sameSets(B));
+  B.addBranch(2, true);
+  EXPECT_FALSE(A.sameSets(B));
+}
+
+TEST(Tracefile, FingerprintMatchesSetEquality) {
+  Tracefile A, B;
+  for (uint32_t I : {5u, 9u, 1u})
+    A.addStmt(I);
+  for (uint32_t I : {1u, 5u, 9u})
+    B.addStmt(I); // Different insertion order, same set.
+  EXPECT_EQ(A.fingerprint(), B.fingerprint());
+  B.addStmt(100);
+  EXPECT_NE(A.fingerprint(), B.fingerprint());
+}
+
+TEST(Tracefile, FingerprintSeparatesStmtsFromBranches) {
+  Tracefile A, B;
+  A.addStmt(4);
+  B.addBranch(2, false); // Branch id 2<<1|0 = 4 in the branch set.
+  EXPECT_NE(A.fingerprint(), B.fingerprint());
+}
+
+TEST(CoverageRecorder, AccumulatesAndResets) {
+  CoverageRecorder Rec;
+  Rec.stmt(1);
+  Rec.branch(2, true);
+  EXPECT_EQ(Rec.trace().stmtCount(), 1u);
+  EXPECT_EQ(Rec.trace().branchCount(), 1u);
+  Tracefile T = Rec.takeTrace();
+  EXPECT_EQ(T.stmtCount(), 1u);
+  EXPECT_TRUE(Rec.trace().empty()) << "takeTrace resets the recorder";
+}

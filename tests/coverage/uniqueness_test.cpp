@@ -1,0 +1,121 @@
+//===- tests/coverage/uniqueness_test.cpp ----------------------------------===//
+//
+// The three acceptance criteria of §2.2.3 and greedyfuzz's accumulative
+// coverage, including the paper's worked example: two classfiles with
+// coverage 4938/2604 and 4938/2655 -- [st] takes one, [stbr] takes both.
+//
+//===----------------------------------------------------------------------===//
+
+#include "coverage/Uniqueness.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+
+namespace {
+
+Tracefile makeTrace(std::initializer_list<uint32_t> Stmts,
+                    std::initializer_list<uint32_t> BranchSites) {
+  Tracefile T;
+  for (uint32_t S : Stmts)
+    T.addStmt(S);
+  for (uint32_t B : BranchSites)
+    T.addBranch(B, true);
+  return T;
+}
+
+} // namespace
+
+TEST(Uniqueness, StComparesOnlyStatementCounts) {
+  UniquenessChecker C(UniquenessCriterion::St);
+  // The §3.2 example: same stmt statistic, different branch statistic.
+  Tracefile A = makeTrace({1, 2, 3}, {1, 2});
+  Tracefile B = makeTrace({4, 5, 6}, {1, 2, 3});
+  EXPECT_TRUE(C.tryInsert(A));
+  EXPECT_FALSE(C.isUnique(B)) << "[st] takes one of the two";
+}
+
+TEST(Uniqueness, StBrComparesBothStatistics) {
+  UniquenessChecker C(UniquenessCriterion::StBr);
+  Tracefile A = makeTrace({1, 2, 3}, {1, 2});
+  Tracefile B = makeTrace({4, 5, 6}, {1, 2, 3});
+  EXPECT_TRUE(C.tryInsert(A));
+  EXPECT_TRUE(C.tryInsert(B)) << "[stbr] takes both";
+  Tracefile Dup = makeTrace({7, 8, 9}, {4, 5});
+  EXPECT_FALSE(C.isUnique(Dup)) << "same (3,2) statistics as A";
+}
+
+TEST(Uniqueness, TrDistinguishesEqualStatisticsDifferentSets) {
+  UniquenessChecker C(UniquenessCriterion::Tr);
+  Tracefile A = makeTrace({1, 2, 3}, {1, 2});
+  Tracefile B = makeTrace({7, 8, 9}, {4, 5}); // Same stats, other sets.
+  EXPECT_TRUE(C.tryInsert(A));
+  EXPECT_TRUE(C.isUnique(B)) << "[tr] sees through equal statistics";
+  EXPECT_TRUE(C.tryInsert(B));
+  EXPECT_FALSE(C.isUnique(A)) << "identical tracefile rejected";
+}
+
+TEST(Uniqueness, TrIsStrictlyStrongerThanStBr) {
+  // Any trace accepted by [tr] with fresh statistics is accepted by
+  // [stbr] too; the converse fails for equal-stat different-set traces.
+  UniquenessChecker StBr(UniquenessCriterion::StBr);
+  UniquenessChecker Tr(UniquenessCriterion::Tr);
+  Tracefile A = makeTrace({1}, {1});
+  Tracefile B = makeTrace({2}, {9});
+  ASSERT_TRUE(StBr.tryInsert(A));
+  ASSERT_TRUE(Tr.tryInsert(A));
+  EXPECT_FALSE(StBr.isUnique(B));
+  EXPECT_TRUE(Tr.isUnique(B));
+}
+
+TEST(Uniqueness, EmptyTraceHandled) {
+  UniquenessChecker C(UniquenessCriterion::StBr);
+  Tracefile Empty;
+  EXPECT_TRUE(C.tryInsert(Empty));
+  EXPECT_FALSE(C.isUnique(Empty));
+}
+
+TEST(Uniqueness, SizeTracksInsertions) {
+  UniquenessChecker C(UniquenessCriterion::St);
+  EXPECT_EQ(C.size(), 0u);
+  C.insert(makeTrace({1}, {}));
+  C.insert(makeTrace({1, 2}, {}));
+  EXPECT_EQ(C.size(), 2u);
+}
+
+TEST(Uniqueness, CriterionNames) {
+  EXPECT_STREQ(criterionName(UniquenessCriterion::St), "[st]");
+  EXPECT_STREQ(criterionName(UniquenessCriterion::StBr), "[stbr]");
+  EXPECT_STREQ(criterionName(UniquenessCriterion::Tr), "[tr]");
+}
+
+TEST(AccumulativeCoverage, AcceptsOnlyNewCoverage) {
+  AccumulativeCoverage Acc;
+  Tracefile A = makeTrace({1, 2}, {1});
+  EXPECT_TRUE(Acc.tryAdd(A));
+  Tracefile Subset = makeTrace({1}, {1});
+  EXPECT_FALSE(Acc.tryAdd(Subset)) << "no new statements or branches";
+  Tracefile NewBranch = makeTrace({1}, {7});
+  EXPECT_TRUE(Acc.tryAdd(NewBranch)) << "one new branch suffices";
+  EXPECT_EQ(Acc.total().stmtCount(), 2u);
+  EXPECT_EQ(Acc.total().branchCount(), 2u);
+}
+
+TEST(AccumulativeCoverage, GreedyAcceptsFewerThanUniqueness) {
+  // The Table 4 shape: greedyfuzz's acceptance set is much smaller than
+  // uniquefuzz's for the same stream of traces.
+  AccumulativeCoverage Greedy;
+  UniquenessChecker Unique(UniquenessCriterion::StBr);
+  int GreedyAccepted = 0, UniqueAccepted = 0;
+  // First a full trace, then strict subsets with distinct statistics:
+  // greedy can only take the first; uniqueness takes every one.
+  for (uint32_t Size : {8u, 1u, 2u, 3u, 4u, 5u, 6u, 7u}) {
+    Tracefile T;
+    for (uint32_t S = 0; S != Size; ++S)
+      T.addStmt(S);
+    GreedyAccepted += Greedy.tryAdd(T);
+    UniqueAccepted += Unique.tryInsert(T);
+  }
+  EXPECT_EQ(GreedyAccepted, 1);
+  EXPECT_EQ(UniqueAccepted, 8);
+}

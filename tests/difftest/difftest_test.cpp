@@ -1,0 +1,139 @@
+//===- tests/difftest/difftest_test.cpp ------------------------------------===//
+//
+// Differential harness: outcome encoding, discrepancy detection,
+// distinct-discrepancy categorization, and environment modes
+// (Definitions 1 and 2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "../TestHelpers.h"
+#include "difftest/DiffTest.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+using namespace classfuzz::testhelpers;
+
+namespace {
+
+ClassPath corpusOf(
+    const std::vector<std::pair<std::string, Bytes>> &Classes) {
+  ClassPath Out;
+  for (const auto &[Name, Data] : Classes)
+    Out.add(Name, Data);
+  return Out;
+}
+
+/// Figure 2's discrepancy class.
+ClassFile makeFigure2Class() {
+  ClassFile CF = makeHelloClass("M1436188543");
+  MethodInfo Clinit;
+  Clinit.Name = "<clinit>";
+  Clinit.Descriptor = "()V";
+  Clinit.AccessFlags = ACC_PUBLIC | ACC_ABSTRACT;
+  CF.Methods.push_back(std::move(Clinit));
+  return CF;
+}
+
+} // namespace
+
+TEST(DiffOutcome, ConstantSequenceIsNoDiscrepancy) {
+  DiffOutcome O;
+  O.Encoded = {0, 0, 0, 0, 0};
+  EXPECT_FALSE(O.isDiscrepancy());
+  O.Encoded = {2, 2, 2, 2, 2};
+  EXPECT_FALSE(O.isDiscrepancy());
+  O.Encoded = {0, 0, 0, 1, 2};
+  EXPECT_TRUE(O.isDiscrepancy());
+  EXPECT_EQ(O.encodedString(), "00012");
+}
+
+TEST(DiffTest, HelloClassAgreesEverywhere) {
+  Bytes Hello = serialize(makeHelloClass("Hello"));
+  auto Tester = DifferentialTester::withAllProfiles(
+      corpusOf({{"Hello", Hello}}), EnvironmentMode::Shared);
+  DiffOutcome O = Tester.testClass("Hello");
+  ASSERT_EQ(O.Encoded.size(), 5u);
+  EXPECT_FALSE(O.isDiscrepancy()) << O.encodedString();
+  EXPECT_EQ(O.encodedString(), "00000");
+}
+
+TEST(DiffTest, Figure2ClassProducesThePaperDiscrepancy) {
+  // HotSpot 7/8/9 invoke normally; J9 rejects while loading. GIJ also
+  // runs it (no strict clinit rule). Shared environment => a defect-
+  // indicative discrepancy (Definition 2).
+  Bytes Data = serialize(makeFigure2Class());
+  auto Tester = DifferentialTester::withAllProfiles(
+      corpusOf({{"M1436188543", Data}}), EnvironmentMode::Shared);
+  DiffOutcome O = Tester.testClass("M1436188543");
+  EXPECT_TRUE(O.isDiscrepancy());
+  EXPECT_EQ(O.Encoded[0], 0); // HotSpot 7
+  EXPECT_EQ(O.Encoded[1], 0); // HotSpot 8
+  EXPECT_EQ(O.Encoded[2], 0); // HotSpot 9
+  EXPECT_EQ(O.Encoded[3], 1); // J9: rejected during loading
+  EXPECT_EQ(O.Encoded[4], 0); // GIJ
+}
+
+TEST(DiffTest, SharedEnvironmentSuppressesCompatibilityDiscrepancies) {
+  // A class extending a sun/* internal: with per-JVM environments the
+  // jre9/jre5 profiles cannot load it (compatibility discrepancy); with
+  // a shared jre8 environment all five agree.
+  ClassFile CF = makeHelloClass("UsesSun");
+  CF.SuperClass = "sun/misc/BASE64Encoder";
+  Bytes Data = serialize(CF);
+  ClassPath Corpus = corpusOf({{"UsesSun", Data}});
+
+  auto PerJvm = DifferentialTester::withAllProfiles(
+      Corpus, EnvironmentMode::PerJvm);
+  EXPECT_TRUE(PerJvm.testClass("UsesSun").isDiscrepancy());
+
+  auto Shared = DifferentialTester::withAllProfiles(
+      Corpus, EnvironmentMode::Shared, "jre8");
+  DiffOutcome O = Shared.testClass("UsesSun");
+  EXPECT_FALSE(O.isDiscrepancy()) << O.encodedString();
+}
+
+TEST(DiffTest, TestClassOverloadOverlaysBytes) {
+  Bytes Hello = serialize(makeHelloClass("Late"));
+  auto Tester = DifferentialTester::withAllProfiles(
+      ClassPath(), EnvironmentMode::Shared);
+  DiffOutcome O = Tester.testClass("Late", Hello);
+  EXPECT_EQ(O.encodedString(), "00000");
+}
+
+TEST(DiffStats, AggregationMatchesTable6Semantics) {
+  DiffStats Stats;
+  DiffOutcome AllOk;
+  AllOk.Encoded = {0, 0, 0, 0, 0};
+  DiffOutcome AllRejected;
+  AllRejected.Encoded = {2, 2, 2, 2, 2};
+  DiffOutcome DiscA;
+  DiscA.Encoded = {0, 0, 0, 1, 2};
+  DiffOutcome DiscB;
+  DiscB.Encoded = {0, 0, 0, 1, 2}; // Same category as DiscA.
+  DiffOutcome DiscC;
+  DiscC.Encoded = {2, 2, 2, 2, 0}; // New category.
+
+  for (const DiffOutcome *O : {&AllOk, &AllRejected, &DiscA, &DiscB,
+                               &DiscC})
+    Stats.add(*O);
+
+  EXPECT_EQ(Stats.Total, 5u);
+  EXPECT_EQ(Stats.AllInvoked, 1u);
+  EXPECT_EQ(Stats.AllRejectedSameStage, 1u);
+  EXPECT_EQ(Stats.Discrepancies, 3u);
+  EXPECT_EQ(Stats.DistinctDiscrepancies.size(), 2u);
+  EXPECT_DOUBLE_EQ(Stats.diffRatePercent(), 60.0);
+}
+
+TEST(DiffStats, PhaseCountsFeedTable7) {
+  DiffStats Stats;
+  DiffOutcome O;
+  O.Encoded = {0, 0, 0, 1, 2};
+  Stats.add(O);
+  Stats.add(O);
+  ASSERT_EQ(Stats.PhaseCounts.size(), 5u);
+  EXPECT_EQ(Stats.PhaseCounts[0][0], 2u) << "JVM 0 invoked twice";
+  EXPECT_EQ(Stats.PhaseCounts[3][1], 2u) << "JVM 3 rejected at loading";
+  EXPECT_EQ(Stats.PhaseCounts[4][2], 2u) << "JVM 4 rejected at linking";
+}

@@ -1,0 +1,86 @@
+//===- tests/difftest/report_test.cpp --------------------------------------===//
+
+#include "difftest/Report.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+
+namespace {
+
+DiffOutcome makeOutcome(std::initializer_list<int> Codes) {
+  DiffOutcome O;
+  for (int C : Codes) {
+    O.Encoded.push_back(C);
+    JvmResult R;
+    if (C == 0) {
+      R.Invoked = true;
+    } else {
+      R.Invoked = false;
+      R.Phase = static_cast<JvmPhase>(C - 1);
+      R.Error = JvmErrorKind::ClassFormatError;
+      R.Message = "synthetic";
+    }
+    O.Results.push_back(std::move(R));
+  }
+  return O;
+}
+
+} // namespace
+
+TEST(Report, RendersSummaryAndCategories) {
+  auto Policies = allJvmPolicies();
+  DiffStats Stats;
+  std::vector<DiscrepancyRecord> Records;
+
+  DiffOutcome A = makeOutcome({0, 0, 0, 1, 0});
+  DiffOutcome B = makeOutcome({0, 0, 0, 1, 0});
+  DiffOutcome C = makeOutcome({2, 2, 2, 2, 0});
+  Stats.add(A);
+  Stats.add(B);
+  Stats.add(C);
+  Stats.add(makeOutcome({0, 0, 0, 0, 0})); // No discrepancy.
+
+  Records.push_back({"M1", A, "Select a method and rename it"});
+  Records.push_back({"M2", B, ""});
+  Records.push_back({"M3", C, "Delete one field"});
+
+  std::string Report =
+      renderDiscrepancyReport(Policies, Records, Stats);
+
+  EXPECT_NE(Report.find("# JVM discrepancy report"), std::string::npos);
+  EXPECT_NE(Report.find("classfiles tested: 4"), std::string::npos);
+  EXPECT_NE(Report.find("distinct categories: 2"), std::string::npos);
+  EXPECT_NE(Report.find("Category `00010` (2 classfiles)"),
+            std::string::npos);
+  EXPECT_NE(Report.find("Category `22220` (1 classfiles)"),
+            std::string::npos);
+  EXPECT_NE(Report.find("`M1`"), std::string::npos);
+  EXPECT_NE(Report.find("Select a method and rename it"),
+            std::string::npos);
+  EXPECT_NE(Report.find("J9 for IBM SDK8"), std::string::npos);
+}
+
+TEST(Report, RespectsExamplesCap) {
+  auto Policies = allJvmPolicies();
+  DiffStats Stats;
+  std::vector<DiscrepancyRecord> Records;
+  for (int I = 0; I != 6; ++I) {
+    DiffOutcome O = makeOutcome({0, 0, 0, 1, 0});
+    Stats.add(O);
+    Records.push_back({"M" + std::to_string(I), O, ""});
+  }
+  std::string Report =
+      renderDiscrepancyReport(Policies, Records, Stats, 2);
+  EXPECT_NE(Report.find("`M0`"), std::string::npos);
+  EXPECT_NE(Report.find("`M1`"), std::string::npos);
+  EXPECT_EQ(Report.find("`M2`"), std::string::npos)
+      << "only 2 examples per category";
+}
+
+TEST(Report, EmptyInputProducesHeaderOnly) {
+  std::string Report =
+      renderDiscrepancyReport(allJvmPolicies(), {}, DiffStats());
+  EXPECT_NE(Report.find("classfiles tested: 0"), std::string::npos);
+  EXPECT_EQ(Report.find("## Category"), std::string::npos);
+}

@@ -1,0 +1,115 @@
+//===- tests/fuzzing/integration_test.cpp ----------------------------------===//
+//
+// The full workflow of the paper, end to end across every module:
+// campaign (Algorithm 1) -> differential testing (§2.3) -> reduction of
+// a found discrepancy (§2.3 Step 1/2) -> report. This is the pipeline a
+// user of the library runs; the test pins its cross-module contracts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "difftest/Report.h"
+#include "fuzzing/Campaign.h"
+#include "jir/Jir.h"
+#include "mutation/Mutator.h"
+#include "reducer/Reducer.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+
+TEST(Integration, CampaignDiffReduceReport) {
+  // 1. Campaign: enough iterations to reliably find discrepancies.
+  CampaignConfig Config;
+  Config.Algo = FuzzAlgorithm::ClassfuzzStBr;
+  Config.Iterations = 600;
+  Config.NumSeeds = 25;
+  Config.RngSeed = 20160613;
+  CampaignResult R = runCampaign(Config);
+  ASSERT_GT(R.numTests(), 20u);
+
+  // 2. Differential testing of the accepted suite.
+  auto Tester = DifferentialTester::withAllProfiles(
+      R.corpusClassPath(), EnvironmentMode::PerJvm);
+  DiffStats Stats;
+  std::vector<DiscrepancyRecord> Records;
+  const GeneratedClass *FirstDiscrepancy = nullptr;
+  DiffOutcome FirstOutcome;
+  for (size_t I : R.TestClassIndices) {
+    const GeneratedClass &G = R.GenClasses[I];
+    DiffOutcome O = Tester.testClass(G.Name);
+    Stats.add(O);
+    if (O.isDiscrepancy()) {
+      Records.push_back(
+          {G.Name, O, mutatorRegistry()[G.MutatorIndex].Description});
+      if (!FirstDiscrepancy) {
+        FirstDiscrepancy = &G;
+        FirstOutcome = O;
+      }
+    }
+  }
+  ASSERT_GT(Stats.Discrepancies, 0u)
+      << "a 600-iteration campaign finds discrepancies";
+  ASSERT_NE(FirstDiscrepancy, nullptr);
+  EXPECT_EQ(Stats.Discrepancies, Records.size());
+
+  // 3. Reduce the first discrepancy, preserving its category. The
+  // oracle re-tests on all five JVMs, exactly §2.3 Step 2.
+  std::string Category = FirstOutcome.encodedString();
+  ReductionOracle Oracle = [&](const std::string &Name,
+                               const Bytes &Data) {
+    DiffOutcome O = Tester.testClass(Name, Data);
+    return O.isDiscrepancy() && O.encodedString() == Category;
+  };
+  ReductionStats RStats;
+  auto Reduced =
+      reduceClassfile(FirstDiscrepancy->Data, Oracle, &RStats, 400);
+  ASSERT_TRUE(Reduced.ok()) << Reduced.error();
+  EXPECT_LE(Reduced->size(), FirstDiscrepancy->Data.size());
+  EXPECT_TRUE(Oracle(FirstDiscrepancy->Name, *Reduced))
+      << "the reduced classfile still triggers category " << Category;
+
+  // The reduced classfile is still inspectable through JIR.
+  auto J = lowerClassBytes(*Reduced);
+  ASSERT_TRUE(J.ok()) << J.error();
+  EXPECT_FALSE(printJir(*J).empty());
+
+  // 4. Report.
+  std::string Report =
+      renderDiscrepancyReport(Tester.policies(), Records, Stats);
+  EXPECT_NE(Report.find("# JVM discrepancy report"), std::string::npos);
+  EXPECT_NE(Report.find("Category `" + Category + "`"),
+            std::string::npos);
+  EXPECT_NE(Report.find(FirstDiscrepancy->Name), std::string::npos);
+}
+
+TEST(Integration, SharedEnvironmentIsolatesDefectIndicative) {
+  // Definition 1 vs Definition 2 on the same suite: the shared
+  // environment can only remove (compatibility) discrepancies, never
+  // add new categories beyond policy effects.
+  CampaignConfig Config;
+  Config.Algo = FuzzAlgorithm::ClassfuzzStBr;
+  Config.Iterations = 300;
+  Config.NumSeeds = 25;
+  Config.RngSeed = 99;
+  CampaignResult R = runCampaign(Config);
+
+  auto PerJvm = DifferentialTester::withAllProfiles(
+      R.corpusClassPath(), EnvironmentMode::PerJvm);
+  auto Shared = DifferentialTester::withAllProfiles(
+      R.corpusClassPath(), EnvironmentMode::Shared, "jre8");
+
+  size_t PerJvmDiscrepancies = 0, SharedDiscrepancies = 0;
+  size_t SkewOnly = 0;
+  for (size_t I : R.TestClassIndices) {
+    const std::string &Name = R.GenClasses[I].Name;
+    bool D1 = PerJvm.testClass(Name).isDiscrepancy();
+    bool D2 = Shared.testClass(Name).isDiscrepancy();
+    PerJvmDiscrepancies += D1;
+    SharedDiscrepancies += D2;
+    SkewOnly += (D1 && !D2);
+  }
+  // The shared environment typically keeps most discrepancies (policy
+  // differences) and strips environment-skew ones.
+  EXPECT_LE(SharedDiscrepancies, PerJvmDiscrepancies + SkewOnly);
+  EXPECT_GT(PerJvmDiscrepancies, 0u);
+}

@@ -1,0 +1,177 @@
+//===- tests/fuzzing/property_test.cpp -------------------------------------===//
+//
+// Property-based robustness tests over the whole pipeline: random
+// mutation chains, random byte corruption, and the invariants that must
+// survive them (no crashes, parser totality, bounded interpretation,
+// deterministic coverage).
+//
+//===----------------------------------------------------------------------===//
+
+#include "../TestHelpers.h"
+#include "classfile/ClassReader.h"
+#include "coverage/Tracefile.h"
+#include "jir/Jir.h"
+#include "mutation/Engine.h"
+#include "runtime/SeedCorpus.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+using namespace classfuzz::testhelpers;
+
+namespace {
+
+std::vector<std::string> knownClasses() {
+  static std::vector<std::string> Known =
+      buildRuntimeLibrary("jre8").names();
+  return Known;
+}
+
+/// Applies \p Chain random mutations in sequence, feeding each produced
+/// mutant back as the next seed. Returns the final produced bytes (or
+/// the original seed when every step failed).
+Bytes mutateChain(Bytes Seed, Rng &R, int Chain, MutationContext &Ctx) {
+  Bytes Current = std::move(Seed);
+  for (int Step = 0; Step != Chain; ++Step) {
+    size_t MutatorIndex = R.choiceIndex(NumMutators);
+    MutationOutcome Out = mutateClass(Current, MutatorIndex, Ctx);
+    if (Out.Produced)
+      Current = std::move(Out.Data);
+  }
+  return Current;
+}
+
+} // namespace
+
+/// Parameterized over independent random universes.
+class PipelineProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PipelineProperty, MutationChainsNeverBreakTheParser) {
+  Rng R(GetParam());
+  auto Known = knownClasses();
+  MutationContext Ctx{R, Known};
+  auto Seeds = generateSeedCorpus(R, 4);
+  for (const SeedClass &Seed : Seeds) {
+    Bytes Mutant = mutateChain(Seed.Data, R, 8, Ctx);
+    // Whatever the engine emitted must be structurally parseable: the
+    // engine only returns bytes it assembled itself.
+    auto CF = parseClassFile(Mutant);
+    EXPECT_TRUE(CF.ok()) << CF.error();
+  }
+}
+
+TEST_P(PipelineProperty, MutantsAlwaysTerminateOnEveryJvm) {
+  Rng R(GetParam() * 31 + 7);
+  auto Known = knownClasses();
+  MutationContext Ctx{R, Known};
+  auto Seeds = generateSeedCorpus(R, 3);
+  for (const SeedClass &Seed : Seeds) {
+    Bytes Mutant = mutateChain(Seed.Data, R, 5, Ctx);
+    auto CF = parseClassFile(Mutant);
+    ASSERT_TRUE(CF.ok());
+    std::vector<std::pair<std::string, Bytes>> Extra = {
+        {CF->ThisClass, Mutant}};
+    for (const auto &H : Seed.Helpers)
+      Extra.push_back(H);
+    for (const JvmPolicy &P : allJvmPolicies()) {
+      // The property: run() returns (bounded interpretation); any
+      // outcome is legal, crashes/hangs are not.
+      JvmResult Res = runOn(P, Extra, CF->ThisClass);
+      int Code = encodeOutcome(Res);
+      EXPECT_GE(Code, 0);
+      EXPECT_LE(Code, 4);
+    }
+  }
+}
+
+TEST_P(PipelineProperty, CoverageIsDeterministicPerClassfile) {
+  Rng R(GetParam() * 131 + 17);
+  auto Known = knownClasses();
+  MutationContext Ctx{R, Known};
+  auto Seeds = generateSeedCorpus(R, 2);
+  Bytes Mutant = mutateChain(Seeds[0].Data, R, 4, Ctx);
+  auto CF = parseClassFile(Mutant);
+  ASSERT_TRUE(CF.ok());
+
+  auto traceOnce = [&]() {
+    ClassPath Env = buildRuntimeLibrary("jre9");
+    Env.add(CF->ThisClass, Mutant);
+    CoverageRecorder Rec;
+    Vm Jvm(referenceJvmPolicy(), Env, &Rec);
+    Jvm.run(CF->ThisClass);
+    return Rec.takeTrace();
+  };
+  Tracefile A = traceOnce();
+  Tracefile B = traceOnce();
+  EXPECT_TRUE(A.sameSets(B))
+      << "re-running the same classfile must produce the same tracefile";
+  EXPECT_EQ(A.fingerprint(), B.fingerprint());
+}
+
+TEST_P(PipelineProperty, RandomByteCorruptionNeverCrashesTheJvm) {
+  Rng R(GetParam() * 977 + 3);
+  auto Seeds = generateSeedCorpus(R, 2);
+  for (const SeedClass &Seed : Seeds) {
+    for (int Trial = 0; Trial != 24; ++Trial) {
+      Bytes Corrupt = Seed.Data;
+      // Flip 1-4 random bytes (the Sirer/Bershad-style binary fuzzing
+      // the paper contrasts with).
+      int Flips = static_cast<int>(R.nextInRange(1, 4));
+      for (int F = 0; F != Flips; ++F)
+        Corrupt[R.choiceIndex(Corrupt.size())] =
+            static_cast<uint8_t>(R.nextBelow(256));
+      for (const JvmPolicy &P : allJvmPolicies()) {
+        JvmResult Res =
+            runOn(P, {{Seed.Name, Corrupt}}, Seed.Name);
+        // Any encoded outcome is fine; undefined behavior is not.
+        EXPECT_GE(encodeOutcome(Res), 0);
+        EXPECT_LE(encodeOutcome(Res), 4);
+      }
+    }
+  }
+}
+
+TEST_P(PipelineProperty, TruncationAlwaysRejectedAtLoading) {
+  Rng R(GetParam() * 41 + 11);
+  auto Seeds = generateSeedCorpus(R, 1);
+  const Bytes &Data = Seeds[0].Data;
+  for (size_t Cut : {size_t(1), Data.size() / 4, Data.size() / 2,
+                     Data.size() - 1}) {
+    Bytes Truncated(Data.begin(), Data.begin() + Cut);
+    JvmResult Res = runOn(makeHotSpot8Policy(),
+                          {{Seeds[0].Name, Truncated}}, Seeds[0].Name);
+    EXPECT_FALSE(Res.Invoked);
+    EXPECT_EQ(Res.Error, JvmErrorKind::ClassFormatError) << Cut;
+  }
+}
+
+TEST_P(PipelineProperty, JirRoundTripIsSemanticallyStable) {
+  // lower(assemble(lower(x))) == lower(x) structurally: name, members,
+  // statement opcodes.
+  Rng R(GetParam() * 613 + 29);
+  auto Seeds = generateSeedCorpus(R, 5);
+  for (const SeedClass &Seed : Seeds) {
+    auto J1 = lowerClassBytes(Seed.Data);
+    ASSERT_TRUE(J1.ok());
+    auto Bytes1 = assembleToBytes(*J1);
+    ASSERT_TRUE(Bytes1.ok());
+    auto J2 = lowerClassBytes(*Bytes1);
+    ASSERT_TRUE(J2.ok()) << J2.error();
+    EXPECT_EQ(J1->Name, J2->Name);
+    ASSERT_EQ(J1->Methods.size(), J2->Methods.size());
+    for (size_t M = 0; M != J1->Methods.size(); ++M) {
+      const JirMethod &A = J1->Methods[M];
+      const JirMethod &B = J2->Methods[M];
+      EXPECT_EQ(A.Name, B.Name);
+      EXPECT_EQ(A.Descriptor, B.Descriptor);
+      ASSERT_EQ(A.Body.size(), B.Body.size()) << A.Name;
+      for (size_t S = 0; S != A.Body.size(); ++S) {
+        EXPECT_EQ(A.Body[S].Op, B.Body[S].Op);
+        EXPECT_EQ(A.Body[S].TargetIndex, B.Body[S].TargetIndex);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Universes, PipelineProperty,
+                         ::testing::Range<uint64_t>(1, 9));

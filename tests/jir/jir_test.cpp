@@ -1,0 +1,228 @@
+//===- tests/jir/jir_test.cpp ----------------------------------------------===//
+//
+// Lowering / assembly round trips and invalid-IR rejection.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../TestHelpers.h"
+#include "classfile/ClassReader.h"
+#include "jir/Jir.h"
+#include "runtime/SeedCorpus.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+using namespace classfuzz::testhelpers;
+
+TEST(Jir, LowersHelloClass) {
+  Bytes Data = serialize(makeHelloClass("Hello"));
+  auto J = lowerClassBytes(Data);
+  ASSERT_TRUE(J.ok()) << J.error();
+  EXPECT_EQ(J->Name, "Hello");
+  EXPECT_EQ(J->SuperClass, "java/lang/Object");
+  ASSERT_EQ(J->Methods.size(), 2u);
+  const JirMethod *Main = J->findMethodByName("main");
+  ASSERT_NE(Main, nullptr);
+  EXPECT_TRUE(Main->HasBody);
+  // getstatic, ldc, invokevirtual, return.
+  ASSERT_EQ(Main->Body.size(), 4u);
+  EXPECT_EQ(Main->Body[0].Op, OP_getstatic);
+  EXPECT_EQ(Main->Body[0].RefClass, "java/lang/System");
+  EXPECT_EQ(Main->Body[1].ConstKind, 's');
+  EXPECT_EQ(Main->Body[1].StrOperand, "Completed!");
+  EXPECT_EQ(Main->Body[3].Op, OP_return);
+}
+
+TEST(Jir, RoundTripPreservesBehavior) {
+  Bytes Original = serialize(makeHelloClass("RT"));
+  auto J = lowerClassBytes(Original);
+  ASSERT_TRUE(J.ok());
+  auto Reassembled = assembleToBytes(*J);
+  ASSERT_TRUE(Reassembled.ok()) << Reassembled.error();
+  JvmResult R = runOn(makeHotSpot8Policy(), {{"RT", *Reassembled}}, "RT");
+  ASSERT_TRUE(R.Invoked) << R.toString();
+  EXPECT_EQ(R.Output[0], "Completed!");
+}
+
+TEST(Jir, BranchTargetsBecomeIndices) {
+  // A loop body: targets must be statement indices, not offsets.
+  ClassFile CF = makeHelloClass("Loop");
+  MethodInfo *Main = CF.findMethod("main", "([Ljava/lang/String;)V");
+  CodeBuilder B(CF.CP);
+  B.pushInt(0);
+  B.storeLocal('i', 1);
+  auto Head = B.newLabel();
+  auto Done = B.newLabel();
+  B.bind(Head);
+  B.loadLocal('i', 1);
+  B.pushInt(10);
+  B.branch(OP_if_icmpge, Done);
+  B.iinc(1, 1);
+  B.branch(OP_goto, Head);
+  B.bind(Done);
+  B.emit(OP_return);
+  Main->Code->Code = B.build();
+  Main->Code->MaxStack = 2;
+  Main->Code->MaxLocals = 2;
+
+  auto J = lowerClassBytes(serialize(CF));
+  ASSERT_TRUE(J.ok()) << J.error();
+  const JirMethod *M = J->findMethodByName("main");
+  ASSERT_NE(M, nullptr);
+  // Statements: ldc0, istore1, iload1, ldc10, if_icmpge ->7, iinc,
+  // goto ->2, return.
+  ASSERT_EQ(M->Body.size(), 8u);
+  EXPECT_EQ(M->Body[4].TargetIndex, 7);
+  EXPECT_EQ(M->Body[6].TargetIndex, 2);
+
+  // Round trip must still run to completion.
+  auto Data = assembleToBytes(*J);
+  ASSERT_TRUE(Data.ok());
+  JvmResult R = runOn(makeHotSpot8Policy(), {{"Loop", *Data}}, "Loop");
+  EXPECT_TRUE(R.Invoked) << R.toString();
+}
+
+TEST(Jir, CanonicalizesShortFormLocals) {
+  ClassFile CF = makeHelloClass("Locals");
+  MethodInfo *Main = CF.findMethod("main", "([Ljava/lang/String;)V");
+  Bytes Code = {OP_iconst_2, OP_istore_1, OP_iload_1, OP_pop, OP_return};
+  Main->Code->Code = Code;
+  Main->Code->MaxStack = 1;
+  Main->Code->MaxLocals = 2;
+  auto J = lowerClassBytes(serialize(CF));
+  ASSERT_TRUE(J.ok()) << J.error();
+  const JirMethod *M = J->findMethodByName("main");
+  EXPECT_EQ(M->Body[1].Op, OP_istore);
+  EXPECT_EQ(M->Body[1].IntOperand, 1);
+  EXPECT_EQ(M->Body[2].Op, OP_iload);
+  // Constants canonicalize to ldc statements.
+  EXPECT_EQ(M->Body[0].Op, OP_ldc);
+  EXPECT_EQ(M->Body[0].ConstKind, 'i');
+  EXPECT_EQ(M->Body[0].IntOperand, 2);
+  // Assembly re-picks the compact encodings.
+  auto CF2 = assembleFromJir(*J);
+  ASSERT_TRUE(CF2.ok());
+  const MethodInfo *Main2 = CF2->findMethod("main",
+                                            "([Ljava/lang/String;)V");
+  ASSERT_NE(Main2, nullptr);
+  EXPECT_EQ(Main2->Code->Code[0], OP_iconst_2);
+  EXPECT_EQ(Main2->Code->Code[1], OP_istore_1);
+}
+
+TEST(Jir, ExceptionTableInIndexSpace) {
+  Rng R(3);
+  // The genException seed has a try/catch.
+  auto Seeds = generateSeedCorpus(R, 13);
+  const SeedClass *Exc = nullptr;
+  for (const SeedClass &S : Seeds) {
+    auto Parsed = parseClassFile(S.Data);
+    ASSERT_TRUE(Parsed.ok());
+    if (const MethodInfo *Main = Parsed->findMethodByName("main"))
+      if (Main->Code && !Main->Code->ExceptionTable.empty()) {
+        Exc = &S;
+        break;
+      }
+  }
+  ASSERT_NE(Exc, nullptr) << "corpus contains a try/catch seed";
+  auto J = lowerClassBytes(Exc->Data);
+  ASSERT_TRUE(J.ok()) << J.error();
+  const JirMethod *Main = J->findMethodByName("main");
+  ASSERT_FALSE(Main->ExceptionTable.empty());
+  const JirExceptionEntry &E = Main->ExceptionTable[0];
+  EXPECT_LT(E.StartIndex, E.EndIndex);
+  EXPECT_LT(E.HandlerIndex, Main->Body.size());
+
+  // Round trip and run: the handler must still fire.
+  auto Data = assembleToBytes(*J);
+  ASSERT_TRUE(Data.ok()) << Data.error();
+  JvmResult Res =
+      runOn(makeHotSpot8Policy(), {{Exc->Name, *Data}}, Exc->Name);
+  ASSERT_TRUE(Res.Invoked) << Res.toString();
+  EXPECT_EQ(Res.Output[0], "caught");
+}
+
+TEST(Jir, RejectsDanglingBranchTarget) {
+  Bytes Data = serialize(makeHelloClass("Dangle"));
+  auto J = lowerClassBytes(Data);
+  ASSERT_TRUE(J.ok());
+  JirMethod *Main = J->findMethod("main");
+  JirStmt Goto;
+  Goto.Op = OP_goto;
+  Goto.TargetIndex = 999;
+  Main->Body.push_back(Goto);
+  auto Out = assembleToBytes(*J);
+  ASSERT_FALSE(Out.ok());
+  EXPECT_NE(Out.error().find("dangling"), std::string::npos);
+}
+
+TEST(Jir, RejectsEmptyMemberReference) {
+  Bytes Data = serialize(makeHelloClass("EmptyRef"));
+  auto J = lowerClassBytes(Data);
+  ASSERT_TRUE(J.ok());
+  J->findMethod("main")->Body[0].RefClass.clear();
+  EXPECT_FALSE(assembleToBytes(*J).ok());
+}
+
+TEST(Jir, RejectsEmptyClassName) {
+  Bytes Data = serialize(makeHelloClass("NoName"));
+  auto J = lowerClassBytes(Data);
+  ASSERT_TRUE(J.ok());
+  J->Name.clear();
+  EXPECT_FALSE(assembleToBytes(*J).ok());
+}
+
+TEST(Jir, RejectsBadExceptionEntry) {
+  Bytes Data = serialize(makeHelloClass("BadTable"));
+  auto J = lowerClassBytes(Data);
+  ASSERT_TRUE(J.ok());
+  JirExceptionEntry E;
+  E.StartIndex = 3;
+  E.EndIndex = 1; // start >= end
+  E.HandlerIndex = 0;
+  J->findMethod("main")->ExceptionTable.push_back(E);
+  EXPECT_FALSE(assembleToBytes(*J).ok());
+}
+
+TEST(Jir, AbstractMethodsHaveNoBody) {
+  ClassFile CF;
+  CF.ThisClass = "Iface";
+  CF.SuperClass = "java/lang/Object";
+  CF.AccessFlags = ACC_PUBLIC | ACC_INTERFACE | ACC_ABSTRACT;
+  MethodInfo M;
+  M.Name = "op";
+  M.Descriptor = "()V";
+  M.AccessFlags = ACC_PUBLIC | ACC_ABSTRACT;
+  CF.Methods.push_back(std::move(M));
+  auto J = lowerClassBytes(serialize(CF));
+  ASSERT_TRUE(J.ok());
+  EXPECT_FALSE(J->Methods[0].HasBody);
+  auto Out = assembleToBytes(*J);
+  ASSERT_TRUE(Out.ok()) << Out.error();
+  auto Reparsed = parseClassFile(*Out);
+  ASSERT_TRUE(Reparsed.ok());
+  EXPECT_FALSE(Reparsed->Methods[0].Code.has_value());
+}
+
+TEST(Jir, PrintProducesJimpleFlavor) {
+  Bytes Data = serialize(makeHelloClass("PrintMe"));
+  auto J = lowerClassBytes(Data);
+  ASSERT_TRUE(J.ok());
+  std::string Text = printJir(*J);
+  EXPECT_NE(Text.find("class PrintMe extends java.lang.Object"),
+            std::string::npos);
+  EXPECT_NE(Text.find("main([Ljava/lang/String;)V"), std::string::npos);
+  EXPECT_NE(Text.find("getstatic java.lang.System.out"),
+            std::string::npos);
+  EXPECT_NE(Text.find("\"Completed!\""), std::string::npos);
+}
+
+TEST(Jir, WholeSeedCorpusRoundTrips) {
+  Rng R(17);
+  auto Seeds = generateSeedCorpus(R, 30);
+  for (const SeedClass &Seed : Seeds) {
+    auto J = lowerClassBytes(Seed.Data);
+    ASSERT_TRUE(J.ok()) << Seed.Name << ": " << J.error();
+    auto Out = assembleToBytes(*J);
+    ASSERT_TRUE(Out.ok()) << Seed.Name << ": " << Out.error();
+  }
+}

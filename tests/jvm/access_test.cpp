@@ -1,0 +1,195 @@
+//===- tests/jvm/access_test.cpp -------------------------------------------===//
+//
+// ConstantValue preparation and member access control at resolution --
+// two linking-phase behaviors with policy-dependent leniency.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../TestHelpers.h"
+#include "classfile/ClassReader.h"
+#include "jir/Jir.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+using namespace classfuzz::testhelpers;
+
+namespace {
+
+ClassFile withConstantField(const std::string &Name, char Kind) {
+  ClassFile CF = makeHelloClass(Name);
+  FieldInfo F;
+  F.Name = "K";
+  F.AccessFlags = ACC_PUBLIC | ACC_STATIC | ACC_FINAL;
+  FieldConstant CV;
+  CV.Kind = Kind;
+  switch (Kind) {
+  case 'i':
+    F.Descriptor = "I";
+    CV.IntValue = 4711;
+    break;
+  case 'j':
+    F.Descriptor = "J";
+    CV.IntValue = 1LL << 40;
+    break;
+  case 'd':
+    F.Descriptor = "D";
+    CV.FpValue = 2.5;
+    break;
+  default:
+    F.Descriptor = "Ljava/lang/String;";
+    CV.StrValue = "constant!";
+    break;
+  }
+  F.ConstantValue = CV;
+  CF.Fields.push_back(std::move(F));
+  return CF;
+}
+
+} // namespace
+
+TEST(ConstantValue, RoundTripsThroughTheClassfile) {
+  Bytes Data = serialize(withConstantField("CV", 'i'));
+  auto CF = parseClassFile(Data);
+  ASSERT_TRUE(CF.ok()) << CF.error();
+  const FieldInfo *F = CF->findField("K");
+  ASSERT_NE(F, nullptr);
+  ASSERT_TRUE(F->ConstantValue.has_value());
+  EXPECT_EQ(F->ConstantValue->Kind, 'i');
+  EXPECT_EQ(F->ConstantValue->IntValue, 4711);
+}
+
+TEST(ConstantValue, StringConstantRoundTrips) {
+  Bytes Data = serialize(withConstantField("CVS", 's'));
+  auto CF = parseClassFile(Data);
+  ASSERT_TRUE(CF.ok());
+  ASSERT_TRUE(CF->findField("K")->ConstantValue.has_value());
+  EXPECT_EQ(CF->findField("K")->ConstantValue->StrValue, "constant!");
+}
+
+TEST(ConstantValue, InitializesStaticWithoutClinit) {
+  // Main prints K; the class has no <clinit>, so the 4711 must come
+  // from preparation.
+  ClassFile CF = withConstantField("CVRead", 'i');
+  MethodInfo *Main = CF.findMethod("main", "([Ljava/lang/String;)V");
+  CodeBuilder B(CF.CP);
+  B.getStatic("java/lang/System", "out", "Ljava/io/PrintStream;");
+  B.getStatic("CVRead", "K", "I");
+  B.invokeVirtual("java/io/PrintStream", "println", "(I)V");
+  B.emit(OP_return);
+  Main->Code->Code = B.build();
+  JvmResult R =
+      runOn(makeHotSpot8Policy(), {{"CVRead", serialize(CF)}}, "CVRead");
+  ASSERT_TRUE(R.Invoked) << R.toString();
+  EXPECT_EQ(R.Output[0], "4711");
+}
+
+TEST(ConstantValue, SurvivesJirRoundTrip) {
+  Bytes Data = serialize(withConstantField("CVJir", 'd'));
+  auto J = lowerClassBytes(Data);
+  ASSERT_TRUE(J.ok());
+  auto Out = assembleToBytes(*J);
+  ASSERT_TRUE(Out.ok());
+  auto CF = parseClassFile(*Out);
+  ASSERT_TRUE(CF.ok());
+  ASSERT_TRUE(CF->findField("K")->ConstantValue.has_value());
+  EXPECT_EQ(CF->findField("K")->ConstantValue->Kind, 'd');
+  EXPECT_DOUBLE_EQ(CF->findField("K")->ConstantValue->FpValue, 2.5);
+}
+
+namespace {
+
+/// Two classes in different packages: pkga/Holder with a member of the
+/// given flags, and Caller accessing it from the default package.
+std::vector<std::pair<std::string, Bytes>>
+makeCrossPackagePair(uint16_t MemberFlags, bool FieldNotMethod) {
+  ClassFile Holder = makeHelloClass("pkga/Holder");
+  Holder.Methods.pop_back(); // no main needed
+  if (FieldNotMethod) {
+    FieldInfo F;
+    F.Name = "secret";
+    F.Descriptor = "I";
+    F.AccessFlags = static_cast<uint16_t>(MemberFlags | ACC_STATIC);
+    Holder.Fields.push_back(std::move(F));
+  } else {
+    MethodInfo M;
+    M.Name = "secret";
+    M.Descriptor = "()V";
+    M.AccessFlags = static_cast<uint16_t>(MemberFlags | ACC_STATIC);
+    CodeAttr Code;
+    Code.MaxStack = 0;
+    Code.MaxLocals = 0;
+    Code.Code = {OP_return};
+    M.Code = std::move(Code);
+    Holder.Methods.push_back(std::move(M));
+  }
+
+  ClassFile Caller = makeHelloClass("Caller");
+  MethodInfo *Main = Caller.findMethod("main", "([Ljava/lang/String;)V");
+  CodeBuilder B(Caller.CP);
+  if (FieldNotMethod) {
+    B.getStatic("pkga/Holder", "secret", "I");
+    B.emit(OP_pop);
+  } else {
+    B.invokeStatic("pkga/Holder", "secret", "()V");
+  }
+  B.emit(OP_return);
+  Main->Code->Code = B.build();
+  Main->Code->MaxStack = 1;
+  return {{"pkga/Holder", serialize(Holder)},
+          {"Caller", serialize(Caller)}};
+}
+
+} // namespace
+
+TEST(MemberAccess, PublicCrossPackageAllowed) {
+  auto Classes = makeCrossPackagePair(ACC_PUBLIC, /*Field=*/true);
+  JvmResult R = runOn(makeHotSpot8Policy(), Classes, "Caller");
+  EXPECT_TRUE(R.Invoked) << R.toString();
+}
+
+TEST(MemberAccess, PackagePrivateCrossPackageRejected) {
+  auto Classes = makeCrossPackagePair(0, /*Field=*/true);
+  JvmResult R = runOn(makeHotSpot8Policy(), Classes, "Caller");
+  EXPECT_FALSE(R.Invoked);
+  EXPECT_EQ(R.Error, JvmErrorKind::IllegalAccessError);
+  EXPECT_EQ(encodeOutcome(R), 2);
+}
+
+TEST(MemberAccess, PrivateMethodCrossClassRejected) {
+  auto Classes = makeCrossPackagePair(ACC_PRIVATE, /*Field=*/false);
+  JvmResult R = runOn(makeHotSpot8Policy(), Classes, "Caller");
+  EXPECT_FALSE(R.Invoked);
+  EXPECT_EQ(R.Error, JvmErrorKind::IllegalAccessError);
+}
+
+TEST(MemberAccess, GijIsLenient) {
+  auto Classes = makeCrossPackagePair(ACC_PRIVATE, /*Field=*/false);
+  JvmResult R = runOn(makeGijPolicy(), Classes, "Caller");
+  EXPECT_TRUE(R.Invoked)
+      << "GIJ skips member access control: " << R.toString();
+}
+
+TEST(MemberAccess, SameClassPrivateAllowed) {
+  // Private members of the class itself are always accessible.
+  ClassFile CF = makeHelloClass("SelfAccess");
+  MethodInfo M;
+  M.Name = "helper";
+  M.Descriptor = "()V";
+  M.AccessFlags = ACC_PRIVATE | ACC_STATIC;
+  CodeAttr Code;
+  Code.MaxStack = 0;
+  Code.MaxLocals = 0;
+  Code.Code = {OP_return};
+  M.Code = std::move(Code);
+  CF.Methods.push_back(std::move(M));
+  MethodInfo *Main = CF.findMethod("main", "([Ljava/lang/String;)V");
+  CodeBuilder B(CF.CP);
+  B.invokeStatic("SelfAccess", "helper", "()V");
+  B.emit(OP_return);
+  Main->Code->Code = B.build();
+  Main->Code->MaxStack = 0;
+  JvmResult R = runOn(makeHotSpot8Policy(),
+                      {{"SelfAccess", serialize(CF)}}, "SelfAccess");
+  EXPECT_TRUE(R.Invoked) << R.toString();
+}

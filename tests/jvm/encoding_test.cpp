@@ -1,0 +1,151 @@
+//===- tests/jvm/encoding_test.cpp -----------------------------------------===//
+//
+// The 0..4 outcome encoding of §2.3 and the canonical-phase rule: an
+// error kind counts toward the phase it belongs to (Table 1), not the
+// wall-clock moment it was thrown.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+using namespace classfuzz::testhelpers;
+
+TEST(Encoding, InvokedIsZero) {
+  JvmResult R;
+  R.Invoked = true;
+  R.Phase = JvmPhase::Completed;
+  EXPECT_EQ(encodeOutcome(R), 0);
+}
+
+TEST(Encoding, PhasesMapToDigits) {
+  JvmResult R;
+  R.Invoked = false;
+  R.Phase = JvmPhase::Loading;
+  EXPECT_EQ(encodeOutcome(R), 1);
+  R.Phase = JvmPhase::Linking;
+  EXPECT_EQ(encodeOutcome(R), 2);
+  R.Phase = JvmPhase::Initialization;
+  EXPECT_EQ(encodeOutcome(R), 3);
+  R.Phase = JvmPhase::Execution;
+  EXPECT_EQ(encodeOutcome(R), 4);
+}
+
+TEST(Encoding, NamesAreStable) {
+  EXPECT_STREQ(phaseName(JvmPhase::Loading), "loading");
+  EXPECT_STREQ(phaseName(JvmPhase::Completed), "completed");
+  EXPECT_STREQ(errorKindName(JvmErrorKind::VerifyError), "VerifyError");
+  EXPECT_STREQ(errorKindName(JvmErrorKind::None), "None");
+}
+
+TEST(Encoding, ToStringFormats) {
+  JvmResult Ok;
+  Ok.Invoked = true;
+  EXPECT_EQ(Ok.toString(), "ok");
+  JvmResult Err;
+  Err.Invoked = false;
+  Err.Phase = JvmPhase::Linking;
+  Err.Error = JvmErrorKind::VerifyError;
+  Err.Message = "bad";
+  EXPECT_EQ(Err.toString(), "VerifyError (linking): bad");
+}
+
+TEST(Encoding, LazyVerifyErrorCanonicalizesToLinking) {
+  // J9 verifies main lazily -- at invocation time -- yet the outcome
+  // must encode as a linking rejection (2), like the paper's J9 column.
+  ClassFile CF = makeHelloClass("LazyMain");
+  MethodInfo *Main = CF.findMethod("main", "([Ljava/lang/String;)V");
+  // Type-broken main: pre-verifier passes (depth fine), full verifier
+  // rejects at invoke.
+  CodeBuilder B(CF.CP);
+  B.pushInt(0);
+  B.storeLocal('i', 0); // Overwrites the String[] arg slot with an int.
+  B.loadLocal('a', 0);  // Loads it back as a reference: type error.
+  B.emit(OP_pop);
+  B.emit(OP_return);
+  Main->Code->Code = B.build();
+  Main->Code->MaxStack = 1;
+  JvmResult R =
+      runOn(makeJ9Policy(), {{"LazyMain", serialize(CF)}}, "LazyMain");
+  EXPECT_FALSE(R.Invoked);
+  EXPECT_EQ(R.Error, JvmErrorKind::VerifyError);
+  EXPECT_EQ(encodeOutcome(R), 2)
+      << "VerifyError canonicalizes to the linking phase";
+}
+
+TEST(Encoding, ResolutionErrorDuringExecutionIsLinkingKind) {
+  // NoSuchMethodError raised while main executes still encodes as 2.
+  ClassFile CF = makeHelloClass("LateResolve");
+  MethodInfo *Main = CF.findMethod("main", "([Ljava/lang/String;)V");
+  CodeBuilder B(CF.CP);
+  B.invokeStatic("java/lang/Math", "noSuch", "()V");
+  B.emit(OP_return);
+  Main->Code->Code = B.build();
+  JvmResult R = runOn(makeHotSpot8Policy(),
+                      {{"LateResolve", serialize(CF)}}, "LateResolve");
+  EXPECT_EQ(R.Error, JvmErrorKind::NoSuchMethodError);
+  EXPECT_EQ(encodeOutcome(R), 2);
+}
+
+TEST(Encoding, MissingClassAtRuntimeStaysRuntime) {
+  // NoClassDefFoundError is listed under both loading and initializing
+  // in Table 1: it keeps the phase it occurred in.
+  ClassFile CF = makeHelloClass("LateMissing");
+  MethodInfo *Main = CF.findMethod("main", "([Ljava/lang/String;)V");
+  CodeBuilder B(CF.CP);
+  B.pushNull();
+  B.instanceOf("really/not/There");
+  B.emit(OP_pop);
+  B.emit(OP_return);
+  Main->Code->Code = B.build();
+  JvmResult R = runOn(makeHotSpot8Policy(),
+                      {{"LateMissing", serialize(CF)}}, "LateMissing");
+  EXPECT_EQ(R.Error, JvmErrorKind::NoClassDefFoundError);
+  EXPECT_EQ(encodeOutcome(R), 4)
+      << "execution-time resolution failure stays a runtime rejection";
+}
+
+TEST(Encoding, ExceptionInInitializerCanonicalizesToInit) {
+  // Initialization is triggered lazily by the first getstatic during
+  // execution; the error still encodes as 3.
+  ClassFile Holder = makeHelloClass("ThrowingHolder");
+  Holder.Methods.pop_back();
+  FieldInfo F;
+  F.Name = "V";
+  F.Descriptor = "I";
+  F.AccessFlags = ACC_PUBLIC | ACC_STATIC;
+  Holder.Fields.push_back(std::move(F));
+  {
+    MethodInfo Clinit;
+    Clinit.Name = "<clinit>";
+    Clinit.Descriptor = "()V";
+    Clinit.AccessFlags = ACC_STATIC;
+    CodeBuilder B(Holder.CP);
+    B.pushInt(1);
+    B.pushInt(0);
+    B.emit(OP_idiv);
+    B.emit(OP_pop);
+    B.emit(OP_return);
+    CodeAttr Code;
+    Code.MaxStack = 2;
+    Code.MaxLocals = 0;
+    Code.Code = B.build();
+    Clinit.Code = std::move(Code);
+    Holder.Methods.push_back(std::move(Clinit));
+  }
+  ClassFile User = makeHelloClass("InitUser");
+  MethodInfo *Main = User.findMethod("main", "([Ljava/lang/String;)V");
+  CodeBuilder B(User.CP);
+  B.getStatic("ThrowingHolder", "V", "I");
+  B.emit(OP_pop);
+  B.emit(OP_return);
+  Main->Code->Code = B.build();
+  JvmResult R = runOn(makeHotSpot8Policy(),
+                      {{"ThrowingHolder", serialize(Holder)},
+                       {"InitUser", serialize(User)}},
+                      "InitUser");
+  EXPECT_EQ(R.Error, JvmErrorKind::ExceptionInInitializerError);
+  EXPECT_EQ(encodeOutcome(R), 3);
+}

@@ -1,0 +1,281 @@
+//===- tests/jvm/formatchecker_test.cpp ------------------------------------===//
+//
+// Loading-phase format checks, including the policy differences behind
+// the paper's Problems 1 and 4.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../TestHelpers.h"
+#include "jvm/FormatChecker.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+using namespace classfuzz::testhelpers;
+
+namespace {
+
+std::optional<CheckFailure> check(const ClassFile &CF,
+                                  const JvmPolicy &Policy) {
+  return checkClassFormat(CF, Policy, nullptr);
+}
+
+/// Figure 2's class: a public abstract method named <clinit> without a
+/// Code attribute, in an otherwise ordinary class.
+ClassFile makeFigure2Class() {
+  ClassFile CF = makeHelloClass("M1436188543");
+  MethodInfo Clinit;
+  Clinit.Name = "<clinit>";
+  Clinit.Descriptor = "()V";
+  Clinit.AccessFlags = ACC_PUBLIC | ACC_ABSTRACT;
+  CF.Methods.push_back(std::move(Clinit));
+  return CF;
+}
+
+} // namespace
+
+TEST(FormatChecker, Problem1HotSpotAcceptsJ9Rejects) {
+  ClassFile CF = makeFigure2Class();
+  EXPECT_FALSE(check(CF, makeHotSpot8Policy()).has_value())
+      << "HotSpot treats non-static <clinit> as an ordinary method";
+  auto J9 = check(CF, makeJ9Policy());
+  ASSERT_TRUE(J9.has_value()) << "J9 raises a format error";
+  EXPECT_EQ(J9->Kind, JvmErrorKind::ClassFormatError);
+  EXPECT_NE(J9->Message.find("<clinit>"), std::string::npos);
+}
+
+TEST(FormatChecker, Problem1EndToEndDiscrepancy) {
+  // The full Figure 2 behavior: HotSpot invokes normally, J9 rejects.
+  Bytes Data = serialize(makeFigure2Class());
+  JvmResult OnHs = runOn(makeHotSpot8Policy(), {{"M1436188543", Data}},
+                         "M1436188543");
+  EXPECT_TRUE(OnHs.Invoked) << OnHs.toString();
+  JvmResult OnJ9 =
+      runOn(makeJ9Policy(), {{"M1436188543", Data}}, "M1436188543");
+  EXPECT_EQ(OnJ9.Error, JvmErrorKind::ClassFormatError);
+  EXPECT_EQ(encodeOutcome(OnJ9), 1);
+}
+
+TEST(FormatChecker, IsInitializationMethodFollowsPolicy) {
+  MethodInfo Strict;
+  Strict.Name = "<clinit>";
+  Strict.Descriptor = "()V";
+  Strict.AccessFlags = ACC_PUBLIC; // not static
+  EXPECT_FALSE(isInitializationMethod(Strict, makeHotSpot8Policy()))
+      << "SE 9 reading: non-static <clinit> is of no consequence";
+  EXPECT_TRUE(isInitializationMethod(Strict, makeJ9Policy()));
+  Strict.AccessFlags = ACC_STATIC;
+  EXPECT_TRUE(isInitializationMethod(Strict, makeHotSpot8Policy()));
+}
+
+TEST(FormatChecker, Problem4InitShape) {
+  ClassFile CF = makeHelloClass("BadCtor");
+  CF.findMethod("<init>", "()V")->AccessFlags =
+      ACC_PUBLIC | ACC_STATIC; // illegal
+  auto OnHs = check(CF, makeHotSpot8Policy());
+  ASSERT_TRUE(OnHs.has_value());
+  EXPECT_EQ(OnHs->Kind, JvmErrorKind::ClassFormatError);
+  EXPECT_FALSE(check(CF, makeGijPolicy()).has_value())
+      << "GIJ accepts malformed <init> modifiers";
+}
+
+TEST(FormatChecker, Problem4InitReturnType) {
+  // public java.lang.Thread <init>() -- rejected by HotSpot/J9, allowed
+  // by GIJ.
+  ClassFile CF = makeHelloClass("CtorReturns");
+  MethodInfo M;
+  M.Name = "<init>";
+  M.Descriptor = "()Ljava/lang/Thread;";
+  M.AccessFlags = ACC_PUBLIC;
+  CodeBuilder B(CF.CP);
+  B.pushNull();
+  B.emit(OP_areturn);
+  CodeAttr Code;
+  Code.MaxStack = 1;
+  Code.MaxLocals = 1;
+  Code.Code = B.build();
+  M.Code = std::move(Code);
+  CF.Methods.push_back(std::move(M));
+
+  EXPECT_TRUE(check(CF, makeHotSpot8Policy()).has_value());
+  EXPECT_TRUE(check(CF, makeJ9Policy()).has_value());
+  EXPECT_FALSE(check(CF, makeGijPolicy()).has_value());
+}
+
+TEST(FormatChecker, Problem4DuplicateFields) {
+  ClassFile CF = makeHelloClass("DupFields");
+  FieldInfo F;
+  F.Name = "x";
+  F.Descriptor = "I";
+  F.AccessFlags = ACC_PUBLIC;
+  CF.Fields.push_back(F);
+  CF.Fields.push_back(F);
+  EXPECT_TRUE(check(CF, makeHotSpot8Policy()).has_value());
+  EXPECT_TRUE(check(CF, makeJ9Policy()).has_value());
+  EXPECT_FALSE(check(CF, makeGijPolicy()).has_value())
+      << "GIJ accepts duplicate fields";
+}
+
+TEST(FormatChecker, Problem4InterfaceMemberFlags) {
+  ClassFile CF;
+  CF.ThisClass = "BadIface";
+  CF.SuperClass = "java/lang/Object";
+  CF.AccessFlags = ACC_PUBLIC | ACC_INTERFACE | ACC_ABSTRACT;
+  MethodInfo M;
+  M.Name = "op";
+  M.Descriptor = "()V";
+  M.AccessFlags = ACC_PROTECTED | ACC_ABSTRACT; // not public
+  CF.Methods.push_back(std::move(M));
+  EXPECT_TRUE(check(CF, makeHotSpot8Policy()).has_value());
+  EXPECT_FALSE(check(CF, makeGijPolicy()).has_value());
+}
+
+TEST(FormatChecker, Problem4InterfaceFieldFlags) {
+  ClassFile CF;
+  CF.ThisClass = "IfaceField";
+  CF.SuperClass = "java/lang/Object";
+  CF.AccessFlags = ACC_PUBLIC | ACC_INTERFACE | ACC_ABSTRACT;
+  FieldInfo F;
+  F.Name = "k";
+  F.Descriptor = "I";
+  F.AccessFlags = ACC_PUBLIC; // missing static+final
+  CF.Fields.push_back(std::move(F));
+  EXPECT_TRUE(check(CF, makeHotSpot8Policy()).has_value());
+  EXPECT_FALSE(check(CF, makeGijPolicy()).has_value());
+}
+
+TEST(FormatChecker, Problem4InterfaceExtendingClass) {
+  // "an interface extending java/lang/Exception": format error on
+  // HotSpot/J9, missed by GIJ.
+  ClassFile CF;
+  CF.ThisClass = "BadSuperIface";
+  CF.SuperClass = "java/lang/Exception";
+  CF.AccessFlags = ACC_PUBLIC | ACC_INTERFACE | ACC_ABSTRACT;
+  auto OnHs = check(CF, makeHotSpot8Policy());
+  ASSERT_TRUE(OnHs.has_value());
+  EXPECT_EQ(OnHs->Kind, JvmErrorKind::ClassFormatError);
+  EXPECT_FALSE(check(CF, makeGijPolicy()).has_value());
+}
+
+TEST(FormatChecker, Problem4InterfaceMainEndToEnd) {
+  // GIJ can execute an interface having a main method; the others cannot.
+  ClassFile CF;
+  CF.ThisClass = "IfaceMain";
+  CF.SuperClass = "java/lang/Object";
+  CF.AccessFlags = ACC_PUBLIC | ACC_INTERFACE | ACC_ABSTRACT;
+  MethodInfo Main;
+  Main.Name = "main";
+  Main.Descriptor = "([Ljava/lang/String;)V";
+  Main.AccessFlags = ACC_PUBLIC | ACC_STATIC;
+  ConstantPool &CP = CF.CP;
+  CodeBuilder B(CP);
+  B.getStatic("java/lang/System", "out", "Ljava/io/PrintStream;");
+  B.pushString("from-interface");
+  B.invokeVirtual("java/io/PrintStream", "println",
+                  "(Ljava/lang/String;)V");
+  B.emit(OP_return);
+  CodeAttr Code;
+  Code.MaxStack = 2;
+  Code.MaxLocals = 1;
+  Code.Code = B.build();
+  Main.Code = std::move(Code);
+  CF.Methods.push_back(std::move(Main));
+  Bytes Data = serialize(CF);
+
+  JvmResult OnGij = runOn(makeGijPolicy(), {{"IfaceMain", Data}},
+                          "IfaceMain");
+  EXPECT_TRUE(OnGij.Invoked) << OnGij.toString();
+  JvmResult OnHs = runOn(makeHotSpot8Policy(), {{"IfaceMain", Data}},
+                         "IfaceMain");
+  EXPECT_FALSE(OnHs.Invoked)
+      << "interface main is static and non-abstract: HotSpot's strict "
+         "interface-method check fires first";
+}
+
+TEST(FormatChecker, ConflictingVisibilityFlags) {
+  ClassFile CF = makeHelloClass("ConflictVis");
+  CF.findMethod("main", "([Ljava/lang/String;)V")->AccessFlags =
+      ACC_PUBLIC | ACC_PRIVATE | ACC_STATIC;
+  EXPECT_TRUE(check(CF, makeHotSpot8Policy()).has_value());
+  EXPECT_FALSE(check(CF, makeGijPolicy()).has_value());
+}
+
+TEST(FormatChecker, FinalAbstractClassRejected) {
+  ClassFile CF = makeHelloClass("FinAbs");
+  CF.AccessFlags = ACC_PUBLIC | ACC_FINAL | ACC_ABSTRACT;
+  EXPECT_TRUE(check(CF, makeHotSpot8Policy()).has_value());
+}
+
+TEST(FormatChecker, MalformedDescriptorRejected) {
+  ClassFile CF = makeHelloClass("BadDesc");
+  FieldInfo F;
+  F.Name = "f";
+  F.Descriptor = "Q"; // invalid
+  F.AccessFlags = ACC_PUBLIC;
+  CF.Fields.push_back(std::move(F));
+  auto OnHs = check(CF, makeHotSpot8Policy());
+  ASSERT_TRUE(OnHs.has_value());
+  EXPECT_FALSE(check(CF, makeGijPolicy()).has_value())
+      << "GIJ skips descriptor validation";
+}
+
+TEST(FormatChecker, MissingCodeOnConcreteMethod) {
+  ClassFile CF = makeHelloClass("NoCode");
+  MethodInfo M;
+  M.Name = "helper";
+  M.Descriptor = "()V";
+  M.AccessFlags = ACC_PUBLIC; // concrete but no Code
+  CF.Methods.push_back(std::move(M));
+  auto OnHs = check(CF, makeHotSpot8Policy());
+  ASSERT_TRUE(OnHs.has_value());
+  EXPECT_EQ(OnHs->Kind, JvmErrorKind::ClassFormatError);
+  // GIJ (RequireCode lazy) only fails when the method is invoked.
+  EXPECT_FALSE(check(CF, makeGijPolicy()).has_value());
+}
+
+TEST(FormatChecker, AbstractMethodInConcreteClass) {
+  ClassFile CF = makeHelloClass("ConcAbs");
+  MethodInfo M;
+  M.Name = "absent";
+  M.Descriptor = "()V";
+  M.AccessFlags = ACC_PUBLIC | ACC_ABSTRACT;
+  CF.Methods.push_back(std::move(M));
+  // J9 rejects eagerly at load; HotSpot defers (AbstractMethodError only
+  // if invoked); GIJ ignores.
+  EXPECT_TRUE(check(CF, makeJ9Policy()).has_value());
+  EXPECT_FALSE(check(CF, makeHotSpot8Policy()).has_value());
+  EXPECT_FALSE(check(CF, makeGijPolicy()).has_value());
+
+  // End-to-end: the class still runs on HotSpot since `absent` is never
+  // invoked -- a classic Problem 1-style discrepancy source.
+  Bytes Data = serialize(CF);
+  JvmResult OnHs =
+      runOn(makeHotSpot8Policy(), {{"ConcAbs", Data}}, "ConcAbs");
+  EXPECT_TRUE(OnHs.Invoked) << OnHs.toString();
+  JvmResult OnJ9 = runOn(makeJ9Policy(), {{"ConcAbs", Data}}, "ConcAbs");
+  EXPECT_EQ(OnJ9.Error, JvmErrorKind::ClassFormatError);
+}
+
+TEST(FormatChecker, CodeOnAbstractMethodRejected) {
+  ClassFile CF = makeHelloClass("AbsWithCode");
+  CF.AccessFlags |= ACC_ABSTRACT;
+  MethodInfo M;
+  M.Name = "weird";
+  M.Descriptor = "()V";
+  M.AccessFlags = ACC_PUBLIC | ACC_ABSTRACT;
+  CodeAttr Code;
+  Code.MaxStack = 0;
+  Code.MaxLocals = 1;
+  Code.Code = {OP_return};
+  M.Code = std::move(Code);
+  CF.Methods.push_back(std::move(M));
+  EXPECT_TRUE(check(CF, makeHotSpot8Policy()).has_value());
+}
+
+TEST(FormatChecker, DuplicateMethodsRejectedEverywhere) {
+  ClassFile CF = makeHelloClass("DupMethods");
+  MethodInfo Copy = CF.Methods[1]; // duplicate main
+  CF.Methods.push_back(Copy);
+  for (const JvmPolicy &P : allJvmPolicies())
+    EXPECT_TRUE(check(CF, P).has_value()) << P.Name;
+}

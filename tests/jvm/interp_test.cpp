@@ -1,0 +1,479 @@
+//===- tests/jvm/interp_test.cpp -------------------------------------------===//
+//
+// Interpreter behavior: arithmetic, control flow, objects, arrays,
+// exceptions, natives, and resource limits.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+using namespace classfuzz::testhelpers;
+
+namespace {
+
+/// Builds a class whose main body is produced by \p Emit, then runs it
+/// on HotSpot8 and returns the result. \p Table is read after Emit runs,
+/// so emitters may fill a table they captured by reference.
+template <typename EmitFn>
+JvmResult runMain(EmitFn Emit, uint16_t MaxStack = 4,
+                  uint16_t MaxLocals = 4,
+                  const std::vector<ExceptionTableEntry> &Table = {},
+                  JvmPolicy Policy = makeHotSpot8Policy()) {
+  ClassFile CF = makeHelloClass("T");
+  MethodInfo *Main = CF.findMethod("main", "([Ljava/lang/String;)V");
+  CodeBuilder B(CF.CP);
+  Emit(B);
+  Main->Code->Code = B.build();
+  Main->Code->MaxStack = MaxStack;
+  Main->Code->MaxLocals = MaxLocals;
+  Main->Code->ExceptionTable = Table;
+  return runOn(Policy, {{"T", serialize(CF)}}, "T");
+}
+
+/// Emits println(int-on-stack).
+void printTopInt(CodeBuilder &B) {
+  B.invokeVirtual("java/io/PrintStream", "println", "(I)V");
+}
+
+void pushOut(CodeBuilder &B) {
+  B.getStatic("java/lang/System", "out", "Ljava/io/PrintStream;");
+}
+
+} // namespace
+
+TEST(Interp, IntegerArithmetic) {
+  JvmResult R = runMain([](CodeBuilder &B) {
+    pushOut(B);
+    B.pushInt(6);
+    B.pushInt(7);
+    B.emit(OP_imul);
+    printTopInt(B);
+    B.emit(OP_return);
+  });
+  ASSERT_TRUE(R.Invoked) << R.toString();
+  ASSERT_EQ(R.Output.size(), 1u);
+  EXPECT_EQ(R.Output[0], "42");
+}
+
+TEST(Interp, DivisionByZeroThrows) {
+  JvmResult R = runMain([](CodeBuilder &B) {
+    B.pushInt(1);
+    B.pushInt(0);
+    B.emit(OP_idiv);
+    B.emit(OP_pop);
+    B.emit(OP_return);
+  });
+  EXPECT_FALSE(R.Invoked);
+  EXPECT_EQ(R.Error, JvmErrorKind::ArithmeticException);
+  EXPECT_EQ(encodeOutcome(R), 4);
+}
+
+TEST(Interp, LoopComputesSum) {
+  // sum 0..9 = 45 via backward branch and iinc.
+  JvmResult R = runMain([](CodeBuilder &B) {
+    B.pushInt(0);
+    B.storeLocal('i', 1);
+    B.pushInt(0);
+    B.storeLocal('i', 2);
+    auto Head = B.newLabel();
+    auto Done = B.newLabel();
+    B.bind(Head);
+    B.loadLocal('i', 2);
+    B.pushInt(10);
+    B.branch(OP_if_icmpge, Done);
+    B.loadLocal('i', 1);
+    B.loadLocal('i', 2);
+    B.emit(OP_iadd);
+    B.storeLocal('i', 1);
+    B.iinc(2, 1);
+    B.branch(OP_goto, Head);
+    B.bind(Done);
+    pushOut(B);
+    B.loadLocal('i', 1);
+    printTopInt(B);
+    B.emit(OP_return);
+  });
+  ASSERT_TRUE(R.Invoked) << R.toString();
+  EXPECT_EQ(R.Output[0], "45");
+}
+
+TEST(Interp, ObjectFieldsRoundTrip) {
+  // new T; putfield f=13; getfield f; print.
+  ClassFile CF = makeHelloClass("T");
+  FieldInfo F;
+  F.Name = "f";
+  F.Descriptor = "I";
+  F.AccessFlags = ACC_PUBLIC;
+  CF.Fields.push_back(F);
+  MethodInfo *Main = CF.findMethod("main", "([Ljava/lang/String;)V");
+  CodeBuilder B(CF.CP);
+  B.newObject("T");
+  B.emit(OP_dup);
+  B.invokeSpecial("T", "<init>", "()V");
+  B.storeLocal('a', 1);
+  B.loadLocal('a', 1);
+  B.pushInt(13);
+  B.putField("T", "f", "I");
+  pushOut(B);
+  B.loadLocal('a', 1);
+  B.getField("T", "f", "I");
+  printTopInt(B);
+  B.emit(OP_return);
+  Main->Code->Code = B.build();
+  Main->Code->MaxStack = 3;
+  Main->Code->MaxLocals = 2;
+  JvmResult R = runOn(makeHotSpot8Policy(), {{"T", serialize(CF)}}, "T");
+  ASSERT_TRUE(R.Invoked) << R.toString();
+  EXPECT_EQ(R.Output[0], "13");
+}
+
+TEST(Interp, NullFieldAccessThrowsNpe) {
+  JvmResult R = runMain([](CodeBuilder &B) {
+    B.pushNull();
+    B.getField("T", "f", "I");
+    B.emit(OP_pop);
+    B.emit(OP_return);
+  });
+  EXPECT_FALSE(R.Invoked);
+  EXPECT_EQ(R.Error, JvmErrorKind::NullPointerException);
+}
+
+TEST(Interp, ArrayStoreLoadAndBounds) {
+  JvmResult R = runMain([](CodeBuilder &B) {
+    B.pushInt(3);
+    B.emitU1(OP_newarray, 10);
+    B.storeLocal('a', 1);
+    B.loadLocal('a', 1);
+    B.pushInt(2);
+    B.pushInt(99);
+    B.emit(OP_iastore);
+    pushOut(B);
+    B.loadLocal('a', 1);
+    B.pushInt(2);
+    B.emit(OP_iaload);
+    printTopInt(B);
+    B.emit(OP_return);
+  });
+  ASSERT_TRUE(R.Invoked) << R.toString();
+  EXPECT_EQ(R.Output[0], "99");
+}
+
+TEST(Interp, ArrayIndexOutOfBounds) {
+  JvmResult R = runMain([](CodeBuilder &B) {
+    B.pushInt(1);
+    B.emitU1(OP_newarray, 10);
+    B.pushInt(5);
+    B.emit(OP_iaload);
+    B.emit(OP_pop);
+    B.emit(OP_return);
+  });
+  EXPECT_FALSE(R.Invoked);
+  EXPECT_EQ(R.Error, JvmErrorKind::ArrayIndexOutOfBoundsException);
+}
+
+TEST(Interp, NegativeArraySize) {
+  JvmResult R = runMain([](CodeBuilder &B) {
+    B.pushInt(-2);
+    B.emitU1(OP_newarray, 10);
+    B.emit(OP_pop);
+    B.emit(OP_return);
+  });
+  EXPECT_FALSE(R.Invoked);
+  EXPECT_EQ(R.Error, JvmErrorKind::NegativeArraySizeException);
+}
+
+TEST(Interp, ArrayLength) {
+  JvmResult R = runMain([](CodeBuilder &B) {
+    pushOut(B);
+    B.pushInt(7);
+    B.aNewArray("java/lang/String");
+    B.emit(OP_arraylength);
+    printTopInt(B);
+    B.emit(OP_return);
+  });
+  ASSERT_TRUE(R.Invoked) << R.toString();
+  EXPECT_EQ(R.Output[0], "7");
+}
+
+TEST(Interp, CheckcastFailureThrows) {
+  JvmResult R = runMain([](CodeBuilder &B) {
+    B.pushString("s");
+    B.checkCast("java/lang/Thread");
+    B.emit(OP_pop);
+    B.emit(OP_return);
+  });
+  EXPECT_FALSE(R.Invoked);
+  EXPECT_EQ(R.Error, JvmErrorKind::ClassCastException);
+}
+
+TEST(Interp, CheckcastOfNullSucceeds) {
+  JvmResult R = runMain([](CodeBuilder &B) {
+    B.pushNull();
+    B.checkCast("java/lang/Thread");
+    B.emit(OP_pop);
+    B.emit(OP_return);
+  });
+  EXPECT_TRUE(R.Invoked) << R.toString();
+}
+
+TEST(Interp, InstanceofThroughInterface) {
+  JvmResult R = runMain([](CodeBuilder &B) {
+    pushOut(B);
+    B.pushString("s");
+    B.instanceOf("java/lang/Comparable"); // String implements it.
+    printTopInt(B);
+    B.emit(OP_return);
+  });
+  ASSERT_TRUE(R.Invoked) << R.toString();
+  EXPECT_EQ(R.Output[0], "1");
+}
+
+TEST(Interp, TryCatchHandlesThrow) {
+  std::vector<ExceptionTableEntry> Table;
+  JvmResult R = runMain(
+      [&](CodeBuilder &B) {
+        uint32_t Start = B.currentOffset();
+        B.pushInt(1);
+        B.pushInt(0);
+        B.emit(OP_idiv);
+        B.emit(OP_pop);
+        uint32_t End = B.currentOffset();
+        auto Out = B.newLabel();
+        B.branch(OP_goto, Out);
+        uint32_t Handler = B.currentOffset();
+        B.storeLocal('a', 1);
+        pushOut(B);
+        B.pushString("caught");
+        B.invokeVirtual("java/io/PrintStream", "println",
+                        "(Ljava/lang/String;)V");
+        B.bind(Out);
+        B.emit(OP_return);
+        ExceptionTableEntry E;
+        E.StartPc = static_cast<uint16_t>(Start);
+        E.EndPc = static_cast<uint16_t>(End);
+        E.HandlerPc = static_cast<uint16_t>(Handler);
+        E.CatchType = "java/lang/ArithmeticException";
+        Table.push_back(E);
+      },
+      4, 4, Table);
+  ASSERT_TRUE(R.Invoked) << R.toString();
+  EXPECT_EQ(R.Output[0], "caught");
+}
+
+TEST(Interp, CatchTypeMismatchPropagates) {
+  std::vector<ExceptionTableEntry> Table;
+  ExceptionTableEntry E;
+  E.StartPc = 0;
+  E.EndPc = 4;
+  E.HandlerPc = 6;
+  E.CatchType = "java/lang/ClassCastException"; // wrong type
+  Table.push_back(E);
+  JvmResult R = runMain(
+      [&](CodeBuilder &B) {
+        B.pushInt(1);  // 0
+        B.pushInt(0);  // 1
+        B.emit(OP_idiv);    // 2
+        B.emit(OP_pop);     // 3
+        B.emit(OP_return);  // 4? offsets small enough
+        B.emit(OP_nop);     // filler so handler pc 6 exists
+        B.storeLocal('a', 1);
+        B.emit(OP_return);
+      },
+      4, 4, Table);
+  EXPECT_FALSE(R.Invoked);
+  EXPECT_EQ(R.Error, JvmErrorKind::ArithmeticException)
+      << "handler with non-matching catch type must not fire";
+}
+
+TEST(Interp, VirtualDispatchPicksOverride) {
+  // Base.describe -> "base", Sub.describe -> "sub"; call through Base.
+  ClassFile Base = makeHelloClass("Base");
+  Base.Methods.pop_back(); // drop main
+  {
+    MethodInfo M;
+    M.Name = "describe";
+    M.Descriptor = "()Ljava/lang/String;";
+    M.AccessFlags = ACC_PUBLIC;
+    CodeBuilder B(Base.CP);
+    B.pushString("base");
+    B.emit(OP_areturn);
+    CodeAttr Code;
+    Code.MaxStack = 1;
+    Code.MaxLocals = 1;
+    Code.Code = B.build();
+    M.Code = std::move(Code);
+    Base.Methods.push_back(std::move(M));
+  }
+  ClassFile Sub = makeHelloClass("Sub");
+  Sub.SuperClass = "Base";
+  {
+    // Fix <init> to call Base.<init>.
+    MethodInfo *Ctor = Sub.findMethod("<init>", "()V");
+    CodeBuilder B(Sub.CP);
+    B.loadLocal('a', 0);
+    B.invokeSpecial("Base", "<init>", "()V");
+    B.emit(OP_return);
+    Ctor->Code->Code = B.build();
+  }
+  {
+    MethodInfo M;
+    M.Name = "describe";
+    M.Descriptor = "()Ljava/lang/String;";
+    M.AccessFlags = ACC_PUBLIC;
+    CodeBuilder B(Sub.CP);
+    B.pushString("sub");
+    B.emit(OP_areturn);
+    CodeAttr Code;
+    Code.MaxStack = 1;
+    Code.MaxLocals = 1;
+    Code.Code = B.build();
+    M.Code = std::move(Code);
+    Sub.Methods.push_back(std::move(M));
+  }
+  {
+    MethodInfo *Main = Sub.findMethod("main", "([Ljava/lang/String;)V");
+    CodeBuilder B(Sub.CP);
+    B.newObject("Sub");
+    B.emit(OP_dup);
+    B.invokeSpecial("Sub", "<init>", "()V");
+    B.storeLocal('a', 1);
+    B.getStatic("java/lang/System", "out", "Ljava/io/PrintStream;");
+    B.loadLocal('a', 1);
+    B.invokeVirtual("Base", "describe", "()Ljava/lang/String;");
+    B.invokeVirtual("java/io/PrintStream", "println",
+                    "(Ljava/lang/String;)V");
+    B.emit(OP_return);
+    Main->Code->Code = B.build();
+    Main->Code->MaxStack = 3;
+    Main->Code->MaxLocals = 2;
+  }
+  JvmResult R = runOn(
+      makeHotSpot8Policy(),
+      {{"Base", serialize(Base)}, {"Sub", serialize(Sub)}}, "Sub");
+  ASSERT_TRUE(R.Invoked) << R.toString();
+  EXPECT_EQ(R.Output[0], "sub");
+}
+
+TEST(Interp, MissingFieldIsNoSuchFieldError) {
+  JvmResult R = runMain([](CodeBuilder &B) {
+    B.getStatic("java/lang/System", "nonexistent", "I");
+    B.emit(OP_pop);
+    B.emit(OP_return);
+  });
+  EXPECT_FALSE(R.Invoked);
+  EXPECT_EQ(R.Error, JvmErrorKind::NoSuchFieldError);
+  EXPECT_EQ(encodeOutcome(R), 2) << "resolution errors are linking kind";
+}
+
+TEST(Interp, MissingMethodIsNoSuchMethodError) {
+  JvmResult R = runMain([](CodeBuilder &B) {
+    B.invokeStatic("java/lang/Math", "nonexistent", "()V");
+    B.emit(OP_return);
+  });
+  EXPECT_FALSE(R.Invoked);
+  EXPECT_EQ(R.Error, JvmErrorKind::NoSuchMethodError);
+}
+
+TEST(Interp, InstantiatingInterfaceFails) {
+  JvmResult R = runMain([](CodeBuilder &B) {
+    B.newObject("java/lang/Runnable");
+    B.emit(OP_pop);
+    B.emit(OP_return);
+  });
+  EXPECT_FALSE(R.Invoked);
+  EXPECT_EQ(R.Error, JvmErrorKind::InstantiationError);
+}
+
+TEST(Interp, InfiniteLoopHitsStepBudget) {
+  JvmResult R = runMain([](CodeBuilder &B) {
+    auto Head = B.newLabel();
+    B.bind(Head);
+    B.branch(OP_goto, Head);
+  });
+  EXPECT_FALSE(R.Invoked);
+  EXPECT_EQ(R.Error, JvmErrorKind::InternalError);
+}
+
+TEST(Interp, DeepRecursionHitsCallDepth) {
+  ClassFile CF = makeHelloClass("Rec");
+  {
+    MethodInfo M;
+    M.Name = "rec";
+    M.Descriptor = "()V";
+    M.AccessFlags = ACC_PUBLIC | ACC_STATIC;
+    CodeBuilder B(CF.CP);
+    B.invokeStatic("Rec", "rec", "()V");
+    B.emit(OP_return);
+    CodeAttr Code;
+    Code.MaxStack = 0;
+    Code.MaxLocals = 0;
+    Code.Code = B.build();
+    M.Code = std::move(Code);
+    CF.Methods.push_back(std::move(M));
+  }
+  MethodInfo *Main = CF.findMethod("main", "([Ljava/lang/String;)V");
+  CodeBuilder B(CF.CP);
+  B.invokeStatic("Rec", "rec", "()V");
+  B.emit(OP_return);
+  Main->Code->Code = B.build();
+  JvmResult R =
+      runOn(makeHotSpot8Policy(), {{"Rec", serialize(CF)}}, "Rec");
+  EXPECT_FALSE(R.Invoked);
+  EXPECT_EQ(R.Error, JvmErrorKind::StackOverflowError);
+}
+
+TEST(Interp, StringNativesWork) {
+  JvmResult R = runMain([](CodeBuilder &B) {
+    pushOut(B);
+    B.pushString("abc");
+    B.invokeVirtual("java/lang/String", "length", "()I");
+    printTopInt(B);
+    B.emit(OP_return);
+  });
+  ASSERT_TRUE(R.Invoked) << R.toString();
+  EXPECT_EQ(R.Output[0], "3");
+}
+
+TEST(Interp, StringBuilderChain) {
+  JvmResult R = runMain([](CodeBuilder &B) {
+    B.newObject("java/lang/StringBuilder");
+    B.emit(OP_dup);
+    B.invokeSpecial("java/lang/StringBuilder", "<init>", "()V");
+    B.pushString("x=");
+    B.invokeVirtual("java/lang/StringBuilder", "append",
+                    "(Ljava/lang/String;)Ljava/lang/StringBuilder;");
+    B.pushInt(5);
+    B.invokeVirtual("java/lang/StringBuilder", "append",
+                    "(I)Ljava/lang/StringBuilder;");
+    B.invokeVirtual("java/lang/StringBuilder", "toString",
+                    "()Ljava/lang/String;");
+    B.storeLocal('a', 1);
+    pushOut(B);
+    B.loadLocal('a', 1);
+    B.invokeVirtual("java/io/PrintStream", "println",
+                    "(Ljava/lang/String;)V");
+    B.emit(OP_return);
+  });
+  ASSERT_TRUE(R.Invoked) << R.toString();
+  EXPECT_EQ(R.Output[0], "x=5");
+}
+
+TEST(Interp, InterfaceDispatch) {
+  // Call run() through Runnable on a Thread subclass instance.
+  JvmResult R = runMain([](CodeBuilder &B) {
+    B.newObject("java/lang/Thread");
+    B.emit(OP_dup);
+    B.invokeSpecial("java/lang/Thread", "<init>", "()V");
+    B.invokeInterface("java/lang/Runnable", "run", "()V");
+    pushOut(B);
+    B.pushString("dispatched");
+    B.invokeVirtual("java/io/PrintStream", "println",
+                    "(Ljava/lang/String;)V");
+    B.emit(OP_return);
+  });
+  ASSERT_TRUE(R.Invoked) << R.toString();
+  EXPECT_EQ(R.Output[0], "dispatched");
+}

@@ -1,0 +1,195 @@
+//===- tests/jvm/natives_test.cpp ------------------------------------------===//
+//
+// The native-method registry: modeled natives (println, String,
+// StringBuilder, Throwable) and the default-value fallback for unknown
+// natives that keeps mutated classfiles from derailing campaigns.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+using namespace classfuzz::testhelpers;
+
+namespace {
+
+/// Builds a main from \p Emit and runs it on HotSpot 8.
+template <typename EmitFn>
+JvmResult runMain(EmitFn Emit, uint16_t MaxStack = 4,
+                  uint16_t MaxLocals = 4) {
+  ClassFile CF = makeHelloClass("T");
+  MethodInfo *Main = CF.findMethod("main", "([Ljava/lang/String;)V");
+  CodeBuilder B(CF.CP);
+  Emit(B);
+  Main->Code->Code = B.build();
+  Main->Code->MaxStack = MaxStack;
+  Main->Code->MaxLocals = MaxLocals;
+  return runOn(makeHotSpot8Policy(), {{"T", serialize(CF)}}, "T");
+}
+
+void printTopInt(CodeBuilder &B) {
+  B.invokeVirtual("java/io/PrintStream", "println", "(I)V");
+}
+
+void pushOut(CodeBuilder &B) {
+  B.getStatic("java/lang/System", "out", "Ljava/io/PrintStream;");
+}
+
+} // namespace
+
+TEST(Natives, ThrowableMessageRoundTrip) {
+  // new Exception("boom"); getMessage(); println.
+  JvmResult R = runMain([](CodeBuilder &B) {
+    B.newObject("java/lang/Exception");
+    B.emit(OP_dup);
+    B.pushString("boom");
+    B.invokeSpecial("java/lang/Exception", "<init>",
+                    "(Ljava/lang/String;)V");
+    B.storeLocal('a', 1);
+    pushOut(B);
+    B.loadLocal('a', 1);
+    B.invokeVirtual("java/lang/Exception", "getMessage",
+                    "()Ljava/lang/String;");
+    B.invokeVirtual("java/io/PrintStream", "println",
+                    "(Ljava/lang/String;)V");
+    B.emit(OP_return);
+  });
+  ASSERT_TRUE(R.Invoked) << R.toString();
+  EXPECT_EQ(R.Output[0], "boom");
+}
+
+TEST(Natives, ThrownExceptionCarriesMessageToHandler) {
+  // throw new IllegalStateException("why"); catch; print getMessage().
+  ClassFile CF = makeHelloClass("T");
+  MethodInfo *Main = CF.findMethod("main", "([Ljava/lang/String;)V");
+  std::vector<ExceptionTableEntry> Table;
+  CodeBuilder B(CF.CP);
+  uint32_t Start = B.currentOffset();
+  B.newObject("java/lang/IllegalStateException");
+  B.emit(OP_dup);
+  B.pushString("why");
+  B.invokeSpecial("java/lang/IllegalStateException", "<init>",
+                  "(Ljava/lang/String;)V");
+  B.emit(OP_athrow);
+  uint32_t End = B.currentOffset();
+  uint32_t Handler = B.currentOffset();
+  B.storeLocal('a', 1);
+  pushOut(B);
+  B.loadLocal('a', 1);
+  B.invokeVirtual("java/lang/Throwable", "getMessage",
+                  "()Ljava/lang/String;");
+  B.invokeVirtual("java/io/PrintStream", "println",
+                  "(Ljava/lang/String;)V");
+  B.emit(OP_return);
+  ExceptionTableEntry E;
+  E.StartPc = static_cast<uint16_t>(Start);
+  E.EndPc = static_cast<uint16_t>(End);
+  E.HandlerPc = static_cast<uint16_t>(Handler);
+  E.CatchType = "java/lang/RuntimeException";
+  Table.push_back(E);
+  Main->Code->Code = B.build();
+  Main->Code->MaxStack = 3;
+  Main->Code->MaxLocals = 2;
+  Main->Code->ExceptionTable = Table;
+  JvmResult R = runOn(makeHotSpot8Policy(), {{"T", serialize(CF)}}, "T");
+  ASSERT_TRUE(R.Invoked) << R.toString();
+  EXPECT_EQ(R.Output[0], "why");
+}
+
+TEST(Natives, StringEqualsAndConcat) {
+  JvmResult R = runMain([](CodeBuilder &B) {
+    pushOut(B);
+    B.pushString("ab");
+    B.pushString("cd");
+    B.invokeVirtual("java/lang/String", "concat",
+                    "(Ljava/lang/String;)Ljava/lang/String;");
+    B.pushString("abcd");
+    B.invokeVirtual("java/lang/String", "equals",
+                    "(Ljava/lang/Object;)Z");
+    printTopInt(B);
+    B.emit(OP_return);
+  });
+  ASSERT_TRUE(R.Invoked) << R.toString();
+  EXPECT_EQ(R.Output[0], "1");
+}
+
+TEST(Natives, ObjectIdentityEquals) {
+  JvmResult R = runMain([](CodeBuilder &B) {
+    B.newObject("java/lang/Object");
+    B.emit(OP_dup);
+    B.invokeSpecial("java/lang/Object", "<init>", "()V");
+    B.storeLocal('a', 1);
+    pushOut(B);
+    B.loadLocal('a', 1);
+    B.loadLocal('a', 1);
+    B.invokeVirtual("java/lang/Object", "equals",
+                    "(Ljava/lang/Object;)Z");
+    printTopInt(B);
+    B.emit(OP_return);
+  });
+  ASSERT_TRUE(R.Invoked) << R.toString();
+  EXPECT_EQ(R.Output[0], "1");
+}
+
+TEST(Natives, UnknownNativeReturnsDefaultValue) {
+  // Math.abs is registered as native with no special handler: the
+  // fallback returns the default of the return type (0 for int).
+  JvmResult R = runMain([](CodeBuilder &B) {
+    pushOut(B);
+    B.pushInt(-9);
+    B.invokeStatic("java/lang/Math", "abs", "(I)I");
+    printTopInt(B);
+    B.emit(OP_return);
+  });
+  ASSERT_TRUE(R.Invoked) << R.toString();
+  EXPECT_EQ(R.Output[0], "0") << "unknown natives return type defaults";
+}
+
+TEST(Natives, UnknownRefNativeReturnsNull) {
+  JvmResult R = runMain([](CodeBuilder &B) {
+    pushOut(B);
+    B.pushInt(5);
+    B.invokeStatic("java/lang/Integer", "valueOf",
+                   "(I)Ljava/lang/Integer;");
+    CodeBuilder::Label IsNull = B.newLabel();
+    CodeBuilder::Label End = B.newLabel();
+    B.branch(OP_ifnull, IsNull);
+    B.pushInt(0);
+    B.branch(OP_goto, End);
+    B.bind(IsNull);
+    B.pushInt(1);
+    B.bind(End);
+    printTopInt(B);
+    B.emit(OP_return);
+  });
+  ASSERT_TRUE(R.Invoked) << R.toString();
+  EXPECT_EQ(R.Output[0], "1") << "unknown ref-returning native -> null";
+}
+
+TEST(Natives, PrintlnObjectRendersClassName) {
+  JvmResult R = runMain([](CodeBuilder &B) {
+    pushOut(B);
+    B.newObject("java/lang/Thread");
+    B.emit(OP_dup);
+    B.invokeSpecial("java/lang/Thread", "<init>", "()V");
+    B.invokeVirtual("java/io/PrintStream", "println",
+                    "(Ljava/lang/Object;)V");
+    B.emit(OP_return);
+  });
+  ASSERT_TRUE(R.Invoked) << R.toString();
+  EXPECT_EQ(R.Output[0], "<java/lang/Thread>");
+}
+
+TEST(Natives, PrintlnNullObject) {
+  JvmResult R = runMain([](CodeBuilder &B) {
+    pushOut(B);
+    B.pushNull();
+    B.invokeVirtual("java/io/PrintStream", "println",
+                    "(Ljava/lang/Object;)V");
+    B.emit(OP_return);
+  });
+  ASSERT_TRUE(R.Invoked) << R.toString();
+  EXPECT_EQ(R.Output[0], "null");
+}

@@ -1,0 +1,243 @@
+//===- tests/jvm/pipeline_test.cpp -----------------------------------------===//
+//
+// End-to-end startup pipeline tests: loading, linking, initialization,
+// and invocation, across all five JVM profiles.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../TestHelpers.h"
+#include "classfile/ClassReader.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+using namespace classfuzz::testhelpers;
+
+namespace {
+
+class AllProfiles : public ::testing::TestWithParam<int> {
+protected:
+  JvmPolicy policy() const { return allJvmPolicies()[GetParam()]; }
+};
+
+} // namespace
+
+TEST_P(AllProfiles, HelloClassRunsEverywhere) {
+  Bytes Hello = serialize(makeHelloClass("Hello"));
+  JvmResult R = runOn(policy(), {{"Hello", Hello}}, "Hello");
+  ASSERT_TRUE(R.Invoked) << policy().Name << ": " << R.toString();
+  ASSERT_EQ(R.Output.size(), 1u);
+  EXPECT_EQ(R.Output[0], "Completed!");
+  EXPECT_EQ(encodeOutcome(R), 0);
+}
+
+TEST_P(AllProfiles, MissingClassIsLoadingError) {
+  JvmResult R = runOn(policy(), {}, "NoSuchClass");
+  EXPECT_FALSE(R.Invoked);
+  EXPECT_EQ(R.Error, JvmErrorKind::NoClassDefFoundError);
+  EXPECT_EQ(encodeOutcome(R), 1);
+}
+
+TEST_P(AllProfiles, MissingSuperclassIsLoadingError) {
+  ClassFile CF = makeHelloClass("Orphan");
+  CF.SuperClass = "does/not/Exist";
+  JvmResult R = runOn(policy(), {{"Orphan", serialize(CF)}}, "Orphan");
+  EXPECT_FALSE(R.Invoked);
+  EXPECT_EQ(R.Error, JvmErrorKind::NoClassDefFoundError);
+}
+
+TEST_P(AllProfiles, CircularHierarchyDetected) {
+  ClassFile A = makeHelloClass("CircA");
+  A.SuperClass = "CircB";
+  ClassFile B = makeHelloClass("CircB");
+  B.SuperClass = "CircA";
+  JvmResult R = runOn(
+      policy(), {{"CircA", serialize(A)}, {"CircB", serialize(B)}},
+      "CircA");
+  EXPECT_FALSE(R.Invoked);
+  EXPECT_EQ(R.Error, JvmErrorKind::ClassCircularityError);
+  EXPECT_EQ(encodeOutcome(R), 1);
+}
+
+TEST_P(AllProfiles, WrongNameClassRejected) {
+  Bytes Hello = serialize(makeHelloClass("RealName"));
+  JvmResult R = runOn(policy(), {{"FileName", Hello}}, "FileName");
+  EXPECT_FALSE(R.Invoked);
+  EXPECT_EQ(R.Error, JvmErrorKind::NoClassDefFoundError);
+}
+
+TEST_P(AllProfiles, GarbageBytesAreClassFormatError) {
+  Bytes Garbage = {0xCA, 0xFE, 0xBA, 0xBE, 0x00};
+  JvmResult R = runOn(policy(), {{"Garbage", Garbage}}, "Garbage");
+  EXPECT_FALSE(R.Invoked);
+  EXPECT_EQ(R.Error, JvmErrorKind::ClassFormatError);
+  EXPECT_EQ(encodeOutcome(R), 1);
+}
+
+static std::string
+profileName(const ::testing::TestParamInfo<int> &Info) {
+  static const char *Names[] = {"HotSpot7", "HotSpot8", "HotSpot9", "J9",
+                                "GIJ"};
+  return Names[Info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(FiveJvms, AllProfiles, ::testing::Range(0, 5),
+                         profileName);
+
+TEST(Pipeline, UnsupportedVersionRejectedByOldJvms) {
+  ClassFile CF = makeHelloClass("New");
+  CF.MajorVersion = MajorVersionJava8; // 52
+  Bytes Data = serialize(CF);
+  // HotSpot7 (max 51) and GIJ (max 51) reject; HotSpot8 runs it.
+  JvmResult OnHs7 = runOn(makeHotSpot7Policy(), {{"New", Data}}, "New");
+  EXPECT_EQ(OnHs7.Error, JvmErrorKind::UnsupportedClassVersionError);
+  JvmResult OnGij = runOn(makeGijPolicy(), {{"New", Data}}, "New");
+  EXPECT_EQ(OnGij.Error, JvmErrorKind::UnsupportedClassVersionError);
+  JvmResult OnHs8 = runOn(makeHotSpot8Policy(), {{"New", Data}}, "New");
+  EXPECT_TRUE(OnHs8.Invoked) << OnHs8.toString();
+}
+
+TEST(Pipeline, MainMethodMissingIsRuntimePhase) {
+  ClassFile CF = makeHelloClass("NoMain");
+  CF.Methods.pop_back(); // Drop main, keep <init>.
+  JvmResult R =
+      runOn(makeHotSpot8Policy(), {{"NoMain", serialize(CF)}}, "NoMain");
+  EXPECT_FALSE(R.Invoked);
+  EXPECT_EQ(R.Error, JvmErrorKind::MainMethodNotFound);
+  EXPECT_EQ(encodeOutcome(R), 4);
+}
+
+TEST(Pipeline, NonStaticMainRejectedExceptOnGij) {
+  ClassFile CF = makeHelloClass("InstMain");
+  CF.findMethod("main", "([Ljava/lang/String;)V")->AccessFlags =
+      ACC_PUBLIC; // drop static
+  // With an instance main the receiver occupies slot 0; give locals room.
+  CF.findMethod("main", "([Ljava/lang/String;)V")->Code->MaxLocals = 2;
+  Bytes Data = serialize(CF);
+  JvmResult OnHs = runOn(makeHotSpot8Policy(), {{"InstMain", Data}},
+                         "InstMain");
+  EXPECT_EQ(OnHs.Error, JvmErrorKind::MainMethodNotFound);
+  JvmResult OnGij = runOn(makeGijPolicy(), {{"InstMain", Data}},
+                          "InstMain");
+  EXPECT_TRUE(OnGij.Invoked) << OnGij.toString();
+}
+
+TEST(Pipeline, ClinitRunsBeforeMain) {
+  // Static COUNTER initialized in <clinit>, printed by main.
+  ClassFile CF = makeHelloClass("WithClinit");
+  FieldInfo F;
+  F.Name = "COUNTER";
+  F.Descriptor = "I";
+  F.AccessFlags = ACC_PUBLIC | ACC_STATIC;
+  CF.Fields.push_back(F);
+  {
+    MethodInfo M;
+    M.Name = "<clinit>";
+    M.Descriptor = "()V";
+    M.AccessFlags = ACC_STATIC;
+    CodeBuilder B(CF.CP);
+    B.pushInt(77);
+    B.putStatic("WithClinit", "COUNTER", "I");
+    B.emit(OP_return);
+    CodeAttr Code;
+    Code.MaxStack = 1;
+    Code.MaxLocals = 0;
+    Code.Code = B.build();
+    M.Code = std::move(Code);
+    CF.Methods.push_back(std::move(M));
+  }
+  // Replace main to print COUNTER.
+  MethodInfo *Main = CF.findMethod("main", "([Ljava/lang/String;)V");
+  CodeBuilder B(CF.CP);
+  B.getStatic("java/lang/System", "out", "Ljava/io/PrintStream;");
+  B.getStatic("WithClinit", "COUNTER", "I");
+  B.invokeVirtual("java/io/PrintStream", "println", "(I)V");
+  B.emit(OP_return);
+  Main->Code->Code = B.build();
+
+  JvmResult R = runOn(makeHotSpot8Policy(),
+                      {{"WithClinit", serialize(CF)}}, "WithClinit");
+  ASSERT_TRUE(R.Invoked) << R.toString();
+  ASSERT_EQ(R.Output.size(), 1u);
+  EXPECT_EQ(R.Output[0], "77");
+}
+
+TEST(Pipeline, ThrowingClinitIsInitializationError) {
+  ClassFile CF = makeHelloClass("BadInit");
+  MethodInfo M;
+  M.Name = "<clinit>";
+  M.Descriptor = "()V";
+  M.AccessFlags = ACC_STATIC;
+  CodeBuilder B(CF.CP);
+  B.pushInt(1);
+  B.pushInt(0);
+  B.emit(OP_idiv); // ArithmeticException during initialization.
+  B.emit(OP_pop);
+  B.emit(OP_return);
+  CodeAttr Code;
+  Code.MaxStack = 2;
+  Code.MaxLocals = 0;
+  Code.Code = B.build();
+  M.Code = std::move(Code);
+  CF.Methods.push_back(std::move(M));
+
+  JvmResult R = runOn(makeHotSpot8Policy(),
+                      {{"BadInit", serialize(CF)}}, "BadInit");
+  EXPECT_FALSE(R.Invoked);
+  EXPECT_EQ(R.Error, JvmErrorKind::ExceptionInInitializerError);
+  EXPECT_EQ(encodeOutcome(R), 3);
+}
+
+TEST(Pipeline, FinalSuperclassRejectedWhereChecked) {
+  ClassFile CF = makeHelloClass("SubOfString");
+  CF.SuperClass = "java/lang/String"; // final in every library version.
+  Bytes Data = serialize(CF);
+  JvmResult OnHs = runOn(makeHotSpot8Policy(), {{"SubOfString", Data}},
+                         "SubOfString");
+  EXPECT_EQ(OnHs.Error, JvmErrorKind::VerifyError);
+  EXPECT_EQ(encodeOutcome(OnHs), 2);
+  JvmResult OnGij =
+      runOn(makeGijPolicy(), {{"SubOfString", Data}}, "SubOfString");
+  EXPECT_TRUE(OnGij.Invoked) << "GIJ does not check final superclasses";
+}
+
+TEST(Pipeline, ClassWithInterfaceSuperclassIsIncompatible) {
+  ClassFile CF = makeHelloClass("SubOfIface");
+  CF.SuperClass = "java/lang/Runnable";
+  JvmResult R = runOn(makeHotSpot8Policy(),
+                      {{"SubOfIface", serialize(CF)}}, "SubOfIface");
+  EXPECT_FALSE(R.Invoked);
+  EXPECT_EQ(R.Error, JvmErrorKind::IncompatibleClassChangeError);
+}
+
+TEST(Pipeline, UncaughtUserExceptionIsRuntimeOutcome) {
+  ClassFile CF = makeHelloClass("Thrower");
+  MethodInfo *Main = CF.findMethod("main", "([Ljava/lang/String;)V");
+  CodeBuilder B(CF.CP);
+  B.newObject("java/lang/RuntimeException");
+  B.emit(OP_dup);
+  B.invokeSpecial("java/lang/RuntimeException", "<init>", "()V");
+  B.emit(OP_athrow);
+  Main->Code->Code = B.build();
+  Main->Code->MaxStack = 2;
+  JvmResult R = runOn(makeHotSpot8Policy(), {{"Thrower", serialize(CF)}},
+                      "Thrower");
+  EXPECT_FALSE(R.Invoked);
+  EXPECT_EQ(R.Error, JvmErrorKind::UserException);
+  EXPECT_EQ(encodeOutcome(R), 4);
+}
+
+TEST(Pipeline, EnvironmentSkewProducesCompatibilityDiscrepancy) {
+  // A class whose superclass exists in jre8 but not in jre9 (sun/*
+  // removal): HotSpot8 runs it, HotSpot9 cannot load it (Definition 1
+  // discrepancy caused by e1 != e2).
+  ClassFile CF = makeHelloClass("UsesSunInternal");
+  CF.SuperClass = "sun/misc/BASE64Encoder";
+  Bytes Data = serialize(CF);
+  JvmResult OnHs8 = runOn(makeHotSpot8Policy(),
+                          {{"UsesSunInternal", Data}}, "UsesSunInternal");
+  EXPECT_TRUE(OnHs8.Invoked) << OnHs8.toString();
+  JvmResult OnHs9 = runOn(makeHotSpot9Policy(),
+                          {{"UsesSunInternal", Data}}, "UsesSunInternal");
+  EXPECT_EQ(OnHs9.Error, JvmErrorKind::NoClassDefFoundError);
+}

@@ -1,0 +1,75 @@
+//===- tests/jvm/policy_test.cpp -------------------------------------------===//
+//
+// The five JVM profiles of Table 3 and their documented differences.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jvm/Policy.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+
+TEST(Policy, FiveProfilesInPaperOrder) {
+  auto All = allJvmPolicies();
+  ASSERT_EQ(All.size(), 5u);
+  EXPECT_EQ(All[0].Name, "HotSpot for Java 7");
+  EXPECT_EQ(All[1].Name, "HotSpot for Java 8");
+  EXPECT_EQ(All[2].Name, "HotSpot for Java 9");
+  EXPECT_EQ(All[3].Name, "J9 for IBM SDK8");
+  EXPECT_EQ(All[4].Name, "GIJ 5.1.0");
+}
+
+TEST(Policy, ReferenceJvmIsHotSpot9) {
+  EXPECT_EQ(referenceJvmPolicy().Name, "HotSpot for Java 9");
+}
+
+TEST(Policy, VersionCeilings) {
+  EXPECT_EQ(makeHotSpot7Policy().MaxClassFileMajor, 51);
+  EXPECT_EQ(makeHotSpot8Policy().MaxClassFileMajor, 52);
+  EXPECT_EQ(makeHotSpot9Policy().MaxClassFileMajor, 53);
+  EXPECT_EQ(makeJ9Policy().MaxClassFileMajor, 52);
+  // GIJ conforms to 1.5 but processes version-51 classes (Problem 4).
+  EXPECT_EQ(makeGijPolicy().MaxClassFileMajor, 51);
+}
+
+TEST(Policy, Problem1ClinitStance) {
+  EXPECT_FALSE(makeHotSpot8Policy().StrictClinitStatic);
+  EXPECT_FALSE(makeHotSpot9Policy().StrictClinitStatic)
+      << "the SE 9 clarification HotSpot matches";
+  EXPECT_TRUE(makeJ9Policy().StrictClinitStatic);
+}
+
+TEST(Policy, Problem2VerificationStances) {
+  EXPECT_EQ(makeHotSpot8Policy().Verification, CheckMode::Eager);
+  EXPECT_EQ(makeJ9Policy().Verification, CheckMode::Lazy)
+      << "J9 verifies a method only when it is invoked";
+  EXPECT_TRUE(makeGijPolicy().CheckUninitializedMerge);
+  EXPECT_FALSE(makeHotSpot8Policy().CheckUninitializedMerge);
+  EXPECT_TRUE(makeGijPolicy().StrictInvokeArgTypes);
+  EXPECT_FALSE(makeHotSpot8Policy().StrictInvokeArgTypes);
+}
+
+TEST(Policy, Problem3ThrowsAccessibility) {
+  EXPECT_TRUE(makeHotSpot8Policy().CheckThrowsAccessibility);
+  EXPECT_FALSE(makeJ9Policy().CheckThrowsAccessibility);
+  EXPECT_FALSE(makeGijPolicy().CheckThrowsAccessibility);
+}
+
+TEST(Policy, Problem4GijLeniency) {
+  JvmPolicy Gij = makeGijPolicy();
+  EXPECT_FALSE(Gij.CheckInterfaceSuper);
+  EXPECT_FALSE(Gij.CheckInterfaceMemberFlags);
+  EXPECT_FALSE(Gij.CheckInitShape);
+  EXPECT_FALSE(Gij.CheckDuplicateFields);
+  EXPECT_TRUE(Gij.AllowInterfaceMain);
+  EXPECT_FALSE(Gij.RequireStaticMain);
+}
+
+TEST(Policy, RuntimeLibraryAssignment) {
+  EXPECT_EQ(makeHotSpot7Policy().RuntimeLib, "jre7");
+  EXPECT_EQ(makeHotSpot8Policy().RuntimeLib, "jre8");
+  EXPECT_EQ(makeHotSpot9Policy().RuntimeLib, "jre9");
+  EXPECT_EQ(makeJ9Policy().RuntimeLib, "jre8");
+  EXPECT_EQ(makeGijPolicy().RuntimeLib, "jre5");
+}

@@ -1,0 +1,165 @@
+//===- tests/jvm/preverifier_test.cpp --------------------------------------===//
+//
+// The structural pre-verifier (J9's eager pass under lazy full
+// verification): depth-only dataflow, max_stack/max_locals limits, and
+// the division of labor with the lazy type checker.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../TestHelpers.h"
+#include "jvm/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+using namespace classfuzz::testhelpers;
+
+namespace {
+
+ClassFile makeCodeClass(Bytes Code, uint16_t MaxStack, uint16_t MaxLocals,
+                        const std::string &Desc = "()V") {
+  ClassFile CF;
+  CF.ThisClass = "T";
+  CF.SuperClass = "java/lang/Object";
+  MethodInfo M;
+  M.Name = "m";
+  M.Descriptor = Desc;
+  M.AccessFlags = ACC_PUBLIC | ACC_STATIC;
+  CodeAttr Attr;
+  Attr.MaxStack = MaxStack;
+  Attr.MaxLocals = MaxLocals;
+  Attr.Code = std::move(Code);
+  M.Code = std::move(Attr);
+  CF.Methods.push_back(std::move(M));
+  return CF;
+}
+
+std::optional<CheckFailure> preverify(const ClassFile &CF) {
+  return verifyMethodStructural(CF, CF.Methods[0], makeJ9Policy(),
+                                nullptr);
+}
+
+} // namespace
+
+TEST(PreVerifier, AcceptsBalancedCode) {
+  ClassFile CF =
+      makeCodeClass({OP_iconst_1, OP_iconst_2, OP_iadd, OP_pop,
+                     OP_return},
+                    2, 0);
+  EXPECT_FALSE(preverify(CF).has_value());
+}
+
+TEST(PreVerifier, CatchesStackOverflow) {
+  ClassFile CF =
+      makeCodeClass({OP_iconst_1, OP_iconst_2, OP_pop, OP_pop,
+                     OP_return},
+                    1, 0); // Needs depth 2, declares 1.
+  auto F = preverify(CF);
+  ASSERT_TRUE(F.has_value());
+  EXPECT_NE(F->Message.find("overflow"), std::string::npos);
+}
+
+TEST(PreVerifier, CatchesUnderflow) {
+  ClassFile CF = makeCodeClass({OP_pop, OP_return}, 2, 0);
+  auto F = preverify(CF);
+  ASSERT_TRUE(F.has_value());
+  EXPECT_NE(F->Message.find("stack shape inconsistent"),
+            std::string::npos);
+}
+
+TEST(PreVerifier, CatchesDepthMismatchAtJoin) {
+  // One path reaches the join with depth 1, the other with depth 0.
+  Bytes Code = {
+      OP_iconst_0,         // 0
+      OP_ifeq, 0x00, 0x05, // 1 -> 6
+      OP_iconst_1,         // 4
+      OP_nop,              // 5 (falls into 6 with depth 1)
+      OP_return,           // 6 (reached with depth 0 from the branch)
+  };
+  ClassFile CF = makeCodeClass(Code, 2, 0);
+  auto F = preverify(CF);
+  ASSERT_TRUE(F.has_value());
+  EXPECT_NE(F->Message.find("stack shape inconsistent"),
+            std::string::npos);
+}
+
+TEST(PreVerifier, CatchesArgsExceedingMaxLocals) {
+  ClassFile CF = makeCodeClass({OP_return}, 0, 1, "(II)V");
+  auto F = preverify(CF);
+  ASSERT_TRUE(F.has_value());
+  EXPECT_NE(F->Message.find("max_locals"), std::string::npos);
+}
+
+TEST(PreVerifier, CatchesLocalIndexOutOfRange) {
+  ClassFile CF = makeCodeClass({OP_iload, 5, OP_pop, OP_return}, 1, 2);
+  EXPECT_TRUE(preverify(CF).has_value());
+}
+
+TEST(PreVerifier, IgnoresTypeConfusion) {
+  // An int stored, loaded as a reference: depth-wise fine; only the
+  // full (lazy) verifier rejects it. This is exactly the J9 behavior
+  // that lets type-broken-but-uninvoked methods load.
+  ClassFile CF = makeCodeClass(
+      {OP_iconst_0, OP_istore_0, OP_aload_0, OP_pop, OP_return}, 1, 1);
+  EXPECT_FALSE(preverify(CF).has_value());
+  // The full verifier does reject it.
+  ClassLookupFn NoLookup;
+  EXPECT_TRUE(verifyMethod(CF, CF.Methods[0], makeJ9Policy(), NoLookup,
+                           nullptr)
+                  .has_value());
+}
+
+TEST(PreVerifier, HandlerEntryDepthIsOne) {
+  // Handler pops the exception: balanced. Protected region is [0, 1).
+  ClassFile CF = makeCodeClass(
+      {OP_nop, OP_goto, 0x00, 0x04, /*4:*/ OP_pop, OP_return}, 1, 0);
+  ExceptionTableEntry E;
+  E.StartPc = 0;
+  E.EndPc = 1;
+  E.HandlerPc = 4;
+  CF.Methods[0].Code->ExceptionTable.push_back(E);
+  EXPECT_FALSE(preverify(CF).has_value());
+}
+
+TEST(PreVerifier, EndToEndJ9RejectsEagerlyHotSpotToo) {
+  // A broken-depth method that is never invoked: with the pre-verifier,
+  // J9 now rejects it at link time just like HotSpot.
+  ClassFile CF = makeHelloClass("Depth");
+  MethodInfo M;
+  M.Name = "unused";
+  M.Descriptor = "()V";
+  M.AccessFlags = ACC_PUBLIC | ACC_STATIC;
+  CodeAttr Code;
+  Code.MaxStack = 0; // iconst_0 needs 1.
+  Code.MaxLocals = 0;
+  Code.Code = {OP_iconst_0, OP_pop, OP_return};
+  M.Code = std::move(Code);
+  CF.Methods.push_back(std::move(M));
+  Bytes Data = serialize(CF);
+  JvmResult OnJ9 = runOn(makeJ9Policy(), {{"Depth", Data}}, "Depth");
+  EXPECT_EQ(OnJ9.Error, JvmErrorKind::VerifyError);
+  EXPECT_EQ(encodeOutcome(OnJ9), 2);
+}
+
+TEST(PreVerifier, TypeOnlyBreakageStillPassesJ9) {
+  // The complementary case: type confusion in an uninvoked method loads
+  // fine on J9 (lazy full verification) but not on HotSpot.
+  ClassFile CF = makeHelloClass("TypeOnly");
+  MethodInfo M;
+  M.Name = "unused";
+  M.Descriptor = "()V";
+  M.AccessFlags = ACC_PUBLIC | ACC_STATIC;
+  CodeAttr Code;
+  Code.MaxStack = 1;
+  Code.MaxLocals = 1;
+  Code.Code = {OP_iconst_0, OP_istore_0, OP_aload_0, OP_pop, OP_return};
+  M.Code = std::move(Code);
+  CF.Methods.push_back(std::move(M));
+  Bytes Data = serialize(CF);
+  JvmResult OnJ9 =
+      runOn(makeJ9Policy(), {{"TypeOnly", Data}}, "TypeOnly");
+  EXPECT_TRUE(OnJ9.Invoked) << OnJ9.toString();
+  JvmResult OnHs =
+      runOn(makeHotSpot8Policy(), {{"TypeOnly", Data}}, "TypeOnly");
+  EXPECT_EQ(OnHs.Error, JvmErrorKind::VerifyError);
+}

@@ -1,0 +1,335 @@
+//===- tests/jvm/verifier_test.cpp -----------------------------------------===//
+//
+// Bytecode verifier: structural checks, type dataflow, merge behavior,
+// and the Problem 2 policy differences.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../TestHelpers.h"
+#include "classfile/ClassReader.h"
+#include "jvm/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+using namespace classfuzz::testhelpers;
+
+namespace {
+
+/// Builds a one-method class ("T.m") around raw code bytes.
+ClassFile makeCodeClass(Bytes Code, uint16_t MaxStack, uint16_t MaxLocals,
+                        const std::string &Desc = "()V",
+                        uint16_t Flags = ACC_PUBLIC | ACC_STATIC) {
+  ClassFile CF;
+  CF.ThisClass = "T";
+  CF.SuperClass = "java/lang/Object";
+  MethodInfo M;
+  M.Name = "m";
+  M.Descriptor = Desc;
+  M.AccessFlags = Flags;
+  CodeAttr Attr;
+  Attr.MaxStack = MaxStack;
+  Attr.MaxLocals = MaxLocals;
+  Attr.Code = std::move(Code);
+  M.Code = std::move(Attr);
+  CF.Methods.push_back(std::move(M));
+  return CF;
+}
+
+class VerifierTest : public ::testing::Test {
+protected:
+  VerifierTest() : Lib(buildRuntimeLibrary("jre8")) {
+    Lookup = [this](const std::string &Name) -> const ClassFile * {
+      auto It = Cache.find(Name);
+      if (It != Cache.end())
+        return &It->second;
+      const Bytes *Data = Lib.lookup(Name);
+      if (!Data)
+        return nullptr;
+      auto Parsed = parseClassFile(*Data);
+      if (!Parsed)
+        return nullptr;
+      return &Cache.emplace(Name, Parsed.take()).first->second;
+    };
+  }
+
+  std::optional<CheckFailure> verify(const ClassFile &CF,
+                                     const JvmPolicy &Policy) {
+    return verifyMethod(CF, CF.Methods[0], Policy, Lookup, nullptr);
+  }
+
+  ClassPath Lib;
+  std::map<std::string, ClassFile> Cache;
+  ClassLookupFn Lookup;
+};
+
+} // namespace
+
+TEST_F(VerifierTest, AcceptsTrivialReturn) {
+  ClassFile CF = makeCodeClass({OP_return}, 0, 0);
+  EXPECT_FALSE(verify(CF, makeHotSpot8Policy()).has_value());
+}
+
+TEST_F(VerifierTest, RejectsEmptyCode) {
+  ClassFile CF = makeCodeClass({}, 0, 0);
+  auto F = verify(CF, makeHotSpot8Policy());
+  ASSERT_TRUE(F.has_value());
+  EXPECT_EQ(F->Kind, JvmErrorKind::VerifyError);
+}
+
+TEST_F(VerifierTest, RejectsFallingOffCode) {
+  ClassFile CF = makeCodeClass({OP_nop}, 0, 0);
+  EXPECT_TRUE(verify(CF, makeHotSpot8Policy()).has_value());
+}
+
+TEST_F(VerifierTest, RejectsStackUnderflow) {
+  ClassFile CF = makeCodeClass({OP_pop, OP_return}, 1, 0);
+  auto F = verify(CF, makeHotSpot8Policy());
+  ASSERT_TRUE(F.has_value());
+  EXPECT_NE(F->Message.find("underflow"), std::string::npos);
+}
+
+TEST_F(VerifierTest, RejectsStackOverflow) {
+  ClassFile CF =
+      makeCodeClass({OP_iconst_0, OP_iconst_0, OP_return}, 1, 0);
+  auto F = verify(CF, makeHotSpot8Policy());
+  ASSERT_TRUE(F.has_value());
+  EXPECT_NE(F->Message.find("overflow"), std::string::npos);
+}
+
+TEST_F(VerifierTest, RejectsBranchIntoOperand) {
+  // 0: goto 2 -- offset 2 is the middle of the goto instruction.
+  ClassFile CF = makeCodeClass({OP_goto, 0x00, 0x02, OP_return}, 0, 0);
+  EXPECT_TRUE(verify(CF, makeHotSpot8Policy()).has_value());
+}
+
+TEST_F(VerifierTest, RejectsWrongReturnKind) {
+  ClassFile CF = makeCodeClass({OP_iconst_0, OP_ireturn}, 1, 0, "()V");
+  auto F = verify(CF, makeHotSpot8Policy());
+  ASSERT_TRUE(F.has_value());
+  EXPECT_NE(F->Message.find("return"), std::string::npos);
+}
+
+TEST_F(VerifierTest, AcceptsIntReturn) {
+  ClassFile CF = makeCodeClass({OP_iconst_3, OP_ireturn}, 1, 0, "()I");
+  EXPECT_FALSE(verify(CF, makeHotSpot8Policy()).has_value());
+}
+
+TEST_F(VerifierTest, RejectsReadingWrongLocalKind) {
+  // Store an int, load it as a reference.
+  ClassFile CF = makeCodeClass(
+      {OP_iconst_0, OP_istore_0, OP_aload_0, OP_pop, OP_return}, 1, 1);
+  auto F = verify(CF, makeHotSpot8Policy());
+  ASSERT_TRUE(F.has_value());
+  EXPECT_EQ(F->Kind, JvmErrorKind::VerifyError);
+}
+
+TEST_F(VerifierTest, RejectsLocalIndexOutOfRange) {
+  ClassFile CF = makeCodeClass({OP_iload_2, OP_pop, OP_return}, 1, 1);
+  EXPECT_TRUE(verify(CF, makeHotSpot8Policy()).has_value());
+}
+
+TEST_F(VerifierTest, RejectsArgsExceedingMaxLocals) {
+  ClassFile CF = makeCodeClass({OP_return}, 0, 0, "(II)V");
+  EXPECT_TRUE(verify(CF, makeHotSpot8Policy()).has_value());
+}
+
+TEST_F(VerifierTest, StackShapeInconsistentAtMerge) {
+  // Two paths reach offset 6 with different stack depths: the ifeq path
+  // arrives empty, the fall-through path pushed an int.
+  Bytes Code = {
+      OP_iconst_0,              // 0
+      OP_ifeq, 0x00, 0x05,      // 1 -> 6
+      OP_iconst_1,              // 4
+      /*5*/ OP_nop,             // falls into 6 with depth 1
+      /*6*/ OP_return,          // join: depth 0 vs 1
+  };
+  ClassFile CF = makeCodeClass(Code, 2, 0);
+  auto F = verify(CF, makeHotSpot8Policy());
+  ASSERT_TRUE(F.has_value());
+  EXPECT_NE(F->Message.find("stack shape inconsistent"),
+            std::string::npos);
+}
+
+TEST_F(VerifierTest, AcceptsConsistentDiamond) {
+  // if (0) x=1 else x=2; return  -- both arms store an int; built with
+  // CodeBuilder for correct offsets.
+  ClassFile CF;
+  CF.ThisClass = "T";
+  CF.SuperClass = "java/lang/Object";
+  CodeBuilder B(CF.CP);
+  auto Else = B.newLabel();
+  auto End = B.newLabel();
+  B.pushInt(0);
+  B.branch(OP_ifeq, Else);
+  B.pushInt(1);
+  B.storeLocal('i', 0);
+  B.branch(OP_goto, End);
+  B.bind(Else);
+  B.pushInt(2);
+  B.storeLocal('i', 0);
+  B.bind(End);
+  B.emit(OP_return);
+  MethodInfo M;
+  M.Name = "m";
+  M.Descriptor = "()V";
+  M.AccessFlags = ACC_PUBLIC | ACC_STATIC;
+  CodeAttr Attr;
+  Attr.MaxStack = 1;
+  Attr.MaxLocals = 1;
+  Attr.Code = B.build();
+  M.Code = std::move(Attr);
+  CF.Methods.push_back(std::move(M));
+  EXPECT_FALSE(verify(CF, makeHotSpot8Policy()).has_value());
+}
+
+TEST_F(VerifierTest, Problem2StrictInvokeArgTypes) {
+  // Pass a String where java/util/Map is declared (the M1433982529
+  // pattern): GIJ rejects, HotSpot accepts.
+  ClassFile CF;
+  CF.ThisClass = "T";
+  CF.SuperClass = "java/lang/Object";
+  CodeBuilder B(CF.CP);
+  B.pushString("not-a-map");
+  B.invokeStatic("java/lang/Boolean", "getBoolean",
+                 "(Ljava/util/Map;)Z"); // Mutated parameter type.
+  B.emit(OP_pop);
+  B.emit(OP_return);
+  MethodInfo M;
+  M.Name = "m";
+  M.Descriptor = "()V";
+  M.AccessFlags = ACC_PUBLIC | ACC_STATIC;
+  CodeAttr Attr;
+  Attr.MaxStack = 1;
+  Attr.MaxLocals = 0;
+  Attr.Code = B.build();
+  M.Code = std::move(Attr);
+  CF.Methods.push_back(std::move(M));
+
+  EXPECT_FALSE(verify(CF, makeHotSpot8Policy()).has_value())
+      << "HotSpot misses the incompatible reference argument";
+  auto OnGij = verify(CF, makeGijPolicy());
+  ASSERT_TRUE(OnGij.has_value()) << "GIJ flags the unsafe cast";
+  EXPECT_EQ(OnGij->Kind, JvmErrorKind::VerifyError);
+}
+
+TEST_F(VerifierTest, Problem2UninitializedMerge) {
+  // Merge of an initialized and an uninitialized object: GIJ reports a
+  // VerifyError, HotSpot lets it merge to top (and only fails on use).
+  ClassFile CF2;
+  CF2.ThisClass = "T";
+  CF2.SuperClass = "java/lang/Object";
+  CodeBuilder B2(CF2.CP);
+  auto Else2 = B2.newLabel();
+  auto End2 = B2.newLabel();
+  B2.pushInt(0);
+  B2.branch(OP_ifeq, Else2);
+  B2.newObject("java/lang/Object"); // Uninit on this path.
+  B2.branch(OP_goto, End2);
+  B2.bind(Else2);
+  B2.pushString("initialized"); // Ref on this path.
+  B2.bind(End2);
+  B2.emit(OP_pop);
+  B2.emit(OP_return);
+  MethodInfo M;
+  M.Name = "m";
+  M.Descriptor = "()V";
+  M.AccessFlags = ACC_PUBLIC | ACC_STATIC;
+  CodeAttr Attr;
+  Attr.MaxStack = 1;
+  Attr.MaxLocals = 0;
+  Attr.Code = B2.build();
+  M.Code = std::move(Attr);
+  CF2.Methods.push_back(std::move(M));
+
+  EXPECT_FALSE(verify(CF2, makeHotSpot8Policy()).has_value());
+  auto OnGij = verify(CF2, makeGijPolicy());
+  ASSERT_TRUE(OnGij.has_value());
+  EXPECT_NE(OnGij->Message.find("uninitialized"), std::string::npos);
+}
+
+TEST_F(VerifierTest, RejectsJsrRet) {
+  ClassFile CF = makeCodeClass({OP_jsr, 0x00, 0x03, OP_return}, 1, 0);
+  EXPECT_TRUE(verify(CF, makeHotSpot8Policy()).has_value());
+}
+
+TEST_F(VerifierTest, RejectsUndefinedOpcode) {
+  ClassFile CF = makeCodeClass({0xF4, OP_return}, 0, 0);
+  EXPECT_TRUE(verify(CF, makeHotSpot8Policy()).has_value());
+}
+
+TEST_F(VerifierTest, RejectsLdcOfBadIndex) {
+  ClassFile CF = makeCodeClass({OP_ldc, 0x63, OP_pop, OP_return}, 1, 0);
+  EXPECT_TRUE(verify(CF, makeHotSpot8Policy()).has_value());
+}
+
+TEST_F(VerifierTest, ExceptionHandlerFrameHasThrowable) {
+  // try { nop } catch (Throwable t) { astore_0 }; return.
+  ClassFile CF;
+  CF.ThisClass = "T";
+  CF.SuperClass = "java/lang/Object";
+  CodeBuilder B(CF.CP);
+  auto End = B.newLabel();
+  B.emit(OP_nop);                 // 0 (protected)
+  B.branch(OP_goto, End);         // 1
+  B.storeLocal('a', 0);           // 4: handler
+  B.bind(End);
+  B.emit(OP_return);              // 5
+  MethodInfo M;
+  M.Name = "m";
+  M.Descriptor = "()V";
+  M.AccessFlags = ACC_PUBLIC | ACC_STATIC;
+  CodeAttr Attr;
+  Attr.MaxStack = 1;
+  Attr.MaxLocals = 1;
+  Attr.Code = B.build();
+  ExceptionTableEntry E;
+  E.StartPc = 0;
+  E.EndPc = 1;
+  E.HandlerPc = 4;
+  E.CatchType = "java/lang/Exception";
+  Attr.ExceptionTable.push_back(E);
+  M.Code = std::move(Attr);
+  CF.Methods.push_back(std::move(M));
+  EXPECT_FALSE(verify(CF, makeHotSpot8Policy()).has_value());
+}
+
+TEST_F(VerifierTest, RejectsMalformedExceptionTable) {
+  ClassFile CF = makeCodeClass({OP_nop, OP_return}, 0, 0);
+  ExceptionTableEntry E;
+  E.StartPc = 0;
+  E.EndPc = 0; // start >= end
+  E.HandlerPc = 1;
+  CF.Methods[0].Code->ExceptionTable.push_back(E);
+  EXPECT_TRUE(verify(CF, makeHotSpot8Policy()).has_value());
+}
+
+TEST_F(VerifierTest, AbstractMethodVerifiesTrivially) {
+  ClassFile CF;
+  CF.ThisClass = "T";
+  CF.SuperClass = "java/lang/Object";
+  MethodInfo M;
+  M.Name = "m";
+  M.Descriptor = "()V";
+  M.AccessFlags = ACC_PUBLIC | ACC_ABSTRACT;
+  CF.Methods.push_back(std::move(M));
+  EXPECT_FALSE(
+      verifyMethod(CF, CF.Methods[0], makeHotSpot8Policy(), Lookup,
+                   nullptr)
+          .has_value());
+}
+
+TEST_F(VerifierTest, IsRefAssignableWalksHierarchy) {
+  EXPECT_TRUE(isRefAssignable("java/lang/String", "java/lang/Object",
+                              Lookup));
+  EXPECT_TRUE(isRefAssignable("java/lang/NullPointerException",
+                              "java/lang/Exception", Lookup));
+  EXPECT_TRUE(isRefAssignable("java/lang/String", "java/lang/Comparable",
+                              Lookup));
+  EXPECT_FALSE(isRefAssignable("java/lang/String", "java/util/Map",
+                               Lookup));
+  EXPECT_FALSE(isRefAssignable("java/lang/Object", "java/lang/String",
+                               Lookup));
+  EXPECT_TRUE(isRefAssignable("Unknown", "java/lang/Object", Lookup));
+  EXPECT_FALSE(isRefAssignable("Unknown", "java/lang/String", Lookup));
+}

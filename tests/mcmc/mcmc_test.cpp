@@ -1,0 +1,143 @@
+//===- tests/mcmc/mcmc_test.cpp --------------------------------------------===//
+//
+// Metropolis-Hastings mutator selection (§2.2.2): parameter estimation,
+// ranking maintenance, and the selection-frequency property (Finding 2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mcmc/McmcSelector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace classfuzz;
+
+TEST(McmcParams, PaperParameterRangeReproduced) {
+  PBounds Bounds = estimatePBounds(129, 0.001);
+  // The paper: "the initial value of p needs to be in the range
+  // (0.022, 0.025)".
+  EXPECT_NEAR(Bounds.Lo, 0.023, 0.002);
+  EXPECT_NEAR(Bounds.Hi, 0.025, 0.002);
+}
+
+TEST(McmcParams, ChosenPSatisfiesAllConditions) {
+  double P = defaultGeometricP(129);
+  EXPECT_NEAR(P, 3.0 / 129.0, 1e-12);
+  EXPECT_TRUE(satisfiesPConditions(P, 129, 0.001));
+}
+
+TEST(McmcParams, ConditionBoundariesRejectOutliers) {
+  EXPECT_FALSE(satisfiesPConditions(0.001, 129))
+      << "condition 2: p >= 1/129";
+  EXPECT_FALSE(satisfiesPConditions(0.2, 129))
+      << "condition 3: the worst mutator keeps a chance";
+  EXPECT_FALSE(satisfiesPConditions(0.0, 129));
+  EXPECT_FALSE(satisfiesPConditions(1.0, 129));
+}
+
+TEST(McmcSelector, InitialRankingIsByIndex) {
+  McmcSelector S(10);
+  for (size_t I = 0; I != 10; ++I)
+    EXPECT_EQ(S.rankOf(I), I);
+}
+
+TEST(McmcSelector, SuccessRateBookkeeping) {
+  McmcSelector S(5);
+  S.recordOutcome(2, true);
+  S.recordOutcome(2, false);
+  S.recordOutcome(3, true);
+  EXPECT_DOUBLE_EQ(S.successRate(2), 0.5);
+  EXPECT_DOUBLE_EQ(S.successRate(3), 1.0);
+  EXPECT_DOUBLE_EQ(S.successRate(0), 1.0)
+      << "never-selected mutators carry the optimistic prior";
+  EXPECT_EQ(S.timesSelected(2), 2u);
+  EXPECT_EQ(S.timesSucceeded(2), 1u);
+}
+
+TEST(McmcSelector, RankingSortsBySuccessRateDescending) {
+  McmcSelector S(4);
+  S.recordOutcome(3, true); // rate 1.0
+  S.recordOutcome(1, true);
+  S.recordOutcome(1, false); // rate 0.5
+  S.recordOutcome(0, false); // rate 0.0
+  // Mutator 2 was never selected: optimistic prior 1.0 ties with 3;
+  // stable sort keeps the lower index first.
+  EXPECT_EQ(S.ranking()[0], 2u);
+  EXPECT_EQ(S.ranking()[1], 3u);
+  EXPECT_EQ(S.ranking()[2], 1u);
+  EXPECT_EQ(S.ranking()[3], 0u);
+  EXPECT_EQ(S.rankOf(3), 1u);
+  EXPECT_EQ(S.rankOf(1), 2u);
+}
+
+TEST(McmcSelector, BetterProposalsAlwaysAccepted) {
+  // With the current sample at the bottom rank, any proposal has
+  // k2 <= k1, so acceptance is immediate; selection must terminate and
+  // return a valid index.
+  McmcSelector S(129);
+  Rng R(5);
+  for (int I = 0; I != 1000; ++I) {
+    size_t Picked = S.selectNext(R);
+    EXPECT_LT(Picked, 129u);
+  }
+}
+
+TEST(McmcSelector, HighSuccessMutatorsSelectedMoreOften) {
+  // Finding 2 / the §2.2.2 proposition: mutators with higher success
+  // rates get selected more frequently. Simulate: mutator i succeeds
+  // with probability depending on its index tier.
+  const size_t N = 20;
+  // Scale p to the mutator count (the paper's 3/129 rule, here 3/20),
+  // otherwise the geometric bias is too flat for 20 ranks.
+  McmcSelector S(N, 3.0 / N);
+  Rng R(99);
+  std::vector<size_t> Freq(N, 0);
+  for (int Iter = 0; Iter != 8000; ++Iter) {
+    size_t Mu = S.selectNext(R);
+    ++Freq[Mu];
+    double TrueRate = Mu < 5 ? 0.8 : (Mu < 10 ? 0.3 : 0.02);
+    S.recordOutcome(Mu, R.nextBool(TrueRate));
+  }
+  size_t GoodTier = 0, BadTier = 0;
+  for (size_t I = 0; I != 5; ++I)
+    GoodTier += Freq[I];
+  for (size_t I = 10; I != 20; ++I)
+    BadTier += Freq[I];
+  // 5 good mutators should collectively out-draw 10 bad ones.
+  EXPECT_GT(GoodTier, BadTier);
+  // And the per-mutator average frequency gap should be clear.
+  EXPECT_GT(GoodTier / 5.0, 2.0 * (BadTier / 10.0));
+}
+
+TEST(McmcSelector, GeometricTargetApproximatedOnStableRanking) {
+  // With frozen success rates (no recording), the chain's stationary
+  // distribution over ranks should be near-geometric: rank 0 most
+  // likely, monotonically decreasing in tiers.
+  const size_t N = 129;
+  McmcSelector S(N);
+  // Pre-shape the ranking: mutator i gets success rate descending in i.
+  for (size_t I = 0; I != N; ++I) {
+    size_t Successes = N - I;
+    for (size_t K = 0; K != Successes; ++K)
+      S.recordOutcome(I, true);
+    for (size_t K = 0; K != I; ++K)
+      S.recordOutcome(I, false);
+  }
+  EXPECT_EQ(S.ranking()[0], 0u);
+
+  Rng R(7);
+  std::vector<size_t> Freq(N, 0);
+  for (int Iter = 0; Iter != 30000; ++Iter)
+    ++Freq[S.selectNext(R)];
+
+  size_t Top = 0, Mid = 0, Bottom = 0;
+  for (size_t I = 0; I != 20; ++I)
+    Top += Freq[S.ranking()[I]];
+  for (size_t I = 50; I != 70; ++I)
+    Mid += Freq[S.ranking()[I]];
+  for (size_t I = 109; I != 129; ++I)
+    Bottom += Freq[S.ranking()[I]];
+  EXPECT_GT(Top, Mid);
+  EXPECT_GT(Mid, Bottom);
+}

@@ -1,0 +1,347 @@
+//===- tests/mutation/mutator_test.cpp -------------------------------------===//
+//
+// The 129-mutator registry: count, categories, and per-mutator sanity
+// (parameterized over the whole registry), plus targeted behavior tests
+// for the mutators behind the paper's reported problems.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../TestHelpers.h"
+#include "classfile/ClassReader.h"
+#include "mutation/Engine.h"
+#include "mutation/Mutator.h"
+#include "runtime/RuntimeLib.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace classfuzz;
+using namespace classfuzz::testhelpers;
+
+namespace {
+
+std::vector<std::string> knownClasses() {
+  return buildRuntimeLibrary("jre8").names();
+}
+
+/// A JIR class rich enough for most mutators to be applicable.
+JirClass makeRichJir() {
+  ClassFile CF = makeHelloClass("Rich");
+  FieldInfo F;
+  F.Name = "x";
+  F.Descriptor = "I";
+  F.AccessFlags = ACC_PUBLIC;
+  CF.Fields.push_back(F);
+  CF.Interfaces.push_back("java/lang/Runnable");
+  MethodInfo M;
+  M.Name = "run";
+  M.Descriptor = "()V";
+  M.AccessFlags = ACC_PUBLIC;
+  CodeBuilder B(CF.CP);
+  B.pushInt(1);
+  B.storeLocal('i', 1);
+  B.loadLocal('i', 1);
+  B.emit(OP_pop);
+  B.emit(OP_return);
+  CodeAttr Code;
+  Code.MaxStack = 1;
+  Code.MaxLocals = 2;
+  Code.Code = B.build();
+  M.Code = std::move(Code);
+  M.Exceptions.push_back("java/lang/Exception");
+  CF.Methods.push_back(std::move(M));
+
+  auto J = lowerClassBytes(serialize(CF));
+  EXPECT_TRUE(J.ok());
+  return J.take();
+}
+
+} // namespace
+
+TEST(MutatorRegistry, HasExactly129Mutators) {
+  EXPECT_EQ(mutatorRegistry().size(), NumMutators);
+  EXPECT_EQ(mutatorRegistry().size(), 129u);
+}
+
+TEST(MutatorRegistry, SixStatementLevelMutators) {
+  size_t StmtLevel = 0;
+  for (const Mutator &Mu : mutatorRegistry())
+    if (Mu.Category == "JimpleStmt")
+      ++StmtLevel;
+  EXPECT_EQ(StmtLevel, 6u) << "123 syntactic + 6 Jimple-level (§2.2.1)";
+}
+
+TEST(MutatorRegistry, IdsAreUnique) {
+  std::set<std::string> Ids;
+  for (const Mutator &Mu : mutatorRegistry())
+    EXPECT_TRUE(Ids.insert(Mu.Id).second) << "duplicate id " << Mu.Id;
+}
+
+TEST(MutatorRegistry, CategoriesAreTheTable2Groups) {
+  const std::set<std::string> Expected = {
+      "Class",     "Interface", "Field",         "Method",
+      "Exception", "Parameter", "LocalVariable", "JimpleStmt"};
+  std::set<std::string> Seen;
+  for (const Mutator &Mu : mutatorRegistry()) {
+    EXPECT_TRUE(Expected.count(Mu.Category))
+        << Mu.Id << " has unknown category " << Mu.Category;
+    Seen.insert(Mu.Category);
+  }
+  EXPECT_EQ(Seen, Expected);
+}
+
+/// Every mutator, applied to a rich class, either reports inapplicable
+/// or actually changes the JIR.
+class EveryMutator : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EveryMutator, AppliesOrDeclines) {
+  const Mutator &Mu = mutatorRegistry()[GetParam()];
+  Rng R(GetParam() * 7919 + 1);
+  auto Known = knownClasses();
+  MutationContext Ctx{R, Known};
+
+  JirClass J = makeRichJir();
+  auto Before = assembleToBytes(J);
+  ASSERT_TRUE(Before.ok()) << Before.error();
+  bool Applied = Mu.Apply(J, Ctx);
+  if (!Applied)
+    return; // Legitimately inapplicable on this shape.
+  // Success must be observable: either the class bytes change or the
+  // mutated IR is no longer assemblable (which is also a real effect).
+  auto After = assembleToBytes(J);
+  EXPECT_TRUE(!After.ok() || *After != *Before)
+      << Mu.Id << " claimed success without changing anything";
+}
+
+TEST_P(EveryMutator, MutationEngineProducesParseableMutantsOrFails) {
+  Rng R(GetParam() * 104729 + 3);
+  auto Known = knownClasses();
+  MutationContext Ctx{R, Known};
+  Bytes Seed = serialize(makeHelloClass("Seed"));
+  MutationOutcome Out = mutateClass(Seed, GetParam(), Ctx);
+  if (!Out.Produced) {
+    EXPECT_FALSE(Out.Error.empty());
+    return;
+  }
+  auto Parsed = parseClassFile(Out.Data);
+  EXPECT_TRUE(Parsed.ok())
+      << mutatorRegistry()[GetParam()].Id << ": " << Parsed.error();
+  EXPECT_EQ(Parsed->ThisClass, Out.ClassName);
+  // §2.2.1: every mutant is supplemented with a main method.
+  EXPECT_NE(Parsed->findMethodByName("main"), nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All129, EveryMutator, ::testing::Range<size_t>(0, NumMutators),
+    [](const ::testing::TestParamInfo<size_t> &Info) {
+      std::string Id = mutatorRegistry()[Info.param].Id;
+      for (char &C : Id)
+        if (C == '.' || C == '-')
+          C = '_';
+      return Id;
+    });
+
+namespace {
+
+size_t indexOf(const std::string &Id) {
+  const auto &Reg = mutatorRegistry();
+  for (size_t I = 0; I != Reg.size(); ++I)
+    if (Reg[I].Id == Id)
+      return I;
+  ADD_FAILURE() << "unknown mutator " << Id;
+  return 0;
+}
+
+/// Applies one mutator by id to a hello seed and differentially runs the
+/// mutant on HotSpot8 and J9 (shared jre8 environment).
+struct MutantRun {
+  bool Produced = false;
+  JvmResult OnHotSpot;
+  JvmResult OnJ9;
+  JvmResult OnGij;
+};
+
+MutantRun runMutant(const std::string &MutatorId, uint64_t Seed = 42) {
+  MutantRun Out;
+  Rng R(Seed);
+  auto Known = knownClasses();
+  MutationContext Ctx{R, Known};
+  Bytes SeedData = serialize(makeHelloClass("Seed"));
+  MutationOutcome Mutant =
+      mutateClass(SeedData, indexOf(MutatorId), Ctx);
+  if (!Mutant.Produced)
+    return Out;
+  Out.Produced = true;
+  Out.OnHotSpot = runOn(makeHotSpot8Policy(),
+                        {{Mutant.ClassName, Mutant.Data}},
+                        Mutant.ClassName);
+  Out.OnJ9 = runOn(makeJ9Policy(), {{Mutant.ClassName, Mutant.Data}},
+                   Mutant.ClassName);
+  Out.OnGij = runOn(makeGijPolicy(), {{Mutant.ClassName, Mutant.Data}},
+                    Mutant.ClassName);
+  return Out;
+}
+
+} // namespace
+
+TEST(MutatorBehavior, NonStaticClinitReproducesProblem1) {
+  MutantRun Run = runMutant("method.insert-nonstatic-clinit");
+  ASSERT_TRUE(Run.Produced);
+  EXPECT_TRUE(Run.OnHotSpot.Invoked) << Run.OnHotSpot.toString();
+  EXPECT_EQ(Run.OnJ9.Error, JvmErrorKind::ClassFormatError);
+}
+
+TEST(MutatorBehavior, InaccessibleThrowsReproducesProblem3) {
+  MutantRun Run = runMutant("throws.add-inaccessible");
+  ASSERT_TRUE(Run.Produced);
+  EXPECT_EQ(Run.OnHotSpot.Error, JvmErrorKind::IllegalAccessError);
+  EXPECT_TRUE(Run.OnJ9.Invoked) << Run.OnJ9.toString();
+  EXPECT_TRUE(Run.OnGij.Invoked) << Run.OnGij.toString();
+}
+
+TEST(MutatorBehavior, FinalSuperclassMutantSplitsJvms) {
+  MutantRun Run = runMutant("class.set-super-final");
+  ASSERT_TRUE(Run.Produced);
+  EXPECT_EQ(Run.OnHotSpot.Error, JvmErrorKind::VerifyError);
+  EXPECT_TRUE(Run.OnGij.Invoked)
+      << "GIJ does not reject final superclasses: "
+      << Run.OnGij.toString();
+}
+
+TEST(MutatorBehavior, InterfaceSuperclassMutant) {
+  MutantRun Run = runMutant("class.set-super-interface");
+  ASSERT_TRUE(Run.Produced);
+  EXPECT_EQ(Run.OnHotSpot.Error,
+            JvmErrorKind::IncompatibleClassChangeError);
+  EXPECT_TRUE(Run.OnGij.Invoked) << Run.OnGij.toString();
+}
+
+TEST(MutatorBehavior, SelfSuperclassIsCircularity) {
+  MutantRun Run = runMutant("class.set-super-self");
+  ASSERT_TRUE(Run.Produced);
+  EXPECT_EQ(Run.OnHotSpot.Error, JvmErrorKind::ClassCircularityError);
+  EXPECT_EQ(Run.OnJ9.Error, JvmErrorKind::ClassCircularityError);
+}
+
+TEST(MutatorBehavior, MissingSuperclass) {
+  MutantRun Run = runMutant("class.set-super-missing");
+  ASSERT_TRUE(Run.Produced);
+  EXPECT_EQ(Run.OnHotSpot.Error, JvmErrorKind::NoClassDefFoundError);
+}
+
+TEST(MutatorBehavior, UnsupportedVersionSplitsJvms) {
+  MutantRun Run = runMutant("class.set-version-53");
+  ASSERT_TRUE(Run.Produced);
+  // 53 exceeds HotSpot8 (52), J9 (52), and GIJ (51).
+  EXPECT_EQ(Run.OnHotSpot.Error,
+            JvmErrorKind::UnsupportedClassVersionError);
+  EXPECT_EQ(Run.OnJ9.Error, JvmErrorKind::UnsupportedClassVersionError);
+  EXPECT_EQ(Run.OnGij.Error, JvmErrorKind::UnsupportedClassVersionError);
+}
+
+TEST(MutatorBehavior, DuplicateFieldSplitsGij) {
+  // Insert-duplicate on a class with a field.
+  Rng R(7);
+  auto Known = knownClasses();
+  MutationContext Ctx{R, Known};
+  ClassFile CF = makeHelloClass("HasField");
+  FieldInfo F;
+  F.Name = "x";
+  F.Descriptor = "I";
+  F.AccessFlags = ACC_PUBLIC;
+  CF.Fields.push_back(F);
+  MutationOutcome Mutant = mutateClass(
+      serialize(CF), indexOf("field.insert-duplicate"), Ctx);
+  ASSERT_TRUE(Mutant.Produced) << Mutant.Error;
+  JvmResult OnHs = runOn(makeHotSpot8Policy(),
+                         {{Mutant.ClassName, Mutant.Data}},
+                         Mutant.ClassName);
+  EXPECT_EQ(OnHs.Error, JvmErrorKind::ClassFormatError);
+  JvmResult OnGij = runOn(makeGijPolicy(),
+                          {{Mutant.ClassName, Mutant.Data}},
+                          Mutant.ClassName);
+  EXPECT_TRUE(OnGij.Invoked) << OnGij.toString();
+}
+
+TEST(MutatorBehavior, ZeroMaxStackTriggersVerifyError) {
+  MutantRun Run = runMutant("local.zero-max-stack");
+  ASSERT_TRUE(Run.Produced);
+  EXPECT_EQ(Run.OnHotSpot.Error, JvmErrorKind::VerifyError);
+  EXPECT_EQ(encodeOutcome(Run.OnHotSpot), 2);
+}
+
+TEST(MutatorBehavior, RetypeLocalTriggersVerifyError) {
+  // Retype on a seed with an int local.
+  Rng R(11);
+  auto Known = knownClasses();
+  MutationContext Ctx{R, Known};
+  ClassFile CF = makeHelloClass("IntLocal");
+  MethodInfo *Main = CF.findMethod("main", "([Ljava/lang/String;)V");
+  CodeBuilder B(CF.CP);
+  B.pushInt(5);
+  B.storeLocal('i', 1);
+  B.loadLocal('i', 1);
+  B.emit(OP_pop);
+  B.emit(OP_return);
+  Main->Code->Code = B.build();
+  Main->Code->MaxStack = 1;
+  Main->Code->MaxLocals = 2;
+  MutationOutcome Mutant = mutateClass(
+      serialize(CF), indexOf("local.retype-int-to-ref"), Ctx);
+  ASSERT_TRUE(Mutant.Produced) << Mutant.Error;
+  JvmResult OnHs = runOn(makeHotSpot8Policy(),
+                         {{Mutant.ClassName, Mutant.Data}},
+                         Mutant.ClassName);
+  EXPECT_EQ(OnHs.Error, JvmErrorKind::VerifyError);
+}
+
+TEST(MutatorBehavior, RenameClassProducesFreshName) {
+  Rng R(42);
+  auto Known = knownClasses();
+  MutationContext Ctx{R, Known};
+  Bytes SeedData = serialize(makeHelloClass("Seed"));
+  MutationOutcome Mutant =
+      mutateClass(SeedData, indexOf("class.rename"), Ctx);
+  ASSERT_TRUE(Mutant.Produced) << Mutant.Error;
+  EXPECT_NE(Mutant.ClassName, "Seed");
+  // Stored under the new name, the renamed hello class (which has no
+  // self-references) still runs; fetching it by the OLD name now fails
+  // with the wrong-name NoClassDefFoundError.
+  JvmResult UnderNew = runOn(makeHotSpot8Policy(),
+                             {{Mutant.ClassName, Mutant.Data}},
+                             Mutant.ClassName);
+  EXPECT_TRUE(UnderNew.Invoked) << UnderNew.toString();
+  JvmResult UnderOld =
+      runOn(makeHotSpot8Policy(), {{"Seed", Mutant.Data}}, "Seed");
+  EXPECT_EQ(UnderOld.Error, JvmErrorKind::NoClassDefFoundError);
+}
+
+TEST(MutatorBehavior, DeleteAllMethodsLeavesSupplementedMain) {
+  MutantRun Run = runMutant("method.delete-all");
+  ASSERT_TRUE(Run.Produced);
+  EXPECT_TRUE(Run.OnHotSpot.Invoked)
+      << "the supplemented main keeps the mutant invocable: "
+      << Run.OnHotSpot.toString();
+  ASSERT_FALSE(Run.OnHotSpot.Output.empty());
+  EXPECT_EQ(Run.OnHotSpot.Output[0], SupplementedMainMessage);
+}
+
+TEST(MutationEngine, RejectsUnloadableSeed) {
+  Rng R(1);
+  auto Known = knownClasses();
+  MutationContext Ctx{R, Known};
+  Bytes Garbage = {0xCA, 0xFE};
+  MutationOutcome Out = mutateClass(Garbage, 0, Ctx);
+  EXPECT_FALSE(Out.Produced);
+  EXPECT_NE(Out.Error.find("lowering"), std::string::npos);
+}
+
+TEST(MutationEngine, EnsureMainIsIdempotent) {
+  Bytes Seed = serialize(makeHelloClass("HasMain"));
+  auto J = lowerClassBytes(Seed);
+  ASSERT_TRUE(J.ok());
+  size_t Before = J->Methods.size();
+  ensureMainMethod(*J);
+  EXPECT_EQ(J->Methods.size(), Before) << "existing main is kept";
+}

@@ -1,0 +1,131 @@
+//===- tests/reducer/reducer_test.cpp --------------------------------------===//
+//
+// Hierarchical delta debugging (§2.3): reduction keeps the discrepancy,
+// removes irrelevant members, and respects the oracle budget.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../TestHelpers.h"
+#include "classfile/ClassReader.h"
+#include "reducer/Reducer.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+using namespace classfuzz::testhelpers;
+
+namespace {
+
+/// A bloated Figure 2-style class: the discrepancy-relevant non-static
+/// <clinit> plus unrelated fields and methods the reducer should strip.
+ClassFile makeBloatedDiscrepancyClass() {
+  ClassFile CF = makeHelloClass("Bloated");
+  for (int I = 0; I != 4; ++I) {
+    FieldInfo F;
+    F.Name = "junk" + std::to_string(I);
+    F.Descriptor = "I";
+    F.AccessFlags = ACC_PUBLIC;
+    CF.Fields.push_back(std::move(F));
+  }
+  for (int I = 0; I != 3; ++I) {
+    MethodInfo M;
+    M.Name = "noise" + std::to_string(I);
+    M.Descriptor = "()V";
+    M.AccessFlags = ACC_PUBLIC;
+    CodeAttr Code;
+    Code.MaxStack = 0;
+    Code.MaxLocals = 1;
+    Code.Code = {OP_return};
+    M.Code = std::move(Code);
+    CF.Methods.push_back(std::move(M));
+  }
+  // The discrepancy trigger (Problem 1).
+  MethodInfo Clinit;
+  Clinit.Name = "<clinit>";
+  Clinit.Descriptor = "()V";
+  Clinit.AccessFlags = ACC_PUBLIC | ACC_ABSTRACT;
+  CF.Methods.push_back(std::move(Clinit));
+  return CF;
+}
+
+/// Oracle: the class runs on HotSpot 8 but J9 reports a format error.
+bool problem1Persists(const std::string &Name, const Bytes &Data) {
+  JvmResult OnHs = runOn(makeHotSpot8Policy(), {{Name, Data}}, Name);
+  JvmResult OnJ9 = runOn(makeJ9Policy(), {{Name, Data}}, Name);
+  return OnHs.Invoked && !OnJ9.Invoked &&
+         OnJ9.Error == JvmErrorKind::ClassFormatError;
+}
+
+} // namespace
+
+TEST(Reducer, StripsIrrelevantMembersKeepingTheDiscrepancy) {
+  Bytes Input = serialize(makeBloatedDiscrepancyClass());
+  ASSERT_TRUE(problem1Persists("Bloated", Input));
+
+  ReductionStats Stats;
+  auto Reduced = reduceClassfile(Input, problem1Persists, &Stats);
+  ASSERT_TRUE(Reduced.ok()) << Reduced.error();
+  EXPECT_LT(Reduced->size(), Input.size());
+  EXPECT_TRUE(problem1Persists("Bloated", *Reduced));
+
+  auto CF = parseClassFile(*Reduced);
+  ASSERT_TRUE(CF.ok());
+  EXPECT_TRUE(CF->Fields.empty()) << "all junk fields removed";
+  EXPECT_NE(CF->findMethodByName("<clinit>"), nullptr)
+      << "the trigger survives";
+  EXPECT_EQ(CF->findMethodByName("noise0"), nullptr);
+  EXPECT_NE(CF->findMethodByName("main"), nullptr)
+      << "main is needed for 'runs on HotSpot'";
+  EXPECT_GT(Stats.DeletionsKept, 4u);
+  EXPECT_GT(Stats.OracleQueries, Stats.DeletionsKept);
+}
+
+TEST(Reducer, RejectsInputThatDoesNotTrigger) {
+  Bytes Plain = serialize(makeHelloClass("Plain"));
+  auto Out = reduceClassfile(Plain, problem1Persists);
+  ASSERT_FALSE(Out.ok());
+  EXPECT_NE(Out.error().find("oracle"), std::string::npos);
+}
+
+TEST(Reducer, RespectsQueryBudget) {
+  Bytes Input = serialize(makeBloatedDiscrepancyClass());
+  ReductionStats Stats;
+  auto Out = reduceClassfile(Input, problem1Persists, &Stats,
+                             /*MaxOracleQueries=*/5);
+  ASSERT_TRUE(Out.ok());
+  EXPECT_LE(Stats.OracleQueries, 5u);
+}
+
+TEST(Reducer, StatementReductionShrinksBodies) {
+  // Oracle: class prints "Completed!" on HotSpot 8. Padding statements
+  // (nops and dead constants) around the print must disappear.
+  ClassFile CF = makeHelloClass("Padded");
+  MethodInfo *Main = CF.findMethod("main", "([Ljava/lang/String;)V");
+  CodeBuilder B(CF.CP);
+  B.emit(OP_nop);
+  B.emit(OP_nop);
+  B.pushInt(7);
+  B.emit(OP_pop);
+  B.getStatic("java/lang/System", "out", "Ljava/io/PrintStream;");
+  B.pushString("Completed!");
+  B.invokeVirtual("java/io/PrintStream", "println",
+                  "(Ljava/lang/String;)V");
+  B.emit(OP_nop);
+  B.emit(OP_return);
+  Main->Code->Code = B.build();
+  Bytes Input = serialize(CF);
+
+  auto stillPrints = [](const std::string &Name, const Bytes &Data) {
+    JvmResult R = runOn(makeHotSpot8Policy(), {{Name, Data}}, Name);
+    return R.Invoked && R.Output.size() == 1 &&
+           R.Output[0] == "Completed!";
+  };
+  ASSERT_TRUE(stillPrints("Padded", Input));
+
+  ReductionStats Stats;
+  auto Reduced = reduceClassfile(Input, stillPrints, &Stats);
+  ASSERT_TRUE(Reduced.ok()) << Reduced.error();
+  EXPECT_GE(Stats.StatementsRemoved, 4u)
+      << "nops and the dead constant are deleted";
+  EXPECT_TRUE(stillPrints("Padded", *Reduced));
+}

@@ -1,0 +1,122 @@
+//===- tests/runtime/runtimelib_test.cpp -----------------------------------===//
+
+#include "../TestHelpers.h"
+#include "classfile/ClassReader.h"
+#include "runtime/RuntimeLib.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+using namespace classfuzz::testhelpers;
+
+TEST(RuntimeLib, CoreClassesPresentInAllVersions) {
+  for (const char *Version : {"jre5", "jre7", "jre8", "jre9"}) {
+    ClassPath Lib = buildRuntimeLibrary(Version);
+    for (const char *Name :
+         {"java/lang/Object", "java/lang/String", "java/lang/System",
+          "java/io/PrintStream", "java/lang/Throwable",
+          "java/lang/Exception", "java/lang/RuntimeException",
+          "java/lang/Thread", "java/lang/Runnable", "java/util/Map"})
+      EXPECT_TRUE(Lib.has(Name)) << Version << " lacks " << Name;
+  }
+}
+
+TEST(RuntimeLib, VersionSkew) {
+  ClassPath Jre5 = buildRuntimeLibrary("jre5");
+  ClassPath Jre7 = buildRuntimeLibrary("jre7");
+  ClassPath Jre8 = buildRuntimeLibrary("jre8");
+  ClassPath Jre9 = buildRuntimeLibrary("jre9");
+
+  EXPECT_FALSE(Jre5.has("java/lang/AutoCloseable"));
+  EXPECT_TRUE(Jre7.has("java/lang/AutoCloseable"));
+  EXPECT_FALSE(Jre7.has("java/util/stream/Stream"));
+  EXPECT_TRUE(Jre8.has("java/util/stream/Stream"));
+  EXPECT_TRUE(Jre8.has("sun/misc/BASE64Encoder"));
+  EXPECT_FALSE(Jre9.has("sun/misc/BASE64Encoder"))
+      << "JDK 9 hides sun/* internals";
+}
+
+TEST(RuntimeLib, EnumEditorFinalityChangesAtJre8) {
+  auto finality = [](const char *Version) {
+    ClassPath Lib = buildRuntimeLibrary(Version);
+    const Bytes *Data = Lib.lookup("com/sun/beans/editors/EnumEditor");
+    EXPECT_NE(Data, nullptr) << Version;
+    auto CF = parseClassFile(*Data);
+    EXPECT_TRUE(CF.ok());
+    return (CF->AccessFlags & ACC_FINAL) != 0;
+  };
+  EXPECT_FALSE(finality("jre7"));
+  EXPECT_TRUE(finality("jre8"));
+  EXPECT_TRUE(finality("jre9"));
+}
+
+TEST(RuntimeLib, InaccessibleClassIsPackagePrivateSynthetic) {
+  ClassPath Lib = buildRuntimeLibrary("jre8");
+  std::string Name = versionSkewedClasses().InaccessibleClass;
+  const Bytes *Data = Lib.lookup(Name);
+  ASSERT_NE(Data, nullptr);
+  auto CF = parseClassFile(*Data);
+  ASSERT_TRUE(CF.ok());
+  EXPECT_FALSE(CF->AccessFlags & ACC_PUBLIC);
+  EXPECT_TRUE(CF->AccessFlags & ACC_SYNTHETIC);
+}
+
+TEST(RuntimeLib, Problem3ThrowsAccessibilityEndToEnd) {
+  // M1437121261: main declares `throws PiscesRenderingEngine$2`.
+  // HotSpot raises IllegalAccessError; J9 and GIJ do not check.
+  ClassFile CF = makeHelloClass("M1437121261");
+  CF.findMethod("main", "([Ljava/lang/String;)V")->Exceptions = {
+      versionSkewedClasses().InaccessibleClass};
+  Bytes Data = serialize(CF);
+
+  JvmResult OnHs8 = runOn(makeHotSpot8Policy(), {{"M1437121261", Data}},
+                          "M1437121261");
+  EXPECT_EQ(OnHs8.Error, JvmErrorKind::IllegalAccessError);
+  EXPECT_EQ(encodeOutcome(OnHs8), 2);
+
+  JvmResult OnJ9 =
+      runOn(makeJ9Policy(), {{"M1437121261", Data}}, "M1437121261");
+  EXPECT_TRUE(OnJ9.Invoked) << OnJ9.toString();
+
+  JvmResult OnGij =
+      runOn(makeGijPolicy(), {{"M1437121261", Data}}, "M1437121261");
+  EXPECT_TRUE(OnGij.Invoked) << OnGij.toString();
+}
+
+TEST(RuntimeLib, EnumEditorSubclassDiscrepancyAcrossVersions) {
+  // The preliminary-study example: sun/beans/editors/EnumEditor extends
+  // a class that became final in jre8 -> VerifyError on HotSpot 8;
+  // runnable-ish (loadable) on HotSpot 7.
+  ClassFile CF = makeHelloClass("UsesEnumEditor");
+  CF.SuperClass = "sun/beans/editors/EnumEditor";
+  Bytes Data = serialize(CF);
+
+  JvmResult OnHs7 = runOn(makeHotSpot7Policy(),
+                          {{"UsesEnumEditor", Data}}, "UsesEnumEditor");
+  EXPECT_TRUE(OnHs7.Invoked) << OnHs7.toString();
+
+  JvmResult OnHs8 = runOn(makeHotSpot8Policy(),
+                          {{"UsesEnumEditor", Data}}, "UsesEnumEditor");
+  EXPECT_FALSE(OnHs8.Invoked);
+
+  JvmResult OnHs9 = runOn(makeHotSpot9Policy(),
+                          {{"UsesEnumEditor", Data}}, "UsesEnumEditor");
+  EXPECT_EQ(OnHs9.Error, JvmErrorKind::NoClassDefFoundError)
+      << "jre9 removed the sun/* parent entirely";
+}
+
+TEST(RuntimeLib, FingerprintDiffersAcrossVersions) {
+  EXPECT_NE(buildRuntimeLibrary("jre7").fingerprint(),
+            buildRuntimeLibrary("jre8").fingerprint());
+  EXPECT_EQ(buildRuntimeLibrary("jre8").fingerprint(),
+            buildRuntimeLibrary("jre8").fingerprint());
+}
+
+TEST(RuntimeLib, OverlayPrefersOverlayEntries) {
+  ClassPath Base = buildRuntimeLibrary("jre8");
+  ClassPath Overlay;
+  Overlay.add("Test", {1, 2, 3});
+  ClassPath Merged = Base.overlaidWith(Overlay);
+  EXPECT_TRUE(Merged.has("Test"));
+  EXPECT_EQ(Merged.size(), Base.size() + 1);
+}

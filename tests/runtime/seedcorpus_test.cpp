@@ -1,0 +1,83 @@
+//===- tests/runtime/seedcorpus_test.cpp -----------------------------------===//
+
+#include "../TestHelpers.h"
+#include "classfile/ClassReader.h"
+#include "runtime/SeedCorpus.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace classfuzz;
+using namespace classfuzz::testhelpers;
+
+TEST(SeedCorpus, DeterministicForEqualSeeds) {
+  Rng A(100), B(100);
+  auto SA = generateSeedCorpus(A, 20);
+  auto SB = generateSeedCorpus(B, 20);
+  ASSERT_EQ(SA.size(), SB.size());
+  for (size_t I = 0; I != SA.size(); ++I) {
+    EXPECT_EQ(SA[I].Name, SB[I].Name);
+    EXPECT_EQ(SA[I].Data, SB[I].Data);
+  }
+}
+
+TEST(SeedCorpus, NamesAreUniqueEnough) {
+  Rng R(5);
+  auto Seeds = generateSeedCorpus(R, 60);
+  std::set<std::string> Names;
+  for (const SeedClass &S : Seeds)
+    Names.insert(S.Name);
+  EXPECT_GE(Names.size(), 58u) << "collisions should be rare";
+}
+
+TEST(SeedCorpus, MostSeedsRunOnHotSpot) {
+  // Seeds are valid classes; those with a main should complete on the
+  // reference JVM. Interfaces and main-less shapes are rejected only at
+  // the invocation step (encode 4).
+  Rng R(7);
+  auto Seeds = generateSeedCorpus(R, 26);
+  int Invoked = 0, RejectedAtRuntime = 0, Other = 0;
+  for (const SeedClass &Seed : Seeds) {
+    std::vector<std::pair<std::string, Bytes>> Extra = {
+        {Seed.Name, Seed.Data}};
+    for (const auto &H : Seed.Helpers)
+      Extra.push_back(H);
+    JvmResult Res = runOn(makeHotSpot8Policy(), Extra, Seed.Name);
+    if (Res.Invoked)
+      ++Invoked;
+    else if (encodeOutcome(Res) == 4)
+      ++RejectedAtRuntime;
+    else
+      ++Other;
+  }
+  EXPECT_GE(Invoked, 18) << "the bulk of seeds executes cleanly";
+  EXPECT_EQ(Other, 0) << "no seed fails loading/linking/init on HotSpot8";
+}
+
+TEST(SeedCorpus, LibraryCorpusIsMainless) {
+  Rng R(11);
+  auto Lib = generateLibraryCorpus(R, 40);
+  int WithMain = 0;
+  for (const SeedClass &S : Lib) {
+    auto CF = parseClassFile(S.Data);
+    ASSERT_TRUE(CF.ok()) << S.Name;
+    if (CF->findMethodByName("main"))
+      ++WithMain;
+  }
+  EXPECT_EQ(WithMain, 0);
+}
+
+TEST(SeedCorpus, LibraryCorpusContainsSkewReferences) {
+  Rng R(13);
+  auto Lib = generateLibraryCorpus(R, 60);
+  int Skewed = 0;
+  for (const SeedClass &S : Lib) {
+    auto CF = parseClassFile(S.Data);
+    ASSERT_TRUE(CF.ok());
+    if (CF->SuperClass != "java/lang/Object")
+      ++Skewed;
+  }
+  EXPECT_GT(Skewed, 0) << "some library classes reference skewed classes";
+  EXPECT_LT(Skewed, 30) << "but only a small fraction";
+}

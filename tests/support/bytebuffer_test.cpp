@@ -1,0 +1,88 @@
+//===- tests/support/bytebuffer_test.cpp ----------------------------------===//
+
+#include "support/ByteBuffer.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+
+TEST(ByteWriter, BigEndianPrimitives) {
+  ByteWriter W;
+  W.writeU1(0xAB);
+  W.writeU2(0x1234);
+  W.writeU4(0xCAFEBABE);
+  W.writeU8(0x0102030405060708ULL);
+  const Bytes &B = W.bytes();
+  ASSERT_EQ(B.size(), 15u);
+  EXPECT_EQ(B[0], 0xAB);
+  EXPECT_EQ(B[1], 0x12);
+  EXPECT_EQ(B[2], 0x34);
+  EXPECT_EQ(B[3], 0xCA);
+  EXPECT_EQ(B[6], 0xBE);
+  EXPECT_EQ(B[7], 0x01);
+  EXPECT_EQ(B[14], 0x08);
+}
+
+TEST(ByteReader, RoundTripsWriterOutput) {
+  ByteWriter W;
+  W.writeU1(7);
+  W.writeU2(51);
+  W.writeU4(0xCAFEBABE);
+  W.writeU8(1234567890123ULL);
+  W.writeString("hello");
+
+  ByteReader R(W.bytes());
+  EXPECT_EQ(R.readU1(), 7);
+  EXPECT_EQ(R.readU2(), 51);
+  EXPECT_EQ(R.readU4(), 0xCAFEBABEu);
+  EXPECT_EQ(R.readU8(), 1234567890123ULL);
+  EXPECT_EQ(R.readString(5), "hello");
+  EXPECT_TRUE(R.atEnd());
+  EXPECT_FALSE(R.hasError());
+}
+
+TEST(ByteReader, OverrunSetsStickyError) {
+  Bytes Data = {1, 2};
+  ByteReader R(Data);
+  EXPECT_EQ(R.readU4(), 0u);
+  EXPECT_TRUE(R.hasError());
+  // Subsequent reads stay zero and flagged.
+  EXPECT_EQ(R.readU1(), 0);
+  EXPECT_TRUE(R.hasError());
+}
+
+TEST(ByteReader, ExactConsumptionIsNotAnError) {
+  Bytes Data = {0x12, 0x34};
+  ByteReader R(Data);
+  EXPECT_EQ(R.readU2(), 0x1234);
+  EXPECT_TRUE(R.atEnd());
+  EXPECT_FALSE(R.hasError());
+}
+
+TEST(ByteReader, SkipAndPosition) {
+  Bytes Data = {1, 2, 3, 4, 5};
+  ByteReader R(Data);
+  R.skip(3);
+  EXPECT_EQ(R.position(), 3u);
+  EXPECT_EQ(R.remaining(), 2u);
+  EXPECT_EQ(R.readU1(), 4);
+}
+
+TEST(ByteReader, ReadBytesOverrunReturnsEmpty) {
+  Bytes Data = {1, 2, 3};
+  ByteReader R(Data);
+  Bytes Out = R.readBytes(10);
+  EXPECT_TRUE(Out.empty());
+  EXPECT_TRUE(R.hasError());
+}
+
+TEST(ByteWriter, PatchU2AndU4) {
+  ByteWriter W;
+  W.writeU2(0);
+  W.writeU4(0);
+  W.patchU2(0, 0xBEEF);
+  W.patchU4(2, 0x01020304);
+  ByteReader R(W.bytes());
+  EXPECT_EQ(R.readU2(), 0xBEEF);
+  EXPECT_EQ(R.readU4(), 0x01020304u);
+}

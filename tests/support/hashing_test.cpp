@@ -1,0 +1,40 @@
+//===- tests/support/hashing_test.cpp --------------------------------------===//
+
+#include "support/Hashing.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+
+TEST(Hashing, EmptyIsOffsetBasis) {
+  Hasher H;
+  EXPECT_EQ(H.value(), FnvOffsetBasis);
+}
+
+TEST(Hashing, DeterministicOverBytes) {
+  std::vector<uint8_t> Data = {1, 2, 3, 4, 5};
+  EXPECT_EQ(hashBytes(Data), hashBytes(Data));
+}
+
+TEST(Hashing, SensitiveToContent) {
+  EXPECT_NE(hashBytes({1, 2, 3}), hashBytes({1, 2, 4}));
+  EXPECT_NE(hashBytes({1, 2, 3}), hashBytes({3, 2, 1}));
+}
+
+TEST(Hashing, StringSeparatorPreventsConcatenationCollisions) {
+  Hasher A;
+  A.addString("ab");
+  A.addString("c");
+  Hasher B;
+  B.addString("a");
+  B.addString("bc");
+  EXPECT_NE(A.value(), B.value());
+}
+
+TEST(Hashing, U32AndU64Mixing) {
+  Hasher A, B;
+  A.addU32(1);
+  A.addU32(2);
+  B.addU64(1ull | (2ull << 32));
+  EXPECT_EQ(A.value(), B.value()) << "u64 is two little-endian u32s";
+}

@@ -1,0 +1,42 @@
+//===- tests/support/result_test.cpp ---------------------------------------===//
+
+#include "support/Result.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+
+TEST(Result, HoldsValue) {
+  Result<int> R(42);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(*R, 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> R = makeError("boom");
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.error(), "boom");
+}
+
+TEST(Result, TakeMovesValue) {
+  Result<std::string> R(std::string("payload"));
+  ASSERT_TRUE(R.ok());
+  std::string S = R.take();
+  EXPECT_EQ(S, "payload");
+}
+
+TEST(Result, ArrowOperator) {
+  Result<std::string> R(std::string("abc"));
+  EXPECT_EQ(R->size(), 3u);
+}
+
+TEST(Status, DefaultIsSuccess) {
+  Status S;
+  EXPECT_TRUE(S.ok());
+}
+
+TEST(Status, ErrorCarriesMessage) {
+  Status S = makeError("link failed");
+  ASSERT_FALSE(S.ok());
+  EXPECT_EQ(S.error(), "link failed");
+}

@@ -1,0 +1,87 @@
+//===- tests/support/rng_test.cpp ------------------------------------------===//
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace classfuzz;
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng A(42), B(42);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  int Equal = 0;
+  for (int I = 0; I != 64; ++I)
+    Equal += A.next() == B.next();
+  EXPECT_LT(Equal, 4);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng R(7);
+  for (uint64_t Bound : {1ull, 2ull, 7ull, 129ull, 1000000ull})
+    for (int I = 0; I != 200; ++I)
+      EXPECT_LT(R.nextBelow(Bound), Bound);
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng R(9);
+  std::set<int64_t> Seen;
+  for (int I = 0; I != 500; ++I) {
+    int64_t V = R.nextInRange(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 7u) << "all values of a small range reachable";
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng R(11);
+  for (int I = 0; I != 1000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(Rng, NextBoolExtremes) {
+  Rng R(13);
+  for (int I = 0; I != 50; ++I) {
+    EXPECT_FALSE(R.nextBool(0.0));
+    EXPECT_TRUE(R.nextBool(1.0));
+  }
+}
+
+TEST(Rng, NextBoolRoughlyMatchesProbability) {
+  Rng R(17);
+  int Hits = 0;
+  const int N = 10000;
+  for (int I = 0; I != N; ++I)
+    Hits += R.nextBool(0.25);
+  EXPECT_NEAR(static_cast<double>(Hits) / N, 0.25, 0.03);
+}
+
+TEST(Rng, ChoiceCoversAllElements) {
+  Rng R(19);
+  std::vector<int> Items = {10, 20, 30};
+  std::set<int> Seen;
+  for (int I = 0; I != 200; ++I)
+    Seen.insert(R.choice(Items));
+  EXPECT_EQ(Seen.size(), 3u);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng A(23);
+  Rng B = A.fork();
+  // The fork consumed one value; the two streams should now differ.
+  int Equal = 0;
+  for (int I = 0; I != 64; ++I)
+    Equal += A.next() == B.next();
+  EXPECT_LT(Equal, 4);
+}

@@ -1,0 +1,360 @@
+//===- tools/classfuzz.cpp - Command-line driver -------------------------===//
+//
+// The classfuzz command-line tool:
+//
+//   classfuzz fuzz    [--algo A] [--iterations N | --time-budget S]
+//                     [--seeds N] [--rng N] [--out DIR]
+//       run a fuzzing campaign, differentially test the accepted
+//       classfiles on all five JVM profiles, write report.md (and the
+//       discrepancy-triggering .class files when --out is given)
+//
+//   classfuzz run     FILE.class [--env jre5|jre7|jre8|jre9]
+//       execute one classfile on all five JVM profiles
+//
+//   classfuzz inspect FILE.class
+//       javap-style + Jimple-style dumps
+//
+//   classfuzz reduce  FILE.class [--out FILE]
+//       hierarchical delta debugging preserving the file's discrepancy
+//
+//   classfuzz mutators
+//       list the 129 mutation operators
+//
+//===----------------------------------------------------------------------===//
+
+#include "classfile/ClassReader.h"
+#include "classfile/Printer.h"
+#include "difftest/Report.h"
+#include "fuzzing/Campaign.h"
+#include "jir/Jir.h"
+#include "mutation/Mutator.h"
+#include "reducer/Reducer.h"
+#include "runtime/RuntimeLib.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace classfuzz;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  classfuzz fuzz    [--algo stbr|st|tr|unique|greedy|rand]\n"
+      "                    [--iterations N | --time-budget SECONDS]\n"
+      "                    [--seeds N | --seed-dir DIR] [--rng N]\n"
+      "                    [--out DIR]\n"
+      "  classfuzz run     FILE.class [--env jre5|jre7|jre8|jre9]\n"
+      "  classfuzz inspect FILE.class\n"
+      "  classfuzz reduce  FILE.class [--out FILE]\n"
+      "  classfuzz mutators\n");
+  return 2;
+}
+
+/// Simple flag map: --key value pairs plus positional arguments.
+struct Args {
+  std::vector<std::string> Positional;
+  std::map<std::string, std::string> Flags;
+
+  static Args parse(int Argc, char **Argv, int From) {
+    Args Out;
+    for (int I = From; I < Argc; ++I) {
+      std::string A = Argv[I];
+      if (A.rfind("--", 0) == 0) {
+        std::string Value;
+        if (I + 1 < Argc && Argv[I + 1][0] != '-')
+          Value = Argv[++I];
+        Out.Flags[A.substr(2)] = Value;
+      } else {
+        Out.Positional.push_back(A);
+      }
+    }
+    return Out;
+  }
+
+  std::string get(const std::string &Key,
+                  const std::string &Default = "") const {
+    auto It = Flags.find(Key);
+    return It == Flags.end() ? Default : It->second;
+  }
+  bool has(const std::string &Key) const { return Flags.count(Key); }
+};
+
+Result<Bytes> readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return makeError("cannot open " + Path);
+  Bytes Data((std::istreambuf_iterator<char>(In)),
+             std::istreambuf_iterator<char>());
+  return Data;
+}
+
+bool writeFile(const std::string &Path, const Bytes &Data) {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    return false;
+  Out.write(reinterpret_cast<const char *>(Data.data()),
+            static_cast<std::streamsize>(Data.size()));
+  return static_cast<bool>(Out);
+}
+
+FuzzAlgorithm algoFromName(const std::string &Name) {
+  if (Name == "st")
+    return FuzzAlgorithm::ClassfuzzSt;
+  if (Name == "tr")
+    return FuzzAlgorithm::ClassfuzzTr;
+  if (Name == "unique")
+    return FuzzAlgorithm::Uniquefuzz;
+  if (Name == "greedy")
+    return FuzzAlgorithm::Greedyfuzz;
+  if (Name == "rand")
+    return FuzzAlgorithm::Randfuzz;
+  return FuzzAlgorithm::ClassfuzzStBr;
+}
+
+/// Loads every *.class file of \p Dir as a seed (non-recursive).
+std::vector<SeedClass> loadSeedDir(const std::string &Dir) {
+  std::vector<SeedClass> Out;
+  namespace fs = std::filesystem;
+  std::error_code Ec;
+  for (const auto &Entry : fs::directory_iterator(Dir, Ec)) {
+    if (Ec)
+      break;
+    if (Entry.path().extension() != ".class")
+      continue;
+    auto Data = readFile(Entry.path().string());
+    if (!Data)
+      continue;
+    auto CF = parseClassFile(*Data);
+    if (!CF) {
+      std::fprintf(stderr, "skipping %s: %s\n",
+                   Entry.path().string().c_str(), CF.error().c_str());
+      continue;
+    }
+    SeedClass Seed;
+    Seed.Name = CF->ThisClass;
+    Seed.Data = Data.take();
+    Out.push_back(std::move(Seed));
+  }
+  return Out;
+}
+
+int cmdFuzz(const Args &A) {
+  CampaignConfig Config;
+  Config.Algo = algoFromName(A.get("algo", "stbr"));
+  if (A.has("time-budget"))
+    Config.TimeBudgetSeconds = std::atof(A.get("time-budget").c_str());
+  else
+    Config.Iterations =
+        static_cast<size_t>(std::atol(A.get("iterations", "2000").c_str()));
+  Config.NumSeeds =
+      static_cast<size_t>(std::atol(A.get("seeds", "64").c_str()));
+  Config.RngSeed =
+      static_cast<uint64_t>(std::atoll(A.get("rng", "1").c_str()));
+  if (A.has("seed-dir")) {
+    Config.ExternalSeeds = loadSeedDir(A.get("seed-dir"));
+    if (Config.ExternalSeeds.empty()) {
+      std::fprintf(stderr, "no usable .class seeds in %s\n",
+                   A.get("seed-dir").c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "loaded %zu seeds from %s\n",
+                 Config.ExternalSeeds.size(), A.get("seed-dir").c_str());
+  }
+
+  std::fprintf(stderr, "running %s (%s)...\n",
+               fuzzAlgorithmName(Config.Algo),
+               Config.TimeBudgetSeconds > 0 ? "time budget"
+                                            : "iteration budget");
+  CampaignResult R = runCampaign(Config);
+  std::printf("%s: %zu iterations, %zu generated, %zu representative "
+              "tests (succ %.1f%%) in %.2fs\n",
+              fuzzAlgorithmName(R.Algo), R.Iterations, R.numGenerated(),
+              R.numTests(), R.successRatePercent(), R.ElapsedSeconds);
+
+  std::fprintf(stderr, "differential testing %zu test classfiles...\n",
+               R.numTests());
+  auto Tester = DifferentialTester::withAllProfiles(
+      R.corpusClassPath(), EnvironmentMode::PerJvm);
+
+  DiffStats Stats;
+  std::vector<DiscrepancyRecord> Records;
+  std::vector<size_t> DiscrepancyIndices;
+  for (size_t I : R.TestClassIndices) {
+    const GeneratedClass &G = R.GenClasses[I];
+    DiffOutcome O = Tester.testClass(G.Name);
+    Stats.add(O);
+    if (O.isDiscrepancy()) {
+      Records.push_back(
+          {G.Name, O, mutatorRegistry()[G.MutatorIndex].Description});
+      DiscrepancyIndices.push_back(I);
+    }
+  }
+
+  std::string Report =
+      renderDiscrepancyReport(Tester.policies(), Records, Stats);
+  std::string OutDir = A.get("out");
+  if (OutDir.empty()) {
+    std::fputs(Report.c_str(), stdout);
+    return 0;
+  }
+  if (!writeFile(OutDir + "/report.md",
+                 Bytes(Report.begin(), Report.end()))) {
+    std::fprintf(stderr, "cannot write %s/report.md (does the directory "
+                         "exist?)\n",
+                 OutDir.c_str());
+    return 1;
+  }
+  for (size_t I : DiscrepancyIndices) {
+    const GeneratedClass &G = R.GenClasses[I];
+    std::string Path = OutDir + "/" + G.Name + ".class";
+    // Class names may carry package slashes; flatten for the filesystem.
+    for (size_t P = OutDir.size() + 1; P < Path.size(); ++P)
+      if (Path[P] == '/')
+        Path[P] = '_';
+    if (!writeFile(Path, G.Data))
+      std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+  }
+  std::printf("wrote %s/report.md and %zu discrepancy classfiles\n",
+              OutDir.c_str(), DiscrepancyIndices.size());
+  return 0;
+}
+
+int cmdRun(const Args &A) {
+  if (A.Positional.empty())
+    return usage();
+  auto Data = readFile(A.Positional[0]);
+  if (!Data) {
+    std::fprintf(stderr, "%s\n", Data.error().c_str());
+    return 1;
+  }
+  auto CF = parseClassFile(*Data);
+  if (!CF) {
+    std::fprintf(stderr, "parse error: %s\n", CF.error().c_str());
+    return 1;
+  }
+  ClassPath Corpus;
+  Corpus.add(CF->ThisClass, *Data);
+  std::string Env = A.get("env");
+  auto Tester = Env.empty()
+                    ? DifferentialTester::withAllProfiles(
+                          Corpus, EnvironmentMode::PerJvm)
+                    : DifferentialTester::withAllProfiles(
+                          Corpus, EnvironmentMode::Shared, Env);
+  DiffOutcome O = Tester.testClass(CF->ThisClass);
+  std::printf("encoded \"%s\"%s\n", O.encodedString().c_str(),
+              O.isDiscrepancy() ? "  ** DISCREPANCY **" : "");
+  for (size_t I = 0; I != O.Results.size(); ++I) {
+    std::printf("  %-22s %s\n", Tester.policies()[I].Name.c_str(),
+                O.Results[I].toString().c_str());
+    for (const std::string &Line : O.Results[I].Output)
+      std::printf("      > %s\n", Line.c_str());
+  }
+  return 0;
+}
+
+int cmdInspect(const Args &A) {
+  if (A.Positional.empty())
+    return usage();
+  auto Data = readFile(A.Positional[0]);
+  if (!Data) {
+    std::fprintf(stderr, "%s\n", Data.error().c_str());
+    return 1;
+  }
+  auto CF = parseClassFile(*Data);
+  if (!CF) {
+    std::fprintf(stderr, "parse error: %s\n", CF.error().c_str());
+    return 1;
+  }
+  std::fputs(printClassFile(*CF).c_str(), stdout);
+  auto J = lowerToJir(*CF);
+  if (J)
+    std::fputs(printJir(*J).c_str(), stdout);
+  return 0;
+}
+
+int cmdReduce(const Args &A) {
+  if (A.Positional.empty())
+    return usage();
+  auto Data = readFile(A.Positional[0]);
+  if (!Data) {
+    std::fprintf(stderr, "%s\n", Data.error().c_str());
+    return 1;
+  }
+  auto CF = parseClassFile(*Data);
+  if (!CF) {
+    std::fprintf(stderr, "parse error: %s\n", CF.error().c_str());
+    return 1;
+  }
+  auto Tester = DifferentialTester::withAllProfiles(
+      ClassPath(), EnvironmentMode::PerJvm);
+  std::string Target =
+      Tester.testClass(CF->ThisClass, *Data).encodedString();
+  bool Constant = true;
+  for (char C : Target)
+    Constant &= C == Target[0];
+  if (Constant) {
+    std::fprintf(stderr,
+                 "%s triggers no discrepancy (encoded \"%s\"); nothing "
+                 "to preserve\n",
+                 A.Positional[0].c_str(), Target.c_str());
+    return 1;
+  }
+  std::printf("preserving discrepancy category \"%s\"\n", Target.c_str());
+  ReductionOracle Oracle = [&](const std::string &Name,
+                               const Bytes &Candidate) {
+    return Tester.testClass(Name, Candidate).encodedString() == Target;
+  };
+  ReductionStats Stats;
+  auto Reduced = reduceClassfile(*Data, Oracle, &Stats);
+  if (!Reduced) {
+    std::fprintf(stderr, "reduction failed: %s\n",
+                 Reduced.error().c_str());
+    return 1;
+  }
+  std::printf("reduced %zu -> %zu bytes (%zu oracle queries)\n",
+              Data->size(), Reduced->size(), Stats.OracleQueries);
+  std::string OutPath = A.get("out", A.Positional[0] + ".reduced");
+  if (!writeFile(OutPath, *Reduced)) {
+    std::fprintf(stderr, "cannot write %s\n", OutPath.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", OutPath.c_str());
+  return 0;
+}
+
+int cmdMutators() {
+  std::printf("%zu mutators (%s):\n\n", mutatorRegistry().size(),
+              "123 syntactic + 6 statement-level");
+  for (const Mutator &Mu : mutatorRegistry())
+    std::printf("%-34s %-14s %s\n", Mu.Id.c_str(), Mu.Category.c_str(),
+                Mu.Description.c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  std::string Cmd = Argv[1];
+  Args A = Args::parse(Argc, Argv, 2);
+  if (Cmd == "fuzz")
+    return cmdFuzz(A);
+  if (Cmd == "run")
+    return cmdRun(A);
+  if (Cmd == "inspect")
+    return cmdInspect(A);
+  if (Cmd == "reduce")
+    return cmdReduce(A);
+  if (Cmd == "mutators")
+    return cmdMutators();
+  return usage();
+}
