@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_classfile.cpp" "bench/CMakeFiles/bench_micro_classfile.dir/bench_micro_classfile.cpp.o" "gcc" "bench/CMakeFiles/bench_micro_classfile.dir/bench_micro_classfile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/reducer/CMakeFiles/cf_reducer.dir/DependInfo.cmake"
+  "/root/repo/build/src/difftest/CMakeFiles/cf_difftest.dir/DependInfo.cmake"
+  "/root/repo/build/src/fuzzing/CMakeFiles/cf_fuzzing.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcmc/CMakeFiles/cf_mcmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mutation/CMakeFiles/cf_mutation.dir/DependInfo.cmake"
+  "/root/repo/build/src/jir/CMakeFiles/cf_jir.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/cf_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/jvm/CMakeFiles/cf_jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/cf_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/classfile/CMakeFiles/cf_classfile.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_classfile.dir/bench_micro_classfile.cpp.o"
+  "CMakeFiles/bench_micro_classfile.dir/bench_micro_classfile.cpp.o.d"
+  "bench_micro_classfile"
+  "bench_micro_classfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_classfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_fuzzing.dir/bench_micro_fuzzing.cpp.o"
+  "CMakeFiles/bench_micro_fuzzing.dir/bench_micro_fuzzing.cpp.o.d"
+  "bench_micro_fuzzing"
+  "bench_micro_fuzzing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_fuzzing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_jvm.dir/bench_micro_jvm.cpp.o"
+  "CMakeFiles/bench_micro_jvm.dir/bench_micro_jvm.cpp.o.d"
+  "bench_micro_jvm"
+  "bench_micro_jvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_jvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_difftest.dir/bench_table6_difftest.cpp.o"
+  "CMakeFiles/bench_table6_difftest.dir/bench_table6_difftest.cpp.o.d"
+  "bench_table6_difftest"
+  "bench_table6_difftest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_difftest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/differential_campaign.dir/differential_campaign.cpp.o"
+  "CMakeFiles/differential_campaign.dir/differential_campaign.cpp.o.d"
+  "differential_campaign"
+  "differential_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/differential_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

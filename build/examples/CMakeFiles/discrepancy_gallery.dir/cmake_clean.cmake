@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discrepancy_gallery.dir/discrepancy_gallery.cpp.o"
+  "CMakeFiles/discrepancy_gallery.dir/discrepancy_gallery.cpp.o.d"
+  "discrepancy_gallery"
+  "discrepancy_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discrepancy_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_classfile.dir/inspect_classfile.cpp.o"
+  "CMakeFiles/inspect_classfile.dir/inspect_classfile.cpp.o.d"
+  "inspect_classfile"
+  "inspect_classfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_classfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

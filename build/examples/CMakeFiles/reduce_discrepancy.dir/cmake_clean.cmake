@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduce_discrepancy.dir/reduce_discrepancy.cpp.o"
+  "CMakeFiles/reduce_discrepancy.dir/reduce_discrepancy.cpp.o.d"
+  "reduce_discrepancy"
+  "reduce_discrepancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduce_discrepancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("classfile")
+subdirs("jir")
+subdirs("runtime")
+subdirs("jvm")
+subdirs("coverage")
+subdirs("mutation")
+subdirs("mcmc")
+subdirs("fuzzing")
+subdirs("difftest")
+subdirs("reducer")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classfile/AccessFlags.cpp" "src/classfile/CMakeFiles/cf_classfile.dir/AccessFlags.cpp.o" "gcc" "src/classfile/CMakeFiles/cf_classfile.dir/AccessFlags.cpp.o.d"
+  "/root/repo/src/classfile/ClassFile.cpp" "src/classfile/CMakeFiles/cf_classfile.dir/ClassFile.cpp.o" "gcc" "src/classfile/CMakeFiles/cf_classfile.dir/ClassFile.cpp.o.d"
+  "/root/repo/src/classfile/ClassReader.cpp" "src/classfile/CMakeFiles/cf_classfile.dir/ClassReader.cpp.o" "gcc" "src/classfile/CMakeFiles/cf_classfile.dir/ClassReader.cpp.o.d"
+  "/root/repo/src/classfile/ClassWriter.cpp" "src/classfile/CMakeFiles/cf_classfile.dir/ClassWriter.cpp.o" "gcc" "src/classfile/CMakeFiles/cf_classfile.dir/ClassWriter.cpp.o.d"
+  "/root/repo/src/classfile/CodeBuilder.cpp" "src/classfile/CMakeFiles/cf_classfile.dir/CodeBuilder.cpp.o" "gcc" "src/classfile/CMakeFiles/cf_classfile.dir/CodeBuilder.cpp.o.d"
+  "/root/repo/src/classfile/ConstantPool.cpp" "src/classfile/CMakeFiles/cf_classfile.dir/ConstantPool.cpp.o" "gcc" "src/classfile/CMakeFiles/cf_classfile.dir/ConstantPool.cpp.o.d"
+  "/root/repo/src/classfile/Descriptor.cpp" "src/classfile/CMakeFiles/cf_classfile.dir/Descriptor.cpp.o" "gcc" "src/classfile/CMakeFiles/cf_classfile.dir/Descriptor.cpp.o.d"
+  "/root/repo/src/classfile/Opcodes.cpp" "src/classfile/CMakeFiles/cf_classfile.dir/Opcodes.cpp.o" "gcc" "src/classfile/CMakeFiles/cf_classfile.dir/Opcodes.cpp.o.d"
+  "/root/repo/src/classfile/Printer.cpp" "src/classfile/CMakeFiles/cf_classfile.dir/Printer.cpp.o" "gcc" "src/classfile/CMakeFiles/cf_classfile.dir/Printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

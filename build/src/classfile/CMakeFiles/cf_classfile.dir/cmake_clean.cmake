@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cf_classfile.dir/AccessFlags.cpp.o"
+  "CMakeFiles/cf_classfile.dir/AccessFlags.cpp.o.d"
+  "CMakeFiles/cf_classfile.dir/ClassFile.cpp.o"
+  "CMakeFiles/cf_classfile.dir/ClassFile.cpp.o.d"
+  "CMakeFiles/cf_classfile.dir/ClassReader.cpp.o"
+  "CMakeFiles/cf_classfile.dir/ClassReader.cpp.o.d"
+  "CMakeFiles/cf_classfile.dir/ClassWriter.cpp.o"
+  "CMakeFiles/cf_classfile.dir/ClassWriter.cpp.o.d"
+  "CMakeFiles/cf_classfile.dir/CodeBuilder.cpp.o"
+  "CMakeFiles/cf_classfile.dir/CodeBuilder.cpp.o.d"
+  "CMakeFiles/cf_classfile.dir/ConstantPool.cpp.o"
+  "CMakeFiles/cf_classfile.dir/ConstantPool.cpp.o.d"
+  "CMakeFiles/cf_classfile.dir/Descriptor.cpp.o"
+  "CMakeFiles/cf_classfile.dir/Descriptor.cpp.o.d"
+  "CMakeFiles/cf_classfile.dir/Opcodes.cpp.o"
+  "CMakeFiles/cf_classfile.dir/Opcodes.cpp.o.d"
+  "CMakeFiles/cf_classfile.dir/Printer.cpp.o"
+  "CMakeFiles/cf_classfile.dir/Printer.cpp.o.d"
+  "libcf_classfile.a"
+  "libcf_classfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cf_classfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cf_coverage.dir/Tracefile.cpp.o"
+  "CMakeFiles/cf_coverage.dir/Tracefile.cpp.o.d"
+  "CMakeFiles/cf_coverage.dir/Uniqueness.cpp.o"
+  "CMakeFiles/cf_coverage.dir/Uniqueness.cpp.o.d"
+  "libcf_coverage.a"
+  "libcf_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cf_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cf_difftest.dir/DiffTest.cpp.o"
+  "CMakeFiles/cf_difftest.dir/DiffTest.cpp.o.d"
+  "CMakeFiles/cf_difftest.dir/Report.cpp.o"
+  "CMakeFiles/cf_difftest.dir/Report.cpp.o.d"
+  "libcf_difftest.a"
+  "libcf_difftest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cf_difftest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

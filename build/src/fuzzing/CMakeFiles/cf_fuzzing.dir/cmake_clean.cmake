@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cf_fuzzing.dir/Campaign.cpp.o"
+  "CMakeFiles/cf_fuzzing.dir/Campaign.cpp.o.d"
+  "libcf_fuzzing.a"
+  "libcf_fuzzing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cf_fuzzing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

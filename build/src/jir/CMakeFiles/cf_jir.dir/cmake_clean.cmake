@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cf_jir.dir/Jir.cpp.o"
+  "CMakeFiles/cf_jir.dir/Jir.cpp.o.d"
+  "libcf_jir.a"
+  "libcf_jir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cf_jir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

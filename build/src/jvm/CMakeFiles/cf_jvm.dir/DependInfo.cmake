@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jvm/ClassPath.cpp" "src/jvm/CMakeFiles/cf_jvm.dir/ClassPath.cpp.o" "gcc" "src/jvm/CMakeFiles/cf_jvm.dir/ClassPath.cpp.o.d"
+  "/root/repo/src/jvm/FormatChecker.cpp" "src/jvm/CMakeFiles/cf_jvm.dir/FormatChecker.cpp.o" "gcc" "src/jvm/CMakeFiles/cf_jvm.dir/FormatChecker.cpp.o.d"
+  "/root/repo/src/jvm/Interp.cpp" "src/jvm/CMakeFiles/cf_jvm.dir/Interp.cpp.o" "gcc" "src/jvm/CMakeFiles/cf_jvm.dir/Interp.cpp.o.d"
+  "/root/repo/src/jvm/JvmTypes.cpp" "src/jvm/CMakeFiles/cf_jvm.dir/JvmTypes.cpp.o" "gcc" "src/jvm/CMakeFiles/cf_jvm.dir/JvmTypes.cpp.o.d"
+  "/root/repo/src/jvm/Policy.cpp" "src/jvm/CMakeFiles/cf_jvm.dir/Policy.cpp.o" "gcc" "src/jvm/CMakeFiles/cf_jvm.dir/Policy.cpp.o.d"
+  "/root/repo/src/jvm/Verifier.cpp" "src/jvm/CMakeFiles/cf_jvm.dir/Verifier.cpp.o" "gcc" "src/jvm/CMakeFiles/cf_jvm.dir/Verifier.cpp.o.d"
+  "/root/repo/src/jvm/Vm.cpp" "src/jvm/CMakeFiles/cf_jvm.dir/Vm.cpp.o" "gcc" "src/jvm/CMakeFiles/cf_jvm.dir/Vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/classfile/CMakeFiles/cf_classfile.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/cf_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

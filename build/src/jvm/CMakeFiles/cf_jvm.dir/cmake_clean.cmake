@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cf_jvm.dir/ClassPath.cpp.o"
+  "CMakeFiles/cf_jvm.dir/ClassPath.cpp.o.d"
+  "CMakeFiles/cf_jvm.dir/FormatChecker.cpp.o"
+  "CMakeFiles/cf_jvm.dir/FormatChecker.cpp.o.d"
+  "CMakeFiles/cf_jvm.dir/Interp.cpp.o"
+  "CMakeFiles/cf_jvm.dir/Interp.cpp.o.d"
+  "CMakeFiles/cf_jvm.dir/JvmTypes.cpp.o"
+  "CMakeFiles/cf_jvm.dir/JvmTypes.cpp.o.d"
+  "CMakeFiles/cf_jvm.dir/Policy.cpp.o"
+  "CMakeFiles/cf_jvm.dir/Policy.cpp.o.d"
+  "CMakeFiles/cf_jvm.dir/Verifier.cpp.o"
+  "CMakeFiles/cf_jvm.dir/Verifier.cpp.o.d"
+  "CMakeFiles/cf_jvm.dir/Vm.cpp.o"
+  "CMakeFiles/cf_jvm.dir/Vm.cpp.o.d"
+  "libcf_jvm.a"
+  "libcf_jvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cf_jvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cf_mcmc.dir/McmcSelector.cpp.o"
+  "CMakeFiles/cf_mcmc.dir/McmcSelector.cpp.o.d"
+  "libcf_mcmc.a"
+  "libcf_mcmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cf_mcmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

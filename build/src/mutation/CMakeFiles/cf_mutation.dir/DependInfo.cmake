@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mutation/Engine.cpp" "src/mutation/CMakeFiles/cf_mutation.dir/Engine.cpp.o" "gcc" "src/mutation/CMakeFiles/cf_mutation.dir/Engine.cpp.o.d"
+  "/root/repo/src/mutation/Mutators.cpp" "src/mutation/CMakeFiles/cf_mutation.dir/Mutators.cpp.o" "gcc" "src/mutation/CMakeFiles/cf_mutation.dir/Mutators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jir/CMakeFiles/cf_jir.dir/DependInfo.cmake"
+  "/root/repo/build/src/classfile/CMakeFiles/cf_classfile.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cf_mutation.dir/Engine.cpp.o"
+  "CMakeFiles/cf_mutation.dir/Engine.cpp.o.d"
+  "CMakeFiles/cf_mutation.dir/Mutators.cpp.o"
+  "CMakeFiles/cf_mutation.dir/Mutators.cpp.o.d"
+  "libcf_mutation.a"
+  "libcf_mutation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cf_mutation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cf_reducer.dir/Reducer.cpp.o"
+  "CMakeFiles/cf_reducer.dir/Reducer.cpp.o.d"
+  "libcf_reducer.a"
+  "libcf_reducer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cf_reducer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/RuntimeLib.cpp" "src/runtime/CMakeFiles/cf_runtime.dir/RuntimeLib.cpp.o" "gcc" "src/runtime/CMakeFiles/cf_runtime.dir/RuntimeLib.cpp.o.d"
+  "/root/repo/src/runtime/SeedCorpus.cpp" "src/runtime/CMakeFiles/cf_runtime.dir/SeedCorpus.cpp.o" "gcc" "src/runtime/CMakeFiles/cf_runtime.dir/SeedCorpus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/classfile/CMakeFiles/cf_classfile.dir/DependInfo.cmake"
+  "/root/repo/build/src/jvm/CMakeFiles/cf_jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cf_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/cf_coverage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cf_runtime.dir/RuntimeLib.cpp.o"
+  "CMakeFiles/cf_runtime.dir/RuntimeLib.cpp.o.d"
+  "CMakeFiles/cf_runtime.dir/SeedCorpus.cpp.o"
+  "CMakeFiles/cf_runtime.dir/SeedCorpus.cpp.o.d"
+  "libcf_runtime.a"
+  "libcf_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cf_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cf_support.dir/ByteBuffer.cpp.o"
+  "CMakeFiles/cf_support.dir/ByteBuffer.cpp.o.d"
+  "CMakeFiles/cf_support.dir/Rng.cpp.o"
+  "CMakeFiles/cf_support.dir/Rng.cpp.o.d"
+  "libcf_support.a"
+  "libcf_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cf_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

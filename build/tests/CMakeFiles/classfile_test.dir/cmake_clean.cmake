@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classfile_test.dir/classfile/accessflags_test.cpp.o"
+  "CMakeFiles/classfile_test.dir/classfile/accessflags_test.cpp.o.d"
+  "CMakeFiles/classfile_test.dir/classfile/codebuilder_test.cpp.o"
+  "CMakeFiles/classfile_test.dir/classfile/codebuilder_test.cpp.o.d"
+  "CMakeFiles/classfile_test.dir/classfile/constantpool_test.cpp.o"
+  "CMakeFiles/classfile_test.dir/classfile/constantpool_test.cpp.o.d"
+  "CMakeFiles/classfile_test.dir/classfile/descriptor_test.cpp.o"
+  "CMakeFiles/classfile_test.dir/classfile/descriptor_test.cpp.o.d"
+  "CMakeFiles/classfile_test.dir/classfile/opcodes_test.cpp.o"
+  "CMakeFiles/classfile_test.dir/classfile/opcodes_test.cpp.o.d"
+  "CMakeFiles/classfile_test.dir/classfile/roundtrip_test.cpp.o"
+  "CMakeFiles/classfile_test.dir/classfile/roundtrip_test.cpp.o.d"
+  "classfile_test"
+  "classfile_test.pdb"
+  "classfile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classfile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/difftest_test.dir/difftest/difftest_test.cpp.o"
+  "CMakeFiles/difftest_test.dir/difftest/difftest_test.cpp.o.d"
+  "CMakeFiles/difftest_test.dir/difftest/report_test.cpp.o"
+  "CMakeFiles/difftest_test.dir/difftest/report_test.cpp.o.d"
+  "difftest_test"
+  "difftest_test.pdb"
+  "difftest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/difftest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzzing_test.dir/fuzzing/campaign_test.cpp.o"
+  "CMakeFiles/fuzzing_test.dir/fuzzing/campaign_test.cpp.o.d"
+  "CMakeFiles/fuzzing_test.dir/fuzzing/integration_test.cpp.o"
+  "CMakeFiles/fuzzing_test.dir/fuzzing/integration_test.cpp.o.d"
+  "CMakeFiles/fuzzing_test.dir/fuzzing/property_test.cpp.o"
+  "CMakeFiles/fuzzing_test.dir/fuzzing/property_test.cpp.o.d"
+  "fuzzing_test"
+  "fuzzing_test.pdb"
+  "fuzzing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzzing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jvm_test.dir/jvm/access_test.cpp.o"
+  "CMakeFiles/jvm_test.dir/jvm/access_test.cpp.o.d"
+  "CMakeFiles/jvm_test.dir/jvm/encoding_test.cpp.o"
+  "CMakeFiles/jvm_test.dir/jvm/encoding_test.cpp.o.d"
+  "CMakeFiles/jvm_test.dir/jvm/flagsweep_test.cpp.o"
+  "CMakeFiles/jvm_test.dir/jvm/flagsweep_test.cpp.o.d"
+  "CMakeFiles/jvm_test.dir/jvm/formatchecker_test.cpp.o"
+  "CMakeFiles/jvm_test.dir/jvm/formatchecker_test.cpp.o.d"
+  "CMakeFiles/jvm_test.dir/jvm/interp_test.cpp.o"
+  "CMakeFiles/jvm_test.dir/jvm/interp_test.cpp.o.d"
+  "CMakeFiles/jvm_test.dir/jvm/natives_test.cpp.o"
+  "CMakeFiles/jvm_test.dir/jvm/natives_test.cpp.o.d"
+  "CMakeFiles/jvm_test.dir/jvm/opcode_sweep_test.cpp.o"
+  "CMakeFiles/jvm_test.dir/jvm/opcode_sweep_test.cpp.o.d"
+  "CMakeFiles/jvm_test.dir/jvm/pipeline_test.cpp.o"
+  "CMakeFiles/jvm_test.dir/jvm/pipeline_test.cpp.o.d"
+  "CMakeFiles/jvm_test.dir/jvm/policy_test.cpp.o"
+  "CMakeFiles/jvm_test.dir/jvm/policy_test.cpp.o.d"
+  "CMakeFiles/jvm_test.dir/jvm/preverifier_test.cpp.o"
+  "CMakeFiles/jvm_test.dir/jvm/preverifier_test.cpp.o.d"
+  "CMakeFiles/jvm_test.dir/jvm/verifier_test.cpp.o"
+  "CMakeFiles/jvm_test.dir/jvm/verifier_test.cpp.o.d"
+  "jvm_test"
+  "jvm_test.pdb"
+  "jvm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jvm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcmc_test.dir/mcmc/mcmc_test.cpp.o"
+  "CMakeFiles/mcmc_test.dir/mcmc/mcmc_test.cpp.o.d"
+  "mcmc_test"
+  "mcmc_test.pdb"
+  "mcmc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcmc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reducer_test.dir/reducer/reducer_test.cpp.o"
+  "CMakeFiles/reducer_test.dir/reducer/reducer_test.cpp.o.d"
+  "reducer_test"
+  "reducer_test.pdb"
+  "reducer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reducer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

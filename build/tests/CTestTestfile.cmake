@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/classfile_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/jvm_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/jir_test[1]_include.cmake")
+include("/root/repo/build/tests/mutation_test[1]_include.cmake")
+include("/root/repo/build/tests/mcmc_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzzing_test[1]_include.cmake")
+include("/root/repo/build/tests/difftest_test[1]_include.cmake")
+include("/root/repo/build/tests/reducer_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classfuzz_tool.dir/classfuzz.cpp.o"
+  "CMakeFiles/classfuzz_tool.dir/classfuzz.cpp.o.d"
+  "classfuzz"
+  "classfuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classfuzz_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
