@@ -7,12 +7,17 @@
 //===----------------------------------------------------------------------===//
 
 #include "coverage/Uniqueness.h"
+#include "fuzzing/Campaign.h"
+#include "jvm/ClassPath.h"
 #include "mcmc/McmcSelector.h"
 #include "mutation/Engine.h"
 #include "runtime/RuntimeLib.h"
 #include "runtime/SeedCorpus.h"
 
 #include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
 
 using namespace classfuzz;
 
@@ -107,6 +112,66 @@ void BM_TracefileFingerprint(benchmark::State &State) {
     benchmark::DoNotOptimize(T.fingerprint());
 }
 BENCHMARK(BM_TracefileFingerprint);
+
+ClassPath makeCorpus(size_t NumClasses) {
+  ClassPath CP;
+  for (size_t I = 0; I != NumClasses; ++I) {
+    std::string Name = "Seed" + std::to_string(I);
+    CP.add(Name, Bytes(256 + I % 512, static_cast<uint8_t>(I)));
+  }
+  return CP;
+}
+
+/// Per-mutant environment setup, old style: a full deep copy of the
+/// corpus map. Cost grows linearly with corpus size.
+void BM_EnvSetupDeepCopy(benchmark::State &State) {
+  ClassPath Corpus = makeCorpus(static_cast<size_t>(State.range(0)));
+  std::map<std::string, Bytes> Flat;
+  for (const std::string &Name : Corpus.names())
+    Flat.emplace(Name, *Corpus.lookup(Name));
+  Bytes Mutant(300, 0xCF);
+  for (auto _ : State) {
+    std::map<std::string, Bytes> Env = Flat;
+    Env["Mutant"] = Mutant;
+    benchmark::DoNotOptimize(Env.size());
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_EnvSetupDeepCopy)->Range(8, 4096)->Complexity();
+
+/// Per-mutant environment setup, current style: copy shares the frozen
+/// base; only the single mutant lands in the overlay. Cost is O(1) in
+/// corpus size.
+void BM_EnvSetupOverlay(benchmark::State &State) {
+  ClassPath Corpus = makeCorpus(static_cast<size_t>(State.range(0)));
+  Corpus.freeze();
+  Bytes Mutant(300, 0xCF);
+  for (auto _ : State) {
+    ClassPath Env = Corpus;
+    Env.add("Mutant", Mutant);
+    benchmark::DoNotOptimize(Env.lookup("Mutant"));
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_EnvSetupOverlay)->Range(8, 4096)->Complexity();
+
+/// End-to-end campaign throughput by worker count. On multi-core hosts
+/// the coverage executions overlap; results are bit-identical at every
+/// job count, so this isolates the pipeline's wall-clock effect.
+void BM_CampaignJobsScaling(benchmark::State &State) {
+  CampaignConfig Config;
+  Config.Algo = FuzzAlgorithm::ClassfuzzStBr;
+  Config.Iterations = 120;
+  Config.NumSeeds = 10;
+  Config.RngSeed = 17;
+  Config.Jobs = static_cast<size_t>(State.range(0));
+  for (auto _ : State) {
+    CampaignResult R = runCampaign(Config);
+    benchmark::DoNotOptimize(R.numGenerated());
+  }
+}
+BENCHMARK(BM_CampaignJobsScaling)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -16,37 +16,56 @@ const char *classfuzz::criterionName(UniquenessCriterion C) {
   return "?";
 }
 
-bool UniquenessChecker::isUnique(const Tracefile &Trace) const {
-  StatPair Stats{Trace.stmtCount(), Trace.branchCount()};
+UniquenessChecker::Signature
+UniquenessChecker::signatureOf(const Tracefile &Trace) const {
+  Signature Sig;
+  Sig.Stats = {Trace.stmtCount(), Trace.branchCount()};
+  // Only [tr] compares full hit sets; skip the O(|trace|) fingerprint
+  // walk for the statistic-only criteria.
+  if (Criterion == UniquenessCriterion::Tr)
+    Sig.Fingerprint = Trace.fingerprint();
+  return Sig;
+}
+
+bool UniquenessChecker::isUnique(const Signature &Sig) const {
   switch (Criterion) {
   case UniquenessCriterion::St:
-    return !SeenStmtCounts.count(Stats.first);
+    return !SeenStmtCounts.count(Sig.Stats.first);
   case UniquenessCriterion::StBr:
-    return !SeenStatPairs.count(Stats);
+    return !SeenStatPairs.count(Sig.Stats);
   case UniquenessCriterion::Tr: {
-    auto It = SeenFingerprints.find(Stats);
+    auto It = SeenFingerprints.find(Sig.Stats);
     if (It == SeenFingerprints.end())
       return true;
     // Equal statistics: representative only if the full hit sets differ
     // from every accepted tracefile with the same statistics (merge test).
-    return !It->second.count(Trace.fingerprint());
+    return !It->second.count(Sig.Fingerprint);
   }
   }
   return false;
 }
 
-void UniquenessChecker::insert(const Tracefile &Trace) {
-  StatPair Stats{Trace.stmtCount(), Trace.branchCount()};
-  SeenStmtCounts.insert(Stats.first);
-  SeenStatPairs.insert(Stats);
-  SeenFingerprints[Stats].insert(Trace.fingerprint());
+void UniquenessChecker::insert(const Signature &Sig) {
+  SeenStmtCounts.insert(Sig.Stats.first);
+  SeenStatPairs.insert(Sig.Stats);
+  if (Criterion == UniquenessCriterion::Tr)
+    SeenFingerprints[Sig.Stats].insert(Sig.Fingerprint);
   ++NumInserted;
 }
 
+bool UniquenessChecker::isUnique(const Tracefile &Trace) const {
+  return isUnique(signatureOf(Trace));
+}
+
+void UniquenessChecker::insert(const Tracefile &Trace) {
+  insert(signatureOf(Trace));
+}
+
 bool UniquenessChecker::tryInsert(const Tracefile &Trace) {
-  if (!isUnique(Trace))
+  Signature Sig = signatureOf(Trace);
+  if (!isUnique(Sig))
     return false;
-  insert(Trace);
+  insert(Sig);
   return true;
 }
 

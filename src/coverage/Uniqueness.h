@@ -39,6 +39,12 @@ const char *criterionName(UniquenessCriterion C);
 
 /// Tracks the coverage signatures of accepted tests and decides whether a
 /// candidate tracefile is representative w.r.t. them.
+///
+/// The read path (isUnique) is const and side-effect free; the campaign's
+/// commit stage relies on that separation: acceptance checks never modify
+/// the pool, only insert() does. tryInsert computes the candidate's
+/// signature (statistics + [tr] fingerprint) once and shares it between
+/// the check and the insertion.
 class UniquenessChecker {
 public:
   explicit UniquenessChecker(UniquenessCriterion C) : Criterion(C) {}
@@ -58,6 +64,17 @@ public:
 
 private:
   using StatPair = std::pair<size_t, size_t>;
+
+  /// A candidate's identity under the configured criterion. The hit-set
+  /// fingerprint is only computed for [tr], the only criterion that
+  /// reads it.
+  struct Signature {
+    StatPair Stats;
+    uint64_t Fingerprint = 0;
+  };
+  Signature signatureOf(const Tracefile &Trace) const;
+  bool isUnique(const Signature &Sig) const;
+  void insert(const Signature &Sig);
 
   UniquenessCriterion Criterion;
   size_t NumInserted = 0;

@@ -6,7 +6,6 @@
 #include "runtime/RuntimeLib.h"
 
 #include <array>
-#include <cassert>
 
 using namespace classfuzz;
 
@@ -30,14 +29,21 @@ DifferentialTester::DifferentialTester(std::vector<JvmPolicy> Policies,
                                        EnvironmentMode Mode,
                                        const std::string &SharedLibVersion)
     : Policies(std::move(Policies)) {
+  // freeze() seals each environment's contents into shared COW layers,
+  // so the per-testClass "corpus + one extra class" overlay below is an
+  // O(1) copy instead of an O(corpus) deep copy.
   if (Mode == EnvironmentMode::Shared) {
     ClassPath Shared =
         buildRuntimeLibrary(SharedLibVersion).overlaidWith(Extra);
+    Shared.freeze();
     Envs.assign(this->Policies.size(), Shared);
     return;
   }
-  for (const JvmPolicy &P : this->Policies)
-    Envs.push_back(runtimeLibraryFor(P).overlaidWith(Extra));
+  for (const JvmPolicy &P : this->Policies) {
+    ClassPath Env = runtimeLibraryFor(P).overlaidWith(Extra);
+    Env.freeze();
+    Envs.push_back(std::move(Env));
+  }
 }
 
 DifferentialTester DifferentialTester::withAllProfiles(
@@ -62,7 +68,7 @@ DiffOutcome DifferentialTester::testClass(const std::string &Name,
                                           const Bytes &Data) const {
   DiffOutcome Out;
   for (size_t I = 0; I != Policies.size(); ++I) {
-    ClassPath Env = Envs[I];
+    ClassPath Env = Envs[I]; // COW overlay: shares the frozen corpus.
     Env.add(Name, Data);
     Vm Jvm(Policies[I], Env);
     JvmResult R = Jvm.run(Name);
@@ -78,10 +84,15 @@ void DiffStats::add(const DiffOutcome &Outcome) {
     PhaseCounts.resize(Outcome.Encoded.size());
   bool AllZero = true;
   for (size_t I = 0; I != Outcome.Encoded.size(); ++I) {
-    assert(Outcome.Encoded[I] >= 0 && Outcome.Encoded[I] <= 4 &&
-           "encoded outcome out of range");
-    ++PhaseCounts[I][static_cast<size_t>(Outcome.Encoded[I])];
-    if (Outcome.Encoded[I] != 0)
+    // Encoded outcomes are 0..4 by construction; clamp anything else
+    // (and count it) rather than indexing past PhaseCounts[I].
+    int Code = Outcome.Encoded[I];
+    if (Code < 0 || Code > 4) {
+      ++EncodingErrors;
+      Code = Code < 0 ? 0 : 4;
+    }
+    ++PhaseCounts[I][static_cast<size_t>(Code)];
+    if (Code != 0)
       AllZero = false;
   }
   if (Outcome.isDiscrepancy()) {

@@ -88,6 +88,9 @@ struct DiffStats {
   std::map<std::string, size_t> DistinctDiscrepancies;
   /// Per-JVM phase counters (the Table 7 rows): [jvm][encoded 0..4].
   std::vector<std::array<size_t, 5>> PhaseCounts;
+  /// Encoded outcomes outside 0..4 seen by add(); such codes are clamped
+  /// into range instead of indexing out of bounds.
+  size_t EncodingErrors = 0;
 
   void add(const DiffOutcome &Outcome);
   /// The diff rate |Discrepancies| / |Classes| in percent.

@@ -5,8 +5,13 @@
 #include "jvm/Vm.h"
 #include "mutation/Engine.h"
 #include "runtime/RuntimeLib.h"
+#include "support/ThreadPool.h"
 
+#include <atomic>
 #include <chrono>
+#include <deque>
+#include <memory>
+#include <optional>
 #include <set>
 
 using namespace classfuzz;
@@ -119,6 +124,29 @@ bool usesCoverage(FuzzAlgorithm Algo) {
   return Algo != FuzzAlgorithm::Randfuzz;
 }
 
+/// The mutation pool holds (name, bytes) copies; seeds also prime the
+/// uniqueness pool so mutants must differ from them.
+struct PoolEntry {
+  std::string Name;
+  Bytes Data;
+};
+
+/// One speculated-but-uncommitted iteration of the parallel pipeline.
+/// Everything the commit stage needs to either finalize the iteration or
+/// rewind the campaign state when the presumed-rejection speculation
+/// turns out wrong.
+struct PendingIteration {
+  size_t MutatorIndex = 0;
+  bool Produced = false;
+  GeneratedClass G; ///< Valid when Produced (Trace filled at commit).
+  std::future<Tracefile> Trace; ///< Valid when Produced.
+  std::shared_ptr<std::atomic<bool>> Cancelled; ///< Worker skip flag.
+  Rng RngAfter; ///< Driver RNG state after this iteration's draws.
+  /// Selector state before this iteration's presumed-rejection
+  /// recordOutcome (MCMC algorithms only).
+  std::optional<McmcSelector> SelectorBefore;
+};
+
 } // namespace
 
 CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
@@ -141,6 +169,9 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
     for (const auto &[Name, Data] : Seed.Helpers)
       RefEnv.add(Name, Data);
   }
+  // Seal the base corpus: per-mutant environments below are then cheap
+  // copy-on-write overlays instead of O(corpus) deep copies.
+  RefEnv.freeze();
 
   std::vector<std::string> KnownClasses = RefEnv.names();
   MutationContext Ctx{R, KnownClasses};
@@ -152,11 +183,17 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
   Result.MutatorSelected.assign(NumMu, 0);
   Result.MutatorSucceeded.assign(NumMu, 0);
 
+  const bool Mcmc = usesMcmc(Config.Algo);
+  const bool Coverage = usesCoverage(Config.Algo);
+  // Workers only overlap coverage executions; algorithms that collect no
+  // coverage (randfuzz) have nothing to offload.
+  const size_t Jobs = Coverage ? std::max<size_t>(1, Config.Jobs) : 1;
+
   /// Runs \p Name on the reference JVM, collecting coverage.
   auto coverageOf = [&](const std::string &Name,
                         const Bytes &Data) -> Tracefile {
     CoverageRecorder Recorder;
-    ClassPath Env = RefEnv; // Copy: the mutant overlays the corpus.
+    ClassPath Env = RefEnv; // COW overlay: shares the frozen corpus.
     Env.add(Name, Data);
     Vm Jvm(Config.ReferencePolicy, Env, &Recorder);
     Jvm.run(Name);
@@ -165,17 +202,11 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
 
   Acceptor Accept(Config.Algo);
 
-  // TestClasses <- Seeds (Algorithm 1 line 1): the mutation pool holds
-  // (name, bytes) copies; seeds also prime the uniqueness pool so
-  // mutants must differ from them.
-  struct PoolEntry {
-    std::string Name;
-    Bytes Data;
-  };
+  // TestClasses <- Seeds (Algorithm 1 line 1).
   std::vector<PoolEntry> Pool;
   for (const SeedClass &Seed : Result.Seeds) {
     Pool.push_back({Seed.Name, Seed.Data});
-    if (usesCoverage(Config.Algo))
+    if (Coverage)
       Accept.registerSeed(coverageOf(Seed.Name, Seed.Data));
   }
 
@@ -191,60 +222,161 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
     return Iter < Config.Iterations;
   };
 
-  size_t Iter = 0;
-  for (; budgetLeft(Iter); ++Iter) {
-    // Line 5: pick a classfile from TestClasses. (Index, not reference:
-    // the pool may grow below.)
-    size_t PoolIndex = R.choiceIndex(Pool.size());
-
-    // Lines 6-10: mutator selection.
-    size_t MutatorIndex = usesMcmc(Config.Algo)
-                              ? Selector.selectNext(R)
-                              : R.choiceIndex(NumMu);
-    ++Result.MutatorSelected[MutatorIndex];
-
-    // Line 11: mutate.
-    MutationOutcome Mutant =
-        mutateClass(Pool[PoolIndex].Data, MutatorIndex, Ctx);
-    if (!Mutant.Produced) {
-      if (usesMcmc(Config.Algo))
-        Selector.recordOutcome(MutatorIndex, false);
-      continue;
-    }
-
-    GeneratedClass G;
-    G.Name = Mutant.ClassName;
-    G.Data = std::move(Mutant.Data);
-    G.MutatorIndex = MutatorIndex;
-
-    // Lines 12-16: record, run on the reference JVM, accept on
-    // uniqueness.
-    bool Representative;
-    if (usesCoverage(Config.Algo)) {
-      G.Trace = coverageOf(G.Name, G.Data);
-      Representative = Accept.accept(G.Trace);
-    } else {
-      Representative = true;
-    }
-    G.Representative = Representative;
-
-    if (usesMcmc(Config.Algo))
-      Selector.recordOutcome(MutatorIndex, Representative);
+  /// Commits one produced, coverage-checked mutant: acceptance
+  /// bookkeeping plus the Algorithm 1 line 14 feedback loop. Returns
+  /// whether the mutant was representative.
+  auto commitProduced = [&](GeneratedClass &&G) {
+    bool Representative = G.Representative;
     if (Representative)
-      ++Result.MutatorSucceeded[MutatorIndex];
-
+      ++Result.MutatorSucceeded[G.MutatorIndex];
     Result.GenClasses.push_back(std::move(G));
     const GeneratedClass &Stored = Result.GenClasses.back();
-
     if (Representative) {
       Result.TestClassIndices.push_back(Result.GenClasses.size() - 1);
       // Line 14: representative mutants become seeds; they also join
       // the reference environment so later mutants can reference them.
       RefEnv.add(Stored.Name, Stored.Data);
+      RefEnv.freeze(); // Keep per-mutant overlay copies O(1).
       if (Config.FeedbackAcceptedMutants)
         Pool.push_back({Stored.Name, Stored.Data});
     }
+  };
+
+  size_t Iter = 0;
+
+  if (Jobs <= 1) {
+    // ---- Sequential reference loop (Algorithm 1, unchanged) ----------
+    for (; budgetLeft(Iter); ++Iter) {
+      // Line 5: pick a classfile from TestClasses. (Index, not
+      // reference: the pool may grow below.)
+      size_t PoolIndex = R.choiceIndex(Pool.size());
+
+      // Lines 6-10: mutator selection.
+      size_t MutatorIndex =
+          Mcmc ? Selector.selectNext(R) : R.choiceIndex(NumMu);
+      ++Result.MutatorSelected[MutatorIndex];
+
+      // Line 11: mutate.
+      MutationOutcome Mutant =
+          mutateClass(Pool[PoolIndex].Data, MutatorIndex, Ctx);
+      if (!Mutant.Produced) {
+        if (Mcmc)
+          Selector.recordOutcome(MutatorIndex, false);
+        continue;
+      }
+
+      GeneratedClass G;
+      G.Name = Mutant.ClassName;
+      G.Data = std::move(Mutant.Data);
+      G.MutatorIndex = MutatorIndex;
+
+      // Lines 12-16: record, run on the reference JVM, accept on
+      // uniqueness.
+      bool Representative;
+      if (Coverage) {
+        G.Trace = coverageOf(G.Name, G.Data);
+        Representative = Accept.accept(G.Trace);
+      } else {
+        Representative = true;
+      }
+      G.Representative = Representative;
+
+      if (Mcmc)
+        Selector.recordOutcome(MutatorIndex, Representative);
+      commitProduced(std::move(G));
+    }
+  } else {
+    // ---- Parallel pipeline: speculative lookahead, in-order commit ---
+    //
+    // The sequential algorithm's per-iteration RNG draws and MCMC state
+    // depend on every earlier acceptance decision, so the pipeline
+    // speculates: the driver runs the cheap chain (pool pick, mutator
+    // selection, mutation) ahead of time under the presumption that
+    // every in-flight mutant will be rejected (recording the rejection
+    // in the selector, as the sequential loop would), and ships only
+    // the expensive reference-JVM coverage execution to the workers.
+    // The commit stage then processes iterations strictly in order:
+    // a rejection confirms the speculation; an acceptance rewinds the
+    // driver RNG and selector to this iteration's snapshot, applies the
+    // true outcome, and discards all later in-flight work. The committed
+    // trajectory is therefore bit-identical to the sequential loop for
+    // any worker count.
+    ThreadPool Workers(Jobs);
+    std::deque<PendingIteration> InFlight;
+    const size_t Window = Jobs * 2;
+
+    auto speculate = [&]() {
+      PendingIteration P;
+      size_t PoolIndex = R.choiceIndex(Pool.size());
+      P.MutatorIndex = Mcmc ? Selector.selectNext(R) : R.choiceIndex(NumMu);
+      MutationOutcome Mutant =
+          mutateClass(Pool[PoolIndex].Data, P.MutatorIndex, Ctx);
+      P.Produced = Mutant.Produced;
+      if (P.Produced) {
+        P.G.Name = Mutant.ClassName;
+        P.G.Data = std::move(Mutant.Data);
+        P.G.MutatorIndex = P.MutatorIndex;
+        P.Cancelled = std::make_shared<std::atomic<bool>>(false);
+        // The worker's environment: a COW overlay of the corpus as of
+        // this iteration (no accept can intervene before commit -- an
+        // accept discards all later in-flight iterations).
+        auto Env = std::make_shared<ClassPath>(RefEnv);
+        Env->add(P.G.Name, P.G.Data);
+        P.Trace = Workers.submit(
+            [Env, Name = P.G.Name, &Policy = Config.ReferencePolicy,
+             Cancelled = P.Cancelled]() -> Tracefile {
+              if (Cancelled->load(std::memory_order_relaxed))
+                return Tracefile();
+              CoverageRecorder Recorder;
+              Vm Jvm(Policy, *Env, &Recorder);
+              Jvm.run(Name);
+              return Recorder.takeTrace();
+            });
+      }
+      P.RngAfter = R;
+      if (Mcmc) {
+        P.SelectorBefore = Selector;
+        // Presume rejection (the common case); exact for !Produced.
+        Selector.recordOutcome(P.MutatorIndex, false);
+      }
+      InFlight.push_back(std::move(P));
+    };
+
+    for (;;) {
+      while (InFlight.size() < Window && budgetLeft(Iter + InFlight.size()))
+        speculate();
+      if (InFlight.empty())
+        break;
+
+      PendingIteration P = std::move(InFlight.front());
+      InFlight.pop_front();
+      ++Result.MutatorSelected[P.MutatorIndex];
+      ++Iter;
+      if (!P.Produced)
+        continue; // The rejection recorded at speculation time is exact.
+
+      P.G.Trace = P.Trace.get();
+      bool Representative = Accept.accept(P.G.Trace);
+      P.G.Representative = Representative;
+      if (Representative && Mcmc) {
+        // Mispredicted: rewind the selector past the presumed rejection
+        // and apply the true outcome.
+        Selector = std::move(*P.SelectorBefore);
+        Selector.recordOutcome(P.MutatorIndex, true);
+      }
+      commitProduced(std::move(P.G));
+      if (Representative) {
+        // All later speculation saw a stale pool/ranking/environment:
+        // cancel it and rewind the RNG to just after this iteration.
+        for (PendingIteration &Stale : InFlight)
+          if (Stale.Cancelled)
+            Stale.Cancelled->store(true, std::memory_order_relaxed);
+        InFlight.clear();
+        R = P.RngAfter;
+      }
+    }
   }
+
   Result.Iterations = Iter;
 
   Result.ElapsedSeconds =

@@ -74,6 +74,13 @@ struct CampaignConfig {
   /// (mutate original seeds only), isolating the paper's §3.2 claim
   /// that representative seeds breed representative mutants.
   bool FeedbackAcceptedMutants = true;
+  /// Worker threads for the mutate -> execute -> collect-coverage
+  /// pipeline. 1 runs the sequential reference loop. Higher values
+  /// overlap reference-JVM coverage executions through speculative
+  /// lookahead with an in-order commit stage; the committed campaign
+  /// trajectory is bit-identical across Jobs values for a fixed RngSeed.
+  /// Ignored (treated as 1) by randfuzz, which collects no coverage.
+  size_t Jobs = 1;
   CampaignConfig();
 };
 

@@ -6,35 +6,89 @@
 
 using namespace classfuzz;
 
+namespace {
+
+/// Chains deeper than this are flattened on freeze(): lookups walk the
+/// chain, so depth trades per-freeze flatten cost against per-lookup
+/// cost. Flattening every 16 layers keeps both O(small).
+constexpr size_t MaxLayerDepth = 16;
+
+} // namespace
+
 void ClassPath::add(const std::string &InternalName, Bytes Data) {
-  Classes[InternalName] = std::move(Data);
+  if (!has(InternalName))
+    ++NumDistinct;
+  Overlay[InternalName] = std::move(Data);
 }
 
 const Bytes *ClassPath::lookup(const std::string &InternalName) const {
-  auto It = Classes.find(InternalName);
-  return It == Classes.end() ? nullptr : &It->second;
+  auto It = Overlay.find(InternalName);
+  if (It != Overlay.end())
+    return &It->second;
+  for (const Layer *L = Base.get(); L; L = L->Parent.get()) {
+    auto LIt = L->Classes.find(InternalName);
+    if (LIt != L->Classes.end())
+      return &LIt->second;
+  }
+  return nullptr;
+}
+
+std::map<std::string, const Bytes *> ClassPath::mergedView() const {
+  std::map<std::string, const Bytes *> Out;
+  // Oldest layer first so newer entries overwrite older ones.
+  std::vector<const Layer *> Layers;
+  for (const Layer *L = Base.get(); L; L = L->Parent.get())
+    Layers.push_back(L);
+  for (auto It = Layers.rbegin(); It != Layers.rend(); ++It)
+    for (const auto &[Name, Data] : (*It)->Classes)
+      Out[Name] = &Data;
+  for (const auto &[Name, Data] : Overlay)
+    Out[Name] = &Data;
+  return Out;
 }
 
 std::vector<std::string> ClassPath::names() const {
   std::vector<std::string> Out;
-  Out.reserve(Classes.size());
-  for (const auto &[Name, Data] : Classes)
+  Out.reserve(NumDistinct);
+  for (const auto &[Name, Data] : mergedView())
     Out.push_back(Name);
   return Out;
 }
 
 uint64_t ClassPath::fingerprint() const {
   Hasher H;
-  for (const auto &[Name, Data] : Classes) {
+  for (const auto &[Name, Data] : mergedView()) {
     H.addString(Name);
-    H.addU64(hashBytes(Data));
+    H.addU64(hashBytes(*Data));
   }
   return H.value();
 }
 
 ClassPath ClassPath::overlaidWith(const ClassPath &Overlay) const {
   ClassPath Out = *this;
-  for (const auto &[Name, Data] : Overlay.Classes)
-    Out.Classes[Name] = Data;
+  for (const auto &[Name, Data] : Overlay.mergedView())
+    Out.add(Name, *Data);
   return Out;
 }
+
+void ClassPath::freeze() {
+  if (Overlay.empty())
+    return;
+  size_t Depth = Base ? Base->Depth + 1 : 1;
+  if (Depth > MaxLayerDepth) {
+    // Flatten: one layer holding the whole merged view.
+    auto Flat = std::make_shared<Layer>();
+    for (const auto &[Name, Data] : mergedView())
+      Flat->Classes[Name] = *Data;
+    Base = std::move(Flat);
+  } else {
+    auto Top = std::make_shared<Layer>();
+    Top->Classes = std::move(Overlay);
+    Top->Parent = Base;
+    Top->Depth = Depth;
+    Base = std::move(Top);
+  }
+  Overlay.clear();
+}
+
+size_t ClassPath::layerDepth() const { return Base ? Base->Depth : 0; }

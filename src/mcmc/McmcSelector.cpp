@@ -30,20 +30,25 @@ bool classfuzz::satisfiesPConditions(double P, size_t NumMutators,
 PBounds classfuzz::estimatePBounds(size_t NumMutators, double Epsilon) {
   PBounds Out;
   const double Step = 1e-5;
+  const uint64_t Steps = static_cast<uint64_t>(1.0 / Step);
   bool InRange = false;
-  for (double P = Step; P < 1.0; P += Step) {
+  // Iterate an integer index and derive P = I * Step each time: the
+  // accumulating `P += Step` form drifts by an ulp per addition, which
+  // after ~1e5 additions moves the detected boundary.
+  for (uint64_t I = 1; I < Steps; ++I) {
+    double P = static_cast<double>(I) * Step;
     bool Ok = satisfiesPConditions(P, NumMutators, Epsilon);
     if (Ok && !InRange) {
       Out.Lo = P;
       InRange = true;
     }
     if (!Ok && InRange) {
-      Out.Hi = P - Step;
+      Out.Hi = static_cast<double>(I - 1) * Step;
       return Out;
     }
   }
   if (InRange)
-    Out.Hi = 1.0 - Step;
+    Out.Hi = static_cast<double>(Steps - 1) * Step;
   return Out;
 }
 
@@ -67,20 +72,14 @@ double McmcSelector::successRate(size_t MutatorIndex) const {
          static_cast<double>(Selected[MutatorIndex]);
 }
 
-void McmcSelector::resort() {
-  std::stable_sort(Ranking.begin(), Ranking.end(),
-                   [this](size_t A, size_t B) {
-                     return successRate(A) > successRate(B);
-                   });
-  for (size_t R = 0; R != Ranking.size(); ++R)
-    Rank[Ranking[R]] = R;
-}
-
 size_t McmcSelector::selectNext(Rng &R) {
   size_t K1 = Rank[Current];
   // Propose uniformly (the symmetric proposal distribution g), accept
-  // with min(1, (1-p)^(k2-k1)).
-  for (;;) {
+  // with min(1, (1-p)^(k2-k1)). The loop terminates with probability 1
+  // for any valid p (proposing the current mutator always accepts), but
+  // is bounded so a degenerate p (NaN, ~1) cannot hang the campaign;
+  // the fallback keeps the current mutator.
+  for (size_t Attempt = 0; Attempt != MaxProposalAttempts; ++Attempt) {
     size_t Proposal = R.choiceIndex(Selected.size());
     size_t K2 = Rank[Proposal];
     double Accept = std::pow(1.0 - P, static_cast<double>(K2) -
@@ -90,6 +89,7 @@ size_t McmcSelector::selectNext(Rng &R) {
       return Current;
     }
   }
+  return Current;
 }
 
 void McmcSelector::recordOutcome(size_t MutatorIndex,
@@ -98,5 +98,26 @@ void McmcSelector::recordOutcome(size_t MutatorIndex,
   ++Selected[MutatorIndex];
   if (Representative)
     ++Succeeded[MutatorIndex];
-  resort();
+  // Only MutatorIndex's success rate changed, so the ranking (kept
+  // sorted by descending rate) needs at most one element moved. Bubble
+  // it to its new position; the stopping conditions (strict
+  // comparisons) reproduce exactly what a full stable_sort would do:
+  // among equal rates the moved mutator lands after the equals when
+  // moving up and before them when moving down, preserving the relative
+  // order of everything else. The equivalence is asserted against a
+  // shadow stable_sort in the tests.
+  double Rate = successRate(MutatorIndex);
+  size_t K = Rank[MutatorIndex];
+  while (K > 0 && successRate(Ranking[K - 1]) < Rate) {
+    Ranking[K] = Ranking[K - 1];
+    Rank[Ranking[K]] = K;
+    --K;
+  }
+  while (K + 1 < Ranking.size() && successRate(Ranking[K + 1]) > Rate) {
+    Ranking[K] = Ranking[K + 1];
+    Rank[Ranking[K]] = K;
+    ++K;
+  }
+  Ranking[K] = MutatorIndex;
+  Rank[MutatorIndex] = K;
 }

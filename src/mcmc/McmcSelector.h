@@ -63,13 +63,23 @@ public:
   explicit McmcSelector(size_t NumMutators,
                         double P = defaultGeometricP());
 
+  /// Safety bound on the proposal-rejection loop of selectNext: past
+  /// this many rejected proposals the current mutator is kept. For any
+  /// valid p the bound is unreachable in practice (the current mutator
+  /// itself accepts with probability 1), so hitting it indicates a
+  /// degenerate p (NaN or ~1) that would otherwise loop forever.
+  static constexpr size_t MaxProposalAttempts = 4096;
+
   /// Algorithm 1 lines 6-10: proposes uniformly until a proposal is
-  /// accepted by the Metropolis choice; returns the mutator index and
-  /// makes it the current sample.
+  /// accepted by the Metropolis choice (bounded by MaxProposalAttempts,
+  /// falling back to the current mutator); returns the mutator index
+  /// and makes it the current sample.
   size_t selectNext(Rng &R);
 
   /// Records the outcome of applying \p MutatorIndex (whether the
-  /// mutant was accepted as representative), then re-sorts the ranking.
+  /// mutant was accepted as representative) and moves that mutator to
+  /// its new rank. Equivalent to a full stable re-sort by descending
+  /// success rate, at the cost of moving one element.
   void recordOutcome(size_t MutatorIndex, bool Representative);
 
   double successRate(size_t MutatorIndex) const;
@@ -89,8 +99,6 @@ public:
   double p() const { return P; }
 
 private:
-  void resort();
-
   double P;
   size_t Current = 0;
   std::vector<size_t> Selected;

@@ -126,6 +126,29 @@ TEST(DiffStats, AggregationMatchesTable6Semantics) {
   EXPECT_DOUBLE_EQ(Stats.diffRatePercent(), 60.0);
 }
 
+TEST(DiffStats, OutOfRangeCodesAreClampedAndReported) {
+  // Encoded outcomes are 0..4 by construction, but add() must not index
+  // past PhaseCounts[I] when handed a corrupt code: clamp and count.
+  DiffStats Stats;
+  DiffOutcome Corrupt;
+  Corrupt.Encoded = {0, 9, -3};
+  Stats.add(Corrupt);
+
+  EXPECT_EQ(Stats.Total, 1u);
+  EXPECT_EQ(Stats.EncodingErrors, 2u);
+  ASSERT_EQ(Stats.PhaseCounts.size(), 3u);
+  EXPECT_EQ(Stats.PhaseCounts[0][0], 1u);
+  EXPECT_EQ(Stats.PhaseCounts[1][4], 1u) << "9 clamps to 4";
+  EXPECT_EQ(Stats.PhaseCounts[2][0], 1u) << "-3 clamps to 0";
+  // The corrupt sequence is still a (non-constant) discrepancy.
+  EXPECT_EQ(Stats.Discrepancies, 1u);
+
+  DiffOutcome Clean;
+  Clean.Encoded = {1, 1, 1};
+  Stats.add(Clean);
+  EXPECT_EQ(Stats.EncodingErrors, 2u) << "clean outcomes add no errors";
+}
+
 TEST(DiffStats, PhaseCountsFeedTable7) {
   DiffStats Stats;
   DiffOutcome O;

@@ -1,0 +1,111 @@
+//===- tests/fuzzing/parallel_test.cpp -------------------------------------===//
+//
+// The parallel campaign pipeline: speculative lookahead with an in-order
+// commit stage must reproduce the sequential loop's trajectory exactly,
+// so a campaign's results are a function of (config, RngSeed) alone --
+// never of the worker count.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzzing/Campaign.h"
+#include "mutation/Mutator.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+
+namespace {
+
+CampaignConfig jobsConfig(FuzzAlgorithm Algo, size_t Jobs,
+                          size_t Iterations = 150, uint64_t Seed = 11) {
+  CampaignConfig Config;
+  Config.Algo = Algo;
+  Config.Iterations = Iterations;
+  Config.RngSeed = Seed;
+  Config.NumSeeds = 13;
+  Config.Jobs = Jobs;
+  return Config;
+}
+
+/// Full-strength equality: generated classes (names, bytes, provenance),
+/// accepted-class set, and per-mutator statistics.
+void expectIdenticalResults(const CampaignResult &A,
+                            const CampaignResult &B) {
+  ASSERT_EQ(A.Iterations, B.Iterations);
+  ASSERT_EQ(A.numGenerated(), B.numGenerated());
+  for (size_t I = 0; I != A.GenClasses.size(); ++I) {
+    EXPECT_EQ(A.GenClasses[I].Name, B.GenClasses[I].Name);
+    EXPECT_EQ(A.GenClasses[I].Data, B.GenClasses[I].Data);
+    EXPECT_EQ(A.GenClasses[I].MutatorIndex, B.GenClasses[I].MutatorIndex);
+    EXPECT_EQ(A.GenClasses[I].Representative,
+              B.GenClasses[I].Representative);
+    EXPECT_TRUE(A.GenClasses[I].Trace.sameSets(B.GenClasses[I].Trace));
+  }
+  EXPECT_EQ(A.TestClassIndices, B.TestClassIndices);
+  EXPECT_EQ(A.MutatorSelected, B.MutatorSelected);
+  EXPECT_EQ(A.MutatorSucceeded, B.MutatorSucceeded);
+}
+
+} // namespace
+
+TEST(ParallelCampaign, JobsOneMatchesJobsFourStBr) {
+  auto Seq = runCampaign(jobsConfig(FuzzAlgorithm::ClassfuzzStBr, 1));
+  auto Par = runCampaign(jobsConfig(FuzzAlgorithm::ClassfuzzStBr, 4));
+  expectIdenticalResults(Seq, Par);
+}
+
+TEST(ParallelCampaign, JobsOneMatchesJobsFourUniquefuzz) {
+  auto Seq = runCampaign(jobsConfig(FuzzAlgorithm::Uniquefuzz, 1));
+  auto Par = runCampaign(jobsConfig(FuzzAlgorithm::Uniquefuzz, 4));
+  expectIdenticalResults(Seq, Par);
+}
+
+TEST(ParallelCampaign, JobsOneMatchesJobsFourGreedyfuzz) {
+  auto Seq = runCampaign(jobsConfig(FuzzAlgorithm::Greedyfuzz, 1));
+  auto Par = runCampaign(jobsConfig(FuzzAlgorithm::Greedyfuzz, 4));
+  expectIdenticalResults(Seq, Par);
+}
+
+TEST(ParallelCampaign, ParallelRunsAreDeterministicAcrossRepeats) {
+  auto A = runCampaign(jobsConfig(FuzzAlgorithm::ClassfuzzStBr, 4, 120));
+  auto B = runCampaign(jobsConfig(FuzzAlgorithm::ClassfuzzStBr, 4, 120));
+  expectIdenticalResults(A, B);
+}
+
+TEST(ParallelCampaign, JobCountsTwoAndEightAgree) {
+  auto Two = runCampaign(jobsConfig(FuzzAlgorithm::ClassfuzzStBr, 2, 100));
+  auto Eight = runCampaign(jobsConfig(FuzzAlgorithm::ClassfuzzStBr, 8, 100));
+  expectIdenticalResults(Two, Eight);
+}
+
+TEST(ParallelCampaign, RandfuzzIgnoresJobs) {
+  // randfuzz collects no coverage, so there is nothing to offload; the
+  // sequential loop runs regardless and results must match.
+  auto Seq = runCampaign(jobsConfig(FuzzAlgorithm::Randfuzz, 1));
+  auto Par = runCampaign(jobsConfig(FuzzAlgorithm::Randfuzz, 4));
+  expectIdenticalResults(Seq, Par);
+}
+
+TEST(ParallelCampaign, FeedbackAblationAlsoDeterministic) {
+  auto MakeConfig = [](size_t Jobs) {
+    CampaignConfig Config = jobsConfig(FuzzAlgorithm::ClassfuzzStBr, Jobs);
+    Config.FeedbackAcceptedMutants = false;
+    return Config;
+  };
+  auto Seq = runCampaign(MakeConfig(1));
+  auto Par = runCampaign(MakeConfig(4));
+  expectIdenticalResults(Seq, Par);
+}
+
+TEST(ParallelCampaign, MutatorStatisticsStayConsistent) {
+  auto R = runCampaign(jobsConfig(FuzzAlgorithm::ClassfuzzStBr, 4, 200));
+  ASSERT_EQ(R.MutatorSelected.size(), mutatorRegistry().size());
+  size_t TotalSelected = 0, TotalSucceeded = 0;
+  for (size_t I = 0; I != R.MutatorSelected.size(); ++I) {
+    TotalSelected += R.MutatorSelected[I];
+    TotalSucceeded += R.MutatorSucceeded[I];
+    EXPECT_LE(R.MutatorSucceeded[I], R.MutatorSelected[I]);
+  }
+  EXPECT_EQ(TotalSelected, R.Iterations);
+  EXPECT_EQ(TotalSucceeded, R.numTests());
+}

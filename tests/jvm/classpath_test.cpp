@@ -1,0 +1,158 @@
+//===- tests/jvm/classpath_test.cpp ----------------------------------------===//
+//
+// The copy-on-write ClassPath: overlay copies must share the frozen base
+// without ever leaking writes into it, and the merged view (lookup,
+// names, size, fingerprint) must be independent of how the contents are
+// layered.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jvm/ClassPath.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+
+namespace {
+
+Bytes bytesOf(const std::string &S) { return Bytes(S.begin(), S.end()); }
+
+ClassPath makeBase() {
+  ClassPath CP;
+  CP.add("java/lang/Object", bytesOf("object"));
+  CP.add("Seed0", bytesOf("seed0"));
+  CP.add("Seed1", bytesOf("seed1"));
+  return CP;
+}
+
+} // namespace
+
+TEST(ClassPath, OverlayAddDoesNotLeakIntoSharedBase) {
+  ClassPath Base = makeBase();
+  Base.freeze();
+
+  ClassPath Overlay = Base; // Shares the frozen layer.
+  Overlay.add("Mutant", bytesOf("mutant"));
+
+  EXPECT_TRUE(Overlay.has("Mutant"));
+  EXPECT_FALSE(Base.has("Mutant")) << "overlay write leaked into the base";
+  EXPECT_EQ(Base.size(), 3u);
+  EXPECT_EQ(Overlay.size(), 4u);
+}
+
+TEST(ClassPath, OverlayReplacementShadowsWithoutMutatingBase) {
+  ClassPath Base = makeBase();
+  Base.freeze();
+
+  ClassPath Overlay = Base;
+  Overlay.add("Seed0", bytesOf("patched"));
+
+  ASSERT_NE(Overlay.lookup("Seed0"), nullptr);
+  EXPECT_EQ(*Overlay.lookup("Seed0"), bytesOf("patched"));
+  ASSERT_NE(Base.lookup("Seed0"), nullptr);
+  EXPECT_EQ(*Base.lookup("Seed0"), bytesOf("seed0"))
+      << "replacing a class in the overlay mutated the shared base";
+  // Replacement shadows, it does not add a name.
+  EXPECT_EQ(Overlay.size(), Base.size());
+}
+
+TEST(ClassPath, BaseWritesAfterCopyDoNotLeakIntoOverlay) {
+  ClassPath Base = makeBase();
+  Base.freeze();
+  ClassPath Overlay = Base;
+
+  Base.add("LateClass", bytesOf("late"));
+  EXPECT_TRUE(Base.has("LateClass"));
+  EXPECT_FALSE(Overlay.has("LateClass"));
+}
+
+TEST(ClassPath, CopyWithPendingOverlayIsIndependent) {
+  ClassPath A = makeBase(); // Nothing frozen: everything pending.
+  ClassPath B = A;
+  B.add("OnlyInB", bytesOf("b"));
+  A.add("OnlyInA", bytesOf("a"));
+  EXPECT_TRUE(A.has("OnlyInA"));
+  EXPECT_FALSE(A.has("OnlyInB"));
+  EXPECT_TRUE(B.has("OnlyInB"));
+  EXPECT_FALSE(B.has("OnlyInA"));
+}
+
+TEST(ClassPath, FreezePreservesContentsAndFingerprint) {
+  ClassPath Flat = makeBase();
+  uint64_t FlatPrint = Flat.fingerprint();
+  std::vector<std::string> FlatNames = Flat.names();
+
+  ClassPath Frozen = makeBase();
+  Frozen.freeze();
+  EXPECT_EQ(Frozen.fingerprint(), FlatPrint)
+      << "fingerprint must depend on contents, not layering";
+  EXPECT_EQ(Frozen.names(), FlatNames);
+  EXPECT_EQ(Frozen.size(), Flat.size());
+  for (const std::string &Name : FlatNames) {
+    ASSERT_NE(Frozen.lookup(Name), nullptr);
+    EXPECT_EQ(*Frozen.lookup(Name), *Flat.lookup(Name));
+  }
+}
+
+TEST(ClassPath, DeepLayerChainsFlattenAndStayCorrect) {
+  // Repeated add+freeze cycles (one per accepted mutant in a campaign)
+  // must keep the merged view correct through the periodic flatten.
+  ClassPath CP = makeBase();
+  CP.freeze();
+  for (int I = 0; I != 100; ++I) {
+    CP.add("Mutant" + std::to_string(I), bytesOf("m" + std::to_string(I)));
+    CP.freeze();
+  }
+  EXPECT_EQ(CP.size(), 103u);
+  EXPECT_LE(CP.layerDepth(), 17u) << "chain depth must be capped";
+  for (int I = 0; I != 100; ++I) {
+    const Bytes *Data = CP.lookup("Mutant" + std::to_string(I));
+    ASSERT_NE(Data, nullptr);
+    EXPECT_EQ(*Data, bytesOf("m" + std::to_string(I)));
+  }
+
+  // Same contents built flat: identical fingerprint and names.
+  ClassPath Flat = makeBase();
+  for (int I = 0; I != 100; ++I)
+    Flat.add("Mutant" + std::to_string(I), bytesOf("m" + std::to_string(I)));
+  EXPECT_EQ(CP.fingerprint(), Flat.fingerprint());
+  EXPECT_EQ(CP.names(), Flat.names());
+}
+
+TEST(ClassPath, NewestLayerWinsOnReplacement) {
+  ClassPath CP;
+  CP.add("C", bytesOf("v1"));
+  CP.freeze();
+  CP.add("C", bytesOf("v2"));
+  CP.freeze();
+  CP.add("C", bytesOf("v3")); // Pending overlay wins over all layers.
+  ASSERT_NE(CP.lookup("C"), nullptr);
+  EXPECT_EQ(*CP.lookup("C"), bytesOf("v3"));
+  EXPECT_EQ(CP.size(), 1u);
+}
+
+TEST(ClassPath, OverlaidWithPrefersOverlayEntries) {
+  ClassPath Base = makeBase();
+  Base.freeze();
+  ClassPath Extra;
+  Extra.add("Seed0", bytesOf("replacement"));
+  Extra.add("New", bytesOf("new"));
+
+  ClassPath Combined = Base.overlaidWith(Extra);
+  EXPECT_EQ(*Combined.lookup("Seed0"), bytesOf("replacement"));
+  EXPECT_EQ(*Combined.lookup("New"), bytesOf("new"));
+  EXPECT_EQ(*Combined.lookup("Seed1"), bytesOf("seed1"));
+  EXPECT_EQ(Combined.size(), 4u);
+  // And the operands are untouched.
+  EXPECT_EQ(*Base.lookup("Seed0"), bytesOf("seed0"));
+  EXPECT_FALSE(Base.has("New"));
+}
+
+TEST(ClassPath, EmptyBehaviors) {
+  ClassPath CP;
+  EXPECT_EQ(CP.size(), 0u);
+  EXPECT_EQ(CP.lookup("Missing"), nullptr);
+  EXPECT_TRUE(CP.names().empty());
+  CP.freeze(); // Freezing nothing is a no-op.
+  EXPECT_EQ(CP.layerDepth(), 0u);
+}

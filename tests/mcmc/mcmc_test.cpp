@@ -9,7 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 using namespace classfuzz;
 
@@ -69,6 +71,44 @@ TEST(McmcSelector, RankingSortsBySuccessRateDescending) {
   EXPECT_EQ(S.ranking()[3], 0u);
   EXPECT_EQ(S.rankOf(3), 1u);
   EXPECT_EQ(S.rankOf(1), 2u);
+}
+
+TEST(McmcSelector, IncrementalRankingMatchesStableSort) {
+  // recordOutcome moves only the updated mutator; this must reproduce
+  // exactly the ranking a full stable re-sort after every outcome (the
+  // previous implementation) would produce, ties and all.
+  const size_t N = 17;
+  McmcSelector S(N, 3.0 / N);
+  Rng R(123);
+  std::vector<size_t> Shadow(N);
+  for (size_t I = 0; I != N; ++I)
+    Shadow[I] = I;
+  auto RateOf = [&](size_t Mu) {
+    return S.timesSelected(Mu) == 0
+               ? 1.0
+               : static_cast<double>(S.timesSucceeded(Mu)) /
+                     static_cast<double>(S.timesSelected(Mu));
+  };
+  for (int Iter = 0; Iter != 3000; ++Iter) {
+    size_t Mu = R.choiceIndex(N);
+    S.recordOutcome(Mu, R.nextBool(0.1 + 0.4 * static_cast<double>(Mu % 3)));
+    std::stable_sort(Shadow.begin(), Shadow.end(),
+                     [&](size_t A, size_t B) { return RateOf(A) > RateOf(B); });
+    ASSERT_EQ(S.ranking(), Shadow) << "diverged at outcome " << Iter;
+    for (size_t K = 0; K != N; ++K)
+      ASSERT_EQ(S.rankOf(Shadow[K]), K);
+  }
+}
+
+TEST(McmcSelector, SelectNextTerminatesOnDegenerateP) {
+  // A NaN p makes every Metropolis comparison false; an unbounded
+  // proposal loop would spin forever. The attempt bound falls back to
+  // the current mutator.
+  McmcSelector S(7, std::nan(""));
+  Rng R(3);
+  size_t Picked = S.selectNext(R);
+  EXPECT_EQ(Picked, S.current());
+  EXPECT_LT(Picked, 7u);
 }
 
 TEST(McmcSelector, BetterProposalsAlwaysAccepted) {

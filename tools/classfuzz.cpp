@@ -31,6 +31,7 @@
 #include "reducer/Reducer.h"
 #include "runtime/RuntimeLib.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -50,7 +51,7 @@ int usage() {
       "  classfuzz fuzz    [--algo stbr|st|tr|unique|greedy|rand]\n"
       "                    [--iterations N | --time-budget SECONDS]\n"
       "                    [--seeds N | --seed-dir DIR] [--rng N]\n"
-      "                    [--out DIR]\n"
+      "                    [--jobs N] [--out DIR]\n"
       "  classfuzz run     FILE.class [--env jre5|jre7|jre8|jre9]\n"
       "  classfuzz inspect FILE.class\n"
       "  classfuzz reduce  FILE.class [--out FILE]\n"
@@ -158,6 +159,10 @@ int cmdFuzz(const Args &A) {
       static_cast<size_t>(std::atol(A.get("seeds", "64").c_str()));
   Config.RngSeed =
       static_cast<uint64_t>(std::atoll(A.get("rng", "1").c_str()));
+  // Worker threads for the campaign pipeline; results are identical
+  // across --jobs values for a fixed --rng seed.
+  Config.Jobs = static_cast<size_t>(
+      std::max<long>(1, std::atol(A.get("jobs", "1").c_str())));
   if (A.has("seed-dir")) {
     Config.ExternalSeeds = loadSeedDir(A.get("seed-dir"));
     if (Config.ExternalSeeds.empty()) {
