@@ -7,6 +7,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "classfile/ClassReader.h"
+#include "difftest/Phase.h"
 #include "jvm/FormatChecker.h"
 #include "jvm/Verifier.h"
 #include "jvm/Vm.h"
@@ -90,7 +91,7 @@ void BM_StartupAcrossProfiles(benchmark::State &State) {
     for (const JvmPolicy &P : Policies) {
       Vm Jvm(P, F.Env);
       JvmResult R = Jvm.run(F.Seed.Name);
-      benchmark::DoNotOptimize(encodeOutcome(R));
+      benchmark::DoNotOptimize(encodePhase(R));
     }
   }
 }

@@ -91,7 +91,7 @@ int main() {
         break;
       JirClass J = Before.take();
       std::string Header = printJir(J).substr(0, 72);
-      if (Registry[I].Apply(J, Ctx)) {
+      if (Registry[I].Apply(J, Ctx) != MutationResult::Inapplicable) {
         std::printf("* %s\n    before: %s...\n    after:  %s...\n",
                     Registry[I].Description.c_str(), Header.c_str(),
                     printJir(J).substr(0, 72).c_str());

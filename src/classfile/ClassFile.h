@@ -69,6 +69,9 @@ struct FieldConstant {
   int64_t IntValue = 0;
   double FpValue = 0;
   std::string StrValue;
+
+  friend bool operator==(const FieldConstant &,
+                         const FieldConstant &) = default;
 };
 
 /// field_info with resolved name/descriptor.

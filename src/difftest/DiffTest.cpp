@@ -2,10 +2,13 @@
 
 #include "difftest/DiffTest.h"
 
+#include "difftest/Phase.h"
 #include "jvm/Vm.h"
 #include "runtime/RuntimeLib.h"
+#include "telemetry/Telemetry.h"
 
 #include <array>
+#include <optional>
 
 using namespace classfuzz;
 
@@ -53,29 +56,62 @@ DifferentialTester DifferentialTester::withAllProfiles(
                             SharedLibVersion);
 }
 
-DiffOutcome DifferentialTester::testClass(const std::string &Name) const {
+DiffOutcome DifferentialTester::runProfiles(const std::string &Name,
+                                            const Bytes *Data) const {
+  namespace tm = classfuzz::telemetry;
+  const bool Telemetry = tm::enabled();
+  static tm::Histogram &WallNs =
+      tm::metrics().histogram("difftest.wall_ns");
+  std::optional<tm::PhaseTimer> Timer;
+  if (Telemetry)
+    Timer.emplace(WallNs);
+
   DiffOutcome Out;
   for (size_t I = 0; I != Policies.size(); ++I) {
-    Vm Jvm(Policies[I], Envs[I]);
-    JvmResult R = Jvm.run(Name);
-    Out.Encoded.push_back(encodeOutcome(R));
-    Out.Results.push_back(std::move(R));
+    int Code;
+    if (Data) {
+      ClassPath Env = Envs[I]; // COW overlay: shares the frozen corpus.
+      Env.add(Name, *Data);
+      Vm Jvm(Policies[I], Env);
+      JvmResult R = Jvm.run(Name);
+      Code = encodePhase(R);
+      Out.Results.push_back(std::move(R));
+    } else {
+      Vm Jvm(Policies[I], Envs[I]);
+      JvmResult R = Jvm.run(Name);
+      Code = encodePhase(R);
+      Out.Results.push_back(std::move(R));
+    }
+    Out.Encoded.push_back(Code);
+    if (Telemetry)
+      tm::metrics()
+          .counter("difftest.outcome." + Policies[I].Name + ".phase" +
+                   std::to_string(Code))
+          .inc();
+  }
+
+  if (Telemetry) {
+    Timer.reset(); // Record wall time before emitting the event.
+    tm::metrics().counter("difftest.classes").inc();
+    if (Out.isDiscrepancy())
+      tm::metrics().counter("difftest.discrepancies").inc();
+    if (tm::eventSink())
+      tm::EventBuilder("difftest")
+          .field("class", Name)
+          .field("encoded", Out.encodedString())
+          .field("discrepancy", Out.isDiscrepancy())
+          .emit();
   }
   return Out;
 }
 
+DiffOutcome DifferentialTester::testClass(const std::string &Name) const {
+  return runProfiles(Name, nullptr);
+}
+
 DiffOutcome DifferentialTester::testClass(const std::string &Name,
                                           const Bytes &Data) const {
-  DiffOutcome Out;
-  for (size_t I = 0; I != Policies.size(); ++I) {
-    ClassPath Env = Envs[I]; // COW overlay: shares the frozen corpus.
-    Env.add(Name, Data);
-    Vm Jvm(Policies[I], Env);
-    JvmResult R = Jvm.run(Name);
-    Out.Encoded.push_back(encodeOutcome(R));
-    Out.Results.push_back(std::move(R));
-  }
-  return Out;
+  return runProfiles(Name, &Data);
 }
 
 void DiffStats::add(const DiffOutcome &Outcome) {
@@ -104,6 +140,21 @@ void DiffStats::add(const DiffOutcome &Outcome) {
     ++AllInvoked;
   else
     ++AllRejectedSameStage;
+}
+
+void DiffStats::merge(const DiffStats &Other) {
+  Total += Other.Total;
+  AllInvoked += Other.AllInvoked;
+  AllRejectedSameStage += Other.AllRejectedSameStage;
+  Discrepancies += Other.Discrepancies;
+  EncodingErrors += Other.EncodingErrors;
+  for (const auto &[Sequence, Count] : Other.DistinctDiscrepancies)
+    DistinctDiscrepancies[Sequence] += Count;
+  if (PhaseCounts.size() < Other.PhaseCounts.size())
+    PhaseCounts.resize(Other.PhaseCounts.size());
+  for (size_t Jvm = 0; Jvm != Other.PhaseCounts.size(); ++Jvm)
+    for (size_t Code = 0; Code != Other.PhaseCounts[Jvm].size(); ++Code)
+      PhaseCounts[Jvm][Code] += Other.PhaseCounts[Jvm][Code];
 }
 
 double DiffStats::diffRatePercent() const {

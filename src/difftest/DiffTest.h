@@ -74,6 +74,10 @@ public:
   const std::vector<JvmPolicy> &policies() const { return Policies; }
 
 private:
+  /// Shared run-and-encode loop; \p Data overlays the environments when
+  /// non-null.
+  DiffOutcome runProfiles(const std::string &Name, const Bytes *Data) const;
+
   std::vector<JvmPolicy> Policies;
   std::vector<ClassPath> Envs; ///< One per policy.
 };
@@ -93,6 +97,11 @@ struct DiffStats {
   size_t EncodingErrors = 0;
 
   void add(const DiffOutcome &Outcome);
+  /// Folds another stats object into this one, so sharded differential
+  /// runs can each keep local stats and combine them at the end.
+  /// Commutative and associative; merging equals adding every outcome
+  /// to one object.
+  void merge(const DiffStats &Other);
   /// The diff rate |Discrepancies| / |Classes| in percent.
   double diffRatePercent() const;
 };

@@ -1,0 +1,38 @@
+//===- difftest/Phase.cpp --------------------------------------------------===//
+
+#include "difftest/Phase.h"
+
+using namespace classfuzz;
+
+int classfuzz::encodePhase(const JvmResult &Result) {
+  if (Result.Invoked)
+    return 0;
+  switch (Result.Phase) {
+  case JvmPhase::Loading:
+    return 1;
+  case JvmPhase::Linking:
+    return 2;
+  case JvmPhase::Initialization:
+    return 3;
+  case JvmPhase::Execution:
+  case JvmPhase::Completed:
+    return 4;
+  }
+  return 4;
+}
+
+const char *classfuzz::phaseCodeName(int Code) {
+  switch (Code) {
+  case 0:
+    return "normally invoked";
+  case 1:
+    return "rejected while loading";
+  case 2:
+    return "rejected while linking";
+  case 3:
+    return "rejected while initializing";
+  case 4:
+    return "rejected at runtime";
+  }
+  return "?";
+}

@@ -1,0 +1,36 @@
+//===- difftest/Phase.h - The {0..4} test-output encoding ----------------===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single home of the paper's test-output encoding (§2.3, Figure 3):
+/// a JVM run is simplified to {0 = normally invoked, 1 = rejected while
+/// loading, 2 = linking, 3 = initialization, 4 = runtime}. Every
+/// consumer -- the differential tester, reports, telemetry, benches,
+/// tests -- encodes through encodePhase() and labels codes through
+/// phaseCodeName(), so the encoding cannot drift between layers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_DIFFTEST_PHASE_H
+#define CLASSFUZZ_DIFFTEST_PHASE_H
+
+#include "jvm/JvmTypes.h"
+
+namespace classfuzz {
+
+/// Number of distinct encoded outcome codes.
+inline constexpr int NumPhaseCodes = 5;
+
+/// Maps one JVM run to the paper's 0..4 test-output encoding.
+int encodePhase(const JvmResult &Result);
+
+/// Human-readable label of an encoded outcome, e.g. "normally invoked"
+/// for 0 or "rejected while linking" for 2. "?" for out-of-range codes.
+const char *phaseCodeName(int Code);
+
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_DIFFTEST_PHASE_H

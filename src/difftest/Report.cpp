@@ -2,6 +2,8 @@
 
 #include "difftest/Report.h"
 
+#include "difftest/Phase.h"
+
 #include <map>
 #include <sstream>
 
@@ -22,8 +24,10 @@ std::string classfuzz::renderDiscrepancyReport(
   OS << "Encoding: one digit per JVM (";
   for (size_t I = 0; I != Policies.size(); ++I)
     OS << (I ? ", " : "") << Policies[I].Name;
-  OS << "); 0 = normally invoked, 1 = rejected during loading, "
-        "2 = linking, 3 = initialization, 4 = runtime.\n\n";
+  OS << ");";
+  for (int Code = 0; Code != NumPhaseCodes; ++Code)
+    OS << (Code ? ", " : " ") << Code << " = " << phaseCodeName(Code);
+  OS << ".\n\n";
 
   std::map<std::string, std::vector<const DiscrepancyRecord *>>
       ByCategory;

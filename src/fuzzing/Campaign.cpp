@@ -6,9 +6,11 @@
 #include "mutation/Engine.h"
 #include "runtime/RuntimeLib.h"
 #include "support/ThreadPool.h"
+#include "telemetry/Telemetry.h"
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <deque>
 #include <memory>
 #include <optional>
@@ -131,12 +133,49 @@ struct PoolEntry {
   Bytes Data;
 };
 
+/// The campaign's telemetry handles, resolved once per process so the
+/// per-iteration hot path never touches the registry mutex. All
+/// recording is observation-only (see DESIGN.md §8): no Rng access, no
+/// interaction with speculation commit order.
+struct CampaignTelemetry {
+  telemetry::Counter &Accepted;
+  telemetry::Counter &Rejected;
+  telemetry::Counter &Inapplicable;
+  telemetry::Counter &NoChange;
+  telemetry::Counter &AssemblyFailed;
+  telemetry::Counter &SpecHits;
+  telemetry::Counter &SpecRollbacks;
+  telemetry::Counter &SpecCancelled;
+  telemetry::Histogram &MutateNs;
+  telemetry::Histogram &ExecuteNs;
+  telemetry::Histogram &CommitNs;
+
+  static CampaignTelemetry &get() {
+    auto &M = telemetry::metrics();
+    static CampaignTelemetry T{
+        M.counter("campaign.accepted"),
+        M.counter("campaign.rejected"),
+        M.counter("campaign.inapplicable"),
+        M.counter("campaign.nochange"),
+        M.counter("campaign.assembly_failed"),
+        M.counter("campaign.speculation.hits"),
+        M.counter("campaign.speculation.rollbacks"),
+        M.counter("campaign.speculation.cancelled"),
+        M.histogram("campaign.stage.mutate_ns"),
+        M.histogram("campaign.stage.execute_ns"),
+        M.histogram("campaign.stage.commit_ns"),
+    };
+    return T;
+  }
+};
+
 /// One speculated-but-uncommitted iteration of the parallel pipeline.
 /// Everything the commit stage needs to either finalize the iteration or
 /// rewind the campaign state when the presumed-rejection speculation
 /// turns out wrong.
 struct PendingIteration {
   size_t MutatorIndex = 0;
+  MutationResult MutResult = MutationResult::Inapplicable;
   bool Produced = false;
   GeneratedClass G; ///< Valid when Produced (Trace filled at commit).
   std::future<Tracefile> Trace; ///< Valid when Produced.
@@ -182,6 +221,15 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
                                    : defaultGeometricP(NumMu));
   Result.MutatorSelected.assign(NumMu, 0);
   Result.MutatorSucceeded.assign(NumMu, 0);
+  Result.MutatorInapplicable.assign(NumMu, 0);
+  Result.MutatorNoChange.assign(NumMu, 0);
+
+  // Telemetry handles. Observation-only: sampled through relaxed
+  // atomics and never read back, so the committed trajectory is
+  // bit-identical with telemetry on or off. Disabled-mode cost is one
+  // branch per record site plus inert PhaseTimers.
+  CampaignTelemetry &TM = CampaignTelemetry::get();
+  const bool Telem = telemetry::enabled();
 
   const bool Mcmc = usesMcmc(Config.Algo);
   const bool Coverage = usesCoverage(Config.Algo);
@@ -201,6 +249,69 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
   };
 
   Acceptor Accept(Config.Algo);
+
+  // Mutation-outcome accounting shared by both loops. In the parallel
+  // pipeline this runs at the in-order commit stage only, so the
+  // numbers are identical across Jobs values.
+  auto recordMutation = [&](size_t MutatorIndex, MutationResult MR,
+                            bool Produced) {
+    switch (MR) {
+    case MutationResult::Inapplicable:
+      ++Result.MutatorInapplicable[MutatorIndex];
+      if (Telem)
+        TM.Inapplicable.inc();
+      break;
+    case MutationResult::NoChange:
+      ++Result.MutatorNoChange[MutatorIndex];
+      if (Telem)
+        TM.NoChange.inc();
+      break;
+    case MutationResult::Applied:
+      break;
+    }
+    if (Telem && MR != MutationResult::Inapplicable && !Produced)
+      TM.AssemblyFailed.inc();
+  };
+
+  // One JSONL event per committed iteration. Commit order is the
+  // sequential order for every Jobs value, so the event stream is too.
+  auto emitIteration = [&](size_t IterIndex, size_t MutatorIndex,
+                           MutationResult MR, bool Produced,
+                           bool Representative) {
+    if (!telemetry::eventSink())
+      return;
+    telemetry::EventBuilder("campaign.iteration")
+        .field("iter", static_cast<uint64_t>(IterIndex))
+        .field("mutator", mutatorRegistry()[MutatorIndex].Id)
+        .field("result", mutationResultName(MR))
+        .field("produced", Produced)
+        .field("representative", Representative)
+        .emit();
+  };
+
+  // Periodic one-line stderr progress (--progress). Reads campaign
+  // state and the wall clock only, never the RNG. The cheap modulo
+  // keeps the clock off the per-iteration path.
+  auto LastProgress = StartTime;
+  auto maybeProgress = [&](size_t IterDone) {
+    if (Config.ProgressIntervalSeconds <= 0 || IterDone % 32 != 0 ||
+        IterDone == 0)
+      return;
+    auto Now = std::chrono::steady_clock::now();
+    if (std::chrono::duration<double>(Now - LastProgress).count() <
+        Config.ProgressIntervalSeconds)
+      return;
+    LastProgress = Now;
+    std::fprintf(
+        stderr,
+        "[classfuzz] %s iter=%zu gen=%zu test=%zu succ=%.2f%% "
+        "elapsed=%.1fs\n",
+        fuzzAlgorithmName(Config.Algo), IterDone, Result.GenClasses.size(),
+        Result.TestClassIndices.size(),
+        100.0 * static_cast<double>(Result.TestClassIndices.size()) /
+            static_cast<double>(IterDone),
+        std::chrono::duration<double>(Now - StartTime).count());
+  };
 
   // TestClasses <- Seeds (Algorithm 1 line 1).
   std::vector<PoolEntry> Pool;
@@ -257,11 +368,16 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
       ++Result.MutatorSelected[MutatorIndex];
 
       // Line 11: mutate.
+      telemetry::PhaseTimer MutT(TM.MutateNs);
       MutationOutcome Mutant =
           mutateClass(Pool[PoolIndex].Data, MutatorIndex, Ctx);
+      MutT.stop();
+      recordMutation(MutatorIndex, Mutant.Result, Mutant.Produced);
       if (!Mutant.Produced) {
         if (Mcmc)
           Selector.recordOutcome(MutatorIndex, false);
+        emitIteration(Iter, MutatorIndex, Mutant.Result, false, false);
+        maybeProgress(Iter + 1);
         continue;
       }
 
@@ -274,7 +390,9 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
       // uniqueness.
       bool Representative;
       if (Coverage) {
+        telemetry::PhaseTimer ExecT(TM.ExecuteNs);
         G.Trace = coverageOf(G.Name, G.Data);
+        ExecT.stop();
         Representative = Accept.accept(G.Trace);
       } else {
         Representative = true;
@@ -283,7 +401,14 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
 
       if (Mcmc)
         Selector.recordOutcome(MutatorIndex, Representative);
-      commitProduced(std::move(G));
+      if (Telem)
+        (Representative ? TM.Accepted : TM.Rejected).inc();
+      emitIteration(Iter, MutatorIndex, Mutant.Result, true, Representative);
+      {
+        telemetry::PhaseTimer CommitT(TM.CommitNs);
+        commitProduced(std::move(G));
+      }
+      maybeProgress(Iter + 1);
     }
   } else {
     // ---- Parallel pipeline: speculative lookahead, in-order commit ---
@@ -309,8 +434,11 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
       PendingIteration P;
       size_t PoolIndex = R.choiceIndex(Pool.size());
       P.MutatorIndex = Mcmc ? Selector.selectNext(R) : R.choiceIndex(NumMu);
+      telemetry::PhaseTimer MutT(TM.MutateNs);
       MutationOutcome Mutant =
           mutateClass(Pool[PoolIndex].Data, P.MutatorIndex, Ctx);
+      MutT.stop();
+      P.MutResult = Mutant.Result;
       P.Produced = Mutant.Produced;
       if (P.Produced) {
         P.G.Name = Mutant.ClassName;
@@ -324,9 +452,12 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
         Env->add(P.G.Name, P.G.Data);
         P.Trace = Workers.submit(
             [Env, Name = P.G.Name, &Policy = Config.ReferencePolicy,
-             Cancelled = P.Cancelled]() -> Tracefile {
+             Cancelled = P.Cancelled, &ExecNs = TM.ExecuteNs]() -> Tracefile {
               if (Cancelled->load(std::memory_order_relaxed))
                 return Tracefile();
+              // Worker-side timing is safe: Histogram is lock-free
+              // atomics, and the timer never touches campaign state.
+              telemetry::PhaseTimer ExecT(ExecNs);
               CoverageRecorder Recorder;
               Vm Jvm(Policy, *Env, &Recorder);
               Jvm.run(Name);
@@ -351,11 +482,17 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
       PendingIteration P = std::move(InFlight.front());
       InFlight.pop_front();
       ++Result.MutatorSelected[P.MutatorIndex];
+      recordMutation(P.MutatorIndex, P.MutResult, P.Produced);
       ++Iter;
-      if (!P.Produced)
-        continue; // The rejection recorded at speculation time is exact.
+      if (!P.Produced) {
+        // The rejection recorded at speculation time is exact.
+        emitIteration(Iter - 1, P.MutatorIndex, P.MutResult, false, false);
+        maybeProgress(Iter);
+        continue;
+      }
 
       P.G.Trace = P.Trace.get();
+      telemetry::PhaseTimer CommitT(TM.CommitNs);
       bool Representative = Accept.accept(P.G.Trace);
       P.G.Representative = Representative;
       if (Representative && Mcmc) {
@@ -365,19 +502,61 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
         Selector.recordOutcome(P.MutatorIndex, true);
       }
       commitProduced(std::move(P.G));
+      CommitT.stop();
+      if (Telem)
+        (Representative ? TM.Accepted : TM.Rejected).inc();
+      emitIteration(Iter - 1, P.MutatorIndex, P.MutResult, true,
+                    Representative);
       if (Representative) {
         // All later speculation saw a stale pool/ranking/environment:
         // cancel it and rewind the RNG to just after this iteration.
+        if (Telem) {
+          TM.SpecRollbacks.inc();
+          TM.SpecCancelled.inc(InFlight.size());
+        }
         for (PendingIteration &Stale : InFlight)
           if (Stale.Cancelled)
             Stale.Cancelled->store(true, std::memory_order_relaxed);
         InFlight.clear();
         R = P.RngAfter;
+      } else if (Telem) {
+        // Presumed-rejection speculation confirmed: the pipeline kept
+        // this iteration's work.
+        TM.SpecHits.inc();
       }
+      maybeProgress(Iter);
     }
   }
 
   Result.Iterations = Iter;
+
+  if (Telem) {
+    // Per-mutator selection/success/inapplicable/no-change table for
+    // the --stats-json snapshot, filled from the (always-maintained)
+    // result vectors. The grid accumulates across campaigns in one
+    // process.
+    static const char *Cols[] = {"selected", "succeeded", "inapplicable",
+                                 "nochange"};
+    telemetry::CounterGrid &Grid = telemetry::metrics().grid(
+        "campaign.mutator", NumMu, 4,
+        [](size_t Row) { return mutatorRegistry()[Row].Id; },
+        [](size_t Col) { return std::string(Cols[Col]); });
+    for (size_t I = 0; I != NumMu; ++I) {
+      Grid.inc(I, 0, Result.MutatorSelected[I]);
+      Grid.inc(I, 1, Result.MutatorSucceeded[I]);
+      Grid.inc(I, 2, Result.MutatorInapplicable[I]);
+      Grid.inc(I, 3, Result.MutatorNoChange[I]);
+    }
+    telemetry::metrics().counter("campaign.iterations").inc(Iter);
+  }
+  if (telemetry::eventSink())
+    telemetry::EventBuilder("campaign.end")
+        .field("algorithm", fuzzAlgorithmName(Config.Algo))
+        .field("iterations", static_cast<uint64_t>(Iter))
+        .field("generated", static_cast<uint64_t>(Result.GenClasses.size()))
+        .field("accepted",
+               static_cast<uint64_t>(Result.TestClassIndices.size()))
+        .emit();
 
   Result.ElapsedSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -

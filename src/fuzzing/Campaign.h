@@ -81,6 +81,13 @@ struct CampaignConfig {
   /// trajectory is bit-identical across Jobs values for a fixed RngSeed.
   /// Ignored (treated as 1) by randfuzz, which collects no coverage.
   size_t Jobs = 1;
+  /// When positive, the driver prints a one-line progress report to
+  /// stderr roughly every this many seconds (committed iterations,
+  /// generated/accepted counts, succ rate). Observation only: the
+  /// report reads campaign state and the wall clock, never the RNG, so
+  /// results are unaffected. 0 disables (the default; the CLI enables
+  /// it via --progress).
+  double ProgressIntervalSeconds = 0;
   CampaignConfig();
 };
 
@@ -101,6 +108,13 @@ struct CampaignResult {
   std::vector<size_t> TestClassIndices; ///< Indices into GenClasses.
   std::vector<size_t> MutatorSelected;  ///< Per-mutator selection count.
   std::vector<size_t> MutatorSucceeded; ///< Per-mutator acceptance count.
+  /// Per-mutator draws the class shape ruled out entirely (no mutation
+  /// site; includes seeds that failed to lower).
+  std::vector<size_t> MutatorInapplicable;
+  /// Per-mutator applicable draws that rewrote the class into itself
+  /// (MutationResult::NoChange); distinguished from Inapplicable so the
+  /// §3.1.3 succ-rate telemetry is not skewed by no-op applications.
+  std::vector<size_t> MutatorNoChange;
   /// Seed corpus (with helpers) used; needed to rebuild environments for
   /// downstream differential testing.
   std::vector<SeedClass> Seeds;

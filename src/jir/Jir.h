@@ -47,6 +47,8 @@ struct JirStmt {
   double FpOperand = 0;
 
   bool isBranch() const;
+  /// Structural equality (used to classify no-op mutations).
+  friend bool operator==(const JirStmt &, const JirStmt &) = default;
 };
 
 /// Exception table entry in statement-index space. EndIndex is
@@ -56,6 +58,9 @@ struct JirExceptionEntry {
   uint32_t EndIndex = 0;
   uint32_t HandlerIndex = 0;
   std::string CatchType; ///< Empty = catch-all.
+
+  friend bool operator==(const JirExceptionEntry &,
+                         const JirExceptionEntry &) = default;
 };
 
 /// A method with a decoded body (or none, for abstract/native methods).
@@ -71,6 +76,7 @@ struct JirMethod {
   std::vector<std::string> Exceptions; ///< throws clause.
 
   bool isStatic() const { return AccessFlags & ACC_STATIC; }
+  friend bool operator==(const JirMethod &, const JirMethod &) = default;
 };
 
 /// A field (fields need no decoding; the classfile form is symbolic
@@ -80,6 +86,8 @@ struct JirField {
   std::string Descriptor;
   uint16_t AccessFlags = 0;
   std::optional<FieldConstant> ConstantValue;
+
+  friend bool operator==(const JirField &, const JirField &) = default;
 };
 
 /// A whole class in JIR form.
@@ -96,6 +104,7 @@ struct JirClass {
   bool isInterface() const { return AccessFlags & ACC_INTERFACE; }
   JirMethod *findMethod(const std::string &Name);
   const JirMethod *findMethodByName(const std::string &Name) const;
+  friend bool operator==(const JirClass &, const JirClass &) = default;
 };
 
 /// Decodes a classfile into JIR. Fails on bodies using constructs the IR

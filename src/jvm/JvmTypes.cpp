@@ -87,20 +87,3 @@ std::string JvmResult::toString() const {
   }
   return Out;
 }
-
-int classfuzz::encodeOutcome(const JvmResult &Result) {
-  if (Result.Invoked)
-    return 0;
-  switch (Result.Phase) {
-  case JvmPhase::Loading:
-    return 1;
-  case JvmPhase::Linking:
-    return 2;
-  case JvmPhase::Initialization:
-    return 3;
-  case JvmPhase::Execution:
-  case JvmPhase::Completed:
-    return 4;
-  }
-  return 4;
-}

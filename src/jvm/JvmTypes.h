@@ -7,8 +7,8 @@
 /// \file
 /// The observable behavior r = jvm(e, c, i) of a JVM run: the startup
 /// phase reached, the error/exception kind if any (Table 1 of the paper),
-/// and the program output. encodeOutcome() maps a result to the paper's
-/// {0..4} test-output encoding (§2.3, Figure 3).
+/// and the program output. The paper's {0..4} test-output encoding of a
+/// result lives in difftest/Phase.h (encodePhase).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -80,10 +80,6 @@ struct JvmResult {
   /// Formats like "VerifyError (linking): <message>" or "ok".
   std::string toString() const;
 };
-
-/// The paper's 0..4 output encoding: 0 normally invoked, 1 rejected
-/// during loading, 2 linking, 3 initialization, 4 runtime.
-int encodeOutcome(const JvmResult &Result);
 
 } // namespace classfuzz
 

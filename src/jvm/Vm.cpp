@@ -7,6 +7,7 @@
 #include "coverage/Probes.h"
 #include "jvm/FormatChecker.h"
 #include "jvm/Verifier.h"
+#include "telemetry/Telemetry.h"
 
 CF_COV_FILE(3)
 
@@ -17,9 +18,27 @@ Vm::Vm(const JvmPolicy &Policy, const ClassPath &Env, CoverageRecorder *Cov)
   StepsRemaining = Policy.MaxInterpSteps;
 }
 
-Vm::~Vm() = default;
+Vm::~Vm() {
+  // Per-run resource telemetry, recorded at teardown so every exit path
+  // (normal completion and aborts alike) is covered. Observation only;
+  // worker threads record concurrently through relaxed atomics.
+  if (!telemetry::enabled())
+    return;
+  static telemetry::Counter &Runs = telemetry::metrics().counter("jvm.instances");
+  static telemetry::Counter &Steps =
+      telemetry::metrics().counter("jvm.interp_steps");
+  static telemetry::Gauge &HeapHighWater =
+      telemetry::metrics().gauge("jvm.heap.high_water");
+  Runs.inc();
+  Steps.inc(Policy.MaxInterpSteps - StepsRemaining);
+  HeapHighWater.recordMax(static_cast<int64_t>(Heap.size()));
+}
 
 namespace {
+
+constexpr size_t NumPhases = static_cast<size_t>(JvmPhase::Completed) + 1;
+constexpr size_t NumErrorKinds =
+    static_cast<size_t>(JvmErrorKind::InternalError) + 1;
 
 /// Maps an error kind to the canonical startup phase it belongs to
 /// (Table 1). The paper's 0..4 encoding classifies by error type, so a
@@ -88,6 +107,21 @@ void Vm::abort(JvmPhase Phase, JvmErrorKind Kind, std::string Message) {
   Result.Phase = canonicalPhase(Kind, Phase);
   Result.Error = Kind;
   Result.Message = std::move(Message);
+
+  // Abort census keyed (canonical phase, error kind) -- the Table 1 cell
+  // this rejection lands in. One relaxed increment when enabled.
+  if (telemetry::enabled()) {
+    static telemetry::CounterGrid &Aborts = telemetry::metrics().grid(
+        "jvm.aborts", NumPhases, NumErrorKinds,
+        [](size_t Row) {
+          return std::string(phaseName(static_cast<JvmPhase>(Row)));
+        },
+        [](size_t Col) {
+          return std::string(errorKindName(static_cast<JvmErrorKind>(Col)));
+        });
+    Aborts.inc(static_cast<size_t>(Result.Phase),
+               static_cast<size_t>(Result.Error));
+  }
 }
 
 const ClassFile *Vm::lookupClassFile(const std::string &Name) {

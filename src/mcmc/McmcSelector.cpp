@@ -2,6 +2,8 @@
 
 #include "mcmc/McmcSelector.h"
 
+#include "telemetry/Telemetry.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -73,6 +75,17 @@ double McmcSelector::successRate(size_t MutatorIndex) const {
 }
 
 size_t McmcSelector::selectNext(Rng &R) {
+  // Chain-health telemetry (observation only; the Rng is never touched
+  // by the counters): proposals drawn, Metropolis acceptances, and
+  // attempt-budget fallbacks.
+  const bool Telem = telemetry::enabled();
+  static telemetry::Counter &Proposals =
+      telemetry::metrics().counter("mcmc.proposals");
+  static telemetry::Counter &Accepted =
+      telemetry::metrics().counter("mcmc.proposals_accepted");
+  static telemetry::Counter &Fallbacks =
+      telemetry::metrics().counter("mcmc.fallbacks");
+
   size_t K1 = Rank[Current];
   // Propose uniformly (the symmetric proposal distribution g), accept
   // with min(1, (1-p)^(k2-k1)). The loop terminates with probability 1
@@ -84,11 +97,17 @@ size_t McmcSelector::selectNext(Rng &R) {
     size_t K2 = Rank[Proposal];
     double Accept = std::pow(1.0 - P, static_cast<double>(K2) -
                                           static_cast<double>(K1));
+    if (Telem)
+      Proposals.inc();
     if (Accept >= 1.0 || R.nextDouble() < Accept) {
+      if (Telem)
+        Accepted.inc();
       Current = Proposal;
       return Current;
     }
   }
+  if (Telem)
+    Fallbacks.inc();
   return Current;
 }
 

@@ -53,7 +53,8 @@ MutationOutcome classfuzz::mutateClass(const Bytes &SeedData,
   JirClass J = Lowered.take();
 
   const Mutator &Mu = mutatorRegistry()[MutatorIndex];
-  if (!Mu.Apply(J, Ctx)) {
+  Out.Result = Mu.Apply(J, Ctx);
+  if (Out.Result == MutationResult::Inapplicable) {
     Out.Error = "mutator " + Mu.Id + " not applicable";
     return Out;
   }

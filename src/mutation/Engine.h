@@ -23,6 +23,12 @@ namespace classfuzz {
 /// The outcome of one mutation attempt.
 struct MutationOutcome {
   bool Produced = false;
+  /// Three-way classification of the Mutator::Apply stage. NoChange
+  /// mutants are still Produced (renamed + supplemented, so they are
+  /// real classfiles); the classification feeds the succ-rate
+  /// accounting and telemetry. Inapplicable also covers seeds that
+  /// fail to lower.
+  MutationResult Result = MutationResult::Inapplicable;
   std::string ClassName; ///< The mutant's (possibly renamed) class name.
   Bytes Data;            ///< Classfile bytes when Produced.
   std::string Error;     ///< Failure reason when !Produced.

@@ -36,6 +36,26 @@ struct MutationContext {
   const std::vector<std::string> &KnownClasses;
 };
 
+/// The outcome of one Mutator::Apply call. The three-way split keeps
+/// the §3.1.3 succ-rate accounting honest: an applicable draw that
+/// happened to rewrite the class into itself (NoChange) is a different
+/// event from a draw the class shape ruled out entirely (Inapplicable).
+enum class MutationResult : uint8_t {
+  Inapplicable, ///< The class offers no site for this mutation.
+  NoChange,     ///< Applied, but the class is structurally unchanged.
+  Applied,      ///< Applied and the class changed.
+};
+
+const char *mutationResultName(MutationResult Result);
+
+/// Classifies a bool-style mutation body against \p J: false maps to
+/// Inapplicable; true maps to Applied or NoChange depending on whether
+/// the class structurally changed. This is the adapter the registry
+/// wraps every Table 2 operator with; exposed for tests.
+MutationResult
+classifyMutation(const std::function<bool(JirClass &, MutationContext &)> &Body,
+                 JirClass &J, MutationContext &Ctx);
+
 /// One mutation operator.
 struct Mutator {
   /// Identifier, e.g. "method.rename".
@@ -46,9 +66,9 @@ struct Mutator {
   /// Mutation target group of Table 2: "Class", "Interface", "Field",
   /// "Method", "Exception", "Parameter", "LocalVariable", "JimpleStmt".
   std::string Category;
-  /// Applies the mutation in place. Returns false when inapplicable
-  /// (e.g. deleting a field from a fieldless class).
-  std::function<bool(JirClass &, MutationContext &)> Apply;
+  /// Applies the mutation in place and reports the three-way result
+  /// (e.g. Inapplicable when deleting a field from a fieldless class).
+  std::function<MutationResult(JirClass &, MutationContext &)> Apply;
 };
 
 /// The full registry; exactly NumMutators entries, stable order.

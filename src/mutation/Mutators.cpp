@@ -227,9 +227,15 @@ JirStmt makeRandomSimpleStmt(Rng &R) {
 
 using Fn = std::function<bool(JirClass &, MutationContext &)>;
 
+/// Wraps a bool-style operator body into the three-way MutationResult
+/// API via classifyMutation.
 void add(std::vector<Mutator> &Reg, const char *Id, const char *Category,
          const char *Description, Fn Apply) {
-  Reg.push_back(Mutator{Id, Description, Category, std::move(Apply)});
+  Reg.push_back(Mutator{
+      Id, Description, Category,
+      [Body = std::move(Apply)](JirClass &J, MutationContext &Ctx) {
+        return classifyMutation(Body, J, Ctx);
+      }});
 }
 
 void addClassMutators(std::vector<Mutator> &Reg) {
@@ -1358,6 +1364,27 @@ std::vector<Mutator> buildRegistry() {
 }
 
 } // namespace
+
+const char *classfuzz::mutationResultName(MutationResult Result) {
+  switch (Result) {
+  case MutationResult::Inapplicable:
+    return "inapplicable";
+  case MutationResult::NoChange:
+    return "nochange";
+  case MutationResult::Applied:
+    return "applied";
+  }
+  return "?";
+}
+
+MutationResult classfuzz::classifyMutation(
+    const std::function<bool(JirClass &, MutationContext &)> &Body,
+    JirClass &J, MutationContext &Ctx) {
+  JirClass Before = J;
+  if (!Body(J, Ctx))
+    return MutationResult::Inapplicable;
+  return J == Before ? MutationResult::NoChange : MutationResult::Applied;
+}
 
 const std::vector<Mutator> &classfuzz::mutatorRegistry() {
   static const std::vector<Mutator> Registry = buildRegistry();

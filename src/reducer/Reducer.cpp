@@ -2,6 +2,8 @@
 
 #include "reducer/Reducer.h"
 
+#include "telemetry/Telemetry.h"
+
 using namespace classfuzz;
 
 namespace {
@@ -56,6 +58,8 @@ Result<Bytes> classfuzz::reduceClassfile(const Bytes &Input,
                                          const ReductionOracle &Oracle,
                                          ReductionStats *Stats,
                                          size_t MaxOracleQueries) {
+  telemetry::PhaseTimer WallT(telemetry::metrics().histogram("reducer.wall_ns"));
+
   auto Lowered = lowerClassBytes(Input);
   if (!Lowered)
     return makeError("cannot lower input for reduction: " +
@@ -63,6 +67,30 @@ Result<Bytes> classfuzz::reduceClassfile(const Bytes &Input,
   JirClass J = Lowered.take();
 
   Reduction Run{Oracle, {}, MaxOracleQueries};
+
+  // Accounted once at exit (all paths): oracle invocations and kept
+  // reduction steps. Stats are tallied locally either way, so the
+  // enabled/disabled difference is a branch and a few increments.
+  struct Accounting {
+    const ReductionStats &S;
+    ~Accounting() {
+      if (!telemetry::enabled())
+        return;
+      auto &M = telemetry::metrics();
+      M.counter("reducer.runs").inc();
+      M.counter("reducer.oracle_queries").inc(S.OracleQueries);
+      M.counter("reducer.deletions_kept").inc(S.DeletionsKept);
+      if (telemetry::eventSink())
+        telemetry::EventBuilder("reducer.end")
+            .field("oracle_queries", static_cast<uint64_t>(S.OracleQueries))
+            .field("deletions_kept", static_cast<uint64_t>(S.DeletionsKept))
+            .field("methods_removed",
+                   static_cast<uint64_t>(S.MethodsRemoved))
+            .field("statements_removed",
+                   static_cast<uint64_t>(S.StatementsRemoved))
+            .emit();
+    }
+  } Account{Run.Stats};
 
   if (!Run.stillTriggers(J))
     return makeError("input does not satisfy the reduction oracle");

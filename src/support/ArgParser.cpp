@@ -1,0 +1,123 @@
+//===- support/ArgParser.cpp -----------------------------------------------===//
+
+#include "support/ArgParser.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+using namespace classfuzz;
+
+ArgParser::ArgParser(std::string Command, std::string PositionalUsage,
+                     std::vector<FlagSpec> Specs)
+    : Command(std::move(Command)),
+      PositionalUsage(std::move(PositionalUsage)), Specs(std::move(Specs)) {}
+
+const FlagSpec *ArgParser::findSpec(const std::string &Name) const {
+  for (const FlagSpec &S : Specs)
+    if (S.Name == Name)
+      return &S;
+  return nullptr;
+}
+
+bool ArgParser::parse(int Argc, char **Argv, int From) {
+  for (int I = From; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--help" || A == "-h") {
+      HelpRequested = true;
+      return true;
+    }
+    if (A.rfind("--", 0) != 0) {
+      Positional.push_back(std::move(A));
+      continue;
+    }
+
+    std::string Name = A.substr(2);
+    std::string Inline;
+    bool HasInline = false;
+    if (size_t Eq = Name.find('='); Eq != std::string::npos) {
+      Inline = Name.substr(Eq + 1);
+      Name = Name.substr(0, Eq);
+      HasInline = true;
+    }
+
+    const FlagSpec *Spec = findSpec(Name);
+    if (!Spec) {
+      Error = Command + ": unknown flag --" + Name + " (try --help)";
+      return false;
+    }
+
+    if (Spec->ValueName.empty()) {
+      // Boolean flag: presence only.
+      if (HasInline) {
+        Error = Command + ": flag --" + Name + " takes no value";
+        return false;
+      }
+      Values[Name] = "";
+      continue;
+    }
+
+    if (HasInline) {
+      Values[Name] = std::move(Inline);
+      continue;
+    }
+    if (I + 1 >= Argc) {
+      Error = Command + ": flag --" + Name + " requires a value " +
+              Spec->ValueName;
+      return false;
+    }
+    Values[Name] = Argv[++I];
+  }
+  return true;
+}
+
+std::string ArgParser::get(const std::string &Name) const {
+  auto It = Values.find(Name);
+  if (It != Values.end())
+    return It->second;
+  const FlagSpec *Spec = findSpec(Name);
+  return Spec ? Spec->Default : std::string();
+}
+
+long long ArgParser::getInt(const std::string &Name) const {
+  return std::strtoll(get(Name).c_str(), nullptr, 10);
+}
+
+unsigned long long ArgParser::getUnsigned(const std::string &Name) const {
+  return std::strtoull(get(Name).c_str(), nullptr, 10);
+}
+
+double ArgParser::getDouble(const std::string &Name) const {
+  return std::strtod(get(Name).c_str(), nullptr);
+}
+
+std::string ArgParser::helpText() const {
+  std::string Out = "usage: " + Command;
+  if (!Specs.empty())
+    Out += " [flags]";
+  if (!PositionalUsage.empty())
+    Out += " " + PositionalUsage;
+  Out += "\n";
+  if (Specs.empty())
+    return Out;
+
+  // Align descriptions after the longest "--name VALUE" column.
+  size_t Widest = 0;
+  auto leftColumn = [](const FlagSpec &S) {
+    std::string Col = "--" + S.Name;
+    if (!S.ValueName.empty())
+      Col += " " + S.ValueName;
+    return Col;
+  };
+  for (const FlagSpec &S : Specs)
+    Widest = std::max(Widest, leftColumn(S).size());
+
+  Out += "\nflags:\n";
+  for (const FlagSpec &S : Specs) {
+    std::string Col = leftColumn(S);
+    Out += "  " + Col + std::string(Widest - Col.size() + 2, ' ') + S.Help;
+    if (!S.Default.empty())
+      Out += " (default: " + S.Default + ")";
+    Out += "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,273 @@
+//===- telemetry/Telemetry.h - Metrics, timers, and event traces ---------===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The observability layer: a process-wide MetricRegistry of named
+/// counters, gauges, latency histograms, and dense counter grids; scoped
+/// PhaseTimers; and a structured JSONL EventSink.
+///
+/// Design constraints (see DESIGN.md §8):
+///
+///  * **Observation only.** Telemetry never draws from an Rng, never
+///    synchronizes stages of the campaign pipeline, and never feeds back
+///    into control flow, so a campaign's committed trajectory is
+///    bit-identical with telemetry enabled or disabled.
+///  * **Near-zero cost when disabled.** The instrumented hot paths guard
+///    on telemetry::enabled() -- one relaxed atomic load and a
+///    predictable branch -- before touching any metric. PhaseTimer reads
+///    no clock when disabled.
+///  * **Thread-safe when enabled.** All metric mutation is relaxed
+///    atomics; registration and snapshots take the registry mutex.
+///    Registered metric references stay valid for the process lifetime
+///    (reset() zeroes values, it never invalidates references).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_TELEMETRY_TELEMETRY_H
+#define CLASSFUZZ_TELEMETRY_TELEMETRY_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace classfuzz {
+namespace telemetry {
+
+/// True when instrumentation should record. Off by default; the CLI
+/// turns it on when --stats-json / --trace-events is given.
+inline std::atomic<bool> &enabledFlag() {
+  static std::atomic<bool> Flag{false};
+  return Flag;
+}
+inline bool enabled() {
+  return enabledFlag().load(std::memory_order_relaxed);
+}
+inline void setEnabled(bool On) {
+  enabledFlag().store(On, std::memory_order_relaxed);
+}
+
+/// A monotonically increasing event count.
+class Counter {
+public:
+  void inc(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// A last-written / high-water value.
+class Gauge {
+public:
+  void set(int64_t Value) { V.store(Value, std::memory_order_relaxed); }
+  /// Raises the gauge to \p Value when larger (high-water semantics).
+  void recordMax(int64_t Value) {
+    int64_t Cur = V.load(std::memory_order_relaxed);
+    while (Value > Cur &&
+           !V.compare_exchange_weak(Cur, Value, std::memory_order_relaxed))
+      ;
+  }
+  int64_t value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> V{0};
+};
+
+/// A log2-bucketed histogram of non-negative samples (typically
+/// nanoseconds or sizes). Bucket B counts samples in [2^(B-1), 2^B);
+/// bucket 0 counts zeros and ones. Recording is wait-free; aggregates
+/// (count/sum/min/max/mean/percentile) are exact except percentile,
+/// which is bucket-resolution.
+class Histogram {
+public:
+  static constexpr size_t NumBuckets = 64;
+
+  void record(uint64_t Sample);
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return Sum.load(std::memory_order_relaxed); }
+  uint64_t min() const;
+  uint64_t max() const { return Max.load(std::memory_order_relaxed); }
+  double mean() const;
+  /// Upper bound of the bucket holding the q-quantile sample (q in
+  /// [0,1]); 0 when empty.
+  uint64_t percentileUpperBound(double Q) const;
+  uint64_t bucketCount(size_t Bucket) const {
+    return Buckets[Bucket].load(std::memory_order_relaxed);
+  }
+  void reset();
+
+private:
+  std::atomic<uint64_t> Buckets[NumBuckets]{};
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> Min{UINT64_MAX};
+  std::atomic<uint64_t> Max{0};
+};
+
+/// A dense 2D table of counters with labeled axes -- e.g. the VM's
+/// abort counts keyed JvmPhase x JvmErrorKind. One relaxed increment on
+/// the hot path; labels are only evaluated at snapshot time. Snapshots
+/// emit only non-zero cells as "<name>.<row-label>.<col-label>".
+class CounterGrid {
+public:
+  using LabelFn = std::function<std::string(size_t)>;
+
+  CounterGrid(size_t Rows, size_t Cols, LabelFn RowLabel, LabelFn ColLabel);
+
+  void inc(size_t Row, size_t Col, uint64_t N = 1) {
+    if (Row < Rows && Col < Cols)
+      Cells[Row * Cols + Col].fetch_add(N, std::memory_order_relaxed);
+  }
+  uint64_t value(size_t Row, size_t Col) const {
+    return Row < Rows && Col < Cols
+               ? Cells[Row * Cols + Col].load(std::memory_order_relaxed)
+               : 0;
+  }
+  size_t rows() const { return Rows; }
+  size_t cols() const { return Cols; }
+  std::string rowLabel(size_t Row) const { return RowLabel(Row); }
+  std::string colLabel(size_t Col) const { return ColLabel(Col); }
+  void reset();
+
+private:
+  size_t Rows, Cols;
+  LabelFn RowLabel, ColLabel;
+  std::unique_ptr<std::atomic<uint64_t>[]> Cells;
+};
+
+/// The process-wide registry. Lookup registers on first use and returns
+/// a stable reference; hot paths should look up once (function-local
+/// static or a cached reference) and then mutate lock-free.
+class MetricRegistry {
+public:
+  Counter &counter(const std::string &Name);
+  Gauge &gauge(const std::string &Name);
+  Histogram &histogram(const std::string &Name);
+  /// Registers (or fetches) a grid; dimensions and labels are fixed by
+  /// the first registration.
+  CounterGrid &grid(const std::string &Name, size_t Rows, size_t Cols,
+                    CounterGrid::LabelFn RowLabel,
+                    CounterGrid::LabelFn ColLabel);
+
+  /// One JSON object snapshot of every registered metric, keys sorted:
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,
+  /// min,max,mean,p50,p99}},"grids":{name:{row.col:count}}}.
+  std::string snapshotJson() const;
+
+  /// Zeroes every metric's value. References handed out earlier remain
+  /// valid (tests and repeated campaigns rely on this).
+  void reset();
+
+private:
+  mutable std::mutex M;
+  std::map<std::string, std::unique_ptr<Counter>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>> Gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> Histograms;
+  std::map<std::string, std::unique_ptr<CounterGrid>> Grids;
+};
+
+/// The global registry instance.
+MetricRegistry &metrics();
+
+// ---- structured events ----------------------------------------------------
+
+/// Sink for structured trace events; write() receives one complete JSON
+/// object per call (no trailing newline).
+class EventSink {
+public:
+  virtual ~EventSink() = default;
+  virtual void write(const std::string &JsonObject) = 0;
+};
+
+/// JSONL sink over a stdio FILE (owned; closed on destruction unless
+/// it is stdout/stderr). Writes are serialized by an internal mutex.
+class FileEventSink : public EventSink {
+public:
+  explicit FileEventSink(std::FILE *F, bool Close = true)
+      : F(F), Close(Close) {}
+  ~FileEventSink() override;
+  void write(const std::string &JsonObject) override;
+
+private:
+  std::FILE *F;
+  bool Close;
+  std::mutex M;
+};
+
+/// Installs the global event sink (nullptr uninstalls). Not
+/// thread-safe against concurrent emitters; install before the run.
+void setEventSink(std::unique_ptr<EventSink> Sink);
+EventSink *eventSink();
+
+/// Escapes \p S for inclusion in a JSON string literal.
+std::string jsonEscape(const std::string &S);
+
+/// Builds one {"type":...,"k":v,...} event and emits it to the global
+/// sink on emit(). Cheap to construct; call only under
+/// `if (telemetry::eventSink())` on hot paths.
+class EventBuilder {
+public:
+  explicit EventBuilder(const char *Type);
+  EventBuilder &field(const char *Key, const std::string &Value);
+  EventBuilder &field(const char *Key, const char *Value);
+  EventBuilder &field(const char *Key, uint64_t Value);
+  EventBuilder &field(const char *Key, int64_t Value);
+  EventBuilder &field(const char *Key, int Value) {
+    return field(Key, static_cast<int64_t>(Value));
+  }
+  EventBuilder &field(const char *Key, double Value);
+  EventBuilder &field(const char *Key, bool Value);
+  /// Writes the event to the global sink, if one is installed.
+  void emit();
+
+private:
+  std::string Json;
+};
+
+// ---- scoped timing --------------------------------------------------------
+
+/// RAII latency probe: records elapsed nanoseconds into a Histogram on
+/// destruction (or stop()). When telemetry is disabled at construction
+/// the timer is inert and never reads the clock.
+class PhaseTimer {
+public:
+  explicit PhaseTimer(Histogram &H)
+      : H(enabled() ? &H : nullptr),
+        Start(this->H ? std::chrono::steady_clock::now()
+                      : std::chrono::steady_clock::time_point()) {}
+  PhaseTimer(const PhaseTimer &) = delete;
+  PhaseTimer &operator=(const PhaseTimer &) = delete;
+  ~PhaseTimer() { stop(); }
+
+  /// Records now and disarms; subsequent stop() calls are no-ops.
+  void stop() {
+    if (!H)
+      return;
+    H->record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - Start)
+            .count()));
+    H = nullptr;
+  }
+
+private:
+  Histogram *H;
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace telemetry
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_TELEMETRY_TELEMETRY_H

@@ -160,3 +160,85 @@ TEST(DiffStats, PhaseCountsFeedTable7) {
   EXPECT_EQ(Stats.PhaseCounts[3][1], 2u) << "JVM 3 rejected at loading";
   EXPECT_EQ(Stats.PhaseCounts[4][2], 2u) << "JVM 4 rejected at linking";
 }
+
+TEST(DiffStats, MergeEqualsAddingEveryOutcomeToOneObject) {
+  DiffOutcome AllOk;
+  AllOk.Encoded = {0, 0, 0, 0, 0};
+  DiffOutcome Rejected;
+  Rejected.Encoded = {2, 2, 2, 2, 2};
+  DiffOutcome DiscA;
+  DiscA.Encoded = {0, 0, 0, 1, 2};
+  DiffOutcome DiscB;
+  DiscB.Encoded = {2, 2, 2, 2, 0};
+  DiffOutcome Corrupt;
+  Corrupt.Encoded = {0, 9, -3, 0, 0};
+
+  // Two shards, each adding a disjoint slice...
+  DiffStats ShardOne, ShardTwo;
+  ShardOne.add(AllOk);
+  ShardOne.add(DiscA);
+  ShardTwo.add(Rejected);
+  ShardTwo.add(DiscA);
+  ShardTwo.add(DiscB);
+  ShardTwo.add(Corrupt);
+  DiffStats Merged = ShardOne;
+  Merged.merge(ShardTwo);
+
+  // ...must equal one object that saw every outcome.
+  DiffStats Direct;
+  for (const DiffOutcome *O :
+       {&AllOk, &DiscA, &Rejected, &DiscA, &DiscB, &Corrupt})
+    Direct.add(*O);
+
+  EXPECT_EQ(Merged.Total, Direct.Total);
+  EXPECT_EQ(Merged.AllInvoked, Direct.AllInvoked);
+  EXPECT_EQ(Merged.AllRejectedSameStage, Direct.AllRejectedSameStage);
+  EXPECT_EQ(Merged.Discrepancies, Direct.Discrepancies);
+  EXPECT_EQ(Merged.DistinctDiscrepancies, Direct.DistinctDiscrepancies);
+  EXPECT_EQ(Merged.PhaseCounts, Direct.PhaseCounts);
+  EXPECT_EQ(Merged.EncodingErrors, Direct.EncodingErrors);
+  EXPECT_DOUBLE_EQ(Merged.diffRatePercent(), Direct.diffRatePercent());
+}
+
+TEST(DiffStats, MergeIntoEmptyAndFromEmpty) {
+  DiffOutcome Disc;
+  Disc.Encoded = {0, 0, 0, 1, 2};
+  DiffStats Full;
+  Full.add(Disc);
+
+  DiffStats Empty;
+  DiffStats FromEmpty = Full;
+  FromEmpty.merge(Empty); // No-op.
+  EXPECT_EQ(FromEmpty.Total, 1u);
+  EXPECT_EQ(FromEmpty.Discrepancies, 1u);
+
+  DiffStats IntoEmpty;
+  IntoEmpty.merge(Full); // Adopts everything, including PhaseCounts size.
+  EXPECT_EQ(IntoEmpty.Total, 1u);
+  ASSERT_EQ(IntoEmpty.PhaseCounts.size(), 5u);
+  EXPECT_EQ(IntoEmpty.PhaseCounts[4][2], 1u);
+  EXPECT_EQ(IntoEmpty.DistinctDiscrepancies.count("00012"), 1u);
+}
+
+TEST(DiffStats, MergeHandlesDifferentJvmCounts) {
+  // Shards produced with different profile counts (e.g. a three-JVM
+  // smoke shard merged into a five-JVM run): PhaseCounts grows to the
+  // larger shape and sums elementwise.
+  DiffOutcome Three;
+  Three.Encoded = {0, 1, 2};
+  DiffOutcome Five;
+  Five.Encoded = {0, 0, 0, 1, 2};
+
+  DiffStats A;
+  A.add(Five);
+  DiffStats B;
+  B.add(Three);
+  A.merge(B);
+
+  ASSERT_EQ(A.PhaseCounts.size(), 5u);
+  EXPECT_EQ(A.PhaseCounts[0][0], 2u);
+  EXPECT_EQ(A.PhaseCounts[1][0], 1u);
+  EXPECT_EQ(A.PhaseCounts[1][1], 1u);
+  EXPECT_EQ(A.PhaseCounts[2][2], 1u);
+  EXPECT_EQ(A.PhaseCounts[4][2], 1u);
+}

@@ -10,6 +10,7 @@
 #include "../TestHelpers.h"
 #include "classfile/ClassReader.h"
 #include "coverage/Tracefile.h"
+#include "difftest/Phase.h"
 #include "jir/Jir.h"
 #include "mutation/Engine.h"
 #include "runtime/SeedCorpus.h"
@@ -77,7 +78,7 @@ TEST_P(PipelineProperty, MutantsAlwaysTerminateOnEveryJvm) {
       // The property: run() returns (bounded interpretation); any
       // outcome is legal, crashes/hangs are not.
       JvmResult Res = runOn(P, Extra, CF->ThisClass);
-      int Code = encodeOutcome(Res);
+      int Code = encodePhase(Res);
       EXPECT_GE(Code, 0);
       EXPECT_LE(Code, 4);
     }
@@ -124,8 +125,8 @@ TEST_P(PipelineProperty, RandomByteCorruptionNeverCrashesTheJvm) {
         JvmResult Res =
             runOn(P, {{Seed.Name, Corrupt}}, Seed.Name);
         // Any encoded outcome is fine; undefined behavior is not.
-        EXPECT_GE(encodeOutcome(Res), 0);
-        EXPECT_LE(encodeOutcome(Res), 4);
+        EXPECT_GE(encodePhase(Res), 0);
+        EXPECT_LE(encodePhase(Res), 4);
       }
     }
   }

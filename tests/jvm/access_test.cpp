@@ -7,6 +7,7 @@
 
 #include "../TestHelpers.h"
 #include "classfile/ClassReader.h"
+#include "difftest/Phase.h"
 #include "jir/Jir.h"
 
 #include <gtest/gtest.h>
@@ -153,7 +154,7 @@ TEST(MemberAccess, PackagePrivateCrossPackageRejected) {
   JvmResult R = runOn(makeHotSpot8Policy(), Classes, "Caller");
   EXPECT_FALSE(R.Invoked);
   EXPECT_EQ(R.Error, JvmErrorKind::IllegalAccessError);
-  EXPECT_EQ(encodeOutcome(R), 2);
+  EXPECT_EQ(encodePhase(R), 2);
 }
 
 TEST(MemberAccess, PrivateMethodCrossClassRejected) {

@@ -7,6 +7,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "../TestHelpers.h"
+#include "difftest/Phase.h"
 
 #include <gtest/gtest.h>
 
@@ -17,20 +18,20 @@ TEST(Encoding, InvokedIsZero) {
   JvmResult R;
   R.Invoked = true;
   R.Phase = JvmPhase::Completed;
-  EXPECT_EQ(encodeOutcome(R), 0);
+  EXPECT_EQ(encodePhase(R), 0);
 }
 
 TEST(Encoding, PhasesMapToDigits) {
   JvmResult R;
   R.Invoked = false;
   R.Phase = JvmPhase::Loading;
-  EXPECT_EQ(encodeOutcome(R), 1);
+  EXPECT_EQ(encodePhase(R), 1);
   R.Phase = JvmPhase::Linking;
-  EXPECT_EQ(encodeOutcome(R), 2);
+  EXPECT_EQ(encodePhase(R), 2);
   R.Phase = JvmPhase::Initialization;
-  EXPECT_EQ(encodeOutcome(R), 3);
+  EXPECT_EQ(encodePhase(R), 3);
   R.Phase = JvmPhase::Execution;
-  EXPECT_EQ(encodeOutcome(R), 4);
+  EXPECT_EQ(encodePhase(R), 4);
 }
 
 TEST(Encoding, NamesAreStable) {
@@ -71,7 +72,7 @@ TEST(Encoding, LazyVerifyErrorCanonicalizesToLinking) {
       runOn(makeJ9Policy(), {{"LazyMain", serialize(CF)}}, "LazyMain");
   EXPECT_FALSE(R.Invoked);
   EXPECT_EQ(R.Error, JvmErrorKind::VerifyError);
-  EXPECT_EQ(encodeOutcome(R), 2)
+  EXPECT_EQ(encodePhase(R), 2)
       << "VerifyError canonicalizes to the linking phase";
 }
 
@@ -86,7 +87,7 @@ TEST(Encoding, ResolutionErrorDuringExecutionIsLinkingKind) {
   JvmResult R = runOn(makeHotSpot8Policy(),
                       {{"LateResolve", serialize(CF)}}, "LateResolve");
   EXPECT_EQ(R.Error, JvmErrorKind::NoSuchMethodError);
-  EXPECT_EQ(encodeOutcome(R), 2);
+  EXPECT_EQ(encodePhase(R), 2);
 }
 
 TEST(Encoding, MissingClassAtRuntimeStaysRuntime) {
@@ -103,7 +104,7 @@ TEST(Encoding, MissingClassAtRuntimeStaysRuntime) {
   JvmResult R = runOn(makeHotSpot8Policy(),
                       {{"LateMissing", serialize(CF)}}, "LateMissing");
   EXPECT_EQ(R.Error, JvmErrorKind::NoClassDefFoundError);
-  EXPECT_EQ(encodeOutcome(R), 4)
+  EXPECT_EQ(encodePhase(R), 4)
       << "execution-time resolution failure stays a runtime rejection";
 }
 
@@ -147,5 +148,20 @@ TEST(Encoding, ExceptionInInitializerCanonicalizesToInit) {
                        {"InitUser", serialize(User)}},
                       "InitUser");
   EXPECT_EQ(R.Error, JvmErrorKind::ExceptionInInitializerError);
-  EXPECT_EQ(encodeOutcome(R), 3);
+  EXPECT_EQ(encodePhase(R), 3);
+}
+
+TEST(Encoding, PhaseCodeNamesCoverEveryCode) {
+  // Report legends are generated from phaseCodeName, so every code in
+  // [0, NumPhaseCodes) must have a non-placeholder label and codes 1-3
+  // share the "rejected while ..." startup-rejection wording.
+  ASSERT_EQ(NumPhaseCodes, 5);
+  for (int Code = 0; Code != NumPhaseCodes; ++Code) {
+    std::string Name = phaseCodeName(Code);
+    EXPECT_FALSE(Name.empty()) << "code " << Code;
+    EXPECT_EQ(Name.find('?'), std::string::npos) << "code " << Code;
+  }
+  EXPECT_EQ(std::string(phaseCodeName(0)), "normally invoked");
+  EXPECT_NE(std::string(phaseCodeName(2)).find("rejected"),
+            std::string::npos);
 }

@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "../TestHelpers.h"
+#include "difftest/Phase.h"
 #include "jvm/FormatChecker.h"
 
 #include <gtest/gtest.h>
@@ -53,7 +54,7 @@ TEST(FormatChecker, Problem1EndToEndDiscrepancy) {
   JvmResult OnJ9 =
       runOn(makeJ9Policy(), {{"M1436188543", Data}}, "M1436188543");
   EXPECT_EQ(OnJ9.Error, JvmErrorKind::ClassFormatError);
-  EXPECT_EQ(encodeOutcome(OnJ9), 1);
+  EXPECT_EQ(encodePhase(OnJ9), 1);
 }
 
 TEST(FormatChecker, IsInitializationMethodFollowsPolicy) {

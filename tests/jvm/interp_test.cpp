@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "../TestHelpers.h"
+#include "difftest/Phase.h"
 
 #include <gtest/gtest.h>
 
@@ -68,7 +69,7 @@ TEST(Interp, DivisionByZeroThrows) {
   });
   EXPECT_FALSE(R.Invoked);
   EXPECT_EQ(R.Error, JvmErrorKind::ArithmeticException);
-  EXPECT_EQ(encodeOutcome(R), 4);
+  EXPECT_EQ(encodePhase(R), 4);
 }
 
 TEST(Interp, LoopComputesSum) {
@@ -365,7 +366,7 @@ TEST(Interp, MissingFieldIsNoSuchFieldError) {
   });
   EXPECT_FALSE(R.Invoked);
   EXPECT_EQ(R.Error, JvmErrorKind::NoSuchFieldError);
-  EXPECT_EQ(encodeOutcome(R), 2) << "resolution errors are linking kind";
+  EXPECT_EQ(encodePhase(R), 2) << "resolution errors are linking kind";
 }
 
 TEST(Interp, MissingMethodIsNoSuchMethodError) {

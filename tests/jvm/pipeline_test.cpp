@@ -7,6 +7,7 @@
 
 #include "../TestHelpers.h"
 #include "classfile/ClassReader.h"
+#include "difftest/Phase.h"
 
 #include <gtest/gtest.h>
 
@@ -28,14 +29,14 @@ TEST_P(AllProfiles, HelloClassRunsEverywhere) {
   ASSERT_TRUE(R.Invoked) << policy().Name << ": " << R.toString();
   ASSERT_EQ(R.Output.size(), 1u);
   EXPECT_EQ(R.Output[0], "Completed!");
-  EXPECT_EQ(encodeOutcome(R), 0);
+  EXPECT_EQ(encodePhase(R), 0);
 }
 
 TEST_P(AllProfiles, MissingClassIsLoadingError) {
   JvmResult R = runOn(policy(), {}, "NoSuchClass");
   EXPECT_FALSE(R.Invoked);
   EXPECT_EQ(R.Error, JvmErrorKind::NoClassDefFoundError);
-  EXPECT_EQ(encodeOutcome(R), 1);
+  EXPECT_EQ(encodePhase(R), 1);
 }
 
 TEST_P(AllProfiles, MissingSuperclassIsLoadingError) {
@@ -56,7 +57,7 @@ TEST_P(AllProfiles, CircularHierarchyDetected) {
       "CircA");
   EXPECT_FALSE(R.Invoked);
   EXPECT_EQ(R.Error, JvmErrorKind::ClassCircularityError);
-  EXPECT_EQ(encodeOutcome(R), 1);
+  EXPECT_EQ(encodePhase(R), 1);
 }
 
 TEST_P(AllProfiles, WrongNameClassRejected) {
@@ -71,7 +72,7 @@ TEST_P(AllProfiles, GarbageBytesAreClassFormatError) {
   JvmResult R = runOn(policy(), {{"Garbage", Garbage}}, "Garbage");
   EXPECT_FALSE(R.Invoked);
   EXPECT_EQ(R.Error, JvmErrorKind::ClassFormatError);
-  EXPECT_EQ(encodeOutcome(R), 1);
+  EXPECT_EQ(encodePhase(R), 1);
 }
 
 static std::string
@@ -104,7 +105,7 @@ TEST(Pipeline, MainMethodMissingIsRuntimePhase) {
       runOn(makeHotSpot8Policy(), {{"NoMain", serialize(CF)}}, "NoMain");
   EXPECT_FALSE(R.Invoked);
   EXPECT_EQ(R.Error, JvmErrorKind::MainMethodNotFound);
-  EXPECT_EQ(encodeOutcome(R), 4);
+  EXPECT_EQ(encodePhase(R), 4);
 }
 
 TEST(Pipeline, NonStaticMainRejectedExceptOnGij) {
@@ -185,7 +186,7 @@ TEST(Pipeline, ThrowingClinitIsInitializationError) {
                       {{"BadInit", serialize(CF)}}, "BadInit");
   EXPECT_FALSE(R.Invoked);
   EXPECT_EQ(R.Error, JvmErrorKind::ExceptionInInitializerError);
-  EXPECT_EQ(encodeOutcome(R), 3);
+  EXPECT_EQ(encodePhase(R), 3);
 }
 
 TEST(Pipeline, FinalSuperclassRejectedWhereChecked) {
@@ -195,7 +196,7 @@ TEST(Pipeline, FinalSuperclassRejectedWhereChecked) {
   JvmResult OnHs = runOn(makeHotSpot8Policy(), {{"SubOfString", Data}},
                          "SubOfString");
   EXPECT_EQ(OnHs.Error, JvmErrorKind::VerifyError);
-  EXPECT_EQ(encodeOutcome(OnHs), 2);
+  EXPECT_EQ(encodePhase(OnHs), 2);
   JvmResult OnGij =
       runOn(makeGijPolicy(), {{"SubOfString", Data}}, "SubOfString");
   EXPECT_TRUE(OnGij.Invoked) << "GIJ does not check final superclasses";
@@ -224,7 +225,7 @@ TEST(Pipeline, UncaughtUserExceptionIsRuntimeOutcome) {
                       "Thrower");
   EXPECT_FALSE(R.Invoked);
   EXPECT_EQ(R.Error, JvmErrorKind::UserException);
-  EXPECT_EQ(encodeOutcome(R), 4);
+  EXPECT_EQ(encodePhase(R), 4);
 }
 
 TEST(Pipeline, EnvironmentSkewProducesCompatibilityDiscrepancy) {

@@ -7,6 +7,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "../TestHelpers.h"
+#include "difftest/Phase.h"
 #include "jvm/Verifier.h"
 
 #include <gtest/gtest.h>
@@ -138,7 +139,7 @@ TEST(PreVerifier, EndToEndJ9RejectsEagerlyHotSpotToo) {
   Bytes Data = serialize(CF);
   JvmResult OnJ9 = runOn(makeJ9Policy(), {{"Depth", Data}}, "Depth");
   EXPECT_EQ(OnJ9.Error, JvmErrorKind::VerifyError);
-  EXPECT_EQ(encodeOutcome(OnJ9), 2);
+  EXPECT_EQ(encodePhase(OnJ9), 2);
 }
 
 TEST(PreVerifier, TypeOnlyBreakageStillPassesJ9) {

@@ -8,6 +8,7 @@
 
 #include "../TestHelpers.h"
 #include "classfile/ClassReader.h"
+#include "difftest/Phase.h"
 #include "mutation/Engine.h"
 #include "mutation/Mutator.h"
 #include "runtime/RuntimeLib.h"
@@ -104,10 +105,19 @@ TEST_P(EveryMutator, AppliesOrDeclines) {
   JirClass J = makeRichJir();
   auto Before = assembleToBytes(J);
   ASSERT_TRUE(Before.ok()) << Before.error();
-  bool Applied = Mu.Apply(J, Ctx);
-  if (!Applied)
+  MutationResult Applied = Mu.Apply(J, Ctx);
+  if (Applied == MutationResult::Inapplicable)
     return; // Legitimately inapplicable on this shape.
-  // Success must be observable: either the class bytes change or the
+  if (Applied == MutationResult::NoChange) {
+    // The three-way API must not misreport: NoChange means the bytes
+    // really are unchanged.
+    auto After = assembleToBytes(J);
+    ASSERT_TRUE(After.ok()) << Mu.Id << ": " << After.error();
+    EXPECT_EQ(*After, *Before)
+        << Mu.Id << " reported NoChange but altered the class";
+    return;
+  }
+  // Applied must be observable: either the class bytes change or the
   // mutated IR is no longer assemblable (which is also a real effect).
   auto After = assembleToBytes(J);
   EXPECT_TRUE(!After.ok() || *After != *Before)
@@ -268,7 +278,7 @@ TEST(MutatorBehavior, ZeroMaxStackTriggersVerifyError) {
   MutantRun Run = runMutant("local.zero-max-stack");
   ASSERT_TRUE(Run.Produced);
   EXPECT_EQ(Run.OnHotSpot.Error, JvmErrorKind::VerifyError);
-  EXPECT_EQ(encodeOutcome(Run.OnHotSpot), 2);
+  EXPECT_EQ(encodePhase(Run.OnHotSpot), 2);
 }
 
 TEST(MutatorBehavior, RetypeLocalTriggersVerifyError) {
@@ -344,4 +354,64 @@ TEST(MutationEngine, EnsureMainIsIdempotent) {
   size_t Before = J->Methods.size();
   ensureMainMethod(*J);
   EXPECT_EQ(J->Methods.size(), Before) << "existing main is kept";
+}
+
+TEST(MutationResult, ClassifyDistinguishesTheThreeOutcomes) {
+  Rng R(5);
+  std::vector<std::string> Known = knownClasses();
+  MutationContext Ctx{R, Known};
+  JirClass J = makeRichJir();
+
+  // A body that declines is Inapplicable.
+  auto Decline = [](JirClass &, MutationContext &) { return false; };
+  EXPECT_EQ(classifyMutation(Decline, J, Ctx),
+            MutationResult::Inapplicable);
+
+  // A body that claims success without touching the class is NoChange.
+  auto Noop = [](JirClass &, MutationContext &) { return true; };
+  EXPECT_EQ(classifyMutation(Noop, J, Ctx), MutationResult::NoChange);
+
+  // A body rewriting the class into itself is also NoChange: the
+  // classifier compares structure, not writes.
+  auto SelfAssign = [](JirClass &C, MutationContext &) {
+    C.SuperClass = std::string(C.SuperClass);
+    return true;
+  };
+  EXPECT_EQ(classifyMutation(SelfAssign, J, Ctx),
+            MutationResult::NoChange);
+
+  // A real rewrite is Applied.
+  auto Rewrite = [](JirClass &C, MutationContext &) {
+    C.SuperClass = "java/lang/Thread";
+    return true;
+  };
+  EXPECT_EQ(classifyMutation(Rewrite, J, Ctx), MutationResult::Applied);
+}
+
+TEST(MutationResult, NamesAreStable) {
+  EXPECT_STREQ(mutationResultName(MutationResult::Inapplicable),
+               "inapplicable");
+  EXPECT_STREQ(mutationResultName(MutationResult::NoChange), "nochange");
+  EXPECT_STREQ(mutationResultName(MutationResult::Applied), "applied");
+}
+
+TEST(MutationResult, EngineSurfacesTheResult) {
+  Rng R(9);
+  std::vector<std::string> Known = knownClasses();
+  MutationContext Ctx{R, Known};
+  Bytes Seed = serialize(makeHelloClass("EngineResultSeed"));
+
+  const auto &Registry = mutatorRegistry();
+  bool SawApplied = false, SawInapplicable = false;
+  for (size_t I = 0; I != Registry.size(); ++I) {
+    MutationOutcome Out = mutateClass(Seed, I, Ctx);
+    if (Out.Result == MutationResult::Inapplicable) {
+      SawInapplicable = true;
+      EXPECT_FALSE(Out.Produced) << Registry[I].Id;
+    }
+    if (Out.Result == MutationResult::Applied && Out.Produced)
+      SawApplied = true;
+  }
+  EXPECT_TRUE(SawApplied);
+  EXPECT_TRUE(SawInapplicable);
 }

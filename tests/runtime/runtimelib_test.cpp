@@ -2,6 +2,7 @@
 
 #include "../TestHelpers.h"
 #include "classfile/ClassReader.h"
+#include "difftest/Phase.h"
 #include "runtime/RuntimeLib.h"
 
 #include <gtest/gtest.h>
@@ -72,7 +73,7 @@ TEST(RuntimeLib, Problem3ThrowsAccessibilityEndToEnd) {
   JvmResult OnHs8 = runOn(makeHotSpot8Policy(), {{"M1437121261", Data}},
                           "M1437121261");
   EXPECT_EQ(OnHs8.Error, JvmErrorKind::IllegalAccessError);
-  EXPECT_EQ(encodeOutcome(OnHs8), 2);
+  EXPECT_EQ(encodePhase(OnHs8), 2);
 
   JvmResult OnJ9 =
       runOn(makeJ9Policy(), {{"M1437121261", Data}}, "M1437121261");

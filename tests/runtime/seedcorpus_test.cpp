@@ -2,6 +2,7 @@
 
 #include "../TestHelpers.h"
 #include "classfile/ClassReader.h"
+#include "difftest/Phase.h"
 #include "runtime/SeedCorpus.h"
 
 #include <gtest/gtest.h>
@@ -46,7 +47,7 @@ TEST(SeedCorpus, MostSeedsRunOnHotSpot) {
     JvmResult Res = runOn(makeHotSpot8Policy(), Extra, Seed.Name);
     if (Res.Invoked)
       ++Invoked;
-    else if (encodeOutcome(Res) == 4)
+    else if (encodePhase(Res) == 4)
       ++RejectedAtRuntime;
     else
       ++Other;

@@ -1,0 +1,134 @@
+//===- tests/support/argparser_test.cpp ------------------------------------===//
+//
+// Table-driven flag parsing for the classfuzz tool: unknown flags are
+// rejected with a diagnostic, values arrive as "--flag VALUE" or
+// "--flag=VALUE", and --help text is generated from the same table.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ArgParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+
+namespace {
+
+/// Runs parse() over a brace-list of arguments (prefixed by a fake
+/// program name and subcommand, as in main()).
+bool parseArgs(ArgParser &P, std::vector<std::string> Args) {
+  Args.insert(Args.begin(), {"classfuzz", "cmd"});
+  std::vector<char *> Argv;
+  for (std::string &A : Args)
+    Argv.push_back(A.data());
+  return P.parse(static_cast<int>(Argv.size()), Argv.data(), 2);
+}
+
+ArgParser fuzzLikeParser() {
+  return ArgParser("classfuzz cmd", "",
+                   {{"iterations", "N", "iteration budget", "2000"},
+                    {"rng", "N", "RNG seed", "1"},
+                    {"time-budget", "SECONDS", "wall-clock budget", ""},
+                    {"out", "DIR", "output directory", ""},
+                    {"verbose", "", "chatty output", ""}});
+}
+
+} // namespace
+
+TEST(ArgParser, ParsesSeparateAndInlineValues) {
+  ArgParser P = fuzzLikeParser();
+  ASSERT_TRUE(parseArgs(P, {"--iterations", "50", "--rng=9"}));
+  EXPECT_TRUE(P.has("iterations"));
+  EXPECT_EQ(P.get("iterations"), "50");
+  EXPECT_EQ(P.getUnsigned("iterations"), 50u);
+  EXPECT_EQ(P.getInt("rng"), 9);
+}
+
+TEST(ArgParser, AbsentFlagsFallBackToTableDefaults) {
+  ArgParser P = fuzzLikeParser();
+  ASSERT_TRUE(parseArgs(P, {}));
+  EXPECT_FALSE(P.has("iterations"));
+  EXPECT_EQ(P.get("iterations"), "2000");
+  EXPECT_EQ(P.getUnsigned("iterations"), 2000u);
+  EXPECT_EQ(P.get("out"), "");
+}
+
+TEST(ArgParser, RejectsUnknownFlags) {
+  ArgParser P = fuzzLikeParser();
+  EXPECT_FALSE(parseArgs(P, {"--iteratons", "50"})); // Typo.
+  EXPECT_NE(P.error().find("unknown flag --iteratons"), std::string::npos);
+  EXPECT_NE(P.error().find("classfuzz cmd"), std::string::npos);
+}
+
+TEST(ArgParser, RejectsMissingValue) {
+  ArgParser P = fuzzLikeParser();
+  EXPECT_FALSE(parseArgs(P, {"--iterations"}));
+  EXPECT_NE(P.error().find("requires a value"), std::string::npos);
+}
+
+TEST(ArgParser, BooleanFlagsTakeNoValue) {
+  ArgParser P = fuzzLikeParser();
+  ASSERT_TRUE(parseArgs(P, {"--verbose", "positional.class"}));
+  EXPECT_TRUE(P.has("verbose"));
+  // The token after a boolean flag stays positional.
+  ASSERT_EQ(P.positional().size(), 1u);
+  EXPECT_EQ(P.positional()[0], "positional.class");
+
+  ArgParser Q = fuzzLikeParser();
+  EXPECT_FALSE(parseArgs(Q, {"--verbose=yes"}));
+  EXPECT_NE(Q.error().find("takes no value"), std::string::npos);
+}
+
+TEST(ArgParser, ValueFlagsMayConsumeDashValues) {
+  // "-" (stdout convention) and negative numbers are legal values.
+  ArgParser P = fuzzLikeParser();
+  ASSERT_TRUE(parseArgs(P, {"--out", "-"}));
+  EXPECT_EQ(P.get("out"), "-");
+}
+
+TEST(ArgParser, CollectsPositionalsInOrder) {
+  ArgParser P = fuzzLikeParser();
+  ASSERT_TRUE(parseArgs(P, {"a.class", "--rng", "3", "b.class"}));
+  ASSERT_EQ(P.positional().size(), 2u);
+  EXPECT_EQ(P.positional()[0], "a.class");
+  EXPECT_EQ(P.positional()[1], "b.class");
+}
+
+TEST(ArgParser, HelpRequestStopsParsing) {
+  ArgParser P = fuzzLikeParser();
+  ASSERT_TRUE(parseArgs(P, {"--help", "--bogus"}));
+  EXPECT_TRUE(P.helpRequested());
+  EXPECT_TRUE(P.error().empty());
+
+  ArgParser Q = fuzzLikeParser();
+  ASSERT_TRUE(parseArgs(Q, {"-h"}));
+  EXPECT_TRUE(Q.helpRequested());
+}
+
+TEST(ArgParser, HelpTextIsGeneratedFromTheTable) {
+  ArgParser P = fuzzLikeParser();
+  std::string Help = P.helpText();
+  EXPECT_NE(Help.find("usage: classfuzz cmd"), std::string::npos);
+  EXPECT_NE(Help.find("--iterations N"), std::string::npos);
+  EXPECT_NE(Help.find("iteration budget"), std::string::npos);
+  EXPECT_NE(Help.find("(default: 2000)"), std::string::npos);
+  // Boolean flags show no value placeholder, flags without defaults no
+  // default clause.
+  EXPECT_NE(Help.find("--verbose "), std::string::npos);
+  EXPECT_EQ(Help.find("--verbose ="), std::string::npos);
+  EXPECT_NE(Help.find("--time-budget SECONDS"), std::string::npos);
+  EXPECT_EQ(Help.find("wall-clock budget (default"), std::string::npos);
+}
+
+TEST(ArgParser, PositionalUsageAppearsInSynopsis) {
+  ArgParser P("classfuzz inspect", "FILE.class", {});
+  EXPECT_NE(P.helpText().find("classfuzz inspect FILE.class"),
+            std::string::npos);
+}
+
+TEST(ArgParser, NumericAccessorsParseLeadingPrefix) {
+  ArgParser P = fuzzLikeParser();
+  ASSERT_TRUE(parseArgs(P, {"--time-budget", "2.5", "--rng", "junk"}));
+  EXPECT_DOUBLE_EQ(P.getDouble("time-budget"), 2.5);
+  EXPECT_EQ(P.getInt("rng"), 0); // atol-style: no numeric prefix -> 0.
+}

@@ -1,0 +1,379 @@
+//===- tests/telemetry/telemetry_test.cpp ----------------------------------===//
+//
+// The observability layer (DESIGN.md §8): metric correctness under
+// concurrent writers, snapshot-JSON schema stability, the structured
+// event stream, and -- the load-bearing property -- that a campaign's
+// committed trajectory is bit-identical with telemetry on or off.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Telemetry.h"
+
+#include "fuzzing/Campaign.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+using namespace classfuzz;
+namespace tel = classfuzz::telemetry;
+
+namespace {
+
+/// Restores the global enabled flag and event sink on scope exit, so
+/// tests cannot leak telemetry state into each other.
+struct TelemetryGuard {
+  TelemetryGuard() { tel::setEnabled(false); }
+  ~TelemetryGuard() {
+    tel::setEnabled(false);
+    tel::setEventSink(nullptr);
+  }
+};
+
+/// Captures emitted events in memory.
+class CapturingSink : public tel::EventSink {
+public:
+  void write(const std::string &JsonObject) override {
+    Events.push_back(JsonObject);
+  }
+  std::vector<std::string> Events;
+};
+
+} // namespace
+
+// ---- counters / gauges / histograms ---------------------------------------
+
+TEST(Telemetry, CounterCountsExactlyUnderConcurrentWriters) {
+  tel::Counter C;
+  constexpr size_t Threads = 8, IncsPerThread = 20000;
+  {
+    ThreadPool Pool(Threads);
+    std::vector<std::future<void>> Done;
+    for (size_t T = 0; T != Threads; ++T)
+      Done.push_back(Pool.submit([&C] {
+        for (size_t I = 0; I != IncsPerThread; ++I)
+          C.inc();
+      }));
+    for (auto &F : Done)
+      F.get();
+  }
+  EXPECT_EQ(C.value(), Threads * IncsPerThread);
+  C.reset();
+  EXPECT_EQ(C.value(), 0u);
+}
+
+TEST(Telemetry, GaugeRecordMaxKeepsHighWaterUnderConcurrentWriters) {
+  tel::Gauge G;
+  constexpr size_t Threads = 8;
+  {
+    ThreadPool Pool(Threads);
+    std::vector<std::future<void>> Done;
+    for (size_t T = 0; T != Threads; ++T)
+      Done.push_back(Pool.submit([&G, T] {
+        for (int64_t V = 0; V != 5000; ++V)
+          G.recordMax(static_cast<int64_t>(T) * 5000 + V);
+      }));
+    for (auto &F : Done)
+      F.get();
+  }
+  EXPECT_EQ(G.value(), 8 * 5000 - 1);
+  G.set(7);
+  EXPECT_EQ(G.value(), 7);
+  G.recordMax(3); // Lower than current: no effect.
+  EXPECT_EQ(G.value(), 7);
+}
+
+TEST(Telemetry, HistogramAggregatesAreExactUnderConcurrentWriters) {
+  tel::Histogram H;
+  constexpr size_t Threads = 6, SamplesPerThread = 10000;
+  {
+    ThreadPool Pool(Threads);
+    std::vector<std::future<void>> Done;
+    for (size_t T = 0; T != Threads; ++T)
+      Done.push_back(Pool.submit([&H] {
+        for (uint64_t I = 1; I <= SamplesPerThread; ++I)
+          H.record(I);
+      }));
+    for (auto &F : Done)
+      F.get();
+  }
+  EXPECT_EQ(H.count(), Threads * SamplesPerThread);
+  // Sum of 1..N per thread, times the thread count.
+  uint64_t PerThread = SamplesPerThread * (SamplesPerThread + 1) / 2;
+  EXPECT_EQ(H.sum(), Threads * PerThread);
+  EXPECT_EQ(H.min(), 1u);
+  EXPECT_EQ(H.max(), SamplesPerThread);
+  EXPECT_DOUBLE_EQ(H.mean(), static_cast<double>(PerThread) /
+                                 SamplesPerThread);
+}
+
+TEST(Telemetry, HistogramBucketsAreLogTwo) {
+  tel::Histogram H;
+  H.record(0);
+  H.record(1); // Bucket 0: zeros and ones.
+  H.record(2);
+  H.record(3); // Bucket 2: [2, 4).
+  H.record(1024); // Bucket 11: [1024, 2048).
+  EXPECT_EQ(H.bucketCount(0), 2u);
+  EXPECT_EQ(H.bucketCount(2), 2u);
+  EXPECT_EQ(H.bucketCount(11), 1u);
+  // The p50 sample (the bucket-2 "3") reports its bucket upper bound.
+  EXPECT_EQ(H.percentileUpperBound(0.5), 4u);
+  EXPECT_EQ(H.percentileUpperBound(1.0), 2048u);
+  H.reset();
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.percentileUpperBound(0.5), 0u);
+}
+
+TEST(Telemetry, CounterGridCountsAndIgnoresOutOfRange) {
+  tel::CounterGrid Grid(
+      2, 3, [](size_t R) { return "r" + std::to_string(R); },
+      [](size_t C) { return "c" + std::to_string(C); });
+  Grid.inc(0, 0);
+  Grid.inc(1, 2, 5);
+  Grid.inc(2, 0);  // Row out of range: dropped, not UB.
+  Grid.inc(0, 3);  // Column out of range: dropped.
+  EXPECT_EQ(Grid.value(0, 0), 1u);
+  EXPECT_EQ(Grid.value(1, 2), 5u);
+  EXPECT_EQ(Grid.value(2, 0), 0u);
+  EXPECT_EQ(Grid.rowLabel(1), "r1");
+  EXPECT_EQ(Grid.colLabel(2), "c2");
+  Grid.reset();
+  EXPECT_EQ(Grid.value(1, 2), 0u);
+}
+
+// ---- registry -------------------------------------------------------------
+
+TEST(Telemetry, RegistryReturnsStableReferences) {
+  tel::MetricRegistry Reg;
+  tel::Counter &A = Reg.counter("x");
+  tel::Counter &B = Reg.counter("x");
+  EXPECT_EQ(&A, &B);
+  A.inc(3);
+  Reg.reset(); // Zeroes values, never invalidates references.
+  EXPECT_EQ(B.value(), 0u);
+  B.inc();
+  EXPECT_EQ(Reg.counter("x").value(), 1u);
+}
+
+TEST(Telemetry, RegistryRegistrationIsThreadSafe) {
+  tel::MetricRegistry Reg;
+  constexpr size_t Threads = 8;
+  std::vector<tel::Counter *> Seen(Threads);
+  {
+    ThreadPool Pool(Threads);
+    std::vector<std::future<void>> Done;
+    for (size_t T = 0; T != Threads; ++T)
+      Done.push_back(Pool.submit([&Reg, &Seen, T] {
+        tel::Counter &C = Reg.counter("contended");
+        C.inc();
+        Seen[T] = &C;
+      }));
+    for (auto &F : Done)
+      F.get();
+  }
+  for (size_t T = 1; T != Threads; ++T)
+    EXPECT_EQ(Seen[T], Seen[0]);
+  EXPECT_EQ(Reg.counter("contended").value(), Threads);
+}
+
+TEST(Telemetry, SnapshotJsonSchemaIsStable) {
+  // A private registry gives an exactly-predictable snapshot: keys are
+  // sorted, histograms carry the fixed aggregate schema, grids emit
+  // only non-zero cells as "row.col". Tools parsing --stats-json
+  // output rely on this shape.
+  tel::MetricRegistry Reg;
+  Reg.counter("b.count").inc(2);
+  Reg.counter("a.count").inc(1);
+  Reg.gauge("heap").set(42);
+  tel::Histogram &H = Reg.histogram("lat");
+  H.record(1);
+  H.record(3);
+  tel::CounterGrid &Grid = Reg.grid(
+      "aborts", 2, 2, [](size_t R) { return R == 0 ? "load" : "link"; },
+      [](size_t C) { return C == 0 ? "ok" : "err"; });
+  Grid.inc(1, 1, 7);
+
+  EXPECT_EQ(Reg.snapshotJson(),
+            "{\"counters\":{\"a.count\":1,\"b.count\":2},"
+            "\"gauges\":{\"heap\":42},"
+            "\"histograms\":{\"lat\":{\"count\":2,\"sum\":4,\"min\":1,"
+            "\"max\":3,\"mean\":2,\"p50\":1,\"p99\":4}},"
+            "\"grids\":{\"aborts\":{\"link.err\":7}}}");
+}
+
+TEST(Telemetry, EmptySnapshotIsStillValidJson) {
+  tel::MetricRegistry Reg;
+  EXPECT_EQ(Reg.snapshotJson(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{},"
+            "\"grids\":{}}");
+}
+
+// ---- events ---------------------------------------------------------------
+
+TEST(Telemetry, EventBuilderEmitsOneJsonObjectPerEvent) {
+  TelemetryGuard Guard;
+  auto Sink = std::make_unique<CapturingSink>();
+  CapturingSink *Raw = Sink.get();
+  tel::setEventSink(std::move(Sink));
+
+  tel::EventBuilder("iter")
+      .field("mutator", std::string("field.add-final"))
+      .field("n", static_cast<uint64_t>(7))
+      .field("delta", static_cast<int64_t>(-2))
+      .field("rate", 0.5)
+      .field("ok", true)
+      .emit();
+
+  ASSERT_EQ(Raw->Events.size(), 1u);
+  EXPECT_EQ(Raw->Events[0],
+            "{\"type\":\"iter\",\"mutator\":\"field.add-final\","
+            "\"n\":7,\"delta\":-2,\"rate\":0.5,\"ok\":true}");
+}
+
+TEST(Telemetry, EventBuilderWithoutSinkIsANoOp) {
+  TelemetryGuard Guard;
+  tel::setEventSink(nullptr);
+  tel::EventBuilder("orphan").field("k", 1).emit(); // Must not crash.
+  EXPECT_EQ(tel::eventSink(), nullptr);
+}
+
+TEST(Telemetry, JsonEscapeHandlesControlAndQuoteCharacters) {
+  EXPECT_EQ(tel::jsonEscape("plain"), "plain");
+  EXPECT_EQ(tel::jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(tel::jsonEscape("line\nbreak\t"), "line\\nbreak\\t");
+  EXPECT_EQ(tel::jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+// ---- phase timers ---------------------------------------------------------
+
+TEST(Telemetry, PhaseTimerRecordsWhenEnabled) {
+  TelemetryGuard Guard;
+  tel::setEnabled(true);
+  tel::Histogram H;
+  {
+    tel::PhaseTimer T(H);
+  }
+  EXPECT_EQ(H.count(), 1u);
+}
+
+TEST(Telemetry, PhaseTimerIsInertWhenDisabled) {
+  TelemetryGuard Guard;
+  tel::setEnabled(false);
+  tel::Histogram H;
+  {
+    tel::PhaseTimer T(H);
+  }
+  EXPECT_EQ(H.count(), 0u);
+}
+
+TEST(Telemetry, PhaseTimerStopDisarms) {
+  TelemetryGuard Guard;
+  tel::setEnabled(true);
+  tel::Histogram H;
+  tel::PhaseTimer T(H);
+  T.stop();
+  T.stop(); // Second stop (and the destructor) must not re-record.
+  EXPECT_EQ(H.count(), 1u);
+}
+
+// ---- campaign determinism -------------------------------------------------
+
+namespace {
+
+CampaignConfig determinismConfig(size_t Jobs) {
+  CampaignConfig Config;
+  Config.Algo = FuzzAlgorithm::ClassfuzzStBr;
+  Config.Iterations = 120;
+  Config.RngSeed = 23;
+  Config.NumSeeds = 11;
+  Config.Jobs = Jobs;
+  return Config;
+}
+
+void expectIdenticalResults(const CampaignResult &A,
+                            const CampaignResult &B) {
+  ASSERT_EQ(A.Iterations, B.Iterations);
+  ASSERT_EQ(A.numGenerated(), B.numGenerated());
+  for (size_t I = 0; I != A.GenClasses.size(); ++I) {
+    EXPECT_EQ(A.GenClasses[I].Name, B.GenClasses[I].Name);
+    EXPECT_EQ(A.GenClasses[I].Data, B.GenClasses[I].Data);
+    EXPECT_EQ(A.GenClasses[I].Representative,
+              B.GenClasses[I].Representative);
+  }
+  EXPECT_EQ(A.TestClassIndices, B.TestClassIndices);
+  EXPECT_EQ(A.MutatorSelected, B.MutatorSelected);
+  EXPECT_EQ(A.MutatorSucceeded, B.MutatorSucceeded);
+  EXPECT_EQ(A.MutatorInapplicable, B.MutatorInapplicable);
+  EXPECT_EQ(A.MutatorNoChange, B.MutatorNoChange);
+}
+
+} // namespace
+
+TEST(TelemetryDeterminism, CampaignIsBitIdenticalWithTelemetryOnOrOff) {
+  TelemetryGuard Guard;
+  tel::setEnabled(false);
+  auto Off = runCampaign(determinismConfig(1));
+
+  tel::setEnabled(true);
+  tel::setEventSink(std::make_unique<CapturingSink>());
+  auto On = runCampaign(determinismConfig(1));
+
+  expectIdenticalResults(Off, On);
+}
+
+TEST(TelemetryDeterminism, ParallelCampaignUnaffectedByTelemetry) {
+  TelemetryGuard Guard;
+  tel::setEnabled(false);
+  auto Off = runCampaign(determinismConfig(4));
+
+  tel::setEnabled(true);
+  auto Sink = std::make_unique<CapturingSink>();
+  CapturingSink *Raw = Sink.get();
+  tel::setEventSink(std::move(Sink));
+  auto On = runCampaign(determinismConfig(4));
+  size_t EventsWithTelemetry = Raw->Events.size();
+
+  expectIdenticalResults(Off, On);
+  // One event per committed iteration plus the campaign.end summary.
+  EXPECT_EQ(EventsWithTelemetry, On.Iterations + 1);
+}
+
+TEST(TelemetryDeterminism, EventStreamIsIdenticalAcrossJobCounts) {
+  TelemetryGuard Guard;
+  tel::setEnabled(true);
+
+  auto RunWith = [](size_t Jobs) {
+    auto Sink = std::make_unique<CapturingSink>();
+    CapturingSink *Raw = Sink.get();
+    tel::setEventSink(std::move(Sink));
+    runCampaign(determinismConfig(Jobs));
+    std::vector<std::string> Events = Raw->Events;
+    tel::setEventSink(nullptr);
+    return Events;
+  };
+
+  EXPECT_EQ(RunWith(1), RunWith(3));
+}
+
+TEST(TelemetryDeterminism, MutationAccountingAddsUp) {
+  TelemetryGuard Guard;
+  tel::setEnabled(false);
+  auto R = runCampaign(determinismConfig(1));
+  size_t Selected = 0, Succeeded = 0, Inapplicable = 0, NoChange = 0;
+  for (size_t I = 0; I != R.MutatorSelected.size(); ++I) {
+    Selected += R.MutatorSelected[I];
+    Succeeded += R.MutatorSucceeded[I];
+    Inapplicable += R.MutatorInapplicable[I];
+    NoChange += R.MutatorNoChange[I];
+    EXPECT_LE(R.MutatorInapplicable[I] + R.MutatorNoChange[I],
+              R.MutatorSelected[I]);
+  }
+  EXPECT_EQ(Selected, R.Iterations);
+  EXPECT_EQ(Succeeded, R.numTests());
+  // Inapplicable draws cannot produce a mutant.
+  EXPECT_LE(R.numGenerated(), Selected - Inapplicable);
+  EXPECT_GT(Inapplicable, 0u) << "config too easy to exercise the path";
+}

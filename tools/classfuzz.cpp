@@ -20,6 +20,12 @@
 //   classfuzz mutators
 //       list the 129 mutation operators
 //
+// Every subcommand declares its flags in an ArgParser table: unknown
+// flags are rejected with a diagnostic and --help is generated from the
+// same table. The telemetry flags --stats-json and --trace-events
+// (fuzz/run/reduce) enable the observation-only metrics layer of
+// DESIGN.md §8.
+//
 //===----------------------------------------------------------------------===//
 
 #include "classfile/ClassReader.h"
@@ -30,13 +36,15 @@
 #include "mutation/Mutator.h"
 #include "reducer/Reducer.h"
 #include "runtime/RuntimeLib.h"
+#include "support/ArgParser.h"
+#include "telemetry/Telemetry.h"
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
-#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -44,48 +52,96 @@ using namespace classfuzz;
 
 namespace {
 
-int usage() {
+int usage(std::FILE *To) {
   std::fprintf(
-      stderr,
+      To,
       "usage:\n"
       "  classfuzz fuzz    [--algo stbr|st|tr|unique|greedy|rand]\n"
       "                    [--iterations N | --time-budget SECONDS]\n"
       "                    [--seeds N | --seed-dir DIR] [--rng N]\n"
-      "                    [--jobs N] [--out DIR]\n"
+      "                    [--jobs N] [--out DIR] [--progress SECONDS]\n"
+      "                    [--stats-json FILE] [--trace-events FILE]\n"
       "  classfuzz run     FILE.class [--env jre5|jre7|jre8|jre9]\n"
       "  classfuzz inspect FILE.class\n"
       "  classfuzz reduce  FILE.class [--out FILE]\n"
-      "  classfuzz mutators\n");
-  return 2;
+      "  classfuzz mutators\n"
+      "\n"
+      "run 'classfuzz <command> --help' for per-command flags\n");
+  return To == stdout ? 0 : 2;
 }
 
-/// Simple flag map: --key value pairs plus positional arguments.
-struct Args {
-  std::vector<std::string> Positional;
-  std::map<std::string, std::string> Flags;
+/// The telemetry flags shared by fuzz/run/reduce.
+std::vector<FlagSpec> withTelemetryFlags(std::vector<FlagSpec> Specs) {
+  Specs.push_back({"stats-json", "FILE",
+                   "write a JSON metrics snapshot to FILE at exit "
+                   "(\"-\" = stdout)",
+                   ""});
+  Specs.push_back({"trace-events", "FILE",
+                   "stream JSONL trace events to FILE (\"-\" = stdout)",
+                   ""});
+  return Specs;
+}
 
-  static Args parse(int Argc, char **Argv, int From) {
-    Args Out;
-    for (int I = From; I < Argc; ++I) {
-      std::string A = Argv[I];
-      if (A.rfind("--", 0) == 0) {
-        std::string Value;
-        if (I + 1 < Argc && Argv[I + 1][0] != '-')
-          Value = Argv[++I];
-        Out.Flags[A.substr(2)] = Value;
-      } else {
-        Out.Positional.push_back(A);
+/// Parses a subcommand's arguments; returns true to continue, false
+/// with \p Exit set after printing help or a diagnostic.
+bool parseOrExit(ArgParser &A, int Argc, char **Argv, int &Exit) {
+  if (!A.parse(Argc, Argv, 2)) {
+    std::fprintf(stderr, "%s\n", A.error().c_str());
+    Exit = 2;
+    return false;
+  }
+  if (A.helpRequested()) {
+    std::fputs(A.helpText().c_str(), stdout);
+    Exit = 0;
+    return false;
+  }
+  return true;
+}
+
+/// Enables telemetry per --stats-json/--trace-events and, on
+/// destruction, uninstalls the event sink and writes the snapshot.
+class TelemetryCli {
+public:
+  bool setup(const ArgParser &A) {
+    StatsPath = A.get("stats-json");
+    std::string TracePath = A.get("trace-events");
+    if (StatsPath.empty() && TracePath.empty())
+      return true;
+    telemetry::setEnabled(true);
+    if (!TracePath.empty()) {
+      std::FILE *F = TracePath == "-" ? stdout
+                                      : std::fopen(TracePath.c_str(), "w");
+      if (!F) {
+        std::fprintf(stderr, "cannot open %s for trace events\n",
+                     TracePath.c_str());
+        return false;
       }
+      telemetry::setEventSink(
+          std::make_unique<telemetry::FileEventSink>(F));
     }
-    return Out;
+    return true;
   }
 
-  std::string get(const std::string &Key,
-                  const std::string &Default = "") const {
-    auto It = Flags.find(Key);
-    return It == Flags.end() ? Default : It->second;
+  ~TelemetryCli() {
+    telemetry::setEventSink(nullptr);
+    if (StatsPath.empty())
+      return;
+    std::string Json = telemetry::metrics().snapshotJson();
+    if (StatsPath == "-") {
+      std::printf("%s\n", Json.c_str());
+      return;
+    }
+    std::FILE *F = std::fopen(StatsPath.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "cannot write %s\n", StatsPath.c_str());
+      return;
+    }
+    std::fprintf(F, "%s\n", Json.c_str());
+    std::fclose(F);
   }
-  bool has(const std::string &Key) const { return Flags.count(Key); }
+
+private:
+  std::string StatsPath;
 };
 
 Result<Bytes> readFile(const std::string &Path) {
@@ -147,22 +203,44 @@ std::vector<SeedClass> loadSeedDir(const std::string &Dir) {
   return Out;
 }
 
-int cmdFuzz(const Args &A) {
+int cmdFuzz(int Argc, char **Argv) {
+  ArgParser A(
+      "classfuzz fuzz", "",
+      withTelemetryFlags(
+          {{"algo", "ALGO", "algorithm: stbr|st|tr|unique|greedy|rand",
+            "stbr"},
+           {"iterations", "N", "iteration budget", "2000"},
+           {"time-budget", "SECONDS",
+            "wall-clock budget (overrides --iterations)", ""},
+           {"seeds", "N", "generated seed-corpus size", "64"},
+           {"seed-dir", "DIR", "seed with the .class files of DIR", ""},
+           {"rng", "N", "campaign RNG seed", "1"},
+           {"jobs", "N",
+            "worker threads; results are identical across values", "1"},
+           {"out", "DIR",
+            "write report.md + discrepancy classfiles to DIR", ""},
+           {"progress", "SECONDS",
+            "print a one-line progress report to stderr every SECONDS",
+            ""}}));
+  int Exit = 0;
+  if (!parseOrExit(A, Argc, Argv, Exit))
+    return Exit;
+  TelemetryCli Telem;
+  if (!Telem.setup(A))
+    return 1;
+
   CampaignConfig Config;
-  Config.Algo = algoFromName(A.get("algo", "stbr"));
+  Config.Algo = algoFromName(A.get("algo"));
   if (A.has("time-budget"))
-    Config.TimeBudgetSeconds = std::atof(A.get("time-budget").c_str());
+    Config.TimeBudgetSeconds = A.getDouble("time-budget");
   else
-    Config.Iterations =
-        static_cast<size_t>(std::atol(A.get("iterations", "2000").c_str()));
-  Config.NumSeeds =
-      static_cast<size_t>(std::atol(A.get("seeds", "64").c_str()));
-  Config.RngSeed =
-      static_cast<uint64_t>(std::atoll(A.get("rng", "1").c_str()));
+    Config.Iterations = static_cast<size_t>(A.getUnsigned("iterations"));
+  Config.NumSeeds = static_cast<size_t>(A.getUnsigned("seeds"));
+  Config.RngSeed = A.getUnsigned("rng");
   // Worker threads for the campaign pipeline; results are identical
   // across --jobs values for a fixed --rng seed.
-  Config.Jobs = static_cast<size_t>(
-      std::max<long>(1, std::atol(A.get("jobs", "1").c_str())));
+  Config.Jobs = std::max<size_t>(1, static_cast<size_t>(A.getUnsigned("jobs")));
+  Config.ProgressIntervalSeconds = A.getDouble("progress");
   if (A.has("seed-dir")) {
     Config.ExternalSeeds = loadSeedDir(A.get("seed-dir"));
     if (Config.ExternalSeeds.empty()) {
@@ -232,10 +310,24 @@ int cmdFuzz(const Args &A) {
   return 0;
 }
 
-int cmdRun(const Args &A) {
-  if (A.Positional.empty())
-    return usage();
-  auto Data = readFile(A.Positional[0]);
+int cmdRun(int Argc, char **Argv) {
+  ArgParser A("classfuzz run", "FILE.class",
+              withTelemetryFlags(
+                  {{"env", "JRE",
+                    "shared runtime environment: jre5|jre7|jre8|jre9 "
+                    "(default: per-JVM)",
+                    ""}}));
+  int Exit = 0;
+  if (!parseOrExit(A, Argc, Argv, Exit))
+    return Exit;
+  if (A.positional().empty()) {
+    std::fputs(A.helpText().c_str(), stderr);
+    return 2;
+  }
+  TelemetryCli Telem;
+  if (!Telem.setup(A))
+    return 1;
+  auto Data = readFile(A.positional()[0]);
   if (!Data) {
     std::fprintf(stderr, "%s\n", Data.error().c_str());
     return 1;
@@ -265,10 +357,16 @@ int cmdRun(const Args &A) {
   return 0;
 }
 
-int cmdInspect(const Args &A) {
-  if (A.Positional.empty())
-    return usage();
-  auto Data = readFile(A.Positional[0]);
+int cmdInspect(int Argc, char **Argv) {
+  ArgParser A("classfuzz inspect", "FILE.class", {});
+  int Exit = 0;
+  if (!parseOrExit(A, Argc, Argv, Exit))
+    return Exit;
+  if (A.positional().empty()) {
+    std::fputs(A.helpText().c_str(), stderr);
+    return 2;
+  }
+  auto Data = readFile(A.positional()[0]);
   if (!Data) {
     std::fprintf(stderr, "%s\n", Data.error().c_str());
     return 1;
@@ -285,10 +383,22 @@ int cmdInspect(const Args &A) {
   return 0;
 }
 
-int cmdReduce(const Args &A) {
-  if (A.Positional.empty())
-    return usage();
-  auto Data = readFile(A.Positional[0]);
+int cmdReduce(int Argc, char **Argv) {
+  ArgParser A("classfuzz reduce", "FILE.class",
+              withTelemetryFlags(
+                  {{"out", "FILE",
+                    "output path (default: FILE.class.reduced)", ""}}));
+  int Exit = 0;
+  if (!parseOrExit(A, Argc, Argv, Exit))
+    return Exit;
+  if (A.positional().empty()) {
+    std::fputs(A.helpText().c_str(), stderr);
+    return 2;
+  }
+  TelemetryCli Telem;
+  if (!Telem.setup(A))
+    return 1;
+  auto Data = readFile(A.positional()[0]);
   if (!Data) {
     std::fprintf(stderr, "%s\n", Data.error().c_str());
     return 1;
@@ -309,7 +419,7 @@ int cmdReduce(const Args &A) {
     std::fprintf(stderr,
                  "%s triggers no discrepancy (encoded \"%s\"); nothing "
                  "to preserve\n",
-                 A.Positional[0].c_str(), Target.c_str());
+                 A.positional()[0].c_str(), Target.c_str());
     return 1;
   }
   std::printf("preserving discrepancy category \"%s\"\n", Target.c_str());
@@ -326,7 +436,8 @@ int cmdReduce(const Args &A) {
   }
   std::printf("reduced %zu -> %zu bytes (%zu oracle queries)\n",
               Data->size(), Reduced->size(), Stats.OracleQueries);
-  std::string OutPath = A.get("out", A.Positional[0] + ".reduced");
+  std::string OutPath = A.has("out") ? A.get("out")
+                                     : A.positional()[0] + ".reduced";
   if (!writeFile(OutPath, *Reduced)) {
     std::fprintf(stderr, "cannot write %s\n", OutPath.c_str());
     return 1;
@@ -335,7 +446,11 @@ int cmdReduce(const Args &A) {
   return 0;
 }
 
-int cmdMutators() {
+int cmdMutators(int Argc, char **Argv) {
+  ArgParser A("classfuzz mutators", "", {});
+  int Exit = 0;
+  if (!parseOrExit(A, Argc, Argv, Exit))
+    return Exit;
   std::printf("%zu mutators (%s):\n\n", mutatorRegistry().size(),
               "123 syntactic + 6 statement-level");
   for (const Mutator &Mu : mutatorRegistry())
@@ -348,18 +463,20 @@ int cmdMutators() {
 
 int main(int Argc, char **Argv) {
   if (Argc < 2)
-    return usage();
+    return usage(stderr);
   std::string Cmd = Argv[1];
-  Args A = Args::parse(Argc, Argv, 2);
+  if (Cmd == "--help" || Cmd == "-h" || Cmd == "help")
+    return usage(stdout);
   if (Cmd == "fuzz")
-    return cmdFuzz(A);
+    return cmdFuzz(Argc, Argv);
   if (Cmd == "run")
-    return cmdRun(A);
+    return cmdRun(Argc, Argv);
   if (Cmd == "inspect")
-    return cmdInspect(A);
+    return cmdInspect(Argc, Argv);
   if (Cmd == "reduce")
-    return cmdReduce(A);
+    return cmdReduce(Argc, Argv);
   if (Cmd == "mutators")
-    return cmdMutators();
-  return usage();
+    return cmdMutators(Argc, Argv);
+  std::fprintf(stderr, "classfuzz: unknown command '%s'\n", Cmd.c_str());
+  return usage(stderr);
 }
