@@ -1,0 +1,94 @@
+//===- bench/bench_micro_flightrecorder.cpp --------------------------------===//
+//
+// Microbenchmarks of the flight recorder (DESIGN.md §9). The contract
+// is asymmetric: record() when disabled is exactly one relaxed atomic
+// load (the campaign hot loop pays this on every iteration whether or
+// not --incidents is given), and record() when enabled stays in the
+// tens-of-nanoseconds range so arming the recorder does not perturb
+// the trajectory's timing-sensitive neighbors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/FlightRecorder.h"
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+#include <vector>
+
+using namespace classfuzz;
+namespace tel = classfuzz::telemetry;
+
+namespace {
+
+/// The disabled fast path: one relaxed load, no lane lookup, no store.
+void BM_RecordDisabled(benchmark::State &State) {
+  tel::FlightRecorder &FR = tel::flightRecorder();
+  FR.disable();
+  uint64_t I = 0;
+  for (auto _ : State)
+    FR.record(tel::FlightKind::Iteration, ++I, 7, 3);
+}
+BENCHMARK(BM_RecordDisabled);
+
+/// The armed path: sequence fetch_add, cached-lane lookup, five
+/// relaxed stores plus the seqlock stamp pair.
+void BM_RecordEnabled(benchmark::State &State) {
+  tel::FlightRecorder &FR = tel::flightRecorder();
+  FR.enable(1024);
+  uint64_t I = 0;
+  for (auto _ : State)
+    FR.record(tel::FlightKind::Iteration, ++I, 7, 3);
+  FR.disable();
+}
+BENCHMARK(BM_RecordEnabled);
+
+/// Armed path under contention: every thread hammers its own lane, so
+/// the only shared cache line is the global sequence counter.
+void BM_RecordEnabledContended(benchmark::State &State) {
+  tel::FlightRecorder &FR = tel::flightRecorder();
+  if (State.thread_index() == 0)
+    FR.enable(1024);
+  uint64_t I = 0;
+  for (auto _ : State)
+    FR.record(tel::FlightKind::Iteration, ++I, 7, 3);
+  if (State.thread_index() == 0)
+    FR.disable();
+}
+BENCHMARK(BM_RecordEnabledContended)->Threads(4);
+
+/// snapshot() with live writers: the merge pays sort + seqlock retries
+/// but never blocks the recording threads.
+void BM_SnapshotWhileRecording(benchmark::State &State) {
+  tel::FlightRecorder &FR = tel::flightRecorder();
+  FR.enable(1024);
+  std::atomic<bool> Stop{false};
+  std::thread Writer([&FR, &Stop] {
+    for (uint64_t I = 0; !Stop.load(std::memory_order_relaxed); ++I)
+      FR.record(tel::FlightKind::Iteration, I);
+  });
+  for (auto _ : State) {
+    auto Events = FR.snapshot(64);
+    benchmark::DoNotOptimize(Events.data());
+  }
+  Stop.store(true, std::memory_order_relaxed);
+  Writer.join();
+  FR.disable();
+}
+BENCHMARK(BM_SnapshotWhileRecording)->Unit(benchmark::kMicrosecond);
+
+/// renderJsonl on a realistic incident tail (64 events).
+void BM_RenderJsonlTail(benchmark::State &State) {
+  std::vector<tel::FlightEvent> Events;
+  for (uint64_t I = 0; I != 64; ++I)
+    Events.push_back({I, 0, tel::FlightKind::Iteration, I, 7, 3});
+  for (auto _ : State) {
+    std::string Out = tel::FlightRecorder::renderJsonl(Events);
+    benchmark::DoNotOptimize(Out.data());
+  }
+}
+BENCHMARK(BM_RenderJsonlTail)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

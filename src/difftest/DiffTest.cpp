@@ -5,6 +5,8 @@
 #include "difftest/Phase.h"
 #include "jvm/Vm.h"
 #include "runtime/RuntimeLib.h"
+#include "support/Hashing.h"
+#include "telemetry/FlightRecorder.h"
 #include "telemetry/Telemetry.h"
 
 #include <array>
@@ -15,6 +17,13 @@ using namespace classfuzz;
 bool DiffOutcome::isDiscrepancy() const {
   for (size_t I = 1; I < Encoded.size(); ++I)
     if (Encoded[I] != Encoded[0])
+      return true;
+  return false;
+}
+
+bool DiffOutcome::anyInternalError() const {
+  for (const JvmResult &R : Results)
+    if (R.Error == JvmErrorKind::InternalError)
       return true;
   return false;
 }
@@ -64,7 +73,17 @@ DiffOutcome DifferentialTester::runProfiles(const std::string &Name,
       tm::metrics().histogram("difftest.wall_ns");
   std::optional<tm::PhaseTimer> Timer;
   if (Telemetry)
-    Timer.emplace(WallNs);
+    Timer.emplace(WallNs, "difftest");
+
+  tm::FlightRecorder &FR = tm::flightRecorder();
+  // Hashed once; flight events identify the class without storing the
+  // (variable-length) name in a fixed-size ring entry.
+  uint64_t NameHash = 0;
+  if (FR.enabled()) {
+    Hasher H;
+    H.addString(Name);
+    NameHash = H.value();
+  }
 
   DiffOutcome Out;
   for (size_t I = 0; I != Policies.size(); ++I) {
@@ -82,6 +101,9 @@ DiffOutcome DifferentialTester::runProfiles(const std::string &Name,
       Code = encodePhase(R);
       Out.Results.push_back(std::move(R));
     }
+    if (Out.Results.back().Error == JvmErrorKind::InternalError)
+      FR.record(tm::FlightKind::VmInternalError, I,
+                static_cast<uint64_t>(Out.Results.back().Phase), NameHash);
     Out.Encoded.push_back(Code);
     if (Telemetry)
       tm::metrics()
@@ -101,6 +123,13 @@ DiffOutcome DifferentialTester::runProfiles(const std::string &Name,
           .field("encoded", Out.encodedString())
           .field("discrepancy", Out.isDiscrepancy())
           .emit();
+  }
+  if (FR.enabled()) {
+    uint64_t Packed = 0;
+    for (int Code : Out.Encoded)
+      Packed = Packed * 10 + static_cast<uint64_t>(Code);
+    FR.record(tm::FlightKind::DiffOutcome, Packed,
+              Out.isDiscrepancy() ? 1 : 0, NameHash);
   }
   return Out;
 }

@@ -47,6 +47,10 @@ struct DiffOutcome {
 
   /// True when the encoded sequence is not constant.
   bool isDiscrepancy() const;
+  /// True when any profile aborted inside the modeled VM with
+  /// InternalError -- the "VM abort during differential execution"
+  /// trigger for incident bundles (difftest/Incident.h).
+  bool anyInternalError() const;
   /// The sequence as a string, e.g. "00012" (the Figure 3 encoding).
   std::string encodedString() const;
 };

@@ -1,0 +1,136 @@
+//===- difftest/Incident.cpp -----------------------------------------------===//
+
+#include "difftest/Incident.h"
+
+#include "support/Hashing.h"
+#include "telemetry/FlightRecorder.h"
+#include "telemetry/Telemetry.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+using namespace classfuzz;
+
+std::string classfuzz::outcomesJson(const Incident &Inc) {
+  namespace tel = classfuzz::telemetry;
+  const DiffOutcome &O = Inc.Outcome;
+  std::string J = "{\n";
+  J += "  \"class\": \"" + tel::jsonEscape(Inc.MutantName) + "\",\n";
+  J += "  \"encoded\": \"" + O.encodedString() + "\",\n";
+  J += std::string("  \"discrepancy\": ") +
+       (O.isDiscrepancy() ? "true" : "false") + ",\n";
+  J += std::string("  \"internal_error\": ") +
+       (O.anyInternalError() ? "true" : "false") + ",\n";
+  J += "  \"profiles\": [";
+  for (size_t I = 0; I != O.Results.size(); ++I) {
+    const JvmResult &R = O.Results[I];
+    J += I == 0 ? "\n" : ",\n";
+    J += "    {\"name\": \"" +
+         tel::jsonEscape(I < Inc.ProfileNames.size() ? Inc.ProfileNames[I]
+                                                     : "?") +
+         "\",\n";
+    J += "     \"encoded\": " +
+         std::to_string(I < O.Encoded.size() ? O.Encoded[I] : -1) + ",\n";
+    J += std::string("     \"invoked\": ") + (R.Invoked ? "true" : "false") +
+         ",\n";
+    J += "     \"phase\": \"" + std::string(phaseName(R.Phase)) + "\",\n";
+    J += "     \"error\": \"" + std::string(errorKindName(R.Error)) + "\",\n";
+    J += "     \"message\": \"" + tel::jsonEscape(R.Message) + "\",\n";
+    J += "     \"output\": [";
+    for (size_t L = 0; L != R.Output.size(); ++L)
+      J += (L ? ", \"" : "\"") + tel::jsonEscape(R.Output[L]) + "\"";
+    J += "]}";
+  }
+  J += O.Results.empty() ? "]\n" : "\n  ]\n";
+  J += "}\n";
+  return J;
+}
+
+namespace {
+
+Result<bool> writeBundleFile(const std::filesystem::path &Path,
+                             const void *Data, size_t Size) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out)
+    return makeError("cannot open " + Path.string() + " for writing");
+  Out.write(static_cast<const char *>(Data),
+            static_cast<std::streamsize>(Size));
+  Out.flush();
+  if (!Out)
+    return makeError("short write to " + Path.string());
+  return true;
+}
+
+Result<bool> writeBundleFile(const std::filesystem::path &Path,
+                             const std::string &Text) {
+  return writeBundleFile(Path, Text.data(), Text.size());
+}
+
+Result<bool> writeBundleFile(const std::filesystem::path &Path,
+                             const Bytes &Data) {
+  return writeBundleFile(Path, Data.data(), Data.size());
+}
+
+} // namespace
+
+Result<std::string> classfuzz::writeIncidentBundle(const std::string &Dir,
+                                                   size_t Index,
+                                                   const Incident &Inc) {
+  namespace fs = std::filesystem;
+  namespace tel = classfuzz::telemetry;
+
+  char Name[64];
+  std::snprintf(Name, sizeof(Name), "incident-%04zu-%s", Index,
+                Inc.Outcome.encodedString().c_str());
+  fs::path Bundle = fs::path(Dir) / Name;
+  std::error_code Ec;
+  fs::create_directories(Bundle, Ec);
+  if (Ec)
+    return makeError("cannot create " + Bundle.string() + ": " +
+                     Ec.message());
+
+  if (auto R = writeBundleFile(Bundle / "mutant.class", Inc.MutantData); !R)
+    return makeError(R.error());
+  if (auto R = writeBundleFile(
+          Bundle / "lineage.json",
+          lineageJson(Inc.Prov, Inc.Env, Inc.MutantName,
+                      Inc.Outcome.encodedString()));
+      !R)
+    return makeError(R.error());
+  if (auto R = writeBundleFile(Bundle / "outcomes.json", outcomesJson(Inc));
+      !R)
+    return makeError(R.error());
+
+  // Path-independent, so the script is byte-identical across bundles:
+  // replay resolves everything relative to the bundle directory.
+  const std::string Script =
+      "#!/bin/sh\n"
+      "# Re-derives mutant.class from lineage.json and re-runs the\n"
+      "# differential test. Requires classfuzz on PATH.\n"
+      "cd \"$(dirname \"$0\")\" && exec classfuzz replay .\n";
+  fs::path ScriptPath = Bundle / "replay.sh";
+  if (auto R = writeBundleFile(ScriptPath, Script); !R)
+    return makeError(R.error());
+  fs::permissions(ScriptPath,
+                  fs::perms::owner_exec | fs::perms::group_exec |
+                      fs::perms::others_exec,
+                  fs::perm_options::add, Ec);
+
+  if (Inc.HasReduced)
+    if (auto R = writeBundleFile(Bundle / "reduced.class", Inc.Reduced); !R)
+      return makeError(R.error());
+
+  tel::FlightRecorder &FR = tel::flightRecorder();
+  if (FR.enabled() && Inc.FlightTail) {
+    std::string Jsonl =
+        tel::FlightRecorder::renderJsonl(FR.snapshot(Inc.FlightTail));
+    if (auto R = writeBundleFile(Bundle / "flightrec.jsonl", Jsonl); !R)
+      return makeError(R.error());
+  }
+
+  Hasher H;
+  H.addString(Inc.MutantName);
+  FR.record(tel::FlightKind::IncidentDumped, Index, H.value());
+  return Bundle.string();
+}

@@ -5,7 +5,9 @@
 #include "jvm/Vm.h"
 #include "mutation/Engine.h"
 #include "runtime/RuntimeLib.h"
+#include "support/Hashing.h"
 #include "support/ThreadPool.h"
+#include "telemetry/FlightRecorder.h"
 #include "telemetry/Telemetry.h"
 
 #include <atomic>
@@ -127,11 +129,21 @@ bool usesCoverage(FuzzAlgorithm Algo) {
 }
 
 /// The mutation pool holds (name, bytes) copies; seeds also prime the
-/// uniqueness pool so mutants must differ from them.
+/// uniqueness pool so mutants must differ from them. Each entry carries
+/// its lineage so descendants extend the chain (seeds have no steps).
 struct PoolEntry {
   std::string Name;
   Bytes Data;
+  Provenance Prov;
 };
+
+/// Packs a committed iteration's outcome for FlightKind::Iteration:
+/// bit0 produced, bit1 representative, bits8..15 the MutationResult.
+uint64_t packIterationOutcome(MutationResult MR, bool Produced,
+                              bool Representative) {
+  return (Produced ? 1u : 0u) | (Representative ? 2u : 0u) |
+         (static_cast<uint64_t>(MR) << 8);
+}
 
 /// The campaign's telemetry handles, resolved once per process so the
 /// per-iteration hot path never touches the registry mutex. All
@@ -313,10 +325,15 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
         std::chrono::duration<double>(Now - StartTime).count());
   };
 
-  // TestClasses <- Seeds (Algorithm 1 line 1).
+  // TestClasses <- Seeds (Algorithm 1 line 1). Seeds root the lineage
+  // chains: a seed's provenance is itself (no steps).
   std::vector<PoolEntry> Pool;
-  for (const SeedClass &Seed : Result.Seeds) {
-    Pool.push_back({Seed.Name, Seed.Data});
+  for (size_t SeedIndex = 0; SeedIndex != Result.Seeds.size(); ++SeedIndex) {
+    const SeedClass &Seed = Result.Seeds[SeedIndex];
+    Provenance Prov;
+    Prov.RootSeedIndex = SeedIndex;
+    Prov.RootSeedName = Seed.Name;
+    Pool.push_back({Seed.Name, Seed.Data, std::move(Prov)});
     if (Coverage)
       Accept.registerSeed(coverageOf(Seed.Name, Seed.Data));
   }
@@ -333,10 +350,14 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
     return Iter < Config.Iterations;
   };
 
+  // Flight-recorder handle. Records happen at deterministic driver-side
+  // sites only (commit order), so dumps are identical across --jobs.
+  telemetry::FlightRecorder &FR = telemetry::flightRecorder();
+
   /// Commits one produced, coverage-checked mutant: acceptance
   /// bookkeeping plus the Algorithm 1 line 14 feedback loop. Returns
   /// whether the mutant was representative.
-  auto commitProduced = [&](GeneratedClass &&G) {
+  auto commitProduced = [&](GeneratedClass &&G, size_t IterIndex) {
     bool Representative = G.Representative;
     if (Representative)
       ++Result.MutatorSucceeded[G.MutatorIndex];
@@ -344,12 +365,14 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
     const GeneratedClass &Stored = Result.GenClasses.back();
     if (Representative) {
       Result.TestClassIndices.push_back(Result.GenClasses.size() - 1);
+      FR.record(telemetry::FlightKind::Accepted, IterIndex,
+                Result.GenClasses.size() - 1, hashBytes(Stored.Data));
       // Line 14: representative mutants become seeds; they also join
       // the reference environment so later mutants can reference them.
       RefEnv.add(Stored.Name, Stored.Data);
       RefEnv.freeze(); // Keep per-mutant overlay copies O(1).
       if (Config.FeedbackAcceptedMutants)
-        Pool.push_back({Stored.Name, Stored.Data});
+        Pool.push_back({Stored.Name, Stored.Data, Stored.Prov});
     }
   };
 
@@ -367,8 +390,11 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
           Mcmc ? Selector.selectNext(R) : R.choiceIndex(NumMu);
       ++Result.MutatorSelected[MutatorIndex];
 
-      // Line 11: mutate.
-      telemetry::PhaseTimer MutT(TM.MutateNs);
+      // Line 11: mutate. The RNG snapshot taken here (before any
+      // mutation draw) is the step's provenance record: restoring it
+      // and re-applying the mutator re-derives the mutant bytes.
+      RngState RngBefore = R.state();
+      telemetry::PhaseTimer MutT(TM.MutateNs, "mutate");
       MutationOutcome Mutant =
           mutateClass(Pool[PoolIndex].Data, MutatorIndex, Ctx);
       MutT.stop();
@@ -377,6 +403,8 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
         if (Mcmc)
           Selector.recordOutcome(MutatorIndex, false);
         emitIteration(Iter, MutatorIndex, Mutant.Result, false, false);
+        FR.record(telemetry::FlightKind::Iteration, Iter, MutatorIndex,
+                  packIterationOutcome(Mutant.Result, false, false));
         maybeProgress(Iter + 1);
         continue;
       }
@@ -385,12 +413,15 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
       G.Name = Mutant.ClassName;
       G.Data = std::move(Mutant.Data);
       G.MutatorIndex = MutatorIndex;
+      G.Prov = Pool[PoolIndex].Prov;
+      G.Prov.Steps.push_back(
+          {MutatorIndex, RngBefore, R.drawCount() - RngBefore.Draws});
 
       // Lines 12-16: record, run on the reference JVM, accept on
       // uniqueness.
       bool Representative;
       if (Coverage) {
-        telemetry::PhaseTimer ExecT(TM.ExecuteNs);
+        telemetry::PhaseTimer ExecT(TM.ExecuteNs, "execute");
         G.Trace = coverageOf(G.Name, G.Data);
         ExecT.stop();
         Representative = Accept.accept(G.Trace);
@@ -404,9 +435,11 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
       if (Telem)
         (Representative ? TM.Accepted : TM.Rejected).inc();
       emitIteration(Iter, MutatorIndex, Mutant.Result, true, Representative);
+      FR.record(telemetry::FlightKind::Iteration, Iter, MutatorIndex,
+                packIterationOutcome(Mutant.Result, true, Representative));
       {
-        telemetry::PhaseTimer CommitT(TM.CommitNs);
-        commitProduced(std::move(G));
+        telemetry::PhaseTimer CommitT(TM.CommitNs, "commit");
+        commitProduced(std::move(G), Iter);
       }
       maybeProgress(Iter + 1);
     }
@@ -434,7 +467,8 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
       PendingIteration P;
       size_t PoolIndex = R.choiceIndex(Pool.size());
       P.MutatorIndex = Mcmc ? Selector.selectNext(R) : R.choiceIndex(NumMu);
-      telemetry::PhaseTimer MutT(TM.MutateNs);
+      RngState RngBefore = R.state();
+      telemetry::PhaseTimer MutT(TM.MutateNs, "mutate");
       MutationOutcome Mutant =
           mutateClass(Pool[PoolIndex].Data, P.MutatorIndex, Ctx);
       MutT.stop();
@@ -444,6 +478,9 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
         P.G.Name = Mutant.ClassName;
         P.G.Data = std::move(Mutant.Data);
         P.G.MutatorIndex = P.MutatorIndex;
+        P.G.Prov = Pool[PoolIndex].Prov;
+        P.G.Prov.Steps.push_back(
+            {P.MutatorIndex, RngBefore, R.drawCount() - RngBefore.Draws});
         P.Cancelled = std::make_shared<std::atomic<bool>>(false);
         // The worker's environment: a COW overlay of the corpus as of
         // this iteration (no accept can intervene before commit -- an
@@ -457,7 +494,8 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
                 return Tracefile();
               // Worker-side timing is safe: Histogram is lock-free
               // atomics, and the timer never touches campaign state.
-              telemetry::PhaseTimer ExecT(ExecNs);
+              // The span lands on this worker's Perfetto lane.
+              telemetry::PhaseTimer ExecT(ExecNs, "execute");
               CoverageRecorder Recorder;
               Vm Jvm(Policy, *Env, &Recorder);
               Jvm.run(Name);
@@ -487,12 +525,14 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
       if (!P.Produced) {
         // The rejection recorded at speculation time is exact.
         emitIteration(Iter - 1, P.MutatorIndex, P.MutResult, false, false);
+        FR.record(telemetry::FlightKind::Iteration, Iter - 1, P.MutatorIndex,
+                  packIterationOutcome(P.MutResult, false, false));
         maybeProgress(Iter);
         continue;
       }
 
       P.G.Trace = P.Trace.get();
-      telemetry::PhaseTimer CommitT(TM.CommitNs);
+      telemetry::PhaseTimer CommitT(TM.CommitNs, "commit");
       bool Representative = Accept.accept(P.G.Trace);
       P.G.Representative = Representative;
       if (Representative && Mcmc) {
@@ -501,7 +541,9 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
         Selector = std::move(*P.SelectorBefore);
         Selector.recordOutcome(P.MutatorIndex, true);
       }
-      commitProduced(std::move(P.G));
+      FR.record(telemetry::FlightKind::Iteration, Iter - 1, P.MutatorIndex,
+                packIterationOutcome(P.MutResult, true, Representative));
+      commitProduced(std::move(P.G), Iter - 1);
       CommitT.stop();
       if (Telem)
         (Representative ? TM.Accepted : TM.Rejected).inc();
@@ -510,6 +552,10 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
       if (Representative) {
         // All later speculation saw a stale pool/ranking/environment:
         // cancel it and rewind the RNG to just after this iteration.
+        // Deliberately no flight event here: speculation depth is a
+        // --jobs artifact, and the flight stream feeds incident bundles
+        // that must stay byte-identical across --jobs values (the
+        // SpecRollbacks counter tracks rollbacks instead).
         if (Telem) {
           TM.SpecRollbacks.inc();
           TM.SpecCancelled.inc(InFlight.size());

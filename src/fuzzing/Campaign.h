@@ -25,6 +25,7 @@
 #define CLASSFUZZ_FUZZING_CAMPAIGN_H
 
 #include "coverage/Uniqueness.h"
+#include "fuzzing/Provenance.h"
 #include "jvm/ClassPath.h"
 #include "jvm/Policy.h"
 #include "mcmc/McmcSelector.h"
@@ -98,6 +99,11 @@ struct GeneratedClass {
   size_t MutatorIndex = 0;
   Tracefile Trace;          ///< Reference-JVM coverage (empty: randfuzz).
   bool Representative = false; ///< Accepted into TestClasses.
+  /// Full mutation lineage: root seed + the mutator chain with per-step
+  /// RNG snapshots, sufficient to re-derive Data byte-for-byte
+  /// (fuzzing/Provenance.h). Always captured; identical across --jobs
+  /// values.
+  Provenance Prov;
 };
 
 /// Campaign results (the raw material of Tables 4-7 and Figure 4).

@@ -1,0 +1,434 @@
+//===- fuzzing/Provenance.cpp ----------------------------------------------===//
+
+#include "fuzzing/Provenance.h"
+
+#include "classfile/ClassReader.h"
+#include "jvm/Policy.h"
+#include "mutation/Engine.h"
+#include "runtime/RuntimeLib.h"
+#include "telemetry/Telemetry.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+using namespace classfuzz;
+
+// ---- replay ---------------------------------------------------------------
+
+Result<ReplayedMutant>
+classfuzz::replayLineage(const Bytes &RootSeed,
+                         const std::vector<LineageStep> &Steps,
+                         const std::vector<std::string> &KnownClasses) {
+  if (Steps.empty())
+    return makeError("lineage has no steps");
+  ReplayedMutant Out;
+  Bytes Current = RootSeed;
+  Rng R;
+  for (size_t I = 0; I != Steps.size(); ++I) {
+    const LineageStep &Step = Steps[I];
+    if (Step.MutatorIndex >= mutatorRegistry().size())
+      return makeError("lineage step " + std::to_string(I) +
+                       ": mutator index " +
+                       std::to_string(Step.MutatorIndex) + " out of range");
+    R.restore(Step.RngBefore);
+    MutationContext Ctx{R, KnownClasses};
+    MutationOutcome Mutant = mutateClass(Current, Step.MutatorIndex, Ctx);
+    if (!Mutant.Produced)
+      return makeError("lineage step " + std::to_string(I) + " (" +
+                       mutatorRegistry()[Step.MutatorIndex].Id +
+                       ") no longer produces a classfile: " + Mutant.Error);
+    if (I + 1 != Steps.size())
+      Out.Ancestors.emplace_back(Mutant.ClassName, Mutant.Data);
+    Out.ClassName = Mutant.ClassName;
+    Current = std::move(Mutant.Data);
+  }
+  Out.Data = std::move(Current);
+  return Out;
+}
+
+Result<std::vector<SeedClass>>
+classfuzz::rebuildSeedCorpus(const CampaignEnvSpec &Spec) {
+  if (Spec.SeedDir.empty()) {
+    Rng R(Spec.RngSeed);
+    return generateSeedCorpus(R, Spec.NumSeeds);
+  }
+  // --seed-dir campaigns: reload the directory the way the CLI did
+  // (every *.class, non-recursive, named by its ThisClass).
+  namespace fs = std::filesystem;
+  std::vector<SeedClass> Out;
+  std::error_code Ec;
+  std::vector<fs::path> Paths;
+  for (const auto &Entry : fs::directory_iterator(Spec.SeedDir, Ec)) {
+    if (Ec)
+      break;
+    if (Entry.path().extension() == ".class")
+      Paths.push_back(Entry.path());
+  }
+  if (Ec)
+    return makeError("cannot read seed directory " + Spec.SeedDir + ": " +
+                     Ec.message());
+  for (const fs::path &Path : Paths) {
+    std::ifstream In(Path, std::ios::binary);
+    if (!In)
+      continue;
+    Bytes Data((std::istreambuf_iterator<char>(In)),
+               std::istreambuf_iterator<char>());
+    auto CF = parseClassFile(Data);
+    if (!CF)
+      continue;
+    SeedClass Seed;
+    Seed.Name = CF->ThisClass;
+    Seed.Data = std::move(Data);
+    Out.push_back(std::move(Seed));
+  }
+  if (Out.empty())
+    return makeError("no usable .class seeds in " + Spec.SeedDir);
+  return Out;
+}
+
+std::vector<std::string>
+classfuzz::rebuildKnownClasses(const CampaignEnvSpec &Spec,
+                               const std::vector<SeedClass> &Seeds) {
+  JvmPolicy Policy = referenceJvmPolicy();
+  if (!Spec.ReferencePolicyName.empty())
+    for (const JvmPolicy &P : allJvmPolicies())
+      if (P.Name == Spec.ReferencePolicyName)
+        Policy = P;
+  ClassPath Env = runtimeLibraryFor(Policy);
+  for (const SeedClass &Seed : Seeds) {
+    Env.add(Seed.Name, Seed.Data);
+    for (const auto &[Name, Data] : Seed.Helpers)
+      Env.add(Name, Data);
+  }
+  return Env.names();
+}
+
+// ---- serialization --------------------------------------------------------
+
+namespace {
+
+std::string hexU64(uint64_t V) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "0x%" PRIx64, V);
+  return Buf;
+}
+
+} // namespace
+
+std::string classfuzz::lineageJson(const Provenance &Prov,
+                                   const CampaignEnvSpec &Spec,
+                                   const std::string &MutantName,
+                                   const std::string &ExpectedEncoded) {
+  namespace tel = classfuzz::telemetry;
+  std::string J = "{\n  \"version\": 1,\n";
+  J += "  \"mutant\": \"" + tel::jsonEscape(MutantName) + "\",\n";
+  J += "  \"expected_encoded\": \"" + tel::jsonEscape(ExpectedEncoded) +
+       "\",\n";
+  J += "  \"env\": {\n";
+  J += "    \"rng_seed\": \"" + hexU64(Spec.RngSeed) + "\",\n";
+  J += "    \"num_seeds\": " + std::to_string(Spec.NumSeeds) + ",\n";
+  J += "    \"seed_dir\": \"" + tel::jsonEscape(Spec.SeedDir) + "\",\n";
+  J += "    \"reference_policy\": \"" +
+       tel::jsonEscape(Spec.ReferencePolicyName) + "\"\n";
+  J += "  },\n";
+  J += "  \"root_seed\": {\"index\": " +
+       std::to_string(Prov.RootSeedIndex) + ", \"name\": \"" +
+       tel::jsonEscape(Prov.RootSeedName) + "\"},\n";
+  J += "  \"steps\": [";
+  for (size_t I = 0; I != Prov.Steps.size(); ++I) {
+    const LineageStep &S = Prov.Steps[I];
+    J += I == 0 ? "\n" : ",\n";
+    J += "    {\"mutator\": " + std::to_string(S.MutatorIndex) +
+         ", \"id\": \"" +
+         tel::jsonEscape(S.MutatorIndex < mutatorRegistry().size()
+                             ? mutatorRegistry()[S.MutatorIndex].Id
+                             : "?") +
+         "\", \"draws\": " + std::to_string(S.Draws) + ", \"rng\": [";
+    for (size_t W = 0; W != 4; ++W)
+      J += (W ? ", \"" : "\"") + hexU64(S.RngBefore.Words[W]) + "\"";
+    J += ", \"" + hexU64(S.RngBefore.Draws) + "\"]}";
+  }
+  J += Prov.Steps.empty() ? "]\n" : "\n  ]\n";
+  J += "}\n";
+  return J;
+}
+
+// ---- minimal JSON parser --------------------------------------------------
+//
+// Parses the subset lineageJson() emits (objects, arrays, strings with
+// standard escapes, unsigned ints, hex-in-string u64s, bools, null).
+// Tolerant of whitespace and unknown keys; not a general-purpose
+// validator.
+
+namespace {
+
+struct JsonValue {
+  enum Kind { Null, Bool, Num, Str, Arr, Obj } K = Null;
+  bool B = false;
+  uint64_t N = 0;
+  std::string S;
+  std::vector<JsonValue> Elements;
+  std::vector<std::pair<std::string, JsonValue>> Members;
+
+  const JsonValue *find(const std::string &Key) const {
+    for (const auto &[K2, V] : Members)
+      if (K2 == Key)
+        return &V;
+    return nullptr;
+  }
+  /// String payload interpreted as a u64 ("0x..." or decimal).
+  uint64_t asU64() const {
+    if (K == Num)
+      return N;
+    if (K == Str)
+      return std::strtoull(S.c_str(), nullptr, 0);
+    return 0;
+  }
+};
+
+class JsonParser {
+public:
+  explicit JsonParser(const std::string &Text) : Text(Text) {}
+
+  Result<JsonValue> parse() {
+    auto V = parseValue();
+    if (!V)
+      return V;
+    skipWs();
+    if (Pos != Text.size())
+      return fail("trailing characters");
+    return V;
+  }
+
+private:
+  Result<JsonValue> fail(const std::string &Why) {
+    return makeError("lineage.json:" + std::to_string(Pos) + ": " + Why);
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> parseValue() {
+    skipWs();
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    char C = Text[Pos];
+    if (C == '{')
+      return parseObject();
+    if (C == '[')
+      return parseArray();
+    if (C == '"')
+      return parseString();
+    if (C == 't' || C == 'f')
+      return parseBool();
+    if (C == 'n') {
+      if (Text.compare(Pos, 4, "null") != 0)
+        return fail("bad literal");
+      Pos += 4;
+      return JsonValue{};
+    }
+    return parseNumber();
+  }
+
+  Result<JsonValue> parseObject() {
+    JsonValue V;
+    V.K = JsonValue::Obj;
+    ++Pos; // '{'
+    if (consume('}'))
+      return V;
+    for (;;) {
+      auto Key = parseString();
+      if (!Key)
+        return Key;
+      if (!consume(':'))
+        return fail("expected ':'");
+      auto Member = parseValue();
+      if (!Member)
+        return Member;
+      V.Members.emplace_back(Key->S, Member.take());
+      if (consume(','))
+        continue;
+      if (consume('}'))
+        return V;
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  Result<JsonValue> parseArray() {
+    JsonValue V;
+    V.K = JsonValue::Arr;
+    ++Pos; // '['
+    if (consume(']'))
+      return V;
+    for (;;) {
+      auto Element = parseValue();
+      if (!Element)
+        return Element;
+      V.Elements.push_back(Element.take());
+      if (consume(','))
+        continue;
+      if (consume(']'))
+        return V;
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  Result<JsonValue> parseString() {
+    skipWs();
+    if (Pos >= Text.size() || Text[Pos] != '"')
+      return fail("expected string");
+    ++Pos;
+    JsonValue V;
+    V.K = JsonValue::Str;
+    while (Pos < Text.size() && Text[Pos] != '"') {
+      char C = Text[Pos++];
+      if (C != '\\') {
+        V.S += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        V.S += E;
+        break;
+      case 'n':
+        V.S += '\n';
+        break;
+      case 'r':
+        V.S += '\r';
+        break;
+      case 't':
+        V.S += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("bad \\u escape");
+        unsigned Code =
+            static_cast<unsigned>(std::strtoul(
+                Text.substr(Pos, 4).c_str(), nullptr, 16));
+        Pos += 4;
+        // Our writer only emits \u00XX control escapes.
+        V.S += static_cast<char>(Code & 0xFF);
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+    }
+    if (Pos >= Text.size())
+      return fail("unterminated string");
+    ++Pos; // closing quote
+    return V;
+  }
+
+  Result<JsonValue> parseBool() {
+    JsonValue V;
+    V.K = JsonValue::Bool;
+    if (Text.compare(Pos, 4, "true") == 0) {
+      V.B = true;
+      Pos += 4;
+      return V;
+    }
+    if (Text.compare(Pos, 5, "false") == 0) {
+      Pos += 5;
+      return V;
+    }
+    return fail("bad literal");
+  }
+
+  Result<JsonValue> parseNumber() {
+    size_t Start = Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '-' || Text[Pos] == '+' || Text[Pos] == '.' ||
+            Text[Pos] == 'e' || Text[Pos] == 'E' || Text[Pos] == 'x'))
+      ++Pos;
+    if (Pos == Start)
+      return fail("expected value");
+    JsonValue V;
+    V.K = JsonValue::Num;
+    V.N = std::strtoull(Text.substr(Start, Pos - Start).c_str(), nullptr, 0);
+    return V;
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+Result<ParsedLineage> classfuzz::parseLineageJson(const std::string &Json) {
+  auto Root = JsonParser(Json).parse();
+  if (!Root)
+    return makeError(Root.error());
+  if (Root->K != JsonValue::Obj)
+    return makeError("lineage.json: top level is not an object");
+
+  ParsedLineage Out;
+  if (const JsonValue *V = Root->find("mutant"))
+    Out.MutantName = V->S;
+  if (const JsonValue *V = Root->find("expected_encoded"))
+    Out.ExpectedEncoded = V->S;
+
+  const JsonValue *Env = Root->find("env");
+  if (!Env || Env->K != JsonValue::Obj)
+    return makeError("lineage.json: missing env object");
+  if (const JsonValue *V = Env->find("rng_seed"))
+    Out.Spec.RngSeed = V->asU64();
+  if (const JsonValue *V = Env->find("num_seeds"))
+    Out.Spec.NumSeeds = static_cast<size_t>(V->asU64());
+  if (const JsonValue *V = Env->find("seed_dir"))
+    Out.Spec.SeedDir = V->S;
+  if (const JsonValue *V = Env->find("reference_policy"))
+    Out.Spec.ReferencePolicyName = V->S;
+
+  const JsonValue *Seed = Root->find("root_seed");
+  if (!Seed || Seed->K != JsonValue::Obj)
+    return makeError("lineage.json: missing root_seed object");
+  if (const JsonValue *V = Seed->find("index"))
+    Out.Prov.RootSeedIndex = static_cast<size_t>(V->asU64());
+  if (const JsonValue *V = Seed->find("name"))
+    Out.Prov.RootSeedName = V->S;
+
+  const JsonValue *Steps = Root->find("steps");
+  if (!Steps || Steps->K != JsonValue::Arr)
+    return makeError("lineage.json: missing steps array");
+  for (const JsonValue &StepV : Steps->Elements) {
+    if (StepV.K != JsonValue::Obj)
+      return makeError("lineage.json: step is not an object");
+    LineageStep Step;
+    if (const JsonValue *V = StepV.find("mutator"))
+      Step.MutatorIndex = static_cast<size_t>(V->asU64());
+    if (const JsonValue *V = StepV.find("draws"))
+      Step.Draws = V->asU64();
+    const JsonValue *RngV = StepV.find("rng");
+    if (!RngV || RngV->K != JsonValue::Arr || RngV->Elements.size() != 5)
+      return makeError("lineage.json: step rng must be a 5-element array");
+    for (size_t W = 0; W != 4; ++W)
+      Step.RngBefore.Words[W] = RngV->Elements[W].asU64();
+    Step.RngBefore.Draws = RngV->Elements[4].asU64();
+    Out.Prov.Steps.push_back(Step);
+  }
+  if (Out.Prov.Steps.empty())
+    return makeError("lineage.json: empty steps array");
+  return Out;
+}

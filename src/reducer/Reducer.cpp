@@ -2,6 +2,7 @@
 
 #include "reducer/Reducer.h"
 
+#include "telemetry/FlightRecorder.h"
 #include "telemetry/Telemetry.h"
 
 using namespace classfuzz;
@@ -25,7 +26,11 @@ struct Reduction {
     if (!Data)
       return false; // Unassemblable candidates are discarded (Step 2).
     ++Stats.OracleQueries;
-    return Oracle(Candidate.Name, *Data);
+    bool Kept = Oracle(Candidate.Name, *Data);
+    telemetry::flightRecorder().record(telemetry::FlightKind::ReducerQuery,
+                                       Stats.OracleQueries - 1,
+                                       Data->size(), Kept ? 1 : 0);
+    return Kept;
   }
 
   /// Tries deleting elements of a vector member one by one (back to
@@ -58,7 +63,8 @@ Result<Bytes> classfuzz::reduceClassfile(const Bytes &Input,
                                          const ReductionOracle &Oracle,
                                          ReductionStats *Stats,
                                          size_t MaxOracleQueries) {
-  telemetry::PhaseTimer WallT(telemetry::metrics().histogram("reducer.wall_ns"));
+  telemetry::PhaseTimer WallT(
+      telemetry::metrics().histogram("reducer.wall_ns"), "reduce");
 
   auto Lowered = lowerClassBytes(Input);
   if (!Lowered)

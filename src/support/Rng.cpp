@@ -23,6 +23,7 @@ Rng::Rng(uint64_t Seed) {
 }
 
 uint64_t Rng::next() {
+  ++Draws;
   // xoshiro256** by Blackman & Vigna (public domain reference algorithm).
   const uint64_t Out = rotl(State[1] * 5, 7) * 9;
   const uint64_t T = State[1] << 17;
@@ -66,3 +67,17 @@ bool Rng::nextBool(double P) {
 }
 
 Rng Rng::fork() { return Rng(next()); }
+
+RngState Rng::state() const {
+  RngState S;
+  for (size_t I = 0; I != 4; ++I)
+    S.Words[I] = State[I];
+  S.Draws = Draws;
+  return S;
+}
+
+void Rng::restore(const RngState &S) {
+  for (size_t I = 0; I != 4; ++I)
+    State[I] = S.Words[I];
+  Draws = S.Draws;
+}

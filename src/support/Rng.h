@@ -10,6 +10,11 @@
 /// sampling). Campaigns seeded identically reproduce bit-for-bit, which the
 /// benchmark harness and the property tests rely on.
 ///
+/// The full generator state is observable (state()) and restorable
+/// (restore()): the mutation-provenance layer snapshots the stream
+/// position before every mutation so any mutant can be re-derived later
+/// without replaying the whole campaign (DESIGN.md §9).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CLASSFUZZ_SUPPORT_RNG_H
@@ -21,6 +26,23 @@
 #include <vector>
 
 namespace classfuzz {
+
+/// A snapshot of an Rng's complete state: the four xoshiro256** words
+/// plus the number of raw draws made since construction. restore()ing a
+/// snapshot resumes the stream exactly where state() captured it.
+struct RngState {
+  uint64_t Words[4] = {0, 0, 0, 0};
+  uint64_t Draws = 0;
+
+  friend bool operator==(const RngState &A, const RngState &B) {
+    return A.Words[0] == B.Words[0] && A.Words[1] == B.Words[1] &&
+           A.Words[2] == B.Words[2] && A.Words[3] == B.Words[3] &&
+           A.Draws == B.Draws;
+  }
+  friend bool operator!=(const RngState &A, const RngState &B) {
+    return !(A == B);
+  }
+};
 
 /// Deterministic pseudo-random generator with convenience sampling helpers.
 class Rng {
@@ -58,8 +80,21 @@ public:
   /// derived from this generator's state.
   Rng fork();
 
+  /// Captures the complete generator state (words + draw count).
+  RngState state() const;
+
+  /// Resumes the stream from \p S, as if every draw up to the snapshot
+  /// had been replayed.
+  void restore(const RngState &S);
+
+  /// Raw 64-bit values drawn since construction (rejection-sampling
+  /// retries in nextBelow() count individually). Provenance records the
+  /// per-step delta.
+  uint64_t drawCount() const { return Draws; }
+
 private:
   uint64_t State[4];
+  uint64_t Draws = 0;
 };
 
 } // namespace classfuzz

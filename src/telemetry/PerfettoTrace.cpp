@@ -1,0 +1,132 @@
+//===- telemetry/PerfettoTrace.cpp -----------------------------------------===//
+
+#include "telemetry/PerfettoTrace.h"
+
+#include "telemetry/FlightRecorder.h"
+#include "telemetry/Telemetry.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <mutex>
+
+using namespace classfuzz;
+using namespace classfuzz::telemetry;
+
+namespace {
+
+struct SpanCollector {
+  std::atomic<bool> Enabled{false};
+  std::mutex M;
+  std::vector<TraceSpan> Spans;
+};
+
+SpanCollector &collector() {
+  static SpanCollector C;
+  return C;
+}
+
+uint64_t toNs(std::chrono::steady_clock::time_point T) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          T.time_since_epoch())
+          .count());
+}
+
+} // namespace
+
+bool telemetry::spanCollectionEnabled() {
+  return collector().Enabled.load(std::memory_order_relaxed);
+}
+
+void telemetry::recordSpan(const char *Name,
+                           std::chrono::steady_clock::time_point Start,
+                           std::chrono::steady_clock::time_point End) {
+  SpanCollector &C = collector();
+  TraceSpan S{Name, threadLane(), toNs(Start), toNs(End)};
+  std::lock_guard<std::mutex> Lock(C.M);
+  C.Spans.push_back(S);
+}
+
+void telemetry::enableSpanCollection() {
+  SpanCollector &C = collector();
+  std::lock_guard<std::mutex> Lock(C.M);
+  C.Spans.clear();
+  C.Enabled.store(true, std::memory_order_relaxed);
+}
+
+void telemetry::disableSpanCollection() {
+  SpanCollector &C = collector();
+  std::lock_guard<std::mutex> Lock(C.M);
+  C.Enabled.store(false, std::memory_order_relaxed);
+  C.Spans.clear();
+}
+
+std::vector<TraceSpan> telemetry::collectedSpans() {
+  SpanCollector &C = collector();
+  std::lock_guard<std::mutex> Lock(C.M);
+  return C.Spans;
+}
+
+std::string telemetry::renderChromeTrace(
+    const std::vector<TraceSpan> &Spans) {
+  // Rebase to the earliest start so traces open at t=0 regardless of
+  // the steady-clock epoch.
+  uint64_t Base = UINT64_MAX;
+  for (const TraceSpan &S : Spans)
+    Base = std::min(Base, S.StartNs);
+  if (Base == UINT64_MAX)
+    Base = 0;
+
+  std::vector<TraceSpan> Sorted = Spans;
+  std::stable_sort(Sorted.begin(), Sorted.end(),
+                   [](const TraceSpan &X, const TraceSpan &Y) {
+                     return X.StartNs < Y.StartNs;
+                   });
+
+  std::string Out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool First = true;
+  char Buf[256];
+
+  // Track names: lane 0 is the campaign driver, others are pool
+  // workers.
+  uint32_t MaxLane = 0;
+  for (const TraceSpan &S : Sorted)
+    MaxLane = std::max(MaxLane, S.Lane);
+  std::vector<bool> LaneSeen(MaxLane + 1, false);
+  for (const TraceSpan &S : Sorted)
+    LaneSeen[S.Lane] = true;
+  for (uint32_t Lane = 0; Lane != LaneSeen.size(); ++Lane) {
+    if (!LaneSeen[Lane])
+      continue;
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%u,\"args\":{\"name\":\"%s\"}}",
+                  First ? "" : ",", Lane,
+                  Lane == 0 ? "driver (lane 0)"
+                            : ("worker (lane " + std::to_string(Lane) + ")")
+                                  .c_str());
+    Out += Buf;
+    First = false;
+  }
+
+  for (const TraceSpan &S : Sorted) {
+    // Chrome trace timestamps are microseconds; keep sub-microsecond
+    // precision with a fractional part.
+    double TsUs = static_cast<double>(S.StartNs - Base) / 1000.0;
+    double DurUs = static_cast<double>(S.EndNs - S.StartNs) / 1000.0;
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s{\"name\":\"%s\",\"cat\":\"classfuzz\",\"ph\":\"X\","
+                  "\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f}",
+                  First ? "" : ",", S.Name, S.Lane, TsUs, DurUs);
+    Out += Buf;
+    First = false;
+  }
+  Out += "]}\n";
+  return Out;
+}
+
+bool telemetry::writeChromeTrace(std::FILE *F) {
+  std::string Json = renderChromeTrace(collectedSpans());
+  return std::fwrite(Json.data(), 1, Json.size(), F) == Json.size();
+}

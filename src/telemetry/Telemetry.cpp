@@ -4,7 +4,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <cerrno>
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 using namespace classfuzz;
@@ -63,6 +65,38 @@ uint64_t Histogram::percentileUpperBound(double Q) const {
     Seen += Buckets[B].load(std::memory_order_relaxed);
     if (Seen >= Target)
       return B == 0 ? 1 : (B >= 63 ? UINT64_MAX : (uint64_t{1} << B));
+  }
+  return max();
+}
+
+uint64_t Histogram::quantile(double Q) const {
+  uint64_t N = count();
+  if (N == 0)
+    return 0;
+  Q = std::clamp(Q, 0.0, 1.0);
+  uint64_t Target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(Q * static_cast<double>(N))));
+  uint64_t Seen = 0;
+  for (size_t B = 0; B != NumBuckets; ++B) {
+    uint64_t InBucket = Buckets[B].load(std::memory_order_relaxed);
+    if (InBucket == 0)
+      continue;
+    if (Seen + InBucket < Target) {
+      Seen += InBucket;
+      continue;
+    }
+    // The target rank falls in bucket B: interpolate its position
+    // within the bucket's value range [Lo, Hi].
+    double Lo = B == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(B) - 1);
+    double Hi = B == 0   ? 1.0
+                : B >= 63 ? static_cast<double>(max())
+                          : std::ldexp(1.0, static_cast<int>(B));
+    double Fraction = static_cast<double>(Target - Seen) /
+                      static_cast<double>(InBucket);
+    double V = Lo + (Hi - Lo) * Fraction;
+    uint64_t Out = static_cast<uint64_t>(V);
+    // Interpolation cannot beat the exact extremes.
+    return std::clamp(Out, min(), max());
   }
   return max();
 }
@@ -174,8 +208,8 @@ std::string MetricRegistry::snapshotJson() const {
        << ",\"min\":" << H->min() << ",\"max\":" << H->max()
        << ",\"mean\":";
     appendJsonNumber(OS, H->mean());
-    OS << ",\"p50\":" << H->percentileUpperBound(0.50)
-       << ",\"p99\":" << H->percentileUpperBound(0.99) << "}";
+    OS << ",\"p50\":" << H->quantile(0.50) << ",\"p90\":" << H->quantile(0.90)
+       << ",\"p99\":" << H->quantile(0.99) << "}";
     First = false;
   }
   OS << "},";
@@ -225,16 +259,41 @@ MetricRegistry &telemetry::metrics() {
 // ---- events ---------------------------------------------------------------
 
 FileEventSink::~FileEventSink() {
-  if (F && Close && F != stdout && F != stderr)
-    std::fclose(F);
+  if (F && Close && F != stdout && F != stderr) {
+    if (std::fclose(F) != 0)
+      reportFailure("fclose");
+  }
+  uint64_t N = Dropped.load(std::memory_order_relaxed);
+  if (N != 0)
+    std::fprintf(stderr, "telemetry: dropped %llu event(s) after %s failed\n",
+                 static_cast<unsigned long long>(N), Description.c_str());
 }
 
 void FileEventSink::write(const std::string &JsonObject) {
   std::lock_guard<std::mutex> Lock(M);
   if (!F)
     return;
-  std::fwrite(JsonObject.data(), 1, JsonObject.size(), F);
-  std::fputc('\n', F);
+  if (Failed.load(std::memory_order_relaxed)) {
+    Dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (std::fwrite(JsonObject.data(), 1, JsonObject.size(), F) !=
+          JsonObject.size() ||
+      std::fputc('\n', F) == EOF) {
+    reportFailure("fwrite");
+    Dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void FileEventSink::reportFailure(const char *Op) {
+  // Latch first so concurrent writers race to at most one report.
+  if (Failed.exchange(true, std::memory_order_relaxed))
+    return;
+  std::fprintf(stderr,
+               "telemetry: %s failed on %s (%s); further events will be "
+               "dropped\n",
+               Op, Description.c_str(),
+               errno != 0 ? std::strerror(errno) : "unknown error");
 }
 
 namespace {

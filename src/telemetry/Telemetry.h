@@ -103,6 +103,12 @@ public:
   /// Upper bound of the bucket holding the q-quantile sample (q in
   /// [0,1]); 0 when empty.
   uint64_t percentileUpperBound(double Q) const;
+  /// The q-quantile estimate (q in [0,1]): the quantile rank's position
+  /// within its log2 bucket, linearly interpolated across the bucket's
+  /// value range and clamped into [min(), max()]. Exact for single-
+  /// bucket distributions; bucket-resolution otherwise. 0 when empty.
+  /// Feeds the p50/p90/p99 rows of the --stats-json snapshot.
+  uint64_t quantile(double Q) const;
   uint64_t bucketCount(size_t Bucket) const {
     return Buckets[Bucket].load(std::memory_order_relaxed);
   }
@@ -193,17 +199,39 @@ public:
 
 /// JSONL sink over a stdio FILE (owned; closed on destruction unless
 /// it is stdout/stderr). Writes are serialized by an internal mutex.
+///
+/// Write failures (disk full, closed pipe) are detected on every
+/// fwrite/fputc: the first failure is reported once to stderr (with the
+/// stream description and errno), the sink latches into a failed state,
+/// and all further events are counted as dropped instead of silently
+/// truncating the JSONL stream mid-object. fclose failure on
+/// destruction (deferred flush errors) is reported the same way.
 class FileEventSink : public EventSink {
 public:
-  explicit FileEventSink(std::FILE *F, bool Close = true)
-      : F(F), Close(Close) {}
+  /// \p Description names the stream in failure diagnostics (typically
+  /// the --trace-events path).
+  explicit FileEventSink(std::FILE *F, bool Close = true,
+                         std::string Description = "event stream")
+      : F(F), Close(Close), Description(std::move(Description)) {}
   ~FileEventSink() override;
   void write(const std::string &JsonObject) override;
 
+  /// True once any write (or the final close) failed.
+  bool failed() const { return Failed.load(std::memory_order_relaxed); }
+  /// Events discarded after the failure latched.
+  uint64_t droppedEvents() const {
+    return Dropped.load(std::memory_order_relaxed);
+  }
+
 private:
+  void reportFailure(const char *Op);
+
   std::FILE *F;
   bool Close;
+  std::string Description;
   std::mutex M;
+  std::atomic<bool> Failed{false};
+  std::atomic<uint64_t> Dropped{0};
 };
 
 /// Installs the global event sink (nullptr uninstalls). Not
@@ -238,13 +266,30 @@ private:
 
 // ---- scoped timing --------------------------------------------------------
 
+/// True when the Perfetto span collector (telemetry/PerfettoTrace.h) is
+/// armed; one relaxed atomic load. Named PhaseTimers feed it.
+bool spanCollectionEnabled();
+
+/// Appends one completed span to the collector: \p Name over
+/// [Start, End), attributed to the calling thread's lane. Implemented
+/// in PerfettoTrace.cpp.
+void recordSpan(const char *Name,
+                std::chrono::steady_clock::time_point Start,
+                std::chrono::steady_clock::time_point End);
+
 /// RAII latency probe: records elapsed nanoseconds into a Histogram on
 /// destruction (or stop()). When telemetry is disabled at construction
 /// the timer is inert and never reads the clock.
+///
+/// A timer constructed with a span name additionally emits a
+/// [start, stop) span onto the calling thread's track when the Perfetto
+/// collector is armed (--trace-perfetto), making pipeline overlap
+/// visible in ui.perfetto.dev. The extra cost is one relaxed load per
+/// stop when the collector is idle.
 class PhaseTimer {
 public:
-  explicit PhaseTimer(Histogram &H)
-      : H(enabled() ? &H : nullptr),
+  explicit PhaseTimer(Histogram &H, const char *SpanName = nullptr)
+      : H(enabled() ? &H : nullptr), SpanName(SpanName),
         Start(this->H ? std::chrono::steady_clock::now()
                       : std::chrono::steady_clock::time_point()) {}
   PhaseTimer(const PhaseTimer &) = delete;
@@ -255,15 +300,18 @@ public:
   void stop() {
     if (!H)
       return;
+    auto End = std::chrono::steady_clock::now();
     H->record(static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - Start)
+        std::chrono::duration_cast<std::chrono::nanoseconds>(End - Start)
             .count()));
+    if (SpanName && spanCollectionEnabled())
+      recordSpan(SpanName, Start, End);
     H = nullptr;
   }
 
 private:
   Histogram *H;
+  const char *SpanName;
   std::chrono::steady_clock::time_point Start;
 };
 

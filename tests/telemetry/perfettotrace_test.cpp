@@ -1,0 +1,96 @@
+//===- tests/telemetry/perfettotrace_test.cpp ------------------------------===//
+//
+// The --trace-perfetto exporter (DESIGN.md §9): span capture through
+// named PhaseTimers, rebased Chrome trace-event rendering, and the
+// disabled-collector no-op guarantee.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/PerfettoTrace.h"
+
+#include "telemetry/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+namespace tel = classfuzz::telemetry;
+
+namespace {
+
+struct SpanGuard {
+  SpanGuard() {
+    tel::setEnabled(false);
+    tel::disableSpanCollection();
+  }
+  ~SpanGuard() {
+    tel::setEnabled(false);
+    tel::disableSpanCollection();
+  }
+};
+
+} // namespace
+
+TEST(PerfettoTrace, NamedPhaseTimerRecordsSpanWhenArmed) {
+  SpanGuard Guard;
+  tel::setEnabled(true);
+  tel::enableSpanCollection();
+  tel::Histogram H;
+  {
+    tel::PhaseTimer T(H, "mutate");
+  }
+  auto Spans = tel::collectedSpans();
+  ASSERT_EQ(Spans.size(), 1u);
+  EXPECT_STREQ(Spans[0].Name, "mutate");
+  EXPECT_LE(Spans[0].StartNs, Spans[0].EndNs);
+  EXPECT_EQ(H.count(), 1u);
+}
+
+TEST(PerfettoTrace, UnnamedOrDisarmedTimersRecordNoSpans) {
+  SpanGuard Guard;
+  tel::setEnabled(true);
+  tel::Histogram H;
+  {
+    tel::PhaseTimer Unnamed(H); // No span name: histogram only.
+  }
+  tel::enableSpanCollection();
+  tel::disableSpanCollection();
+  {
+    tel::PhaseTimer Disarmed(H, "execute"); // Collector off.
+  }
+  EXPECT_TRUE(tel::collectedSpans().empty());
+}
+
+TEST(PerfettoTrace, EnableClearsPreviouslyCollectedSpans) {
+  SpanGuard Guard;
+  tel::setEnabled(true);
+  tel::enableSpanCollection();
+  tel::Histogram H;
+  {
+    tel::PhaseTimer T(H, "stale");
+  }
+  tel::enableSpanCollection(); // Re-arm: drops the stale span.
+  EXPECT_TRUE(tel::collectedSpans().empty());
+}
+
+TEST(PerfettoTrace, RenderedTraceIsStableAndRebasedToEarliestSpan) {
+  std::vector<tel::TraceSpan> Spans;
+  Spans.push_back({"execute", 1, 2'000'000, 2'500'000});
+  Spans.push_back({"mutate", 0, 1'000'000, 1'750'500});
+  EXPECT_EQ(
+      tel::renderChromeTrace(Spans),
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"driver (lane 0)\"}},"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+      "\"args\":{\"name\":\"worker (lane 1)\"}},"
+      "{\"name\":\"mutate\",\"cat\":\"classfuzz\",\"ph\":\"X\",\"pid\":1,"
+      "\"tid\":0,\"ts\":0.000,\"dur\":750.500},"
+      "{\"name\":\"execute\",\"cat\":\"classfuzz\",\"ph\":\"X\",\"pid\":1,"
+      "\"tid\":1,\"ts\":1000.000,\"dur\":500.000}"
+      "]}\n");
+}
+
+TEST(PerfettoTrace, EmptyTraceIsStillValidJson) {
+  EXPECT_EQ(tel::renderChromeTrace({}),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}\n");
+}

@@ -200,8 +200,52 @@ TEST(Telemetry, SnapshotJsonSchemaIsStable) {
             "{\"counters\":{\"a.count\":1,\"b.count\":2},"
             "\"gauges\":{\"heap\":42},"
             "\"histograms\":{\"lat\":{\"count\":2,\"sum\":4,\"min\":1,"
-            "\"max\":3,\"mean\":2,\"p50\":1,\"p99\":4}},"
+            "\"max\":3,\"mean\":2,\"p50\":1,\"p90\":3,\"p99\":3}},"
             "\"grids\":{\"aborts\":{\"link.err\":7}}}");
+}
+
+TEST(Telemetry, QuantileInterpolatesWithinBucketsAndClampsToExtremes) {
+  tel::Histogram H;
+  EXPECT_EQ(H.quantile(0.5), 0u); // Empty: no samples to rank.
+  // 100 samples spread over [1000, 1099]: every sample lands in the
+  // [1024, 2048) bucket except the first 24 in [512, 1024).
+  for (uint64_t V = 1000; V != 1100; ++V)
+    H.record(V);
+  // Quantiles are monotone, bracketed by the true extremes, and (being
+  // interpolated within a log2 bucket) within one bucket width of the
+  // exact order statistic.
+  uint64_t P50 = H.quantile(0.50);
+  uint64_t P90 = H.quantile(0.90);
+  uint64_t P99 = H.quantile(0.99);
+  EXPECT_LE(P50, P90);
+  EXPECT_LE(P90, P99);
+  EXPECT_GE(P50, H.min());
+  EXPECT_LE(P99, H.max());
+  EXPECT_EQ(H.quantile(0.0), H.min());
+  EXPECT_EQ(H.quantile(1.0), H.max());
+  // All ranks >= 25 fall in [1024, 2048); interpolation stays there.
+  EXPECT_GE(P90, 1024u);
+}
+
+TEST(Telemetry, QuantileIsExactWhenEverySampleIsEqual) {
+  tel::Histogram H;
+  for (int I = 0; I != 1000; ++I)
+    H.record(777);
+  // Interpolation may wander inside the [512, 1024) bucket, but the
+  // min/max clamp pins every quantile to the only value present.
+  EXPECT_EQ(H.quantile(0.50), 777u);
+  EXPECT_EQ(H.quantile(0.90), 777u);
+  EXPECT_EQ(H.quantile(0.99), 777u);
+}
+
+TEST(Telemetry, QuantileHandlesZeroAndOneBucket) {
+  tel::Histogram H;
+  H.record(0);
+  H.record(0);
+  H.record(1);
+  H.record(1);
+  EXPECT_LE(H.quantile(0.5), 1u); // Bucket 0 spans [0, 1].
+  EXPECT_EQ(H.quantile(1.0), 1u);
 }
 
 TEST(Telemetry, EmptySnapshotIsStillValidJson) {
@@ -238,6 +282,39 @@ TEST(Telemetry, EventBuilderWithoutSinkIsANoOp) {
   tel::setEventSink(nullptr);
   tel::EventBuilder("orphan").field("k", 1).emit(); // Must not crash.
   EXPECT_EQ(tel::eventSink(), nullptr);
+}
+
+TEST(Telemetry, FileEventSinkLatchesWriteFailureAndCountsDrops) {
+  // A 16-byte fmemopen buffer (unbuffered, so stdio cannot defer the
+  // failure) rejects the second event: the sink must latch failed(),
+  // report once, and count every subsequent event as dropped instead of
+  // spamming errors or crashing.
+  char Buf[16];
+  std::FILE *F = fmemopen(Buf, sizeof(Buf), "w");
+  ASSERT_NE(F, nullptr);
+  setvbuf(F, nullptr, _IONBF, 0);
+  tel::FileEventSink Sink(F, /*Close=*/true, "fmemopen test sink");
+  EXPECT_FALSE(Sink.failed());
+  Sink.write("{\"a\":1}"); // 7 chars + newline: fits.
+  EXPECT_FALSE(Sink.failed());
+  Sink.write("{\"second\":2}"); // Would overflow: fwrite fails.
+  EXPECT_TRUE(Sink.failed());
+  EXPECT_EQ(Sink.droppedEvents(), 1u);
+  Sink.write("{\"third\":3}"); // Early-out on the latch.
+  EXPECT_EQ(Sink.droppedEvents(), 2u);
+}
+
+TEST(Telemetry, FileEventSinkSurvivesSuccessfulStream) {
+  char Buf[4096];
+  std::FILE *F = fmemopen(Buf, sizeof(Buf), "w");
+  ASSERT_NE(F, nullptr);
+  {
+    tel::FileEventSink Sink(F, /*Close=*/true, "roomy sink");
+    for (int I = 0; I != 10; ++I)
+      Sink.write("{\"i\":" + std::to_string(I) + "}");
+    EXPECT_FALSE(Sink.failed());
+    EXPECT_EQ(Sink.droppedEvents(), 0u);
+  }
 }
 
 TEST(Telemetry, JsonEscapeHandlesControlAndQuoteCharacters) {

@@ -4,9 +4,16 @@
 //
 //   classfuzz fuzz    [--algo A] [--iterations N | --time-budget S]
 //                     [--seeds N] [--rng N] [--out DIR]
+//                     [--incidents DIR] [--reduce]
 //       run a fuzzing campaign, differentially test the accepted
 //       classfiles on all five JVM profiles, write report.md (and the
-//       discrepancy-triggering .class files when --out is given)
+//       discrepancy-triggering .class files when --out is given);
+//       --incidents dumps a self-contained replayable bundle per
+//       discrepancy or VM abort (DESIGN.md §9)
+//
+//   classfuzz replay  BUNDLE_DIR
+//       re-derive an incident bundle's mutant from lineage.json and
+//       re-run the differential test, checking both against the bundle
 //
 //   classfuzz run     FILE.class [--env jre5|jre7|jre8|jre9]
 //       execute one classfile on all five JVM profiles
@@ -22,21 +29,25 @@
 //
 // Every subcommand declares its flags in an ArgParser table: unknown
 // flags are rejected with a diagnostic and --help is generated from the
-// same table. The telemetry flags --stats-json and --trace-events
-// (fuzz/run/reduce) enable the observation-only metrics layer of
-// DESIGN.md §8.
+// same table. The telemetry flags --stats-json, --trace-events, and
+// --trace-perfetto (fuzz/run/reduce) enable the observation-only
+// metrics layer of DESIGN.md §8-9.
 //
 //===----------------------------------------------------------------------===//
 
 #include "classfile/ClassReader.h"
 #include "classfile/Printer.h"
+#include "difftest/Incident.h"
 #include "difftest/Report.h"
 #include "fuzzing/Campaign.h"
+#include "fuzzing/Provenance.h"
 #include "jir/Jir.h"
 #include "mutation/Mutator.h"
 #include "reducer/Reducer.h"
 #include "runtime/RuntimeLib.h"
 #include "support/ArgParser.h"
+#include "telemetry/FlightRecorder.h"
+#include "telemetry/PerfettoTrace.h"
 #include "telemetry/Telemetry.h"
 
 #include <algorithm>
@@ -60,7 +71,10 @@ int usage(std::FILE *To) {
       "                    [--iterations N | --time-budget SECONDS]\n"
       "                    [--seeds N | --seed-dir DIR] [--rng N]\n"
       "                    [--jobs N] [--out DIR] [--progress SECONDS]\n"
+      "                    [--incidents DIR] [--flightrec N] [--reduce]\n"
       "                    [--stats-json FILE] [--trace-events FILE]\n"
+      "                    [--trace-perfetto FILE]\n"
+      "  classfuzz replay  BUNDLE_DIR\n"
       "  classfuzz run     FILE.class [--env jre5|jre7|jre8|jre9]\n"
       "  classfuzz inspect FILE.class\n"
       "  classfuzz reduce  FILE.class [--out FILE]\n"
@@ -78,6 +92,10 @@ std::vector<FlagSpec> withTelemetryFlags(std::vector<FlagSpec> Specs) {
                    ""});
   Specs.push_back({"trace-events", "FILE",
                    "stream JSONL trace events to FILE (\"-\" = stdout)",
+                   ""});
+  Specs.push_back({"trace-perfetto", "FILE",
+                   "write a Chrome/Perfetto trace of phase spans to FILE "
+                   "at exit",
                    ""});
   return Specs;
 }
@@ -104,8 +122,9 @@ class TelemetryCli {
 public:
   bool setup(const ArgParser &A) {
     StatsPath = A.get("stats-json");
+    PerfettoPath = A.get("trace-perfetto");
     std::string TracePath = A.get("trace-events");
-    if (StatsPath.empty() && TracePath.empty())
+    if (StatsPath.empty() && TracePath.empty() && PerfettoPath.empty())
       return true;
     telemetry::setEnabled(true);
     if (!TracePath.empty()) {
@@ -116,14 +135,28 @@ public:
                      TracePath.c_str());
         return false;
       }
-      telemetry::setEventSink(
-          std::make_unique<telemetry::FileEventSink>(F));
+      bool Close = TracePath != "-";
+      telemetry::setEventSink(std::make_unique<telemetry::FileEventSink>(
+          F, Close, "trace events (" + TracePath + ")"));
     }
+    if (!PerfettoPath.empty())
+      telemetry::enableSpanCollection();
     return true;
   }
 
   ~TelemetryCli() {
     telemetry::setEventSink(nullptr);
+    if (!PerfettoPath.empty()) {
+      std::FILE *F = std::fopen(PerfettoPath.c_str(), "w");
+      if (!F) {
+        std::fprintf(stderr, "cannot write %s\n", PerfettoPath.c_str());
+      } else {
+        if (!telemetry::writeChromeTrace(F))
+          std::fprintf(stderr, "short write to %s\n", PerfettoPath.c_str());
+        std::fclose(F);
+      }
+      telemetry::disableSpanCollection();
+    }
     if (StatsPath.empty())
       return;
     std::string Json = telemetry::metrics().snapshotJson();
@@ -142,6 +175,7 @@ public:
 
 private:
   std::string StatsPath;
+  std::string PerfettoPath;
 };
 
 Result<Bytes> readFile(const std::string &Path) {
@@ -221,6 +255,16 @@ int cmdFuzz(int Argc, char **Argv) {
             "write report.md + discrepancy classfiles to DIR", ""},
            {"progress", "SECONDS",
             "print a one-line progress report to stderr every SECONDS",
+            ""},
+           {"incidents", "DIR",
+            "dump a replayable incident bundle per discrepancy or VM "
+            "abort under DIR",
+            ""},
+           {"flightrec", "N",
+            "flight-recorder ring capacity per lane (with --incidents)",
+            "1024"},
+           {"reduce", "",
+            "also reduce each discrepancy into the incident bundle",
             ""}}));
   int Exit = 0;
   if (!parseOrExit(A, Argc, Argv, Exit))
@@ -252,6 +296,15 @@ int cmdFuzz(int Argc, char **Argv) {
                  Config.ExternalSeeds.size(), A.get("seed-dir").c_str());
   }
 
+  // Arm the flight recorder before the campaign so incident bundles
+  // arrive with the run's last moments attached. Record sites are
+  // driver-side and deterministic, so the dumped stream (like the rest
+  // of the bundle) is byte-identical across --jobs values.
+  const std::string IncidentsDir = A.get("incidents");
+  if (!IncidentsDir.empty())
+    telemetry::flightRecorder().enable(
+        std::max<size_t>(16, static_cast<size_t>(A.getUnsigned("flightrec"))));
+
   std::fprintf(stderr, "running %s (%s)...\n",
                fuzzAlgorithmName(Config.Algo),
                Config.TimeBudgetSeconds > 0 ? "time budget"
@@ -267,19 +320,59 @@ int cmdFuzz(int Argc, char **Argv) {
   auto Tester = DifferentialTester::withAllProfiles(
       R.corpusClassPath(), EnvironmentMode::PerJvm);
 
+  CampaignEnvSpec EnvSpec;
+  EnvSpec.RngSeed = Config.RngSeed;
+  EnvSpec.NumSeeds = Config.NumSeeds;
+  EnvSpec.SeedDir = A.get("seed-dir");
+  EnvSpec.ReferencePolicyName = Config.ReferencePolicy.Name;
+
   DiffStats Stats;
   std::vector<DiscrepancyRecord> Records;
   std::vector<size_t> DiscrepancyIndices;
+  size_t IncidentIndex = 0;
   for (size_t I : R.TestClassIndices) {
     const GeneratedClass &G = R.GenClasses[I];
     DiffOutcome O = Tester.testClass(G.Name);
     Stats.add(O);
-    if (O.isDiscrepancy()) {
+    bool Discrepancy = O.isDiscrepancy();
+    if (Discrepancy) {
       Records.push_back(
           {G.Name, O, mutatorRegistry()[G.MutatorIndex].Description});
       DiscrepancyIndices.push_back(I);
     }
+    if (IncidentsDir.empty() || (!Discrepancy && !O.anyInternalError()))
+      continue;
+
+    Incident Inc;
+    Inc.MutantName = G.Name;
+    Inc.MutantData = G.Data;
+    Inc.Outcome = O;
+    for (const JvmPolicy &P : Tester.policies())
+      Inc.ProfileNames.push_back(P.Name);
+    Inc.Prov = G.Prov;
+    Inc.Env = EnvSpec;
+    if (Discrepancy && A.has("reduce")) {
+      // Shrink while preserving the discrepancy category; the candidate
+      // overlay shadows the corpus copy of the mutant.
+      const std::string Target = O.encodedString();
+      ReductionOracle Oracle = [&](const std::string &Name,
+                                   const Bytes &Candidate) {
+        return Tester.testClass(Name, Candidate).encodedString() == Target;
+      };
+      if (auto Reduced = reduceClassfile(G.Data, Oracle)) {
+        Inc.Reduced = Reduced.take();
+        Inc.HasReduced = true;
+      }
+    }
+    auto Bundle = writeIncidentBundle(IncidentsDir, IncidentIndex++, Inc);
+    if (!Bundle)
+      std::fprintf(stderr, "incident: %s\n", Bundle.error().c_str());
+    else
+      std::fprintf(stderr, "incident: wrote %s\n", Bundle->c_str());
   }
+  if (!IncidentsDir.empty())
+    std::printf("wrote %zu incident bundles under %s\n", IncidentIndex,
+                IncidentsDir.c_str());
 
   std::string Report =
       renderDiscrepancyReport(Tester.policies(), Records, Stats);
@@ -308,6 +401,119 @@ int cmdFuzz(int Argc, char **Argv) {
   std::printf("wrote %s/report.md and %zu discrepancy classfiles\n",
               OutDir.c_str(), DiscrepancyIndices.size());
   return 0;
+}
+
+/// `classfuzz replay BUNDLE_DIR`: re-derives the bundle's mutant from
+/// lineage.json (rebuilding the seed corpus and class-name universe
+/// from the recorded environment spec), byte-compares it against
+/// mutant.class, and re-runs the differential test against the
+/// recorded encoded sequence. Exit 0 iff both reproduce.
+int cmdReplay(int Argc, char **Argv) {
+  ArgParser A("classfuzz replay", "BUNDLE_DIR", withTelemetryFlags({}));
+  int Exit = 0;
+  if (!parseOrExit(A, Argc, Argv, Exit))
+    return Exit;
+  if (A.positional().empty()) {
+    std::fputs(A.helpText().c_str(), stderr);
+    return 2;
+  }
+  TelemetryCli Telem;
+  if (!Telem.setup(A))
+    return 1;
+  const std::string Dir = A.positional()[0];
+
+  auto Json = readFile(Dir + "/lineage.json");
+  if (!Json) {
+    std::fprintf(stderr, "%s\n", Json.error().c_str());
+    return 1;
+  }
+  auto Parsed = parseLineageJson(std::string(Json->begin(), Json->end()));
+  if (!Parsed) {
+    std::fprintf(stderr, "%s\n", Parsed.error().c_str());
+    return 1;
+  }
+
+  auto Seeds = rebuildSeedCorpus(Parsed->Spec);
+  if (!Seeds) {
+    std::fprintf(stderr, "cannot rebuild seed corpus: %s\n",
+                 Seeds.error().c_str());
+    return 1;
+  }
+  if (Parsed->Prov.RootSeedIndex >= Seeds->size()) {
+    std::fprintf(stderr,
+                 "root seed index %zu out of range (rebuilt %zu seeds); "
+                 "environment mismatch?\n",
+                 Parsed->Prov.RootSeedIndex, Seeds->size());
+    return 1;
+  }
+  const SeedClass &Root = (*Seeds)[Parsed->Prov.RootSeedIndex];
+  if (Root.Name != Parsed->Prov.RootSeedName) {
+    std::fprintf(stderr,
+                 "root seed %zu is %s, bundle recorded %s; environment "
+                 "mismatch\n",
+                 Parsed->Prov.RootSeedIndex, Root.Name.c_str(),
+                 Parsed->Prov.RootSeedName.c_str());
+    return 1;
+  }
+
+  auto Replayed = replayLineage(Root.Data, Parsed->Prov.Steps,
+                                rebuildKnownClasses(Parsed->Spec, *Seeds));
+  if (!Replayed) {
+    std::fprintf(stderr, "replay failed: %s\n", Replayed.error().c_str());
+    return 1;
+  }
+  std::printf("replayed %s: %zu mutation steps -> %zu bytes\n",
+              Replayed->ClassName.c_str(), Parsed->Prov.Steps.size(),
+              Replayed->Data.size());
+
+  int Result = 0;
+  if (auto Mutant = readFile(Dir + "/mutant.class")) {
+    if (*Mutant == Replayed->Data) {
+      std::printf("mutant.class reproduced byte-identically\n");
+    } else {
+      std::fprintf(stderr,
+                   "** replayed bytes differ from mutant.class (%zu vs "
+                   "%zu bytes) **\n",
+                   Replayed->Data.size(), Mutant->size());
+      Result = 1;
+    }
+  } else {
+    std::fprintf(stderr, "note: no mutant.class in bundle; skipping byte "
+                         "comparison\n");
+  }
+
+  // The campaign's mutants only reference the fixed class-name universe
+  // (runtime library + seeds + helpers) plus their own ancestors, so
+  // this overlay reproduces the original differential environment.
+  ClassPath Extra;
+  for (const SeedClass &Seed : *Seeds) {
+    Extra.add(Seed.Name, Seed.Data);
+    for (const auto &[Name, Data] : Seed.Helpers)
+      Extra.add(Name, Data);
+  }
+  for (const auto &[Name, Data] : Replayed->Ancestors)
+    Extra.add(Name, Data);
+  Extra.add(Replayed->ClassName, Replayed->Data);
+  auto Tester =
+      DifferentialTester::withAllProfiles(Extra, EnvironmentMode::PerJvm);
+  DiffOutcome O = Tester.testClass(Replayed->ClassName);
+  std::printf("encoded \"%s\"%s\n", O.encodedString().c_str(),
+              O.isDiscrepancy() ? "  ** DISCREPANCY **" : "");
+  for (size_t I = 0; I != O.Results.size(); ++I)
+    std::printf("  %-22s %s\n", Tester.policies()[I].Name.c_str(),
+                O.Results[I].toString().c_str());
+  if (!Parsed->ExpectedEncoded.empty()) {
+    if (O.encodedString() == Parsed->ExpectedEncoded) {
+      std::printf("differential outcome reproduced (expected \"%s\")\n",
+                  Parsed->ExpectedEncoded.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "** outcome differs from bundle (expected \"%s\") **\n",
+                   Parsed->ExpectedEncoded.c_str());
+      Result = 1;
+    }
+  }
+  return Result;
 }
 
 int cmdRun(int Argc, char **Argv) {
@@ -469,6 +675,8 @@ int main(int Argc, char **Argv) {
     return usage(stdout);
   if (Cmd == "fuzz")
     return cmdFuzz(Argc, Argv);
+  if (Cmd == "replay")
+    return cmdReplay(Argc, Argv);
   if (Cmd == "run")
     return cmdRun(Argc, Argv);
   if (Cmd == "inspect")
