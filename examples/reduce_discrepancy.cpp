@@ -117,8 +117,9 @@ int main() {
   std::printf("=== before reduction (%zu bytes) ===\n%s\n", Input.size(),
               jirDump(Input).c_str());
 
+  ReducerOptions Opts; // Chunked HDD + memo cache, sequential probing.
   ReductionStats Stats;
-  auto Reduced = reduceClassfile(Input, Oracle, &Stats);
+  auto Reduced = reduceClassfile(Input, Oracle, Opts, &Stats);
   if (!Reduced) {
     std::fprintf(stderr, "reduction failed: %s\n",
                  Reduced.error().c_str());
@@ -127,13 +128,16 @@ int main() {
 
   std::printf("=== after reduction (%zu bytes) ===\n%s\n",
               Reduced->size(), jirDump(*Reduced).c_str());
-  std::printf("reduction: %zu oracle queries, %zu deletions kept "
+  std::printf("reduction: %zu oracle queries (%zu cache hits, %zu "
+              "skipped pre-assembly), %zu deletions kept "
               "(%zu methods, %zu fields, %zu statements, %zu "
-              "interfaces, %zu throws)\n",
-              Stats.OracleQueries, Stats.DeletionsKept,
-              Stats.MethodsRemoved, Stats.FieldsRemoved,
-              Stats.StatementsRemoved, Stats.InterfacesRemoved,
-              Stats.ThrowsRemoved);
+              "interfaces, %zu throws; %zu chunks, largest %zu)\n",
+              Stats.OracleQueries, Stats.CacheHits,
+              Stats.SkippedStructural + Stats.AssemblyFailures,
+              Stats.DeletionsKept, Stats.MethodsRemoved,
+              Stats.FieldsRemoved, Stats.StatementsRemoved,
+              Stats.InterfacesRemoved, Stats.ThrowsRemoved,
+              Stats.ChunkDeletionsKept, Stats.LargestChunkKept);
   std::printf("\nthe surviving class isolates the <clinit> construct -- "
               "ready to attach to a bug report.\n");
   return 0;

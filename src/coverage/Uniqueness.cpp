@@ -46,11 +46,28 @@ bool UniquenessChecker::isUnique(const Signature &Sig) const {
 }
 
 void UniquenessChecker::insert(const Signature &Sig) {
-  SeenStmtCounts.insert(Sig.Stats.first);
-  SeenStatPairs.insert(Sig.Stats);
-  if (Criterion == UniquenessCriterion::Tr)
+  // Maintain only the structure isUnique reads for the active
+  // criterion; populating all three bloats memory at corpus scale for
+  // no behavioral difference.
+  switch (Criterion) {
+  case UniquenessCriterion::St:
+    SeenStmtCounts.insert(Sig.Stats.first);
+    break;
+  case UniquenessCriterion::StBr:
+    SeenStatPairs.insert(Sig.Stats);
+    break;
+  case UniquenessCriterion::Tr:
     SeenFingerprints[Sig.Stats].insert(Sig.Fingerprint);
+    break;
+  }
   ++NumInserted;
+}
+
+size_t UniquenessChecker::trackedEntries() const {
+  size_t N = SeenStmtCounts.size() + SeenStatPairs.size();
+  for (const auto &KV : SeenFingerprints)
+    N += KV.second.size();
+  return N;
 }
 
 bool UniquenessChecker::isUnique(const Tracefile &Trace) const {

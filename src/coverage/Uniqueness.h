@@ -61,6 +61,10 @@ public:
 
   UniquenessCriterion criterion() const { return Criterion; }
   size_t size() const { return NumInserted; }
+  /// Total entries across the seen-signature structures. Only the
+  /// structure the active criterion reads is populated, so this stays
+  /// proportional to distinct signatures under that criterion alone.
+  size_t trackedEntries() const;
 
 private:
   using StatPair = std::pair<size_t, size_t>;

@@ -70,9 +70,19 @@ public:
                   const std::string &SharedLibVersion = "jre8");
 
   /// Runs `java <Name>` on every profile.
+  ///
+  /// Thread-safe: the per-profile environments are frozen at
+  /// construction, and each call works on an O(1) copy-on-write
+  /// ClassPath copy plus a call-local Vm. The reducer's parallel probe
+  /// lanes (`--reduce-jobs`) rely on this to invoke one tester
+  /// concurrently from many workers. Caveat: the modeled VMs record
+  /// flight-recorder events (DiffOutcome, VmInternalError), so with an
+  /// armed recorder concurrent calls interleave in the global sequence
+  /// stream nondeterministically.
   DiffOutcome testClass(const std::string &Name) const;
 
   /// Runs a class not present in the corpus by overlaying its bytes.
+  /// Thread-safe under the same contract as testClass(Name).
   DiffOutcome testClass(const std::string &Name, const Bytes &Data) const;
 
   const std::vector<JvmPolicy> &policies() const { return Policies; }

@@ -1,224 +1,552 @@
-//===- reducer/Reducer.cpp -------------------------------------------------===//
+//===- reducer/Reducer.cpp - Chunked, memoized, parallel HDD reduction ----===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Ddmin-style chunked hierarchical delta debugging (DESIGN.md §10).
+//
+// A Schedule enumerates candidate deletions in a canonical sequential
+// order; a probe pipeline speculates ahead on that order under presumed
+// rejection (the same scheme as the campaign pipeline, DESIGN.md §7) and
+// commits verdicts strictly in order. Only committed probes charge the
+// oracle budget, enter the memo cache, or touch the flight recorder, so
+// every observable output -- reduced bytes, ReductionStats, query and
+// cache accounting -- is identical for any ReducerOptions::Jobs.
+//
+//===----------------------------------------------------------------------===//
 
 #include "reducer/Reducer.h"
 
+#include "support/Hashing.h"
+#include "support/ThreadPool.h"
 #include "telemetry/FlightRecorder.h"
 #include "telemetry/Telemetry.h"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <future>
+#include <memory>
+#include <optional>
+#include <unordered_map>
 
 using namespace classfuzz;
 
 namespace {
 
-/// Shared state of one reduction run.
-struct Reduction {
-  const ReductionOracle &Oracle;
-  ReductionStats Stats;
-  size_t MaxQueries;
+/// Hierarchy levels, probed coarse to fine as in HDD.
+enum Level : int {
+  LvMethods = 0,
+  LvFields,
+  LvInterfaces,
+  LvThrows,     ///< Throws-clause entries, flattened across methods.
+  LvStatements, ///< Body statements, flattened across methods.
+  NumLevels,
+};
 
-  bool budgetLeft() const { return Stats.OracleQueries < MaxQueries; }
-
-  /// Assembles \p Candidate and asks the oracle; true when the
-  /// discrepancy persists.
-  bool stillTriggers(const JirClass &Candidate) {
-    if (!budgetLeft())
-      return false;
-    auto Data = assembleToBytes(Candidate);
-    if (!Data)
-      return false; // Unassemblable candidates are discarded (Step 2).
-    ++Stats.OracleQueries;
-    bool Kept = Oracle(Candidate.Name, *Data);
-    telemetry::flightRecorder().record(telemetry::FlightKind::ReducerQuery,
-                                       Stats.OracleQueries - 1,
-                                       Data->size(), Kept ? 1 : 0);
-    return Kept;
+size_t levelCount(const JirClass &C, int Lv) {
+  switch (Lv) {
+  case LvMethods:
+    return C.Methods.size();
+  case LvFields:
+    return C.Fields.size();
+  case LvInterfaces:
+    return C.Interfaces.size();
+  case LvThrows: {
+    size_t N = 0;
+    for (const JirMethod &M : C.Methods)
+      N += M.Exceptions.size();
+    return N;
   }
+  case LvStatements: {
+    size_t N = 0;
+    for (const JirMethod &M : C.Methods)
+      N += M.Body.size();
+    return N;
+  }
+  }
+  return 0;
+}
 
-  /// Tries deleting elements of a vector member one by one (back to
-  /// front so indices stay stable). \p Delete performs the deletion on a
-  /// copy; \p Count counts elements.
-  template <typename CountFn, typename DeleteFn>
-  bool pass(JirClass &J, CountFn Count, DeleteFn Delete,
-            size_t &RemovedCounter) {
-    bool Changed = false;
-    for (size_t I = Count(J); I-- > 0;) {
-      if (!budgetLeft())
-        return Changed;
-      JirClass Candidate = J;
-      if (!Delete(Candidate, I))
-        continue;
-      if (stillTriggers(Candidate)) {
-        J = std::move(Candidate);
-        ++Stats.DeletionsKept;
-        ++RemovedCounter;
-        Changed = true;
-      }
+/// Deletes body statements [LS, LE) of one method, fixing branch targets
+/// and the exception table on the survivors. Returns false when the
+/// deletion cannot yield an assemblable method (emptied body, or a
+/// branch into a deleted tail with nothing to retarget to) -- the
+/// structural pre-check that keeps doomed candidates away from the
+/// oracle and the assembler.
+bool deleteLocalStmtRange(JirMethod &M, size_t LS, size_t LE) {
+  size_t Cut = LE - LS;
+  if (Cut >= M.Body.size())
+    return false; // Emptying a body is never useful; the methods level
+                  // deletes whole methods instead.
+  size_t NewSize = M.Body.size() - Cut;
+
+  for (size_t I = 0; I < M.Body.size(); ++I) {
+    if (I >= LS && I < LE)
+      continue; // Deleted below; its target no longer matters.
+    JirStmt &S = M.Body[I];
+    if (!S.isBranch() || S.TargetIndex < 0)
+      continue;
+    auto T = static_cast<size_t>(S.TargetIndex);
+    if (T >= LE) {
+      S.TargetIndex = static_cast<int32_t>(T - Cut);
+    } else if (T >= LS) {
+      // Branch into the deleted range: retarget to the statement that
+      // slides into slot LS, or skip the deletion when the range was
+      // the tail and no such statement exists. (The decrement-only
+      // fixup this replaces left such targets one past the end,
+      // producing unassemblable candidates.)
+      if (LS >= NewSize)
+        return false;
+      S.TargetIndex = static_cast<int32_t>(LS);
     }
-    return Changed;
   }
+
+  // Exception table: remap indices around the cut, dropping entries
+  // whose protected range collapses to empty or whose handler was
+  // deleted with nothing sliding into its slot.
+  auto Remap = [&](size_t I) { return I <= LS ? I : (I >= LE ? I - Cut : LS); };
+  for (auto It = M.ExceptionTable.begin(); It != M.ExceptionTable.end();) {
+    size_t NS = Remap(It->StartIndex);
+    size_t NE = Remap(It->EndIndex);
+    size_t H = It->HandlerIndex;
+    size_t NH = H >= LE ? H - Cut : (H >= LS ? LS : H);
+    if (NS >= NE || NH >= NewSize) {
+      It = M.ExceptionTable.erase(It);
+      continue;
+    }
+    It->StartIndex = static_cast<uint32_t>(NS);
+    It->EndIndex = static_cast<uint32_t>(NE);
+    It->HandlerIndex = static_cast<uint32_t>(NH);
+    ++It;
+  }
+
+  M.Body.erase(M.Body.begin() + LS, M.Body.begin() + LE);
+  return true;
+}
+
+/// Deletes level elements [Start, Start+Len) from \p C. Throws and
+/// statement indices are flattened across methods in declaration order
+/// and may span method boundaries; flat coordinates always refer to the
+/// pre-deletion layout (method sizes are captured before each cut).
+/// Returns false when the candidate is structurally doomed.
+bool applyDeletion(JirClass &C, int Lv, size_t Start, size_t Len) {
+  size_t End = Start + Len;
+  switch (Lv) {
+  case LvMethods:
+    C.Methods.erase(C.Methods.begin() + Start, C.Methods.begin() + End);
+    return true;
+  case LvFields:
+    C.Fields.erase(C.Fields.begin() + Start, C.Fields.begin() + End);
+    return true;
+  case LvInterfaces:
+    C.Interfaces.erase(C.Interfaces.begin() + Start,
+                       C.Interfaces.begin() + End);
+    return true;
+  case LvThrows: {
+    size_t Base = 0;
+    for (JirMethod &M : C.Methods) {
+      size_t Sz = M.Exceptions.size();
+      size_t Lo = std::max(Start, Base);
+      size_t Hi = std::min(End, Base + Sz);
+      if (Lo < Hi)
+        M.Exceptions.erase(M.Exceptions.begin() + (Lo - Base),
+                           M.Exceptions.begin() + (Hi - Base));
+      Base += Sz;
+    }
+    return true;
+  }
+  case LvStatements: {
+    size_t Base = 0;
+    for (JirMethod &M : C.Methods) {
+      size_t Sz = M.Body.size();
+      size_t Lo = std::max(Start, Base);
+      size_t Hi = std::min(End, Base + Sz);
+      if (Lo < Hi && !deleteLocalStmtRange(M, Lo - Base, Hi - Base))
+        return false;
+      Base += Sz;
+    }
+    return true;
+  }
+  }
+  return false;
+}
+
+/// One candidate deletion the schedule asks the pipeline to probe.
+struct ProbeDesc {
+  int Level = 0;
+  size_t Start = 0;
+  size_t Len = 0;
+  size_t ChunkLen = 0;   ///< Rung the window came from (for rewind).
+  bool PairScan = false; ///< Unaligned stride-1 pair window (statements).
+};
+
+/// Enumerates candidate deletions in the canonical sequential order:
+/// sweeps over levels coarse to fine; per level, ddmin rungs of
+/// end-aligned windows of ChunkLen = ~n/2, n/4, ..., 1 scanned back to
+/// front (so surviving indices stay stable); the statements level then
+/// runs an unaligned stride-1 pair scan, which subsumes the old
+/// adjacent-pair pass (re-probes of aligned windows resolve from the
+/// memo cache for free). Sweeps repeat while any probe was kept; next()
+/// returns nullopt at the fixed point.
+///
+/// The pipeline calls next() speculatively under presumed rejection; a
+/// kept probe discards all later speculation and rewinds the schedule
+/// with noteKept(), so next() is only ever observed against the correct
+/// sequential class state.
+class Schedule {
+public:
+  explicit Schedule(bool Chunked) : Chunked(Chunked) {}
+
+  std::optional<ProbeDesc> next(const JirClass &J) {
+    for (;;) {
+      if (!Primed) {
+        Count = levelCount(J, Level);
+        ChunkLen = Chunked ? initialChunk(Count) : 1;
+        Pos = Count;
+        PairScan = false;
+        Primed = true;
+      }
+      if (!PairScan) {
+        if (Pos > 0) {
+          size_t Start = Pos > ChunkLen ? Pos - ChunkLen : 0;
+          ProbeDesc D{Level, Start, Pos - Start, ChunkLen, false};
+          Pos = Start;
+          return D;
+        }
+        if (ChunkLen > 1) { // Next rung: half the window, rescan.
+          ChunkLen /= 2;
+          Pos = Count;
+          continue;
+        }
+        if (Level == LvStatements && Count >= 2) {
+          PairScan = true;
+          Pos = Count;
+          continue;
+        }
+      } else if (Pos >= 2) {
+        ProbeDesc D{Level, Pos - 2, 2, 1, true};
+        --Pos;
+        return D;
+      }
+      // Level exhausted; advance, and restart the sweep at the fixed
+      // point check when something was kept this sweep.
+      Primed = false;
+      if (++Level < NumLevels)
+        continue;
+      if (!SweepChanged)
+        return std::nullopt;
+      SweepChanged = false;
+      Level = 0;
+    }
+  }
+
+  /// Rewinds to just after the kept probe \p D against the
+  /// post-deletion class \p J. Called only at in-order commit time,
+  /// after the pipeline discarded all later speculation.
+  void noteKept(const ProbeDesc &D, const JirClass &J) {
+    SweepChanged = true;
+    Level = D.Level;
+    ChunkLen = D.ChunkLen;
+    PairScan = D.PairScan;
+    Primed = true;
+    Count = levelCount(J, Level);
+    Pos = std::min(D.PairScan ? D.Start + 1 : D.Start, Count);
+  }
+
+private:
+  static size_t initialChunk(size_t N) {
+    size_t C = 1;
+    while (C * 4 <= N)
+      C *= 2; // Largest power of two <= N/2.
+    return C;
+  }
+
+  bool Chunked;
+  int Level = 0;
+  bool Primed = false;
+  bool PairScan = false;
+  bool SweepChanged = false;
+  size_t Count = 0;
+  size_t ChunkLen = 0;
+  size_t Pos = 0;
+};
+
+/// How a speculated probe resolved before reaching the oracle.
+enum class ProbeKind { SkippedStructural, AssemblyFailed, NeedsOracle };
+
+/// One in-flight speculated probe, committed in schedule order.
+struct Pending {
+  ProbeDesc D;
+  ProbeKind Kind = ProbeKind::NeedsOracle;
+  JirClass Candidate;
+  std::shared_ptr<Bytes> Data;
+  uint64_t Hash = 0;
+  std::future<bool> Verdict;
+  bool HasFuture = false;
+  /// Set when the probe is discarded (rollback) or answered from the
+  /// cache at commit; a worker that has not started yet then skips the
+  /// oracle call entirely.
+  std::shared_ptr<std::atomic<bool>> Cancelled;
 };
 
 } // namespace
 
 Result<Bytes> classfuzz::reduceClassfile(const Bytes &Input,
                                          const ReductionOracle &Oracle,
-                                         ReductionStats *Stats,
-                                         size_t MaxOracleQueries) {
+                                         const ReducerOptions &Opts,
+                                         ReductionStats *StatsOut) {
   telemetry::PhaseTimer WallT(
       telemetry::metrics().histogram("reducer.wall_ns"), "reduce");
+  telemetry::Histogram &ProbeNs =
+      telemetry::metrics().histogram("reducer.probe_ns");
+  telemetry::Histogram &ChunkLenHist =
+      telemetry::metrics().histogram("reducer.chunk_len");
+  auto &FR = telemetry::flightRecorder();
 
-  auto Lowered = lowerClassBytes(Input);
-  if (!Lowered)
-    return makeError("cannot lower input for reduction: " +
-                     Lowered.error());
-  JirClass J = Lowered.take();
+  ReductionStats S;
+  size_t SpecCancelled = 0;
 
-  Reduction Run{Oracle, {}, MaxOracleQueries};
-
-  // Accounted once at exit (all paths): oracle invocations and kept
-  // reduction steps. Stats are tallied locally either way, so the
-  // enabled/disabled difference is a branch and a few increments.
+  // Accounted once at exit (all paths, success or error): stats are
+  // tallied locally either way, so the enabled/disabled difference is a
+  // branch and a few increments.
   struct Accounting {
     const ReductionStats &S;
+    const size_t &SpecCancelled;
+    size_t Jobs;
     ~Accounting() {
       if (!telemetry::enabled())
         return;
       auto &M = telemetry::metrics();
       M.counter("reducer.runs").inc();
       M.counter("reducer.oracle_queries").inc(S.OracleQueries);
+      M.counter("reducer.cache_hits").inc(S.CacheHits);
+      M.counter("reducer.cache_misses").inc(S.CacheMisses);
       M.counter("reducer.deletions_kept").inc(S.DeletionsKept);
+      M.counter("reducer.chunk_deletions_kept").inc(S.ChunkDeletionsKept);
+      M.counter("reducer.skipped_structural").inc(S.SkippedStructural);
+      M.counter("reducer.assembly_failures").inc(S.AssemblyFailures);
+      M.counter("reducer.speculation.cancelled").inc(SpecCancelled);
+      if (S.BudgetExhausted)
+        M.counter("reducer.budget_exhausted").inc();
       if (telemetry::eventSink())
         telemetry::EventBuilder("reducer.end")
             .field("oracle_queries", static_cast<uint64_t>(S.OracleQueries))
+            .field("cache_hits", static_cast<uint64_t>(S.CacheHits))
             .field("deletions_kept", static_cast<uint64_t>(S.DeletionsKept))
+            .field("chunk_deletions",
+                   static_cast<uint64_t>(S.ChunkDeletionsKept))
             .field("methods_removed",
                    static_cast<uint64_t>(S.MethodsRemoved))
             .field("statements_removed",
                    static_cast<uint64_t>(S.StatementsRemoved))
+            .field("budget_exhausted",
+                   static_cast<uint64_t>(S.BudgetExhausted ? 1 : 0))
+            .field("jobs", static_cast<uint64_t>(Jobs))
             .emit();
     }
-  } Account{Run.Stats};
+  } Account{S, SpecCancelled, Opts.Jobs};
 
-  if (!Run.stillTriggers(J))
-    return makeError("input does not satisfy the reduction oracle");
+  auto Done = [&](Result<Bytes> R) {
+    if (StatsOut)
+      *StatsOut = S;
+    return R;
+  };
 
-  // Fixed-point loop over hierarchical passes: coarse (methods, fields,
-  // interfaces, throws) before fine (statements), as in HDD.
-  bool Changed = true;
-  while (Changed && Run.budgetLeft()) {
-    Changed = false;
+  auto Lowered = lowerClassBytes(Input);
+  if (!Lowered)
+    return Done(
+        makeError("cannot lower input for reduction: " + Lowered.error()));
+  JirClass J = Lowered.take();
 
-    Changed |= Run.pass(
-        J, [](const JirClass &C) { return C.Methods.size(); },
-        [](JirClass &C, size_t I) {
-          C.Methods.erase(C.Methods.begin() + I);
-          return true;
-        },
-        Run.Stats.MethodsRemoved);
+  auto InitialBytes = assembleToBytes(J);
+  if (!InitialBytes)
+    return Done(makeError("cannot reassemble input for reduction: " +
+                          InitialBytes.error()));
 
-    Changed |= Run.pass(
-        J, [](const JirClass &C) { return C.Fields.size(); },
-        [](JirClass &C, size_t I) {
-          C.Fields.erase(C.Fields.begin() + I);
-          return true;
-        },
-        Run.Stats.FieldsRemoved);
+  // Memo cache: FNV-1a hash of assembled candidate bytes -> verdict.
+  // Only committed probes enter it, so its contents are Jobs-invariant.
+  std::unordered_map<uint64_t, bool> Cache;
 
-    Changed |= Run.pass(
-        J, [](const JirClass &C) { return C.Interfaces.size(); },
-        [](JirClass &C, size_t I) {
-          C.Interfaces.erase(C.Interfaces.begin() + I);
-          return true;
-        },
-        Run.Stats.InterfacesRemoved);
+  // Probe the input itself first. An exhausted budget here (including
+  // MaxOracleQueries == 0) is a budget failure, not oracle rejection.
+  if (Opts.MaxOracleQueries == 0) {
+    S.BudgetExhausted = true;
+    return Done(makeError(
+        "oracle query budget exhausted before the input was tested"));
+  }
+  auto Best = std::make_shared<Bytes>(InitialBytes.take());
+  bool InputTriggers;
+  {
+    telemetry::PhaseTimer ProbeT(ProbeNs, "reduce-probe");
+    InputTriggers = Oracle(J.Name, *Best);
+  }
+  ++S.OracleQueries;
+  ++S.CacheMisses;
+  Cache[hashBytes(*Best)] = InputTriggers;
+  FR.record(telemetry::FlightKind::ReducerQuery, 0, Best->size(),
+            InputTriggers ? 1 : 0);
+  if (!InputTriggers)
+    return Done(makeError("input does not satisfy the reduction oracle"));
 
-    // Throws-clause entries, flattened across methods.
-    auto countThrows = [](const JirClass &C) {
-      size_t N = 0;
-      for (const JirMethod &M : C.Methods)
-        N += M.Exceptions.size();
-      return N;
-    };
-    auto deleteThrow = [](JirClass &C, size_t Flat) {
-      for (JirMethod &M : C.Methods) {
-        if (Flat < M.Exceptions.size()) {
-          M.Exceptions.erase(M.Exceptions.begin() + Flat);
-          return true;
-        }
-        Flat -= M.Exceptions.size();
-      }
+  std::unique_ptr<ThreadPool> Pool;
+  if (Opts.Jobs > 1)
+    Pool = std::make_unique<ThreadPool>(Opts.Jobs);
+  const size_t Window = Pool ? Opts.Jobs * 2 : 1;
+
+  Schedule Sched(Opts.ChunkedHdd);
+  std::deque<Pending> InFlight;
+  bool ScheduleDone = false;
+  bool Stop = false;
+
+  // Builds the next probe against the current J (presumed rejection:
+  // J does not change while speculation is outstanding). Oracle work is
+  // submitted to the pool only when the cache cannot already answer.
+  auto speculate = [&]() -> bool {
+    auto D = Sched.next(J);
+    if (!D)
       return false;
-    };
-    Changed |= Run.pass(J, countThrows, deleteThrow,
-                        Run.Stats.ThrowsRemoved);
+    Pending P;
+    P.D = *D;
+    JirClass Candidate = J;
+    if (!applyDeletion(Candidate, D->Level, D->Start, D->Len)) {
+      P.Kind = ProbeKind::SkippedStructural;
+      InFlight.push_back(std::move(P));
+      return true;
+    }
+    auto Data = assembleToBytes(Candidate);
+    if (!Data) {
+      P.Kind = ProbeKind::AssemblyFailed;
+      InFlight.push_back(std::move(P));
+      return true;
+    }
+    P.Kind = ProbeKind::NeedsOracle;
+    P.Candidate = std::move(Candidate);
+    P.Data = std::make_shared<Bytes>(Data.take());
+    P.Hash = hashBytes(*P.Data);
+    if (Pool && !Cache.count(P.Hash)) {
+      P.Cancelled = std::make_shared<std::atomic<bool>>(false);
+      auto DataRef = P.Data;
+      auto CancelRef = P.Cancelled;
+      std::string Name = P.Candidate.Name;
+      P.Verdict = Pool->submit(
+          [&Oracle, &ProbeNs, DataRef, CancelRef, Name]() {
+            if (CancelRef->load(std::memory_order_relaxed))
+              return false;
+            telemetry::PhaseTimer ProbeT(ProbeNs, "reduce-probe");
+            return Oracle(Name, *DataRef);
+          });
+      P.HasFuture = true;
+    }
+    InFlight.push_back(std::move(P));
+    return true;
+  };
 
-    // Statements, flattened across method bodies. Deleting a statement
-    // shifts branch targets that point past it (so structurally valid
-    // candidates stay valid).
-    auto countStmts = [](const JirClass &C) {
-      size_t N = 0;
-      for (const JirMethod &M : C.Methods)
-        N += M.Body.size();
-      return N;
-    };
-    auto deleteStmt = [](JirClass &C, size_t Flat) {
-      for (JirMethod &M : C.Methods) {
-        if (Flat < M.Body.size()) {
-          M.Body.erase(M.Body.begin() + Flat);
-          for (JirStmt &S : M.Body)
-            if (S.isBranch() &&
-                S.TargetIndex > static_cast<int32_t>(Flat))
-              --S.TargetIndex;
-          for (JirExceptionEntry &E : M.ExceptionTable) {
-            if (E.StartIndex > Flat)
-              --E.StartIndex;
-            if (E.EndIndex > Flat)
-              --E.EndIndex;
-            if (E.HandlerIndex > Flat)
-              --E.HandlerIndex;
-          }
-          return true;
-        }
-        Flat -= M.Body.size();
-      }
-      return false;
-    };
-    Changed |= Run.pass(J, countStmts, deleteStmt,
-                        Run.Stats.StatementsRemoved);
+  auto cancelInFlight = [&] {
+    for (Pending &Q : InFlight)
+      if (Q.Cancelled)
+        Q.Cancelled->store(true, std::memory_order_relaxed);
+    SpecCancelled += InFlight.size();
+    InFlight.clear();
+  };
 
-    // Adjacent-pair deletion (the coarser ddmin granularity): removes
-    // balanced push/pop-style pairs a single deletion cannot, because
-    // either half alone breaks verification.
-    auto countPairs = [](const JirClass &C) {
-      size_t N = 0;
-      for (const JirMethod &M : C.Methods)
-        if (M.Body.size() >= 2)
-          N += M.Body.size() - 1;
-      return N;
-    };
-    auto deletePair = [&deleteStmt](JirClass &C, size_t Flat) {
-      for (JirMethod &M : C.Methods) {
-        size_t Pairs = M.Body.size() >= 2 ? M.Body.size() - 1 : 0;
-        if (Flat < Pairs) {
-          // Recompute the flattened index of this method's statements.
-          size_t Base = 0;
-          for (const JirMethod &Prev : C.Methods) {
-            if (&Prev == &M)
-              break;
-            Base += Prev.Body.size();
-          }
-          return deleteStmt(C, Base + Flat + 1) &&
-                 deleteStmt(C, Base + Flat);
-        }
-        Flat -= Pairs;
+  // Commit loop: fill the speculation window, then resolve the oldest
+  // probe. Budget, cache, stats, and flight records are touched only
+  // here, in schedule order.
+  while (!Stop && (!InFlight.empty() || !ScheduleDone)) {
+    while (!ScheduleDone && InFlight.size() < Window)
+      if (!speculate())
+        ScheduleDone = true;
+    if (InFlight.empty())
+      break; // Fixed point: schedule done, nothing outstanding.
+
+    Pending P = std::move(InFlight.front());
+    InFlight.pop_front();
+
+    if (P.Kind == ProbeKind::SkippedStructural) {
+      ++S.SkippedStructural;
+      continue;
+    }
+    if (P.Kind == ProbeKind::AssemblyFailed) {
+      ++S.AssemblyFailures;
+      continue;
+    }
+
+    bool Kept;
+    auto CIt = Cache.find(P.Hash);
+    if (CIt != Cache.end()) {
+      ++S.CacheHits;
+      Kept = CIt->second;
+      if (P.Cancelled) // Worker may not have started; spare the oracle.
+        P.Cancelled->store(true, std::memory_order_relaxed);
+    } else {
+      if (S.OracleQueries >= Opts.MaxOracleQueries) {
+        S.BudgetExhausted = true;
+        Stop = true;
+        cancelInFlight();
+        break;
       }
-      return false;
-    };
-    size_t PairDeletions = 0;
-    Changed |= Run.pass(J, countPairs, deletePair, PairDeletions);
-    Run.Stats.StatementsRemoved += 2 * PairDeletions;
+      if (P.HasFuture) {
+        Kept = P.Verdict.get();
+      } else {
+        telemetry::PhaseTimer ProbeT(ProbeNs, "reduce-probe");
+        Kept = Oracle(P.Candidate.Name, *P.Data);
+      }
+      ++S.OracleQueries;
+      ++S.CacheMisses;
+      Cache[P.Hash] = Kept;
+      FR.record(telemetry::FlightKind::ReducerQuery, S.OracleQueries - 1,
+                P.Data->size(), Kept ? 1 : 0);
+    }
+    if (!Kept)
+      continue;
+
+    // Deletion kept: adopt the candidate, credit the level, rewind the
+    // schedule, and discard all later speculation (it was built against
+    // the superseded class).
+    J = std::move(P.Candidate);
+    Best = P.Data;
+    ++S.DeletionsKept;
+    switch (P.D.Level) {
+    case LvMethods:
+      S.MethodsRemoved += P.D.Len;
+      break;
+    case LvFields:
+      S.FieldsRemoved += P.D.Len;
+      break;
+    case LvInterfaces:
+      S.InterfacesRemoved += P.D.Len;
+      break;
+    case LvThrows:
+      S.ThrowsRemoved += P.D.Len;
+      break;
+    case LvStatements:
+      S.StatementsRemoved += P.D.Len;
+      break;
+    }
+    if (P.D.Len > 1) {
+      ++S.ChunkDeletionsKept;
+      S.LargestChunkKept = std::max(S.LargestChunkKept, P.D.Len);
+      if (telemetry::enabled())
+        ChunkLenHist.record(P.D.Len);
+    }
+    FR.record(telemetry::FlightKind::ReducerKept,
+              static_cast<uint64_t>(P.D.Level), P.D.Start, P.D.Len);
+    Sched.noteKept(P.D, J);
+    ScheduleDone = false;
+    cancelInFlight();
   }
 
-  if (Stats)
-    *Stats = Run.Stats;
-  return assembleToBytes(J);
+  // Return the exact bytes the oracle last accepted (no re-assembly).
+  return Done(Bytes(*Best));
+}
+
+Result<Bytes> classfuzz::reduceClassfile(const Bytes &Input,
+                                         const ReductionOracle &Oracle,
+                                         ReductionStats *Stats,
+                                         size_t MaxOracleQueries) {
+  ReducerOptions Opts;
+  Opts.MaxOracleQueries = MaxOracleQueries;
+  return reduceClassfile(Input, Oracle, Opts, Stats);
 }

@@ -44,9 +44,13 @@ public:
     addU32(static_cast<uint32_t>(V >> 32));
   }
 
+  void addBytes(const uint8_t *Data, size_t Len) {
+    for (size_t I = 0; I != Len; ++I)
+      addByte(Data[I]);
+  }
+
   void addBytes(const std::vector<uint8_t> &Data) {
-    for (uint8_t B : Data)
-      addByte(B);
+    addBytes(Data.data(), Data.size());
   }
 
   void addString(const std::string &S) {
@@ -61,11 +65,16 @@ private:
   uint64_t State = FnvOffsetBasis;
 };
 
+/// One-shot hash of a byte span.
+inline uint64_t hashBytes(const uint8_t *Data, size_t Len) {
+  Hasher H;
+  H.addBytes(Data, Len);
+  return H.value();
+}
+
 /// One-shot hash of a byte vector.
 inline uint64_t hashBytes(const std::vector<uint8_t> &Data) {
-  Hasher H;
-  H.addBytes(Data);
-  return H.value();
+  return hashBytes(Data.data(), Data.size());
 }
 
 } // namespace classfuzz

@@ -31,6 +31,8 @@ const char *telemetry::flightKindName(FlightKind Kind) {
     return "vm_internal_error";
   case FlightKind::ReducerQuery:
     return "reducer_query";
+  case FlightKind::ReducerKept:
+    return "reducer_kept";
   case FlightKind::IncidentDumped:
     return "incident_dumped";
   }
@@ -45,6 +47,7 @@ const char *const *telemetry::flightEventFieldNames(FlightKind Kind) {
                                             "class_hash"};
   static const char *const VmInternal[] = {"profile", "phase", "class_hash"};
   static const char *const ReducerQuery[] = {"query", "size", "kept"};
+  static const char *const ReducerKept[] = {"level", "start", "len"};
   static const char *const Incident[] = {"incident", "class_hash", "-"};
   static const char *const Unused[] = {"-", "-", "-"};
   switch (Kind) {
@@ -60,6 +63,8 @@ const char *const *telemetry::flightEventFieldNames(FlightKind Kind) {
     return VmInternal;
   case FlightKind::ReducerQuery:
     return ReducerQuery;
+  case FlightKind::ReducerKept:
+    return ReducerKept;
   case FlightKind::IncidentDumped:
     return Incident;
   case FlightKind::None:

@@ -77,9 +77,13 @@ enum class FlightKind : uint16_t {
   /// differential execution: A=profile index, B=JvmPhase, C=FNV-1a hash
   /// of the class name.
   VmInternalError,
-  /// Reducer oracle query: A=query index, B=candidate size in bytes,
-  /// C=1 when the candidate kept the discrepancy.
+  /// Reducer oracle query committed: A=query index, B=candidate size in
+  /// bytes, C=1 when the candidate kept the discrepancy.
   ReducerQuery,
+  /// Reducer kept a deletion: A=hierarchy level (0 methods, 1 fields,
+  /// 2 interfaces, 3 throws, 4 statements), B=flattened start index,
+  /// C=elements deleted.
+  ReducerKept,
   /// Incident bundle written: A=incident index, B=FNV-1a hash of the
   /// class name.
   IncidentDumped,

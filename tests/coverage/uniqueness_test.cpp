@@ -83,6 +83,26 @@ TEST(Uniqueness, SizeTracksInsertions) {
   EXPECT_EQ(C.size(), 2u);
 }
 
+TEST(Uniqueness, InsertTracksOnlyTheActiveCriterionsStructure) {
+  // Each insert must cost one entry in the structure the criterion
+  // reads, not one in each of the three (which bloats memory at corpus
+  // scale without changing any verdict).
+  Tracefile A = makeTrace({1, 2, 3}, {1, 2});
+  Tracefile B = makeTrace({4, 5, 6, 7}, {1, 2, 3});
+  for (UniquenessCriterion Crit :
+       {UniquenessCriterion::St, UniquenessCriterion::StBr,
+        UniquenessCriterion::Tr}) {
+    UniquenessChecker C(Crit);
+    EXPECT_EQ(C.trackedEntries(), 0u);
+    C.insert(A);
+    C.insert(B);
+    EXPECT_EQ(C.trackedEntries(), 2u) << criterionName(Crit);
+    // Verdicts are unchanged by the scoped bookkeeping.
+    EXPECT_FALSE(C.isUnique(A)) << criterionName(Crit);
+    EXPECT_FALSE(C.isUnique(B)) << criterionName(Crit);
+  }
+}
+
 TEST(Uniqueness, CriterionNames) {
   EXPECT_STREQ(criterionName(UniquenessCriterion::St), "[st]");
   EXPECT_STREQ(criterionName(UniquenessCriterion::StBr), "[stbr]");

@@ -1,0 +1,142 @@
+//===- tests/reducer/reducer_parallel_test.cpp ----------------------------===//
+//
+// Parallel probe lanes must be invisible: for any ReducerOptions::Jobs
+// the reduced bytes, every ReductionStats field, and the budget
+// accounting are identical to the sequential run (presumed-rejection
+// speculation with in-order commit, as in the campaign pipeline).
+//
+//===----------------------------------------------------------------------===//
+
+#include "../TestHelpers.h"
+#include "reducer/Reducer.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+using namespace classfuzz::testhelpers;
+
+namespace {
+
+/// A wide class so speculation depth actually matters: junk fields,
+/// noise methods, a padded main, and the Problem 1 trigger.
+ClassFile makeWideDiscrepancyClass() {
+  ClassFile CF = makeHelloClass("Wide");
+  for (int I = 0; I != 12; ++I) {
+    FieldInfo F;
+    F.Name = "junk" + std::to_string(I);
+    F.Descriptor = I % 2 ? "I" : "J";
+    F.AccessFlags = ACC_PUBLIC;
+    CF.Fields.push_back(std::move(F));
+  }
+  for (int I = 0; I != 5; ++I) {
+    MethodInfo M;
+    M.Name = "noise" + std::to_string(I);
+    M.Descriptor = "()V";
+    M.AccessFlags = ACC_PUBLIC;
+    CodeAttr Code;
+    Code.MaxStack = 1;
+    Code.MaxLocals = 1;
+    Code.Code = {OP_iconst_0, OP_pop, OP_return};
+    M.Code = std::move(Code);
+    M.Exceptions.push_back("java/lang/Exception");
+    CF.Methods.push_back(std::move(M));
+  }
+  MethodInfo Clinit;
+  Clinit.Name = "<clinit>";
+  Clinit.Descriptor = "()V";
+  Clinit.AccessFlags = ACC_PUBLIC | ACC_ABSTRACT;
+  CF.Methods.push_back(std::move(Clinit));
+  return CF;
+}
+
+/// Thread-safe oracle: every call builds its own environment and VMs.
+bool problem1Persists(const std::string &Name, const Bytes &Data) {
+  JvmResult OnHs = runOn(makeHotSpot8Policy(), {{Name, Data}}, Name);
+  JvmResult OnJ9 = runOn(makeJ9Policy(), {{Name, Data}}, Name);
+  return OnHs.Invoked && !OnJ9.Invoked &&
+         OnJ9.Error == JvmErrorKind::ClassFormatError;
+}
+
+void expectSameStats(const ReductionStats &A, const ReductionStats &B,
+                     size_t Jobs) {
+  EXPECT_EQ(A.OracleQueries, B.OracleQueries) << "jobs=" << Jobs;
+  EXPECT_EQ(A.CacheHits, B.CacheHits) << "jobs=" << Jobs;
+  EXPECT_EQ(A.CacheMisses, B.CacheMisses) << "jobs=" << Jobs;
+  EXPECT_EQ(A.DeletionsKept, B.DeletionsKept) << "jobs=" << Jobs;
+  EXPECT_EQ(A.ChunkDeletionsKept, B.ChunkDeletionsKept) << "jobs=" << Jobs;
+  EXPECT_EQ(A.LargestChunkKept, B.LargestChunkKept) << "jobs=" << Jobs;
+  EXPECT_EQ(A.SkippedStructural, B.SkippedStructural) << "jobs=" << Jobs;
+  EXPECT_EQ(A.AssemblyFailures, B.AssemblyFailures) << "jobs=" << Jobs;
+  EXPECT_EQ(A.MethodsRemoved, B.MethodsRemoved) << "jobs=" << Jobs;
+  EXPECT_EQ(A.FieldsRemoved, B.FieldsRemoved) << "jobs=" << Jobs;
+  EXPECT_EQ(A.StatementsRemoved, B.StatementsRemoved) << "jobs=" << Jobs;
+  EXPECT_EQ(A.InterfacesRemoved, B.InterfacesRemoved) << "jobs=" << Jobs;
+  EXPECT_EQ(A.ThrowsRemoved, B.ThrowsRemoved) << "jobs=" << Jobs;
+  EXPECT_EQ(A.BudgetExhausted, B.BudgetExhausted) << "jobs=" << Jobs;
+}
+
+} // namespace
+
+TEST(ReducerParallel, ReducedBytesAndStatsAreIdenticalAcrossJobCounts) {
+  Bytes Input = serialize(makeWideDiscrepancyClass());
+  ASSERT_TRUE(problem1Persists("Wide", Input));
+
+  ReducerOptions Seq;
+  ReductionStats SeqStats;
+  auto SeqOut = reduceClassfile(Input, problem1Persists, Seq, &SeqStats);
+  ASSERT_TRUE(SeqOut.ok()) << SeqOut.error();
+  EXPECT_LT(SeqOut->size(), Input.size());
+
+  for (size_t Jobs : {size_t(2), size_t(8)}) {
+    ReducerOptions Par;
+    Par.Jobs = Jobs;
+    ReductionStats ParStats;
+    auto ParOut = reduceClassfile(Input, problem1Persists, Par, &ParStats);
+    ASSERT_TRUE(ParOut.ok()) << ParOut.error();
+    EXPECT_EQ(*SeqOut, *ParOut) << "reduced bytes differ at jobs=" << Jobs;
+    expectSameStats(SeqStats, ParStats, Jobs);
+  }
+}
+
+TEST(ReducerParallel, BudgetAccountingIsJobsInvariant) {
+  // Speculative probes must not charge the budget: a tight budget stops
+  // at the same query count, with the same best-so-far bytes, no matter
+  // how many probes were in flight.
+  Bytes Input = serialize(makeWideDiscrepancyClass());
+  ReducerOptions Seq;
+  Seq.MaxOracleQueries = 7;
+  ReductionStats SeqStats;
+  auto SeqOut = reduceClassfile(Input, problem1Persists, Seq, &SeqStats);
+  ASSERT_TRUE(SeqOut.ok()) << SeqOut.error();
+  EXPECT_TRUE(SeqStats.BudgetExhausted);
+  EXPECT_LE(SeqStats.OracleQueries, 7u);
+
+  ReducerOptions Par;
+  Par.MaxOracleQueries = 7;
+  Par.Jobs = 8;
+  ReductionStats ParStats;
+  auto ParOut = reduceClassfile(Input, problem1Persists, Par, &ParStats);
+  ASSERT_TRUE(ParOut.ok()) << ParOut.error();
+  EXPECT_EQ(*SeqOut, *ParOut);
+  expectSameStats(SeqStats, ParStats, 8);
+}
+
+TEST(ReducerParallel, LegacyModeIsAlsoJobsInvariant) {
+  // The one-element-at-a-time baseline shares the probe pipeline, so it
+  // must honor the same determinism contract.
+  Bytes Input = serialize(makeWideDiscrepancyClass());
+  ReducerOptions Seq;
+  Seq.ChunkedHdd = false;
+  ReductionStats SeqStats;
+  auto SeqOut = reduceClassfile(Input, problem1Persists, Seq, &SeqStats);
+  ASSERT_TRUE(SeqOut.ok()) << SeqOut.error();
+
+  ReducerOptions Par;
+  Par.ChunkedHdd = false;
+  Par.Jobs = 4;
+  ReductionStats ParStats;
+  auto ParOut = reduceClassfile(Input, problem1Persists, Par, &ParStats);
+  ASSERT_TRUE(ParOut.ok()) << ParOut.error();
+  EXPECT_EQ(*SeqOut, *ParOut);
+  expectSameStats(SeqStats, ParStats, 4);
+}

@@ -4,7 +4,7 @@
 //
 //   classfuzz fuzz    [--algo A] [--iterations N | --time-budget S]
 //                     [--seeds N] [--rng N] [--out DIR]
-//                     [--incidents DIR] [--reduce]
+//                     [--incidents DIR] [--reduce] [--reduce-jobs N]
 //       run a fuzzing campaign, differentially test the accepted
 //       classfiles on all five JVM profiles, write report.md (and the
 //       discrepancy-triggering .class files when --out is given);
@@ -21,8 +21,9 @@
 //   classfuzz inspect FILE.class
 //       javap-style + Jimple-style dumps
 //
-//   classfuzz reduce  FILE.class [--out FILE]
-//       hierarchical delta debugging preserving the file's discrepancy
+//   classfuzz reduce  FILE.class [--out FILE] [--reduce-jobs N]
+//       chunked hierarchical delta debugging preserving the file's
+//       discrepancy; output bytes are identical for any --reduce-jobs
 //
 //   classfuzz mutators
 //       list the 129 mutation operators
@@ -72,12 +73,14 @@ int usage(std::FILE *To) {
       "                    [--seeds N | --seed-dir DIR] [--rng N]\n"
       "                    [--jobs N] [--out DIR] [--progress SECONDS]\n"
       "                    [--incidents DIR] [--flightrec N] [--reduce]\n"
+      "                    [--reduce-jobs N]\n"
       "                    [--stats-json FILE] [--trace-events FILE]\n"
       "                    [--trace-perfetto FILE]\n"
       "  classfuzz replay  BUNDLE_DIR\n"
       "  classfuzz run     FILE.class [--env jre5|jre7|jre8|jre9]\n"
       "  classfuzz inspect FILE.class\n"
-      "  classfuzz reduce  FILE.class [--out FILE]\n"
+      "  classfuzz reduce  FILE.class [--out FILE] [--reduce-jobs N]\n"
+      "                    [--max-queries N] [--no-chunks]\n"
       "  classfuzz mutators\n"
       "\n"
       "run 'classfuzz <command> --help' for per-command flags\n");
@@ -265,7 +268,11 @@ int cmdFuzz(int Argc, char **Argv) {
             "1024"},
            {"reduce", "",
             "also reduce each discrepancy into the incident bundle",
-            ""}}));
+            ""},
+           {"reduce-jobs", "N",
+            "worker threads per reduction; reduced bytes are identical "
+            "across values",
+            "1"}}));
   int Exit = 0;
   if (!parseOrExit(A, Argc, Argv, Exit))
     return Exit;
@@ -353,13 +360,20 @@ int cmdFuzz(int Argc, char **Argv) {
     Inc.Env = EnvSpec;
     if (Discrepancy && A.has("reduce")) {
       // Shrink while preserving the discrepancy category; the candidate
-      // overlay shadows the corpus copy of the mutant.
+      // overlay shadows the corpus copy of the mutant. Note the default
+      // --reduce-jobs is 1 here: parallel probe lanes record into the
+      // armed flight recorder from worker threads, which would make the
+      // bundled flightrec.jsonl tail jobs-dependent (the reduced bytes
+      // themselves are jobs-invariant either way).
       const std::string Target = O.encodedString();
       ReductionOracle Oracle = [&](const std::string &Name,
                                    const Bytes &Candidate) {
         return Tester.testClass(Name, Candidate).encodedString() == Target;
       };
-      if (auto Reduced = reduceClassfile(G.Data, Oracle)) {
+      ReducerOptions ROpts;
+      ROpts.Jobs =
+          std::max<size_t>(1, static_cast<size_t>(A.getUnsigned("reduce-jobs")));
+      if (auto Reduced = reduceClassfile(G.Data, Oracle, ROpts)) {
         Inc.Reduced = Reduced.take();
         Inc.HasReduced = true;
       }
@@ -593,7 +607,16 @@ int cmdReduce(int Argc, char **Argv) {
   ArgParser A("classfuzz reduce", "FILE.class",
               withTelemetryFlags(
                   {{"out", "FILE",
-                    "output path (default: FILE.class.reduced)", ""}}));
+                    "output path (default: FILE.class.reduced)", ""},
+                   {"reduce-jobs", "N",
+                    "worker threads probing the oracle; reduced bytes "
+                    "are identical across values",
+                    "1"},
+                   {"max-queries", "N", "oracle query budget", "10000"},
+                   {"no-chunks", "",
+                    "disable chunked HDD (one-element-at-a-time "
+                    "baseline)",
+                    ""}}));
   int Exit = 0;
   if (!parseOrExit(A, Argc, Argv, Exit))
     return Exit;
@@ -633,15 +656,24 @@ int cmdReduce(int Argc, char **Argv) {
                                const Bytes &Candidate) {
     return Tester.testClass(Name, Candidate).encodedString() == Target;
   };
+  ReducerOptions Opts;
+  Opts.Jobs =
+      std::max<size_t>(1, static_cast<size_t>(A.getUnsigned("reduce-jobs")));
+  Opts.MaxOracleQueries = static_cast<size_t>(A.getUnsigned("max-queries"));
+  Opts.ChunkedHdd = !A.has("no-chunks");
   ReductionStats Stats;
-  auto Reduced = reduceClassfile(*Data, Oracle, &Stats);
+  auto Reduced = reduceClassfile(*Data, Oracle, Opts, &Stats);
   if (!Reduced) {
     std::fprintf(stderr, "reduction failed: %s\n",
                  Reduced.error().c_str());
     return 1;
   }
-  std::printf("reduced %zu -> %zu bytes (%zu oracle queries)\n",
-              Data->size(), Reduced->size(), Stats.OracleQueries);
+  std::printf("reduced %zu -> %zu bytes (%zu oracle queries, %zu cache "
+              "hits, %zu chunk deletions, %zu skipped pre-assembly%s)\n",
+              Data->size(), Reduced->size(), Stats.OracleQueries,
+              Stats.CacheHits, Stats.ChunkDeletionsKept,
+              Stats.SkippedStructural + Stats.AssemblyFailures,
+              Stats.BudgetExhausted ? ", budget exhausted" : "");
   std::string OutPath = A.has("out") ? A.get("out")
                                      : A.positional()[0] + ".reduced";
   if (!writeFile(OutPath, *Reduced)) {
