@@ -1,0 +1,188 @@
+//===- bench/bench_analysis.cpp - Static triage vs reference execution ---===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The point of the execution-free analyzer (DESIGN.md §11) is that
+// triaging a class -- predicting the startup phase the reference VM
+// would observe -- costs a fraction of actually running it. This bench
+// pins that claim over the seed corpus:
+//
+//   * triage     StaticAnalyzer::predictStartupOutcome (the cheap
+//                load/link simulation campaign filtering wants)
+//   * execute    the campaign's per-mutant reference step: Vm::run on
+//                the reference profile with coverage recording plus
+//                trace extraction (Campaign.cpp's coverageOf)
+//
+// gates that triage is >= 5x faster than execution, and verifies the
+// predict-vs-observe contract holds on every class. The full lint
+// pipeline (analyzeClass: every pass plus the prediction) is timed
+// over seeds-plus-mutants and reported for context, ungated -- it does
+// strictly more work than the VM (all findings, not first failure).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StaticAnalyzer.h"
+#include "coverage/Tracefile.h"
+#include "jvm/Phase.h"
+#include "jvm/Policy.h"
+#include "jvm/Vm.h"
+#include "mutation/Engine.h"
+#include "mutation/Mutator.h"
+#include "runtime/RuntimeLib.h"
+#include "runtime/SeedCorpus.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace classfuzz;
+
+namespace {
+
+constexpr double RequiredSpeedup = 5.0;
+constexpr size_t NumSeeds = 128;
+
+struct Workload {
+  std::string Name;
+  Bytes Data;
+};
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+/// The campaign's reference-VM step for one class: coverage-recorded
+/// run plus trace extraction, against a copy-on-write environment.
+int executeOne(const JvmPolicy &Policy, const ClassPath &Env,
+               const Workload &W, size_t &TraceStmts) {
+  CoverageRecorder Recorder;
+  ClassPath RunEnv = Env;
+  RunEnv.add(W.Name, W.Data);
+  Vm Jvm(Policy, RunEnv, &Recorder);
+  int Observed = encodePhase(Jvm.run(W.Name));
+  TraceStmts += Recorder.takeTrace().stmtCount();
+  return Observed;
+}
+
+} // namespace
+
+int main() {
+  JvmPolicy Policy = referenceJvmPolicy();
+  ClassPath Env = runtimeLibraryFor(Policy);
+
+  Rng R(20160613);
+  auto Seeds = generateSeedCorpus(R, NumSeeds);
+  std::vector<std::string> Known = Env.names();
+  std::vector<Workload> SeedClasses;
+  std::vector<Workload> Mutants;
+  for (const SeedClass &S : Seeds) {
+    for (const auto &[Name, Data] : S.Helpers)
+      Env.add(Name, Data);
+    SeedClasses.push_back({S.Name, S.Data});
+    for (size_t MuIdx = 0; MuIdx < mutatorRegistry().size(); MuIdx += 17) {
+      MutationContext Ctx{R, Known};
+      MutationOutcome O = mutateClass(S.Data, MuIdx, Ctx);
+      if (O.Produced)
+        Mutants.push_back({O.ClassName, std::move(O.Data)});
+    }
+  }
+  Env.freeze();
+  std::printf("workload: %zu seed classes, %zu mutants\n",
+              SeedClasses.size(), Mutants.size());
+
+  // -- triage: prediction only, over the seed corpus ---------------------
+  // The campaign holds one analyzer across the whole run, so its
+  // environment caches (parsed runtime library, chain memos) are warm
+  // for all but the first few mutants. Time a cold pass (includes the
+  // one-time cache fill), then gate on the steady-state pass -- each
+  // prediction still re-parses, re-format-checks, and re-verifies the
+  // class under triage; only the immutable environment is cached.
+  StaticAnalyzer Analyzer(Env, Policy);
+  std::vector<StartupPrediction> Predictions(SeedClasses.size());
+  auto ColdStart = std::chrono::steady_clock::now();
+  for (size_t I = 0; I != SeedClasses.size(); ++I)
+    Predictions[I] = Analyzer.predictStartupOutcome(SeedClasses[I].Name,
+                                                    SeedClasses[I].Data);
+  double ColdSeconds = secondsSince(ColdStart);
+  auto TriageStart = std::chrono::steady_clock::now();
+  for (size_t I = 0; I != SeedClasses.size(); ++I)
+    Predictions[I] = Analyzer.predictStartupOutcome(SeedClasses[I].Name,
+                                                    SeedClasses[I].Data);
+  double TriageSeconds = secondsSince(TriageStart);
+
+  // -- execute: the reference-VM step over the same corpus ---------------
+  size_t Mismatches = 0;
+  size_t TraceStmts = 0;
+  auto ExecuteStart = std::chrono::steady_clock::now();
+  for (size_t I = 0; I != SeedClasses.size(); ++I) {
+    int Observed = executeOne(Policy, Env, SeedClasses[I], TraceStmts);
+    if (!Predictions[I].isCompatibleWith(Observed)) {
+      ++Mismatches;
+      std::fprintf(stderr, "predict-vs-observe mismatch on %s: %s vs %d\n",
+                   SeedClasses[I].Name.c_str(),
+                   predictedOutcomeName(Predictions[I].Outcome), Observed);
+    }
+  }
+  double ExecuteSeconds = secondsSince(ExecuteStart);
+
+  // -- context: full lint pipeline over seeds + mutants (ungated) --------
+  size_t TotalFindings = 0;
+  size_t MutantMismatches = 0;
+  std::vector<StartupPrediction> MutantPredictions(Mutants.size());
+  auto AnalyzeStart = std::chrono::steady_clock::now();
+  for (size_t I = 0; I != Mutants.size(); ++I) {
+    AnalysisReport Report =
+        Analyzer.analyzeClass(Mutants[I].Name, Mutants[I].Data);
+    TotalFindings += Report.Diagnostics.size();
+    MutantPredictions[I] = Report.Prediction;
+  }
+  double AnalyzeSeconds = secondsSince(AnalyzeStart);
+  size_t MutantTraceStmts = 0;
+  for (size_t I = 0; I != Mutants.size(); ++I) {
+    int Observed = executeOne(Policy, Env, Mutants[I], MutantTraceStmts);
+    if (!MutantPredictions[I].isCompatibleWith(Observed)) {
+      ++MutantMismatches;
+      std::fprintf(stderr, "predict-vs-observe mismatch on %s: %s vs %d\n",
+                   Mutants[I].Name.c_str(),
+                   predictedOutcomeName(MutantPredictions[I].Outcome),
+                   Observed);
+    }
+  }
+
+  size_t N = SeedClasses.size();
+  double Speedup = TriageSeconds > 0 ? ExecuteSeconds / TriageSeconds : 0;
+  std::printf("triage   %8.3f ms total  %7.1f us/class  (%.0f classes/sec; "
+              "cold first pass %.1f us/class)\n",
+              TriageSeconds * 1e3, TriageSeconds / N * 1e6,
+              N / TriageSeconds, ColdSeconds / N * 1e6);
+  std::printf("execute  %8.3f ms total  %7.1f us/class  (%.0f classes/sec, "
+              "%zu covered stmts)\n",
+              ExecuteSeconds * 1e3, ExecuteSeconds / N * 1e6,
+              N / ExecuteSeconds, TraceStmts);
+  std::printf("speedup  %.1fx (gate: >= %.0fx)\n", Speedup, RequiredSpeedup);
+  if (!Mutants.empty())
+    std::printf("full analyzeClass on %zu mutants: %.3f ms total, "
+                "%.1f us/class, %zu findings (ungated)\n",
+                Mutants.size(), AnalyzeSeconds * 1e3,
+                AnalyzeSeconds / Mutants.size() * 1e6, TotalFindings);
+
+  if (Mismatches + MutantMismatches) {
+    std::fprintf(stderr, "FAIL: %zu predict-vs-observe mismatches\n",
+                 Mismatches + MutantMismatches);
+    return 1;
+  }
+  if (Speedup < RequiredSpeedup) {
+    std::fprintf(stderr,
+                 "FAIL: static triage only %.1fx faster than execution "
+                 "(gate %.0fx)\n",
+                 Speedup, RequiredSpeedup);
+    return 1;
+  }
+  std::puts("OK");
+  return 0;
+}

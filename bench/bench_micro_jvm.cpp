@@ -7,7 +7,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "classfile/ClassReader.h"
-#include "difftest/Phase.h"
+#include "jvm/Phase.h"
 #include "jvm/FormatChecker.h"
 #include "jvm/Verifier.h"
 #include "jvm/Vm.h"

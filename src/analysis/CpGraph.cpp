@@ -1,0 +1,281 @@
+//===- analysis/CpGraph.cpp -----------------------------------------------===//
+
+#include "analysis/CpGraph.h"
+
+#include "classfile/Descriptor.h"
+#include "classfile/Opcodes.h"
+
+#include <algorithm>
+
+using namespace classfuzz;
+
+namespace {
+
+/// Short tag name without the CONSTANT_ prefix.
+std::string tagShortName(CpTag Tag) {
+  return cpTagName(Tag) + 9; // Skip "CONSTANT_".
+}
+
+bool isMemberRefTag(CpTag Tag) {
+  return Tag == CpTag::Fieldref || Tag == CpTag::Methodref ||
+         Tag == CpTag::InterfaceMethodref;
+}
+
+/// True when \p Op carries a constant-pool index in Operand1.
+bool opUsesCpIndex(uint8_t Op) {
+  switch (Op) {
+  case OP_ldc:
+  case OP_ldc_w:
+  case OP_ldc2_w:
+  case OP_getstatic:
+  case OP_putstatic:
+  case OP_getfield:
+  case OP_putfield:
+  case OP_invokevirtual:
+  case OP_invokespecial:
+  case OP_invokestatic:
+  case OP_invokeinterface:
+  case OP_invokedynamic:
+  case OP_new:
+  case OP_anewarray:
+  case OP_checkcast:
+  case OP_instanceof:
+  case OP_multianewarray:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+CpGraph CpGraph::build(const ClassFile &CF) {
+  CpGraph G;
+  G.CF = &CF;
+
+  const ConstantPool &CP = CF.CP;
+  for (uint16_t I = 1; I < CP.count(); ++I) {
+    const CpEntry &E = CP.at(I);
+    auto Edge = [&](uint16_t To, CpTag Expected, const char *Role) {
+      G.Edges.push_back(CpEdge{I, To, Expected, Role});
+    };
+    switch (E.Tag) {
+    case CpTag::Class:
+      Edge(E.Ref1, CpTag::Utf8, "name");
+      break;
+    case CpTag::String:
+      Edge(E.Ref1, CpTag::Utf8, "string");
+      break;
+    case CpTag::NameAndType:
+      Edge(E.Ref1, CpTag::Utf8, "name");
+      Edge(E.Ref2, CpTag::Utf8, "descriptor");
+      break;
+    case CpTag::Fieldref:
+    case CpTag::Methodref:
+    case CpTag::InterfaceMethodref:
+      Edge(E.Ref1, CpTag::Class, "class");
+      Edge(E.Ref2, CpTag::NameAndType, "name_and_type");
+      break;
+    case CpTag::MethodType:
+      Edge(E.Ref1, CpTag::Utf8, "descriptor");
+      break;
+    case CpTag::MethodHandle:
+      // The expected member-ref tag depends on reference_kind; check()
+      // accepts any of the three member tags for this edge.
+      Edge(E.Ref1, CpTag::Methodref, "reference");
+      break;
+    case CpTag::InvokeDynamic:
+      // Ref1 indexes the BootstrapMethods attribute, not the pool.
+      Edge(E.Ref2, CpTag::NameAndType, "name_and_type");
+      break;
+    default:
+      break;
+    }
+  }
+
+  // Bytecode roots: the constant-pool operands of every decodable
+  // instruction of every method.
+  for (const MethodInfo &M : CF.Methods) {
+    if (!M.Code)
+      continue;
+    InsnDecoder Decoder(M.Code->Code);
+    Insn I;
+    while (Decoder.decodeNext(I))
+      if (opUsesCpIndex(I.Op))
+        G.Roots.push_back(static_cast<uint16_t>(I.Operand1));
+  }
+  std::sort(G.Roots.begin(), G.Roots.end());
+  G.Roots.erase(std::unique(G.Roots.begin(), G.Roots.end()), G.Roots.end());
+
+  G.computeReachability();
+  G.computeCycles();
+  return G;
+}
+
+void CpGraph::computeReachability() {
+  const ConstantPool &CP = CF->CP;
+  Reachable.assign(CP.count(), false);
+  std::vector<uint16_t> Worklist;
+  Worklist.reserve(Roots.size());
+  for (uint16_t Root : Roots) {
+    if (Root > 0 && Root < CP.count() && !Reachable[Root]) {
+      Reachable[Root] = true;
+      Worklist.push_back(Root);
+    }
+  }
+  // Adjacency by linear scan: pools are small and edges are few, so a
+  // scan per popped node is cheaper than materializing adjacency lists.
+  while (!Worklist.empty()) {
+    uint16_t Node = Worklist.back();
+    Worklist.pop_back();
+    for (const CpEdge &E : Edges) {
+      if (E.From != Node)
+        continue;
+      if (E.To > 0 && E.To < CP.count() && !Reachable[E.To]) {
+        Reachable[E.To] = true;
+        Worklist.push_back(E.To);
+      }
+    }
+  }
+}
+
+void CpGraph::computeCycles() {
+  const ConstantPool &CP = CF->CP;
+  uint16_t N = CP.count();
+  OnCycle.assign(N, false);
+  // Valid pools are strictly acyclic (all chains end at Utf8 leaves),
+  // so any closed walk is a mutation artifact. Iterative coloring DFS:
+  // a back edge to a gray node marks the path segment from that node
+  // to the top of the path -- exactly the nodes on the cycle.
+  std::vector<std::vector<uint16_t>> Adj(N);
+  for (const CpEdge &E : Edges)
+    if (E.To > 0 && E.To < N)
+      Adj[E.From].push_back(E.To);
+
+  enum : uint8_t { White, Gray, Black };
+  std::vector<uint8_t> Color(N, White);
+  std::vector<uint16_t> Path;
+
+  for (uint16_t Start = 1; Start < N; ++Start) {
+    if (Color[Start] != White)
+      continue;
+    std::vector<std::pair<uint16_t, size_t>> Stack;
+    Stack.emplace_back(Start, 0);
+    Color[Start] = Gray;
+    Path.push_back(Start);
+    while (!Stack.empty()) {
+      uint16_t Node = Stack.back().first;
+      size_t &Cursor = Stack.back().second;
+      if (Cursor < Adj[Node].size()) {
+        uint16_t Next = Adj[Node][Cursor++];
+        if (Color[Next] == Gray) {
+          auto It = std::find(Path.begin(), Path.end(), Next);
+          for (; It != Path.end(); ++It)
+            OnCycle[*It] = true;
+        } else if (Color[Next] == White) {
+          Color[Next] = Gray;
+          Path.push_back(Next);
+          Stack.emplace_back(Next, 0);
+        }
+      } else {
+        Color[Node] = Black;
+        Path.pop_back();
+        Stack.pop_back();
+      }
+    }
+  }
+}
+
+std::vector<Diagnostic> CpGraph::check() const {
+  std::vector<Diagnostic> Out;
+  const ConstantPool &CP = CF->CP;
+  auto Add = [&](DiagSeverity Severity, uint16_t Index, std::string Message) {
+    Diagnostic D;
+    D.Pass = PassId::CpGraph;
+    D.Severity = Severity;
+    D.Location = DiagLocation::cp(Index);
+    D.Message = std::move(Message);
+    Out.push_back(std::move(D));
+  };
+
+  // Edge checks: dangling targets, type-confused targets.
+  for (const CpEdge &E : Edges) {
+    std::string EdgeDesc = tagShortName(CP.at(E.From).Tag) + " #" +
+                           std::to_string(E.From) + " -> #" +
+                           std::to_string(E.To) + " (" + E.Role + ")";
+    if (E.To == 0 || E.To >= CP.count() ||
+        CP.at(E.To).Tag == CpTag::Invalid) {
+      Add(DiagSeverity::Error, E.From, EdgeDesc + " is dangling");
+      continue;
+    }
+    CpTag Actual = CP.at(E.To).Tag;
+    bool TagOk = CP.at(E.From).Tag == CpTag::MethodHandle
+                     ? isMemberRefTag(Actual)
+                     : Actual == E.ExpectedTag;
+    if (!TagOk)
+      Add(DiagSeverity::Error, E.From,
+          EdgeDesc + " has tag " + tagShortName(Actual) + ", expected " +
+              tagShortName(E.ExpectedTag));
+  }
+
+  // Context checks along intact chains: member-ref descriptors must
+  // parse in their member kind, class names must be non-empty.
+  for (uint16_t I = 1; I < CP.count(); ++I) {
+    const CpEntry &E = CP.at(I);
+    if (E.Tag == CpTag::Class) {
+      auto Name = CP.getClassName(I);
+      if (Name && Name->empty())
+        Add(DiagSeverity::Error, I,
+            "Class #" + std::to_string(I) + " has empty name");
+    }
+    if (!isMemberRefTag(E.Tag))
+      continue;
+    auto NaT = CP.getNameAndType(E.Ref2);
+    if (!NaT)
+      continue; // The edge checks above already reported the breakage.
+    const std::string &Descriptor = NaT->second;
+    if (E.Tag == CpTag::Fieldref) {
+      if (!isValidFieldDescriptor(Descriptor))
+        Add(DiagSeverity::Error, I,
+            "Fieldref #" + std::to_string(I) + " -> NameAndType #" +
+                std::to_string(E.Ref2) + " has non-field descriptor \"" +
+                Descriptor + "\"");
+    } else if (!isValidMethodDescriptor(Descriptor)) {
+      Add(DiagSeverity::Error, I,
+          tagShortName(E.Tag) + " #" + std::to_string(I) +
+              " -> NameAndType #" + std::to_string(E.Ref2) +
+              " has non-method descriptor \"" + Descriptor + "\"");
+    }
+    if (NaT->first.empty())
+      Add(DiagSeverity::Error, I,
+          tagShortName(E.Tag) + " #" + std::to_string(I) +
+              " has empty member name");
+  }
+
+  // Cycles.
+  for (uint16_t I = 1; I < CP.count(); ++I)
+    if (isOnCycle(I))
+      Add(DiagSeverity::Error, I,
+          "constant-pool entry #" + std::to_string(I) +
+              " participates in a reference cycle");
+
+  // Dead-entry lints, capped so a large dead pool cannot flood output.
+  constexpr size_t MaxDeadReports = 8;
+  size_t Dead = 0;
+  for (uint16_t I = 1; I < CP.count(); ++I) {
+    const CpEntry &E = CP.at(I);
+    if (E.Tag == CpTag::Invalid || isReachable(I))
+      continue;
+    ++Dead;
+    if (Dead <= MaxDeadReports)
+      Add(DiagSeverity::Info, I,
+          "entry #" + std::to_string(I) + " (" + tagShortName(E.Tag) +
+              ") is not referenced from bytecode");
+  }
+  if (Dead > MaxDeadReports)
+    Add(DiagSeverity::Info, 0,
+        std::to_string(Dead - MaxDeadReports) +
+            " more unreferenced entries not listed");
+
+  return Out;
+}

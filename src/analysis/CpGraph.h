@@ -1,0 +1,85 @@
+//===- analysis/CpGraph.h - Constant-pool reference graph ----------------===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A typed reference graph over a class file's constant pool: every
+/// entry's outgoing index edges (Class.name, ref.class,
+/// ref.name_and_type, NameAndType.name/.descriptor, ...) with the tag
+/// each edge is required to land on. Mutated pools routinely contain
+/// dangling indices, type-confused targets (a Methodref whose
+/// name_and_type slot holds an Integer), reference cycles, and dead
+/// entries; the graph detects all of them and powers precise
+/// diagnostics like "Methodref #14 -> NameAndType #9 has non-method
+/// descriptor". Reachability is computed from the bytecode operands of
+/// every method, since the parsed ClassFile model resolves structural
+/// references (this/super/members) to strings eagerly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_ANALYSIS_CPGRAPH_H
+#define CLASSFUZZ_ANALYSIS_CPGRAPH_H
+
+#include "analysis/Diagnostics.h"
+#include "classfile/ClassFile.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace classfuzz {
+
+/// One typed edge of the constant-pool graph.
+struct CpEdge {
+  uint16_t From = 0;
+  uint16_t To = 0;
+  /// The tag the target must have for the source entry to resolve.
+  CpTag ExpectedTag = CpTag::Utf8;
+  /// Which slot of the source this edge is ("name", "class",
+  /// "name_and_type", "descriptor", "string").
+  const char *Role = "";
+};
+
+/// The constant-pool reference graph of one class file.
+class CpGraph {
+public:
+  /// Builds the graph over \p CF's pool and collects the bytecode
+  /// roots (constant-pool operands of every decodable instruction).
+  static CpGraph build(const ClassFile &CF);
+
+  const std::vector<CpEdge> &edges() const { return Edges; }
+
+  /// Constant-pool indices referenced directly from bytecode operands.
+  const std::vector<uint16_t> &bytecodeRoots() const { return Roots; }
+
+  /// True when entry \p Index is reachable from any bytecode root.
+  bool isReachable(uint16_t Index) const {
+    return Index < Reachable.size() && Reachable[Index];
+  }
+
+  /// True when entry \p Index participates in a reference cycle.
+  bool isOnCycle(uint16_t Index) const {
+    return Index < OnCycle.size() && OnCycle[Index];
+  }
+
+  /// Runs every graph check -- dangling/type-confused edges, descriptor
+  /// sanity in context, reference cycles, dead entries -- and returns
+  /// all findings in deterministic order.
+  std::vector<Diagnostic> check() const;
+
+private:
+  const ClassFile *CF = nullptr;
+  std::vector<CpEdge> Edges;
+  std::vector<uint16_t> Roots;
+  std::vector<bool> Reachable;
+  std::vector<bool> OnCycle;
+
+  void computeReachability();
+  void computeCycles();
+};
+
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_ANALYSIS_CPGRAPH_H

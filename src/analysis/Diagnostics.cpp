@@ -1,0 +1,112 @@
+//===- analysis/Diagnostics.cpp -------------------------------------------===//
+
+#include "analysis/Diagnostics.h"
+
+#include "telemetry/Telemetry.h"
+
+using namespace classfuzz;
+
+const char *classfuzz::passIdName(PassId Pass) {
+  switch (Pass) {
+  case PassId::Parse:
+    return "parse";
+  case PassId::CpGraph:
+    return "cpgraph";
+  case PassId::Format:
+    return "format";
+  case PassId::CodeShape:
+    return "codeshape";
+  case PassId::TypeCheck:
+    return "typecheck";
+  case PassId::Hierarchy:
+    return "hierarchy";
+  }
+  return "?";
+}
+
+const char *classfuzz::severityName(DiagSeverity Severity) {
+  switch (Severity) {
+  case DiagSeverity::Info:
+    return "info";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "?";
+}
+
+DiagLocation DiagLocation::none() { return DiagLocation{}; }
+
+DiagLocation DiagLocation::cp(uint16_t Index) {
+  DiagLocation L;
+  L.LocKind = Kind::CpIndex;
+  L.CpIndex = Index;
+  return L;
+}
+
+DiagLocation DiagLocation::field(const std::string &Name,
+                                 const std::string &Descriptor) {
+  DiagLocation L;
+  L.LocKind = Kind::Field;
+  L.Member = Name + ":" + Descriptor;
+  return L;
+}
+
+DiagLocation DiagLocation::method(const std::string &Name,
+                                  const std::string &Descriptor) {
+  DiagLocation L;
+  L.LocKind = Kind::Method;
+  L.Member = Name + Descriptor;
+  return L;
+}
+
+DiagLocation DiagLocation::bytecode(const std::string &MethodName,
+                                    const std::string &Descriptor,
+                                    uint32_t Offset) {
+  DiagLocation L;
+  L.LocKind = Kind::Bytecode;
+  L.Member = MethodName + Descriptor;
+  L.BytecodeOffset = Offset;
+  return L;
+}
+
+std::string DiagLocation::toString() const {
+  switch (LocKind) {
+  case Kind::None:
+    return "";
+  case Kind::CpIndex:
+    return "cp#" + std::to_string(CpIndex);
+  case Kind::Field:
+    return "field " + Member;
+  case Kind::Method:
+    return "method " + Member;
+  case Kind::Bytecode:
+    return "method " + Member + " @" + std::to_string(BytecodeOffset);
+  }
+  return "";
+}
+
+std::string Diagnostic::toJson() const {
+  std::string J = "{\"pass\":\"";
+  J += passIdName(Pass);
+  J += "\",\"severity\":\"";
+  J += severityName(Severity);
+  J += "\",\"location\":\"";
+  J += telemetry::jsonEscape(Location.toString());
+  J += "\",\"message\":\"";
+  J += telemetry::jsonEscape(Message);
+  J += "\"}";
+  return J;
+}
+
+std::array<size_t, NumPassIds>
+classfuzz::countByPass(const std::vector<Diagnostic> &Diagnostics) {
+  std::array<size_t, NumPassIds> Counts{};
+  for (const Diagnostic &D : Diagnostics) {
+    size_t Index = static_cast<size_t>(D.Pass);
+    if (Index < NumPassIds)
+      ++Counts[Index];
+  }
+  return Counts;
+}

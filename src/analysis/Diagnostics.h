@@ -1,0 +1,105 @@
+//===- analysis/Diagnostics.h - Structured analyzer findings -------------===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static analyzer's finding model. Unlike the VM pipeline --
+/// FormatChecker/Verifier latch the *first* failure because a real JVM
+/// raises one error and stops -- the analyzer reports *all* findings as
+/// structured Diagnostics: which pass found it, how severe it is, where
+/// it is (constant-pool index, member, or bytecode offset), and the
+/// human-readable message. Rendering (JSON lines, javap-style
+/// annotations) is deterministic so analyzer output can be diffed
+/// byte-for-byte across runs and job counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_ANALYSIS_DIAGNOSTICS_H
+#define CLASSFUZZ_ANALYSIS_DIAGNOSTICS_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace classfuzz {
+
+/// The lint passes of the static analyzer, in execution order.
+enum class PassId : uint8_t {
+  Parse,     ///< Structural classfile parsing (ClassReader).
+  CpGraph,   ///< Constant-pool reference graph checks.
+  Format,    ///< Loading-phase format checks (shared with FormatChecker).
+  CodeShape, ///< Code-attribute shape: decode, branches, ranges, depth.
+  TypeCheck, ///< Full type-inference verification per method.
+  Hierarchy, ///< Supertype chain: existence, kinds, finality, throws.
+};
+
+inline constexpr size_t NumPassIds = 6;
+
+/// Stable lowercase pass name ("cpgraph", "typecheck", ...), used as
+/// telemetry grid column labels and JSON field values.
+const char *passIdName(PassId Pass);
+
+/// Finding severity. Errors are findings a reference JVM rejects the
+/// class for; warnings are suspicious but accepted; infos are lints
+/// (dead constant-pool entries and the like).
+enum class DiagSeverity : uint8_t {
+  Info,
+  Warning,
+  Error,
+};
+
+const char *severityName(DiagSeverity Severity);
+
+/// Where a finding is anchored.
+struct DiagLocation {
+  enum class Kind : uint8_t {
+    None,     ///< Whole-class finding.
+    CpIndex,  ///< A constant-pool slot.
+    Field,    ///< A field, identified by "name:descriptor".
+    Method,   ///< A method, identified by "name(descriptor)".
+    Bytecode, ///< An offset inside a method's code array.
+  };
+
+  Kind LocKind = Kind::None;
+  uint16_t CpIndex = 0;        ///< For CpIndex.
+  std::string Member;          ///< For Field/Method/Bytecode.
+  uint32_t BytecodeOffset = 0; ///< For Bytecode.
+
+  static DiagLocation none();
+  static DiagLocation cp(uint16_t Index);
+  static DiagLocation field(const std::string &Name,
+                            const std::string &Descriptor);
+  static DiagLocation method(const std::string &Name,
+                             const std::string &Descriptor);
+  static DiagLocation bytecode(const std::string &MethodName,
+                               const std::string &Descriptor,
+                               uint32_t Offset);
+
+  /// Compact rendering: "", "cp#14", "field f:I", "method m()V",
+  /// "method m()V @7".
+  std::string toString() const;
+};
+
+/// One analyzer finding.
+struct Diagnostic {
+  PassId Pass = PassId::Parse;
+  DiagSeverity Severity = DiagSeverity::Error;
+  DiagLocation Location;
+  std::string Message;
+
+  /// One stable JSON object (keys in fixed order, no whitespace
+  /// variation), e.g.
+  /// {"pass":"cpgraph","severity":"error","location":"cp#14","message":"..."}.
+  std::string toJson() const;
+};
+
+/// Per-pass finding counts over \p Diagnostics.
+std::array<size_t, NumPassIds>
+countByPass(const std::vector<Diagnostic> &Diagnostics);
+
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_ANALYSIS_DIAGNOSTICS_H

@@ -10,9 +10,19 @@ using namespace classfuzz;
 
 namespace {
 
-std::string cpEntrySummary(const ConstantPool &CP, uint16_t Index) {
+/// Longest legal reference chain is Methodref -> NameAndType -> Utf8;
+/// anything deeper means the (possibly mutated) pool contains a cycle.
+constexpr int MaxCpSummaryDepth = 8;
+
+std::string cpEntrySummary(const ConstantPool &CP, uint16_t Index,
+                           int Depth = 0) {
+  // Mutated pools routinely contain dangling, self-referential, or
+  // type-confused indices; render a marker instead of crashing so
+  // `classfuzz analyze --print` works on hostile classes.
   if (Index == 0 || Index >= CP.count())
-    return "<bad index>";
+    return "<bad index #" + std::to_string(Index) + ">";
+  if (Depth >= MaxCpSummaryDepth)
+    return "<cp cycle @#" + std::to_string(Index) + ">";
   const CpEntry &E = CP.at(Index);
   switch (E.Tag) {
   case CpTag::Utf8:
@@ -27,13 +37,17 @@ std::string cpEntrySummary(const ConstantPool &CP, uint16_t Index) {
     return std::to_string(E.DoubleValue) + "d";
   case CpTag::Class:
   case CpTag::String:
-    return cpEntrySummary(CP, E.Ref1);
+    return cpEntrySummary(CP, E.Ref1, Depth + 1);
   case CpTag::NameAndType:
-    return cpEntrySummary(CP, E.Ref1) + ":" + cpEntrySummary(CP, E.Ref2);
+    return cpEntrySummary(CP, E.Ref1, Depth + 1) + ":" +
+           cpEntrySummary(CP, E.Ref2, Depth + 1);
   case CpTag::Fieldref:
   case CpTag::Methodref:
   case CpTag::InterfaceMethodref:
-    return cpEntrySummary(CP, E.Ref1) + "." + cpEntrySummary(CP, E.Ref2);
+    return cpEntrySummary(CP, E.Ref1, Depth + 1) + "." +
+           cpEntrySummary(CP, E.Ref2, Depth + 1);
+  case CpTag::Invalid:
+    return "<unusable #" + std::to_string(Index) + ">";
   default:
     return "?";
   }

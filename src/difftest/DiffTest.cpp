@@ -2,7 +2,7 @@
 
 #include "difftest/DiffTest.h"
 
-#include "difftest/Phase.h"
+#include "jvm/Phase.h"
 #include "jvm/Vm.h"
 #include "runtime/RuntimeLib.h"
 #include "support/Hashing.h"

@@ -81,7 +81,8 @@ Result<std::string> classfuzz::writeIncidentBundle(const std::string &Dir,
   namespace tel = classfuzz::telemetry;
 
   char Name[64];
-  std::snprintf(Name, sizeof(Name), "incident-%04zu-%s", Index,
+  std::snprintf(Name, sizeof(Name), "%s-%04zu-%s",
+                Inc.SelfCheck ? "selfcheck" : "incident", Index,
                 Inc.Outcome.encodedString().c_str());
   fs::path Bundle = fs::path(Dir) / Name;
   std::error_code Ec;
@@ -119,6 +120,11 @@ Result<std::string> classfuzz::writeIncidentBundle(const std::string &Dir,
 
   if (Inc.HasReduced)
     if (auto R = writeBundleFile(Bundle / "reduced.class", Inc.Reduced); !R)
+      return makeError(R.error());
+
+  if (!Inc.AnalysisJson.empty())
+    if (auto R = writeBundleFile(Bundle / "analysis.json", Inc.AnalysisJson);
+        !R)
       return makeError(R.error());
 
   tel::FlightRecorder &FR = tel::flightRecorder();

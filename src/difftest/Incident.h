@@ -17,6 +17,11 @@
 ///     replay.sh       runs `classfuzz replay .` from the bundle
 ///     flightrec.jsonl last N flight-recorder events, when armed
 ///     reduced.class   reducer output, when the reducer ran
+///     analysis.json   static-analyzer report, for self-check bundles
+///
+/// Self-check bundles (a predict-vs-observe mismatch of the static
+/// analyzer, DESIGN.md §11) use the "selfcheck-NNNN-<encoded>" prefix
+/// instead of "incident-".
 ///
 /// Every file is deterministic -- no timestamps, no absolute paths, no
 /// host names -- so for a fixed campaign seed the bundle's contents are
@@ -48,6 +53,13 @@ struct Incident {
   /// Reduced classfile when the reducer ran and shrank the mutant.
   Bytes Reduced;
   bool HasReduced = false;
+  /// Static-analyzer report (analysis.json), when the bundle latches a
+  /// predict-vs-observe self-check mismatch. Empty skips the file.
+  std::string AnalysisJson;
+  /// Self-check bundles are named "selfcheck-NNNN-<encoded>" so a
+  /// directory of incidents separates oracle bugs from JVM
+  /// discrepancies at a glance.
+  bool SelfCheck = false;
   /// How many trailing flight-recorder events to embed (0 skips the
   /// file even when the recorder is armed).
   size_t FlightTail = 64;

@@ -2,7 +2,7 @@
 
 #include "difftest/Report.h"
 
-#include "difftest/Phase.h"
+#include "jvm/Phase.h"
 
 #include <map>
 #include <sstream>

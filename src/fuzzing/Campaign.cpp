@@ -2,6 +2,8 @@
 
 #include "fuzzing/Campaign.h"
 
+#include "analysis/StaticAnalyzer.h"
+#include "jvm/Phase.h"
 #include "jvm/Vm.h"
 #include "mutation/Engine.h"
 #include "runtime/RuntimeLib.h"
@@ -181,6 +183,14 @@ struct CampaignTelemetry {
   }
 };
 
+/// What one reference-JVM coverage execution yields: the trace driving
+/// acceptance plus the encoded startup phase the analyzer's prediction
+/// is checked against.
+struct RefRun {
+  Tracefile Trace;
+  int Phase = -1;
+};
+
 /// One speculated-but-uncommitted iteration of the parallel pipeline.
 /// Everything the commit stage needs to either finalize the iteration or
 /// rewind the campaign state when the presumed-rejection speculation
@@ -190,7 +200,7 @@ struct PendingIteration {
   MutationResult MutResult = MutationResult::Inapplicable;
   bool Produced = false;
   GeneratedClass G; ///< Valid when Produced (Trace filled at commit).
-  std::future<Tracefile> Trace; ///< Valid when Produced.
+  std::future<RefRun> Trace; ///< Valid when Produced.
   std::shared_ptr<std::atomic<bool>> Cancelled; ///< Worker skip flag.
   Rng RngAfter; ///< Driver RNG state after this iteration's draws.
   /// Selector state before this iteration's presumed-rejection
@@ -249,15 +259,16 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
   // coverage (randfuzz) have nothing to offload.
   const size_t Jobs = Coverage ? std::max<size_t>(1, Config.Jobs) : 1;
 
-  /// Runs \p Name on the reference JVM, collecting coverage.
+  /// Runs \p Name on the reference JVM, collecting coverage and the
+  /// encoded startup phase.
   auto coverageOf = [&](const std::string &Name,
-                        const Bytes &Data) -> Tracefile {
+                        const Bytes &Data) -> RefRun {
     CoverageRecorder Recorder;
     ClassPath Env = RefEnv; // COW overlay: shares the frozen corpus.
     Env.add(Name, Data);
     Vm Jvm(Config.ReferencePolicy, Env, &Recorder);
-    Jvm.run(Name);
-    return Recorder.takeTrace();
+    JvmResult RunResult = Jvm.run(Name);
+    return RefRun{Recorder.takeTrace(), encodePhase(RunResult)};
   };
 
   Acceptor Accept(Config.Algo);
@@ -335,7 +346,7 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
     Prov.RootSeedName = Seed.Name;
     Pool.push_back({Seed.Name, Seed.Data, std::move(Prov)});
     if (Coverage)
-      Accept.registerSeed(coverageOf(Seed.Name, Seed.Data));
+      Accept.registerSeed(coverageOf(Seed.Name, Seed.Data).Trace);
   }
 
   // Stopping rule: wall-clock budget when configured (Algorithm 1's
@@ -354,6 +365,60 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
   // sites only (commit order), so dumps are identical across --jobs.
   telemetry::FlightRecorder &FR = telemetry::flightRecorder();
 
+  // The static analyzer, bound to its own COW view of the reference
+  // environment. It runs at the in-order commit stage only -- never on
+  // worker threads -- so its memo state, the analysis records, and all
+  // analysis.* telemetry follow the committed trajectory and are
+  // identical across Jobs values.
+  std::optional<StaticAnalyzer> Analyzer;
+  if (Config.RunAnalysis)
+    Analyzer.emplace(RefEnv, Config.ReferencePolicy);
+  // Per-mutator x per-pass finding counts for the analysis.mutator_diag
+  // telemetry grid (filled into the registry at end of run).
+  std::vector<std::array<size_t, NumPassIds>> MutatorDiag(
+      Config.RunAnalysis ? NumMu : 0);
+
+  /// Runs the analyzer over one committed mutant, checks the
+  /// predict-vs-observe contract, and latches any violation as a
+  /// self-check report. Nothing here is allowed to touch the RNG, the
+  /// selector, or the acceptance state.
+  auto analyzeCommitted = [&](const GeneratedClass &Stored,
+                              size_t GenIndex) {
+    AnalysisReport Rep = Analyzer->analyzeClass(Stored.Name, Stored.Data);
+    MutantAnalysisRecord Rec;
+    Rec.GenIndex = GenIndex;
+    Rec.Outcome = Rep.Prediction.Outcome;
+    Rec.ObservedPhase = Stored.RefPhase;
+    Rec.Findings = Rep.Diagnostics.size();
+    Rec.Mismatch = Stored.RefPhase >= 0 &&
+                   !Rep.Prediction.isCompatibleWith(Stored.RefPhase);
+    std::array<size_t, NumPassIds> ByPass = countByPass(Rep.Diagnostics);
+    for (size_t P = 0; P != NumPassIds; ++P)
+      MutatorDiag[Stored.MutatorIndex][P] += ByPass[P];
+    if (Telem) {
+      auto &M = telemetry::metrics();
+      M.counter("analysis.classes").inc();
+      M.counter("analysis.findings").inc(Rec.Findings);
+      switch (Rec.Outcome) {
+      case PredictedOutcome::RejectLoading:
+        M.counter("analysis.predict.loading").inc();
+        break;
+      case PredictedOutcome::RejectLinking:
+        M.counter("analysis.predict.linking").inc();
+        break;
+      case PredictedOutcome::PassStatic:
+        M.counter("analysis.predict.pass").inc();
+        break;
+      }
+      M.histogram("analysis.findings_per_class").record(Rec.Findings);
+      if (Rec.Mismatch)
+        M.counter("analysis.mismatches").inc();
+    }
+    if (Rec.Mismatch)
+      Result.SelfChecks.push_back({GenIndex, Stored.RefPhase, std::move(Rep)});
+    Result.AnalysisRecords.push_back(Rec);
+  };
+
   /// Commits one produced, coverage-checked mutant: acceptance
   /// bookkeeping plus the Algorithm 1 line 14 feedback loop. Returns
   /// whether the mutant was representative.
@@ -363,6 +428,10 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
       ++Result.MutatorSucceeded[G.MutatorIndex];
     Result.GenClasses.push_back(std::move(G));
     const GeneratedClass &Stored = Result.GenClasses.back();
+    // Analyze against the environment as the VM saw it: before the
+    // mutant itself joins the corpus.
+    if (Analyzer)
+      analyzeCommitted(Stored, Result.GenClasses.size() - 1);
     if (Representative) {
       Result.TestClassIndices.push_back(Result.GenClasses.size() - 1);
       FR.record(telemetry::FlightKind::Accepted, IterIndex,
@@ -371,6 +440,8 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
       // the reference environment so later mutants can reference them.
       RefEnv.add(Stored.Name, Stored.Data);
       RefEnv.freeze(); // Keep per-mutant overlay copies O(1).
+      if (Analyzer)
+        Analyzer->addEnvironmentClass(Stored.Name, Stored.Data);
       if (Config.FeedbackAcceptedMutants)
         Pool.push_back({Stored.Name, Stored.Data, Stored.Prov});
     }
@@ -422,8 +493,10 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
       bool Representative;
       if (Coverage) {
         telemetry::PhaseTimer ExecT(TM.ExecuteNs, "execute");
-        G.Trace = coverageOf(G.Name, G.Data);
+        RefRun Run = coverageOf(G.Name, G.Data);
         ExecT.stop();
+        G.Trace = std::move(Run.Trace);
+        G.RefPhase = Run.Phase;
         Representative = Accept.accept(G.Trace);
       } else {
         Representative = true;
@@ -489,17 +562,17 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
         Env->add(P.G.Name, P.G.Data);
         P.Trace = Workers.submit(
             [Env, Name = P.G.Name, &Policy = Config.ReferencePolicy,
-             Cancelled = P.Cancelled, &ExecNs = TM.ExecuteNs]() -> Tracefile {
+             Cancelled = P.Cancelled, &ExecNs = TM.ExecuteNs]() -> RefRun {
               if (Cancelled->load(std::memory_order_relaxed))
-                return Tracefile();
+                return RefRun();
               // Worker-side timing is safe: Histogram is lock-free
               // atomics, and the timer never touches campaign state.
               // The span lands on this worker's Perfetto lane.
               telemetry::PhaseTimer ExecT(ExecNs, "execute");
               CoverageRecorder Recorder;
               Vm Jvm(Policy, *Env, &Recorder);
-              Jvm.run(Name);
-              return Recorder.takeTrace();
+              JvmResult RunResult = Jvm.run(Name);
+              return RefRun{Recorder.takeTrace(), encodePhase(RunResult)};
             });
       }
       P.RngAfter = R;
@@ -531,7 +604,9 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
         continue;
       }
 
-      P.G.Trace = P.Trace.get();
+      RefRun Run = P.Trace.get();
+      P.G.Trace = std::move(Run.Trace);
+      P.G.RefPhase = Run.Phase;
       telemetry::PhaseTimer CommitT(TM.CommitNs, "commit");
       bool Representative = Accept.accept(P.G.Trace);
       P.G.Representative = Representative;
@@ -594,6 +669,19 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
       Grid.inc(I, 3, Result.MutatorNoChange[I]);
     }
     telemetry::metrics().counter("campaign.iterations").inc(Iter);
+    if (Config.RunAnalysis) {
+      // Per-mutator x per-diagnostic-pass finding counts: which
+      // mutators produce which classes of statically detectable damage.
+      telemetry::CounterGrid &DiagGrid = telemetry::metrics().grid(
+          "analysis.mutator_diag", NumMu, NumPassIds,
+          [](size_t Row) { return mutatorRegistry()[Row].Id; },
+          [](size_t Col) {
+            return std::string(passIdName(static_cast<PassId>(Col)));
+          });
+      for (size_t I = 0; I != NumMu; ++I)
+        for (size_t P = 0; P != NumPassIds; ++P)
+          DiagGrid.inc(I, P, MutatorDiag[I][P]);
+    }
   }
   if (telemetry::eventSink())
     telemetry::EventBuilder("campaign.end")

@@ -24,6 +24,7 @@
 #ifndef CLASSFUZZ_FUZZING_CAMPAIGN_H
 #define CLASSFUZZ_FUZZING_CAMPAIGN_H
 
+#include "analysis/StaticAnalyzer.h"
 #include "coverage/Uniqueness.h"
 #include "fuzzing/Provenance.h"
 #include "jvm/ClassPath.h"
@@ -89,6 +90,13 @@ struct CampaignConfig {
   /// results are unaffected. 0 disables (the default; the CLI enables
   /// it via --progress).
   double ProgressIntervalSeconds = 0;
+  /// Run the execution-free static analyzer over every produced mutant
+  /// at the in-order commit stage and latch predict-vs-observe
+  /// mismatches as self-check reports (analysis/StaticAnalyzer.h).
+  /// Observation only: the analyzer never touches the RNG or the
+  /// acceptance decision, so the committed trajectory is unchanged and
+  /// all analysis.* outputs are identical across Jobs values.
+  bool RunAnalysis = true;
   CampaignConfig();
 };
 
@@ -104,6 +112,31 @@ struct GeneratedClass {
   /// (fuzzing/Provenance.h). Always captured; identical across --jobs
   /// values.
   Provenance Prov;
+  /// Encoded startup phase {0..4} observed on the reference JVM during
+  /// the coverage run; -1 when no reference run happened (randfuzz).
+  int RefPhase = -1;
+};
+
+/// The analyzer's verdict for one produced mutant (compact; the full
+/// report is kept only for mismatches, in SelfCheckReport).
+struct MutantAnalysisRecord {
+  size_t GenIndex = 0; ///< Index into CampaignResult::GenClasses.
+  PredictedOutcome Outcome = PredictedOutcome::PassStatic;
+  int ObservedPhase = -1; ///< GeneratedClass::RefPhase at commit.
+  size_t Findings = 0;    ///< Total diagnostics, all severities.
+  /// True when the observed phase violates the prediction contract.
+  /// Every true record has a matching SelfCheckReport -- the campaign
+  /// never swallows a disagreement.
+  bool Mismatch = false;
+};
+
+/// A latched predict-vs-observe disagreement: the self-check oracle
+/// caught the analyzer and the VM contradicting each other, which is a
+/// bug in one of them. Carries the full analyzer report for triage.
+struct SelfCheckReport {
+  size_t GenIndex = 0;
+  int ObservedPhase = -1;
+  AnalysisReport Report;
 };
 
 /// Campaign results (the raw material of Tables 4-7 and Figure 4).
@@ -124,6 +157,11 @@ struct CampaignResult {
   /// Seed corpus (with helpers) used; needed to rebuild environments for
   /// downstream differential testing.
   std::vector<SeedClass> Seeds;
+  /// One record per produced mutant, in commit order (RunAnalysis).
+  std::vector<MutantAnalysisRecord> AnalysisRecords;
+  /// Every latched predict-vs-observe mismatch (RunAnalysis). Empty
+  /// means the analyzer's prediction held on every produced mutant.
+  std::vector<SelfCheckReport> SelfChecks;
   double ElapsedSeconds = 0;
 
   size_t numGenerated() const { return GenClasses.size(); }

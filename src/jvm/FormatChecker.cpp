@@ -31,87 +31,100 @@ bool conflictingVisibility(uint16_t Flags) {
   return Count > 1;
 }
 
-std::optional<CheckFailure> fail(JvmErrorKind Kind, std::string Message) {
+CheckFailure fail(JvmErrorKind Kind, std::string Message) {
   return CheckFailure{Kind, std::move(Message)};
 }
 
-std::optional<CheckFailure> checkClassFlags(const ClassFile &CF,
-                                            const JvmPolicy &Policy,
-                                            CoverageRecorder *Cov) {
+// Each check* reports every failure it finds to the sink and keeps
+// going; a false return means the sink asked to stop (the VM's
+// first-failure path), and the caller unwinds immediately.
+
+bool checkClassFlags(const ClassFile &CF, const JvmPolicy &Policy,
+                     CoverageRecorder *Cov, const FormatSink &Sink) {
   COV_STMT(Cov);
   if (!Policy.CheckClassFlagConsistency)
-    return std::nullopt;
+    return true;
   if (COV_BRANCH(Cov, (CF.AccessFlags & ACC_FINAL) &&
                           (CF.AccessFlags & ACC_ABSTRACT)))
-    return fail(JvmErrorKind::ClassFormatError,
-                "class " + CF.ThisClass + " is both final and abstract");
+    if (!Sink(fail(JvmErrorKind::ClassFormatError,
+                   "class " + CF.ThisClass + " is both final and abstract")))
+      return false;
   if (COV_BRANCH(Cov, CF.isInterface() && !(CF.AccessFlags & ACC_ABSTRACT)))
-    return fail(JvmErrorKind::ClassFormatError,
-                "interface " + CF.ThisClass + " lacks ACC_ABSTRACT");
+    if (!Sink(fail(JvmErrorKind::ClassFormatError,
+                   "interface " + CF.ThisClass + " lacks ACC_ABSTRACT")))
+      return false;
   if (COV_BRANCH(Cov, CF.isInterface() && (CF.AccessFlags & ACC_FINAL)))
-    return fail(JvmErrorKind::ClassFormatError,
-                "interface " + CF.ThisClass + " must not be final");
-  return std::nullopt;
+    if (!Sink(fail(JvmErrorKind::ClassFormatError,
+                   "interface " + CF.ThisClass + " must not be final")))
+      return false;
+  return true;
 }
 
-std::optional<CheckFailure> checkFields(const ClassFile &CF,
-                                        const JvmPolicy &Policy,
-                                        CoverageRecorder *Cov) {
+bool checkFields(const ClassFile &CF, const JvmPolicy &Policy,
+                 CoverageRecorder *Cov, const FormatSink &Sink) {
   COV_STMT(Cov);
   for (size_t I = 0; I != CF.Fields.size(); ++I) {
     const FieldInfo &F = CF.Fields[I];
     COV_STMT(Cov);
     if (Policy.CheckMemberFlagConsistency) {
       if (COV_BRANCH(Cov, conflictingVisibility(F.AccessFlags)))
-        return fail(JvmErrorKind::ClassFormatError,
-                    "field " + F.Name + " has conflicting visibility flags");
+        if (!Sink(fail(JvmErrorKind::ClassFormatError,
+                       "field " + F.Name +
+                           " has conflicting visibility flags")))
+          return false;
       if (COV_BRANCH(Cov, (F.AccessFlags & ACC_FINAL) &&
                               (F.AccessFlags & ACC_VOLATILE)))
-        return fail(JvmErrorKind::ClassFormatError,
-                    "field " + F.Name + " is both final and volatile");
+        if (!Sink(fail(JvmErrorKind::ClassFormatError,
+                       "field " + F.Name + " is both final and volatile")))
+          return false;
     }
     if (Policy.CheckInterfaceMemberFlags && CF.isInterface()) {
       constexpr uint16_t Required = ACC_PUBLIC | ACC_STATIC | ACC_FINAL;
       if (COV_BRANCH(Cov, (F.AccessFlags & Required) != Required))
-        return fail(JvmErrorKind::ClassFormatError,
-                    "interface field " + F.Name +
-                        " must be public static final");
+        if (!Sink(fail(JvmErrorKind::ClassFormatError,
+                       "interface field " + F.Name +
+                           " must be public static final")))
+          return false;
     }
     if (Policy.CheckDescriptors &&
         COV_BRANCH(Cov, !isValidFieldDescriptor(F.Descriptor)))
-      return fail(JvmErrorKind::ClassFormatError,
-                  "field " + F.Name + " has malformed descriptor \"" +
-                      F.Descriptor + "\"");
+      if (!Sink(fail(JvmErrorKind::ClassFormatError,
+                     "field " + F.Name + " has malformed descriptor \"" +
+                         F.Descriptor + "\"")))
+        return false;
     if (Policy.CheckDuplicateFields) {
       for (size_t J = 0; J != I; ++J) {
         const FieldInfo &Other = CF.Fields[J];
         if (COV_BRANCH(Cov, Other.Name == F.Name &&
                                 Other.Descriptor == F.Descriptor))
-          return fail(JvmErrorKind::ClassFormatError,
-                      "duplicate field " + F.Name + ":" + F.Descriptor);
+          if (!Sink(fail(JvmErrorKind::ClassFormatError,
+                         "duplicate field " + F.Name + ":" + F.Descriptor)))
+            return false;
       }
     }
   }
-  return std::nullopt;
+  return true;
 }
 
-std::optional<CheckFailure> checkMethodFlags(const ClassFile &CF,
-                                             const MethodInfo &M,
-                                             const JvmPolicy &Policy,
-                                             CoverageRecorder *Cov) {
+bool checkMethodFlags(const ClassFile &CF, const MethodInfo &M,
+                      const JvmPolicy &Policy, CoverageRecorder *Cov,
+                      const FormatSink &Sink) {
   COV_STMT(Cov);
   if (Policy.CheckMemberFlagConsistency) {
     if (COV_BRANCH(Cov, conflictingVisibility(M.AccessFlags)))
-      return fail(JvmErrorKind::ClassFormatError,
-                  "method " + M.Name + " has conflicting visibility flags");
+      if (!Sink(fail(JvmErrorKind::ClassFormatError,
+                     "method " + M.Name +
+                         " has conflicting visibility flags")))
+        return false;
     constexpr uint16_t AbstractForbidden =
         ACC_FINAL | ACC_STATIC | ACC_NATIVE | ACC_SYNCHRONIZED | ACC_PRIVATE;
     if (COV_BRANCH(Cov, (M.AccessFlags & ACC_ABSTRACT) &&
                             (M.AccessFlags & AbstractForbidden) &&
                             M.Name != "<clinit>"))
-      return fail(JvmErrorKind::ClassFormatError,
-                  "abstract method " + M.Name +
-                      " has incompatible modifiers");
+      if (!Sink(fail(JvmErrorKind::ClassFormatError,
+                     "abstract method " + M.Name +
+                         " has incompatible modifiers")))
+        return false;
   }
   if (Policy.CheckInterfaceMemberFlags && CF.isInterface() &&
       M.Name != "<clinit>") {
@@ -119,18 +132,19 @@ std::optional<CheckFailure> checkMethodFlags(const ClassFile &CF,
     // methods are public and abstract.
     constexpr uint16_t Required = ACC_PUBLIC | ACC_ABSTRACT;
     if (COV_BRANCH(Cov, (M.AccessFlags & Required) != Required))
-      return fail(JvmErrorKind::ClassFormatError,
-                  "interface method " + M.Name + " must be public abstract");
+      if (!Sink(fail(JvmErrorKind::ClassFormatError,
+                     "interface method " + M.Name +
+                         " must be public abstract")))
+        return false;
   }
-  return std::nullopt;
+  return true;
 }
 
-std::optional<CheckFailure> checkInitShape(const MethodInfo &M,
-                                           const JvmPolicy &Policy,
-                                           CoverageRecorder *Cov) {
+bool checkInitShape(const MethodInfo &M, const JvmPolicy &Policy,
+                    CoverageRecorder *Cov, const FormatSink &Sink) {
   COV_STMT(Cov);
   if (!Policy.CheckInitShape || M.Name != "<init>")
-    return std::nullopt;
+    return true;
   // Problem 4: <init> must not be static, final, synchronized or
   // abstract, and must return void; GIJ skips both rules. (The spec also
   // forbids native <init>, but our runtime library models constructors
@@ -138,121 +152,139 @@ std::optional<CheckFailure> checkInitShape(const MethodInfo &M,
   constexpr uint16_t Forbidden =
       ACC_STATIC | ACC_FINAL | ACC_SYNCHRONIZED | ACC_ABSTRACT;
   if (COV_BRANCH(Cov, (M.AccessFlags & Forbidden) != 0))
-    return fail(JvmErrorKind::ClassFormatError,
-                "<init> has illegal modifiers");
+    if (!Sink(fail(JvmErrorKind::ClassFormatError,
+                   "<init> has illegal modifiers")))
+      return false;
   MethodDescriptor MD;
   if (COV_BRANCH(Cov, parseMethodDescriptor(M.Descriptor, MD) &&
                           MD.ReturnType.Kind != TypeKind::Void))
-    return fail(JvmErrorKind::ClassFormatError,
-                "<init> must return void, not " +
-                    MD.ReturnType.toJavaName());
-  return std::nullopt;
+    if (!Sink(fail(JvmErrorKind::ClassFormatError,
+                   "<init> must return void, not " +
+                       MD.ReturnType.toJavaName())))
+      return false;
+  return true;
 }
 
-std::optional<CheckFailure> checkClinit(const MethodInfo &M,
-                                        const JvmPolicy &Policy,
-                                        CoverageRecorder *Cov) {
+bool checkClinit(const MethodInfo &M, const JvmPolicy &Policy,
+                 CoverageRecorder *Cov, const FormatSink &Sink) {
   COV_STMT(Cov);
   if (M.Name != "<clinit>")
-    return std::nullopt;
+    return true;
   if (Policy.StrictClinitStatic) {
     // J9 reading (pre-clarification): any method named <clinit> is the
     // initializer and must be a static ()V with code (Figure 2's
     // "no Code attribute specified ... method=<clinit>()V").
     if (COV_BRANCH(Cov, !(M.AccessFlags & ACC_STATIC)))
-      return fail(JvmErrorKind::ClassFormatError,
-                  "method <clinit> must be static");
+      if (!Sink(fail(JvmErrorKind::ClassFormatError,
+                     "method <clinit> must be static")))
+        return false;
     if (COV_BRANCH(Cov, !M.Code && !M.isNative()))
-      return fail(JvmErrorKind::ClassFormatError,
-                  "no Code attribute specified, method=<clinit>" +
-                      M.Descriptor + ", pc=0");
+      if (!Sink(fail(JvmErrorKind::ClassFormatError,
+                     "no Code attribute specified, method=<clinit>" +
+                         M.Descriptor + ", pc=0")))
+        return false;
   }
-  return std::nullopt;
+  return true;
 }
 
-std::optional<CheckFailure> checkCodePresence(const ClassFile &CF,
-                                              const MethodInfo &M,
-                                              const JvmPolicy &Policy,
-                                              CoverageRecorder *Cov) {
+bool checkCodePresence(const ClassFile &CF, const MethodInfo &M,
+                       const JvmPolicy &Policy, CoverageRecorder *Cov,
+                       const FormatSink &Sink) {
   COV_STMT(Cov);
   bool MustHaveCode = !M.isAbstract() && !M.isNative();
   if (Policy.CheckMemberFlagConsistency &&
       COV_BRANCH(Cov, !MustHaveCode && M.Code.has_value()))
-    return fail(JvmErrorKind::ClassFormatError,
-                "method " + M.Name + " must not have a Code attribute");
+    if (!Sink(fail(JvmErrorKind::ClassFormatError,
+                   "method " + M.Name + " must not have a Code attribute")))
+      return false;
   if (Policy.RequireCode == CheckMode::Eager &&
       COV_BRANCH(Cov, MustHaveCode && !M.Code.has_value())) {
     // A non-static <clinit> under the lenient reading is an ordinary
     // abstract-like method only if flagged abstract; otherwise missing
     // code is a format error here too.
-    return fail(JvmErrorKind::ClassFormatError,
-                "method " + M.Name + M.Descriptor +
-                    " lacks a Code attribute");
+    if (!Sink(fail(JvmErrorKind::ClassFormatError,
+                   "method " + M.Name + M.Descriptor +
+                       " lacks a Code attribute")))
+      return false;
   }
   if (Policy.CheckConcreteAbstractMethod == CheckMode::Eager &&
       COV_BRANCH(Cov, M.isAbstract() && !CF.isInterface() &&
                           !(CF.AccessFlags & ACC_ABSTRACT)))
-    return fail(JvmErrorKind::ClassFormatError,
-                "abstract method " + M.Name + " in non-abstract class " +
-                    CF.ThisClass);
-  return std::nullopt;
+    if (!Sink(fail(JvmErrorKind::ClassFormatError,
+                   "abstract method " + M.Name + " in non-abstract class " +
+                       CF.ThisClass)))
+      return false;
+  return true;
 }
 
 } // namespace
 
-std::optional<CheckFailure>
-classfuzz::checkClassFormat(const ClassFile &CF, const JvmPolicy &Policy,
-                            CoverageRecorder *Cov) {
+void classfuzz::runFormatChecks(const ClassFile &CF, const JvmPolicy &Policy,
+                                CoverageRecorder *Cov,
+                                const FormatSink &Sink) {
   COV_STMT(Cov);
 
   if (COV_BRANCH(Cov, CF.MajorVersion > Policy.MaxClassFileMajor))
-    return fail(JvmErrorKind::UnsupportedClassVersionError,
-                CF.ThisClass + " has unsupported major version " +
-                    std::to_string(CF.MajorVersion));
+    if (!Sink(fail(JvmErrorKind::UnsupportedClassVersionError,
+                   CF.ThisClass + " has unsupported major version " +
+                       std::to_string(CF.MajorVersion))))
+      return;
 
-  if (auto Failure = checkClassFlags(CF, Policy, Cov))
-    return Failure;
+  if (!checkClassFlags(CF, Policy, Cov, Sink))
+    return;
 
   // Interfaces must directly extend java/lang/Object (GIJ misses this,
   // Problem 4's first bullet).
   if (Policy.CheckInterfaceSuper &&
       COV_BRANCH(Cov, CF.isInterface() &&
                           CF.SuperClass != "java/lang/Object"))
-    return fail(JvmErrorKind::ClassFormatError,
-                "interface " + CF.ThisClass +
-                    " has superclass other than java/lang/Object");
+    if (!Sink(fail(JvmErrorKind::ClassFormatError,
+                   "interface " + CF.ThisClass +
+                       " has superclass other than java/lang/Object")))
+      return;
 
-  if (auto Failure = checkFields(CF, Policy, Cov))
-    return Failure;
+  if (!checkFields(CF, Policy, Cov, Sink))
+    return;
 
   for (size_t I = 0; I != CF.Methods.size(); ++I) {
     const MethodInfo &M = CF.Methods[I];
     COV_STMT(Cov);
     if (Policy.CheckDescriptors &&
         COV_BRANCH(Cov, !isValidMethodDescriptor(M.Descriptor)))
-      return fail(JvmErrorKind::ClassFormatError,
-                  "method " + M.Name + " has malformed descriptor \"" +
-                      M.Descriptor + "\"");
-    if (auto Failure = checkMethodFlags(CF, M, Policy, Cov))
-      return Failure;
-    if (auto Failure = checkInitShape(M, Policy, Cov))
-      return Failure;
-    if (auto Failure = checkClinit(M, Policy, Cov))
-      return Failure;
-    if (auto Failure = checkCodePresence(CF, M, Policy, Cov))
-      return Failure;
+      if (!Sink(fail(JvmErrorKind::ClassFormatError,
+                     "method " + M.Name + " has malformed descriptor \"" +
+                         M.Descriptor + "\"")))
+        return;
+    if (!checkMethodFlags(CF, M, Policy, Cov, Sink))
+      return;
+    if (!checkInitShape(M, Policy, Cov, Sink))
+      return;
+    if (!checkClinit(M, Policy, Cov, Sink))
+      return;
+    if (!checkCodePresence(CF, M, Policy, Cov, Sink))
+      return;
     if (Policy.CheckDuplicateMethods) {
       for (size_t J = 0; J != I; ++J) {
         const MethodInfo &Other = CF.Methods[J];
         if (COV_BRANCH(Cov, Other.Name == M.Name &&
                                 Other.Descriptor == M.Descriptor))
-          return fail(JvmErrorKind::ClassFormatError,
-                      "duplicate method " + M.Name + M.Descriptor);
+          if (!Sink(fail(JvmErrorKind::ClassFormatError,
+                         "duplicate method " + M.Name + M.Descriptor)))
+            return;
       }
     }
   }
+}
 
-  return std::nullopt;
+std::optional<CheckFailure>
+classfuzz::checkClassFormat(const ClassFile &CF, const JvmPolicy &Policy,
+                            CoverageRecorder *Cov) {
+  std::optional<CheckFailure> First;
+  runFormatChecks(CF, Policy, Cov, [&](const CheckFailure &Failure) {
+    First = Failure;
+    return false; // The VM raises the first failure only.
+  });
+  return First;
 }
 
 std::optional<CheckFailure>
@@ -263,15 +295,15 @@ classfuzz::checkMethodInvocable(const ClassFile &CF, const MethodInfo &Method,
   if (COV_BRANCH(Cov, Method.isAbstract())) {
     if (Policy.CheckConcreteAbstractMethod == CheckMode::Off &&
         !Method.Code)
-      return fail(JvmErrorKind::AbstractMethodError,
-                  "invoking abstract method " + Method.Name);
+      return CheckFailure{JvmErrorKind::AbstractMethodError,
+                          "invoking abstract method " + Method.Name};
     if (Policy.CheckConcreteAbstractMethod == CheckMode::Lazy)
-      return fail(JvmErrorKind::AbstractMethodError,
-                  CF.ThisClass + "." + Method.Name);
+      return CheckFailure{JvmErrorKind::AbstractMethodError,
+                          CF.ThisClass + "." + Method.Name};
   }
   if (COV_BRANCH(Cov, !Method.Code && !Method.isNative()))
-    return fail(JvmErrorKind::ClassFormatError,
-                "method " + Method.Name + Method.Descriptor +
-                    " lacks a Code attribute");
+    return CheckFailure{JvmErrorKind::ClassFormatError,
+                        "method " + Method.Name + Method.Descriptor +
+                            " lacks a Code attribute"};
   return std::nullopt;
 }

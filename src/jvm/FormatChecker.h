@@ -22,6 +22,7 @@
 #include "jvm/JvmTypes.h"
 #include "jvm/Policy.h"
 
+#include <functional>
 #include <optional>
 
 namespace classfuzz {
@@ -31,6 +32,20 @@ struct CheckFailure {
   JvmErrorKind Kind = JvmErrorKind::ClassFormatError;
   std::string Message;
 };
+
+/// Receives format-check failures as they are found. Return true to
+/// keep checking (the static analyzer's exhaustive mode), false to stop
+/// at this failure (the VM's first-failure loading path).
+using FormatSink = std::function<bool(const CheckFailure &)>;
+
+/// Runs the loading-phase format checks of \p Policy over \p CF,
+/// reporting every failure to \p Sink in deterministic order until the
+/// sink declines. checkClassFormat and the static analyzer's Format
+/// pass are both thin sinks over this one walk, so the exhaustive
+/// diagnostics are a superset of the VM's first failure by construction.
+/// \p Cov receives coverage probes when non-null (reference JVM runs).
+void runFormatChecks(const ClassFile &CF, const JvmPolicy &Policy,
+                     CoverageRecorder *Cov, const FormatSink &Sink);
 
 /// Runs the loading-phase format checks of \p Policy over \p CF.
 /// \p Cov receives coverage probes when non-null (reference JVM runs).

@@ -8,7 +8,7 @@
 /// The observable behavior r = jvm(e, c, i) of a JVM run: the startup
 /// phase reached, the error/exception kind if any (Table 1 of the paper),
 /// and the program output. The paper's {0..4} test-output encoding of a
-/// result lives in difftest/Phase.h (encodePhase).
+/// result lives in jvm/Phase.h (encodePhase).
 ///
 //===----------------------------------------------------------------------===//
 

@@ -1,6 +1,6 @@
-//===- difftest/Phase.cpp --------------------------------------------------===//
+//===- jvm/Phase.cpp      --------------------------------------------------===//
 
-#include "difftest/Phase.h"
+#include "jvm/Phase.h"
 
 using namespace classfuzz;
 

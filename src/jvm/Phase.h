@@ -1,4 +1,4 @@
-//===- difftest/Phase.h - The {0..4} test-output encoding ----------------===//
+//===- jvm/Phase.h - The {0..4} test-output encoding ----------------===//
 //
 // Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
 //
@@ -14,8 +14,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef CLASSFUZZ_DIFFTEST_PHASE_H
-#define CLASSFUZZ_DIFFTEST_PHASE_H
+#ifndef CLASSFUZZ_JVM_PHASE_H
+#define CLASSFUZZ_JVM_PHASE_H
 
 #include "jvm/JvmTypes.h"
 
@@ -33,4 +33,4 @@ const char *phaseCodeName(int Code);
 
 } // namespace classfuzz
 
-#endif // CLASSFUZZ_DIFFTEST_PHASE_H
+#endif // CLASSFUZZ_JVM_PHASE_H

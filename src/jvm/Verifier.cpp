@@ -5,6 +5,7 @@
 #include "classfile/Descriptor.h"
 #include "classfile/Opcodes.h"
 #include "coverage/Probes.h"
+#include "jvm/VerifierLattice.h"
 
 #include <deque>
 #include <map>
@@ -38,57 +39,14 @@ bool classfuzz::isRefAssignable(const std::string &Sub,
 
 namespace {
 
-/// Verification types (JVMS §4.10.1.2, simplified).
-enum class VKind : uint8_t {
-  Top,        ///< Unusable (merge conflict or long/double upper half).
-  Int,
-  Float,
-  Long,
-  Double,
-  Null,
-  Ref,        ///< Reference with class name.
-  UninitThis, ///< `this` in <init> before the super call.
-  Uninit,     ///< Result of `new`, identified by the new's offset.
-  RetAddr,    ///< jsr return address (accepted, not tracked precisely).
-};
+// The verification-type lattice (VKind/VType/VFrame, join rules, stack
+// effects) lives in jvm/VerifierLattice.h so the static analyzer shares
+// it. Local aliases keep this file reading as before.
+using Frame = VFrame;
 
-struct VType {
-  VKind Kind = VKind::Top;
-  std::string RefName;    ///< For Ref.
-  uint32_t NewOffset = 0; ///< For Uninit.
+VType makeRef(std::string Name) { return makeVRef(std::move(Name)); }
 
-  bool operator==(const VType &O) const {
-    return Kind == O.Kind && RefName == O.RefName && NewOffset == O.NewOffset;
-  }
-  bool isRefLike() const {
-    return Kind == VKind::Ref || Kind == VKind::Null ||
-           Kind == VKind::UninitThis || Kind == VKind::Uninit;
-  }
-  bool isWide() const { return Kind == VKind::Long || Kind == VKind::Double; }
-};
-
-VType makeRef(std::string Name) {
-  VType T;
-  T.Kind = VKind::Ref;
-  T.RefName = std::move(Name);
-  return T;
-}
-
-VType makeKind(VKind K) {
-  VType T;
-  T.Kind = K;
-  return T;
-}
-
-/// One abstract machine frame.
-struct Frame {
-  std::vector<VType> Locals;
-  std::vector<VType> Stack;
-
-  bool operator==(const Frame &O) const {
-    return Locals == O.Locals && Stack == O.Stack;
-  }
-};
+VType makeKind(VKind K) { return makeVKind(K); }
 
 /// The per-method verification engine.
 class MethodVerifier {
@@ -199,59 +157,10 @@ private:
     return T;
   }
 
-  static std::string kindName(VKind K) {
-    switch (K) {
-    case VKind::Top:
-      return "top";
-    case VKind::Int:
-      return "int";
-    case VKind::Float:
-      return "float";
-    case VKind::Long:
-      return "long";
-    case VKind::Double:
-      return "double";
-    case VKind::Null:
-      return "null";
-    case VKind::Ref:
-      return "reference";
-    case VKind::UninitThis:
-      return "uninitializedThis";
-    case VKind::Uninit:
-      return "uninitialized";
-    case VKind::RetAddr:
-      return "returnAddress";
-    }
-    return "?";
-  }
+  static std::string kindName(VKind K) { return vkindName(K); }
 
   // -- type utilities ------------------------------------------------------
-  VType typeFromJType(const JType &T) {
-    if (T.ArrayDims > 0) {
-      // Arrays are modeled as references carrying their descriptor.
-      return makeRef(T.toDescriptor());
-    }
-    switch (T.Kind) {
-    case TypeKind::Boolean:
-    case TypeKind::Byte:
-    case TypeKind::Char:
-    case TypeKind::Short:
-    case TypeKind::Int:
-      return makeKind(VKind::Int);
-    case TypeKind::Long:
-      return makeKind(VKind::Long);
-    case TypeKind::Float:
-      return makeKind(VKind::Float);
-    case TypeKind::Double:
-      return makeKind(VKind::Double);
-    case TypeKind::Reference:
-      return makeRef(T.ClassName);
-    case TypeKind::Void:
-    case TypeKind::Array:
-      return makeKind(VKind::Top);
-    }
-    return makeKind(VKind::Top);
-  }
+  VType typeFromJType(const JType &T) { return vtypeFromJType(T); }
 
   std::string commonSuper(const std::string &A, const std::string &B) {
     if (A == B)
@@ -324,31 +233,31 @@ VType MethodVerifier::mergeTypes(const VType &A, const VType &B) {
   covStmt(Cov, (CovFileId << 16) | 0xC000u |
                    (static_cast<uint32_t>(A.Kind) << 4) |
                    static_cast<uint32_t>(B.Kind));
+  // The join itself is the shared policy-free lattice; only the issue
+  // handling below is profile-dependent.
+  VJoinIssue Issue = VJoinIssue::None;
+  VType Merged = joinVTypes(
+      A, B,
+      [this](const std::string &X, const std::string &Y) {
+        return commonSuper(X, Y);
+      },
+      Issue);
   // Problem 2 (GIJ): merging initialized and uninitialized values is
   // itself a verification error under CheckUninitializedMerge.
-  bool AUninit = A.Kind == VKind::Uninit || A.Kind == VKind::UninitThis;
-  bool BUninit = B.Kind == VKind::Uninit || B.Kind == VKind::UninitThis;
-  if (COV_BRANCH(Cov, AUninit != BUninit && (A.isRefLike() && B.isRefLike()))) {
-    if (Policy.CheckUninitializedMerge) {
+  if (COV_BRANCH(Cov, Issue == VJoinIssue::UninitializedMix)) {
+    if (Policy.CheckUninitializedMerge)
       fail("merging initialized and uninitialized types");
-      return makeKind(VKind::Top);
-    }
     return makeKind(VKind::Top);
   }
-  if (A.Kind == VKind::Null && B.isRefLike())
-    return B;
-  if (B.Kind == VKind::Null && A.isRefLike())
-    return A;
-  if (A.Kind == VKind::Ref && B.Kind == VKind::Ref)
-    return makeRef(commonSuper(A.RefName, B.RefName));
-  // Incompatible kinds: strict profiles (J9's stack-frame discipline)
-  // report "stack shape inconsistent" immediately; lenient ones merge
-  // to Top, failing only if the slot is later used.
-  if (COV_BRANCH(Cov, Policy.StrictPrimitiveMerge)) {
-    fail("stack shape inconsistent");
+  if (Issue == VJoinIssue::KindConflict) {
+    // Incompatible kinds: strict profiles (J9's stack-frame discipline)
+    // report "stack shape inconsistent" immediately; lenient ones merge
+    // to Top, failing only if the slot is later used.
+    if (COV_BRANCH(Cov, Policy.StrictPrimitiveMerge))
+      fail("stack shape inconsistent");
     return makeKind(VKind::Top);
   }
-  return makeKind(VKind::Top);
+  return Merged;
 }
 
 bool MethodVerifier::mergeFrames(const Frame &Incoming, Frame &Target,
@@ -1067,193 +976,9 @@ void MethodVerifier::transfer(const Insn &I, Frame &F,
 }
 
 bool MethodVerifier::stackEffect(const Insn &I, int &Pops, int &Pushes) {
-  uint8_t Op = I.Op;
-  Pops = 0;
-  Pushes = 0;
-
-  // Constants and loads.
-  if (Op == OP_nop) {
-    return true;
-  }
-  if ((Op >= OP_aconst_null && Op <= 0x0F) || Op == OP_bipush ||
-      Op == OP_sipush || (Op >= OP_iload && Op <= OP_aload) ||
-      (Op >= OP_iload_0 && Op <= OP_aload_3)) {
-    bool Wide = (Op >= OP_lconst_0 && Op <= OP_lconst_1) ||
-                (Op >= 0x0E && Op <= 0x0F) || Op == OP_lload ||
-                Op == OP_dload || (Op >= 0x1E && Op <= 0x21) ||
-                (Op >= 0x26 && Op <= 0x29);
-    Pushes = Wide ? 2 : 1;
-    return true;
-  }
-  if (Op == OP_ldc || Op == OP_ldc_w) {
-    Pushes = 1;
-    return true;
-  }
-  if (Op == OP_ldc2_w) {
-    Pushes = 2;
-    return true;
-  }
-  if (Op >= OP_iaload && Op <= 0x35) { // array loads
-    Pops = 2;
-    Pushes = (Op == 0x2F || Op == 0x31) ? 2 : 1; // laload/daload
-    return true;
-  }
-  if ((Op >= OP_istore && Op <= OP_astore) ||
-      (Op >= OP_istore_0 && Op <= OP_astore_3)) {
-    bool Wide = Op == OP_lstore || Op == OP_dstore ||
-                (Op >= 0x3F && Op <= 0x42) || (Op >= 0x47 && Op <= 0x4A);
-    Pops = Wide ? 2 : 1;
-    return true;
-  }
-  if (Op >= OP_iastore && Op <= 0x56) { // array stores
-    Pops = (Op == 0x50 || Op == 0x52) ? 4 : 3; // lastore/dastore
-    return true;
-  }
-  switch (Op) {
-  case OP_pop:
-    Pops = 1;
-    return true;
-  case OP_pop2:
-    Pops = 2;
-    return true;
-  case OP_dup:
-    Pops = 1;
-    Pushes = 2;
-    return true;
-  case OP_dup_x1:
-    Pops = 2;
-    Pushes = 3;
-    return true;
-  case 0x5B: // dup_x2
-    Pops = 3;
-    Pushes = 4;
-    return true;
-  case 0x5C: // dup2
-    Pops = 2;
-    Pushes = 4;
-    return true;
-  case OP_swap:
-    Pops = 2;
-    Pushes = 2;
-    return true;
-  case OP_iinc:
-    return true;
-  default:
-    break;
-  }
-  if (Op >= OP_iadd && Op <= 0x83) { // arithmetic
-    int Column = (Op - OP_iadd) % 4;
-    bool Wide = Column == 1 || Column == 3; // long / double columns
-    bool Unary = Op >= 0x74 && Op <= 0x77;
-    // Shifts of longs take (long, int); approximate as non-shift.
-    Pops = (Unary ? 1 : 2) * (Wide ? 2 : 1);
-    if (!Unary && Op >= 0x79 && Op <= 0x7D && Wide)
-      Pops = 3; // lshl/lshr/lushr: long + int shift count
-    Pushes = Wide ? 2 : 1;
-    return true;
-  }
-  if (Op >= OP_i2l && Op <= 0x93) { // conversions
-    static const int SrcW[] = {1, 1, 1, 2, 2, 2, 1, 1, 1,
-                               2, 2, 2, 1, 1, 1};
-    static const int DstW[] = {2, 1, 2, 1, 1, 2, 1, 2, 2,
-                               1, 2, 1, 1, 1, 1};
-    Pops = SrcW[Op - OP_i2l];
-    Pushes = DstW[Op - OP_i2l];
-    return true;
-  }
-  if (Op >= 0x94 && Op <= 0x98) { // lcmp..dcmpg
-    Pops = Op == 0x94 ? 4 : (Op <= 0x96 ? 2 : 4);
-    Pushes = 1;
-    return true;
-  }
-  if (Op >= OP_ifeq && Op <= OP_ifle) {
-    Pops = 1;
-    return true;
-  }
-  if (Op >= OP_if_icmpeq && Op <= OP_if_acmpne) {
-    Pops = 2;
-    return true;
-  }
-  if (Op == OP_ifnull || Op == OP_ifnonnull) {
-    Pops = 1;
-    return true;
-  }
-  if (Op == OP_goto || Op == OP_goto_w) {
-    return true;
-  }
-  if (Op == OP_tableswitch || Op == OP_lookupswitch) {
-    Pops = 1;
-    return true;
-  }
-  if (Op >= OP_ireturn && Op <= OP_return) {
-    Pops = Op == OP_return ? 0
-                           : ((Op == OP_lreturn || Op == OP_dreturn) ? 2
-                                                                     : 1);
-    return true;
-  }
-  if (Op >= OP_getstatic && Op <= OP_invokeinterface) {
-    auto Ref = CF.CP.getMemberRef(static_cast<uint16_t>(I.Operand1));
-    if (!Ref)
-      return false;
-    if (Op <= OP_putfield) {
-      JType FieldType;
-      if (!parseFieldDescriptor(Ref->Descriptor, FieldType))
-        return false;
-      int W = FieldType.slotWidth();
-      switch (Op) {
-      case OP_getstatic:
-        Pushes = W;
-        break;
-      case OP_putstatic:
-        Pops = W;
-        break;
-      case OP_getfield:
-        Pops = 1;
-        Pushes = W;
-        break;
-      case OP_putfield:
-        Pops = 1 + W;
-        break;
-      }
-      return true;
-    }
-    MethodDescriptor MD;
-    if (!parseMethodDescriptor(Ref->Descriptor, MD))
-      return false;
-    Pops = MD.argSlots() + (Op == OP_invokestatic ? 0 : 1);
-    Pushes = MD.ReturnType.slotWidth();
-    return true;
-  }
-  switch (Op) {
-  case OP_new:
-    Pushes = 1;
-    return true;
-  case OP_newarray:
-  case OP_anewarray:
-    Pops = 1;
-    Pushes = 1;
-    return true;
-  case OP_arraylength:
-  case OP_checkcast:
-    Pops = 1;
-    Pushes = 1;
-    return true;
-  case OP_instanceof:
-    Pops = 1;
-    Pushes = 1;
-    return true;
-  case OP_athrow:
-  case OP_monitorenter:
-  case OP_monitorexit:
-    Pops = 1;
-    return true;
-  case OP_multianewarray:
-    Pops = I.Operand2;
-    Pushes = 1;
-    return true;
-  default:
-    return false;
-  }
+  // The per-opcode table lives in jvm/VerifierLattice.cpp, shared with
+  // the static analyzer's depth walk.
+  return insnStackEffect(CF, I, Pops, Pushes);
 }
 
 void MethodVerifier::runDepthOnly() {

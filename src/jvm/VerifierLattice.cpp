@@ -1,0 +1,291 @@
+//===- jvm/VerifierLattice.cpp --------------------------------------------===//
+
+#include "jvm/VerifierLattice.h"
+
+using namespace classfuzz;
+
+VType classfuzz::makeVRef(std::string Name) {
+  VType T;
+  T.Kind = VKind::Ref;
+  T.RefName = std::move(Name);
+  return T;
+}
+
+VType classfuzz::makeVKind(VKind K) {
+  VType T;
+  T.Kind = K;
+  return T;
+}
+
+std::string classfuzz::vkindName(VKind K) {
+  switch (K) {
+  case VKind::Top:
+    return "top";
+  case VKind::Int:
+    return "int";
+  case VKind::Float:
+    return "float";
+  case VKind::Long:
+    return "long";
+  case VKind::Double:
+    return "double";
+  case VKind::Null:
+    return "null";
+  case VKind::Ref:
+    return "reference";
+  case VKind::UninitThis:
+    return "uninitializedThis";
+  case VKind::Uninit:
+    return "uninitialized";
+  case VKind::RetAddr:
+    return "returnAddress";
+  }
+  return "?";
+}
+
+VType classfuzz::vtypeFromJType(const JType &T) {
+  if (T.ArrayDims > 0) {
+    // Arrays are modeled as references carrying their descriptor.
+    return makeVRef(T.toDescriptor());
+  }
+  switch (T.Kind) {
+  case TypeKind::Boolean:
+  case TypeKind::Byte:
+  case TypeKind::Char:
+  case TypeKind::Short:
+  case TypeKind::Int:
+    return makeVKind(VKind::Int);
+  case TypeKind::Long:
+    return makeVKind(VKind::Long);
+  case TypeKind::Float:
+    return makeVKind(VKind::Float);
+  case TypeKind::Double:
+    return makeVKind(VKind::Double);
+  case TypeKind::Reference:
+    return makeVRef(T.ClassName);
+  case TypeKind::Void:
+  case TypeKind::Array:
+    return makeVKind(VKind::Top);
+  }
+  return makeVKind(VKind::Top);
+}
+
+VType classfuzz::joinVTypes(const VType &A, const VType &B,
+                            const VCommonSuperFn &CommonSuper,
+                            VJoinIssue &Issue) {
+  Issue = VJoinIssue::None;
+  if (A == B)
+    return A;
+  // Top is the absorbing "unusable" element: joining with it is never
+  // itself suspicious (errors arise only if the slot is later used).
+  if (A.Kind == VKind::Top || B.Kind == VKind::Top)
+    return makeVKind(VKind::Top);
+  // Initialized and uninitialized references meeting is its own issue:
+  // strict profiles (GIJ, Problem 2) reject it outright.
+  bool AUninit = A.Kind == VKind::Uninit || A.Kind == VKind::UninitThis;
+  bool BUninit = B.Kind == VKind::Uninit || B.Kind == VKind::UninitThis;
+  if (AUninit != BUninit && A.isRefLike() && B.isRefLike()) {
+    Issue = VJoinIssue::UninitializedMix;
+    return makeVKind(VKind::Top);
+  }
+  if (A.Kind == VKind::Null && B.isRefLike())
+    return B;
+  if (B.Kind == VKind::Null && A.isRefLike())
+    return A;
+  if (A.Kind == VKind::Ref && B.Kind == VKind::Ref)
+    return makeVRef(CommonSuper ? CommonSuper(A.RefName, B.RefName)
+                                : "java/lang/Object");
+  Issue = VJoinIssue::KindConflict;
+  return makeVKind(VKind::Top);
+}
+
+bool classfuzz::insnStackEffect(const ClassFile &CF, const Insn &I, int &Pops,
+                                int &Pushes) {
+  uint8_t Op = I.Op;
+  Pops = 0;
+  Pushes = 0;
+
+  // Constants and loads.
+  if (Op == OP_nop) {
+    return true;
+  }
+  if ((Op >= OP_aconst_null && Op <= 0x0F) || Op == OP_bipush ||
+      Op == OP_sipush || (Op >= OP_iload && Op <= OP_aload) ||
+      (Op >= OP_iload_0 && Op <= OP_aload_3)) {
+    bool Wide = (Op >= OP_lconst_0 && Op <= OP_lconst_1) ||
+                (Op >= 0x0E && Op <= 0x0F) || Op == OP_lload ||
+                Op == OP_dload || (Op >= 0x1E && Op <= 0x21) ||
+                (Op >= 0x26 && Op <= 0x29);
+    Pushes = Wide ? 2 : 1;
+    return true;
+  }
+  if (Op == OP_ldc || Op == OP_ldc_w) {
+    Pushes = 1;
+    return true;
+  }
+  if (Op == OP_ldc2_w) {
+    Pushes = 2;
+    return true;
+  }
+  if (Op >= OP_iaload && Op <= 0x35) { // array loads
+    Pops = 2;
+    Pushes = (Op == 0x2F || Op == 0x31) ? 2 : 1; // laload/daload
+    return true;
+  }
+  if ((Op >= OP_istore && Op <= OP_astore) ||
+      (Op >= OP_istore_0 && Op <= OP_astore_3)) {
+    bool Wide = Op == OP_lstore || Op == OP_dstore ||
+                (Op >= 0x3F && Op <= 0x42) || (Op >= 0x47 && Op <= 0x4A);
+    Pops = Wide ? 2 : 1;
+    return true;
+  }
+  if (Op >= OP_iastore && Op <= 0x56) { // array stores
+    Pops = (Op == 0x50 || Op == 0x52) ? 4 : 3; // lastore/dastore
+    return true;
+  }
+  switch (Op) {
+  case OP_pop:
+    Pops = 1;
+    return true;
+  case OP_pop2:
+    Pops = 2;
+    return true;
+  case OP_dup:
+    Pops = 1;
+    Pushes = 2;
+    return true;
+  case OP_dup_x1:
+    Pops = 2;
+    Pushes = 3;
+    return true;
+  case 0x5B: // dup_x2
+    Pops = 3;
+    Pushes = 4;
+    return true;
+  case 0x5C: // dup2
+    Pops = 2;
+    Pushes = 4;
+    return true;
+  case OP_swap:
+    Pops = 2;
+    Pushes = 2;
+    return true;
+  case OP_iinc:
+    return true;
+  default:
+    break;
+  }
+  if (Op >= OP_iadd && Op <= 0x83) { // arithmetic
+    int Column = (Op - OP_iadd) % 4;
+    bool Wide = Column == 1 || Column == 3; // long / double columns
+    bool Unary = Op >= 0x74 && Op <= 0x77;
+    // Shifts of longs take (long, int); approximate as non-shift.
+    Pops = (Unary ? 1 : 2) * (Wide ? 2 : 1);
+    if (!Unary && Op >= 0x79 && Op <= 0x7D && Wide)
+      Pops = 3; // lshl/lshr/lushr: long + int shift count
+    Pushes = Wide ? 2 : 1;
+    return true;
+  }
+  if (Op >= OP_i2l && Op <= 0x93) { // conversions
+    static const int SrcW[] = {1, 1, 1, 2, 2, 2, 1, 1, 1,
+                               2, 2, 2, 1, 1, 1};
+    static const int DstW[] = {2, 1, 2, 1, 1, 2, 1, 2, 2,
+                               1, 2, 1, 1, 1, 1};
+    Pops = SrcW[Op - OP_i2l];
+    Pushes = DstW[Op - OP_i2l];
+    return true;
+  }
+  if (Op >= 0x94 && Op <= 0x98) { // lcmp..dcmpg
+    Pops = Op == 0x94 ? 4 : (Op <= 0x96 ? 2 : 4);
+    Pushes = 1;
+    return true;
+  }
+  if (Op >= OP_ifeq && Op <= OP_ifle) {
+    Pops = 1;
+    return true;
+  }
+  if (Op >= OP_if_icmpeq && Op <= OP_if_acmpne) {
+    Pops = 2;
+    return true;
+  }
+  if (Op == OP_ifnull || Op == OP_ifnonnull) {
+    Pops = 1;
+    return true;
+  }
+  if (Op == OP_goto || Op == OP_goto_w) {
+    return true;
+  }
+  if (Op == OP_tableswitch || Op == OP_lookupswitch) {
+    Pops = 1;
+    return true;
+  }
+  if (Op >= OP_ireturn && Op <= OP_return) {
+    Pops = Op == OP_return ? 0
+                           : ((Op == OP_lreturn || Op == OP_dreturn) ? 2
+                                                                     : 1);
+    return true;
+  }
+  if (Op >= OP_getstatic && Op <= OP_invokeinterface) {
+    auto Ref = CF.CP.getMemberRef(static_cast<uint16_t>(I.Operand1));
+    if (!Ref)
+      return false;
+    if (Op <= OP_putfield) {
+      JType FieldType;
+      if (!parseFieldDescriptor(Ref->Descriptor, FieldType))
+        return false;
+      int W = FieldType.slotWidth();
+      switch (Op) {
+      case OP_getstatic:
+        Pushes = W;
+        break;
+      case OP_putstatic:
+        Pops = W;
+        break;
+      case OP_getfield:
+        Pops = 1;
+        Pushes = W;
+        break;
+      case OP_putfield:
+        Pops = 1 + W;
+        break;
+      }
+      return true;
+    }
+    MethodDescriptor MD;
+    if (!parseMethodDescriptor(Ref->Descriptor, MD))
+      return false;
+    Pops = MD.argSlots() + (Op == OP_invokestatic ? 0 : 1);
+    Pushes = MD.ReturnType.slotWidth();
+    return true;
+  }
+  switch (Op) {
+  case OP_new:
+    Pushes = 1;
+    return true;
+  case OP_newarray:
+  case OP_anewarray:
+    Pops = 1;
+    Pushes = 1;
+    return true;
+  case OP_arraylength:
+  case OP_checkcast:
+    Pops = 1;
+    Pushes = 1;
+    return true;
+  case OP_instanceof:
+    Pops = 1;
+    Pushes = 1;
+    return true;
+  case OP_athrow:
+  case OP_monitorenter:
+  case OP_monitorexit:
+    Pops = 1;
+    return true;
+  case OP_multianewarray:
+    Pops = I.Operand2;
+    Pushes = 1;
+    return true;
+  default:
+    return false;
+  }
+}

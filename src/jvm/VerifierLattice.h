@@ -1,0 +1,120 @@
+//===- jvm/VerifierLattice.h - Shared verification-type lattice ----------===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The verification-type lattice (JVMS §4.10.1.2, simplified) shared
+/// between the policy-sensitive bytecode verifier (jvm/Verifier.cpp) and
+/// the execution-free static analyzer (analysis/StaticAnalyzer.cpp). Both
+/// pipelines model operand-stack and local-variable slots with the same
+/// VType, join values with the same joinVTypes rules, and compute
+/// per-instruction stack depth effects with the same insnStackEffect
+/// table, so the two cannot drift apart.
+///
+/// Everything here is policy-free and coverage-free: the join reports
+/// *what happened* (VJoinIssue) and each caller decides whether that is
+/// an error under its policy, and which probes to record.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_JVM_VERIFIERLATTICE_H
+#define CLASSFUZZ_JVM_VERIFIERLATTICE_H
+
+#include "classfile/ClassFile.h"
+#include "classfile/Descriptor.h"
+#include "classfile/Opcodes.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace classfuzz {
+
+/// Verification types (JVMS §4.10.1.2, simplified).
+enum class VKind : uint8_t {
+  Top,        ///< Unusable (merge conflict or long/double upper half).
+  Int,
+  Float,
+  Long,
+  Double,
+  Null,
+  Ref,        ///< Reference with class name.
+  UninitThis, ///< `this` in <init> before the super call.
+  Uninit,     ///< Result of `new`, identified by the new's offset.
+  RetAddr,    ///< jsr return address (accepted, not tracked precisely).
+};
+
+/// One verification-type value: a lattice kind plus the payload that
+/// distinguishes values within a kind (class name for Ref, allocation
+/// site for Uninit).
+struct VType {
+  VKind Kind = VKind::Top;
+  std::string RefName;    ///< For Ref.
+  uint32_t NewOffset = 0; ///< For Uninit.
+
+  bool operator==(const VType &O) const {
+    return Kind == O.Kind && RefName == O.RefName && NewOffset == O.NewOffset;
+  }
+  bool isRefLike() const {
+    return Kind == VKind::Ref || Kind == VKind::Null ||
+           Kind == VKind::UninitThis || Kind == VKind::Uninit;
+  }
+  bool isWide() const { return Kind == VKind::Long || Kind == VKind::Double; }
+};
+
+VType makeVRef(std::string Name);
+VType makeVKind(VKind K);
+
+/// Human-readable kind name ("int", "reference", "uninitializedThis"...).
+std::string vkindName(VKind K);
+
+/// Maps a descriptor type to its verification type. Arrays are modeled
+/// as references carrying their full descriptor.
+VType vtypeFromJType(const JType &T);
+
+/// One abstract machine frame: typed locals plus typed operand stack.
+struct VFrame {
+  std::vector<VType> Locals;
+  std::vector<VType> Stack;
+
+  bool operator==(const VFrame &O) const {
+    return Locals == O.Locals && Stack == O.Stack;
+  }
+};
+
+/// What a join observed about its operands. The lattice itself is total
+/// (every pair joins, worst case to Top); callers translate issues into
+/// policy-dependent failures.
+enum class VJoinIssue : uint8_t {
+  None,             ///< Clean join.
+  UninitializedMix, ///< Initialized and uninitialized references met.
+  KindConflict,     ///< Incompatible kinds collapsed to Top.
+};
+
+/// Least common superclass oracle used when two distinct Ref types join.
+using VCommonSuperFn =
+    std::function<std::string(const std::string &, const std::string &)>;
+
+/// Joins two verification types. Total: always produces a value (Top in
+/// the worst case) and reports via \p Issue when the operands were
+/// suspicious. Rules, in order: equal values join to themselves; Top
+/// absorbs; initialized/uninitialized reference mixes go to Top with
+/// UninitializedMix; Null joins to the other reference-like type; two
+/// Refs join to their common superclass via \p CommonSuper; everything
+/// else goes to Top with KindConflict.
+VType joinVTypes(const VType &A, const VType &B,
+                 const VCommonSuperFn &CommonSuper, VJoinIssue &Issue);
+
+/// Net stack effect of \p I in slots: how many it pops and pushes.
+/// Returns false when the effect depends on information the caller does
+/// not have (unresolvable member refs, undefined opcodes). Member-ref
+/// operands are resolved against \p CF's constant pool.
+bool insnStackEffect(const ClassFile &CF, const Insn &I, int &Pops,
+                     int &Pushes);
+
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_JVM_VERIFIERLATTICE_H

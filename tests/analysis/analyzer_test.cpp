@@ -1,0 +1,297 @@
+//===- tests/analysis/analyzer_test.cpp ------------------------------------===//
+//
+// The execution-free static analyzer: startup-phase predictions against
+// actual VM runs, the exhaustive-diagnostics superset property over the
+// VM pipeline's first failure, environment-memo invalidation, and
+// byte-stable JSON rendering.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../TestHelpers.h"
+#include "analysis/StaticAnalyzer.h"
+#include "classfile/ClassReader.h"
+#include "jvm/FormatChecker.h"
+#include "jvm/Phase.h"
+#include "jvm/Verifier.h"
+#include "mutation/Engine.h"
+#include "mutation/Mutator.h"
+#include "runtime/SeedCorpus.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+using namespace classfuzz;
+using namespace classfuzz::testhelpers;
+
+namespace {
+
+JvmPolicy refPolicy() { return referenceJvmPolicy(); }
+
+ClassPath refEnv() { return runtimeLibraryFor(refPolicy()); }
+
+/// Analyzer over the reference environment (the campaign's setup).
+StaticAnalyzer makeAnalyzer(const ClassPath &Env) {
+  return StaticAnalyzer(Env, refPolicy());
+}
+
+/// Runs \p Data as \p Name on the reference VM over \p Env (the class
+/// shadows any same-named env entry, like a campaign mutant).
+int observedPhase(const ClassPath &Env, const std::string &Name,
+                  const Bytes &Data) {
+  ClassPath Run = Env;
+  Run.add(Name, Data);
+  Vm Jvm(refPolicy(), Run);
+  return encodePhase(Jvm.run(Name));
+}
+
+bool hasErrorMessage(const AnalysisReport &Report, PassId Pass,
+                     const std::string &Message) {
+  for (const Diagnostic &D : Report.Diagnostics)
+    if (D.Pass == Pass && D.Severity == DiagSeverity::Error &&
+        D.Message == Message)
+      return true;
+  return false;
+}
+
+/// A class whose main underflows the operand stack (verify error).
+Bytes makeUnderflowClass(const std::string &Name) {
+  ClassFile CF = makeHelloClass(Name);
+  for (MethodInfo &M : CF.Methods)
+    if (M.Name == "main")
+      M.Code->Code = {OP_pop, OP_return};
+  return serialize(CF);
+}
+
+} // namespace
+
+TEST(StaticAnalyzer, ValidClassPredictsPass) {
+  ClassPath Env = refEnv();
+  StaticAnalyzer A = makeAnalyzer(Env);
+  Bytes Data = serialize(makeHelloClass("Valid"));
+  AnalysisReport R = A.analyzeClass("Valid", Data);
+  EXPECT_TRUE(R.Parsed);
+  EXPECT_EQ(R.Prediction.Outcome, PredictedOutcome::PassStatic);
+  EXPECT_EQ(R.errorCount(), 0u);
+  EXPECT_TRUE(R.Prediction.isCompatibleWith(observedPhase(Env, "Valid", Data)));
+}
+
+TEST(StaticAnalyzer, GarbagePredictsRejectLoading) {
+  ClassPath Env = refEnv();
+  StaticAnalyzer A = makeAnalyzer(Env);
+  Bytes Garbage = {0xDE, 0xAD, 0xBE, 0xEF};
+  AnalysisReport R = A.analyzeClass("Garbage", Garbage);
+  EXPECT_FALSE(R.Parsed);
+  EXPECT_EQ(R.Prediction.Outcome, PredictedOutcome::RejectLoading);
+  EXPECT_EQ(R.Prediction.predictedPhase(), 1);
+  EXPECT_EQ(observedPhase(Env, "Garbage", Garbage), 1);
+}
+
+TEST(StaticAnalyzer, UnsupportedMajorVersionPredictsRejectLoading) {
+  ClassPath Env = refEnv();
+  StaticAnalyzer A = makeAnalyzer(Env);
+  ClassFile CF = makeHelloClass("TooNew");
+  CF.MajorVersion = refPolicy().MaxClassFileMajor + 10;
+  Bytes Data = serialize(CF);
+  AnalysisReport R = A.analyzeClass("TooNew", Data);
+  EXPECT_EQ(R.Prediction.Outcome, PredictedOutcome::RejectLoading);
+  EXPECT_EQ(observedPhase(Env, "TooNew", Data), 1);
+}
+
+TEST(StaticAnalyzer, StackUnderflowPredictsRejectLinking) {
+  ClassPath Env = refEnv();
+  StaticAnalyzer A = makeAnalyzer(Env);
+  Bytes Data = makeUnderflowClass("Underflow");
+  AnalysisReport R = A.analyzeClass("Underflow", Data);
+  EXPECT_EQ(R.Prediction.Outcome, PredictedOutcome::RejectLinking);
+  EXPECT_EQ(R.Prediction.predictedPhase(), 2);
+  EXPECT_EQ(R.Prediction.Error, JvmErrorKind::VerifyError);
+  EXPECT_EQ(observedPhase(Env, "Underflow", Data), 2);
+}
+
+TEST(StaticAnalyzer, MissingSuperclassPredictsRejectLoading) {
+  ClassPath Env = refEnv();
+  StaticAnalyzer A = makeAnalyzer(Env);
+  ClassFile CF = makeHelloClass("Orphan");
+  CF.SuperClass = "does/not/Exist";
+  Bytes Data = serialize(CF);
+  AnalysisReport R = A.analyzeClass("Orphan", Data);
+  EXPECT_EQ(R.Prediction.Outcome, PredictedOutcome::RejectLoading);
+  EXPECT_EQ(R.Prediction.Error, JvmErrorKind::NoClassDefFoundError);
+  EXPECT_EQ(observedPhase(Env, "Orphan", Data), 1);
+}
+
+TEST(StaticAnalyzer, PredictionContractSemantics) {
+  StartupPrediction P;
+  P.Outcome = PredictedOutcome::RejectLoading;
+  EXPECT_TRUE(P.isCompatibleWith(1));
+  EXPECT_FALSE(P.isCompatibleWith(2));
+  P.Outcome = PredictedOutcome::RejectLinking;
+  EXPECT_TRUE(P.isCompatibleWith(2));
+  EXPECT_FALSE(P.isCompatibleWith(4));
+  P.Outcome = PredictedOutcome::PassStatic;
+  EXPECT_FALSE(P.isCompatibleWith(1));
+  // Runtime resolution errors canonicalize back to the linking phase,
+  // so 2 stays compatible with a static pass.
+  EXPECT_TRUE(P.isCompatibleWith(2));
+  EXPECT_TRUE(P.isCompatibleWith(3));
+  EXPECT_TRUE(P.isCompatibleWith(4));
+}
+
+TEST(StaticAnalyzer, AddEnvironmentClassInvalidatesChainMemo) {
+  ClassPath Env = refEnv();
+  StaticAnalyzer A = makeAnalyzer(Env);
+
+  ClassFile Child = makeHelloClass("Child");
+  Child.SuperClass = "LateParent";
+  Bytes ChildData = serialize(Child);
+
+  // LateParent is unknown: loading the chain fails.
+  AnalysisReport Before = A.analyzeClass("Child", ChildData);
+  EXPECT_EQ(Before.Prediction.Outcome, PredictedOutcome::RejectLoading);
+
+  // Feed the parent in (the campaign does this for accepted mutants);
+  // the memoized chain walk that missed on "LateParent" must be
+  // invalidated, not replayed.
+  A.addEnvironmentClass("LateParent", serialize(makeHelloClass("LateParent")));
+  AnalysisReport After = A.analyzeClass("Child", ChildData);
+  EXPECT_EQ(After.Prediction.Outcome, PredictedOutcome::PassStatic);
+}
+
+TEST(StaticAnalyzer, AnalyzeByNameUsesEnvironment) {
+  ClassPath Env = refEnv();
+  Bytes Data = serialize(makeHelloClass("InEnv"));
+  Env.add("InEnv", Data);
+  StaticAnalyzer A = makeAnalyzer(Env);
+  AnalysisReport R = A.analyzeClass("InEnv");
+  EXPECT_TRUE(R.Parsed);
+  EXPECT_EQ(R.Prediction.Outcome, PredictedOutcome::PassStatic);
+
+  AnalysisReport Missing = A.analyzeClass("NotThere");
+  EXPECT_EQ(Missing.Prediction.Outcome, PredictedOutcome::RejectLoading);
+  EXPECT_EQ(Missing.Prediction.Error, JvmErrorKind::NoClassDefFoundError);
+}
+
+TEST(StaticAnalyzer, JsonRenderingIsByteStable) {
+  ClassPath Env = refEnv();
+  Bytes Data = makeUnderflowClass("Stable");
+  std::string A = makeAnalyzer(Env).analyzeClass("Stable", Data).toJson();
+  std::string B = makeAnalyzer(Env).analyzeClass("Stable", Data).toJson();
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A.find("\"class\":\"Stable\""), std::string::npos);
+  EXPECT_NE(A.find("\"prediction\""), std::string::npos);
+}
+
+TEST(StaticAnalyzer, RenderAnnotatedSurvivesCorruptPool) {
+  ClassPath Env = refEnv();
+  ClassFile CF = makeHelloClass("CorruptPrint");
+  uint16_t Cls = CF.CP.classRef("X");
+  CF.CP.at(Cls).Ref1 = 700; // Dangling.
+  Bytes Data = serialize(CF);
+  StaticAnalyzer A = makeAnalyzer(Env);
+  AnalysisReport R = A.analyzeClass("CorruptPrint", Data);
+  std::string Out = StaticAnalyzer::renderAnnotated(R, Data);
+  EXPECT_NE(Out.find("Analysis of CorruptPrint"), std::string::npos);
+}
+
+// The superset property (DESIGN.md §11): on mutated seed-corpus
+// classes, whatever first failure the VM pipeline would latch appears
+// among the analyzer's exhaustive diagnostics, with the same message.
+TEST(StaticAnalyzer, DiagnosticsSupersetOfVmFirstFailure) {
+  JvmPolicy Policy = refPolicy();
+  ClassPath Env = refEnv();
+  StaticAnalyzer A = makeAnalyzer(Env);
+
+  // Lookup mirroring the analyzer's TypeCheck view: the mutant itself,
+  // then environment classes parsed on demand.
+  std::map<std::string, std::optional<ClassFile>> Cache;
+  auto EnvLookup = [&](const std::string &N) -> const ClassFile * {
+    auto It = Cache.find(N);
+    if (It == Cache.end()) {
+      std::optional<ClassFile> Parsed;
+      if (const Bytes *B = Env.lookup(N))
+        if (auto CF = parseClassFile(*B))
+          Parsed = CF.take();
+      It = Cache.emplace(N, std::move(Parsed)).first;
+    }
+    return It->second ? &*It->second : nullptr;
+  };
+
+  Rng R(2024);
+  auto Seeds = generateSeedCorpus(R, 12);
+  std::vector<std::string> Known = Env.names();
+
+  size_t FormatFailures = 0, VerifyFailures = 0, Produced = 0;
+  for (const SeedClass &S : Seeds) {
+    for (size_t MuIdx = 0; MuIdx < mutatorRegistry().size(); MuIdx += 7) {
+      MutationContext Ctx{R, Known};
+      MutationOutcome O = mutateClass(S.Data, MuIdx, Ctx);
+      if (!O.Produced)
+        continue;
+      ++Produced;
+      auto CF = parseClassFile(O.Data);
+      if (!CF)
+        continue;
+      AnalysisReport Report = A.analyzeClass(O.ClassName, O.Data);
+
+      if (auto F = checkClassFormat(*CF, Policy, nullptr)) {
+        ++FormatFailures;
+        EXPECT_TRUE(hasErrorMessage(Report, PassId::Format, F->Message))
+            << O.ClassName << ": format failure \"" << F->Message
+            << "\" missing from analyzer diagnostics";
+      }
+
+      ClassLookupFn Lookup = [&](const std::string &N) -> const ClassFile * {
+        if (N == CF->ThisClass)
+          return &*CF;
+        return EnvLookup(N);
+      };
+      for (const MethodInfo &M : CF->Methods) {
+        if (auto F = verifyMethod(*CF, M, Policy, Lookup, nullptr)) {
+          ++VerifyFailures;
+          EXPECT_TRUE(hasErrorMessage(Report, PassId::TypeCheck, F->Message))
+              << O.ClassName << "." << M.Name << ": verify failure \""
+              << F->Message << "\" missing from analyzer diagnostics";
+          break; // The VM latches the first failing method.
+        }
+      }
+    }
+  }
+  // The sweep must have exercised both comparisons, or it proves nothing.
+  EXPECT_GT(Produced, 50u);
+  EXPECT_GT(FormatFailures + VerifyFailures, 0u);
+}
+
+// Every mutated seed's prediction must hold against an actual reference
+// run -- the in-test version of the campaign's self-check oracle.
+TEST(StaticAnalyzer, PredictionsMatchVmOnMutatedSeeds) {
+  ClassPath Env = refEnv();
+  StaticAnalyzer A = makeAnalyzer(Env);
+  Rng R(77);
+  auto Seeds = generateSeedCorpus(R, 8);
+  std::vector<std::string> Known = Env.names();
+
+  size_t Checked = 0;
+  for (const SeedClass &S : Seeds) {
+    ClassPath SeedEnv = Env;
+    for (const auto &[Name, Data] : S.Helpers)
+      SeedEnv.add(Name, Data);
+    StaticAnalyzer SeedAnalyzer(SeedEnv, refPolicy());
+    for (size_t MuIdx = 3; MuIdx < mutatorRegistry().size(); MuIdx += 11) {
+      MutationContext Ctx{R, Known};
+      MutationOutcome O = mutateClass(S.Data, MuIdx, Ctx);
+      if (!O.Produced)
+        continue;
+      StartupPrediction P =
+          SeedAnalyzer.predictStartupOutcome(O.ClassName, O.Data);
+      int Observed = observedPhase(SeedEnv, O.ClassName, O.Data);
+      EXPECT_TRUE(P.isCompatibleWith(Observed))
+          << O.ClassName << ": predicted "
+          << predictedOutcomeName(P.Outcome) << " but observed phase "
+          << Observed;
+      ++Checked;
+    }
+  }
+  EXPECT_GT(Checked, 40u);
+}

@@ -1,0 +1,130 @@
+//===- tests/analysis/cpgraph_test.cpp -------------------------------------===//
+//
+// The constant-pool reference graph: typed edges, bytecode roots,
+// reachability, cycle detection, and the diagnostics the checks emit
+// for dangling indices, type-confused targets, and dead entries.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../TestHelpers.h"
+#include "analysis/CpGraph.h"
+#include "classfile/ClassReader.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+using namespace classfuzz::testhelpers;
+
+namespace {
+
+bool anyDiagnostic(const std::vector<Diagnostic> &Ds, DiagSeverity Severity,
+                   const std::string &Needle) {
+  for (const Diagnostic &D : Ds)
+    if (D.Severity == Severity &&
+        D.Message.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(CpGraph, CleanClassHasNoErrors) {
+  ClassFile CF = makeHelloClass("Clean");
+  CpGraph G = CpGraph::build(CF);
+  for (const Diagnostic &D : G.check())
+    EXPECT_NE(D.Severity, DiagSeverity::Error) << D.Message;
+}
+
+TEST(CpGraph, EdgesCarryExpectedTags) {
+  ClassFile CF = makeHelloClass("Edges");
+  CpGraph G = CpGraph::build(CF);
+  ASSERT_FALSE(G.edges().empty());
+  bool SawClassName = false;
+  for (const CpEdge &E : G.edges()) {
+    if (CF.CP.at(E.From).Tag == CpTag::Class) {
+      EXPECT_EQ(E.ExpectedTag, CpTag::Utf8);
+      SawClassName = true;
+    }
+    EXPECT_GT(E.From, 0u);
+  }
+  EXPECT_TRUE(SawClassName);
+}
+
+TEST(CpGraph, DanglingIndexIsAnError) {
+  ClassFile CF = makeHelloClass("Dangling");
+  // Point a Class entry's name slot far past the end of the pool.
+  uint16_t Cls = CF.CP.classRef("Victim");
+  CF.CP.at(Cls).Ref1 = 999;
+  CpGraph G = CpGraph::build(CF);
+  EXPECT_TRUE(anyDiagnostic(G.check(), DiagSeverity::Error, "dangling"));
+}
+
+TEST(CpGraph, TypeConfusedTargetIsAnError) {
+  ClassFile CF = makeHelloClass("Confused");
+  // A Methodref whose name_and_type slot holds an Integer.
+  uint16_t M = CF.CP.methodRef("Confused", "m", "()V");
+  CF.CP.at(M).Ref2 = CF.CP.integer(42);
+  CpGraph G = CpGraph::build(CF);
+  EXPECT_TRUE(anyDiagnostic(G.check(), DiagSeverity::Error, "Integer"));
+}
+
+TEST(CpGraph, ReferenceCycleIsDetected) {
+  ClassFile CF = makeHelloClass("Cycle");
+  // Two Class entries pointing at each other: never valid, since a
+  // Class's name slot must be Utf8 -- but the cycle detector must still
+  // terminate and flag both.
+  uint16_t A = CF.CP.classRef("A");
+  uint16_t B = CF.CP.classRef("B");
+  CF.CP.at(A).Ref1 = B;
+  CF.CP.at(B).Ref1 = A;
+  CpGraph G = CpGraph::build(CF);
+  EXPECT_TRUE(G.isOnCycle(A));
+  EXPECT_TRUE(G.isOnCycle(B));
+  EXPECT_TRUE(anyDiagnostic(G.check(), DiagSeverity::Error, "cycle"));
+}
+
+TEST(CpGraph, SelfLoopIsACycle) {
+  ClassFile CF = makeHelloClass("SelfLoop");
+  uint16_t A = CF.CP.classRef("A");
+  CF.CP.at(A).Ref1 = A;
+  CpGraph G = CpGraph::build(CF);
+  EXPECT_TRUE(G.isOnCycle(A));
+}
+
+TEST(CpGraph, BytecodeOperandsAreRoots) {
+  ClassFile CF = makeHelloClass("Roots");
+  Bytes Data = serialize(CF);
+  auto Parsed = parseClassFile(Data);
+  ASSERT_TRUE(Parsed.ok());
+  CpGraph G = CpGraph::build(*Parsed);
+  // makeHelloClass's main uses getstatic/ldc/invokevirtual, so the
+  // bytecode must contribute roots, and everything they reference is
+  // reachable.
+  ASSERT_FALSE(G.bytecodeRoots().empty());
+  for (uint16_t Root : G.bytecodeRoots())
+    EXPECT_TRUE(G.isReachable(Root)) << "root #" << Root;
+}
+
+TEST(CpGraph, UnreferencedEntryIsReportedAsInfo) {
+  ClassFile CF = makeHelloClass("Dead");
+  CF.CP.integer(123456); // Never referenced from bytecode.
+  Bytes Data = serialize(CF);
+  auto Parsed = parseClassFile(Data);
+  ASSERT_TRUE(Parsed.ok());
+  CpGraph G = CpGraph::build(*Parsed);
+  EXPECT_TRUE(anyDiagnostic(G.check(), DiagSeverity::Info,
+                            "not referenced from bytecode"));
+}
+
+TEST(CpGraph, CheckOutputIsDeterministic) {
+  ClassFile CF = makeHelloClass("Det");
+  uint16_t Cls = CF.CP.classRef("X");
+  CF.CP.at(Cls).Ref1 = 500;
+  CpGraph G = CpGraph::build(CF);
+  std::string A, B;
+  for (const Diagnostic &D : G.check())
+    A += D.toJson() + "\n";
+  for (const Diagnostic &D : CpGraph::build(CF).check())
+    B += D.toJson() + "\n";
+  EXPECT_EQ(A, B);
+}

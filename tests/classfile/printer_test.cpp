@@ -1,0 +1,72 @@
+//===- tests/classfile/printer_test.cpp ------------------------------------===//
+//
+// The javap-style printer on hostile input: mutated pools routinely
+// contain dangling indices, reference cycles, and type-confused
+// entries, and the printer must render every one of them (with "?"
+// placeholders) instead of crashing or recursing forever.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../TestHelpers.h"
+#include "classfile/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+using namespace classfuzz::testhelpers;
+
+TEST(Printer, RendersDanglingPoolIndex) {
+  ClassFile CF = makeHelloClass("Dangling");
+  uint16_t Cls = CF.CP.classRef("Victim");
+  CF.CP.at(Cls).Ref1 = 999; // Way past the end of the pool.
+  std::string Out = printClassFile(CF);
+  EXPECT_NE(Out.find("Dangling"), std::string::npos);
+}
+
+TEST(Printer, RendersOutOfRangeMemberRef) {
+  ClassFile CF = makeHelloClass("BadMember");
+  uint16_t M = CF.CP.methodRef("BadMember", "m", "()V");
+  CF.CP.at(M).Ref1 = 500;
+  CF.CP.at(M).Ref2 = 501;
+  std::string Out = printClassFile(CF);
+  EXPECT_FALSE(Out.empty());
+}
+
+TEST(Printer, SelfReferentialEntryTerminates) {
+  ClassFile CF = makeHelloClass("SelfRef");
+  uint16_t Cls = CF.CP.classRef("X");
+  CF.CP.at(Cls).Ref1 = Cls; // Class whose name slot is itself.
+  std::string Out = printClassFile(CF);
+  EXPECT_FALSE(Out.empty());
+}
+
+TEST(Printer, MutualReferenceCycleTerminates) {
+  ClassFile CF = makeHelloClass("Cycle");
+  uint16_t A = CF.CP.classRef("A");
+  uint16_t B = CF.CP.classRef("B");
+  CF.CP.at(A).Ref1 = B;
+  CF.CP.at(B).Ref1 = A;
+  // A NameAndType cycle through member refs, for good measure.
+  uint16_t M = CF.CP.methodRef("Cycle", "m", "()V");
+  CF.CP.at(M).Ref2 = M;
+  std::string Out = printClassFile(CF);
+  EXPECT_FALSE(Out.empty());
+}
+
+TEST(Printer, TypeConfusedOperandRenders) {
+  ClassFile CF = makeHelloClass("Confused");
+  // The ldc in main ends up pointing at a Methodref-shaped entry whose
+  // name_and_type slot holds an Integer.
+  uint16_t M = CF.CP.methodRef("Confused", "m", "()V");
+  CF.CP.at(M).Ref2 = CF.CP.integer(7);
+  std::string Out = printClassFile(CF);
+  EXPECT_NE(Out.find("Confused"), std::string::npos);
+}
+
+TEST(Printer, ZeroedPoolEntryRenders) {
+  ClassFile CF = makeHelloClass("Zeroed");
+  uint16_t Cls = CF.CP.classRef("Z");
+  CF.CP.at(Cls).Ref1 = 0; // The reserved slot.
+  std::string Out = printClassFile(CF);
+  EXPECT_FALSE(Out.empty());
+}

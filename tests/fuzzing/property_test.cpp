@@ -10,7 +10,7 @@
 #include "../TestHelpers.h"
 #include "classfile/ClassReader.h"
 #include "coverage/Tracefile.h"
-#include "difftest/Phase.h"
+#include "jvm/Phase.h"
 #include "jir/Jir.h"
 #include "mutation/Engine.h"
 #include "runtime/SeedCorpus.h"

@@ -7,7 +7,7 @@
 
 #include "../TestHelpers.h"
 #include "classfile/ClassReader.h"
-#include "difftest/Phase.h"
+#include "jvm/Phase.h"
 #include "jir/Jir.h"
 
 #include <gtest/gtest.h>

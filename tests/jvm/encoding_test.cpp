@@ -7,7 +7,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "../TestHelpers.h"
-#include "difftest/Phase.h"
+#include "jvm/Phase.h"
 
 #include <gtest/gtest.h>
 

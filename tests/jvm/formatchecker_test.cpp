@@ -6,7 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "../TestHelpers.h"
-#include "difftest/Phase.h"
+#include "jvm/Phase.h"
 #include "jvm/FormatChecker.h"
 
 #include <gtest/gtest.h>

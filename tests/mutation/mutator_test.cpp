@@ -8,7 +8,7 @@
 
 #include "../TestHelpers.h"
 #include "classfile/ClassReader.h"
-#include "difftest/Phase.h"
+#include "jvm/Phase.h"
 #include "mutation/Engine.h"
 #include "mutation/Mutator.h"
 #include "runtime/RuntimeLib.h"

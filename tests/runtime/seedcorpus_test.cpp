@@ -2,7 +2,7 @@
 
 #include "../TestHelpers.h"
 #include "classfile/ClassReader.h"
-#include "difftest/Phase.h"
+#include "jvm/Phase.h"
 #include "runtime/SeedCorpus.h"
 
 #include <gtest/gtest.h>

@@ -18,6 +18,12 @@
 //   classfuzz run     FILE.class [--env jre5|jre7|jre8|jre9]
 //       execute one classfile on all five JVM profiles
 //
+//   classfuzz analyze FILE.class... [--print] [--env jre5|...]
+//       execution-free static triage: run every lint pass over each
+//       classfile and predict the reference JVM's startup outcome;
+//       default output is one JSON line per class (stable bytes),
+//       --print renders an annotated javap-style dump instead
+//
 //   classfuzz inspect FILE.class
 //       javap-style + Jimple-style dumps
 //
@@ -36,6 +42,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/StaticAnalyzer.h"
 #include "classfile/ClassReader.h"
 #include "classfile/Printer.h"
 #include "difftest/Incident.h"
@@ -43,6 +50,7 @@
 #include "fuzzing/Campaign.h"
 #include "fuzzing/Provenance.h"
 #include "jir/Jir.h"
+#include "jvm/Phase.h"
 #include "mutation/Mutator.h"
 #include "reducer/Reducer.h"
 #include "runtime/RuntimeLib.h"
@@ -78,9 +86,12 @@ int usage(std::FILE *To) {
       "                    [--trace-perfetto FILE]\n"
       "  classfuzz replay  BUNDLE_DIR\n"
       "  classfuzz run     FILE.class [--env jre5|jre7|jre8|jre9]\n"
+      "  classfuzz analyze FILE.class... [--print]\n"
+      "                    [--env jre5|jre7|jre8|jre9]\n"
       "  classfuzz inspect FILE.class\n"
       "  classfuzz reduce  FILE.class [--out FILE] [--reduce-jobs N]\n"
       "                    [--max-queries N] [--no-chunks]\n"
+      "  classfuzz seeds   --out DIR [--seeds N] [--rng N]\n"
       "  classfuzz mutators\n"
       "\n"
       "run 'classfuzz <command> --help' for per-command flags\n");
@@ -263,6 +274,13 @@ int cmdFuzz(int Argc, char **Argv) {
             "dump a replayable incident bundle per discrepancy or VM "
             "abort under DIR",
             ""},
+           {"analysis-incidents", "DIR",
+            "dump a self-check bundle per predict-vs-observe mismatch "
+            "of the static analyzer under DIR",
+            ""},
+           {"no-analysis", "",
+            "skip the static analyzer (and its analysis.* telemetry)",
+            ""},
            {"flightrec", "N",
             "flight-recorder ring capacity per lane (with --incidents)",
             "1024"},
@@ -292,6 +310,14 @@ int cmdFuzz(int Argc, char **Argv) {
   // across --jobs values for a fixed --rng seed.
   Config.Jobs = std::max<size_t>(1, static_cast<size_t>(A.getUnsigned("jobs")));
   Config.ProgressIntervalSeconds = A.getDouble("progress");
+  const std::string AnalysisDir = A.get("analysis-incidents");
+  Config.RunAnalysis = !A.has("no-analysis");
+  if (!AnalysisDir.empty() && !Config.RunAnalysis) {
+    std::fprintf(stderr,
+                 "--analysis-incidents requires the analyzer; drop "
+                 "--no-analysis\n");
+    return 2;
+  }
   if (A.has("seed-dir")) {
     Config.ExternalSeeds = loadSeedDir(A.get("seed-dir"));
     if (Config.ExternalSeeds.empty()) {
@@ -387,6 +413,44 @@ int cmdFuzz(int Argc, char **Argv) {
   if (!IncidentsDir.empty())
     std::printf("wrote %zu incident bundles under %s\n", IncidentIndex,
                 IncidentsDir.c_str());
+
+  // Self-check oracle: every latched predict-vs-observe mismatch of the
+  // static analyzer becomes its own bundle (prefix "selfcheck-"). The
+  // campaign guarantees no disagreement goes unlatched, so an empty
+  // SelfChecks list really means the analyzer's prediction held on
+  // every produced mutant.
+  if (Config.RunAnalysis && !R.SelfChecks.empty())
+    std::fprintf(stderr,
+                 "** %zu analyzer self-check mismatch(es) -- the static "
+                 "analyzer and the VM disagree **\n",
+                 R.SelfChecks.size());
+  if (!AnalysisDir.empty()) {
+    size_t SelfIndex = 0;
+    for (const SelfCheckReport &SC : R.SelfChecks) {
+      const GeneratedClass &G = R.GenClasses[SC.GenIndex];
+      Incident Inc;
+      Inc.SelfCheck = true;
+      Inc.MutantName = G.Name;
+      Inc.MutantData = G.Data;
+      Inc.Outcome = Tester.testClass(G.Name);
+      for (const JvmPolicy &P : Tester.policies())
+        Inc.ProfileNames.push_back(P.Name);
+      Inc.Prov = G.Prov;
+      Inc.Env = EnvSpec;
+      Inc.AnalysisJson = "{\"observed_phase\":" +
+                         std::to_string(SC.ObservedPhase) +
+                         ",\"observed\":\"" +
+                         phaseCodeName(SC.ObservedPhase) +
+                         "\",\"report\":" + SC.Report.toJson() + "}\n";
+      auto Bundle = writeIncidentBundle(AnalysisDir, SelfIndex++, Inc);
+      if (!Bundle)
+        std::fprintf(stderr, "selfcheck: %s\n", Bundle.error().c_str());
+      else
+        std::fprintf(stderr, "selfcheck: wrote %s\n", Bundle->c_str());
+    }
+    std::printf("wrote %zu self-check bundles under %s\n", SelfIndex,
+                AnalysisDir.c_str());
+  }
 
   std::string Report =
       renderDiscrepancyReport(Tester.policies(), Records, Stats);
@@ -684,6 +748,116 @@ int cmdReduce(int Argc, char **Argv) {
   return 0;
 }
 
+int cmdAnalyze(int Argc, char **Argv) {
+  ArgParser A("classfuzz analyze", "FILE.class...",
+              {{"print", "",
+                "annotated javap-style output instead of JSON lines", ""},
+               {"env", "JRE",
+                "runtime library the analysis resolves against: "
+                "jre5|jre7|jre8|jre9 (default: the reference JVM's, jre9)",
+                ""}});
+  int Exit = 0;
+  if (!parseOrExit(A, Argc, Argv, Exit))
+    return Exit;
+  if (A.positional().empty()) {
+    std::fputs(A.helpText().c_str(), stderr);
+    return 2;
+  }
+
+  JvmPolicy Policy = referenceJvmPolicy();
+  ClassPath Env = A.has("env") ? buildRuntimeLibrary(A.get("env"))
+                               : runtimeLibraryFor(Policy);
+
+  // Read and name every input up front and register all of them in the
+  // environment before analyzing any: inputs may reference each other,
+  // and the analyzer should see the same world for each class
+  // regardless of argument order.
+  struct Input {
+    std::string Path;
+    std::string Name;
+    Bytes Data;
+  };
+  std::vector<Input> Inputs;
+  for (const std::string &Path : A.positional()) {
+    auto Data = readFile(Path);
+    if (!Data) {
+      std::fprintf(stderr, "%s\n", Data.error().c_str());
+      return 1;
+    }
+    std::string Name;
+    if (auto CF = parseClassFile(*Data))
+      Name = CF->ThisClass;
+    else
+      Name = std::filesystem::path(Path).stem().string();
+    Inputs.push_back({Path, Name, std::move(*Data)});
+  }
+  for (const Input &In : Inputs)
+    Env.add(In.Name, In.Data);
+  Env.freeze();
+
+  StaticAnalyzer Analyzer(Env, Policy);
+  int Ret = 0;
+  for (const Input &In : Inputs) {
+    AnalysisReport Report = Analyzer.analyzeClass(In.Name, In.Data);
+    if (A.has("print"))
+      std::fputs(Analyzer.renderAnnotated(Report, In.Data).c_str(), stdout);
+    else
+      std::printf("%s\n", Report.toJson().c_str());
+    if (Report.errorCount())
+      Ret = 1;
+  }
+  return Ret;
+}
+
+int cmdSeeds(int Argc, char **Argv) {
+  ArgParser A("classfuzz seeds", "",
+              {{"out", "DIR", "directory to write the .class files into",
+                ""},
+               {"seeds", "N", "seed-corpus size", "8"},
+               {"rng", "N", "corpus RNG seed", "1"}});
+  int Exit = 0;
+  if (!parseOrExit(A, Argc, Argv, Exit))
+    return Exit;
+  if (!A.has("out")) {
+    std::fputs(A.helpText().c_str(), stderr);
+    return 2;
+  }
+  std::string Dir = A.get("out");
+  std::error_code Ec;
+  std::filesystem::create_directories(Dir, Ec);
+  if (Ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", Dir.c_str(),
+                 Ec.message().c_str());
+    return 1;
+  }
+  Rng R(A.getUnsigned("rng"));
+  auto Seeds =
+      generateSeedCorpus(R, static_cast<size_t>(A.getUnsigned("seeds")));
+  size_t Written = 0;
+  auto Dump = [&](const std::string &Name, const Bytes &Data) {
+    // Seed names contain no '/', but keep the mapping safe anyway.
+    std::string File = Name;
+    std::replace(File.begin(), File.end(), '/', '.');
+    std::string Path = Dir + "/" + File + ".class";
+    if (!writeFile(Path, Data)) {
+      std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+      return false;
+    }
+    ++Written;
+    return true;
+  };
+  for (const SeedClass &S : Seeds) {
+    if (!Dump(S.Name, S.Data))
+      return 1;
+    for (const auto &[Name, Data] : S.Helpers)
+      if (!Dump(Name, Data))
+        return 1;
+  }
+  std::printf("wrote %zu classfiles (%zu seeds) under %s\n", Written,
+              Seeds.size(), Dir.c_str());
+  return 0;
+}
+
 int cmdMutators(int Argc, char **Argv) {
   ArgParser A("classfuzz mutators", "", {});
   int Exit = 0;
@@ -713,8 +887,12 @@ int main(int Argc, char **Argv) {
     return cmdRun(Argc, Argv);
   if (Cmd == "inspect")
     return cmdInspect(Argc, Argv);
+  if (Cmd == "analyze")
+    return cmdAnalyze(Argc, Argv);
   if (Cmd == "reduce")
     return cmdReduce(Argc, Argv);
+  if (Cmd == "seeds")
+    return cmdSeeds(Argc, Argv);
   if (Cmd == "mutators")
     return cmdMutators(Argc, Argv);
   std::fprintf(stderr, "classfuzz: unknown command '%s'\n", Cmd.c_str());
