@@ -80,11 +80,25 @@ inline CampaignResult runPaperCampaign(FuzzAlgorithm Algo) {
   return Best;
 }
 
+/// One campaign at the shared fixed seed, no best-of-five: the
+/// δ-diversity yield comparison wants both contenders on the identical
+/// seed corpus and RNG trajectory.
+inline CampaignResult runFixedSeedCampaign(FuzzAlgorithm Algo) {
+  return runCampaign(configFor(Algo));
+}
+
 /// All six algorithms in the paper's column order.
 inline const FuzzAlgorithm AllAlgorithms[] = {
     FuzzAlgorithm::ClassfuzzStBr, FuzzAlgorithm::ClassfuzzSt,
     FuzzAlgorithm::ClassfuzzTr,   FuzzAlgorithm::Uniquefuzz,
     FuzzAlgorithm::Greedyfuzz,    FuzzAlgorithm::Randfuzz,
+};
+
+/// The two δ-diversity extensions (not part of the paper's table; they
+/// get their own yield section in bench_table4).
+inline const FuzzAlgorithm DdAlgorithms[] = {
+    FuzzAlgorithm::ClassfuzzDdCoarse,
+    FuzzAlgorithm::ClassfuzzDdFine,
 };
 
 /// Prints a horizontal rule of \p Width characters.

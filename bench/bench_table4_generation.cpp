@@ -12,9 +12,19 @@
 // very few; randfuzz's per-class time is far below the directed
 // algorithms' (no coverage collection).
 //
+// The δ-diversity section compares discrepancy yield per 1k iterations:
+// [dd-coarse]/[dd-fine] count distinct discrepancy categories over
+// every produced mutant (their acceptance already ran all profiles),
+// [stbr] over its TestClasses run through the differential stage (the
+// paper's pipeline). The [dd-fine] >= [stbr] comparison is a CI gate:
+// the process exits non-zero when guided differential acceptance loses
+// to reference-coverage acceptance on the fixed-seed corpus.
+//
 //===----------------------------------------------------------------------===//
 
 #include "../bench/BenchUtil.h"
+
+#include "difftest/DiffTest.h"
 
 #include <cstdio>
 #include <vector>
@@ -93,5 +103,68 @@ int main() {
                 "representative classfiles (paper: +43%%)\n",
                 Gain);
   }
+
+  // ---- δ-diversity yield: distinct discrepancies per 1k iterations ----
+  //
+  // Single fixed-seed trials so both contenders see the identical seed
+  // corpus. The [stbr] baseline follows the paper's pipeline: its
+  // TestClasses go through the five-profile differential stage and the
+  // distinct encoded sequences are counted. The dd campaigns already
+  // differential-tested every produced mutant during acceptance, so
+  // their census is read straight off the result.
+  std::printf("\nDelta-diversity yield (fixed seed %llu, single trial)\n",
+              static_cast<unsigned long long>(CampaignRngSeed));
+  rule(28 + 16 * 3);
+
+  std::fprintf(stderr, "running classfuzz[stbr] (fixed seed)...\n");
+  CampaignResult StBrFixed =
+      runFixedSeedCampaign(FuzzAlgorithm::ClassfuzzStBr);
+  DiffStats StBrStats;
+  {
+    auto Tester = DifferentialTester::withAllProfiles(
+        StBrFixed.corpusClassPath(), EnvironmentMode::PerJvm);
+    for (size_t I : StBrFixed.TestClassIndices)
+      StBrStats.add(Tester.testClass(StBrFixed.GenClasses[I].Name));
+  }
+  size_t StBrDistinct = StBrStats.DistinctDiscrepancies.size();
+
+  std::vector<CampaignResult> DdResults;
+  for (FuzzAlgorithm Algo : DdAlgorithms) {
+    std::fprintf(stderr, "running %s (fixed seed)...\n",
+                 fuzzAlgorithmName(Algo));
+    DdResults.push_back(runFixedSeedCampaign(Algo));
+  }
+
+  auto per1k = [](size_t Distinct, size_t Iterations) {
+    return Iterations ? 1e3 * static_cast<double>(Distinct) /
+                            static_cast<double>(Iterations)
+                      : 0.0;
+  };
+
+  std::printf("%-28s%16s%16s%16s\n", "", "classfuzz[stbr]",
+              fuzzAlgorithmName(DdResults[0].Algo),
+              fuzzAlgorithmName(DdResults[1].Algo));
+  std::printf("%-28s%16zu%16zu%16zu\n", "distinct discrepancies",
+              StBrDistinct, DdResults[0].ddDistinctDiscrepancies(),
+              DdResults[1].ddDistinctDiscrepancies());
+  std::printf("%-28s%16.2f%16.2f%16.2f\n", "per 1k iterations",
+              per1k(StBrDistinct, StBrFixed.Iterations),
+              per1k(DdResults[0].ddDistinctDiscrepancies(),
+                    DdResults[0].Iterations),
+              per1k(DdResults[1].ddDistinctDiscrepancies(),
+                    DdResults[1].Iterations));
+
+  // CI gate: guided differential acceptance must not lose to the
+  // reference-coverage baseline on discrepancy-category yield.
+  double StBrYield = per1k(StBrDistinct, StBrFixed.Iterations);
+  double DdFineYield = per1k(DdResults[1].ddDistinctDiscrepancies(),
+                             DdResults[1].Iterations);
+  if (DdFineYield < StBrYield) {
+    std::printf("\nFAIL: [dd-fine] yield %.2f/1k < [stbr] yield %.2f/1k\n",
+                DdFineYield, StBrYield);
+    return 1;
+  }
+  std::printf("\nPASS: [dd-fine] yield %.2f/1k >= [stbr] yield %.2f/1k\n",
+              DdFineYield, StBrYield);
   return 0;
 }

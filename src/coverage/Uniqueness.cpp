@@ -2,6 +2,11 @@
 
 #include "coverage/Uniqueness.h"
 
+#include "support/Hashing.h"
+#include "telemetry/Telemetry.h"
+
+#include <cassert>
+
 using namespace classfuzz;
 
 const char *classfuzz::criterionName(UniquenessCriterion C) {
@@ -12,6 +17,10 @@ const char *classfuzz::criterionName(UniquenessCriterion C) {
     return "[stbr]";
   case UniquenessCriterion::Tr:
     return "[tr]";
+  case UniquenessCriterion::DdCoarse:
+    return "[dd-coarse]";
+  case UniquenessCriterion::DdFine:
+    return "[dd-fine]";
   }
   return "?";
 }
@@ -21,9 +30,11 @@ UniquenessChecker::signatureOf(const Tracefile &Trace) const {
   Signature Sig;
   Sig.Stats = {Trace.stmtCount(), Trace.branchCount()};
   // Only [tr] compares full hit sets; skip the O(|trace|) fingerprint
-  // walk for the statistic-only criteria.
-  if (Criterion == UniquenessCriterion::Tr)
-    Sig.Fingerprint = Trace.fingerprint();
+  // walk and set copies for the statistic-only criteria.
+  if (Criterion == UniquenessCriterion::Tr) {
+    Sig.Fingerprint = Fp ? Fp(Trace) : Trace.fingerprint();
+    Sig.Sets = {Trace.stmts(), Trace.branches()};
+  }
   return Sig;
 }
 
@@ -37,11 +48,26 @@ bool UniquenessChecker::isUnique(const Signature &Sig) const {
     auto It = SeenFingerprints.find(Sig.Stats);
     if (It == SeenFingerprints.end())
       return true;
-    // Equal statistics: representative only if the full hit sets differ
-    // from every accepted tracefile with the same statistics (merge test).
-    return !It->second.count(Sig.Fingerprint);
+    auto FpIt = It->second.find(Sig.Fingerprint);
+    if (FpIt == It->second.end())
+      return true;
+    // Equal statistics and equal fingerprint: the fingerprint is only a
+    // filter, so break the tie on the stored ground-truth hit sets. A
+    // candidate whose sets differ from every accepted one is a verified
+    // 64-bit collision -- representative, not a duplicate.
+    for (const HitSets &Stored : FpIt->second)
+      if (Stored == Sig.Sets)
+        return false;
+    ++FpCollisions;
+    if (telemetry::enabled())
+      telemetry::metrics().counter("coverage.tr_fp_collisions").inc();
+    return true;
   }
+  case UniquenessCriterion::DdCoarse:
+  case UniquenessCriterion::DdFine:
+    break; // δ criteria are handled by DeltaDiversityChecker.
   }
+  assert(false && "tracefile uniqueness queried for a δ criterion");
   return false;
 }
 
@@ -56,8 +82,19 @@ void UniquenessChecker::insert(const Signature &Sig) {
   case UniquenessCriterion::StBr:
     SeenStatPairs.insert(Sig.Stats);
     break;
-  case UniquenessCriterion::Tr:
-    SeenFingerprints[Sig.Stats].insert(Sig.Fingerprint);
+  case UniquenessCriterion::Tr: {
+    std::vector<HitSets> &Bucket =
+        SeenFingerprints[Sig.Stats][Sig.Fingerprint];
+    bool Present = false;
+    for (const HitSets &Stored : Bucket)
+      Present |= Stored == Sig.Sets;
+    if (!Present)
+      Bucket.push_back(Sig.Sets);
+    break;
+  }
+  case UniquenessCriterion::DdCoarse:
+  case UniquenessCriterion::DdFine:
+    assert(false && "tracefile insert for a δ criterion");
     break;
   }
   ++NumInserted;
@@ -66,7 +103,8 @@ void UniquenessChecker::insert(const Signature &Sig) {
 size_t UniquenessChecker::trackedEntries() const {
   size_t N = SeenStmtCounts.size() + SeenStatPairs.size();
   for (const auto &KV : SeenFingerprints)
-    N += KV.second.size();
+    for (const auto &FpKV : KV.second)
+      N += FpKV.second.size();
   return N;
 }
 
@@ -85,6 +123,91 @@ bool UniquenessChecker::tryInsert(const Tracefile &Trace) {
   insert(Sig);
   return true;
 }
+
+// ---- DeltaDiversityChecker ------------------------------------------------
+
+DeltaDiversityChecker::DeltaDiversityChecker(UniquenessCriterion C)
+    : Criterion(C) {
+  assert(isDeltaDiversity(C) && "not a δ-diversity criterion");
+}
+
+uint64_t
+DeltaDiversityChecker::profileSignatureOf(const ProfileObservation &O) const {
+  Hasher H;
+  H.addU32(static_cast<uint32_t>(O.Encoded));
+  if (Criterion == UniquenessCriterion::DdCoarse) {
+    // Coarse coverage: the (stmt, branch) statistics, the same counts
+    // the paper's [stbr] compares (Nezha's "path diversity, coarse").
+    H.addU64(O.StmtCount);
+    H.addU64(O.BranchCount);
+  } else {
+    // Fine coverage: the hit-set fingerprint (Nezha's "path diversity,
+    // fine" hashes the edge set).
+    H.addU64(O.Fingerprint);
+  }
+  return H.value();
+}
+
+uint64_t DeltaDiversityChecker::outcomeHashOf(
+    const std::vector<ProfileObservation> &Obs) const {
+  Hasher H;
+  for (const ProfileObservation &O : Obs)
+    H.addU32(static_cast<uint32_t>(O.Encoded));
+  return H.value();
+}
+
+uint64_t DeltaDiversityChecker::tupleHashOf(
+    const std::vector<ProfileObservation> &Obs) const {
+  // Position-dependent: profile i's signature lands at position i, so
+  // the same behaviors on different profiles form different tuples.
+  Hasher H;
+  for (const ProfileObservation &O : Obs)
+    H.addU64(profileSignatureOf(O));
+  return H.value();
+}
+
+bool DeltaDiversityChecker::isUnique(
+    const std::vector<ProfileObservation> &Obs) const {
+  return !TupleHashes.count(tupleHashOf(Obs));
+}
+
+void DeltaDiversityChecker::insert(
+    const std::vector<ProfileObservation> &Obs) {
+  TupleHashes.insert(tupleHashOf(Obs));
+  OutcomeHashes.insert(outcomeHashOf(Obs));
+  if (PerProfile.size() < Obs.size())
+    PerProfile.resize(Obs.size());
+  for (size_t I = 0; I != Obs.size(); ++I)
+    PerProfile[I].insert(profileSignatureOf(Obs[I]));
+  ++NumInserted;
+}
+
+DeltaDiversityChecker::Novelty
+DeltaDiversityChecker::tryInsert(const std::vector<ProfileObservation> &Obs) {
+  Novelty N;
+  N.Tuple = !TupleHashes.count(tupleHashOf(Obs));
+  N.Outcome = !OutcomeHashes.count(outcomeHashOf(Obs));
+  for (size_t I = 0; I != Obs.size() && !N.Coverage; ++I)
+    N.Coverage = I >= PerProfile.size() ||
+                 !PerProfile[I].count(profileSignatureOf(Obs[I]));
+  if (N.Tuple)
+    insert(Obs);
+  return N;
+}
+
+size_t DeltaDiversityChecker::trackedEntries() const {
+  size_t N = TupleHashes.size() + OutcomeHashes.size();
+  for (const std::set<uint64_t> &Sigs : PerProfile)
+    N += Sigs.size();
+  return N;
+}
+
+size_t DeltaDiversityChecker::profileSignatures(size_t ProfileIndex) const {
+  return ProfileIndex < PerProfile.size() ? PerProfile[ProfileIndex].size()
+                                          : 0;
+}
+
+// ---- AccumulativeCoverage -------------------------------------------------
 
 bool AccumulativeCoverage::addsNew(const Tracefile &Trace) const {
   for (uint32_t Id : Trace.stmts())

@@ -36,6 +36,14 @@ std::string DiffOutcome::encodedString() const {
   return Out;
 }
 
+void DiffOutcome::commitFlightEvents() const {
+  telemetry::FlightRecorder &FR = telemetry::flightRecorder();
+  if (!FR.enabled())
+    return;
+  for (const DeferredFlightEvent &E : FlightEvents)
+    FR.record(E.Kind, E.A, E.B, E.C);
+}
+
 DifferentialTester::DifferentialTester(std::vector<JvmPolicy> Policies,
                                        const ClassPath &Extra,
                                        EnvironmentMode Mode,
@@ -75,11 +83,16 @@ DiffOutcome DifferentialTester::runProfiles(const std::string &Name,
   if (Telemetry)
     Timer.emplace(WallNs, "difftest");
 
-  tm::FlightRecorder &FR = tm::flightRecorder();
+  // Flight events are deferred into the outcome instead of recorded
+  // here: runProfiles executes on reducer probe lanes and campaign
+  // workers, and direct records from those threads would interleave in
+  // the global sequence stream nondeterministically. The caller replays
+  // them via commitFlightEvents() at its deterministic commit point.
+  const bool Flight = tm::flightRecorder().enabled();
   // Hashed once; flight events identify the class without storing the
   // (variable-length) name in a fixed-size ring entry.
   uint64_t NameHash = 0;
-  if (FR.enabled()) {
+  if (Flight) {
     Hasher H;
     H.addString(Name);
     NameHash = H.value();
@@ -87,23 +100,29 @@ DiffOutcome DifferentialTester::runProfiles(const std::string &Name,
 
   DiffOutcome Out;
   for (size_t I = 0; I != Policies.size(); ++I) {
+    CoverageRecorder Recorder;
+    CoverageRecorder *Cov = CollectCoverage ? &Recorder : nullptr;
     int Code;
     if (Data) {
       ClassPath Env = Envs[I]; // COW overlay: shares the frozen corpus.
       Env.add(Name, *Data);
-      Vm Jvm(Policies[I], Env);
+      Vm Jvm(Policies[I], Env, Cov);
       JvmResult R = Jvm.run(Name);
       Code = encodePhase(R);
       Out.Results.push_back(std::move(R));
     } else {
-      Vm Jvm(Policies[I], Envs[I]);
+      Vm Jvm(Policies[I], Envs[I], Cov);
       JvmResult R = Jvm.run(Name);
       Code = encodePhase(R);
       Out.Results.push_back(std::move(R));
     }
-    if (Out.Results.back().Error == JvmErrorKind::InternalError)
-      FR.record(tm::FlightKind::VmInternalError, I,
-                static_cast<uint64_t>(Out.Results.back().Phase), NameHash);
+    if (CollectCoverage)
+      Out.Traces.push_back(Recorder.takeTrace());
+    if (Flight &&
+        Out.Results.back().Error == JvmErrorKind::InternalError)
+      Out.FlightEvents.push_back(
+          {tm::FlightKind::VmInternalError, I,
+           static_cast<uint64_t>(Out.Results.back().Phase), NameHash});
     Out.Encoded.push_back(Code);
     if (Telemetry)
       tm::metrics()
@@ -124,12 +143,14 @@ DiffOutcome DifferentialTester::runProfiles(const std::string &Name,
           .field("discrepancy", Out.isDiscrepancy())
           .emit();
   }
-  if (FR.enabled()) {
+  if (Flight) {
     uint64_t Packed = 0;
     for (int Code : Out.Encoded)
       Packed = Packed * 10 + static_cast<uint64_t>(Code);
-    FR.record(tm::FlightKind::DiffOutcome, Packed,
-              Out.isDiscrepancy() ? 1 : 0, NameHash);
+    Out.FlightEvents.push_back({tm::FlightKind::DiffOutcome, Packed,
+                                Out.isDiscrepancy() ? uint64_t(1)
+                                                    : uint64_t(0),
+                                NameHash});
   }
   return Out;
 }

@@ -23,9 +23,11 @@
 #ifndef CLASSFUZZ_DIFFTEST_DIFFTEST_H
 #define CLASSFUZZ_DIFFTEST_DIFFTEST_H
 
+#include "coverage/Tracefile.h"
 #include "jvm/ClassPath.h"
 #include "jvm/JvmTypes.h"
 #include "jvm/Policy.h"
+#include "telemetry/FlightRecorder.h"
 
 #include <array>
 #include <map>
@@ -33,6 +35,17 @@
 #include <vector>
 
 namespace classfuzz {
+
+/// A flight-recorder event observed during a differential run but not
+/// yet recorded. runProfiles defers its events into the DiffOutcome
+/// instead of writing the global sequence stream from whatever thread it
+/// runs on; the caller replays them (commitFlightEvents) at its own
+/// deterministic commit point, so armed-recorder dumps are byte-identical
+/// across --jobs/--reduce-jobs values.
+struct DeferredFlightEvent {
+  telemetry::FlightKind Kind = telemetry::FlightKind::None;
+  uint64_t A = 0, B = 0, C = 0;
+};
 
 /// How the tester provisions environments.
 enum class EnvironmentMode {
@@ -44,6 +57,15 @@ enum class EnvironmentMode {
 struct DiffOutcome {
   std::vector<int> Encoded;      ///< One 0..4 code per JVM.
   std::vector<JvmResult> Results; ///< Full per-JVM results.
+  /// Per-profile coverage tracefiles, filled only when the tester was
+  /// constructed with CollectCoverage (empty otherwise). One entry per
+  /// JVM, in policy order; feeds the δ-diversity tuple of §2.2.3's
+  /// [dd-coarse]/[dd-fine] extensions.
+  std::vector<Tracefile> Traces;
+  /// Flight events observed during the run, deferred until the caller
+  /// commits them (see DeferredFlightEvent). Empty when the recorder is
+  /// disarmed.
+  std::vector<DeferredFlightEvent> FlightEvents;
 
   /// True when the encoded sequence is not constant.
   bool isDiscrepancy() const;
@@ -53,6 +75,10 @@ struct DiffOutcome {
   bool anyInternalError() const;
   /// The sequence as a string, e.g. "00012" (the Figure 3 encoding).
   std::string encodedString() const;
+  /// Replays the deferred flight events into the global recorder, in
+  /// observation order. Call from a deterministic commit point (one
+  /// caller thread, commit order); no-op when nothing was deferred.
+  void commitFlightEvents() const;
 };
 
 /// Differential tester over a fixed set of profiles and a corpus.
@@ -69,16 +95,24 @@ public:
   withAllProfiles(const ClassPath &Extra, EnvironmentMode Mode,
                   const std::string &SharedLibVersion = "jre8");
 
+  /// When enabled, every profile's run attaches a CoverageRecorder and
+  /// the resulting tracefiles land in DiffOutcome::Traces. Off by
+  /// default: coverage collection costs probe dispatch on every
+  /// statement/branch of every profile.
+  void setCollectCoverage(bool Enable) { CollectCoverage = Enable; }
+  bool collectCoverage() const { return CollectCoverage; }
+
   /// Runs `java <Name>` on every profile.
   ///
   /// Thread-safe: the per-profile environments are frozen at
   /// construction, and each call works on an O(1) copy-on-write
   /// ClassPath copy plus a call-local Vm. The reducer's parallel probe
   /// lanes (`--reduce-jobs`) rely on this to invoke one tester
-  /// concurrently from many workers. Caveat: the modeled VMs record
-  /// flight-recorder events (DiffOutcome, VmInternalError), so with an
-  /// armed recorder concurrent calls interleave in the global sequence
-  /// stream nondeterministically.
+  /// concurrently from many workers. Flight-recorder events are never
+  /// written from inside the call: they are deferred into the returned
+  /// DiffOutcome, and only the caller's commitFlightEvents() -- invoked
+  /// at a deterministic commit point -- touches the global sequence
+  /// stream.
   DiffOutcome testClass(const std::string &Name) const;
 
   /// Runs a class not present in the corpus by overlaying its bytes.
@@ -94,6 +128,7 @@ private:
 
   std::vector<JvmPolicy> Policies;
   std::vector<ClassPath> Envs; ///< One per policy.
+  bool CollectCoverage = false;
 };
 
 /// Aggregate statistics over a set of outcomes (the Table 6 rows).

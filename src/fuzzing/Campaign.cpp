@@ -30,6 +30,10 @@ const char *classfuzz::fuzzAlgorithmName(FuzzAlgorithm Algo) {
     return "classfuzz[st]";
   case FuzzAlgorithm::ClassfuzzTr:
     return "classfuzz[tr]";
+  case FuzzAlgorithm::ClassfuzzDdCoarse:
+    return "classfuzz[dd-coarse]";
+  case FuzzAlgorithm::ClassfuzzDdFine:
+    return "classfuzz[dd-fine]";
   case FuzzAlgorithm::Uniquefuzz:
     return "uniquefuzz";
   case FuzzAlgorithm::Greedyfuzz:
@@ -38,6 +42,11 @@ const char *classfuzz::fuzzAlgorithmName(FuzzAlgorithm Algo) {
     return "randfuzz";
   }
   return "?";
+}
+
+bool classfuzz::usesDeltaDiversity(FuzzAlgorithm Algo) {
+  return Algo == FuzzAlgorithm::ClassfuzzDdCoarse ||
+         Algo == FuzzAlgorithm::ClassfuzzDdFine;
 }
 
 CampaignConfig::CampaignConfig() : ReferencePolicy(referenceJvmPolicy()) {}
@@ -56,6 +65,17 @@ size_t CampaignResult::uniqueCoverageStats() const {
   return Stats.size();
 }
 
+size_t CampaignResult::ddDistinctDiscrepancies() const {
+  size_t N = 0;
+  for (const auto &[Sequence, Count] : DdOutcomeCounts) {
+    bool Constant = true;
+    for (char C : Sequence)
+      Constant &= C == Sequence[0];
+    N += !Constant;
+  }
+  return N;
+}
+
 ClassPath CampaignResult::corpusClassPath() const {
   ClassPath Out;
   for (const SeedClass &Seed : Seeds) {
@@ -70,11 +90,16 @@ ClassPath CampaignResult::corpusClassPath() const {
 
 namespace {
 
-/// The acceptance discipline, dispatching on the algorithm.
+/// The acceptance discipline, dispatching on the algorithm. The δ
+/// algorithms judge cross-profile observation tuples (acceptDd); the
+/// others judge reference-JVM tracefiles (accept).
 class Acceptor {
 public:
   explicit Acceptor(FuzzAlgorithm Algo)
-      : Algo(Algo), Unique(criterionFor(Algo)) {}
+      : Algo(Algo), Unique(criterionFor(Algo)) {
+    if (usesDeltaDiversity(Algo))
+      Delta.emplace(criterionFor(Algo));
+  }
 
   /// True when a mutant with \p Trace is representative.
   bool accept(const Tracefile &Trace) {
@@ -86,6 +111,13 @@ public:
     default:
       return Unique.tryInsert(Trace);
     }
+  }
+
+  /// δ-diversity acceptance: representative iff the cross-profile tuple
+  /// is novel. The decomposition feeds campaign.dd_* telemetry.
+  DeltaDiversityChecker::Novelty
+  acceptDd(const std::vector<ProfileObservation> &Obs) {
+    return Delta->tryInsert(Obs);
   }
 
   /// Seeds participate in the uniqueness pool (TestClasses starts as
@@ -103,6 +135,14 @@ public:
     }
   }
 
+  /// Seed registration for the δ algorithms: the seed's cross-profile
+  /// tuple joins the pool so mutants must behave differently from it.
+  void registerSeedDd(const std::vector<ProfileObservation> &Obs) {
+    Delta->insert(Obs);
+  }
+
+  const DeltaDiversityChecker &delta() const { return *Delta; }
+
 private:
   static UniquenessCriterion criterionFor(FuzzAlgorithm Algo) {
     switch (Algo) {
@@ -110,6 +150,10 @@ private:
       return UniquenessCriterion::St;
     case FuzzAlgorithm::ClassfuzzTr:
       return UniquenessCriterion::Tr;
+    case FuzzAlgorithm::ClassfuzzDdCoarse:
+      return UniquenessCriterion::DdCoarse;
+    case FuzzAlgorithm::ClassfuzzDdFine:
+      return UniquenessCriterion::DdFine;
     default:
       return UniquenessCriterion::StBr;
     }
@@ -118,12 +162,14 @@ private:
   FuzzAlgorithm Algo;
   UniquenessChecker Unique;
   AccumulativeCoverage Greedy;
+  std::optional<DeltaDiversityChecker> Delta; ///< δ algorithms only.
 };
 
 bool usesMcmc(FuzzAlgorithm Algo) {
   return Algo == FuzzAlgorithm::ClassfuzzStBr ||
          Algo == FuzzAlgorithm::ClassfuzzSt ||
-         Algo == FuzzAlgorithm::ClassfuzzTr;
+         Algo == FuzzAlgorithm::ClassfuzzTr ||
+         usesDeltaDiversity(Algo);
 }
 
 bool usesCoverage(FuzzAlgorithm Algo) {
@@ -160,6 +206,13 @@ struct CampaignTelemetry {
   telemetry::Counter &SpecHits;
   telemetry::Counter &SpecRollbacks;
   telemetry::Counter &SpecCancelled;
+  /// δ-diversity pipeline counters; all incremented at the in-order
+  /// commit stage only, so their values are identical across --jobs.
+  telemetry::Counter &DdBatches;
+  telemetry::Counter &DdDiscrepancies;
+  telemetry::Counter &DdNovelTuple;
+  telemetry::Counter &DdNovelOutcome;
+  telemetry::Counter &DdNovelCoverage;
   telemetry::Histogram &MutateNs;
   telemetry::Histogram &ExecuteNs;
   telemetry::Histogram &CommitNs;
@@ -175,6 +228,11 @@ struct CampaignTelemetry {
         M.counter("campaign.speculation.hits"),
         M.counter("campaign.speculation.rollbacks"),
         M.counter("campaign.speculation.cancelled"),
+        M.counter("campaign.dd_batches"),
+        M.counter("campaign.dd_discrepancies"),
+        M.counter("campaign.dd_novel_tuple"),
+        M.counter("campaign.dd_novel_outcome"),
+        M.counter("campaign.dd_novel_coverage"),
         M.histogram("campaign.stage.mutate_ns"),
         M.histogram("campaign.stage.execute_ns"),
         M.histogram("campaign.stage.commit_ns"),
@@ -191,6 +249,26 @@ struct RefRun {
   int Phase = -1;
 };
 
+/// What one δ-diversity batch (all profiles, coverage on) yields. The
+/// reference profile's run doubles as the RefRun of the classic
+/// pipeline, keeping the analyzer's predict-vs-observe contract intact.
+struct DdRun {
+  std::vector<ProfileObservation> Obs; ///< One per profile, in order.
+  std::string Encoded;  ///< Figure 3 sequence, e.g. "00012".
+  Tracefile RefTrace;   ///< Reference profile's coverage.
+  int RefPhase = -1;    ///< Reference profile's encoded phase.
+  /// (profile index, raw phase) per InternalError abort, for the
+  /// commit-stage VmInternalError flight events.
+  std::vector<std::pair<uint64_t, uint64_t>> InternalErrors;
+
+  bool isDiscrepancy() const {
+    for (char C : Encoded)
+      if (C != Encoded[0])
+        return true;
+    return false;
+  }
+};
+
 /// One speculated-but-uncommitted iteration of the parallel pipeline.
 /// Everything the commit stage needs to either finalize the iteration or
 /// rewind the campaign state when the presumed-rejection speculation
@@ -200,7 +278,8 @@ struct PendingIteration {
   MutationResult MutResult = MutationResult::Inapplicable;
   bool Produced = false;
   GeneratedClass G; ///< Valid when Produced (Trace filled at commit).
-  std::future<RefRun> Trace; ///< Valid when Produced.
+  std::future<RefRun> Trace; ///< Valid when Produced (classic modes).
+  std::future<DdRun> Dd;     ///< Valid when Produced (δ modes).
   std::shared_ptr<std::atomic<bool>> Cancelled; ///< Worker skip flag.
   Rng RngAfter; ///< Driver RNG state after this iteration's draws.
   /// Selector state before this iteration's presumed-rejection
@@ -255,9 +334,42 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
 
   const bool Mcmc = usesMcmc(Config.Algo);
   const bool Coverage = usesCoverage(Config.Algo);
+  const bool DdMode = usesDeltaDiversity(Config.Algo);
   // Workers only overlap coverage executions; algorithms that collect no
   // coverage (randfuzz) have nothing to offload.
   const size_t Jobs = Coverage ? std::max<size_t>(1, Config.Jobs) : 1;
+
+  // δ-diversity batch state: the paper's five profiles plus one frozen
+  // environment per profile (each its own runtime-library version, the
+  // Definition 1 setup). RefEnv above still serves the analyzer and the
+  // class-name universe; the reference profile's batch run doubles as
+  // the classic pipeline's reference run.
+  std::vector<JvmPolicy> DdPolicies;
+  std::vector<ClassPath> DdEnvs;
+  size_t DdRefIndex = 0;
+  if (DdMode) {
+    DdPolicies = allJvmPolicies();
+    bool Found = false;
+    for (size_t I = 0; I != DdPolicies.size() && !Found; ++I)
+      if (DdPolicies[I].Name == Config.ReferencePolicy.Name) {
+        DdRefIndex = I;
+        Found = true;
+      }
+    if (!Found) {
+      DdRefIndex = DdPolicies.size();
+      DdPolicies.push_back(Config.ReferencePolicy);
+    }
+    for (const JvmPolicy &P : DdPolicies) {
+      ClassPath Env = runtimeLibraryFor(P);
+      for (const SeedClass &Seed : Result.Seeds) {
+        Env.add(Seed.Name, Seed.Data);
+        for (const auto &[Name, Data] : Seed.Helpers)
+          Env.add(Name, Data);
+      }
+      Env.freeze();
+      DdEnvs.push_back(std::move(Env));
+    }
+  }
 
   /// Runs \p Name on the reference JVM, collecting coverage and the
   /// encoded startup phase.
@@ -269,6 +381,43 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
     Vm Jvm(Config.ReferencePolicy, Env, &Recorder);
     JvmResult RunResult = Jvm.run(Name);
     return RefRun{Recorder.takeTrace(), encodePhase(RunResult)};
+  };
+
+  /// Runs \p Name on every profile with coverage on, building the
+  /// δ-diversity batch observation. \p Envs must already contain the
+  /// mutant overlay, one ClassPath per profile; reads only frozen /
+  /// call-local state, so workers may run it concurrently.
+  auto ddRunOver = [&](const std::string &Name,
+                       const std::vector<ClassPath> &Envs) -> DdRun {
+    DdRun Run;
+    Run.Obs.reserve(DdPolicies.size());
+    Run.Encoded.reserve(DdPolicies.size());
+    for (size_t I = 0; I != DdPolicies.size(); ++I) {
+      CoverageRecorder Recorder;
+      Vm Jvm(DdPolicies[I], Envs[I], &Recorder);
+      JvmResult RunResult = Jvm.run(Name);
+      int Code = encodePhase(RunResult);
+      Tracefile Trace = Recorder.takeTrace();
+      Run.Obs.push_back(ProfileObservation::of(Code, Trace));
+      Run.Encoded += static_cast<char>('0' + Code);
+      if (RunResult.Error == JvmErrorKind::InternalError)
+        Run.InternalErrors.push_back(
+            {I, static_cast<uint64_t>(RunResult.Phase)});
+      if (I == DdRefIndex) {
+        Run.RefTrace = std::move(Trace);
+        Run.RefPhase = Code;
+      }
+    }
+    return Run;
+  };
+
+  /// Driver-side convenience: overlay \p Data onto every profile
+  /// environment (O(1) COW copies) and run the batch.
+  auto ddRunOf = [&](const std::string &Name, const Bytes &Data) -> DdRun {
+    std::vector<ClassPath> Envs = DdEnvs;
+    for (ClassPath &E : Envs)
+      E.add(Name, Data);
+    return ddRunOver(Name, Envs);
   };
 
   Acceptor Accept(Config.Algo);
@@ -345,7 +494,9 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
     Prov.RootSeedIndex = SeedIndex;
     Prov.RootSeedName = Seed.Name;
     Pool.push_back({Seed.Name, Seed.Data, std::move(Prov)});
-    if (Coverage)
+    if (DdMode)
+      Accept.registerSeedDd(ddRunOf(Seed.Name, Seed.Data).Obs);
+    else if (Coverage)
       Accept.registerSeed(coverageOf(Seed.Name, Seed.Data).Trace);
   }
 
@@ -419,6 +570,50 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
     Result.AnalysisRecords.push_back(Rec);
   };
 
+  /// Commit-stage bookkeeping for one δ batch: the outcome census on
+  /// the result, the campaign.dd_* counters, and the differential
+  /// flight events (VmInternalError per aborting profile, then the
+  /// DiffOutcome). Runs in commit order only, so every output is
+  /// identical across Jobs values.
+  auto recordDdBatch = [&](const GeneratedClass &G, const DdRun &Run,
+                           DeltaDiversityChecker::Novelty Novelty) {
+    ++Result.DdOutcomeCounts[Run.Encoded];
+    const bool Discrepancy = Run.isDiscrepancy();
+    if (Discrepancy)
+      ++Result.DdDiscrepancies;
+    if (Telem) {
+      TM.DdBatches.inc();
+      if (Discrepancy)
+        TM.DdDiscrepancies.inc();
+      if (Novelty.Tuple)
+        TM.DdNovelTuple.inc();
+      if (Novelty.Outcome)
+        TM.DdNovelOutcome.inc();
+      if (Novelty.Coverage)
+        TM.DdNovelCoverage.inc();
+    }
+    if (FR.enabled()) {
+      Hasher H;
+      H.addString(G.Name);
+      const uint64_t NameHash = H.value();
+      for (const auto &[Profile, Phase] : Run.InternalErrors)
+        FR.record(telemetry::FlightKind::VmInternalError, Profile, Phase,
+                  NameHash);
+      uint64_t Packed = 0;
+      for (char C : Run.Encoded)
+        Packed = Packed * 10 + static_cast<uint64_t>(C - '0');
+      FR.record(telemetry::FlightKind::DiffOutcome, Packed,
+                Discrepancy ? 1 : 0, NameHash);
+    }
+    if (telemetry::eventSink())
+      telemetry::EventBuilder("campaign.dd_batch")
+          .field("class", G.Name)
+          .field("encoded", Run.Encoded)
+          .field("discrepancy", Discrepancy)
+          .field("novel_tuple", Novelty.Tuple)
+          .emit();
+  };
+
   /// Commits one produced, coverage-checked mutant: acceptance
   /// bookkeeping plus the Algorithm 1 line 14 feedback loop. Returns
   /// whether the mutant was representative.
@@ -440,6 +635,11 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
       // the reference environment so later mutants can reference them.
       RefEnv.add(Stored.Name, Stored.Data);
       RefEnv.freeze(); // Keep per-mutant overlay copies O(1).
+      // The δ batch environments track the corpus the same way.
+      for (ClassPath &E : DdEnvs) {
+        E.add(Stored.Name, Stored.Data);
+        E.freeze();
+      }
       if (Analyzer)
         Analyzer->addEnvironmentClass(Stored.Name, Stored.Data);
       if (Config.FeedbackAcceptedMutants)
@@ -488,10 +688,20 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
       G.Prov.Steps.push_back(
           {MutatorIndex, RngBefore, R.drawCount() - RngBefore.Draws});
 
-      // Lines 12-16: record, run on the reference JVM, accept on
-      // uniqueness.
+      // Lines 12-16: record, run on the reference JVM (δ modes: on all
+      // profiles), accept on uniqueness (δ modes: on tuple novelty).
       bool Representative;
-      if (Coverage) {
+      if (DdMode) {
+        telemetry::PhaseTimer ExecT(TM.ExecuteNs, "execute");
+        DdRun Run = ddRunOf(G.Name, G.Data);
+        ExecT.stop();
+        G.Trace = std::move(Run.RefTrace);
+        G.RefPhase = Run.RefPhase;
+        G.DdEncoded = Run.Encoded;
+        DeltaDiversityChecker::Novelty Novelty = Accept.acceptDd(Run.Obs);
+        Representative = Novelty.Tuple;
+        recordDdBatch(G, Run, Novelty);
+      } else if (Coverage) {
         telemetry::PhaseTimer ExecT(TM.ExecuteNs, "execute");
         RefRun Run = coverageOf(G.Name, G.Data);
         ExecT.stop();
@@ -558,22 +768,41 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
         // The worker's environment: a COW overlay of the corpus as of
         // this iteration (no accept can intervene before commit -- an
         // accept discards all later in-flight iterations).
-        auto Env = std::make_shared<ClassPath>(RefEnv);
-        Env->add(P.G.Name, P.G.Data);
-        P.Trace = Workers.submit(
-            [Env, Name = P.G.Name, &Policy = Config.ReferencePolicy,
-             Cancelled = P.Cancelled, &ExecNs = TM.ExecuteNs]() -> RefRun {
-              if (Cancelled->load(std::memory_order_relaxed))
-                return RefRun();
-              // Worker-side timing is safe: Histogram is lock-free
-              // atomics, and the timer never touches campaign state.
-              // The span lands on this worker's Perfetto lane.
-              telemetry::PhaseTimer ExecT(ExecNs, "execute");
-              CoverageRecorder Recorder;
-              Vm Jvm(Policy, *Env, &Recorder);
-              JvmResult RunResult = Jvm.run(Name);
-              return RefRun{Recorder.takeTrace(), encodePhase(RunResult)};
-            });
+        if (DdMode) {
+          // δ modes ship the whole five-profile batch to the worker;
+          // the overlays are made here, on the driver, against this
+          // iteration's view of the corpus.
+          auto Envs = std::make_shared<std::vector<ClassPath>>(DdEnvs);
+          for (ClassPath &E : *Envs)
+            E.add(P.G.Name, P.G.Data);
+          P.Dd = Workers.submit(
+              [Envs, Name = P.G.Name, &ddRunOver,
+               Cancelled = P.Cancelled,
+               &ExecNs = TM.ExecuteNs]() -> DdRun {
+                if (Cancelled->load(std::memory_order_relaxed))
+                  return DdRun();
+                telemetry::PhaseTimer ExecT(ExecNs, "execute");
+                return ddRunOver(Name, *Envs);
+              });
+        } else {
+          auto Env = std::make_shared<ClassPath>(RefEnv);
+          Env->add(P.G.Name, P.G.Data);
+          P.Trace = Workers.submit(
+              [Env, Name = P.G.Name, &Policy = Config.ReferencePolicy,
+               Cancelled = P.Cancelled,
+               &ExecNs = TM.ExecuteNs]() -> RefRun {
+                if (Cancelled->load(std::memory_order_relaxed))
+                  return RefRun();
+                // Worker-side timing is safe: Histogram is lock-free
+                // atomics, and the timer never touches campaign state.
+                // The span lands on this worker's Perfetto lane.
+                telemetry::PhaseTimer ExecT(ExecNs, "execute");
+                CoverageRecorder Recorder;
+                Vm Jvm(Policy, *Env, &Recorder);
+                JvmResult RunResult = Jvm.run(Name);
+                return RefRun{Recorder.takeTrace(), encodePhase(RunResult)};
+              });
+        }
       }
       P.RngAfter = R;
       if (Mcmc) {
@@ -604,11 +833,27 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
         continue;
       }
 
-      RefRun Run = P.Trace.get();
-      P.G.Trace = std::move(Run.Trace);
-      P.G.RefPhase = Run.Phase;
+      DdRun DdResult;
+      if (DdMode) {
+        DdResult = P.Dd.get();
+        P.G.Trace = std::move(DdResult.RefTrace);
+        P.G.RefPhase = DdResult.RefPhase;
+        P.G.DdEncoded = DdResult.Encoded;
+      } else {
+        RefRun Run = P.Trace.get();
+        P.G.Trace = std::move(Run.Trace);
+        P.G.RefPhase = Run.Phase;
+      }
       telemetry::PhaseTimer CommitT(TM.CommitNs, "commit");
-      bool Representative = Accept.accept(P.G.Trace);
+      bool Representative;
+      if (DdMode) {
+        DeltaDiversityChecker::Novelty Novelty =
+            Accept.acceptDd(DdResult.Obs);
+        Representative = Novelty.Tuple;
+        recordDdBatch(P.G, DdResult, Novelty);
+      } else {
+        Representative = Accept.accept(P.G.Trace);
+      }
       P.G.Representative = Representative;
       if (Representative && Mcmc) {
         // Mispredicted: rewind the selector past the presumed rejection
@@ -669,6 +914,20 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
       Grid.inc(I, 3, Result.MutatorNoChange[I]);
     }
     telemetry::metrics().counter("campaign.iterations").inc(Iter);
+    if (DdMode) {
+      // End-of-run census of the δ pool. Gauges, not counters: they
+      // report the checker's absolute state, which already accumulates
+      // across campaigns in one process.
+      const DeltaDiversityChecker &Delta = Accept.delta();
+      auto &M = telemetry::metrics();
+      M.gauge("campaign.dd_distinct_tuples")
+          .set(static_cast<int64_t>(Delta.distinctTuples()));
+      M.gauge("campaign.dd_distinct_outcomes")
+          .set(static_cast<int64_t>(Delta.distinctOutcomes()));
+      for (size_t I = 0; I != DdPolicies.size(); ++I)
+        M.gauge("campaign.dd_profile_signatures." + DdPolicies[I].Name)
+            .set(static_cast<int64_t>(Delta.profileSignatures(I)));
+    }
     if (Config.RunAnalysis) {
       // Per-mutator x per-diagnostic-pass finding counts: which
       // mutators produce which classes of statically detectable damage.

@@ -10,6 +10,10 @@
 ///
 ///  * classfuzz[stbr] / [st] / [tr] -- MCMC mutator selection +
 ///    coverage-uniqueness acceptance on the reference JVM;
+///  * classfuzz[dd-coarse] / [dd-fine] -- MCMC selection + Nezha-style
+///    δ-diversity acceptance: every produced mutant runs on all five
+///    profiles and is kept iff its per-profile (outcome, coverage)
+///    tuple is novel (coverage/Uniqueness.h, DeltaDiversityChecker);
 ///  * uniquefuzz -- uniform mutator selection + [stbr] uniqueness;
 ///  * greedyfuzz -- uniform selection + accumulative-coverage acceptance;
 ///  * randfuzz   -- uniform selection, accepts every produced mutant,
@@ -33,23 +37,31 @@
 #include "mutation/Mutator.h"
 #include "runtime/SeedCorpus.h"
 
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 namespace classfuzz {
 
-/// The six evaluated algorithms.
+/// The six evaluated algorithms plus the two δ-diversity extensions.
 enum class FuzzAlgorithm {
   ClassfuzzStBr,
   ClassfuzzSt,
   ClassfuzzTr,
+  ClassfuzzDdCoarse,
+  ClassfuzzDdFine,
   Uniquefuzz,
   Greedyfuzz,
   Randfuzz,
 };
 
 const char *fuzzAlgorithmName(FuzzAlgorithm Algo);
+
+/// True for the δ-diversity algorithms, whose acceptance runs every
+/// produced mutant on all five profiles instead of the reference JVM
+/// alone.
+bool usesDeltaDiversity(FuzzAlgorithm Algo);
 
 /// Campaign parameters.
 struct CampaignConfig {
@@ -115,6 +127,10 @@ struct GeneratedClass {
   /// Encoded startup phase {0..4} observed on the reference JVM during
   /// the coverage run; -1 when no reference run happened (randfuzz).
   int RefPhase = -1;
+  /// δ-diversity modes only: the encoded five-profile sequence observed
+  /// at acceptance time (Figure 3 encoding, e.g. "00012"). Empty for
+  /// the reference-JVM algorithms.
+  std::string DdEncoded;
 };
 
 /// The analyzer's verdict for one produced mutant (compact; the full
@@ -162,10 +178,20 @@ struct CampaignResult {
   /// Every latched predict-vs-observe mismatch (RunAnalysis). Empty
   /// means the analyzer's prediction held on every produced mutant.
   std::vector<SelfCheckReport> SelfChecks;
+  /// δ-diversity modes only: encoded five-profile sequence -> count over
+  /// every produced mutant (the campaign-side differential census; the
+  /// non-constant keys are the distinct discrepancy categories).
+  std::map<std::string, size_t> DdOutcomeCounts;
+  /// δ-diversity modes only: produced mutants whose encoded sequence was
+  /// non-constant.
+  size_t DdDiscrepancies = 0;
   double ElapsedSeconds = 0;
 
   size_t numGenerated() const { return GenClasses.size(); }
   size_t numTests() const { return TestClassIndices.size(); }
+  /// Distinct discrepancy categories seen by the δ-diversity batch runs
+  /// (non-constant keys of DdOutcomeCounts); 0 for other algorithms.
+  size_t ddDistinctDiscrepancies() const;
   /// succ(X) = |TestClasses| / #Iterations (§3.1.3).
   double successRatePercent() const;
   /// Distinct coverage statistics among GenClasses (the Finding 1

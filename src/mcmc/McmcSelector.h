@@ -16,6 +16,13 @@
 /// probability. Success rates are re-computed and the ranking re-sorted
 /// after every acceptance decision (Algorithm 1 lines 15-16).
 ///
+/// The notion of "success" is the campaign's acceptance signal: under
+/// the [st]/[stbr]/[tr] criteria it is reference-JVM coverage novelty;
+/// under the δ-diversity criteria ([dd-coarse]/[dd-fine]) the reward
+/// recorded here is cross-profile tuple novelty, steering the sampler
+/// toward mutators that produce *behavioral disagreement* between
+/// profiles rather than new reference coverage.
+///
 /// Note on Algorithm 1 line 10: the paper's pseudocode loops
 /// "until random() >= (1-p)^(k2-k1)", which as printed would never
 /// accept a *better* mutator (threshold > 1). We implement the

@@ -177,14 +177,20 @@ void appendJsonNumber(std::ostringstream &OS, double V) {
 
 } // namespace
 
-std::string MetricRegistry::snapshotJson() const {
+std::string MetricRegistry::snapshotJson(const std::string &NamePrefix) const {
   std::lock_guard<std::mutex> Lock(M);
+  auto Selected = [&NamePrefix](const std::string &Name) {
+    return NamePrefix.empty() ||
+           Name.compare(0, NamePrefix.size(), NamePrefix) == 0;
+  };
   std::ostringstream OS;
   OS << "{";
 
   OS << "\"counters\":{";
   bool First = true;
   for (const auto &[Name, C] : Counters) {
+    if (!Selected(Name))
+      continue;
     OS << (First ? "" : ",") << "\"" << jsonEscape(Name)
        << "\":" << C->value();
     First = false;
@@ -194,6 +200,8 @@ std::string MetricRegistry::snapshotJson() const {
   OS << "\"gauges\":{";
   First = true;
   for (const auto &[Name, G] : Gauges) {
+    if (!Selected(Name))
+      continue;
     OS << (First ? "" : ",") << "\"" << jsonEscape(Name)
        << "\":" << G->value();
     First = false;
@@ -203,6 +211,8 @@ std::string MetricRegistry::snapshotJson() const {
   OS << "\"histograms\":{";
   First = true;
   for (const auto &[Name, H] : Histograms) {
+    if (!Selected(Name))
+      continue;
     OS << (First ? "" : ",") << "\"" << jsonEscape(Name) << "\":{"
        << "\"count\":" << H->count() << ",\"sum\":" << H->sum()
        << ",\"min\":" << H->min() << ",\"max\":" << H->max()
@@ -217,6 +227,8 @@ std::string MetricRegistry::snapshotJson() const {
   OS << "\"grids\":{";
   First = true;
   for (const auto &[Name, G] : Grids) {
+    if (!Selected(Name))
+      continue;
     OS << (First ? "" : ",") << "\"" << jsonEscape(Name) << "\":{";
     bool FirstCell = true;
     for (size_t Row = 0; Row != G->rows(); ++Row) {

@@ -170,7 +170,12 @@ public:
   /// One JSON object snapshot of every registered metric, keys sorted:
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,
   /// min,max,mean,p50,p99}},"grids":{name:{row.col:count}}}.
-  std::string snapshotJson() const;
+  ///
+  /// A non-empty \p NamePrefix restricts every section to metrics whose
+  /// name starts with it (e.g. "campaign.dd"), yielding a snapshot free
+  /// of timing histograms and other run-to-run noise -- the CLI's
+  /// --stats-filter, which CI byte-compares across --jobs values.
+  std::string snapshotJson(const std::string &NamePrefix = "") const;
 
   /// Zeroes every metric's value. References handed out earlier remain
   /// valid (tests and repeated campaigns rely on this).

@@ -1,0 +1,175 @@
+//===- tests/coverage/dd_uniqueness_test.cpp -------------------------------===//
+//
+// The Nezha-style δ-diversity criteria: cross-profile tuple novelty
+// ([dd-coarse]/[dd-fine]), position dependence of the tuple hash, the
+// coarse-vs-fine distinction, the Novelty decomposition reported by
+// tryInsert, and criterion-scoped bookkeeping.
+//
+//===----------------------------------------------------------------------===//
+
+#include "coverage/Uniqueness.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+
+namespace {
+
+Tracefile makeTrace(std::initializer_list<uint32_t> Stmts,
+                    std::initializer_list<uint32_t> BranchSites) {
+  Tracefile T;
+  for (uint32_t S : Stmts)
+    T.addStmt(S);
+  for (uint32_t B : BranchSites)
+    T.addBranch(B, true);
+  return T;
+}
+
+/// A hand-built observation: fixed coarse statistics so [dd-coarse] and
+/// [dd-fine] verdicts can be steered independently via Encoded/Fp.
+ProfileObservation obs(int Encoded, uint64_t Fp, size_t Stmts = 3,
+                      size_t Branches = 2) {
+  ProfileObservation O;
+  O.Encoded = Encoded;
+  O.StmtCount = Stmts;
+  O.BranchCount = Branches;
+  O.Fingerprint = Fp;
+  return O;
+}
+
+using Batch = std::vector<ProfileObservation>;
+
+} // namespace
+
+TEST(DeltaDiversity, ObservationOfReadsTheTrace) {
+  Tracefile T = makeTrace({1, 2, 3}, {1, 2});
+  ProfileObservation O = ProfileObservation::of(3, T);
+  EXPECT_EQ(O.Encoded, 3);
+  EXPECT_EQ(O.StmtCount, 3u);
+  EXPECT_EQ(O.BranchCount, 2u);
+  EXPECT_EQ(O.Fingerprint, T.fingerprint());
+}
+
+TEST(DeltaDiversity, SameTupleRejectedNovelTupleAccepted) {
+  DeltaDiversityChecker C(UniquenessCriterion::DdFine);
+  Batch A = {obs(0, 0x10), obs(1, 0x20)};
+  EXPECT_TRUE(C.isUnique(A));
+  EXPECT_TRUE(static_cast<bool>(C.tryInsert(A)));
+  EXPECT_FALSE(C.isUnique(A));
+  EXPECT_FALSE(static_cast<bool>(C.tryInsert(A))) << "duplicate tuple";
+
+  Batch B = {obs(0, 0x10), obs(2, 0x20)}; // One profile diverges.
+  EXPECT_TRUE(C.isUnique(B));
+  EXPECT_TRUE(static_cast<bool>(C.tryInsert(B)));
+  EXPECT_EQ(C.size(), 2u) << "the rejected duplicate was not inserted";
+  EXPECT_EQ(C.distinctTuples(), 2u);
+}
+
+TEST(DeltaDiversity, TupleHashIsPositionDependent) {
+  // The same observations attributed to different profiles must form a
+  // different tuple, exactly as the paper's encoding distinguishes
+  // "0010" from "0100".
+  DeltaDiversityChecker C(UniquenessCriterion::DdFine);
+  Batch AB = {obs(0, 0x10), obs(1, 0x20)};
+  Batch BA = {obs(1, 0x20), obs(0, 0x10)};
+  EXPECT_NE(C.tupleHashOf(AB), C.tupleHashOf(BA));
+  C.insert(AB);
+  EXPECT_TRUE(C.isUnique(BA)) << "swapped profiles are a new behavior";
+}
+
+TEST(DeltaDiversity, CoarseIgnoresHitIdentityFineSeesIt) {
+  // Same outcome, same (stmt, branch) statistics, different hit sets:
+  // invisible to [dd-coarse], novel under [dd-fine].
+  Tracefile T1 = makeTrace({1, 2, 3}, {1, 2});
+  Tracefile T2 = makeTrace({7, 8, 9}, {4, 5});
+  Batch A = {ProfileObservation::of(0, T1)};
+  Batch B = {ProfileObservation::of(0, T2)};
+
+  DeltaDiversityChecker Coarse(UniquenessCriterion::DdCoarse);
+  Coarse.insert(A);
+  EXPECT_FALSE(Coarse.isUnique(B)) << "equal statistics, equal tuple";
+
+  DeltaDiversityChecker Fine(UniquenessCriterion::DdFine);
+  Fine.insert(A);
+  EXPECT_TRUE(Fine.isUnique(B)) << "fingerprints differ";
+
+  // A statistic change is visible to both.
+  Tracefile T3 = makeTrace({1, 2}, {1, 2});
+  Batch Smaller = {ProfileObservation::of(0, T3)};
+  EXPECT_TRUE(Coarse.isUnique(Smaller));
+  EXPECT_TRUE(Fine.isUnique(Smaller));
+}
+
+TEST(DeltaDiversity, OutcomeFeedsTheProfileSignature) {
+  // Identical coverage with a different encoded outcome is novel under
+  // both criteria: the signature hashes the outcome alongside coverage.
+  Tracefile T = makeTrace({1, 2, 3}, {1, 2});
+  for (UniquenessCriterion Crit :
+       {UniquenessCriterion::DdCoarse, UniquenessCriterion::DdFine}) {
+    DeltaDiversityChecker C(Crit);
+    C.insert({ProfileObservation::of(0, T)});
+    EXPECT_TRUE(C.isUnique({ProfileObservation::of(1, T)}))
+        << criterionName(Crit);
+  }
+}
+
+TEST(DeltaDiversity, NoveltyDecomposition) {
+  // Two profiles; four per-profile signatures A/A' (profile 0, encoded
+  // 0) and B/B' (profile 1, encoded 1) recombined to isolate each
+  // novelty bit.
+  DeltaDiversityChecker C(UniquenessCriterion::DdFine);
+  ProfileObservation A = obs(0, 0x10), APrime = obs(0, 0x11);
+  ProfileObservation B = obs(1, 0x20), BPrime = obs(1, 0x21);
+
+  // First batch: everything is new.
+  DeltaDiversityChecker::Novelty N1 = C.tryInsert({A, B});
+  EXPECT_TRUE(N1.Tuple);
+  EXPECT_TRUE(N1.Outcome);
+  EXPECT_TRUE(N1.Coverage);
+
+  // Same outcome sequence "01", both coverage signatures fresh.
+  DeltaDiversityChecker::Novelty N2 = C.tryInsert({APrime, BPrime});
+  EXPECT_TRUE(N2.Tuple);
+  EXPECT_FALSE(N2.Outcome) << "sequence 01 already seen";
+  EXPECT_TRUE(N2.Coverage);
+
+  // A fresh recombination of already-seen parts: only the tuple is new.
+  DeltaDiversityChecker::Novelty N3 = C.tryInsert({A, BPrime});
+  EXPECT_TRUE(N3.Tuple);
+  EXPECT_FALSE(N3.Outcome);
+  EXPECT_FALSE(N3.Coverage) << "both profile signatures already seen";
+
+  // An exact duplicate: nothing is new, nothing is inserted.
+  DeltaDiversityChecker::Novelty N4 = C.tryInsert({A, B});
+  EXPECT_FALSE(N4.Tuple);
+  EXPECT_FALSE(N4.Outcome);
+  EXPECT_FALSE(N4.Coverage);
+  EXPECT_FALSE(static_cast<bool>(N4));
+
+  EXPECT_EQ(C.distinctTuples(), 3u);
+  EXPECT_EQ(C.distinctOutcomes(), 1u);
+  EXPECT_EQ(C.profileSignatures(0), 2u);
+  EXPECT_EQ(C.profileSignatures(1), 2u);
+}
+
+TEST(DeltaDiversity, TrackedEntriesScopedToCriterion) {
+  // One two-profile insert costs one tuple + one outcome sequence + two
+  // per-profile signatures; the other δ criterion's structures must not
+  // exist at all.
+  for (UniquenessCriterion Crit :
+       {UniquenessCriterion::DdCoarse, UniquenessCriterion::DdFine}) {
+    DeltaDiversityChecker C(Crit);
+    EXPECT_EQ(C.trackedEntries(), 0u) << criterionName(Crit);
+    C.insert({obs(0, 0x10), obs(1, 0x20)});
+    EXPECT_EQ(C.trackedEntries(), 4u) << criterionName(Crit);
+  }
+}
+
+TEST(DeltaDiversity, IsUniqueIsSideEffectFree) {
+  DeltaDiversityChecker C(UniquenessCriterion::DdCoarse);
+  Batch A = {obs(0, 0x10)};
+  EXPECT_TRUE(C.isUnique(A));
+  EXPECT_TRUE(C.isUnique(A)) << "the check must not record the tuple";
+  EXPECT_EQ(C.distinctTuples(), 0u);
+  EXPECT_EQ(C.size(), 0u);
+}

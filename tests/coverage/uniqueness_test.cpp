@@ -107,6 +107,52 @@ TEST(Uniqueness, CriterionNames) {
   EXPECT_STREQ(criterionName(UniquenessCriterion::St), "[st]");
   EXPECT_STREQ(criterionName(UniquenessCriterion::StBr), "[stbr]");
   EXPECT_STREQ(criterionName(UniquenessCriterion::Tr), "[tr]");
+  EXPECT_STREQ(criterionName(UniquenessCriterion::DdCoarse), "[dd-coarse]");
+  EXPECT_STREQ(criterionName(UniquenessCriterion::DdFine), "[dd-fine]");
+  EXPECT_FALSE(isDeltaDiversity(UniquenessCriterion::Tr));
+  EXPECT_TRUE(isDeltaDiversity(UniquenessCriterion::DdCoarse));
+  EXPECT_TRUE(isDeltaDiversity(UniquenessCriterion::DdFine));
+}
+
+TEST(Uniqueness, TrFingerprintCollisionFallsBackToStoredHitSets) {
+  // Force every tracefile to hash to the same 64-bit fingerprint: the
+  // stored ground-truth hit sets must break the tie, so two genuinely
+  // different traces are both accepted and the collision is counted.
+  // Before the fallback such candidates were silently rejected.
+  UniquenessChecker C(UniquenessCriterion::Tr,
+                      [](const Tracefile &) { return 42ull; });
+  Tracefile A = makeTrace({1, 2, 3}, {1, 2});
+  Tracefile B = makeTrace({7, 8, 9}, {4, 5}); // Same stats, other sets.
+
+  EXPECT_TRUE(C.tryInsert(A));
+  EXPECT_EQ(C.fingerprintCollisions(), 0u);
+  EXPECT_TRUE(C.tryInsert(B))
+      << "a colliding fingerprint must not mask a distinct trace";
+  EXPECT_EQ(C.fingerprintCollisions(), 1u);
+
+  // Exact duplicates are still rejected via the stored sets, without
+  // registering further collisions.
+  EXPECT_FALSE(C.isUnique(A));
+  EXPECT_FALSE(C.isUnique(B));
+  EXPECT_EQ(C.fingerprintCollisions(), 1u);
+
+  // A third distinct trace under the same colliding fingerprint: both
+  // stored set pairs are consulted, neither matches, accepted.
+  Tracefile D = makeTrace({4, 5, 6}, {8, 9});
+  EXPECT_TRUE(C.tryInsert(D));
+  EXPECT_EQ(C.fingerprintCollisions(), 2u);
+  EXPECT_EQ(C.size(), 3u);
+}
+
+TEST(Uniqueness, TrRealFingerprintStillDedupes) {
+  // Default fingerprint path: equal hit sets are rejected whether or
+  // not their insertion order varies, and no collision is recorded.
+  UniquenessChecker C(UniquenessCriterion::Tr);
+  Tracefile A = makeTrace({1, 2, 3}, {1, 2});
+  EXPECT_TRUE(C.tryInsert(A));
+  Tracefile SameSets = makeTrace({3, 2, 1}, {2, 1});
+  EXPECT_FALSE(C.isUnique(SameSets));
+  EXPECT_EQ(C.fingerprintCollisions(), 0u);
 }
 
 TEST(AccumulativeCoverage, AcceptsOnlyNewCoverage) {

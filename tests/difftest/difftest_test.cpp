@@ -220,6 +220,65 @@ TEST(DiffStats, MergeIntoEmptyAndFromEmpty) {
   EXPECT_EQ(IntoEmpty.DistinctDiscrepancies.count("00012"), 1u);
 }
 
+TEST(DiffStats, DiffRateIsZeroWithoutOutcomes) {
+  // Regression: diffRatePercent on a fresh (or merged-empty) object must
+  // return 0.0, not divide by Total == 0.
+  DiffStats Empty;
+  EXPECT_DOUBLE_EQ(Empty.diffRatePercent(), 0.0);
+
+  DiffStats AlsoEmpty;
+  AlsoEmpty.merge(Empty);
+  EXPECT_DOUBLE_EQ(AlsoEmpty.diffRatePercent(), 0.0);
+}
+
+TEST(DiffTest, CollectCoverageFillsPerProfileTraces) {
+  Bytes Hello = serialize(makeHelloClass("Hello"));
+  auto Tester = DifferentialTester::withAllProfiles(
+      corpusOf({{"Hello", Hello}}), EnvironmentMode::Shared);
+
+  // Off by default: no tracefiles are materialized.
+  EXPECT_FALSE(Tester.collectCoverage());
+  EXPECT_TRUE(Tester.testClass("Hello").Traces.empty());
+
+  Tester.setCollectCoverage(true);
+  DiffOutcome O = Tester.testClass("Hello");
+  ASSERT_EQ(O.Traces.size(), Tester.policies().size());
+  for (const Tracefile &T : O.Traces)
+    EXPECT_GT(T.stmtCount(), 0u) << "every profile executed Hello";
+}
+
+TEST(DiffTest, FlightEventsAreDeferredUntilCommitted) {
+  namespace tel = classfuzz::telemetry;
+  struct RecorderGuard {
+    RecorderGuard() { tel::flightRecorder().disable(); }
+    ~RecorderGuard() { tel::flightRecorder().disable(); }
+  } Guard;
+
+  Bytes Hello = serialize(makeHelloClass("Hello"));
+  auto Tester = DifferentialTester::withAllProfiles(
+      corpusOf({{"Hello", Hello}}), EnvironmentMode::Shared);
+
+  // Disarmed recorder: nothing is even deferred.
+  EXPECT_TRUE(Tester.testClass("Hello").FlightEvents.empty());
+
+  tel::FlightRecorder &FR = tel::flightRecorder();
+  FR.enable(64);
+  DiffOutcome O = Tester.testClass("Hello");
+  ASSERT_FALSE(O.FlightEvents.empty());
+  EXPECT_TRUE(FR.snapshot().empty())
+      << "testClass must not write the global stream";
+
+  O.commitFlightEvents();
+  auto Events = FR.snapshot();
+  ASSERT_EQ(Events.size(), O.FlightEvents.size());
+  EXPECT_EQ(Events.back().Kind, tel::FlightKind::DiffOutcome);
+
+  // Committing is the caller's choice: a second commit replays again
+  // (the reducer's probe lanes simply never call it).
+  O.commitFlightEvents();
+  EXPECT_EQ(FR.snapshot().size(), 2 * O.FlightEvents.size());
+}
+
 TEST(DiffStats, MergeHandlesDifferentJvmCounts) {
   // Shards produced with different profile counts (e.g. a three-JVM
   // smoke shard merged into a five-JVM run): PhaseCounts grows to the

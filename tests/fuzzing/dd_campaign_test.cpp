@@ -1,0 +1,114 @@
+//===- tests/fuzzing/dd_campaign_test.cpp ----------------------------------===//
+//
+// The δ-diversity campaign pipeline: every candidate mutant executes on
+// all five profiles during acceptance, and the tuple decisions + census
+// happen at the deterministic in-order commit stage -- so accept/reject
+// trajectories, encoded sequences, and the differential census must be
+// identical for any --jobs value.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzzing/Campaign.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+
+namespace {
+
+CampaignConfig ddConfig(FuzzAlgorithm Algo, size_t Jobs,
+                        size_t Iterations = 120, uint64_t Seed = 11) {
+  CampaignConfig Config;
+  Config.Algo = Algo;
+  Config.Iterations = Iterations;
+  Config.RngSeed = Seed;
+  Config.NumSeeds = 13;
+  Config.Jobs = Jobs;
+  return Config;
+}
+
+/// parallel_test's full-strength equality plus the δ-diversity surface:
+/// per-mutant encoded sequences, the outcome census, and the
+/// discrepancy count.
+void expectIdenticalDdResults(const CampaignResult &A,
+                              const CampaignResult &B) {
+  ASSERT_EQ(A.Iterations, B.Iterations);
+  ASSERT_EQ(A.numGenerated(), B.numGenerated());
+  for (size_t I = 0; I != A.GenClasses.size(); ++I) {
+    EXPECT_EQ(A.GenClasses[I].Name, B.GenClasses[I].Name);
+    EXPECT_EQ(A.GenClasses[I].Data, B.GenClasses[I].Data);
+    EXPECT_EQ(A.GenClasses[I].MutatorIndex, B.GenClasses[I].MutatorIndex);
+    EXPECT_EQ(A.GenClasses[I].Representative,
+              B.GenClasses[I].Representative);
+    EXPECT_EQ(A.GenClasses[I].DdEncoded, B.GenClasses[I].DdEncoded);
+    EXPECT_TRUE(A.GenClasses[I].Trace.sameSets(B.GenClasses[I].Trace));
+  }
+  EXPECT_EQ(A.TestClassIndices, B.TestClassIndices);
+  EXPECT_EQ(A.MutatorSelected, B.MutatorSelected);
+  EXPECT_EQ(A.MutatorSucceeded, B.MutatorSucceeded);
+  EXPECT_EQ(A.DdOutcomeCounts, B.DdOutcomeCounts);
+  EXPECT_EQ(A.DdDiscrepancies, B.DdDiscrepancies);
+  EXPECT_EQ(A.ddDistinctDiscrepancies(), B.ddDistinctDiscrepancies());
+}
+
+} // namespace
+
+TEST(DdCampaign, JobsOneMatchesJobsEightDdFine) {
+  auto Seq = runCampaign(ddConfig(FuzzAlgorithm::ClassfuzzDdFine, 1));
+  auto Par = runCampaign(ddConfig(FuzzAlgorithm::ClassfuzzDdFine, 8));
+  expectIdenticalDdResults(Seq, Par);
+}
+
+TEST(DdCampaign, JobsOneMatchesJobsEightDdCoarse) {
+  auto Seq = runCampaign(ddConfig(FuzzAlgorithm::ClassfuzzDdCoarse, 1));
+  auto Par = runCampaign(ddConfig(FuzzAlgorithm::ClassfuzzDdCoarse, 8));
+  expectIdenticalDdResults(Seq, Par);
+}
+
+TEST(DdCampaign, EveryProducedMutantIsInTheCensus) {
+  auto R = runCampaign(ddConfig(FuzzAlgorithm::ClassfuzzDdFine, 1));
+  ASSERT_TRUE(usesDeltaDiversity(R.Algo));
+
+  // Every produced mutant carries a five-profile encoded sequence, and
+  // the census sums to exactly the produced count (no double counting,
+  // no skipped batches).
+  size_t Discrepancies = 0;
+  for (const GeneratedClass &G : R.GenClasses) {
+    ASSERT_EQ(G.DdEncoded.size(), 5u) << G.Name;
+    bool Constant = true;
+    for (char C : G.DdEncoded)
+      Constant &= C == G.DdEncoded[0];
+    Discrepancies += !Constant;
+  }
+  size_t CensusTotal = 0;
+  for (const auto &[Sequence, Count] : R.DdOutcomeCounts) {
+    EXPECT_EQ(Sequence.size(), 5u);
+    CensusTotal += Count;
+  }
+  EXPECT_EQ(CensusTotal, R.numGenerated());
+  EXPECT_EQ(R.DdDiscrepancies, Discrepancies);
+  EXPECT_LE(R.ddDistinctDiscrepancies(), R.DdDiscrepancies);
+}
+
+TEST(DdCampaign, ReferenceAlgorithmsLeaveTheDdSurfaceEmpty) {
+  CampaignConfig Config =
+      ddConfig(FuzzAlgorithm::ClassfuzzStBr, 1, 60);
+  auto R = runCampaign(Config);
+  EXPECT_FALSE(usesDeltaDiversity(R.Algo));
+  EXPECT_TRUE(R.DdOutcomeCounts.empty());
+  EXPECT_EQ(R.DdDiscrepancies, 0u);
+  EXPECT_EQ(R.ddDistinctDiscrepancies(), 0u);
+  for (const GeneratedClass &G : R.GenClasses)
+    EXPECT_TRUE(G.DdEncoded.empty());
+}
+
+TEST(DdCampaign, AlgorithmNamesAndPredicate) {
+  EXPECT_STREQ(fuzzAlgorithmName(FuzzAlgorithm::ClassfuzzDdCoarse),
+               "classfuzz[dd-coarse]");
+  EXPECT_STREQ(fuzzAlgorithmName(FuzzAlgorithm::ClassfuzzDdFine),
+               "classfuzz[dd-fine]");
+  EXPECT_TRUE(usesDeltaDiversity(FuzzAlgorithm::ClassfuzzDdCoarse));
+  EXPECT_TRUE(usesDeltaDiversity(FuzzAlgorithm::ClassfuzzDdFine));
+  EXPECT_FALSE(usesDeltaDiversity(FuzzAlgorithm::ClassfuzzStBr));
+  EXPECT_FALSE(usesDeltaDiversity(FuzzAlgorithm::Randfuzz));
+}

@@ -76,14 +76,16 @@ int usage(std::FILE *To) {
   std::fprintf(
       To,
       "usage:\n"
-      "  classfuzz fuzz    [--algo stbr|st|tr|unique|greedy|rand]\n"
+      "  classfuzz fuzz    [--algo stbr|st|tr|dd-coarse|dd-fine|unique|"
+      "greedy|rand]\n"
+      "                    [--criterion st|stbr|tr|dd-coarse|dd-fine]\n"
       "                    [--iterations N | --time-budget SECONDS]\n"
       "                    [--seeds N | --seed-dir DIR] [--rng N]\n"
       "                    [--jobs N] [--out DIR] [--progress SECONDS]\n"
       "                    [--incidents DIR] [--flightrec N] [--reduce]\n"
       "                    [--reduce-jobs N]\n"
-      "                    [--stats-json FILE] [--trace-events FILE]\n"
-      "                    [--trace-perfetto FILE]\n"
+      "                    [--stats-json FILE] [--stats-filter PREFIX]\n"
+      "                    [--trace-events FILE] [--trace-perfetto FILE]\n"
       "  classfuzz replay  BUNDLE_DIR\n"
       "  classfuzz run     FILE.class [--env jre5|jre7|jre8|jre9]\n"
       "  classfuzz analyze FILE.class... [--print]\n"
@@ -103,6 +105,10 @@ std::vector<FlagSpec> withTelemetryFlags(std::vector<FlagSpec> Specs) {
   Specs.push_back({"stats-json", "FILE",
                    "write a JSON metrics snapshot to FILE at exit "
                    "(\"-\" = stdout)",
+                   ""});
+  Specs.push_back({"stats-filter", "PREFIX",
+                   "restrict the --stats-json snapshot to metrics whose "
+                   "name starts with PREFIX (e.g. campaign.dd)",
                    ""});
   Specs.push_back({"trace-events", "FILE",
                    "stream JSONL trace events to FILE (\"-\" = stdout)",
@@ -136,6 +142,7 @@ class TelemetryCli {
 public:
   bool setup(const ArgParser &A) {
     StatsPath = A.get("stats-json");
+    StatsFilter = A.get("stats-filter");
     PerfettoPath = A.get("trace-perfetto");
     std::string TracePath = A.get("trace-events");
     if (StatsPath.empty() && TracePath.empty() && PerfettoPath.empty())
@@ -173,7 +180,7 @@ public:
     }
     if (StatsPath.empty())
       return;
-    std::string Json = telemetry::metrics().snapshotJson();
+    std::string Json = telemetry::metrics().snapshotJson(StatsFilter);
     if (StatsPath == "-") {
       std::printf("%s\n", Json.c_str());
       return;
@@ -189,6 +196,7 @@ public:
 
 private:
   std::string StatsPath;
+  std::string StatsFilter;
   std::string PerfettoPath;
 };
 
@@ -215,6 +223,10 @@ FuzzAlgorithm algoFromName(const std::string &Name) {
     return FuzzAlgorithm::ClassfuzzSt;
   if (Name == "tr")
     return FuzzAlgorithm::ClassfuzzTr;
+  if (Name == "dd-coarse")
+    return FuzzAlgorithm::ClassfuzzDdCoarse;
+  if (Name == "dd-fine")
+    return FuzzAlgorithm::ClassfuzzDdFine;
   if (Name == "unique")
     return FuzzAlgorithm::Uniquefuzz;
   if (Name == "greedy")
@@ -255,8 +267,13 @@ int cmdFuzz(int Argc, char **Argv) {
   ArgParser A(
       "classfuzz fuzz", "",
       withTelemetryFlags(
-          {{"algo", "ALGO", "algorithm: stbr|st|tr|unique|greedy|rand",
+          {{"algo", "ALGO",
+            "algorithm: stbr|st|tr|dd-coarse|dd-fine|unique|greedy|rand",
             "stbr"},
+           {"criterion", "C",
+            "acceptance criterion (classfuzz shorthand for --algo): "
+            "st|stbr|tr|dd-coarse|dd-fine",
+            ""},
            {"iterations", "N", "iteration budget", "2000"},
            {"time-budget", "SECONDS",
             "wall-clock budget (overrides --iterations)", ""},
@@ -300,6 +317,20 @@ int cmdFuzz(int Argc, char **Argv) {
 
   CampaignConfig Config;
   Config.Algo = algoFromName(A.get("algo"));
+  if (A.has("criterion")) {
+    // --criterion names the uniqueness discipline directly; it maps
+    // onto the classfuzz algorithm with that acceptance rule.
+    const std::string C = A.get("criterion");
+    if (C != "st" && C != "stbr" && C != "tr" && C != "dd-coarse" &&
+        C != "dd-fine") {
+      std::fprintf(stderr,
+                   "unknown --criterion %s (expected "
+                   "st|stbr|tr|dd-coarse|dd-fine)\n",
+                   C.c_str());
+      return 2;
+    }
+    Config.Algo = algoFromName(C);
+  }
   if (A.has("time-budget"))
     Config.TimeBudgetSeconds = A.getDouble("time-budget");
   else
@@ -347,6 +378,11 @@ int cmdFuzz(int Argc, char **Argv) {
               "tests (succ %.1f%%) in %.2fs\n",
               fuzzAlgorithmName(R.Algo), R.Iterations, R.numGenerated(),
               R.numTests(), R.successRatePercent(), R.ElapsedSeconds);
+  if (usesDeltaDiversity(R.Algo))
+    std::printf("dd census: %zu discrepancies over %zu produced mutants, "
+                "%zu distinct categories\n",
+                R.DdDiscrepancies, R.numGenerated(),
+                R.ddDistinctDiscrepancies());
 
   std::fprintf(stderr, "differential testing %zu test classfiles...\n",
                R.numTests());
@@ -366,6 +402,7 @@ int cmdFuzz(int Argc, char **Argv) {
   for (size_t I : R.TestClassIndices) {
     const GeneratedClass &G = R.GenClasses[I];
     DiffOutcome O = Tester.testClass(G.Name);
+    O.commitFlightEvents();
     Stats.add(O);
     bool Discrepancy = O.isDiscrepancy();
     if (Discrepancy) {
@@ -386,11 +423,10 @@ int cmdFuzz(int Argc, char **Argv) {
     Inc.Env = EnvSpec;
     if (Discrepancy && A.has("reduce")) {
       // Shrink while preserving the discrepancy category; the candidate
-      // overlay shadows the corpus copy of the mutant. Note the default
-      // --reduce-jobs is 1 here: parallel probe lanes record into the
-      // armed flight recorder from worker threads, which would make the
-      // bundled flightrec.jsonl tail jobs-dependent (the reduced bytes
-      // themselves are jobs-invariant either way).
+      // overlay shadows the corpus copy of the mutant. Probe-lane
+      // flight events stay deferred inside each probe's DiffOutcome and
+      // are never committed, so the bundled flightrec.jsonl tail is
+      // byte-identical for any --reduce-jobs value.
       const std::string Target = O.encodedString();
       ReductionOracle Oracle = [&](const std::string &Name,
                                    const Bytes &Candidate) {
@@ -433,6 +469,7 @@ int cmdFuzz(int Argc, char **Argv) {
       Inc.MutantName = G.Name;
       Inc.MutantData = G.Data;
       Inc.Outcome = Tester.testClass(G.Name);
+      Inc.Outcome.commitFlightEvents();
       for (const JvmPolicy &P : Tester.policies())
         Inc.ProfileNames.push_back(P.Name);
       Inc.Prov = G.Prov;
@@ -575,6 +612,7 @@ int cmdReplay(int Argc, char **Argv) {
   auto Tester =
       DifferentialTester::withAllProfiles(Extra, EnvironmentMode::PerJvm);
   DiffOutcome O = Tester.testClass(Replayed->ClassName);
+  O.commitFlightEvents();
   std::printf("encoded \"%s\"%s\n", O.encodedString().c_str(),
               O.isDiscrepancy() ? "  ** DISCREPANCY **" : "");
   for (size_t I = 0; I != O.Results.size(); ++I)
@@ -630,6 +668,7 @@ int cmdRun(int Argc, char **Argv) {
                     : DifferentialTester::withAllProfiles(
                           Corpus, EnvironmentMode::Shared, Env);
   DiffOutcome O = Tester.testClass(CF->ThisClass);
+  O.commitFlightEvents();
   std::printf("encoded \"%s\"%s\n", O.encodedString().c_str(),
               O.isDiscrepancy() ? "  ** DISCREPANCY **" : "");
   for (size_t I = 0; I != O.Results.size(); ++I) {
