@@ -44,11 +44,21 @@ void DiffOutcome::commitFlightEvents() const {
     FR.record(E.Kind, E.A, E.B, E.C);
 }
 
-DifferentialTester::DifferentialTester(std::vector<JvmPolicy> Policies,
+DifferentialTester::DifferentialTester(std::vector<ProfileDesc> Profiles,
                                        const ClassPath &Extra,
                                        EnvironmentMode Mode,
                                        const std::string &SharedLibVersion)
-    : Policies(std::move(Policies)) {
+    : Profiles(std::move(Profiles)) {
+  // Pin the invariant profile = (policy x tier): the stored policy's
+  // Tier always matches the descriptor's, so runProfiles can hand the
+  // policy to Vm as-is. PolicyView additionally takes the profile name,
+  // keeping `policies()[I].Name` printable for tier-qualified profiles.
+  for (ProfileDesc &P : this->Profiles) {
+    P.Policy.Tier = P.Tier;
+    JvmPolicy View = P.Policy;
+    View.Name = P.Name;
+    PolicyView.push_back(std::move(View));
+  }
   // freeze() seals each environment's contents into shared COW layers,
   // so the per-testClass "corpus + one extra class" overlay below is an
   // O(1) copy instead of an O(corpus) deep copy.
@@ -56,21 +66,85 @@ DifferentialTester::DifferentialTester(std::vector<JvmPolicy> Policies,
     ClassPath Shared =
         buildRuntimeLibrary(SharedLibVersion).overlaidWith(Extra);
     Shared.freeze();
-    Envs.assign(this->Policies.size(), Shared);
+    Envs.assign(this->Profiles.size(), Shared);
     return;
   }
-  for (const JvmPolicy &P : this->Policies) {
-    ClassPath Env = runtimeLibraryFor(P).overlaidWith(Extra);
+  // Tier-diff pairs share the reference policy, so their environments
+  // are COW copies of the same runtime library -- no extra I/O.
+  for (const ProfileDesc &P : this->Profiles) {
+    ClassPath Env = runtimeLibraryFor(P.Policy).overlaidWith(Extra);
     Env.freeze();
     Envs.push_back(std::move(Env));
   }
 }
+
+namespace {
+
+std::vector<ProfileDesc> wrapPolicies(std::vector<JvmPolicy> Policies) {
+  std::vector<ProfileDesc> Out;
+  Out.reserve(Policies.size());
+  for (JvmPolicy &P : Policies) {
+    ProfileDesc D;
+    D.Name = P.Name;
+    D.Tier = P.Tier;
+    D.Policy = std::move(P);
+    Out.push_back(std::move(D));
+  }
+  return Out;
+}
+
+} // namespace
+
+DifferentialTester::DifferentialTester(std::vector<JvmPolicy> Policies,
+                                       const ClassPath &Extra,
+                                       EnvironmentMode Mode,
+                                       const std::string &SharedLibVersion)
+    : DifferentialTester(wrapPolicies(std::move(Policies)), Extra, Mode,
+                         SharedLibVersion) {}
 
 DifferentialTester DifferentialTester::withAllProfiles(
     const ClassPath &Extra, EnvironmentMode Mode,
     const std::string &SharedLibVersion) {
   return DifferentialTester(allJvmPolicies(), Extra, Mode,
                             SharedLibVersion);
+}
+
+DifferentialTester DifferentialTester::withTieredProfiles(
+    const ClassPath &Extra, EnvironmentMode Mode, ExecTier Tier,
+    bool TierDiff, const std::string &SharedLibVersion) {
+  std::vector<ProfileDesc> Descs;
+  for (JvmPolicy P : allJvmPolicies()) {
+    P.Tier = Tier;
+    ProfileDesc D;
+    D.Name = P.Name;
+    D.Tier = Tier;
+    D.Policy = std::move(P);
+    Descs.push_back(std::move(D));
+  }
+  std::optional<std::pair<size_t, size_t>> Pair;
+  if (TierDiff) {
+    // The tier pair: the reference policy on the threaded-interpreter
+    // and baseline tiers. JitTelemetry is deferred -- testClass runs on
+    // reducer probe lanes whose count varies with --reduce-jobs, and
+    // engine-teardown publishing there would make jit.* counters
+    // job-dependent.
+    JvmPolicy Ref = referenceJvmPolicy();
+    Ref.JitTelemetry = false;
+    Pair.emplace(Descs.size(), Descs.size() + 1);
+    ProfileDesc Interp;
+    Interp.Name = Ref.Name + "~threaded";
+    Interp.Tier = ExecTier::Threaded;
+    Interp.Policy = Ref;
+    Descs.push_back(std::move(Interp));
+    ProfileDesc Base;
+    Base.Name = Ref.Name + "~baseline";
+    Base.Tier = ExecTier::Baseline;
+    Base.Policy = std::move(Ref);
+    Descs.push_back(std::move(Base));
+  }
+  DifferentialTester T(std::move(Descs), Extra, Mode, SharedLibVersion);
+  T.TierPair = Pair;
+  return T;
 }
 
 DiffOutcome DifferentialTester::runProfiles(const std::string &Name,
@@ -99,19 +173,19 @@ DiffOutcome DifferentialTester::runProfiles(const std::string &Name,
   }
 
   DiffOutcome Out;
-  for (size_t I = 0; I != Policies.size(); ++I) {
+  for (size_t I = 0; I != Profiles.size(); ++I) {
     CoverageRecorder Recorder;
     CoverageRecorder *Cov = CollectCoverage ? &Recorder : nullptr;
     int Code;
     if (Data) {
       ClassPath Env = Envs[I]; // COW overlay: shares the frozen corpus.
       Env.add(Name, *Data);
-      Vm Jvm(Policies[I], Env, Cov);
+      Vm Jvm(Profiles[I].Policy, Env, Cov);
       JvmResult R = Jvm.run(Name);
       Code = encodePhase(R);
       Out.Results.push_back(std::move(R));
     } else {
-      Vm Jvm(Policies[I], Envs[I], Cov);
+      Vm Jvm(Profiles[I].Policy, Envs[I], Cov);
       JvmResult R = Jvm.run(Name);
       Code = encodePhase(R);
       Out.Results.push_back(std::move(R));
@@ -126,9 +200,26 @@ DiffOutcome DifferentialTester::runProfiles(const std::string &Name,
     Out.Encoded.push_back(Code);
     if (Telemetry)
       tm::metrics()
-          .counter("difftest.outcome." + Policies[I].Name + ".phase" +
+          .counter("difftest.outcome." + Profiles[I].Name + ".phase" +
                    std::to_string(Code))
           .inc();
+  }
+
+  if (TierPair) {
+    // Same policy, different execution tier: any disagreement is its
+    // own discrepancy class (the tier-diff axis), counted separately
+    // from cross-JVM discrepancies.
+    int A = Out.Encoded[TierPair->first];
+    int B = Out.Encoded[TierPair->second];
+    Out.TierDisagreement = A != B;
+    if (Out.TierDisagreement) {
+      if (Telemetry)
+        tm::metrics().counter("difftest.tier_disagreements").inc();
+      if (Flight)
+        Out.FlightEvents.push_back(
+            {tm::FlightKind::TierDisagreement, static_cast<uint64_t>(A),
+             static_cast<uint64_t>(B), NameHash});
+    }
   }
 
   if (Telemetry) {
@@ -181,6 +272,8 @@ void DiffStats::add(const DiffOutcome &Outcome) {
     if (Code != 0)
       AllZero = false;
   }
+  if (Outcome.TierDisagreement)
+    ++TierDisagreements;
   if (Outcome.isDiscrepancy()) {
     ++Discrepancies;
     ++DistinctDiscrepancies[Outcome.encodedString()];
@@ -198,6 +291,7 @@ void DiffStats::merge(const DiffStats &Other) {
   AllRejectedSameStage += Other.AllRejectedSameStage;
   Discrepancies += Other.Discrepancies;
   EncodingErrors += Other.EncodingErrors;
+  TierDisagreements += Other.TierDisagreements;
   for (const auto &[Sequence, Count] : Other.DistinctDiscrepancies)
     DistinctDiscrepancies[Sequence] += Count;
   if (PhaseCounts.size() < Other.PhaseCounts.size())

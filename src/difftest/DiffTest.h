@@ -25,16 +25,30 @@
 
 #include "coverage/Tracefile.h"
 #include "jvm/ClassPath.h"
+#include "jvm/ExecTier.h"
 #include "jvm/JvmTypes.h"
 #include "jvm/Policy.h"
 #include "telemetry/FlightRecorder.h"
 
 #include <array>
 #include <map>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace classfuzz {
+
+/// One differential profile: a JVM policy executed on a specific tier.
+/// A profile is (policy x tier); plain policy profiles are named after
+/// the policy ("hotspot9"), tier-diff profiles carry a tier-qualified
+/// name ("hotspot9~baseline") that flows verbatim into outcome
+/// encodings, incident outcomes.json, and replay output.
+struct ProfileDesc {
+  std::string Name;
+  JvmPolicy Policy;
+  ExecTier Tier = ExecTier::Threaded;
+};
 
 /// A flight-recorder event observed during a differential run but not
 /// yet recorded. runProfiles defers its events into the DiffOutcome
@@ -66,6 +80,10 @@ struct DiffOutcome {
   /// commits them (see DeferredFlightEvent). Empty when the recorder is
   /// disarmed.
   std::vector<DeferredFlightEvent> FlightEvents;
+  /// True when the tester's tier-diff pair (same policy, interpreter vs
+  /// baseline tier) encoded differently -- the distinct "tier
+  /// disagreement" discrepancy class. Always false without a tier pair.
+  bool TierDisagreement = false;
 
   /// True when the encoded sequence is not constant.
   bool isDiscrepancy() const;
@@ -86,6 +104,12 @@ class DifferentialTester {
 public:
   /// \p Extra holds the classes under test plus any helper classes; it
   /// is layered over each profile's runtime library.
+  DifferentialTester(std::vector<ProfileDesc> Profiles,
+                     const ClassPath &Extra, EnvironmentMode Mode,
+                     const std::string &SharedLibVersion = "jre8");
+
+  /// Legacy profile list: one profile per policy, named after it, run on
+  /// the policy's own tier.
   DifferentialTester(std::vector<JvmPolicy> Policies,
                      const ClassPath &Extra, EnvironmentMode Mode,
                      const std::string &SharedLibVersion = "jre8");
@@ -94,6 +118,16 @@ public:
   static DifferentialTester
   withAllProfiles(const ClassPath &Extra, EnvironmentMode Mode,
                   const std::string &SharedLibVersion = "jre8");
+
+  /// The paper's five JVMs, every profile forced onto \p Tier. With
+  /// \p TierDiff two more profiles are appended -- the reference policy
+  /// on the threaded-interpreter and baseline tiers, named
+  /// "<ref>~threaded" / "<ref>~baseline" -- and registered as the tier
+  /// pair whose disagreement sets DiffOutcome::TierDisagreement.
+  static DifferentialTester
+  withTieredProfiles(const ClassPath &Extra, EnvironmentMode Mode,
+                     ExecTier Tier, bool TierDiff,
+                     const std::string &SharedLibVersion = "jre8");
 
   /// When enabled, every profile's run attaches a CoverageRecorder and
   /// the resulting tracefiles land in DiffOutcome::Traces. Off by
@@ -119,15 +153,29 @@ public:
   /// Thread-safe under the same contract as testClass(Name).
   DiffOutcome testClass(const std::string &Name, const Bytes &Data) const;
 
-  const std::vector<JvmPolicy> &policies() const { return Policies; }
+  /// The profile table, in run order.
+  const std::vector<ProfileDesc> &profiles() const { return Profiles; }
+
+  /// Legacy view of the profile table: each entry is the profile's
+  /// policy with its Name and Tier overridden by the profile's, so
+  /// `policies()[I].Name` prints tier-qualified names for tier-diff
+  /// profiles.
+  const std::vector<JvmPolicy> &policies() const { return PolicyView; }
+
+  /// Indices of the tier-diff pair, when one was registered.
+  const std::optional<std::pair<size_t, size_t>> &tierPair() const {
+    return TierPair;
+  }
 
 private:
   /// Shared run-and-encode loop; \p Data overlays the environments when
   /// non-null.
   DiffOutcome runProfiles(const std::string &Name, const Bytes *Data) const;
 
-  std::vector<JvmPolicy> Policies;
-  std::vector<ClassPath> Envs; ///< One per policy.
+  std::vector<ProfileDesc> Profiles;
+  std::vector<JvmPolicy> PolicyView; ///< policies() compatibility view.
+  std::vector<ClassPath> Envs;       ///< One per profile.
+  std::optional<std::pair<size_t, size_t>> TierPair;
   bool CollectCoverage = false;
 };
 
@@ -144,6 +192,9 @@ struct DiffStats {
   /// Encoded outcomes outside 0..4 seen by add(); such codes are clamped
   /// into range instead of indexing out of bounds.
   size_t EncodingErrors = 0;
+  /// Outcomes whose tier-diff pair disagreed (DiffOutcome::
+  /// TierDisagreement); 0 for testers without a tier pair.
+  size_t TierDisagreements = 0;
 
   void add(const DiffOutcome &Outcome);
   /// Folds another stats object into this one, so sharded differential

@@ -22,6 +22,8 @@ std::string classfuzz::outcomesJson(const Incident &Inc) {
        (O.isDiscrepancy() ? "true" : "false") + ",\n";
   J += std::string("  \"internal_error\": ") +
        (O.anyInternalError() ? "true" : "false") + ",\n";
+  J += std::string("  \"tier_disagreement\": ") +
+       (O.TierDisagreement ? "true" : "false") + ",\n";
   J += "  \"profiles\": [";
   for (size_t I = 0; I != O.Results.size(); ++I) {
     const JvmResult &R = O.Results[I];
@@ -29,6 +31,12 @@ std::string classfuzz::outcomesJson(const Incident &Inc) {
     J += "    {\"name\": \"" +
          tel::jsonEscape(I < Inc.ProfileNames.size() ? Inc.ProfileNames[I]
                                                      : "?") +
+         "\",\n";
+    J += "     \"tier\": \"" +
+         tel::jsonEscape(I < Inc.ProfileTiers.size() &&
+                                 !Inc.ProfileTiers[I].empty()
+                             ? Inc.ProfileTiers[I]
+                             : "threaded") +
          "\",\n";
     J += "     \"encoded\": " +
          std::to_string(I < O.Encoded.size() ? O.Encoded[I] : -1) + ",\n";

@@ -48,6 +48,10 @@ struct Incident {
   DiffOutcome Outcome;
   /// Names of the profiles Outcome ran on, in Encoded order.
   std::vector<std::string> ProfileNames;
+  /// Execution tier of each profile ("switch"/"threaded"/"baseline"),
+  /// in Encoded order. Empty entries (or a short vector) default to
+  /// "threaded" in outcomes.json, so pre-tier callers stay valid.
+  std::vector<std::string> ProfileTiers;
   Provenance Prov;
   CampaignEnvSpec Env;
   /// Reduced classfile when the reducer ran and shrank the mutant.

@@ -3,6 +3,7 @@
 #include "fuzzing/Campaign.h"
 
 #include "analysis/StaticAnalyzer.h"
+#include "jvm/ExecEngine.h"
 #include "jvm/Phase.h"
 #include "jvm/Vm.h"
 #include "mutation/Engine.h"
@@ -213,6 +214,9 @@ struct CampaignTelemetry {
   telemetry::Counter &DdNovelTuple;
   telemetry::Counter &DdNovelOutcome;
   telemetry::Counter &DdNovelCoverage;
+  /// Tier-diff pipeline counters; commit stage only, --jobs-invariant.
+  telemetry::Counter &TierBatches;
+  telemetry::Counter &TierDisagreements;
   telemetry::Histogram &MutateNs;
   telemetry::Histogram &ExecuteNs;
   telemetry::Histogram &CommitNs;
@@ -233,6 +237,8 @@ struct CampaignTelemetry {
         M.counter("campaign.dd_novel_tuple"),
         M.counter("campaign.dd_novel_outcome"),
         M.counter("campaign.dd_novel_coverage"),
+        M.counter("campaign.tier_batches"),
+        M.counter("campaign.tier_disagreements"),
         M.histogram("campaign.stage.mutate_ns"),
         M.histogram("campaign.stage.execute_ns"),
         M.histogram("campaign.stage.commit_ns"),
@@ -247,6 +253,11 @@ struct CampaignTelemetry {
 struct RefRun {
   Tracefile Trace;
   int Phase = -1;
+  /// Tier-diff mode: the (interpreter, baseline) two-code outcome plus
+  /// the baseline code cache's deferred jit.* stats, both committed at
+  /// the in-order commit stage. Empty/zero otherwise.
+  std::string TierEncoded;
+  JitStats TierJit;
 };
 
 /// What one δ-diversity batch (all profiles, coverage on) yields. The
@@ -260,6 +271,9 @@ struct DdRun {
   /// (profile index, raw phase) per InternalError abort, for the
   /// commit-stage VmInternalError flight events.
   std::vector<std::pair<uint64_t, uint64_t>> InternalErrors;
+  /// Tier-diff mode: see RefRun.
+  std::string TierEncoded;
+  JitStats TierJit;
 
   bool isDiscrepancy() const {
     for (char C : Encoded)
@@ -371,8 +385,40 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
     }
   }
 
+  // Tier-diff axis (--tier-diff): the reference policy pinned to its
+  // two fast tiers. Needs an execution stage to ride, so randfuzz
+  // (Coverage off) ignores the flag. JitTelemetry is deferred: the
+  // baseline engines run on workers whose count varies with Jobs, so
+  // each run's JitStats travel with it and publish at the in-order
+  // commit stage instead of at engine teardown.
+  const bool TierDiff = Config.TierDiff && Coverage;
+  JvmPolicy TierInterp = Config.ReferencePolicy;
+  JvmPolicy TierBase = Config.ReferencePolicy;
+  if (TierDiff) {
+    TierInterp.Tier = ExecTier::Threaded;
+    TierInterp.JitTelemetry = false;
+    TierBase.Tier = ExecTier::Baseline;
+    TierBase.JitTelemetry = false;
+  }
+
+  /// Runs \p Name on the tier pair over \p Env, appending the two
+  /// encoded phases and collecting the baseline engine's deferred jit
+  /// stats. Reads only frozen / call-local state, so workers may run it
+  /// concurrently.
+  auto tierRunInto = [&](const std::string &Name, const ClassPath &Env,
+                         std::string &Encoded, JitStats &Jit) {
+    {
+      Vm Interp(TierInterp, Env, nullptr);
+      Encoded += static_cast<char>('0' + encodePhase(Interp.run(Name)));
+    }
+    Vm Base(TierBase, Env, nullptr);
+    Encoded += static_cast<char>('0' + encodePhase(Base.run(Name)));
+    if (const JitStats *S = Base.engine().jitStats())
+      Jit.merge(*S);
+  };
+
   /// Runs \p Name on the reference JVM, collecting coverage and the
-  /// encoded startup phase.
+  /// encoded startup phase (plus the tier pair when --tier-diff is on).
   auto coverageOf = [&](const std::string &Name,
                         const Bytes &Data) -> RefRun {
     CoverageRecorder Recorder;
@@ -380,7 +426,10 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
     Env.add(Name, Data);
     Vm Jvm(Config.ReferencePolicy, Env, &Recorder);
     JvmResult RunResult = Jvm.run(Name);
-    return RefRun{Recorder.takeTrace(), encodePhase(RunResult)};
+    RefRun Run{Recorder.takeTrace(), encodePhase(RunResult)};
+    if (TierDiff)
+      tierRunInto(Name, Env, Run.TierEncoded, Run.TierJit);
+    return Run;
   };
 
   /// Runs \p Name on every profile with coverage on, building the
@@ -408,6 +457,8 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
         Run.RefPhase = Code;
       }
     }
+    if (TierDiff)
+      tierRunInto(Name, Envs[DdRefIndex], Run.TierEncoded, Run.TierJit);
     return Run;
   };
 
@@ -614,6 +665,40 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
           .emit();
   };
 
+  /// Commit-stage bookkeeping for one tier-diff run: the two-code
+  /// census, the campaign.tier_* counters, deferred jit.* publication,
+  /// and the TierDisagreement flight event. Runs in commit order only,
+  /// so every output is identical across Jobs values.
+  auto recordTierBatch = [&](const GeneratedClass &G,
+                             const std::string &Encoded,
+                             const JitStats &Jit) {
+    if (Encoded.size() != 2)
+      return;
+    ++Result.TierOutcomeCounts[Encoded];
+    const bool Disagree = Encoded[0] != Encoded[1];
+    if (Disagree)
+      ++Result.TierDisagreements;
+    if (Telem) {
+      TM.TierBatches.inc();
+      if (Disagree)
+        TM.TierDisagreements.inc();
+      Jit.publish();
+    }
+    if (Disagree && FR.enabled()) {
+      Hasher H;
+      H.addString(G.Name);
+      FR.record(telemetry::FlightKind::TierDisagreement,
+                static_cast<uint64_t>(Encoded[0] - '0'),
+                static_cast<uint64_t>(Encoded[1] - '0'), H.value());
+    }
+    if (telemetry::eventSink())
+      telemetry::EventBuilder("campaign.tier_batch")
+          .field("class", G.Name)
+          .field("encoded", Encoded)
+          .field("disagreement", Disagree)
+          .emit();
+  };
+
   /// Commits one produced, coverage-checked mutant: acceptance
   /// bookkeeping plus the Algorithm 1 line 14 feedback loop. Returns
   /// whether the mutant was representative.
@@ -698,16 +783,20 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
         G.Trace = std::move(Run.RefTrace);
         G.RefPhase = Run.RefPhase;
         G.DdEncoded = Run.Encoded;
+        G.TierEncoded = Run.TierEncoded;
         DeltaDiversityChecker::Novelty Novelty = Accept.acceptDd(Run.Obs);
         Representative = Novelty.Tuple;
         recordDdBatch(G, Run, Novelty);
+        recordTierBatch(G, Run.TierEncoded, Run.TierJit);
       } else if (Coverage) {
         telemetry::PhaseTimer ExecT(TM.ExecuteNs, "execute");
         RefRun Run = coverageOf(G.Name, G.Data);
         ExecT.stop();
         G.Trace = std::move(Run.Trace);
         G.RefPhase = Run.Phase;
+        G.TierEncoded = Run.TierEncoded;
         Representative = Accept.accept(G.Trace);
+        recordTierBatch(G, Run.TierEncoded, Run.TierJit);
       } else {
         Representative = true;
       }
@@ -789,7 +878,7 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
           Env->add(P.G.Name, P.G.Data);
           P.Trace = Workers.submit(
               [Env, Name = P.G.Name, &Policy = Config.ReferencePolicy,
-               Cancelled = P.Cancelled,
+               Cancelled = P.Cancelled, TierDiff, &tierRunInto,
                &ExecNs = TM.ExecuteNs]() -> RefRun {
                 if (Cancelled->load(std::memory_order_relaxed))
                   return RefRun();
@@ -800,7 +889,10 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
                 CoverageRecorder Recorder;
                 Vm Jvm(Policy, *Env, &Recorder);
                 JvmResult RunResult = Jvm.run(Name);
-                return RefRun{Recorder.takeTrace(), encodePhase(RunResult)};
+                RefRun Run{Recorder.takeTrace(), encodePhase(RunResult)};
+                if (TierDiff)
+                  tierRunInto(Name, *Env, Run.TierEncoded, Run.TierJit);
+                return Run;
               });
         }
       }
@@ -834,15 +926,20 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
       }
 
       DdRun DdResult;
+      JitStats TierJit;
       if (DdMode) {
         DdResult = P.Dd.get();
         P.G.Trace = std::move(DdResult.RefTrace);
         P.G.RefPhase = DdResult.RefPhase;
         P.G.DdEncoded = DdResult.Encoded;
+        P.G.TierEncoded = DdResult.TierEncoded;
+        TierJit = DdResult.TierJit;
       } else {
         RefRun Run = P.Trace.get();
         P.G.Trace = std::move(Run.Trace);
         P.G.RefPhase = Run.Phase;
+        P.G.TierEncoded = Run.TierEncoded;
+        TierJit = Run.TierJit;
       }
       telemetry::PhaseTimer CommitT(TM.CommitNs, "commit");
       bool Representative;
@@ -854,6 +951,7 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
       } else {
         Representative = Accept.accept(P.G.Trace);
       }
+      recordTierBatch(P.G, P.G.TierEncoded, TierJit);
       P.G.Representative = Representative;
       if (Representative && Mcmc) {
         // Mispredicted: rewind the selector past the presumed rejection

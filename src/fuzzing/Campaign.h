@@ -79,8 +79,18 @@ struct CampaignConfig {
   /// the generated one (the paper seeded with 1,216 JRE7 classfiles;
   /// the CLI's --seed-dir feeds real .class files in here).
   std::vector<SeedClass> ExternalSeeds;
-  /// Reference JVM whose coverage drives acceptance (HotSpot 9).
+  /// Reference JVM whose coverage drives acceptance (HotSpot 9). Its
+  /// Tier field carries the CLI's --tier choice into every reference
+  /// execution.
   JvmPolicy ReferencePolicy;
+  /// Tier-vs-tier differential axis (--tier-diff): every produced
+  /// mutant additionally runs on the reference policy's
+  /// threaded-interpreter and baseline tiers, and the two-code outcome
+  /// census (TierOutcomeCounts, campaign.tier_* counters, the
+  /// TierDisagreement flight events) is recorded at the in-order commit
+  /// stage -- byte-identical across Jobs values. Ignored by randfuzz
+  /// (no execution stage to ride).
+  bool TierDiff = false;
   /// The geometric parameter p of the MCMC selector (paper: 3/129).
   double GeometricP = 0;
   /// Algorithm 1 line 14: accepted mutants rejoin TestClasses and are
@@ -131,6 +141,10 @@ struct GeneratedClass {
   /// at acceptance time (Figure 3 encoding, e.g. "00012"). Empty for
   /// the reference-JVM algorithms.
   std::string DdEncoded;
+  /// Tier-diff mode only: the two-code (interpreter, baseline) encoded
+  /// outcome on the reference policy, e.g. "04". Empty without
+  /// CampaignConfig::TierDiff.
+  std::string TierEncoded;
 };
 
 /// The analyzer's verdict for one produced mutant (compact; the full
@@ -185,6 +199,13 @@ struct CampaignResult {
   /// δ-diversity modes only: produced mutants whose encoded sequence was
   /// non-constant.
   size_t DdDiscrepancies = 0;
+  /// Tier-diff mode only: two-code (interpreter, baseline) encoded
+  /// outcome -> count over every produced mutant. Non-constant keys are
+  /// the distinct tier-disagreement categories.
+  std::map<std::string, size_t> TierOutcomeCounts;
+  /// Tier-diff mode only: produced mutants whose interpreter-tier and
+  /// baseline-tier outcomes disagreed.
+  size_t TierDisagreements = 0;
   double ElapsedSeconds = 0;
 
   size_t numGenerated() const { return GenClasses.size(); }

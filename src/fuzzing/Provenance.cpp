@@ -132,7 +132,10 @@ std::string classfuzz::lineageJson(const Provenance &Prov,
   J += "    \"num_seeds\": " + std::to_string(Spec.NumSeeds) + ",\n";
   J += "    \"seed_dir\": \"" + tel::jsonEscape(Spec.SeedDir) + "\",\n";
   J += "    \"reference_policy\": \"" +
-       tel::jsonEscape(Spec.ReferencePolicyName) + "\"\n";
+       tel::jsonEscape(Spec.ReferencePolicyName) + "\",\n";
+  J += "    \"tier\": \"" + tel::jsonEscape(Spec.TierName) + "\",\n";
+  J += std::string("    \"tier_diff\": ") +
+       (Spec.TierDiff ? "true" : "false") + "\n";
   J += "  },\n";
   J += "  \"root_seed\": {\"index\": " +
        std::to_string(Prov.RootSeedIndex) + ", \"name\": \"" +
@@ -400,6 +403,10 @@ Result<ParsedLineage> classfuzz::parseLineageJson(const std::string &Json) {
     Out.Spec.SeedDir = V->S;
   if (const JsonValue *V = Env->find("reference_policy"))
     Out.Spec.ReferencePolicyName = V->S;
+  if (const JsonValue *V = Env->find("tier"))
+    Out.Spec.TierName = V->S;
+  if (const JsonValue *V = Env->find("tier_diff"))
+    Out.Spec.TierDiff = V->B;
 
   const JsonValue *Seed = Root->find("root_seed");
   if (!Seed || Seed->K != JsonValue::Obj)

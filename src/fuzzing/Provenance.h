@@ -77,6 +77,13 @@ struct CampaignEnvSpec {
   std::string SeedDir;
   /// Reference JVM policy name (resolved against allJvmPolicies()).
   std::string ReferencePolicyName;
+  /// Execution tier the campaign ran on ("switch"/"threaded"/
+  /// "baseline"). Empty in pre-tier bundles; replay then warns and
+  /// defaults to threaded.
+  std::string TierName;
+  /// Whether the campaign ran with --tier-diff (the two extra tier
+  /// profiles change the encoded-sequence length, so replay must know).
+  bool TierDiff = false;
 };
 
 /// The outcome of replaying one lineage chain.

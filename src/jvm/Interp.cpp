@@ -12,6 +12,7 @@
 #include "classfile/Descriptor.h"
 #include "classfile/Opcodes.h"
 #include "coverage/Probes.h"
+#include "jvm/ExecProbes.h"
 #include "jvm/FormatChecker.h"
 #include "jvm/Verifier.h"
 
@@ -292,12 +293,13 @@ bool Vm::callNative(LoadedClass &LC, const MethodInfo &M,
   return true;
 }
 
-bool Vm::invokeMethod(LoadedClass &LC, const MethodInfo &M,
+bool Vm::switchInvoke(LoadedClass &LC, const MethodInfo &M,
                       std::vector<Value> Args, Value &Ret) {
-  COV_STMT(Cov);
+  covStmt(Cov, exec_probes::id(exec_probes::InvokeEntry));
   if (Aborted)
     return false;
-  if (COV_BRANCH(Cov, CallDepth >= Policy.MaxCallDepth)) {
+  if (covBranch(Cov, exec_probes::id(exec_probes::DepthExceeded),
+                CallDepth >= Policy.MaxCallDepth)) {
     abort(CurrentPhase, JvmErrorKind::StackOverflowError,
           "call depth exceeded in " + LC.CF.ThisClass + "." + M.Name);
     return false;
@@ -306,7 +308,7 @@ bool Vm::invokeMethod(LoadedClass &LC, const MethodInfo &M,
   if (M.isNative())
     return callNative(LC, M, Args, Ret);
 
-  if (COV_BRANCH(Cov, !M.Code)) {
+  if (covBranch(Cov, exec_probes::id(exec_probes::MissingCode), !M.Code)) {
     // ensureInvocable should have rejected this; raise the deferred error.
     abort(CurrentPhase, JvmErrorKind::ClassFormatError,
           "method " + M.Name + M.Descriptor + " lacks a Code attribute");
@@ -320,7 +322,8 @@ bool Vm::invokeMethod(LoadedClass &LC, const MethodInfo &M,
     Insn I;
     while (Decoder.decodeNext(I))
       Insns[I.Offset] = I;
-    if (COV_BRANCH(Cov, !Decoder.valid() || Insns.empty())) {
+    if (covBranch(Cov, exec_probes::id(exec_probes::MalformedBytecode),
+                  !Decoder.valid() || Insns.empty())) {
       abort(CurrentPhase, JvmErrorKind::VerifyError,
             "malformed bytecode reached execution in " + M.Name);
       return false;
@@ -389,7 +392,8 @@ bool Vm::invokeMethod(LoadedClass &LC, const MethodInfo &M,
       continue;
     }
 
-    if (COV_BRANCH(Cov, StepsRemaining == 0)) {
+    if (covBranch(Cov, exec_probes::id(exec_probes::BudgetExhausted),
+                  StepsRemaining == 0)) {
       abort(CurrentPhase, JvmErrorKind::InternalError,
             "interpreter step budget exhausted");
       return finish(false);
@@ -397,7 +401,8 @@ bool Vm::invokeMethod(LoadedClass &LC, const MethodInfo &M,
     --StepsRemaining;
 
     auto It = Insns.find(Pc);
-    if (COV_BRANCH(Cov, It == Insns.end())) {
+    if (covBranch(Cov, exec_probes::id(exec_probes::FellOffCode),
+                  It == Insns.end())) {
       abort(CurrentPhase, JvmErrorKind::VerifyError,
             "execution fell off the code of " + M.Name);
       return finish(false);
@@ -408,7 +413,7 @@ bool Vm::invokeMethod(LoadedClass &LC, const MethodInfo &M,
 
     // Per-opcode statement probe (the interpreter dispatch analog of
     // statement coverage over bytecodeInterpreter.cpp).
-    covStmt(Cov, (CovFileId << 16) | 0x8000u | Op);
+    covStmt(Cov, exec_probes::opcodeId(Op));
 
     switch (Op) {
     case OP_nop:
@@ -669,13 +674,16 @@ bool Vm::invokeMethod(LoadedClass &LC, const MethodInfo &M,
           resolveField(Ref->ClassName, Ref->Name, Ref->Descriptor);
       if (Aborted)
         return finish(false);
-      if (COV_BRANCH(Cov, !Holder)) {
+      if (covBranch(Cov, exec_probes::id(exec_probes::FieldMissing),
+                    !Holder)) {
         abort(CurrentPhase, JvmErrorKind::NoSuchFieldError,
               Ref->ClassName + "." + Ref->Name);
         return finish(false);
       }
       const FieldInfo *Field = Holder->CF.findField(Ref->Name);
-      if (COV_BRANCH(Cov, Field && !Field->isStatic())) {
+      if (covBranch(Cov,
+                    exec_probes::id(exec_probes::FieldStaticMismatch),
+                    Field && !Field->isStatic())) {
         abort(CurrentPhase, JvmErrorKind::IncompatibleClassChangeError,
               "expected static field " + Ref->Name);
         return finish(false);
@@ -768,13 +776,16 @@ bool Vm::invokeMethod(LoadedClass &LC, const MethodInfo &M,
                                  Ref->Descriptor);
       if (Aborted)
         return finish(false);
-      if (COV_BRANCH(Cov, !Resolved.Method)) {
+      if (covBranch(Cov, exec_probes::id(exec_probes::MethodMissing),
+                    !Resolved.Method)) {
         abort(CurrentPhase, JvmErrorKind::NoSuchMethodError,
               Ref->ClassName + "." + Ref->Name + Ref->Descriptor);
         return finish(false);
       }
       bool WantStatic = Op == OP_invokestatic;
-      if (COV_BRANCH(Cov, Resolved.Method->isStatic() != WantStatic)) {
+      if (covBranch(Cov,
+                    exec_probes::id(exec_probes::MethodStaticMismatch),
+                    Resolved.Method->isStatic() != WantStatic)) {
         abort(CurrentPhase, JvmErrorKind::IncompatibleClassChangeError,
               Ref->Name + " static-ness mismatch");
         return finish(false);
@@ -789,8 +800,8 @@ bool Vm::invokeMethod(LoadedClass &LC, const MethodInfo &M,
         return finish(false);
 
       Value CallRet;
-      if (!invokeMethod(*Resolved.Holder, *Resolved.Method,
-                        std::move(CallArgs), CallRet)) {
+      if (!invoke(*Resolved.Holder, *Resolved.Method,
+                  std::move(CallArgs), CallRet)) {
         if (PendingException != 0)
           continue; // Exception propagates; look for a handler here.
         return finish(false);

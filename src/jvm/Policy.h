@@ -30,6 +30,8 @@
 #ifndef CLASSFUZZ_JVM_POLICY_H
 #define CLASSFUZZ_JVM_POLICY_H
 
+#include "jvm/ExecTier.h"
+
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -137,6 +139,20 @@ struct JvmPolicy {
   uint32_t MaxInterpSteps = 200000;
   uint32_t MaxCallDepth = 128;
   uint32_t MaxHeapObjects = 65536;
+
+  // --- Execution tier (jvm/ExecEngine.h) -----------------------------------
+  /// Which execution pipeline dispatches bytecode. A profile is
+  /// (policy × tier); all tiers are observably equivalent by contract,
+  /// and the tier-diff campaign mode cross-checks that contract.
+  ExecTier Tier = ExecTier::Threaded;
+  /// Baseline tier only: how many compiled methods the code cache holds
+  /// before LRU eviction.
+  uint32_t JitCacheCapacity = 64;
+  /// Baseline tier only: publish this Vm's jit.* counters to the global
+  /// telemetry registry at teardown. Campaign tier batches run on
+  /// speculative workers and disable this, re-publishing committed runs
+  /// at the deterministic commit stage instead.
+  bool JitTelemetry = true;
 };
 
 /// Table 3's five implementations.

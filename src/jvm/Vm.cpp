@@ -5,6 +5,7 @@
 #include "classfile/ClassReader.h"
 #include "classfile/Descriptor.h"
 #include "coverage/Probes.h"
+#include "jvm/ExecEngine.h"
 #include "jvm/FormatChecker.h"
 #include "jvm/Verifier.h"
 #include "telemetry/Telemetry.h"
@@ -16,6 +17,12 @@ using namespace classfuzz;
 Vm::Vm(const JvmPolicy &Policy, const ClassPath &Env, CoverageRecorder *Cov)
     : Policy(Policy), Env(Env), Cov(Cov) {
   StepsRemaining = Policy.MaxInterpSteps;
+  Engine = makeExecEngine(*this, Policy.Tier);
+}
+
+bool Vm::invoke(LoadedClass &LC, const MethodInfo &M, std::vector<Value> Args,
+                Value &Ret) {
+  return Engine->invoke(LC, M, std::move(Args), Ret);
 }
 
 Vm::~Vm() {
@@ -416,7 +423,7 @@ bool Vm::initializeClass(LoadedClass &LC) {
     if (!ensureInvocable(LC, M))
       return false;
     Value Ret;
-    if (!invokeMethod(LC, M, {}, Ret)) {
+    if (!invoke(LC, M, {}, Ret)) {
       if (PendingException != 0) {
         HeapObject *Exc = deref(PendingException);
         std::string What = Exc ? Exc->ClassName : "exception";
@@ -494,7 +501,7 @@ JvmResult Vm::run(const std::string &MainClassName) {
     Args.push_back(Value::makeRef(ArgsRef));
   }
 
-  if (!invokeMethod(*LC, *Main, std::move(Args), Ret)) {
+  if (!invoke(*LC, *Main, std::move(Args), Ret)) {
     if (PendingException != 0) {
       HeapObject *Exc = deref(PendingException);
       std::string ClassName = Exc ? Exc->ClassName : "java/lang/Throwable";

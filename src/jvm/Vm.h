@@ -1,4 +1,4 @@
-//===- jvm/Vm.h - The mini JVM: startup pipeline + interpreter -----------===//
+//===- jvm/Vm.h - The mini JVM: startup pipeline + execution engine ------===//
 //
 // Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
 //
@@ -11,6 +11,13 @@
 /// Behavior is parameterized by a JvmPolicy; coverage probes fire into an
 /// optional CoverageRecorder, which the fuzzing campaigns attach only for
 /// the reference JVM.
+///
+/// Bytecode execution itself lives behind the ExecEngine interface
+/// (jvm/ExecEngine.h): the policy's ExecTier selects the switch
+/// interpreter, the token-threaded interpreter, or the baseline template
+/// tier. The Vm owns the pipeline, the heap, the class registry, and the
+/// step budget; engines drive them through a friend surface, so callers
+/// of run() see no interpreter internals.
 ///
 /// Usage:
 /// \code
@@ -40,6 +47,8 @@
 
 namespace classfuzz {
 
+class ExecEngine;
+
 /// One JVM instance bound to a policy and an environment. A Vm is
 /// single-shot per class under test: create, run(), inspect, discard.
 class Vm {
@@ -57,7 +66,11 @@ public:
 
   const JvmPolicy &policy() const { return Policy; }
 
-private:
+  /// The execution engine the policy's tier selected. Exposed for tests
+  /// and telemetry (code-cache statistics); never needed to run a class.
+  ExecEngine &engine() { return *Engine; }
+  const ExecEngine &engine() const { return *Engine; }
+
   enum class ClassState : uint8_t {
     Loaded,
     Linked,
@@ -65,6 +78,8 @@ private:
     Initialized,
   };
 
+  /// A class in this Vm's registry. Public so execution engines can name
+  /// it in their interfaces; its mutation stays inside jvm/.
   struct LoadedClass {
     ClassFile CF;
     ClassState State = ClassState::Loaded;
@@ -75,6 +90,15 @@ private:
     /// Whole-class verification already done (eager policies).
     bool Verified = false;
   };
+
+private:
+  // Execution engines (and only they) reach the pipeline, heap, and
+  // budget through this friendship; the public API stays run()-shaped.
+  friend class ExecEngine;
+  friend class SwitchEngine;
+  friend class ThreadedEngine;
+  friend class BaselineEngine;
+  friend struct ExecContext;
 
   // --- pipeline (Vm.cpp) --------------------------------------------------
   /// Loads (and links) \p Name and its supertypes. Returns nullptr after
@@ -93,10 +117,17 @@ private:
   void abort(JvmPhase Phase, JvmErrorKind Kind, std::string Message);
   bool aborted() const { return Aborted; }
 
-  // --- interpreter (Interp.cpp) --------------------------------------------
-  /// Invokes \p M with \p Args; places the return value in \p Ret.
-  /// Returns false when an exception is pending or the VM aborted.
-  bool invokeMethod(LoadedClass &LC, const MethodInfo &M,
+  // --- execution dispatch --------------------------------------------------
+  /// Invokes \p M with \p Args through the configured engine; places the
+  /// return value in \p Ret. Returns false when an exception is pending
+  /// or the VM aborted. All recursive invocation (invoke* bytecodes,
+  /// <clinit>, main) funnels through here, so one tier executes the
+  /// whole run.
+  bool invoke(LoadedClass &LC, const MethodInfo &M, std::vector<Value> Args,
+              Value &Ret);
+  /// The legacy switch-dispatch interpreter (Interp.cpp), reachable only
+  /// through SwitchEngine.
+  bool switchInvoke(LoadedClass &LC, const MethodInfo &M,
                     std::vector<Value> Args, Value &Ret);
   bool callNative(LoadedClass &LC, const MethodInfo &M,
                   std::vector<Value> &Args, Value &Ret);
@@ -137,6 +168,7 @@ private:
   JvmPolicy Policy;
   const ClassPath &Env;
   CoverageRecorder *Cov;
+  std::unique_ptr<ExecEngine> Engine;
 
   std::map<std::string, std::unique_ptr<LoadedClass>> Classes;
   std::set<std::string> LoadingInProgress; ///< Circularity detection.

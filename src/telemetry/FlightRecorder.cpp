@@ -35,6 +35,8 @@ const char *telemetry::flightKindName(FlightKind Kind) {
     return "reducer_kept";
   case FlightKind::IncidentDumped:
     return "incident_dumped";
+  case FlightKind::TierDisagreement:
+    return "tier_disagreement";
   }
   return "?";
 }
@@ -49,6 +51,8 @@ const char *const *telemetry::flightEventFieldNames(FlightKind Kind) {
   static const char *const ReducerQuery[] = {"query", "size", "kept"};
   static const char *const ReducerKept[] = {"level", "start", "len"};
   static const char *const Incident[] = {"incident", "class_hash", "-"};
+  static const char *const TierDis[] = {"interp_phase", "baseline_phase",
+                                        "class_hash"};
   static const char *const Unused[] = {"-", "-", "-"};
   switch (Kind) {
   case FlightKind::Iteration:
@@ -67,6 +71,8 @@ const char *const *telemetry::flightEventFieldNames(FlightKind Kind) {
     return ReducerKept;
   case FlightKind::IncidentDumped:
     return Incident;
+  case FlightKind::TierDisagreement:
+    return TierDis;
   case FlightKind::None:
     break;
   }

@@ -87,6 +87,10 @@ enum class FlightKind : uint16_t {
   /// Incident bundle written: A=incident index, B=FNV-1a hash of the
   /// class name.
   IncidentDumped,
+  /// Tier-diff pair disagreement (same policy, interpreter vs baseline
+  /// tier): A=interpreter-tier encoded phase, B=baseline-tier encoded
+  /// phase, C=FNV-1a hash of the class name.
+  TierDisagreement,
 };
 
 const char *flightKindName(FlightKind Kind);

@@ -301,3 +301,80 @@ TEST(DiffStats, MergeHandlesDifferentJvmCounts) {
   EXPECT_EQ(A.PhaseCounts[2][2], 1u);
   EXPECT_EQ(A.PhaseCounts[4][2], 1u);
 }
+
+TEST(DiffTestTiers, WithoutTierDiffMatchesAllProfiles) {
+  Bytes Hello = serialize(makeHelloClass("Hello"));
+  auto Tester = DifferentialTester::withTieredProfiles(
+      corpusOf({{"Hello", Hello}}), EnvironmentMode::PerJvm,
+      ExecTier::Baseline, /*TierDiff=*/false);
+  EXPECT_EQ(Tester.profiles().size(), 5u);
+  EXPECT_FALSE(Tester.tierPair().has_value());
+  for (const ProfileDesc &P : Tester.profiles())
+    EXPECT_EQ(P.Tier, ExecTier::Baseline) << P.Name;
+  DiffOutcome O = Tester.testClass("Hello");
+  ASSERT_EQ(O.Encoded.size(), 5u);
+  EXPECT_FALSE(O.isDiscrepancy()) << O.encodedString();
+  EXPECT_FALSE(O.TierDisagreement);
+}
+
+TEST(DiffTestTiers, TierDiffAppendsInterpAndBaselineProfiles) {
+  Bytes Hello = serialize(makeHelloClass("Hello"));
+  auto Tester = DifferentialTester::withTieredProfiles(
+      corpusOf({{"Hello", Hello}}), EnvironmentMode::PerJvm,
+      ExecTier::Threaded, /*TierDiff=*/true);
+  ASSERT_EQ(Tester.profiles().size(), 7u);
+  ASSERT_TRUE(Tester.tierPair().has_value());
+  EXPECT_EQ(Tester.tierPair()->first, 5u);
+  EXPECT_EQ(Tester.tierPair()->second, 6u);
+
+  const ProfileDesc &Interp = Tester.profiles()[5];
+  const ProfileDesc &Base = Tester.profiles()[6];
+  const std::string RefName = referenceJvmPolicy().Name;
+  EXPECT_EQ(Interp.Name, RefName + "~threaded");
+  EXPECT_EQ(Interp.Tier, ExecTier::Threaded);
+  EXPECT_EQ(Base.Name, RefName + "~baseline");
+  EXPECT_EQ(Base.Tier, ExecTier::Baseline);
+  // The tier profiles defer jit.* publication to the campaign commit
+  // stage so counters stay jobs-invariant.
+  EXPECT_FALSE(Interp.Policy.JitTelemetry);
+  EXPECT_FALSE(Base.Policy.JitTelemetry);
+  // The PolicyView keeps legacy policies() callers (report rendering,
+  // replay output) printing tier-qualified names.
+  EXPECT_EQ(Tester.policies()[5].Name, Interp.Name);
+  EXPECT_EQ(Tester.policies()[6].Name, Base.Name);
+
+  DiffOutcome O = Tester.testClass("Hello");
+  ASSERT_EQ(O.Encoded.size(), 7u);
+  EXPECT_EQ(O.encodedString(), "0000000");
+  EXPECT_FALSE(O.TierDisagreement);
+}
+
+TEST(DiffTestTiers, Figure2ClassKeepsTiersAgreeing) {
+  // A class the reference JVM rejects is rejected identically on both
+  // tiers: the pair encodes the same phase, no tier disagreement.
+  Bytes Data = serialize(makeFigure2Class());
+  auto Tester = DifferentialTester::withTieredProfiles(
+      corpusOf({{"M1436188543", Data}}), EnvironmentMode::PerJvm,
+      ExecTier::Threaded, /*TierDiff=*/true);
+  DiffOutcome O = Tester.testClass("M1436188543");
+  ASSERT_EQ(O.Encoded.size(), 7u);
+  EXPECT_EQ(O.Encoded[5], O.Encoded[6]);
+  EXPECT_FALSE(O.TierDisagreement);
+}
+
+TEST(DiffStats, TierDisagreementsAreCounted) {
+  DiffStats Stats;
+  DiffOutcome Agree;
+  Agree.Encoded = {0, 0, 0, 0, 0, 0, 0};
+  DiffOutcome Disagree;
+  Disagree.Encoded = {0, 0, 0, 0, 0, 0, 4};
+  Disagree.TierDisagreement = true;
+  Stats.add(Agree);
+  Stats.add(Disagree);
+  EXPECT_EQ(Stats.TierDisagreements, 1u);
+
+  DiffStats Other;
+  Other.add(Disagree);
+  Stats.merge(Other);
+  EXPECT_EQ(Stats.TierDisagreements, 2u);
+}

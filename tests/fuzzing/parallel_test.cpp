@@ -109,3 +109,56 @@ TEST(ParallelCampaign, MutatorStatisticsStayConsistent) {
   EXPECT_EQ(TotalSelected, R.Iterations);
   EXPECT_EQ(TotalSucceeded, R.numTests());
 }
+
+TEST(ParallelCampaign, TierDiffCensusIsJobsInvariant) {
+  auto WithTierDiff = [](size_t Jobs) {
+    CampaignConfig Config =
+        jobsConfig(FuzzAlgorithm::ClassfuzzStBr, Jobs, 120);
+    Config.TierDiff = true;
+    return Config;
+  };
+  auto Seq = runCampaign(WithTierDiff(1));
+  auto Par = runCampaign(WithTierDiff(4));
+  expectIdenticalResults(Seq, Par);
+  EXPECT_EQ(Seq.TierOutcomeCounts, Par.TierOutcomeCounts);
+  EXPECT_EQ(Seq.TierDisagreements, Par.TierDisagreements);
+  // Every produced mutant carries its two-code tier encoding...
+  size_t Produced = 0;
+  for (size_t I = 0; I != Seq.GenClasses.size(); ++I) {
+    ASSERT_EQ(Seq.GenClasses[I].TierEncoded.size(), 2u) << I;
+    EXPECT_EQ(Seq.GenClasses[I].TierEncoded, Par.GenClasses[I].TierEncoded);
+    ++Produced;
+  }
+  // ...and the census sums to the produced count.
+  size_t Census = 0;
+  for (const auto &[Encoded, Count] : Seq.TierOutcomeCounts)
+    Census += Count;
+  EXPECT_EQ(Census, Produced);
+}
+
+TEST(ParallelCampaign, TierDiffAlsoRidesDeltaDiversityBatches) {
+  auto WithTierDiff = [](size_t Jobs) {
+    CampaignConfig Config =
+        jobsConfig(FuzzAlgorithm::ClassfuzzDdCoarse, Jobs, 80);
+    Config.TierDiff = true;
+    return Config;
+  };
+  auto Seq = runCampaign(WithTierDiff(1));
+  auto Par = runCampaign(WithTierDiff(4));
+  expectIdenticalResults(Seq, Par);
+  EXPECT_EQ(Seq.TierOutcomeCounts, Par.TierOutcomeCounts);
+  EXPECT_EQ(Seq.TierDisagreements, Par.TierDisagreements);
+  for (const GeneratedClass &G : Seq.GenClasses)
+    EXPECT_EQ(G.TierEncoded.size(), 2u) << G.Name;
+}
+
+TEST(ParallelCampaign, RandfuzzIgnoresTierDiff) {
+  // randfuzz has no execution stage for the tier pair to ride.
+  CampaignConfig Config = jobsConfig(FuzzAlgorithm::Randfuzz, 1, 60);
+  Config.TierDiff = true;
+  auto R = runCampaign(Config);
+  EXPECT_TRUE(R.TierOutcomeCounts.empty());
+  EXPECT_EQ(R.TierDisagreements, 0u);
+  for (const GeneratedClass &G : R.GenClasses)
+    EXPECT_TRUE(G.TierEncoded.empty()) << G.Name;
+}

@@ -32,6 +32,8 @@ CampaignEnvSpec specFor(const CampaignConfig &Config) {
   Spec.RngSeed = Config.RngSeed;
   Spec.NumSeeds = Config.NumSeeds;
   Spec.ReferencePolicyName = Config.ReferencePolicy.Name;
+  Spec.TierName = "threaded";
+  Spec.TierDiff = Config.TierDiff;
   return Spec;
 }
 
@@ -106,6 +108,8 @@ TEST(Provenance, LineageJsonRoundTrips) {
   EXPECT_EQ(Parsed->Spec.NumSeeds, Spec.NumSeeds);
   EXPECT_EQ(Parsed->Spec.SeedDir, Spec.SeedDir);
   EXPECT_EQ(Parsed->Spec.ReferencePolicyName, Spec.ReferencePolicyName);
+  EXPECT_EQ(Parsed->Spec.TierName, Spec.TierName);
+  EXPECT_EQ(Parsed->Spec.TierDiff, Spec.TierDiff);
   // Serialization is stable: re-serializing the parse is byte-identical.
   EXPECT_EQ(lineageJson(Parsed->Prov, Parsed->Spec, Parsed->MutantName,
                         Parsed->ExpectedEncoded),
@@ -129,6 +133,10 @@ TEST(Provenance, ParserRejectsMalformedLineage) {
       "\"rng\": [\"0x1\", \"0x2\", \"0x3\", \"0x4\", \"0x5\"]}]}");
   ASSERT_TRUE(Ok) << Ok.error();
   EXPECT_EQ(Ok->Spec.RngSeed, 42u);
+  // Pre-tier documents parse with the tier defaults (replay warns and
+  // runs on threaded).
+  EXPECT_TRUE(Ok->Spec.TierName.empty());
+  EXPECT_FALSE(Ok->Spec.TierDiff);
   EXPECT_EQ(Ok->Prov.RootSeedIndex, 3u);
   EXPECT_EQ(Ok->Prov.Steps[0].RngBefore.Words[3], 4u);
   EXPECT_EQ(Ok->Prov.Steps[0].RngBefore.Draws, 5u);

@@ -1,0 +1,272 @@
+//===- tests/jvm/exec_tiers_test.cpp ---------------------------------------===//
+//
+// The ExecEngine tier contract (DESIGN.md §13): for any (policy,
+// environment, class) the switch, threaded, and baseline tiers produce
+// identical JvmResult, abort phase/kind, and coverage traces; the step
+// budget is charged uniformly; the baseline code cache evicts and
+// recompiles without changing results.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../TestHelpers.h"
+#include "coverage/Tracefile.h"
+#include "jvm/ExecEngine.h"
+#include "jvm/Phase.h"
+#include "mutation/Engine.h"
+#include "runtime/SeedCorpus.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+using namespace classfuzz::testhelpers;
+
+namespace {
+
+constexpr ExecTier AllTiers[] = {ExecTier::Switch, ExecTier::Threaded,
+                                 ExecTier::Baseline};
+
+/// One run's observable surface: the full JvmResult plus the coverage
+/// trace. Everything the campaign, the acceptance criteria, and the
+/// differential encodings can see.
+struct TierObservation {
+  JvmResult R;
+  Tracefile Trace;
+};
+
+TierObservation runOnTier(const JvmPolicy &Base, ExecTier Tier,
+                          const ClassPath &Env, const std::string &Name) {
+  JvmPolicy P = Base;
+  P.Tier = Tier;
+  P.JitTelemetry = false;
+  TierObservation Obs;
+  CoverageRecorder Rec;
+  Vm Jvm(P, Env, &Rec);
+  Obs.R = Jvm.run(Name);
+  Obs.Trace = Rec.takeTrace();
+  return Obs;
+}
+
+/// Asserts the three tiers observed the same world for \p Name.
+void expectTierEquivalence(const JvmPolicy &Base, const ClassPath &Env,
+                           const std::string &Name) {
+  TierObservation Ref = runOnTier(Base, ExecTier::Switch, Env, Name);
+  for (ExecTier Tier : {ExecTier::Threaded, ExecTier::Baseline}) {
+    TierObservation Obs = runOnTier(Base, Tier, Env, Name);
+    EXPECT_EQ(Obs.R.Invoked, Ref.R.Invoked)
+        << Name << " on " << execTierName(Tier) << ": " << Obs.R.toString()
+        << " vs " << Ref.R.toString();
+    EXPECT_EQ(Obs.R.Phase, Ref.R.Phase)
+        << Name << " on " << execTierName(Tier);
+    EXPECT_EQ(Obs.R.Error, Ref.R.Error)
+        << Name << " on " << execTierName(Tier) << ": " << Obs.R.toString()
+        << " vs " << Ref.R.toString();
+    EXPECT_EQ(Obs.R.Output, Ref.R.Output)
+        << Name << " on " << execTierName(Tier);
+    EXPECT_EQ(encodePhase(Obs.R), encodePhase(Ref.R))
+        << Name << " on " << execTierName(Tier);
+    EXPECT_TRUE(Obs.Trace.sameSets(Ref.Trace))
+        << Name << " on " << execTierName(Tier) << ": trace differs ("
+        << Obs.Trace.stmtCount() << "/" << Obs.Trace.branchCount() << " vs "
+        << Ref.Trace.stmtCount() << "/" << Ref.Trace.branchCount() << ")";
+  }
+}
+
+ClassPath corpusEnv(const JvmPolicy &Policy,
+                    const std::vector<SeedClass> &Seeds) {
+  ClassPath Env = runtimeLibraryFor(Policy);
+  for (const SeedClass &Seed : Seeds) {
+    Env.add(Seed.Name, Seed.Data);
+    for (const auto &[Name, Data] : Seed.Helpers)
+      Env.add(Name, Data);
+  }
+  return Env;
+}
+
+} // namespace
+
+TEST(ExecTiers, NamesRoundTripThroughParse) {
+  for (ExecTier Tier : AllTiers) {
+    auto Parsed = parseExecTier(execTierName(Tier));
+    ASSERT_TRUE(Parsed.has_value()) << execTierName(Tier);
+    EXPECT_EQ(*Parsed, Tier);
+  }
+  EXPECT_FALSE(parseExecTier("jit").has_value());
+  EXPECT_FALSE(parseExecTier("").has_value());
+}
+
+// The tier contract over a generated seed corpus: every seed produces
+// the same result, abort phase/kind, and coverage trace on all three
+// tiers.
+TEST(ExecTiers, SeedCorpusIsEquivalentAcrossTiers) {
+  JvmPolicy Policy = referenceJvmPolicy();
+  Rng R(11);
+  auto Seeds = generateSeedCorpus(R, 128);
+  ClassPath Env = corpusEnv(Policy, Seeds);
+  for (const SeedClass &Seed : Seeds)
+    expectTierEquivalence(Policy, Env, Seed.Name);
+}
+
+// The same contract over mutated (frequently hostile) classfiles: abort
+// paths through loading/linking/verification and runtime exceptions
+// must also agree tier-to-tier.
+TEST(ExecTiers, MutatedCorpusIsEquivalentAcrossTiers) {
+  JvmPolicy Policy = referenceJvmPolicy();
+  Rng R(12);
+  auto Seeds = generateSeedCorpus(R, 16);
+  ClassPath Base = corpusEnv(Policy, Seeds);
+  std::vector<std::string> Known = Base.names();
+  size_t Produced = 0;
+  for (size_t I = 0; Produced < 48 && I < 400; ++I) {
+    const SeedClass &Seed = Seeds[R.choiceIndex(Seeds.size())];
+    size_t MutatorIndex = R.choiceIndex(NumMutators);
+    MutationContext Ctx{R, Known};
+    MutationOutcome Mutant = mutateClass(Seed.Data, MutatorIndex, Ctx);
+    if (!Mutant.Produced)
+      continue;
+    ++Produced;
+    ClassPath Env = Base;
+    Env.add(Mutant.ClassName, Mutant.Data);
+    expectTierEquivalence(Policy, Env, Mutant.ClassName);
+  }
+  EXPECT_GE(Produced, 32u) << "mutator stream produced too few mutants "
+                              "for the sweep to mean anything";
+}
+
+// The step budget is charged once per executed instruction on every
+// tier: a tight loop exhausts MaxInterpSteps identically everywhere --
+// no tier lets a mutant run longer by tiering up.
+TEST(ExecTiers, TightLoopExhaustsStepBudgetUniformly) {
+  ClassFile CF = makeHelloClass("Spin");
+  MethodInfo *Main = CF.findMethod("main", "([Ljava/lang/String;)V");
+  CodeBuilder B(CF.CP);
+  auto Head = B.newLabel();
+  B.bind(Head);
+  B.branch(OP_goto, Head);
+  Main->Code->Code = B.build();
+  Main->Code->MaxStack = 1;
+  Main->Code->MaxLocals = 1;
+  Bytes Data = serialize(CF);
+
+  JvmPolicy Policy = referenceJvmPolicy();
+  Policy.MaxInterpSteps = 5000;
+  ClassPath Env = runtimeLibraryFor(Policy);
+  Env.add("Spin", Data);
+  for (ExecTier Tier : AllTiers) {
+    TierObservation Obs = runOnTier(Policy, Tier, Env, "Spin");
+    EXPECT_FALSE(Obs.R.Invoked) << execTierName(Tier);
+    EXPECT_EQ(Obs.R.Error, JvmErrorKind::InternalError)
+        << execTierName(Tier) << ": " << Obs.R.toString();
+    EXPECT_EQ(Obs.R.Message, "interpreter step budget exhausted")
+        << execTierName(Tier);
+  }
+  expectTierEquivalence(Policy, Env, "Spin");
+}
+
+// Baseline code cache under capacity pressure: three hot methods in a
+// two-entry cache force evictions and recompiles; results match the
+// other tiers regardless.
+TEST(ExecTiers, BaselineCacheEvictsAndRecompilesUnderPressure) {
+  ClassFile CF = makeHelloClass("Hot");
+  for (const char *Name : {"a", "b", "c"}) {
+    MethodInfo M;
+    M.Name = Name;
+    M.Descriptor = "(I)I";
+    M.AccessFlags = ACC_PUBLIC | ACC_STATIC;
+    CodeBuilder B(CF.CP);
+    B.loadLocal('i', 0);
+    B.pushInt(1);
+    B.emit(OP_iadd);
+    B.emit(OP_ireturn);
+    CodeAttr Code;
+    Code.MaxStack = 2;
+    Code.MaxLocals = 1;
+    Code.Code = B.build();
+    M.Code = std::move(Code);
+    CF.Methods.push_back(std::move(M));
+  }
+  MethodInfo *Main = CF.findMethod("main", "([Ljava/lang/String;)V");
+  CodeBuilder B(CF.CP);
+  // acc = 0; repeat 8x: acc = c(b(a(acc))); print acc (= 24).
+  B.pushInt(0);
+  B.storeLocal('i', 1);
+  B.pushInt(0);
+  B.storeLocal('i', 2);
+  auto Head = B.newLabel();
+  auto Done = B.newLabel();
+  B.bind(Head);
+  B.loadLocal('i', 2);
+  B.pushInt(8);
+  B.branch(OP_if_icmpge, Done);
+  B.loadLocal('i', 1);
+  B.invokeStatic("Hot", "a", "(I)I");
+  B.invokeStatic("Hot", "b", "(I)I");
+  B.invokeStatic("Hot", "c", "(I)I");
+  B.storeLocal('i', 1);
+  B.iinc(2, 1);
+  B.branch(OP_goto, Head);
+  B.bind(Done);
+  B.getStatic("java/lang/System", "out", "Ljava/io/PrintStream;");
+  B.loadLocal('i', 1);
+  B.invokeVirtual("java/io/PrintStream", "println", "(I)V");
+  B.emit(OP_return);
+  Main->Code->Code = B.build();
+  Main->Code->MaxStack = 2;
+  Main->Code->MaxLocals = 3;
+  Bytes Data = serialize(CF);
+
+  JvmPolicy Tight = referenceJvmPolicy();
+  Tight.JitCacheCapacity = 2;
+  ClassPath Env = runtimeLibraryFor(Tight);
+  Env.add("Hot", Data);
+
+  // Results stay correct under eviction pressure.
+  expectTierEquivalence(Tight, Env, "Hot");
+
+  // And the cache really did churn: with three hot methods rotating
+  // through two slots, at least one method was compiled more than once.
+  JvmPolicy P = Tight;
+  P.Tier = ExecTier::Baseline;
+  P.JitTelemetry = false;
+  Vm Jvm(P, Env, nullptr);
+  JvmResult R = Jvm.run("Hot");
+  ASSERT_TRUE(R.Invoked) << R.toString();
+  EXPECT_EQ(R.Output.back(), "24");
+  const JitStats *S = Jvm.engine().jitStats();
+  ASSERT_NE(S, nullptr);
+  EXPECT_GT(S->Evictions, 0u);
+  EXPECT_GT(S->Compiles, 3u)
+      << "three methods in a two-entry cache must recompile";
+
+  // A roomy cache compiles each hot method exactly once.
+  JvmPolicy Roomy = P;
+  Roomy.JitCacheCapacity = 64;
+  Vm Jvm2(Roomy, Env, nullptr);
+  JvmResult R2 = Jvm2.run("Hot");
+  ASSERT_TRUE(R2.Invoked) << R2.toString();
+  EXPECT_EQ(R2.Output, R.Output);
+  const JitStats *S2 = Jvm2.engine().jitStats();
+  ASSERT_NE(S2, nullptr);
+  EXPECT_EQ(S2->Evictions, 0u);
+  EXPECT_LT(S2->Compiles, S->Compiles);
+  EXPECT_GT(S2->CacheHits, 0u);
+}
+
+// jitStats() is a baseline-tier concern: the interpreters expose none.
+TEST(ExecTiers, OnlyBaselineExposesJitStats) {
+  Bytes Hello = serialize(makeHelloClass("Hello"));
+  JvmPolicy Policy = referenceJvmPolicy();
+  Policy.JitTelemetry = false;
+  ClassPath Env = runtimeLibraryFor(Policy);
+  Env.add("Hello", Hello);
+  for (ExecTier Tier : AllTiers) {
+    JvmPolicy P = Policy;
+    P.Tier = Tier;
+    Vm Jvm(P, Env, nullptr);
+    Jvm.run("Hello");
+    EXPECT_EQ(Jvm.engine().tier(), Tier);
+    EXPECT_EQ(Jvm.engine().jitStats() != nullptr,
+              Tier == ExecTier::Baseline)
+        << execTierName(Tier);
+  }
+}

@@ -50,6 +50,7 @@
 #include "fuzzing/Campaign.h"
 #include "fuzzing/Provenance.h"
 #include "jir/Jir.h"
+#include "jvm/ExecTier.h"
 #include "jvm/Phase.h"
 #include "mutation/Mutator.h"
 #include "reducer/Reducer.h"
@@ -82,12 +83,14 @@ int usage(std::FILE *To) {
       "                    [--iterations N | --time-budget SECONDS]\n"
       "                    [--seeds N | --seed-dir DIR] [--rng N]\n"
       "                    [--jobs N] [--out DIR] [--progress SECONDS]\n"
+      "                    [--tier switch|threaded|baseline] [--tier-diff]\n"
       "                    [--incidents DIR] [--flightrec N] [--reduce]\n"
       "                    [--reduce-jobs N]\n"
       "                    [--stats-json FILE] [--stats-filter PREFIX]\n"
       "                    [--trace-events FILE] [--trace-perfetto FILE]\n"
       "  classfuzz replay  BUNDLE_DIR\n"
       "  classfuzz run     FILE.class [--env jre5|jre7|jre8|jre9]\n"
+      "                    [--tier switch|threaded|baseline]\n"
       "  classfuzz analyze FILE.class... [--print]\n"
       "                    [--env jre5|jre7|jre8|jre9]\n"
       "  classfuzz inspect FILE.class\n"
@@ -282,6 +285,14 @@ int cmdFuzz(int Argc, char **Argv) {
            {"rng", "N", "campaign RNG seed", "1"},
            {"jobs", "N",
             "worker threads; results are identical across values", "1"},
+           {"tier", "T",
+            "execution tier for every JVM run: switch|threaded|baseline",
+            "threaded"},
+           {"tier-diff", "",
+            "also run every produced mutant on the reference policy's "
+            "interpreter and baseline-JIT tiers and census tier "
+            "disagreements as their own discrepancy class",
+            ""},
            {"out", "DIR",
             "write report.md + discrepancy classfiles to DIR", ""},
            {"progress", "SECONDS",
@@ -341,6 +352,15 @@ int cmdFuzz(int Argc, char **Argv) {
   // across --jobs values for a fixed --rng seed.
   Config.Jobs = std::max<size_t>(1, static_cast<size_t>(A.getUnsigned("jobs")));
   Config.ProgressIntervalSeconds = A.getDouble("progress");
+  auto Tier = parseExecTier(A.get("tier"));
+  if (!Tier) {
+    std::fprintf(stderr,
+                 "unknown --tier %s (expected switch|threaded|baseline)\n",
+                 A.get("tier").c_str());
+    return 2;
+  }
+  Config.ReferencePolicy.Tier = *Tier;
+  Config.TierDiff = A.has("tier-diff");
   const std::string AnalysisDir = A.get("analysis-incidents");
   Config.RunAnalysis = !A.has("no-analysis");
   if (!AnalysisDir.empty() && !Config.RunAnalysis) {
@@ -383,17 +403,28 @@ int cmdFuzz(int Argc, char **Argv) {
                 "%zu distinct categories\n",
                 R.DdDiscrepancies, R.numGenerated(),
                 R.ddDistinctDiscrepancies());
+  if (Config.TierDiff) {
+    size_t TierCategories = 0;
+    for (const auto &[Encoded, Count] : R.TierOutcomeCounts)
+      if (Encoded.size() == 2 && Encoded[0] != Encoded[1])
+        ++TierCategories;
+    std::printf("tier census: %zu interp-vs-baseline disagreements over "
+                "%zu produced mutants, %zu distinct categories\n",
+                R.TierDisagreements, R.numGenerated(), TierCategories);
+  }
 
   std::fprintf(stderr, "differential testing %zu test classfiles...\n",
                R.numTests());
-  auto Tester = DifferentialTester::withAllProfiles(
-      R.corpusClassPath(), EnvironmentMode::PerJvm);
+  auto Tester = DifferentialTester::withTieredProfiles(
+      R.corpusClassPath(), EnvironmentMode::PerJvm, *Tier, Config.TierDiff);
 
   CampaignEnvSpec EnvSpec;
   EnvSpec.RngSeed = Config.RngSeed;
   EnvSpec.NumSeeds = Config.NumSeeds;
   EnvSpec.SeedDir = A.get("seed-dir");
   EnvSpec.ReferencePolicyName = Config.ReferencePolicy.Name;
+  EnvSpec.TierName = execTierName(*Tier);
+  EnvSpec.TierDiff = Config.TierDiff;
 
   DiffStats Stats;
   std::vector<DiscrepancyRecord> Records;
@@ -417,8 +448,10 @@ int cmdFuzz(int Argc, char **Argv) {
     Inc.MutantName = G.Name;
     Inc.MutantData = G.Data;
     Inc.Outcome = O;
-    for (const JvmPolicy &P : Tester.policies())
+    for (const ProfileDesc &P : Tester.profiles()) {
       Inc.ProfileNames.push_back(P.Name);
+      Inc.ProfileTiers.push_back(execTierName(P.Tier));
+    }
     Inc.Prov = G.Prov;
     Inc.Env = EnvSpec;
     if (Discrepancy && A.has("reduce")) {
@@ -470,8 +503,10 @@ int cmdFuzz(int Argc, char **Argv) {
       Inc.MutantData = G.Data;
       Inc.Outcome = Tester.testClass(G.Name);
       Inc.Outcome.commitFlightEvents();
-      for (const JvmPolicy &P : Tester.policies())
+      for (const ProfileDesc &P : Tester.profiles()) {
         Inc.ProfileNames.push_back(P.Name);
+        Inc.ProfileTiers.push_back(execTierName(P.Tier));
+      }
       Inc.Prov = G.Prov;
       Inc.Env = EnvSpec;
       Inc.AnalysisJson = "{\"observed_phase\":" +
@@ -609,8 +644,22 @@ int cmdReplay(int Argc, char **Argv) {
   for (const auto &[Name, Data] : Replayed->Ancestors)
     Extra.add(Name, Data);
   Extra.add(Replayed->ClassName, Replayed->Data);
-  auto Tester =
-      DifferentialTester::withAllProfiles(Extra, EnvironmentMode::PerJvm);
+  // Pre-tier bundles carry no tier field; warn and fall back to the
+  // threaded default rather than refusing the replay.
+  ExecTier ReplayTier = ExecTier::Threaded;
+  if (Parsed->Spec.TierName.empty()) {
+    std::fprintf(stderr, "note: bundle records no execution tier; "
+                         "replaying on threaded\n");
+  } else if (auto T = parseExecTier(Parsed->Spec.TierName)) {
+    ReplayTier = *T;
+  } else {
+    std::fprintf(stderr,
+                 "note: bundle records unknown tier \"%s\"; replaying on "
+                 "threaded\n",
+                 Parsed->Spec.TierName.c_str());
+  }
+  auto Tester = DifferentialTester::withTieredProfiles(
+      Extra, EnvironmentMode::PerJvm, ReplayTier, Parsed->Spec.TierDiff);
   DiffOutcome O = Tester.testClass(Replayed->ClassName);
   O.commitFlightEvents();
   std::printf("encoded \"%s\"%s\n", O.encodedString().c_str(),
@@ -638,7 +687,10 @@ int cmdRun(int Argc, char **Argv) {
                   {{"env", "JRE",
                     "shared runtime environment: jre5|jre7|jre8|jre9 "
                     "(default: per-JVM)",
-                    ""}}));
+                    ""},
+                   {"tier", "T",
+                    "execution tier: switch|threaded|baseline",
+                    "threaded"}}));
   int Exit = 0;
   if (!parseOrExit(A, Argc, Argv, Exit))
     return Exit;
@@ -662,11 +714,19 @@ int cmdRun(int Argc, char **Argv) {
   ClassPath Corpus;
   Corpus.add(CF->ThisClass, *Data);
   std::string Env = A.get("env");
+  auto RunTier = parseExecTier(A.get("tier"));
+  if (!RunTier) {
+    std::fprintf(stderr,
+                 "unknown --tier %s (expected switch|threaded|baseline)\n",
+                 A.get("tier").c_str());
+    return 2;
+  }
   auto Tester = Env.empty()
-                    ? DifferentialTester::withAllProfiles(
-                          Corpus, EnvironmentMode::PerJvm)
-                    : DifferentialTester::withAllProfiles(
-                          Corpus, EnvironmentMode::Shared, Env);
+                    ? DifferentialTester::withTieredProfiles(
+                          Corpus, EnvironmentMode::PerJvm, *RunTier, false)
+                    : DifferentialTester::withTieredProfiles(
+                          Corpus, EnvironmentMode::Shared, *RunTier, false,
+                          Env);
   DiffOutcome O = Tester.testClass(CF->ThisClass);
   O.commitFlightEvents();
   std::printf("encoded \"%s\"%s\n", O.encodedString().c_str(),
