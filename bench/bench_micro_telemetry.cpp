@@ -7,12 +7,23 @@
 // campaign-level pair at the bottom measures the end-to-end overhead
 // of running with telemetry on.
 //
+// `--sampler-gate` runs a standalone throughput check instead of the
+// google-benchmark suite: attaching the time-series sampler at the
+// default stride (K=64) must cost <= 2% of campaign wall clock over an
+// identical telemetry-on baseline (exit 1 otherwise). The sampler
+// snapshots the scalar registry once per K commits; this gate keeps
+// that snapshot honest as the metric population grows.
+//
 //===----------------------------------------------------------------------===//
 
 #include "fuzzing/Campaign.h"
 #include "telemetry/Telemetry.h"
+#include "telemetry/TimeSeries.h"
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
 
 using namespace classfuzz;
 
@@ -118,6 +129,77 @@ void BM_CampaignTelemetryOn(benchmark::State &State) {
 }
 BENCHMARK(BM_CampaignTelemetryOn)->Unit(benchmark::kMillisecond);
 
+/// Telemetry on plus the K=64 time-series sampler (no output stream):
+/// the configuration `--timeseries` runs. The delta over
+/// BM_CampaignTelemetryOn is the sampler's own cost.
+void BM_CampaignWithSampler(benchmark::State &State) {
+  telemetry::setEnabled(true);
+  CampaignConfig Config = benchConfig();
+  for (auto _ : State) {
+    telemetry::TimeSeriesSampler Sampler({});
+    Config.TimeSeries = &Sampler;
+    CampaignResult R = runCampaign(Config);
+    benchmark::DoNotOptimize(R.numGenerated());
+  }
+  telemetry::setEnabled(false);
+}
+BENCHMARK(BM_CampaignWithSampler)->Unit(benchmark::kMillisecond);
+
+/// The --sampler-gate mode: sampling every 64 commits must stay within
+/// 2% of the telemetry-on baseline. Runs interleave and each arm keeps
+/// its fastest run, so scheduler noise inflates both arms equally.
+int runSamplerGate() {
+  telemetry::setEnabled(true);
+  CampaignConfig Config = benchConfig();
+  Config.Iterations = 400;
+  constexpr int Runs = 10;
+  constexpr double MaxOverhead = 0.02;
+
+  auto RunOnce = [&Config](bool WithSampler) {
+    telemetry::TimeSeriesSampler Sampler({}); // SampleEvery defaults to 64.
+    Config.TimeSeries = WithSampler ? &Sampler : nullptr;
+    auto Start = std::chrono::steady_clock::now();
+    CampaignResult R = runCampaign(Config);
+    benchmark::DoNotOptimize(R.numGenerated());
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         Start)
+        .count();
+  };
+
+  RunOnce(false); // Warm both arms before timing.
+  RunOnce(true);
+  double Baseline = 1e30, Sampled = 1e30;
+  for (int I = 0; I != Runs; ++I) {
+    Baseline = std::min(Baseline, RunOnce(false));
+    Sampled = std::min(Sampled, RunOnce(true));
+  }
+  telemetry::setEnabled(false);
+
+  double Overhead = Sampled / Baseline - 1.0;
+  std::printf("baseline  %8.2f ms/run\n", Baseline * 1000);
+  std::printf("sampled   %8.2f ms/run  (K=64)\n", Sampled * 1000);
+  std::printf("overhead  %+7.2f%% (gate: <= %.0f%%)\n", Overhead * 100,
+              MaxOverhead * 100);
+  if (Overhead > MaxOverhead) {
+    std::fprintf(stderr,
+                 "** sampler gate FAILED: %+.2f%% > %.0f%% overhead at "
+                 "K=64 **\n",
+                 Overhead * 100, MaxOverhead * 100);
+    return 1;
+  }
+  return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  for (int I = 1; I != argc; ++I)
+    if (std::strcmp(argv[I], "--sampler-gate") == 0)
+      return runSamplerGate();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,192 @@
+//===- coverage/Frontier.cpp ----------------------------------------------===//
+
+#include "coverage/Frontier.h"
+
+#include "telemetry/Telemetry.h"
+
+#include <algorithm>
+
+using namespace classfuzz;
+
+namespace {
+
+// Mirrors jvm::NumPhaseCodes without a cf_coverage -> cf_jvm edge (the
+// jvm layer already depends on coverage for its probes). The grid's
+// column count is part of the metric schema; a static_assert in
+// Campaign.cpp keeps the two in sync.
+constexpr size_t NumPhaseCols = 5;
+
+std::string phaseColLabel(size_t Col) {
+  return "phase" + std::to_string(Col);
+}
+
+/// Telemetry handles, resolved once. Only touched when enabled().
+struct FrontierTelemetry {
+  telemetry::Gauge &StmtsG;
+  telemetry::Gauge &BranchesG;
+  telemetry::Counter &NewStmts;
+  telemetry::Counter &NewBranches;
+
+  static FrontierTelemetry &get() {
+    static FrontierTelemetry T{
+        telemetry::metrics().gauge("frontier.stmts"),
+        telemetry::metrics().gauge("frontier.branches"),
+        telemetry::metrics().counter("frontier.new_stmts"),
+        telemetry::metrics().counter("frontier.new_branches"),
+    };
+    return T;
+  }
+};
+
+void appendHitLine(std::string &Out, const char *Type, uint32_t Id,
+                   uint64_t Hits, const FrontierFirstHit &First, bool Rare,
+                   bool Branch) {
+  Out += "{\"type\":\"";
+  Out += Type;
+  Out += "\"";
+  if (Branch) {
+    Out += ",\"site\":" + std::to_string(Id >> 1);
+    Out += ",\"taken\":";
+    Out += (Id & 1) ? "true" : "false";
+  } else {
+    Out += ",\"id\":" + std::to_string(Id);
+  }
+  Out += ",\"hits\":" + std::to_string(Hits);
+  Out += ",\"first_iter\":" + std::to_string(First.Iteration);
+  Out += ",\"seed\":\"" + telemetry::jsonEscape(First.SeedName) + "\"";
+  Out += ",\"mutator\":\"" + telemetry::jsonEscape(First.MutatorId) + "\"";
+  Out += ",\"phase\":" + std::to_string(First.Phase);
+  Out += ",\"rare\":";
+  Out += Rare ? "true" : "false";
+  Out += "}\n";
+}
+
+} // namespace
+
+FrontierTracker::FrontierTracker(Options Opts) : Opts(std::move(Opts)) {}
+
+FrontierTracker::Delta FrontierTracker::recordCommit(const Tracefile &Trace,
+                                                     const CommitInfo &Info) {
+  Delta D;
+  FrontierFirstHit First;
+  First.Iteration = Info.Iteration;
+  First.SeedIndex = Info.SeedIndex;
+  First.SeedName = Info.SeedName;
+  First.MutatorId = Info.MutatorId;
+  First.Phase = Info.Phase;
+
+  for (uint32_t Id : Trace.stmts()) {
+    Entry &E = Stmts[Id];
+    if (E.Hits++ == 0) {
+      E.First = First;
+      ++D.NewStmts;
+    }
+  }
+  for (uint32_t Id : Trace.branches()) {
+    Entry &E = Branches[Id];
+    if (E.Hits++ == 0) {
+      E.First = First;
+      ++D.NewBranches;
+    }
+  }
+  ++Commits;
+
+  if (telemetry::enabled()) {
+    auto &T = FrontierTelemetry::get();
+    T.StmtsG.set(static_cast<int64_t>(Stmts.size()));
+    T.BranchesG.set(static_cast<int64_t>(Branches.size()));
+    if (D.NewStmts)
+      T.NewStmts.inc(D.NewStmts);
+    if (D.NewBranches)
+      T.NewBranches.inc(D.NewBranches);
+    // Seed registrations carry no mutator; only mutant commits feed the
+    // per-mutator deep-phase reach grid.
+    if (!Opts.MutatorIds.empty() && !Info.MutatorId.empty() &&
+        Info.Phase >= 0 && static_cast<size_t>(Info.Phase) < NumPhaseCols) {
+      auto Ids = Opts.MutatorIds;
+      auto &Grid = telemetry::metrics().grid(
+          "frontier.mutator_phase", Ids.size(), NumPhaseCols,
+          [Ids](size_t Row) { return Row < Ids.size() ? Ids[Row] : "?"; },
+          phaseColLabel);
+      Grid.inc(Info.MutatorIndex, static_cast<size_t>(Info.Phase));
+    }
+  }
+  return D;
+}
+
+std::vector<uint32_t> FrontierTracker::rareBranches() const {
+  std::vector<uint32_t> Out;
+  for (const auto &[Id, E] : Branches)
+    if (E.Hits <= Opts.RareThreshold)
+      Out.push_back(Id);
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+std::vector<uint32_t> FrontierTracker::rareStmts() const {
+  std::vector<uint32_t> Out;
+  for (const auto &[Id, E] : Stmts)
+    if (E.Hits <= Opts.RareThreshold)
+      Out.push_back(Id);
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+uint64_t FrontierTracker::branchHits(uint32_t Id) const {
+  auto It = Branches.find(Id);
+  return It == Branches.end() ? 0 : It->second.Hits;
+}
+
+uint64_t FrontierTracker::stmtHits(uint32_t Id) const {
+  auto It = Stmts.find(Id);
+  return It == Stmts.end() ? 0 : It->second.Hits;
+}
+
+const FrontierFirstHit *FrontierTracker::branchFirstHit(uint32_t Id) const {
+  auto It = Branches.find(Id);
+  return It == Branches.end() ? nullptr : &It->second.First;
+}
+
+const FrontierFirstHit *FrontierTracker::stmtFirstHit(uint32_t Id) const {
+  auto It = Stmts.find(Id);
+  return It == Stmts.end() ? nullptr : &It->second.First;
+}
+
+std::string FrontierTracker::renderCensusJsonl() const {
+  std::vector<uint32_t> BranchIds, StmtIds;
+  BranchIds.reserve(Branches.size());
+  for (const auto &[Id, E] : Branches)
+    BranchIds.push_back(Id);
+  std::sort(BranchIds.begin(), BranchIds.end());
+  StmtIds.reserve(Stmts.size());
+  for (const auto &[Id, E] : Stmts)
+    StmtIds.push_back(Id);
+  std::sort(StmtIds.begin(), StmtIds.end());
+
+  size_t RareBr = 0, RareSt = 0;
+  for (const auto &[Id, E] : Branches)
+    RareBr += E.Hits <= Opts.RareThreshold;
+  for (const auto &[Id, E] : Stmts)
+    RareSt += E.Hits <= Opts.RareThreshold;
+
+  std::string Out;
+  Out += "{\"type\":\"frontier_summary\",\"commits\":" +
+         std::to_string(Commits);
+  Out += ",\"stmts\":" + std::to_string(Stmts.size());
+  Out += ",\"branches\":" + std::to_string(Branches.size());
+  Out += ",\"rare_branches\":" + std::to_string(RareBr);
+  Out += ",\"rare_stmts\":" + std::to_string(RareSt);
+  Out += ",\"rare_threshold\":" + std::to_string(Opts.RareThreshold);
+  Out += "}\n";
+  for (uint32_t Id : BranchIds) {
+    const Entry &E = Branches.at(Id);
+    appendHitLine(Out, "branch", Id, E.Hits, E.First,
+                  E.Hits <= Opts.RareThreshold, /*Branch=*/true);
+  }
+  for (uint32_t Id : StmtIds) {
+    const Entry &E = Stmts.at(Id);
+    appendHitLine(Out, "stmt", Id, E.Hits, E.First,
+                  E.Hits <= Opts.RareThreshold, /*Branch=*/false);
+  }
+  return Out;
+}

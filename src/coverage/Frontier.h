@@ -1,0 +1,124 @@
+//===- coverage/Frontier.h - Global hit counts and rare-branch census ----===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The coverage-frontier tracker: global per-statement and per-branch
+/// hit counts folded in from every committed mutant's reference-JVM
+/// tracefile, with first-hit attribution (iteration, root seed, mutator
+/// chain tail, deepest startup phase reached) and a rare-branch set
+/// (hits <= threshold) in FairFuzz's sense -- the input a rare-branch-
+/// targeting seed scheduler needs (ROADMAP item 2) and the per-mutator
+/// deep-phase reach grid ROADMAP item 3 asks for.
+///
+/// Determinism contract: the campaign calls recordCommit() at the
+/// in-order commit stage only, so the tracker's state -- and the census
+/// renderCensusJsonl() serializes -- is a pure function of the committed
+/// trajectory and therefore byte-identical for any --jobs value.
+/// Telemetry mirroring (frontier.* gauges/counters and the
+/// frontier.mutator_phase grid) is observation-only and guarded on
+/// telemetry::enabled(); the tracker's own state never depends on it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_COVERAGE_FRONTIER_H
+#define CLASSFUZZ_COVERAGE_FRONTIER_H
+
+#include "coverage/Tracefile.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace classfuzz {
+
+/// First-hit attribution of one coverage id: which committed run lit it
+/// up first.
+struct FrontierFirstHit {
+  uint64_t Iteration = 0;   ///< Committed iteration index (0-based).
+  size_t SeedIndex = 0;     ///< Root seed of the hitting mutant's lineage.
+  std::string SeedName;     ///< The root seed's class name.
+  std::string MutatorId;    ///< Tail of the mutator chain ("" for seeds).
+  int Phase = -1;           ///< Encoded startup phase of the hitting run.
+};
+
+/// Global per-id hit counts plus first-hit attribution over every
+/// committed run. Statements and branches are tracked separately;
+/// branch ids carry the (site, taken) encoding of Tracefile.
+class FrontierTracker {
+public:
+  struct Options {
+    /// Ids with hits <= RareThreshold are "rare" (FairFuzz's rarity
+    /// cut; the census marks them and rareBranches() returns them).
+    uint64_t RareThreshold = 4;
+    /// Row labels of the frontier.mutator_phase telemetry grid (one per
+    /// mutator, index-aligned with MutatorIndex values passed to
+    /// recordCommit). Empty disables the grid.
+    std::vector<std::string> MutatorIds;
+  };
+
+  explicit FrontierTracker(Options Opts);
+
+  /// What one committed run contributed beyond the existing frontier.
+  struct Delta {
+    size_t NewStmts = 0;
+    size_t NewBranches = 0;
+  };
+
+  /// Context of one committed run, for attribution.
+  struct CommitInfo {
+    uint64_t Iteration = 0;
+    size_t SeedIndex = 0;
+    std::string SeedName;
+    size_t MutatorIndex = 0; ///< Into Options::MutatorIds.
+    std::string MutatorId;
+    int Phase = -1; ///< Encoded startup phase {0..4}; -1 = no run.
+  };
+
+  /// Folds one committed run's trace into the global counts, records
+  /// first-hit attribution for ids never seen before, feeds the
+  /// per-mutator deep-phase grid, and mirrors the frontier.* metrics.
+  /// Must be called in commit order only (see file comment).
+  Delta recordCommit(const Tracefile &Trace, const CommitInfo &Info);
+
+  size_t distinctStmts() const { return Stmts.size(); }
+  size_t distinctBranches() const { return Branches.size(); }
+  uint64_t commits() const { return Commits; }
+  uint64_t rareThreshold() const { return Opts.RareThreshold; }
+
+  /// Branch ids (site<<1|taken) with hits <= RareThreshold, ascending.
+  std::vector<uint32_t> rareBranches() const;
+  /// Statement ids with hits <= RareThreshold, ascending.
+  std::vector<uint32_t> rareStmts() const;
+
+  /// Hit count of one id; 0 when never hit.
+  uint64_t branchHits(uint32_t Id) const;
+  uint64_t stmtHits(uint32_t Id) const;
+  /// First-hit attribution; nullptr when the id was never hit.
+  const FrontierFirstHit *branchFirstHit(uint32_t Id) const;
+  const FrontierFirstHit *stmtFirstHit(uint32_t Id) const;
+
+  /// The frontier/attribution census as stable JSONL: one summary line,
+  /// then one line per branch id and per statement id in ascending id
+  /// order. A pure function of the recordCommit() history, so the bytes
+  /// are identical across --jobs values (CI cmp-enforced).
+  std::string renderCensusJsonl() const;
+
+private:
+  struct Entry {
+    uint64_t Hits = 0;
+    FrontierFirstHit First;
+  };
+
+  Options Opts;
+  uint64_t Commits = 0;
+  std::unordered_map<uint32_t, Entry> Stmts;
+  std::unordered_map<uint32_t, Entry> Branches;
+};
+
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_COVERAGE_FRONTIER_H

@@ -12,6 +12,7 @@
 #include "support/ThreadPool.h"
 #include "telemetry/FlightRecorder.h"
 #include "telemetry/Telemetry.h"
+#include "telemetry/TimeSeries.h"
 
 #include <atomic>
 #include <chrono>
@@ -471,7 +472,96 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
     return ddRunOver(Name, Envs);
   };
 
+  // The frontier.mutator_phase grid's column count (Frontier.cpp) must
+  // track the phase encoding.
+  static_assert(NumPhaseCodes == 5,
+                "frontier.mutator_phase columns assume 5 phase codes");
+
   Acceptor Accept(Config.Algo);
+
+  // Coverage-frontier tracker (--frontier): folds every reference run
+  // in driver order -- seed registrations below, then each produced
+  // mutant at the in-order commit stage -- so its census is identical
+  // across Jobs values.
+  std::shared_ptr<FrontierTracker> Frontier;
+  if (Config.TrackFrontier && Coverage) {
+    FrontierTracker::Options FOpts;
+    FOpts.RareThreshold = Config.RareBranchThreshold;
+    FOpts.MutatorIds.reserve(NumMu);
+    for (const Mutator &Mu : mutatorRegistry())
+      FOpts.MutatorIds.push_back(Mu.Id);
+    Frontier = std::make_shared<FrontierTracker>(std::move(FOpts));
+    Result.Frontier = Frontier;
+  }
+  /// Folds one seed-registration run into the frontier (iteration 0, no
+  /// mutator -- per-seed coverage attribution).
+  auto frontierSeed = [&](size_t SeedIndex, const std::string &SeedName,
+                          const Tracefile &Trace, int Phase) {
+    if (!Frontier)
+      return;
+    FrontierTracker::CommitInfo Info;
+    Info.Iteration = 0;
+    Info.SeedIndex = SeedIndex;
+    Info.SeedName = SeedName;
+    Info.Phase = Phase;
+    Frontier->recordCommit(Trace, Info);
+  };
+
+  // Saturation detection (--plateau-window / --stop-on-plateau). Pure
+  // function of the per-commit discovery signals, so the plateau
+  // iteration -- and the stop -- is identical across Jobs values.
+  std::optional<telemetry::SaturationDetector> Saturation;
+  if (Config.PlateauWindow > 0)
+    Saturation.emplace(telemetry::SaturationDetector::Options{
+        Config.PlateauWindow, Config.PlateauMinDiscoveries});
+  bool PlateauStop = false;
+
+  /// The observability hook of the commit stage: runs as the LAST
+  /// action of every committed iteration, in both loops, after all of
+  /// the iteration's counters and result state have been written -- so
+  /// everything it samples or folds reflects exactly the first
+  /// \p CommittedSoFar committed iterations for every Jobs value.
+  /// \p G is null for non-produced iterations.
+  auto observeCommitted = [&](size_t CommittedSoFar, const GeneratedClass *G,
+                              bool Representative, bool Discrepancy) {
+    uint64_t NewBranches = 0;
+    if (Frontier && G) {
+      FrontierTracker::CommitInfo Info;
+      Info.Iteration = CommittedSoFar - 1;
+      Info.SeedIndex = G->Prov.RootSeedIndex;
+      Info.SeedName = G->Prov.RootSeedName;
+      if (!G->Prov.Steps.empty()) {
+        Info.MutatorIndex = G->Prov.Steps.back().MutatorIndex;
+        Info.MutatorId = mutatorRegistry()[Info.MutatorIndex].Id;
+      }
+      Info.Phase = G->RefPhase;
+      NewBranches = Frontier->recordCommit(G->Trace, Info).NewBranches;
+    }
+    if (Saturation && !Saturation->plateaued()) {
+      telemetry::SaturationDetector::Signals S;
+      S.NewBranches = NewBranches;
+      S.NewTuples = Representative ? 1 : 0;
+      S.Discrepancies = Discrepancy ? 1 : 0;
+      if (Saturation->onCommit(S)) {
+        Result.Plateaued = true;
+        Result.PlateauAt = Saturation->plateauIteration();
+        if (Telem)
+          telemetry::metrics()
+              .gauge("campaign.plateau_at")
+              .set(static_cast<int64_t>(Result.PlateauAt));
+        if (telemetry::eventSink())
+          telemetry::EventBuilder("campaign.plateau")
+              .field("iter", Result.PlateauAt)
+              .field("window", static_cast<uint64_t>(Config.PlateauWindow))
+              .field("stopping", Config.StopOnPlateau)
+              .emit();
+        if (Config.StopOnPlateau)
+          PlateauStop = true;
+      }
+    }
+    if (Config.TimeSeries)
+      Config.TimeSeries->onCommit(CommittedSoFar);
+  };
 
   // Mutation-outcome accounting shared by both loops. In the parallel
   // pipeline this runs at the in-order commit stage only, so the
@@ -545,10 +635,15 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
     Prov.RootSeedIndex = SeedIndex;
     Prov.RootSeedName = Seed.Name;
     Pool.push_back({Seed.Name, Seed.Data, std::move(Prov)});
-    if (DdMode)
-      Accept.registerSeedDd(ddRunOf(Seed.Name, Seed.Data).Obs);
-    else if (Coverage)
-      Accept.registerSeed(coverageOf(Seed.Name, Seed.Data).Trace);
+    if (DdMode) {
+      DdRun Run = ddRunOf(Seed.Name, Seed.Data);
+      frontierSeed(SeedIndex, Seed.Name, Run.RefTrace, Run.RefPhase);
+      Accept.registerSeedDd(Run.Obs);
+    } else if (Coverage) {
+      RefRun Run = coverageOf(Seed.Name, Seed.Data);
+      frontierSeed(SeedIndex, Seed.Name, Run.Trace, Run.Phase);
+      Accept.registerSeed(Run.Trace);
+    }
   }
 
   // Stopping rule: wall-clock budget when configured (Algorithm 1's
@@ -736,7 +831,7 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
 
   if (Jobs <= 1) {
     // ---- Sequential reference loop (Algorithm 1, unchanged) ----------
-    for (; budgetLeft(Iter); ++Iter) {
+    for (; budgetLeft(Iter) && !PlateauStop; ++Iter) {
       // Line 5: pick a classfile from TestClasses. (Index, not
       // reference: the pool may grow below.)
       size_t PoolIndex = R.choiceIndex(Pool.size());
@@ -761,6 +856,7 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
         emitIteration(Iter, MutatorIndex, Mutant.Result, false, false);
         FR.record(telemetry::FlightKind::Iteration, Iter, MutatorIndex,
                   packIterationOutcome(Mutant.Result, false, false));
+        observeCommitted(Iter + 1, nullptr, false, false);
         maybeProgress(Iter + 1);
         continue;
       }
@@ -776,6 +872,7 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
       // Lines 12-16: record, run on the reference JVM (δ modes: on all
       // profiles), accept on uniqueness (δ modes: on tuple novelty).
       bool Representative;
+      bool DdDiscrepancy = false;
       if (DdMode) {
         telemetry::PhaseTimer ExecT(TM.ExecuteNs, "execute");
         DdRun Run = ddRunOf(G.Name, G.Data);
@@ -786,6 +883,7 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
         G.TierEncoded = Run.TierEncoded;
         DeltaDiversityChecker::Novelty Novelty = Accept.acceptDd(Run.Obs);
         Representative = Novelty.Tuple;
+        DdDiscrepancy = Run.isDiscrepancy();
         recordDdBatch(G, Run, Novelty);
         recordTierBatch(G, Run.TierEncoded, Run.TierJit);
       } else if (Coverage) {
@@ -813,6 +911,11 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
         telemetry::PhaseTimer CommitT(TM.CommitNs, "commit");
         commitProduced(std::move(G), Iter);
       }
+      const GeneratedClass &Stored = Result.GenClasses.back();
+      const bool TierDisagree = Stored.TierEncoded.size() == 2 &&
+                                Stored.TierEncoded[0] != Stored.TierEncoded[1];
+      observeCommitted(Iter + 1, &Stored, Representative,
+                       DdDiscrepancy || TierDisagree);
       maybeProgress(Iter + 1);
     }
   } else {
@@ -911,6 +1014,16 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
       if (InFlight.empty())
         break;
 
+      // Stop at the plateau-latching commit, exactly like the
+      // sequential loop: everything still in flight is uncommitted
+      // speculative work and is discarded.
+      auto discardInFlight = [&] {
+        for (PendingIteration &Stale : InFlight)
+          if (Stale.Cancelled)
+            Stale.Cancelled->store(true, std::memory_order_relaxed);
+        InFlight.clear();
+      };
+
       PendingIteration P = std::move(InFlight.front());
       InFlight.pop_front();
       ++Result.MutatorSelected[P.MutatorIndex];
@@ -921,7 +1034,12 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
         emitIteration(Iter - 1, P.MutatorIndex, P.MutResult, false, false);
         FR.record(telemetry::FlightKind::Iteration, Iter - 1, P.MutatorIndex,
                   packIterationOutcome(P.MutResult, false, false));
+        observeCommitted(Iter, nullptr, false, false);
         maybeProgress(Iter);
+        if (PlateauStop) {
+          discardInFlight();
+          break;
+        }
         continue;
       }
 
@@ -988,7 +1106,20 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
         // this iteration's work.
         TM.SpecHits.inc();
       }
+      {
+        const GeneratedClass &Stored = Result.GenClasses.back();
+        const bool TierDisagree =
+            Stored.TierEncoded.size() == 2 &&
+            Stored.TierEncoded[0] != Stored.TierEncoded[1];
+        const bool DdDiscrepancy = DdMode && DdResult.isDiscrepancy();
+        observeCommitted(Iter, &Stored, Representative,
+                         DdDiscrepancy || TierDisagree);
+      }
       maybeProgress(Iter);
+      if (PlateauStop) {
+        discardInFlight();
+        break;
+      }
     }
   }
 
@@ -1040,6 +1171,11 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
           DiagGrid.inc(I, P, MutatorDiag[I][P]);
     }
   }
+  // Final time-series row after the end-of-run metric fills above, so
+  // it carries campaign.iterations and the dd census gauges. Everything
+  // those fills read is Jobs-invariant result state.
+  if (Config.TimeSeries)
+    Config.TimeSeries->finish(Iter);
   if (telemetry::eventSink())
     telemetry::EventBuilder("campaign.end")
         .field("algorithm", fuzzAlgorithmName(Config.Algo))

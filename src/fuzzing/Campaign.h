@@ -29,6 +29,7 @@
 #define CLASSFUZZ_FUZZING_CAMPAIGN_H
 
 #include "analysis/StaticAnalyzer.h"
+#include "coverage/Frontier.h"
 #include "coverage/Uniqueness.h"
 #include "fuzzing/Provenance.h"
 #include "jvm/ClassPath.h"
@@ -38,9 +39,16 @@
 #include "runtime/SeedCorpus.h"
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
+
+namespace classfuzz {
+namespace telemetry {
+class TimeSeriesSampler;
+} // namespace telemetry
+} // namespace classfuzz
 
 namespace classfuzz {
 
@@ -119,6 +127,33 @@ struct CampaignConfig {
   /// acceptance decision, so the committed trajectory is unchanged and
   /// all analysis.* outputs are identical across Jobs values.
   bool RunAnalysis = true;
+  /// Maintain a coverage FrontierTracker over every folded reference
+  /// run (seed registrations, then each produced mutant at the in-order
+  /// commit stage): global hit counts, rare-branch set, first-hit
+  /// attribution, and the frontier.* / frontier.mutator_phase
+  /// telemetry. Observation only; the census is identical across Jobs
+  /// values. Ignored by randfuzz (no coverage to fold). The tracker
+  /// lands in CampaignResult::Frontier.
+  bool TrackFrontier = false;
+  /// Rarity cut of the frontier tracker (hits <= threshold = rare).
+  uint64_t RareBranchThreshold = 4;
+  /// When non-null, receives one onCommit per committed iteration (and
+  /// a finish at end of run) at the in-order commit stage -- the
+  /// deterministic time-series hook (telemetry/TimeSeries.h). Not
+  /// owned. Observation only.
+  telemetry::TimeSeriesSampler *TimeSeries = nullptr;
+  /// When positive, run a SaturationDetector with this window over the
+  /// per-commit discovery signals (new frontier branches, acceptances,
+  /// discrepancies); a latched plateau lands in CampaignResult and the
+  /// campaign.plateau_at gauge. A pure function of the committed
+  /// trajectory, so the plateau iteration is identical across Jobs.
+  size_t PlateauWindow = 0;
+  /// Latch when a full window holds fewer than this many discoveries.
+  uint64_t PlateauMinDiscoveries = 1;
+  /// Stop the campaign at the commit that latches the plateau (applied
+  /// at the in-order commit stage; the committed trajectory up to and
+  /// including the stopping iteration stays Jobs-invariant).
+  bool StopOnPlateau = false;
   CampaignConfig();
 };
 
@@ -206,6 +241,14 @@ struct CampaignResult {
   /// Tier-diff mode only: produced mutants whose interpreter-tier and
   /// baseline-tier outcomes disagreed.
   size_t TierDisagreements = 0;
+  /// The coverage frontier (CampaignConfig::TrackFrontier): hit counts,
+  /// rare branches, and first-hit attribution over seed registrations
+  /// plus every committed mutant. Null when tracking was off.
+  std::shared_ptr<FrontierTracker> Frontier;
+  /// Saturation detection (CampaignConfig::PlateauWindow): whether the
+  /// discovery rate plateaued, and at which committed iteration.
+  bool Plateaued = false;
+  uint64_t PlateauAt = 0;
   double ElapsedSeconds = 0;
 
   size_t numGenerated() const { return GenClasses.size(); }

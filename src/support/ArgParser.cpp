@@ -90,6 +90,21 @@ double ArgParser::getDouble(const std::string &Name) const {
   return std::strtod(get(Name).c_str(), nullptr);
 }
 
+std::vector<std::string> ArgParser::getList(const std::string &Name) const {
+  std::vector<std::string> Out;
+  const std::string Value = get(Name);
+  size_t Start = 0;
+  while (Start <= Value.size()) {
+    size_t Comma = Value.find(',', Start);
+    if (Comma == std::string::npos)
+      Comma = Value.size();
+    if (Comma > Start)
+      Out.push_back(Value.substr(Start, Comma - Start));
+    Start = Comma + 1;
+  }
+  return Out;
+}
+
 std::string ArgParser::helpText() const {
   std::string Out = "usage: " + Command;
   if (!Specs.empty())

@@ -79,6 +79,9 @@ public:
   long long getInt(const std::string &Name) const;
   unsigned long long getUnsigned(const std::string &Name) const;
   double getDouble(const std::string &Name) const;
+  /// get() split on commas, empty segments dropped, so "a,,b," yields
+  /// {"a","b"} and an absent flag with an empty default yields {}.
+  std::vector<std::string> getList(const std::string &Name) const;
 
 private:
   const FlagSpec *findSpec(const std::string &Name) const;

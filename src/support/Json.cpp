@@ -1,0 +1,343 @@
+//===- support/Json.cpp ----------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+using namespace classfuzz;
+using namespace classfuzz::json;
+
+const Value *Value::get(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Name, V] : Obj)
+    if (Name == Key)
+      return &V;
+  return nullptr;
+}
+
+double Value::numberOr(const std::string &Key, double Default) const {
+  const Value *V = get(Key);
+  return V && V->isNumber() ? V->asDouble() : Default;
+}
+
+std::string Value::stringOr(const std::string &Key,
+                            const std::string &Default) const {
+  const Value *V = get(Key);
+  return V && V->isString() ? V->asString() : Default;
+}
+
+Value Value::makeBool(bool V) {
+  Value Out;
+  Out.K = Kind::Bool;
+  Out.B = V;
+  return Out;
+}
+
+Value Value::makeNumber(double V) {
+  Value Out;
+  Out.K = Kind::Number;
+  Out.Num = V;
+  return Out;
+}
+
+Value Value::makeString(std::string V) {
+  Value Out;
+  Out.K = Kind::String;
+  Out.Str = std::move(V);
+  return Out;
+}
+
+Value Value::makeArray(std::vector<Value> V) {
+  Value Out;
+  Out.K = Kind::Array;
+  Out.Arr = std::move(V);
+  return Out;
+}
+
+Value Value::makeObject(std::vector<std::pair<std::string, Value>> V) {
+  Value Out;
+  Out.K = Kind::Object;
+  Out.Obj = std::move(V);
+  return Out;
+}
+
+namespace {
+
+/// Recursive-descent parser over a byte range. No exceptions; every
+/// production returns false with Error set on malformed input.
+class Parser {
+public:
+  Parser(const std::string &Text, size_t Pos) : Text(Text), Pos(Pos) {}
+
+  bool value(Value &Out);
+  size_t position() const { return Pos; }
+  const std::string &error() const { return Error; }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+private:
+  bool fail(const std::string &What) {
+    Error = What + " at offset " + std::to_string(Pos);
+    return false;
+  }
+  bool literal(const char *Word, Value V, Value &Out);
+  bool string(std::string &Out);
+  bool number(Value &Out);
+  bool array(Value &Out);
+  bool object(Value &Out);
+
+  const std::string &Text;
+  size_t Pos;
+  std::string Error;
+  size_t Depth = 0;
+};
+
+bool Parser::literal(const char *Word, Value V, Value &Out) {
+  for (const char *P = Word; *P; ++P, ++Pos)
+    if (Pos >= Text.size() || Text[Pos] != *P)
+      return fail(std::string("expected '") + Word + "'");
+  Out = std::move(V);
+  return true;
+}
+
+bool Parser::string(std::string &Out) {
+  if (Pos >= Text.size() || Text[Pos] != '"')
+    return fail("expected string");
+  ++Pos;
+  Out.clear();
+  while (Pos < Text.size()) {
+    char C = Text[Pos];
+    if (C == '"') {
+      ++Pos;
+      return true;
+    }
+    if (C == '\\') {
+      if (Pos + 1 >= Text.size())
+        return fail("truncated escape");
+      char E = Text[Pos + 1];
+      Pos += 2;
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I != 4; ++I) {
+          char H = Text[Pos + static_cast<size_t>(I)];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return fail("bad \\u escape");
+        }
+        Pos += 4;
+        // Our writers only emit \u00XX control escapes; encode the
+        // code point as UTF-8 without surrogate-pair handling.
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xC0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+      continue;
+    }
+    Out += C;
+    ++Pos;
+  }
+  return fail("unterminated string");
+}
+
+bool Parser::number(Value &Out) {
+  size_t Start = Pos;
+  if (Pos < Text.size() && Text[Pos] == '-')
+    ++Pos;
+  while (Pos < Text.size() &&
+         (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+          Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+          Text[Pos] == '+' || Text[Pos] == '-'))
+    ++Pos;
+  if (Pos == Start)
+    return fail("expected number");
+  std::string Tok = Text.substr(Start, Pos - Start);
+  char *End = nullptr;
+  double V = std::strtod(Tok.c_str(), &End);
+  if (End != Tok.c_str() + Tok.size() || !std::isfinite(V)) {
+    Pos = Start;
+    return fail("malformed number");
+  }
+  Out = Value::makeNumber(V);
+  return true;
+}
+
+bool Parser::array(Value &Out) {
+  ++Pos; // '['
+  std::vector<Value> Items;
+  skipWs();
+  if (Pos < Text.size() && Text[Pos] == ']') {
+    ++Pos;
+    Out = Value::makeArray(std::move(Items));
+    return true;
+  }
+  for (;;) {
+    Value Item;
+    if (!value(Item))
+      return false;
+    Items.push_back(std::move(Item));
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == ',') {
+      ++Pos;
+      continue;
+    }
+    if (Pos < Text.size() && Text[Pos] == ']') {
+      ++Pos;
+      Out = Value::makeArray(std::move(Items));
+      return true;
+    }
+    return fail("expected ',' or ']'");
+  }
+}
+
+bool Parser::object(Value &Out) {
+  ++Pos; // '{'
+  std::vector<std::pair<std::string, Value>> Members;
+  skipWs();
+  if (Pos < Text.size() && Text[Pos] == '}') {
+    ++Pos;
+    Out = Value::makeObject(std::move(Members));
+    return true;
+  }
+  for (;;) {
+    skipWs();
+    std::string Key;
+    if (!string(Key))
+      return false;
+    skipWs();
+    if (Pos >= Text.size() || Text[Pos] != ':')
+      return fail("expected ':'");
+    ++Pos;
+    Value V;
+    if (!value(V))
+      return false;
+    Members.emplace_back(std::move(Key), std::move(V));
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == ',') {
+      ++Pos;
+      continue;
+    }
+    if (Pos < Text.size() && Text[Pos] == '}') {
+      ++Pos;
+      Out = Value::makeObject(std::move(Members));
+      return true;
+    }
+    return fail("expected ',' or '}'");
+  }
+}
+
+bool Parser::value(Value &Out) {
+  if (++Depth > 128) {
+    --Depth;
+    return fail("nesting too deep");
+  }
+  skipWs();
+  bool Ok;
+  if (Pos >= Text.size())
+    Ok = fail("unexpected end of input");
+  else
+    switch (Text[Pos]) {
+    case '{':
+      Ok = object(Out);
+      break;
+    case '[':
+      Ok = array(Out);
+      break;
+    case '"': {
+      std::string S;
+      Ok = string(S);
+      if (Ok)
+        Out = Value::makeString(std::move(S));
+      break;
+    }
+    case 't':
+      Ok = literal("true", Value::makeBool(true), Out);
+      break;
+    case 'f':
+      Ok = literal("false", Value::makeBool(false), Out);
+      break;
+    case 'n':
+      Ok = literal("null", Value::makeNull(), Out);
+      break;
+    default:
+      Ok = number(Out);
+      break;
+    }
+  --Depth;
+  return Ok;
+}
+
+} // namespace
+
+Result<Value> json::parseValue(const std::string &Text, size_t &Pos) {
+  Parser P(Text, Pos);
+  Value Out;
+  if (!P.value(Out))
+    return makeError("json: " + P.error());
+  Pos = P.position();
+  return Out;
+}
+
+Result<Value> json::parse(const std::string &Text) {
+  size_t Pos = 0;
+  auto V = parseValue(Text, Pos);
+  if (!V)
+    return V;
+  Parser Tail(Text, Pos);
+  Tail.skipWs();
+  if (Tail.position() != Text.size())
+    return makeError("json: trailing content at offset " +
+                     std::to_string(Tail.position()));
+  return V;
+}

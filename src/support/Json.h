@@ -1,0 +1,98 @@
+//===- support/Json.h - Minimal JSON value model and parser --------------===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small recursive-descent JSON parser for the artifacts this project
+/// itself emits (--stats-json snapshots, timeseries.jsonl rows, frontier
+/// census lines). `classfuzz report` consumes those files back, so the
+/// reader lives next to the writers instead of being re-implemented
+/// ad hoc in every consumer.
+///
+/// Scope: the full JSON grammar minus \uXXXX surrogate pairs (our
+/// writers escape control characters as \u00XX only). Numbers parse as
+/// double; integer accessors round-trip exactly up to 2^53, which
+/// covers every counter the telemetry layer snapshots in practice.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_SUPPORT_JSON_H
+#define CLASSFUZZ_SUPPORT_JSON_H
+
+#include "support/Result.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace classfuzz {
+namespace json {
+
+/// One parsed JSON value. Object member order is preserved (the
+/// snapshot writers emit sorted keys; the report renderer relies on
+/// that stable order).
+class Value {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Value() = default;
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const { return B; }
+  double asDouble() const { return Num; }
+  int64_t asInt() const { return static_cast<int64_t>(Num); }
+  uint64_t asUint() const { return static_cast<uint64_t>(Num); }
+  const std::string &asString() const { return Str; }
+  const std::vector<Value> &array() const { return Arr; }
+  const std::vector<std::pair<std::string, Value>> &members() const {
+    return Obj;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value *get(const std::string &Key) const;
+  /// get(Key)->asDouble() with a default when absent / not a number.
+  double numberOr(const std::string &Key, double Default) const;
+  /// get(Key)->asString() with a default when absent / not a string.
+  std::string stringOr(const std::string &Key,
+                       const std::string &Default) const;
+
+  static Value makeNull() { return Value(); }
+  static Value makeBool(bool V);
+  static Value makeNumber(double V);
+  static Value makeString(std::string V);
+  static Value makeArray(std::vector<Value> V);
+  static Value makeObject(std::vector<std::pair<std::string, Value>> V);
+
+private:
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<Value> Arr;
+  std::vector<std::pair<std::string, Value>> Obj;
+};
+
+/// Parses one complete JSON document; trailing non-whitespace is an
+/// error. Errors carry a byte offset.
+Result<Value> parse(const std::string &Text);
+
+/// Parses one value from \p Text starting at \p Pos, advancing \p Pos
+/// past it (for JSONL streams: call per line, or repeatedly over a
+/// concatenated buffer).
+Result<Value> parseValue(const std::string &Text, size_t &Pos);
+
+} // namespace json
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_SUPPORT_JSON_H

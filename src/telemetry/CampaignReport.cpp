@@ -1,0 +1,695 @@
+//===- telemetry/CampaignReport.cpp ---------------------------------------===//
+
+#include "telemetry/CampaignReport.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+using namespace classfuzz;
+using namespace classfuzz::telemetry;
+
+// ---- artifact readers -----------------------------------------------------
+
+int64_t TimeSeriesData::finalValue(const std::string &Key) const {
+  auto It = Series.find(Key);
+  if (It == Series.end() || It->second.empty())
+    return 0;
+  return It->second.back();
+}
+
+namespace {
+
+/// Calls \p Fn with each non-empty line of \p Text.
+template <typename FnT> void forEachLine(const std::string &Text, FnT Fn) {
+  size_t Start = 0;
+  while (Start < Text.size()) {
+    size_t End = Text.find('\n', Start);
+    if (End == std::string::npos)
+      End = Text.size();
+    if (End > Start)
+      Fn(Text.substr(Start, End - Start));
+    Start = End + 1;
+  }
+}
+
+} // namespace
+
+Result<TimeSeriesData> telemetry::parseTimeSeries(const std::string &Jsonl) {
+  TimeSeriesData Out;
+  std::map<std::string, int64_t> Current;
+  std::string Error;
+  forEachLine(Jsonl, [&](const std::string &Line) {
+    if (!Error.empty())
+      return;
+    auto V = json::parse(Line);
+    if (!V) {
+      Error = V.error();
+      return;
+    }
+    const json::Value &Row = *V;
+    if (Row.stringOr("type", "") != "ts")
+      return; // unknown line types are forward-compatible noise
+    Out.Iters.push_back(static_cast<uint64_t>(Row.numberOr("iter", 0)));
+    if (const json::Value *Final = Row.get("final"))
+      Out.SawFinal |= Final->isBool() && Final->asBool();
+    if (const json::Value *M = Row.get("m"); M && M->isObject())
+      for (const auto &[Key, Val] : M->members())
+        if (Val.isNumber())
+          Current[Key] = Val.asInt();
+    for (const auto &[Key, Val] : Current) {
+      auto &Col = Out.Series[Key];
+      Col.resize(Out.Iters.size() - 1, 0); // backfill first appearance
+      Col.push_back(Val);
+    }
+  });
+  if (!Error.empty())
+    return makeError("timeseries: " + Error);
+  return Out;
+}
+
+Result<FrontierCensus>
+telemetry::parseFrontierCensus(const std::string &Jsonl) {
+  FrontierCensus Out;
+  std::string Error;
+  forEachLine(Jsonl, [&](const std::string &Line) {
+    if (!Error.empty())
+      return;
+    auto V = json::parse(Line);
+    if (!V) {
+      Error = V.error();
+      return;
+    }
+    const json::Value &Row = *V;
+    std::string Type = Row.stringOr("type", "");
+    if (Type == "frontier_summary") {
+      Out.Commits = static_cast<uint64_t>(Row.numberOr("commits", 0));
+      Out.Stmts = static_cast<uint64_t>(Row.numberOr("stmts", 0));
+      Out.Branches = static_cast<uint64_t>(Row.numberOr("branches", 0));
+      Out.RareBranches =
+          static_cast<uint64_t>(Row.numberOr("rare_branches", 0));
+      Out.RareStmts = static_cast<uint64_t>(Row.numberOr("rare_stmts", 0));
+      Out.RareThreshold =
+          static_cast<uint64_t>(Row.numberOr("rare_threshold", 0));
+      return;
+    }
+    if (Type != "branch" && Type != "stmt")
+      return;
+    FrontierCensus::Row R;
+    R.IsBranch = Type == "branch";
+    R.Site = static_cast<uint32_t>(
+        Row.numberOr(R.IsBranch ? "site" : "id", 0));
+    if (const json::Value *Taken = Row.get("taken"))
+      R.Taken = Taken->isBool() && Taken->asBool();
+    R.Hits = static_cast<uint64_t>(Row.numberOr("hits", 0));
+    R.FirstIter = static_cast<uint64_t>(Row.numberOr("first_iter", 0));
+    R.Seed = Row.stringOr("seed", "");
+    R.Mutator = Row.stringOr("mutator", "");
+    R.Phase = static_cast<int>(Row.numberOr("phase", -1));
+    if (const json::Value *Rare = Row.get("rare"))
+      R.Rare = Rare->isBool() && Rare->asBool();
+    Out.Rows.push_back(std::move(R));
+  });
+  if (!Error.empty())
+    return makeError("frontier census: " + Error);
+  return Out;
+}
+
+// ---- progress dash --------------------------------------------------------
+
+namespace {
+
+/// Curated dash/report series, in display order. Slot is the
+/// categorical palette slot used when the series appears in a chart.
+struct KnownSeries {
+  const char *Key;
+  const char *Label;
+};
+
+constexpr KnownSeries DashSeries[] = {
+    {"frontier.stmts", "stmts"},
+    {"frontier.branches", "branches"},
+    {"campaign.accepted", "accepted"},
+    {"campaign.rejected", "rejected"},
+    {"campaign.dd_discrepancies", "dd discrepancies"},
+    {"campaign.tier_disagreements", "tier disagreements"},
+    {"analysis.mismatches", "analyzer mismatches"},
+};
+
+std::string sparkline(const std::vector<int64_t> &Values, size_t Width) {
+  static const char *Blocks[] = {"▁", "▂", "▃", "▄",
+                                 "▅", "▆", "▇", "█"};
+  if (Values.empty() || Width == 0)
+    return "";
+  int64_t Max = *std::max_element(Values.begin(), Values.end());
+  size_t Cells = std::min(Width, Values.size());
+  std::string Out;
+  for (size_t C = 0; C != Cells; ++C) {
+    // Last value of the cell's slice: the sparkline tracks the curve.
+    size_t Idx = (C + 1) * Values.size() / Cells - 1;
+    int Level = 0;
+    if (Max > 0)
+      Level = static_cast<int>((Values[Idx] * 7 + Max - 1) / Max);
+    Out += Blocks[std::clamp(Level, 0, 7)];
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string telemetry::renderProgressDash(const TimeSeriesData &Ts,
+                                          size_t Width) {
+  std::string Out;
+  if (Ts.empty())
+    return "campaign: no samples yet\n";
+  Out += "campaign: iter " + std::to_string(Ts.Iters.back()) + "  (" +
+         std::to_string(Ts.Iters.size()) + " samples" +
+         (Ts.SawFinal ? ", final" : "") + ")\n";
+  for (const KnownSeries &S : DashSeries) {
+    auto It = Ts.Series.find(S.Key);
+    if (It == Ts.Series.end())
+      continue;
+    char Line[64];
+    std::snprintf(Line, sizeof(Line), "  %-20s %10lld  ", S.Label,
+                  static_cast<long long>(It->second.back()));
+    Out += Line;
+    Out += sparkline(It->second, Width);
+    Out += "\n";
+  }
+  return Out;
+}
+
+// ---- HTML report ----------------------------------------------------------
+
+namespace {
+
+std::string esc(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '&':
+      Out += "&amp;";
+      break;
+    case '<':
+      Out += "&lt;";
+      break;
+    case '>':
+      Out += "&gt;";
+      break;
+    case '"':
+      Out += "&quot;";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+std::string fmtCount(int64_t V) {
+  // Axis-label compression only; tiles and tables show exact values.
+  if (V >= 10'000'000)
+    return std::to_string(V / 1'000'000) + "M";
+  if (V >= 10'000)
+    return std::to_string(V / 1'000) + "k";
+  return std::to_string(V);
+}
+
+double niceStep(double Raw) {
+  if (Raw <= 0)
+    return 1;
+  double Pow = std::pow(10.0, std::floor(std::log10(Raw)));
+  double Base = Raw / Pow;
+  double Step = Base <= 1 ? 1 : Base <= 2 ? 2 : Base <= 5 ? 5 : 10;
+  return Step * Pow;
+}
+
+std::string fmtDouble(double V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.1f", V);
+  return Buf;
+}
+
+struct ChartSeries {
+  std::string Key;
+  std::string Label;
+  int Slot; ///< Categorical palette slot 1..3.
+};
+
+/// One SVG line chart over the sampled series, with hairline grid, a
+/// single y axis, 2px series lines, direct end labels in ink, and the
+/// data replicated into an adjacent JSON block for the hover layer.
+std::string renderLineChart(const std::string &Id, const std::string &Title,
+                            const TimeSeriesData &Ts,
+                            const std::vector<ChartSeries> &Series) {
+  constexpr double W = 720, H = 240, ML = 52, MR = 130, MT = 14, MB = 30;
+  const double PlotW = W - ML - MR, PlotH = H - MT - MB;
+
+  double XMin = static_cast<double>(Ts.Iters.front());
+  double XMax = static_cast<double>(Ts.Iters.back());
+  if (XMax <= XMin)
+    XMax = XMin + 1;
+  int64_t YMaxV = 1;
+  for (const ChartSeries &S : Series)
+    for (int64_t V : Ts.Series.at(S.Key))
+      YMaxV = std::max(YMaxV, V);
+  double Step = niceStep(static_cast<double>(YMaxV) / 4.0);
+  double YTop = Step * std::ceil(static_cast<double>(YMaxV) / Step);
+
+  auto X = [&](double It) { return ML + (It - XMin) / (XMax - XMin) * PlotW; };
+  auto Y = [&](double V) { return MT + (1.0 - V / YTop) * PlotH; };
+
+  std::string Svg;
+  Svg += "<svg class=\"linechart\" viewBox=\"0 0 720 240\" role=\"img\" "
+         "aria-label=\"" +
+         esc(Title) + "\" data-ml=\"52\" data-plotw=\"" +
+         fmtDouble(PlotW) + "\" data-xmin=\"" + fmtDouble(XMin) +
+         "\" data-xmax=\"" + fmtDouble(XMax) + "\">";
+
+  // Hairline grid + y labels.
+  for (double G = 0; G <= YTop + Step / 2; G += Step) {
+    double Gy = Y(G);
+    Svg += "<line x1=\"" + fmtDouble(ML) + "\" y1=\"" + fmtDouble(Gy) +
+           "\" x2=\"" + fmtDouble(ML + PlotW) + "\" y2=\"" + fmtDouble(Gy) +
+           "\" class=\"" + (G == 0 ? "axisline" : "gridline") + "\"/>";
+    Svg += "<text x=\"" + fmtDouble(ML - 6) + "\" y=\"" + fmtDouble(Gy + 4) +
+           "\" class=\"ticktext\" text-anchor=\"end\">" +
+           fmtCount(static_cast<int64_t>(G)) + "</text>";
+  }
+  // X ticks.
+  for (int T = 0; T <= 4; ++T) {
+    double It = XMin + (XMax - XMin) * T / 4.0;
+    Svg += "<text x=\"" + fmtDouble(X(It)) + "\" y=\"" +
+           fmtDouble(MT + PlotH + 18) +
+           "\" class=\"ticktext\" text-anchor=\"middle\">" +
+           fmtCount(static_cast<int64_t>(It)) + "</text>";
+  }
+
+  // Series polylines.
+  for (const ChartSeries &S : Series) {
+    const auto &Col = Ts.Series.at(S.Key);
+    std::string Points;
+    for (size_t I = 0; I != Ts.Iters.size(); ++I) {
+      if (I)
+        Points += " ";
+      Points += fmtDouble(X(static_cast<double>(Ts.Iters[I]))) + "," +
+                fmtDouble(Y(static_cast<double>(Col[I])));
+    }
+    Svg += "<polyline data-series=\"" + esc(S.Key) + "\" points=\"" + Points +
+           "\" fill=\"none\" stroke=\"var(--series-" +
+           std::to_string(S.Slot) +
+           ")\" stroke-width=\"2\" stroke-linejoin=\"round\" "
+           "stroke-linecap=\"round\"/>";
+  }
+
+  // Direct end labels in ink, nudged apart on collision.
+  struct EndLabel {
+    double Y;
+    std::string Text;
+  };
+  std::vector<EndLabel> Labels;
+  for (const ChartSeries &S : Series) {
+    const auto &Col = Ts.Series.at(S.Key);
+    Labels.push_back({Y(static_cast<double>(Col.back())),
+                      S.Label + " " + fmtCount(Col.back())});
+  }
+  std::sort(Labels.begin(), Labels.end(),
+            [](const EndLabel &A, const EndLabel &B) { return A.Y < B.Y; });
+  for (size_t I = 1; I < Labels.size(); ++I)
+    if (Labels[I].Y - Labels[I - 1].Y < 14)
+      Labels[I].Y = Labels[I - 1].Y + 14;
+  for (const EndLabel &L : Labels)
+    Svg += "<text x=\"" + fmtDouble(ML + PlotW + 8) + "\" y=\"" +
+           fmtDouble(L.Y + 4) + "\" class=\"endlabel\">" + esc(L.Text) +
+           "</text>";
+
+  // Crosshair for the hover layer (hidden until mousemove).
+  Svg += "<line class=\"xhair\" y1=\"" + fmtDouble(MT) + "\" y2=\"" +
+         fmtDouble(MT + PlotH) + "\" x1=\"0\" x2=\"0\" visibility=\"hidden\"/>";
+  Svg += "</svg>";
+
+  // Legend (always present for >= 2 series; one series is named by the
+  // chart title).
+  std::string Legend;
+  if (Series.size() >= 2) {
+    Legend += "<div class=\"legend\">";
+    for (const ChartSeries &S : Series)
+      Legend += "<span class=\"key\"><span class=\"sw\" "
+                "style=\"background:var(--series-" +
+                std::to_string(S.Slot) + ")\"></span>" + esc(S.Label) +
+                "</span>";
+    Legend += "</div>";
+  }
+
+  // Hover data: iteration column plus each series column.
+  std::string Data = "{\"iters\":[";
+  for (size_t I = 0; I != Ts.Iters.size(); ++I)
+    Data += (I ? "," : "") + std::to_string(Ts.Iters[I]);
+  Data += "],\"series\":[";
+  for (size_t S = 0; S != Series.size(); ++S) {
+    if (S)
+      Data += ",";
+    Data += "{\"label\":\"" + esc(Series[S].Label) + "\",\"values\":[";
+    const auto &Col = Ts.Series.at(Series[S].Key);
+    for (size_t I = 0; I != Col.size(); ++I)
+      Data += (I ? "," : "") + std::to_string(Col[I]);
+    Data += "]}";
+  }
+  Data += "]}";
+
+  return "<figure class=\"chart\" data-chart=\"" + Id +
+         "\"><figcaption>" + esc(Title) + "</figcaption>" + Legend + Svg +
+         "<script type=\"application/json\" class=\"chart-data\">" + Data +
+         "</script></figure>";
+}
+
+std::string statTile(const std::string &Label, const std::string &Value) {
+  return "<div class=\"tile\"><div class=\"tile-value\">" + esc(Value) +
+         "</div><div class=\"tile-label\">" + esc(Label) + "</div></div>";
+}
+
+/// Style sheet: roles from the reference palette (light + dark, the
+/// dark values under both the media query and the data-theme scope).
+const char *StyleSheet = R"CSS(
+:root { color-scheme: light dark; }
+body.viz-root {
+  color-scheme: light;
+  --surface-1: #fcfcfb; --page: #f9f9f7;
+  --ink-1: #0b0b0b; --ink-2: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6; --series-2: #eb6834; --series-3: #1baf7a;
+  --seq-1: #cde2fb; --seq-2: #9ec5f4; --seq-3: #6da7ec; --seq-4: #3987e5;
+  --seq-5: #256abf; --seq-6: #1c5cab; --seq-7: #0d366b;
+  margin: 0; background: var(--page); color: var(--ink-1);
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) body.viz-root {
+    color-scheme: dark;
+    --surface-1: #1a1a19; --page: #0d0d0d;
+    --ink-1: #ffffff; --ink-2: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --axis: #383835;
+    --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5; --series-2: #d95926; --series-3: #199e70;
+  }
+}
+:root[data-theme="dark"] body.viz-root {
+  color-scheme: dark;
+  --surface-1: #1a1a19; --page: #0d0d0d;
+  --ink-1: #ffffff; --ink-2: #c3c2b7; --muted: #898781;
+  --grid: #2c2c2a; --axis: #383835;
+  --border: rgba(255,255,255,0.10);
+  --series-1: #3987e5; --series-2: #d95926; --series-3: #199e70;
+}
+main { max-width: 820px; margin: 0 auto; padding: 24px 16px 48px; }
+h1 { font-size: 22px; margin: 0 0 4px; }
+.subtitle { color: var(--ink-2); font-size: 13px; margin: 0 0 20px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 10px; margin-bottom: 24px; }
+.tile { background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 10px 16px; min-width: 96px; }
+.tile-value { font-size: 24px; }
+.tile-label { font-size: 12px; color: var(--ink-2); }
+.chart { background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px 16px 8px; margin: 0 0 20px; }
+.chart figcaption { font-size: 14px; font-weight: 600; margin-bottom: 6px; }
+.chart svg { width: 100%; height: auto; display: block; }
+.legend { display: flex; gap: 14px; font-size: 12px; color: var(--ink-2);
+  margin-bottom: 4px; }
+.legend .sw { display: inline-block; width: 10px; height: 10px;
+  border-radius: 2px; margin-right: 5px; }
+.gridline { stroke: var(--grid); stroke-width: 1; }
+.axisline { stroke: var(--axis); stroke-width: 1; }
+.ticktext { fill: var(--muted); font-size: 11px; }
+.endlabel { fill: var(--ink-2); font-size: 11px; }
+.xhair { stroke: var(--axis); stroke-width: 1; stroke-dasharray: 3 3; }
+section h2 { font-size: 16px; margin: 28px 0 10px; }
+table { border-collapse: collapse; width: 100%; font-size: 13px;
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; }
+th, td { text-align: left; padding: 5px 10px;
+  border-bottom: 1px solid var(--grid); }
+th { color: var(--ink-2); font-weight: 600; }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+.heat td.cell { text-align: center; font-variant-numeric: tabular-nums;
+  min-width: 52px; }
+.heat td.cell.hi { color: #ffffff; }
+#tooltip { position: fixed; pointer-events: none; display: none;
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 6px; padding: 6px 10px; font-size: 12px;
+  color: var(--ink-1); box-shadow: 0 2px 8px rgba(0,0,0,0.15); z-index: 9; }
+#tooltip .tip-iter { color: var(--ink-2); margin-bottom: 2px; }
+.note { color: var(--ink-2); font-size: 13px; }
+)CSS";
+
+/// Hover layer: nearest-sample crosshair + tooltip per line chart.
+const char *HoverScript = R"JS(
+(function () {
+  var tip = document.getElementById('tooltip');
+  document.querySelectorAll('figure.chart').forEach(function (fig) {
+    var svg = fig.querySelector('svg.linechart');
+    var dataEl = fig.querySelector('script.chart-data');
+    if (!svg || !dataEl) return;
+    var data = JSON.parse(dataEl.textContent);
+    var ml = +svg.dataset.ml, plotw = +svg.dataset.plotw;
+    var xmin = +svg.dataset.xmin, xmax = +svg.dataset.xmax;
+    var xhair = svg.querySelector('.xhair');
+    svg.addEventListener('mousemove', function (ev) {
+      var pt = svg.createSVGPoint();
+      pt.x = ev.clientX; pt.y = ev.clientY;
+      var local = pt.matrixTransform(svg.getScreenCTM().inverse());
+      var it = xmin + (local.x - ml) / plotw * (xmax - xmin);
+      var best = 0, bestD = Infinity;
+      data.iters.forEach(function (v, i) {
+        var d = Math.abs(v - it);
+        if (d < bestD) { bestD = d; best = i; }
+      });
+      var cx = ml + (data.iters[best] - xmin) / (xmax - xmin) * plotw;
+      xhair.setAttribute('x1', cx);
+      xhair.setAttribute('x2', cx);
+      xhair.setAttribute('visibility', 'visible');
+      var html = '<div class="tip-iter">iteration ' +
+                 data.iters[best] + '</div>';
+      data.series.forEach(function (s) {
+        html += '<div>' + s.label + ': ' + s.values[best] + '</div>';
+      });
+      tip.innerHTML = html;
+      tip.style.display = 'block';
+      tip.style.left = (ev.clientX + 14) + 'px';
+      tip.style.top = (ev.clientY + 14) + 'px';
+    });
+    svg.addEventListener('mouseleave', function () {
+      xhair.setAttribute('visibility', 'hidden');
+      tip.style.display = 'none';
+    });
+  });
+})();
+)JS";
+
+/// Extracts the frontier.mutator_phase grid from a --stats-json object
+/// into mutator -> per-phase counts, rows sorted by total descending
+/// (name-ascending tie-break for determinism).
+std::vector<std::pair<std::string, std::vector<int64_t>>>
+mutatorPhaseRows(const json::Value &Stats, size_t NumPhases) {
+  std::vector<std::pair<std::string, std::vector<int64_t>>> Rows;
+  const json::Value *Grids = Stats.get("grids");
+  const json::Value *Grid =
+      Grids ? Grids->get("frontier.mutator_phase") : nullptr;
+  if (!Grid || !Grid->isObject())
+    return Rows;
+  std::map<std::string, std::vector<int64_t>> ByMutator;
+  for (const auto &[Key, Val] : Grid->members()) {
+    // Cell keys are "<mutator-id>.phase<N>"; mutator ids may themselves
+    // contain dots, so split at the last ".phase".
+    size_t Dot = Key.rfind(".phase");
+    if (Dot == std::string::npos || !Val.isNumber())
+      continue;
+    size_t Phase = 0;
+    const std::string Digits = Key.substr(Dot + 6);
+    if (Digits.empty() ||
+        Digits.find_first_not_of("0123456789") != std::string::npos)
+      continue;
+    Phase = static_cast<size_t>(std::stoul(Digits));
+    if (Phase >= NumPhases)
+      continue;
+    auto &Row = ByMutator[Key.substr(0, Dot)];
+    Row.resize(NumPhases, 0);
+    Row[Phase] = Val.asInt();
+  }
+  for (auto &[Name, Vals] : ByMutator)
+    Rows.emplace_back(Name, Vals);
+  std::stable_sort(Rows.begin(), Rows.end(), [](const auto &A, const auto &B) {
+    int64_t TA = 0, TB = 0;
+    for (int64_t V : A.second)
+      TA += V;
+    for (int64_t V : B.second)
+      TB += V;
+    if (TA != TB)
+      return TA > TB;
+    return A.first < B.first;
+  });
+  return Rows;
+}
+
+} // namespace
+
+std::string telemetry::renderHtmlReport(const ReportInputs &Inputs) {
+  const TimeSeriesData &Ts = Inputs.Ts;
+  std::string Html;
+  Html += "<!doctype html><html lang=\"en\"><head><meta charset=\"utf-8\">";
+  Html += "<meta name=\"viewport\" content=\"width=device-width, "
+          "initial-scale=1\">";
+  Html += "<title>" + esc(Inputs.Title) + "</title>";
+  Html += "<style>";
+  Html += StyleSheet;
+  Html += "</style></head><body class=\"viz-root\"><main>";
+  Html += "<h1>" + esc(Inputs.Title) + "</h1>";
+
+  uint64_t LastIter = Ts.empty() ? 0 : Ts.Iters.back();
+  Html += "<p class=\"subtitle\">" + std::to_string(LastIter) +
+          " committed iterations &middot; " + std::to_string(Ts.Iters.size()) +
+          " samples" + (Ts.SawFinal || Ts.empty() ? "" : " &middot; run in progress") +
+          "</p>";
+
+  // Stat tiles.
+  Html += "<div class=\"tiles\">";
+  Html += statTile("iterations", std::to_string(LastIter));
+  int64_t Stmts = Ts.finalValue("frontier.stmts");
+  int64_t Branches = Ts.finalValue("frontier.branches");
+  if (Inputs.Frontier) {
+    Stmts = static_cast<int64_t>(Inputs.Frontier->Stmts);
+    Branches = static_cast<int64_t>(Inputs.Frontier->Branches);
+  }
+  if (Stmts || Branches) {
+    Html += statTile("stmts covered", std::to_string(Stmts));
+    Html += statTile("branches covered", std::to_string(Branches));
+  }
+  if (Inputs.Frontier)
+    Html += statTile("rare branches (&le;" +
+                         std::to_string(Inputs.Frontier->RareThreshold) + ")",
+                     std::to_string(Inputs.Frontier->RareBranches));
+  int64_t Discrepancies = Ts.finalValue("campaign.dd_discrepancies") +
+                          Ts.finalValue("campaign.tier_disagreements") +
+                          Ts.finalValue("analysis.mismatches");
+  Html += statTile("discrepancies", std::to_string(Discrepancies));
+  Html += statTile("accepted", std::to_string(Ts.finalValue(
+                                   "campaign.accepted")));
+  Html += "</div>";
+
+  // Charts.
+  auto Present = [&Ts](std::initializer_list<ChartSeries> Candidates) {
+    std::vector<ChartSeries> Out;
+    for (const ChartSeries &S : Candidates)
+      if (Ts.Series.count(S.Key))
+        Out.push_back(S);
+    return Out;
+  };
+  if (!Ts.empty()) {
+    auto Coverage = Present({{"frontier.stmts", "stmts", 1},
+                             {"frontier.branches", "branches", 2}});
+    if (Coverage.empty())
+      Coverage = Present({{"campaign.accepted", "accepted (pool)", 1}});
+    if (!Coverage.empty())
+      Html += renderLineChart("coverage", "Coverage frontier", Ts, Coverage);
+    auto Acceptance = Present({{"campaign.accepted", "accepted", 1},
+                               {"campaign.rejected", "rejected", 2}});
+    if (!Acceptance.empty())
+      Html += renderLineChart("acceptance", "Mutant acceptance", Ts,
+                              Acceptance);
+    auto Disc = Present({{"campaign.dd_discrepancies", "dd discrepancies", 1},
+                         {"campaign.tier_disagreements",
+                          "tier disagreements", 2},
+                         {"analysis.mismatches", "analyzer mismatches", 3}});
+    if (!Disc.empty())
+      Html += renderLineChart("discrepancies", "Discrepancies", Ts, Disc);
+  } else {
+    Html += "<p class=\"note\">No time-series samples; run the campaign "
+            "with --timeseries to collect them.</p>";
+  }
+
+  // Rare-branch table.
+  if (Inputs.Frontier) {
+    std::vector<const FrontierCensus::Row *> Rare;
+    for (const FrontierCensus::Row &R : Inputs.Frontier->Rows)
+      if (R.IsBranch && R.Rare)
+        Rare.push_back(&R);
+    std::stable_sort(Rare.begin(), Rare.end(),
+                     [](const FrontierCensus::Row *A,
+                        const FrontierCensus::Row *B) {
+                       if (A->Hits != B->Hits)
+                         return A->Hits < B->Hits;
+                       return A->Site < B->Site;
+                     });
+    constexpr size_t MaxRows = 50;
+    Html += "<section><h2>Rare branches</h2>";
+    if (Rare.empty()) {
+      Html += "<p class=\"note\">No branch fell at or under the rarity "
+              "threshold.</p>";
+    } else {
+      Html += "<table><thead><tr><th class=\"num\">site</th><th>dir</th>"
+              "<th class=\"num\">hits</th><th class=\"num\">first iter</th>"
+              "<th>seed</th><th>mutator</th><th class=\"num\">phase</th>"
+              "</tr></thead><tbody>";
+      for (size_t I = 0; I != std::min(Rare.size(), MaxRows); ++I) {
+        const FrontierCensus::Row &R = *Rare[I];
+        Html += "<tr><td class=\"num\">" + std::to_string(R.Site) +
+                "</td><td>" + (R.Taken ? "taken" : "not taken") +
+                "</td><td class=\"num\">" + std::to_string(R.Hits) +
+                "</td><td class=\"num\">" + std::to_string(R.FirstIter) +
+                "</td><td>" + esc(R.Seed) + "</td><td>" + esc(R.Mutator) +
+                "</td><td class=\"num\">" + std::to_string(R.Phase) +
+                "</td></tr>";
+      }
+      Html += "</tbody></table>";
+      if (Rare.size() > MaxRows)
+        Html += "<p class=\"note\">Showing the " + std::to_string(MaxRows) +
+                " rarest of " + std::to_string(Rare.size()) +
+                " rare branches.</p>";
+    }
+    Html += "</section>";
+  }
+
+  // Mutator x deepest-phase heat grid.
+  if (Inputs.Stats) {
+    constexpr size_t NumPhases = 5;
+    auto Rows = mutatorPhaseRows(*Inputs.Stats, NumPhases);
+    if (!Rows.empty()) {
+      int64_t Max = 1;
+      for (const auto &[Name, Vals] : Rows)
+        for (int64_t V : Vals)
+          Max = std::max(Max, V);
+      Html += "<section><h2>Mutator &times; deepest phase reached</h2>";
+      Html += "<table class=\"heat\" data-grid=\"frontier.mutator_phase\">"
+              "<thead><tr><th>mutator</th>";
+      for (size_t P = 0; P != NumPhases; ++P)
+        Html += "<th class=\"num\">phase " + std::to_string(P) + "</th>";
+      Html += "</tr></thead><tbody>";
+      for (const auto &[Name, Vals] : Rows) {
+        Html += "<tr><td>" + esc(Name) + "</td>";
+        for (size_t P = 0; P != NumPhases; ++P) {
+          int64_t V = P < Vals.size() ? Vals[P] : 0;
+          if (V == 0) {
+            Html += "<td class=\"cell\"></td>";
+            continue;
+          }
+          // Sequential blue ramp, light -> dark with magnitude.
+          int Bin = static_cast<int>((V * 7 + Max - 1) / Max);
+          Bin = std::clamp(Bin, 1, 7);
+          Html += "<td class=\"cell" + std::string(Bin >= 5 ? " hi" : "") +
+                  "\" style=\"background:var(--seq-" + std::to_string(Bin) +
+                  ")\" title=\"" + esc(Name) + " phase" + std::to_string(P) +
+                  ": " + std::to_string(V) + "\">" + std::to_string(V) +
+                  "</td>";
+        }
+        Html += "</tr>";
+      }
+      Html += "</tbody></table></section>";
+    }
+  }
+
+  Html += "</main><div id=\"tooltip\"></div><script>";
+  Html += HoverScript;
+  Html += "</script></body></html>";
+  return Html;
+}

@@ -1,0 +1,100 @@
+//===- telemetry/CampaignReport.h - HTML report and progress dash --------===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Readers for the campaign's observability artifacts (timeseries.jsonl
+/// rows, the frontier census, --stats-json snapshots) and the two
+/// renderers `classfuzz report` drives: a self-contained single-file
+/// HTML report (inline SVG + CSS + vanilla JS, no external references,
+/// light/dark aware) and an ANSI terminal progress dashboard with
+/// block-character sparklines for --progress-dash.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_TELEMETRY_CAMPAIGNREPORT_H
+#define CLASSFUZZ_TELEMETRY_CAMPAIGNREPORT_H
+
+#include "support/Json.h"
+#include "support/Result.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace classfuzz {
+namespace telemetry {
+
+/// The decoded time series: per-sample iteration indices plus one
+/// dense value column per metric. Delta-encoded rows are re-inflated
+/// by carrying the last seen value forward (and 0 before a key's first
+/// appearance), so every column has one value per sample.
+struct TimeSeriesData {
+  std::vector<uint64_t> Iters;
+  std::map<std::string, std::vector<int64_t>> Series;
+  bool SawFinal = false;
+
+  bool empty() const { return Iters.empty(); }
+  /// Final value of a series; 0 when absent or empty.
+  int64_t finalValue(const std::string &Key) const;
+};
+
+/// Parses timeseries.jsonl content (rows with "type":"ts"); unknown
+/// line types are skipped so the format can grow.
+Result<TimeSeriesData> parseTimeSeries(const std::string &Jsonl);
+
+/// The decoded frontier census (FrontierTracker::renderCensusJsonl).
+struct FrontierCensus {
+  struct Row {
+    bool IsBranch = false;
+    uint32_t Site = 0; ///< Branch site, or statement id.
+    bool Taken = false;
+    uint64_t Hits = 0;
+    uint64_t FirstIter = 0;
+    std::string Seed;
+    std::string Mutator;
+    int Phase = -1;
+    bool Rare = false;
+  };
+
+  uint64_t Commits = 0;
+  uint64_t Stmts = 0;
+  uint64_t Branches = 0;
+  uint64_t RareBranches = 0;
+  uint64_t RareStmts = 0;
+  uint64_t RareThreshold = 0;
+  std::vector<Row> Rows; ///< Census order: branches then stmts, by id.
+};
+
+Result<FrontierCensus> parseFrontierCensus(const std::string &Jsonl);
+
+/// Everything the HTML report can draw from. Stats is the parsed
+/// --stats-json object (for the mutator x phase grid and headline
+/// numbers); Frontier feeds the rare-branch table. Both are optional --
+/// the report renders whatever it is given.
+struct ReportInputs {
+  TimeSeriesData Ts;
+  std::optional<json::Value> Stats;
+  std::optional<FrontierCensus> Frontier;
+  std::string Title = "classfuzz campaign report";
+};
+
+/// Renders the self-contained HTML report. Deterministic: a pure
+/// function of the inputs (no timestamps, no randomness), so CI can
+/// sanity-check its contents.
+std::string renderHtmlReport(const ReportInputs &Inputs);
+
+/// Renders one frame of the terminal progress dashboard: headline
+/// counters plus block-char sparklines (U+2581..U+2588) of the key
+/// series, at most \p Width cells wide. No cursor-control codes -- the
+/// caller owns screen clearing / repositioning.
+std::string renderProgressDash(const TimeSeriesData &Ts, size_t Width = 64);
+
+} // namespace telemetry
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_TELEMETRY_CAMPAIGNREPORT_H

@@ -175,13 +175,40 @@ void appendJsonNumber(std::ostringstream &OS, double V) {
   OS << V;
 }
 
+std::vector<std::string> splitPrefixList(const std::string &List) {
+  std::vector<std::string> Out;
+  size_t Start = 0;
+  while (Start <= List.size()) {
+    size_t Comma = List.find(',', Start);
+    if (Comma == std::string::npos)
+      Comma = List.size();
+    if (Comma > Start)
+      Out.push_back(List.substr(Start, Comma - Start));
+    Start = Comma + 1;
+  }
+  return Out;
+}
+
+bool startsWithAny(const std::string &Name,
+                   const std::vector<std::string> &Prefixes) {
+  for (const std::string &P : Prefixes)
+    if (Name.compare(0, P.size(), P) == 0)
+      return true;
+  return false;
+}
+
 } // namespace
 
-std::string MetricRegistry::snapshotJson(const std::string &NamePrefix) const {
+std::string
+MetricRegistry::snapshotJson(const std::string &NamePrefixes) const {
+  return snapshotJson(splitPrefixList(NamePrefixes));
+}
+
+std::string
+MetricRegistry::snapshotJson(const std::vector<std::string> &Prefixes) const {
   std::lock_guard<std::mutex> Lock(M);
-  auto Selected = [&NamePrefix](const std::string &Name) {
-    return NamePrefix.empty() ||
-           Name.compare(0, NamePrefix.size(), NamePrefix) == 0;
+  auto Selected = [&Prefixes](const std::string &Name) {
+    return Prefixes.empty() || startsWithAny(Name, Prefixes);
   };
   std::ostringstream OS;
   OS << "{";
@@ -251,6 +278,24 @@ std::string MetricRegistry::snapshotJson(const std::string &NamePrefix) const {
   return OS.str();
 }
 
+std::map<std::string, int64_t> MetricRegistry::scalarValues(
+    const std::vector<std::string> &Prefixes,
+    const std::vector<std::string> &ExcludePrefixes) const {
+  std::lock_guard<std::mutex> Lock(M);
+  auto Selected = [&](const std::string &Name) {
+    return (Prefixes.empty() || startsWithAny(Name, Prefixes)) &&
+           !startsWithAny(Name, ExcludePrefixes);
+  };
+  std::map<std::string, int64_t> Out;
+  for (const auto &[Name, C] : Counters)
+    if (Selected(Name))
+      Out[Name] = static_cast<int64_t>(C->value());
+  for (const auto &[Name, G] : Gauges)
+    if (Selected(Name))
+      Out[Name] = G->value();
+  return Out;
+}
+
 void MetricRegistry::reset() {
   std::lock_guard<std::mutex> Lock(M);
   for (auto &[Name, C] : Counters)
@@ -272,8 +317,10 @@ MetricRegistry &telemetry::metrics() {
 
 FileEventSink::~FileEventSink() {
   if (F && Close && F != stdout && F != stderr) {
+    // The global sink can be torn down after the registry during static
+    // destruction, so this path must not touch metrics.
     if (std::fclose(F) != 0)
-      reportFailure("fclose");
+      reportFailure("fclose", /*TouchMetrics=*/false);
   }
   uint64_t N = Dropped.load(std::memory_order_relaxed);
   if (N != 0)
@@ -287,17 +334,23 @@ void FileEventSink::write(const std::string &JsonObject) {
     return;
   if (Failed.load(std::memory_order_relaxed)) {
     Dropped.fetch_add(1, std::memory_order_relaxed);
+    if (enabled())
+      metrics().counter("telemetry.sink_dropped_events").inc();
     return;
   }
   if (std::fwrite(JsonObject.data(), 1, JsonObject.size(), F) !=
           JsonObject.size() ||
       std::fputc('\n', F) == EOF) {
-    reportFailure("fwrite");
+    reportFailure("fwrite", /*TouchMetrics=*/true);
     Dropped.fetch_add(1, std::memory_order_relaxed);
+    if (enabled())
+      metrics().counter("telemetry.sink_dropped_events").inc();
   }
 }
 
-void FileEventSink::reportFailure(const char *Op) {
+void FileEventSink::reportFailure(const char *Op, bool TouchMetrics) {
+  if (TouchMetrics && enabled())
+    metrics().gauge("telemetry.sink_failed").set(1);
   // Latch first so concurrent writers race to at most one report.
   if (Failed.exchange(true, std::memory_order_relaxed))
     return;

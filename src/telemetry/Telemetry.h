@@ -171,11 +171,24 @@ public:
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,
   /// min,max,mean,p50,p99}},"grids":{name:{row.col:count}}}.
   ///
-  /// A non-empty \p NamePrefix restricts every section to metrics whose
-  /// name starts with it (e.g. "campaign.dd"), yielding a snapshot free
-  /// of timing histograms and other run-to-run noise -- the CLI's
+  /// A non-empty \p NamePrefixes restricts every section to metrics
+  /// whose name starts with a comma-separated prefix from the list
+  /// (e.g. "campaign.dd" or "campaign.,frontier."), yielding a snapshot
+  /// free of timing histograms and other run-to-run noise -- the CLI's
   /// --stats-filter, which CI byte-compares across --jobs values.
-  std::string snapshotJson(const std::string &NamePrefix = "") const;
+  std::string snapshotJson(const std::string &NamePrefixes = "") const;
+  /// As above with the prefix list pre-split; an empty list selects
+  /// everything.
+  std::string snapshotJson(const std::vector<std::string> &Prefixes) const;
+
+  /// The current value of every counter and gauge whose name starts
+  /// with one of \p Prefixes (empty = all) and with none of
+  /// \p ExcludePrefixes, as one sorted name->value map. Histograms and
+  /// grids are deliberately out of scope: this is the jobs-invariant
+  /// scalar view the time-series sampler snapshots per commit.
+  std::map<std::string, int64_t>
+  scalarValues(const std::vector<std::string> &Prefixes,
+               const std::vector<std::string> &ExcludePrefixes = {}) const;
 
   /// Zeroes every metric's value. References handed out earlier remain
   /// valid (tests and repeated campaigns rely on this).
@@ -211,6 +224,11 @@ public:
 /// and all further events are counted as dropped instead of silently
 /// truncating the JSONL stream mid-object. fclose failure on
 /// destruction (deferred flush errors) is reported the same way.
+///
+/// Failure state is mirrored into the registry while the run is live
+/// (telemetry.sink_failed gauge, telemetry.sink_dropped_events counter)
+/// so --stats-json exposes it; the destructor path never touches the
+/// registry (the global sink can outlive it during static teardown).
 class FileEventSink : public EventSink {
 public:
   /// \p Description names the stream in failure diagnostics (typically
@@ -229,7 +247,9 @@ public:
   }
 
 private:
-  void reportFailure(const char *Op);
+  /// \p TouchMetrics must be false on the destructor path (see class
+  /// comment).
+  void reportFailure(const char *Op, bool TouchMetrics);
 
   std::FILE *F;
   bool Close;

@@ -1,0 +1,137 @@
+//===- tests/coverage/frontier_test.cpp ------------------------------------===//
+//
+// The coverage-frontier tracker: per-branch/per-stmt hit counts folded
+// at commit, first-hit attribution that latches on the first commit and
+// never moves, the rare set at the configured threshold, and the census
+// JSONL rendering (summary line + ascending-id branch/stmt lines).
+//
+//===----------------------------------------------------------------------===//
+
+#include "coverage/Frontier.h"
+
+#include "coverage/Tracefile.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+
+namespace {
+
+FrontierTracker::CommitInfo commit(uint64_t Iter, const std::string &Seed,
+                                   const std::string &Mutator, int Phase) {
+  FrontierTracker::CommitInfo Info;
+  Info.Iteration = Iter;
+  Info.SeedIndex = 0;
+  Info.SeedName = Seed;
+  Info.MutatorIndex = 0;
+  Info.MutatorId = Mutator;
+  Info.Phase = Phase;
+  return Info;
+}
+
+} // namespace
+
+TEST(Frontier, CountsHitsAndReportsNewCoverageDeltas) {
+  FrontierTracker FT({});
+  Tracefile T1;
+  T1.addStmt(1);
+  T1.addStmt(2);
+  T1.addBranch(10, true);
+  auto D1 = FT.recordCommit(T1, commit(0, "S", "", -1));
+  EXPECT_EQ(D1.NewStmts, 2u);
+  EXPECT_EQ(D1.NewBranches, 1u);
+
+  Tracefile T2;
+  T2.addStmt(2); // Seen.
+  T2.addStmt(3); // New.
+  T2.addBranch(10, true);  // Seen.
+  T2.addBranch(10, false); // New direction.
+  auto D2 = FT.recordCommit(T2, commit(1, "S", "m1", 2));
+  EXPECT_EQ(D2.NewStmts, 1u);
+  EXPECT_EQ(D2.NewBranches, 1u);
+
+  EXPECT_EQ(FT.commits(), 2u);
+  EXPECT_EQ(FT.distinctStmts(), 3u);
+  EXPECT_EQ(FT.distinctBranches(), 2u);
+  EXPECT_EQ(FT.stmtHits(2), 2u);
+  EXPECT_EQ(FT.stmtHits(3), 1u);
+  EXPECT_EQ(FT.branchHits((10u << 1) | 1), 2u);
+  EXPECT_EQ(FT.stmtHits(999), 0u) << "unseen ids count zero";
+}
+
+TEST(Frontier, FirstHitAttributionLatchesOnTheFirstCommit) {
+  FrontierTracker FT({});
+  Tracefile T;
+  T.addStmt(7);
+  FT.recordCommit(T, commit(3, "SeedA", "jir_stmt_swap", 4));
+  FT.recordCommit(T, commit(9, "SeedB", "other", 1)); // Re-hit.
+
+  const FrontierFirstHit *First = FT.stmtFirstHit(7);
+  ASSERT_NE(First, nullptr);
+  EXPECT_EQ(First->Iteration, 3u);
+  EXPECT_EQ(First->SeedName, "SeedA");
+  EXPECT_EQ(First->MutatorId, "jir_stmt_swap");
+  EXPECT_EQ(First->Phase, 4);
+  EXPECT_EQ(FT.stmtFirstHit(8), nullptr);
+}
+
+TEST(Frontier, RareSetsHonorTheThresholdAndSortAscending) {
+  FrontierTracker::Options Opts;
+  Opts.RareThreshold = 2;
+  FrontierTracker FT(Opts);
+
+  Tracefile Hot;
+  Hot.addBranch(5, true);
+  Hot.addStmt(1);
+  for (int I = 0; I != 3; ++I) // 3 hits: above the threshold.
+    FT.recordCommit(Hot, commit(static_cast<uint64_t>(I), "S", "", -1));
+  Tracefile Cold;
+  Cold.addBranch(9, false);
+  Cold.addBranch(2, true);
+  FT.recordCommit(Cold, commit(3, "S", "", -1)); // 1 hit each: rare.
+
+  EXPECT_EQ(FT.rareThreshold(), 2u);
+  auto Rare = FT.rareBranches();
+  ASSERT_EQ(Rare.size(), 2u);
+  EXPECT_EQ(Rare[0], (2u << 1) | 1);
+  EXPECT_EQ(Rare[1], (9u << 1) | 0);
+  EXPECT_TRUE(FT.rareStmts().empty()) << "stmt 1 has 3 hits";
+}
+
+TEST(Frontier, CensusJsonlIsSortedCompleteAndDeterministic) {
+  FrontierTracker::Options Opts;
+  Opts.RareThreshold = 1;
+  FrontierTracker FT(Opts);
+  Tracefile T;
+  T.addStmt(20);
+  T.addStmt(4);
+  T.addBranch(3, true);
+  FT.recordCommit(T, commit(0, "Seed", "mut", 2));
+  Tracefile T2;
+  T2.addStmt(4);
+  FT.recordCommit(T2, commit(1, "Seed", "mut", 2));
+
+  std::string Census = FT.renderCensusJsonl();
+  EXPECT_EQ(Census, FT.renderCensusJsonl()) << "pure function of state";
+
+  // Summary first, then branches, then stmts ascending by id.
+  EXPECT_EQ(Census.find("{\"type\":\"frontier_summary\",\"commits\":2,"
+                        "\"stmts\":2,\"branches\":1,\"rare_branches\":1,"
+                        "\"rare_stmts\":1,\"rare_threshold\":1}"),
+            0u);
+  size_t Branch = Census.find("\"type\":\"branch\"");
+  size_t Stmt4 = Census.find("\"id\":4");
+  size_t Stmt20 = Census.find("\"id\":20");
+  ASSERT_NE(Branch, std::string::npos);
+  ASSERT_NE(Stmt4, std::string::npos);
+  ASSERT_NE(Stmt20, std::string::npos);
+  EXPECT_LT(Branch, Stmt4);
+  EXPECT_LT(Stmt4, Stmt20);
+  EXPECT_NE(Census.find("\"site\":3,\"taken\":true"), std::string::npos);
+  // Stmt 4 has 2 hits (not rare at threshold 1); stmt 20 has 1 (rare).
+  EXPECT_NE(Census.find("\"id\":4,\"hits\":2,\"first_iter\":0,"
+                        "\"seed\":\"Seed\",\"mutator\":\"mut\","
+                        "\"phase\":2,\"rare\":false"),
+            std::string::npos);
+  EXPECT_NE(Census.find("\"id\":20,\"hits\":1"), std::string::npos);
+}

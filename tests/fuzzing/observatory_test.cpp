@@ -1,0 +1,167 @@
+//===- tests/fuzzing/observatory_test.cpp ----------------------------------===//
+//
+// The campaign observatory end to end: the commit-stage time series and
+// the frontier/attribution census must be byte-identical across --jobs
+// values (the same determinism contract every other artifact honors),
+// the saturation detector must latch -- and stop, under StopOnPlateau --
+// at the same committed iteration regardless of worker count, and the
+// frontier's attribution must reference real campaign provenance.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzzing/Campaign.h"
+
+#include "coverage/Frontier.h"
+#include "telemetry/Telemetry.h"
+#include "telemetry/TimeSeries.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+using namespace classfuzz;
+namespace tel = classfuzz::telemetry;
+
+namespace {
+
+/// Telemetry is process-global: enable for the test, reset the registry
+/// so sampled values reflect this campaign alone, restore on exit.
+struct ObservatoryGuard {
+  ObservatoryGuard() {
+    tel::setEnabled(true);
+    tel::metrics().reset();
+  }
+  ~ObservatoryGuard() {
+    tel::setEnabled(false);
+    tel::metrics().reset();
+  }
+};
+
+struct ObservedRun {
+  CampaignResult Result;
+  std::vector<std::string> TsRows;
+};
+
+ObservedRun runObserved(size_t Jobs, size_t Iterations = 200,
+                        size_t PlateauWindow = 0,
+                        bool StopOnPlateau = false) {
+  tel::metrics().reset();
+  tel::TimeSeriesSampler::Options TsOpts;
+  TsOpts.SampleEvery = 16;
+  tel::TimeSeriesSampler Sampler(TsOpts);
+
+  CampaignConfig Config;
+  Config.Algo = FuzzAlgorithm::ClassfuzzStBr;
+  Config.Iterations = Iterations;
+  Config.RngSeed = 11;
+  Config.NumSeeds = 6;
+  Config.Jobs = Jobs;
+  Config.TrackFrontier = true;
+  Config.RareBranchThreshold = 4;
+  Config.TimeSeries = &Sampler;
+  Config.PlateauWindow = PlateauWindow;
+  Config.StopOnPlateau = StopOnPlateau;
+
+  ObservedRun Run;
+  Run.Result = runCampaign(Config);
+  Run.TsRows = Sampler.rows();
+  return Run;
+}
+
+} // namespace
+
+TEST(Observatory, TimeSeriesAndCensusAreByteIdenticalAcrossJobs) {
+  ObservatoryGuard Guard;
+  ObservedRun Seq = runObserved(1);
+  ObservedRun Par = runObserved(8);
+
+  ASSERT_FALSE(Seq.TsRows.empty());
+  EXPECT_EQ(Seq.TsRows, Par.TsRows);
+  // Every row ends the series at the final committed iteration.
+  EXPECT_NE(Seq.TsRows.back().find("\"final\":true"), std::string::npos);
+
+  ASSERT_NE(Seq.Result.Frontier, nullptr);
+  ASSERT_NE(Par.Result.Frontier, nullptr);
+  EXPECT_EQ(Seq.Result.Frontier->renderCensusJsonl(),
+            Par.Result.Frontier->renderCensusJsonl());
+}
+
+TEST(Observatory, FrontierAttributionReferencesRealProvenance) {
+  ObservatoryGuard Guard;
+  ObservedRun Run = runObserved(1);
+  const FrontierTracker &FT = *Run.Result.Frontier;
+  EXPECT_GT(FT.distinctStmts(), 0u);
+  EXPECT_GT(FT.distinctBranches(), 0u);
+  // Seed registrations fold in at iteration 0 with no mutator; any
+  // coverage first reached by a mutant carries its mutator id. Either
+  // way the attributed seed exists in the result's provenance universe.
+  bool SawMutantAttribution = false;
+  for (uint32_t Id : FT.rareStmts()) {
+    const FrontierFirstHit *First = FT.stmtFirstHit(Id);
+    ASSERT_NE(First, nullptr);
+    EXPECT_FALSE(First->SeedName.empty());
+    if (!First->MutatorId.empty()) {
+      SawMutantAttribution = true;
+      EXPECT_GT(First->Iteration, 0u);
+    }
+  }
+  // The census renders every tracked site exactly once.
+  std::string Census = FT.renderCensusJsonl();
+  size_t Lines = 0;
+  for (char C : Census)
+    Lines += C == '\n';
+  EXPECT_EQ(Lines, 1 + FT.distinctStmts() + FT.distinctBranches());
+  (void)SawMutantAttribution; // Coverage growth may stop before mutants.
+}
+
+TEST(Observatory, PlateauLatchesAndStopsAtTheSameIterationAcrossJobs) {
+  ObservatoryGuard Guard;
+  // A tiny window over a long budget guarantees a plateau well before
+  // the budget: the pool saturates and acceptance dries up.
+  ObservedRun Seq = runObserved(1, /*Iterations=*/4000,
+                                /*PlateauWindow=*/20,
+                                /*StopOnPlateau=*/true);
+  ObservedRun Par = runObserved(8, /*Iterations=*/4000,
+                                /*PlateauWindow=*/20,
+                                /*StopOnPlateau=*/true);
+
+  ASSERT_TRUE(Seq.Result.Plateaued);
+  ASSERT_TRUE(Par.Result.Plateaued);
+  EXPECT_LT(Seq.Result.Iterations, 4000u) << "the stop actually stopped";
+  EXPECT_EQ(Seq.Result.PlateauAt, Par.Result.PlateauAt);
+  EXPECT_EQ(Seq.Result.Iterations, Par.Result.Iterations);
+  EXPECT_EQ(Seq.Result.Iterations, Seq.Result.PlateauAt)
+      << "the latching commit is the last commit";
+  EXPECT_EQ(Seq.TsRows, Par.TsRows);
+
+  // The latch is observable in the metrics snapshot.
+  ObservedRun Again = runObserved(1, 4000, 20, true);
+  std::string Snapshot = tel::metrics().snapshotJson("campaign.plateau");
+  EXPECT_NE(Snapshot.find("\"campaign.plateau_at\":" +
+                          std::to_string(Again.Result.PlateauAt)),
+            std::string::npos);
+}
+
+TEST(Observatory, PlateauDetectionWithoutStopOnlyLatches) {
+  ObservatoryGuard Guard;
+  ObservedRun Run = runObserved(1, /*Iterations=*/600,
+                                /*PlateauWindow=*/20,
+                                /*StopOnPlateau=*/false);
+  // Detection without the stop flag runs the full budget.
+  EXPECT_EQ(Run.Result.Iterations, 600u);
+  if (Run.Result.Plateaued) {
+    EXPECT_GT(Run.Result.PlateauAt, 0u);
+  }
+}
+
+TEST(Observatory, FrontierOffByDefaultAndResultStaysLean) {
+  ObservatoryGuard Guard;
+  CampaignConfig Config;
+  Config.Algo = FuzzAlgorithm::ClassfuzzStBr;
+  Config.Iterations = 40;
+  Config.RngSeed = 11;
+  Config.NumSeeds = 4;
+  CampaignResult R = runCampaign(Config);
+  EXPECT_EQ(R.Frontier, nullptr);
+  EXPECT_FALSE(R.Plateaued);
+}

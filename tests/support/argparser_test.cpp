@@ -132,3 +132,35 @@ TEST(ArgParser, NumericAccessorsParseLeadingPrefix) {
   EXPECT_DOUBLE_EQ(P.getDouble("time-budget"), 2.5);
   EXPECT_EQ(P.getInt("rng"), 0); // atol-style: no numeric prefix -> 0.
 }
+
+TEST(ArgParser, GetListSplitsOnCommasDroppingEmptySegments) {
+  ArgParser P("classfuzz cmd", "",
+              {{"stats-filter", "PREFIXES", "prefix list", ""},
+               {"sample-filter", "PREFIXES", "prefix list",
+                "campaign.,frontier."}});
+  ASSERT_TRUE(
+      parseArgs(P, {"--stats-filter", "campaign.,frontier.,,analysis.,"}));
+  auto List = P.getList("stats-filter");
+  ASSERT_EQ(List.size(), 3u);
+  EXPECT_EQ(List[0], "campaign.");
+  EXPECT_EQ(List[1], "frontier.");
+  EXPECT_EQ(List[2], "analysis.");
+  // Absent flags split their table default; an empty default yields {}.
+  auto Defaulted = P.getList("sample-filter");
+  ASSERT_EQ(Defaulted.size(), 2u);
+  EXPECT_EQ(Defaulted[0], "campaign.");
+  EXPECT_EQ(Defaulted[1], "frontier.");
+}
+
+TEST(ArgParser, GetListOfSinglePrefixAndEmptyValue) {
+  ArgParser P("classfuzz cmd", "",
+              {{"stats-filter", "PREFIXES", "prefix list", ""}});
+  ASSERT_TRUE(parseArgs(P, {"--stats-filter", "campaign.dd"}));
+  auto One = P.getList("stats-filter");
+  ASSERT_EQ(One.size(), 1u);
+  EXPECT_EQ(One[0], "campaign.dd");
+  ArgParser Q("classfuzz cmd", "",
+              {{"stats-filter", "PREFIXES", "prefix list", ""}});
+  ASSERT_TRUE(parseArgs(Q, {"--stats-filter", ","}));
+  EXPECT_TRUE(Q.getList("stats-filter").empty());
+}

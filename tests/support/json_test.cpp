@@ -1,0 +1,100 @@
+//===- tests/support/json_test.cpp -----------------------------------------===//
+//
+// The JSON reader that `classfuzz report` uses to consume this
+// project's own artifacts: value-model accessors, the full-document
+// parser (trailing-content rejection, error offsets), the incremental
+// parseValue entry point for JSONL, string escapes, and numeric
+// round-tripping over the counter range the telemetry layer emits.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(json::parse("null")->isNull());
+  EXPECT_TRUE(json::parse("true")->asBool());
+  EXPECT_FALSE(json::parse("false")->asBool());
+  EXPECT_DOUBLE_EQ(json::parse("-2.5e2")->asDouble(), -250.0);
+  EXPECT_EQ(json::parse("\"hi\"")->asString(), "hi");
+}
+
+TEST(Json, IntegerAccessorsRoundTripCounterValues) {
+  // 2^53 bounds exact double round-tripping; telemetry counters stay
+  // far below it.
+  auto V = json::parse("9007199254740992");
+  ASSERT_TRUE(V);
+  EXPECT_EQ(V->asUint(), 9007199254740992u);
+  EXPECT_EQ(json::parse("-42")->asInt(), -42);
+}
+
+TEST(Json, ParsesNestedObjectsPreservingMemberOrder) {
+  auto V = json::parse(R"({"z":1,"a":{"k":[1,2,3]},"m":"s"})");
+  ASSERT_TRUE(V);
+  ASSERT_TRUE(V->isObject());
+  ASSERT_EQ(V->members().size(), 3u);
+  EXPECT_EQ(V->members()[0].first, "z");
+  EXPECT_EQ(V->members()[1].first, "a");
+  EXPECT_EQ(V->members()[2].first, "m");
+  const json::Value *A = V->get("a");
+  ASSERT_NE(A, nullptr);
+  const json::Value *K = A->get("k");
+  ASSERT_NE(K, nullptr);
+  ASSERT_EQ(K->array().size(), 3u);
+  EXPECT_EQ(K->array()[2].asInt(), 3);
+}
+
+TEST(Json, LookupHelpersDefaultWhenAbsentOrMistyped) {
+  auto V = json::parse(R"({"n":7,"s":"x"})");
+  ASSERT_TRUE(V);
+  EXPECT_DOUBLE_EQ(V->numberOr("n", -1), 7);
+  EXPECT_DOUBLE_EQ(V->numberOr("missing", -1), -1);
+  EXPECT_DOUBLE_EQ(V->numberOr("s", -1), -1); // Wrong kind.
+  EXPECT_EQ(V->stringOr("s", "d"), "x");
+  EXPECT_EQ(V->stringOr("n", "d"), "d");
+  EXPECT_EQ(V->get("missing"), nullptr);
+  EXPECT_EQ(json::parse("[1]")->get("k"), nullptr); // Not an object.
+}
+
+TEST(Json, DecodesEscapes) {
+  auto V = json::parse(R"("a\"b\\c\/d\n\tAé")");
+  ASSERT_TRUE(V);
+  EXPECT_EQ(V->asString(), "a\"b\\c/d\n\tA\xc3\xa9");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_FALSE(json::parse(""));
+  EXPECT_FALSE(json::parse("{"));
+  EXPECT_FALSE(json::parse("[1,]"));
+  EXPECT_FALSE(json::parse("{\"a\":1,}"));
+  EXPECT_FALSE(json::parse("nul"));
+  EXPECT_FALSE(json::parse("\"unterminated"));
+  EXPECT_FALSE(json::parse("1 2")); // Trailing content.
+}
+
+TEST(Json, ParseValueAdvancesThroughAJsonlBuffer) {
+  const std::string Lines = "{\"a\":1}\n{\"a\":2}\n";
+  size_t Pos = 0;
+  auto First = json::parseValue(Lines, Pos);
+  ASSERT_TRUE(First);
+  EXPECT_DOUBLE_EQ(First->numberOr("a", 0), 1);
+  auto Second = json::parseValue(Lines, Pos);
+  ASSERT_TRUE(Second);
+  EXPECT_DOUBLE_EQ(Second->numberOr("a", 0), 2);
+}
+
+TEST(Json, ReadsBackOwnSnapshotShapes) {
+  // The exact row shapes the telemetry writers emit.
+  auto Ts = json::parse(
+      R"({"type":"ts","iter":64,"m":{"campaign.accepted":31}})");
+  ASSERT_TRUE(Ts);
+  EXPECT_EQ(Ts->stringOr("type", ""), "ts");
+  EXPECT_EQ(Ts->get("m")->numberOr("campaign.accepted", 0), 31);
+  auto Br = json::parse(
+      R"({"type":"branch","site":9,"taken":true,"hits":3,"rare":true})");
+  ASSERT_TRUE(Br);
+  EXPECT_TRUE(Br->get("taken")->asBool());
+}

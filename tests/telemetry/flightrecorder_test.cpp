@@ -14,7 +14,9 @@
 #include <gtest/gtest.h>
 
 #include <future>
+#include <map>
 #include <set>
+#include <thread>
 #include <vector>
 
 using namespace classfuzz;
@@ -205,5 +207,47 @@ TEST(FlightRecorder, KindNamesAndFieldTablesCoverEveryKind) {
     const char *const *Fields = tel::flightEventFieldNames(Kind);
     for (size_t I = 0; I != 3; ++I)
       ASSERT_NE(Fields[I], nullptr);
+  }
+}
+
+TEST(FlightRecorder, RingOverflowKeepsEachLanesLastCapacityEvents) {
+  RecorderGuard Guard;
+  tel::FlightRecorder &FR = tel::flightRecorder();
+  FR.enable(64);
+  // std::thread (not the pool) guarantees each writer gets a fresh
+  // lane: 4 lanes x 1000 events against 64 slots per lane.
+  constexpr uint64_t Threads = 4, PerThread = 1000, Capacity = 64;
+  std::vector<std::thread> Writers;
+  for (uint64_t T = 0; T != Threads; ++T)
+    Writers.emplace_back([&FR, T] {
+      for (uint64_t I = 0; I != PerThread; ++I)
+        FR.record(tel::FlightKind::Iteration, T * 10000 + I, T);
+    });
+  for (auto &W : Writers)
+    W.join();
+
+  auto Events = FR.snapshot();
+  // Overflow accounting: exactly capacity-per-lane survivors, no
+  // duplicates, no torn entries.
+  ASSERT_EQ(Events.size(), Threads * Capacity);
+  std::set<uint64_t> Seqs;
+  std::map<uint64_t, std::vector<uint64_t>> PerLane;
+  for (size_t I = 0; I != Events.size(); ++I) {
+    if (I > 0)
+      EXPECT_LT(Events[I - 1].Seq, Events[I].Seq);
+    Seqs.insert(Events[I].Seq);
+    PerLane[Events[I].B].push_back(Events[I].A);
+  }
+  EXPECT_EQ(Seqs.size(), Threads * Capacity);
+  // Every sequence number is from the real 0..3999 allocation; the
+  // globally newest event always survives.
+  EXPECT_LT(*Seqs.rbegin(), Threads * PerThread);
+  EXPECT_EQ(*Seqs.rbegin(), Threads * PerThread - 1);
+  ASSERT_EQ(PerLane.size(), Threads);
+  for (auto &[Writer, As] : PerLane) {
+    // Each lane keeps exactly its own last `Capacity` writes, in order.
+    ASSERT_EQ(As.size(), Capacity) << "writer " << Writer;
+    for (uint64_t I = 0; I != Capacity; ++I)
+      EXPECT_EQ(As[I], Writer * 10000 + (PerThread - Capacity) + I);
   }
 }

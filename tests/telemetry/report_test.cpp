@@ -1,0 +1,168 @@
+//===- tests/telemetry/report_test.cpp -------------------------------------===//
+//
+// The `classfuzz report` readers and renderers: delta-encoded
+// time-series re-inflation (carry-forward + zero backfill), frontier
+// census decoding, the self-contained HTML report (charts, rare-branch
+// table, mutator x phase heat grid, no external references), and the
+// terminal progress dashboard.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/CampaignReport.h"
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+using namespace classfuzz;
+namespace tel = classfuzz::telemetry;
+
+namespace {
+
+const char *SampleTs =
+    "{\"type\":\"ts\",\"iter\":10,\"m\":{\"campaign.accepted\":4}}\n"
+    "{\"type\":\"ts\",\"iter\":20,\"m\":{\"campaign.accepted\":6,"
+    "\"frontier.stmts\":50}}\n"
+    "{\"type\":\"ts\",\"iter\":30,\"final\":true,\"m\":{}}\n";
+
+} // namespace
+
+TEST(ReportParse, ReInflatesDeltaEncodedSeries) {
+  auto Ts = tel::parseTimeSeries(SampleTs);
+  ASSERT_TRUE(Ts);
+  ASSERT_EQ(Ts->Iters.size(), 3u);
+  EXPECT_EQ(Ts->Iters[2], 30u);
+  EXPECT_TRUE(Ts->SawFinal);
+  // Carry-forward: accepted holds 6 on the empty final row.
+  ASSERT_EQ(Ts->Series.at("campaign.accepted").size(), 3u);
+  EXPECT_EQ(Ts->Series.at("campaign.accepted")[1], 6);
+  EXPECT_EQ(Ts->Series.at("campaign.accepted")[2], 6);
+  // Zero backfill: stmts first appears at sample 2, so sample 1 reads 0.
+  EXPECT_EQ(Ts->Series.at("frontier.stmts")[0], 0);
+  EXPECT_EQ(Ts->Series.at("frontier.stmts")[1], 50);
+  EXPECT_EQ(Ts->finalValue("campaign.accepted"), 6);
+  EXPECT_EQ(Ts->finalValue("absent"), 0);
+}
+
+TEST(ReportParse, SkipsUnknownLineTypesAndBlankLines) {
+  auto Ts = tel::parseTimeSeries(
+      "{\"type\":\"comment\",\"x\":1}\n\n"
+      "{\"type\":\"ts\",\"iter\":5,\"m\":{\"a\":1}}\n");
+  ASSERT_TRUE(Ts);
+  EXPECT_EQ(Ts->Iters.size(), 1u);
+  EXPECT_FALSE(Ts->SawFinal);
+}
+
+TEST(ReportParse, RejectsMalformedJsonWithALineDiagnostic) {
+  auto Ts = tel::parseTimeSeries(
+      "{\"type\":\"ts\",\"iter\":5,\"m\":{}}\nnot json\n");
+  EXPECT_FALSE(Ts);
+}
+
+TEST(ReportParse, DecodesTheFrontierCensus) {
+  auto C = tel::parseFrontierCensus(
+      "{\"type\":\"frontier_summary\",\"commits\":9,\"stmts\":2,"
+      "\"branches\":1,\"rare_branches\":1,\"rare_stmts\":0,"
+      "\"rare_threshold\":4}\n"
+      "{\"type\":\"branch\",\"site\":7,\"taken\":true,\"hits\":2,"
+      "\"first_iter\":3,\"seed\":\"S\",\"mutator\":\"m\",\"phase\":4,"
+      "\"rare\":true}\n"
+      "{\"type\":\"stmt\",\"id\":11,\"hits\":9,\"first_iter\":0,"
+      "\"seed\":\"S\",\"mutator\":\"\",\"phase\":0,\"rare\":false}\n");
+  ASSERT_TRUE(C);
+  EXPECT_EQ(C->Commits, 9u);
+  EXPECT_EQ(C->RareThreshold, 4u);
+  ASSERT_EQ(C->Rows.size(), 2u);
+  EXPECT_TRUE(C->Rows[0].IsBranch);
+  EXPECT_EQ(C->Rows[0].Site, 7u);
+  EXPECT_TRUE(C->Rows[0].Taken);
+  EXPECT_TRUE(C->Rows[0].Rare);
+  EXPECT_EQ(C->Rows[0].Phase, 4);
+  EXPECT_FALSE(C->Rows[1].IsBranch);
+  EXPECT_EQ(C->Rows[1].Site, 11u);
+  EXPECT_EQ(C->Rows[1].Hits, 9u);
+}
+
+TEST(ReportHtml, RendersChartsTablesAndHeatGridSelfContained) {
+  tel::ReportInputs Inputs;
+  auto Ts = tel::parseTimeSeries(SampleTs);
+  ASSERT_TRUE(Ts);
+  Inputs.Ts = Ts.take();
+  auto Stats = json::parse(
+      R"({"grids":{"frontier.mutator_phase":{"jir_swap.phase0":2,)"
+      R"("jir_swap.phase4":7,"cp_retag.phase1":1}}})");
+  ASSERT_TRUE(Stats);
+  Inputs.Stats = Stats.take();
+  auto Census = tel::parseFrontierCensus(
+      "{\"type\":\"frontier_summary\",\"commits\":9,\"stmts\":1,"
+      "\"branches\":1,\"rare_branches\":1,\"rare_stmts\":0,"
+      "\"rare_threshold\":4}\n"
+      "{\"type\":\"branch\",\"site\":7,\"taken\":false,\"hits\":1,"
+      "\"first_iter\":3,\"seed\":\"SeedX\",\"mutator\":\"mutY\","
+      "\"phase\":4,\"rare\":true}\n");
+  ASSERT_TRUE(Census);
+  Inputs.Frontier = Census.take();
+  Inputs.Title = "t <escaped>";
+
+  std::string Html = tel::renderHtmlReport(Inputs);
+  EXPECT_EQ(Html, tel::renderHtmlReport(Inputs)) << "deterministic";
+  EXPECT_EQ(Html.rfind("<!doctype html>", 0), 0u);
+  EXPECT_NE(Html.find("t &lt;escaped&gt;"), std::string::npos);
+  // Coverage + acceptance charts (stmts series exists; no discrepancy
+  // series in this input, so no third chart).
+  EXPECT_NE(Html.find("data-chart=\"coverage\""), std::string::npos);
+  EXPECT_NE(Html.find("data-chart=\"acceptance\""), std::string::npos);
+  EXPECT_EQ(Html.find("data-chart=\"discrepancies\""), std::string::npos);
+  EXPECT_NE(Html.find("<svg"), std::string::npos);
+  // Rare-branch table carries the attribution columns.
+  EXPECT_NE(Html.find("SeedX"), std::string::npos);
+  EXPECT_NE(Html.find("mutY"), std::string::npos);
+  // Heat grid rows, highest total first.
+  size_t Swap = Html.find("jir_swap");
+  size_t Retag = Html.find("cp_retag");
+  ASSERT_NE(Swap, std::string::npos);
+  ASSERT_NE(Retag, std::string::npos);
+  EXPECT_LT(Swap, Retag);
+  // Self-contained: no external fetches of any kind.
+  EXPECT_EQ(Html.find("http://"), std::string::npos);
+  EXPECT_EQ(Html.find("https://"), std::string::npos);
+  EXPECT_EQ(Html.find("src="), std::string::npos);
+}
+
+TEST(ReportHtml, DegradesGracefullyWithTimeSeriesOnly) {
+  tel::ReportInputs Inputs;
+  auto Ts = tel::parseTimeSeries(
+      "{\"type\":\"ts\",\"iter\":8,\"m\":{\"campaign.accepted\":2}}\n");
+  ASSERT_TRUE(Ts);
+  Inputs.Ts = Ts.take();
+  std::string Html = tel::renderHtmlReport(Inputs);
+  // No frontier series: the coverage chart falls back to the pool curve.
+  EXPECT_NE(Html.find("data-chart=\"coverage\""), std::string::npos);
+  EXPECT_EQ(Html.find("data-grid"), std::string::npos);
+}
+
+TEST(ReportHtml, EmptySeriesYieldsANoteNotACrash) {
+  tel::ReportInputs Inputs;
+  std::string Html = tel::renderHtmlReport(Inputs);
+  EXPECT_NE(Html.find("No time-series samples"), std::string::npos);
+  EXPECT_EQ(Html.find("<svg"), std::string::npos);
+}
+
+TEST(ProgressDash, RendersHeadlinesAndSparklines) {
+  auto Ts = tel::parseTimeSeries(SampleTs);
+  ASSERT_TRUE(Ts);
+  std::string Dash = tel::renderProgressDash(*Ts);
+  EXPECT_NE(Dash.find("iter 30"), std::string::npos);
+  EXPECT_NE(Dash.find("final"), std::string::npos);
+  EXPECT_NE(Dash.find("accepted"), std::string::npos);
+  EXPECT_NE(Dash.find("\xe2\x96\x88"), std::string::npos) << "U+2588 cell";
+  EXPECT_EQ(Dash.find("\x1b["), std::string::npos)
+      << "no cursor control inside the frame";
+}
+
+TEST(ProgressDash, EmptySeriesSaysSo) {
+  tel::TimeSeriesData Empty;
+  std::string Dash = tel::renderProgressDash(Empty);
+  EXPECT_FALSE(Dash.empty());
+  EXPECT_EQ(Dash.find("\xe2\x96\x88"), std::string::npos);
+}

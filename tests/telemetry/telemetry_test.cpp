@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <future>
 #include <vector>
 
@@ -453,4 +454,121 @@ TEST(TelemetryDeterminism, MutationAccountingAddsUp) {
   // Inapplicable draws cannot produce a mutant.
   EXPECT_LE(R.numGenerated(), Selected - Inapplicable);
   EXPECT_GT(Inapplicable, 0u) << "config too easy to exercise the path";
+}
+
+// ---- histogram quantile edges ---------------------------------------------
+
+TEST(Telemetry, QuantileOfAnEmptyHistogramIsZero) {
+  tel::Histogram H;
+  EXPECT_EQ(H.quantile(0.0), 0u);
+  EXPECT_EQ(H.quantile(0.5), 0u);
+  EXPECT_EQ(H.quantile(1.0), 0u);
+  EXPECT_EQ(H.percentileUpperBound(0.99), 0u);
+}
+
+TEST(Telemetry, QuantileOfASingleSampleIsExactForEveryQ) {
+  tel::Histogram H;
+  H.record(100);
+  EXPECT_EQ(H.quantile(0.0), 100u);
+  EXPECT_EQ(H.quantile(0.5), 100u);
+  EXPECT_EQ(H.quantile(1.0), 100u);
+  // Out-of-range Q clamps instead of misbehaving.
+  EXPECT_EQ(H.quantile(-3.0), 100u);
+  EXPECT_EQ(H.quantile(7.0), 100u);
+}
+
+TEST(Telemetry, QuantileOfASingleBucketClampsIntoTheSampleRange) {
+  // 65 and 127 share the [64,128) log2 bucket: interpolation is
+  // bucket-resolution but can never leave [min, max].
+  tel::Histogram H;
+  H.record(65);
+  H.record(127);
+  EXPECT_EQ(H.quantile(1.0), 127u) << "Q=1 is the exact maximum";
+  uint64_t Q0 = H.quantile(0.0);
+  EXPECT_GE(Q0, 65u);
+  EXPECT_LE(Q0, 127u);
+  // Identical samples collapse the range: exact for every Q.
+  tel::Histogram I;
+  for (int N = 0; N != 5; ++N)
+    I.record(100);
+  EXPECT_EQ(I.quantile(0.0), 100u);
+  EXPECT_EQ(I.quantile(0.25), 100u);
+  EXPECT_EQ(I.quantile(1.0), 100u);
+}
+
+TEST(Telemetry, QuantileOfZerosStaysZero) {
+  tel::Histogram H;
+  for (int N = 0; N != 3; ++N)
+    H.record(0);
+  EXPECT_EQ(H.quantile(0.0), 0u);
+  EXPECT_EQ(H.quantile(1.0), 0u);
+}
+
+// ---- comma-separated snapshot prefixes ------------------------------------
+
+TEST(Telemetry, SnapshotJsonAcceptsACommaSeparatedPrefixList) {
+  tel::metrics().counter("sfa.x").inc(1);
+  tel::metrics().counter("sfb.y").inc(2);
+  tel::metrics().gauge("sfc.z").set(3);
+
+  std::string Two = tel::metrics().snapshotJson("sfa.,sfc.");
+  EXPECT_NE(Two.find("\"sfa.x\":1"), std::string::npos);
+  EXPECT_EQ(Two.find("sfb.y"), std::string::npos);
+  EXPECT_NE(Two.find("\"sfc.z\":3"), std::string::npos);
+  // A single prefix still behaves as before.
+  std::string One = tel::metrics().snapshotJson("sfb.");
+  EXPECT_EQ(One.find("sfa.x"), std::string::npos);
+  EXPECT_NE(One.find("\"sfb.y\":2"), std::string::npos);
+  // Stray commas and empty segments are ignored, not prefix-matched.
+  std::string Stray = tel::metrics().snapshotJson(",sfa.,");
+  EXPECT_NE(Stray.find("sfa.x"), std::string::npos);
+  EXPECT_EQ(Stray.find("sfb.y"), std::string::npos);
+}
+
+TEST(Telemetry, ScalarValuesFilterByIncludeAndExcludePrefixes) {
+  tel::metrics().counter("sv.keep.a").inc(4);
+  tel::metrics().gauge("sv.keep.b").set(5);
+  tel::metrics().counter("sv.drop.c").inc(6);
+  tel::metrics().histogram("sv.keep.h").record(9); // Never sampled.
+
+  auto Vals = tel::metrics().scalarValues({"sv."}, {"sv.drop."});
+  EXPECT_EQ(Vals.count("sv.keep.a"), 1u);
+  EXPECT_EQ(Vals.at("sv.keep.a"), 4);
+  EXPECT_EQ(Vals.at("sv.keep.b"), 5);
+  EXPECT_EQ(Vals.count("sv.drop.c"), 0u);
+  EXPECT_EQ(Vals.count("sv.keep.h"), 0u)
+      << "histograms are out of scalarValues' scope";
+}
+
+// ---- sink failure accounting ----------------------------------------------
+
+TEST(Telemetry, SinkWriteFailuresSurfaceInMetrics) {
+  TelemetryGuard Guard;
+  tel::setEnabled(true);
+  tel::metrics().counter("telemetry.sink_dropped_events").reset();
+  tel::metrics().gauge("telemetry.sink_failed").set(0);
+
+  // A read-only stream makes every fwrite fail deterministically.
+  std::string Path = testing::TempDir() + "/cf_sink_failure_test";
+  {
+    std::FILE *Create = std::fopen(Path.c_str(), "w");
+    ASSERT_NE(Create, nullptr);
+    std::fclose(Create);
+  }
+  std::FILE *ReadOnly = std::fopen(Path.c_str(), "r");
+  ASSERT_NE(ReadOnly, nullptr);
+  {
+    tel::FileEventSink Sink(ReadOnly, /*Close=*/true, "test sink");
+    Sink.write("{\"ev\":1}"); // Fails and latches.
+    Sink.write("{\"ev\":2}"); // Dropped by the latch.
+  }
+  EXPECT_EQ(tel::metrics().gauge("telemetry.sink_failed").value(), 1);
+  EXPECT_EQ(tel::metrics().counter("telemetry.sink_dropped_events").value(),
+            2u);
+  // Both appear in the --stats-json snapshot under telemetry.*.
+  std::string Snap = tel::metrics().snapshotJson("telemetry.");
+  EXPECT_NE(Snap.find("\"telemetry.sink_dropped_events\":2"),
+            std::string::npos);
+  EXPECT_NE(Snap.find("\"telemetry.sink_failed\":1"), std::string::npos);
+  std::remove(Path.c_str());
 }

@@ -34,6 +34,13 @@
 //   classfuzz mutators
 //       list the 129 mutation operators
 //
+//   classfuzz report  TIMESERIES.jsonl [--stats FILE] [--frontier FILE]
+//                     [--out FILE] [--progress-dash]
+//       render the campaign observability artifacts (--timeseries,
+//       --frontier, --stats-json) into a self-contained single-file
+//       HTML report, or tail the time series live in the terminal
+//       with --progress-dash (DESIGN.md §15)
+//
 // Every subcommand declares its flags in an ArgParser table: unknown
 // flags are rejected with a diagnostic and --help is generated from the
 // same table. The telemetry flags --stats-json, --trace-events, and
@@ -56,17 +63,22 @@
 #include "reducer/Reducer.h"
 #include "runtime/RuntimeLib.h"
 #include "support/ArgParser.h"
+#include "support/Json.h"
+#include "telemetry/CampaignReport.h"
 #include "telemetry/FlightRecorder.h"
 #include "telemetry/PerfettoTrace.h"
 #include "telemetry/Telemetry.h"
+#include "telemetry/TimeSeries.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace classfuzz;
@@ -86,7 +98,11 @@ int usage(std::FILE *To) {
       "                    [--tier switch|threaded|baseline] [--tier-diff]\n"
       "                    [--incidents DIR] [--flightrec N] [--reduce]\n"
       "                    [--reduce-jobs N]\n"
-      "                    [--stats-json FILE] [--stats-filter PREFIX]\n"
+      "                    [--timeseries FILE] [--sample-every K]\n"
+      "                    [--sample-filter PREFIXES] [--frontier FILE]\n"
+      "                    [--rare-threshold N] [--plateau-window N]\n"
+      "                    [--stop-on-plateau]\n"
+      "                    [--stats-json FILE] [--stats-filter PREFIXES]\n"
       "                    [--trace-events FILE] [--trace-perfetto FILE]\n"
       "  classfuzz replay  BUNDLE_DIR\n"
       "  classfuzz run     FILE.class [--env jre5|jre7|jre8|jre9]\n"
@@ -98,6 +114,10 @@ int usage(std::FILE *To) {
       "                    [--max-queries N] [--no-chunks]\n"
       "  classfuzz seeds   --out DIR [--seeds N] [--rng N]\n"
       "  classfuzz mutators\n"
+      "  classfuzz report  TIMESERIES.jsonl [--stats FILE]\n"
+      "                    [--frontier FILE] [--out FILE] [--title T]\n"
+      "                    [--progress-dash] [--interval SECONDS] "
+      "[--once]\n"
       "\n"
       "run 'classfuzz <command> --help' for per-command flags\n");
   return To == stdout ? 0 : 2;
@@ -109,9 +129,10 @@ std::vector<FlagSpec> withTelemetryFlags(std::vector<FlagSpec> Specs) {
                    "write a JSON metrics snapshot to FILE at exit "
                    "(\"-\" = stdout)",
                    ""});
-  Specs.push_back({"stats-filter", "PREFIX",
+  Specs.push_back({"stats-filter", "PREFIXES",
                    "restrict the --stats-json snapshot to metrics whose "
-                   "name starts with PREFIX (e.g. campaign.dd)",
+                   "name starts with one of the comma-separated "
+                   "PREFIXES (e.g. campaign.dd or campaign.,frontier.)",
                    ""});
   Specs.push_back({"trace-events", "FILE",
                    "stream JSONL trace events to FILE (\"-\" = stdout)",
@@ -318,7 +339,31 @@ int cmdFuzz(int Argc, char **Argv) {
            {"reduce-jobs", "N",
             "worker threads per reduction; reduced bytes are identical "
             "across values",
-            "1"}}));
+            "1"},
+           {"timeseries", "FILE",
+            "stream a delta-encoded JSONL metric time series to FILE, "
+            "sampled at the commit stage (byte-identical across --jobs)",
+            ""},
+           {"sample-every", "K",
+            "time-series sample period in committed iterations", "64"},
+           {"sample-filter", "PREFIXES",
+            "comma-separated metric-name prefixes the time series "
+            "samples (default: campaign.,coverage.,frontier.,analysis.)",
+            ""},
+           {"frontier", "FILE",
+            "track the coverage frontier and write the per-branch/stmt "
+            "hit-count + first-hit-attribution census to FILE as JSONL",
+            ""},
+           {"rare-threshold", "N",
+            "a frontier branch/stmt is rare while its hits <= N", "4"},
+           {"plateau-window", "N",
+            "latch campaign.plateau_at when N consecutive committed "
+            "iterations discover nothing new (0 = off)",
+            "0"},
+           {"stop-on-plateau", "",
+            "stop the campaign at the plateau (implies --plateau-window "
+            "256 unless set)",
+            ""}}));
   int Exit = 0;
   if (!parseOrExit(A, Argc, Argv, Exit))
     return Exit;
@@ -369,6 +414,31 @@ int cmdFuzz(int Argc, char **Argv) {
                  "--no-analysis\n");
     return 2;
   }
+  Config.TrackFrontier = A.has("frontier");
+  Config.RareBranchThreshold = A.getUnsigned("rare-threshold");
+  Config.PlateauWindow =
+      static_cast<size_t>(A.getUnsigned("plateau-window"));
+  Config.StopOnPlateau = A.has("stop-on-plateau");
+  if (Config.StopOnPlateau && Config.PlateauWindow == 0)
+    Config.PlateauWindow = 256;
+  std::unique_ptr<telemetry::TimeSeriesSampler> Sampler;
+  if (A.has("timeseries")) {
+    // The sampler snapshots the metric registry at every commit stride,
+    // so the observation layer must be on even without --stats-json.
+    telemetry::setEnabled(true);
+    telemetry::TimeSeriesSampler::Options TsOpts;
+    TsOpts.SampleEvery = A.getUnsigned("sample-every");
+    if (A.has("sample-filter"))
+      TsOpts.Prefixes = A.getList("sample-filter");
+    std::FILE *F = std::fopen(A.get("timeseries").c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "cannot open %s for the time series\n",
+                   A.get("timeseries").c_str());
+      return 1;
+    }
+    Sampler = std::make_unique<telemetry::TimeSeriesSampler>(TsOpts, F);
+    Config.TimeSeries = Sampler.get();
+  }
   if (A.has("seed-dir")) {
     Config.ExternalSeeds = loadSeedDir(A.get("seed-dir"));
     if (Config.ExternalSeeds.empty()) {
@@ -411,6 +481,36 @@ int cmdFuzz(int Argc, char **Argv) {
     std::printf("tier census: %zu interp-vs-baseline disagreements over "
                 "%zu produced mutants, %zu distinct categories\n",
                 R.TierDisagreements, R.numGenerated(), TierCategories);
+  }
+  if (R.Plateaued)
+    std::printf("plateau: no discoveries over a %zu-commit window; "
+                "latched at iteration %llu%s\n",
+                Config.PlateauWindow,
+                static_cast<unsigned long long>(R.PlateauAt),
+                Config.StopOnPlateau ? " (campaign stopped)" : "");
+  if (A.has("frontier")) {
+    if (!R.Frontier) {
+      std::fprintf(stderr,
+                   "note: %s tracks no coverage; skipping the frontier "
+                   "census\n",
+                   fuzzAlgorithmName(R.Algo));
+    } else {
+      std::string Census = R.Frontier->renderCensusJsonl();
+      if (!writeFile(A.get("frontier"),
+                     Bytes(Census.begin(), Census.end()))) {
+        std::fprintf(stderr, "cannot write %s\n",
+                     A.get("frontier").c_str());
+        return 1;
+      }
+      std::printf("frontier: %zu stmts, %zu branches (%zu rare at "
+                  "threshold %llu) -> %s\n",
+                  R.Frontier->distinctStmts(),
+                  R.Frontier->distinctBranches(),
+                  R.Frontier->rareBranches().size(),
+                  static_cast<unsigned long long>(
+                      R.Frontier->rareThreshold()),
+                  A.get("frontier").c_str());
+    }
   }
 
   std::fprintf(stderr, "differential testing %zu test classfiles...\n",
@@ -957,6 +1057,119 @@ int cmdSeeds(int Argc, char **Argv) {
   return 0;
 }
 
+/// `classfuzz report TIMESERIES.jsonl`: renders the campaign's
+/// observability artifacts into a self-contained single-file HTML
+/// report, or (with --progress-dash) tails the time series as a live
+/// terminal dashboard until its "final" row lands.
+int cmdReport(int Argc, char **Argv) {
+  ArgParser A(
+      "classfuzz report", "TIMESERIES.jsonl",
+      {{"stats", "FILE",
+        "--stats-json snapshot feeding the headline numbers and the "
+        "mutator x phase heat grid",
+        ""},
+       {"frontier", "FILE",
+        "frontier census JSONL feeding the rare-branch table", ""},
+       {"out", "FILE", "HTML output path (\"-\" = stdout)",
+        "report.html"},
+       {"title", "T", "report title", ""},
+       {"progress-dash", "",
+        "live terminal dashboard instead of HTML: re-render every "
+        "--interval seconds until the series' final row lands",
+        ""},
+       {"interval", "SECONDS", "refresh period for --progress-dash",
+        "1"},
+       {"once", "",
+        "with --progress-dash, render a single frame and exit", ""}});
+  int Exit = 0;
+  if (!parseOrExit(A, Argc, Argv, Exit))
+    return Exit;
+  if (A.positional().empty()) {
+    std::fputs(A.helpText().c_str(), stderr);
+    return 2;
+  }
+  const std::string TsPath = A.positional()[0];
+
+  if (A.has("progress-dash")) {
+    const bool Once = A.has("once");
+    const double Interval = std::max(0.1, A.getDouble("interval"));
+    for (;;) {
+      auto Data = readFile(TsPath);
+      Result<telemetry::TimeSeriesData> Ts =
+          Data ? telemetry::parseTimeSeries(
+                     std::string(Data->begin(), Data->end()))
+               : makeError(Data.error());
+      // Home + clear per frame; the frame itself carries no cursor
+      // control, so --once output pipes cleanly.
+      if (!Once)
+        std::printf("\x1b[H\x1b[2J");
+      std::printf("%s", Ts ? telemetry::renderProgressDash(*Ts).c_str()
+                           : ("waiting for " + TsPath + "...\n").c_str());
+      std::fflush(stdout);
+      if (Once || (Ts && Ts->SawFinal))
+        return 0;
+      std::this_thread::sleep_for(std::chrono::duration<double>(Interval));
+    }
+  }
+
+  auto Data = readFile(TsPath);
+  if (!Data) {
+    std::fprintf(stderr, "%s\n", Data.error().c_str());
+    return 1;
+  }
+  auto Ts =
+      telemetry::parseTimeSeries(std::string(Data->begin(), Data->end()));
+  if (!Ts) {
+    std::fprintf(stderr, "%s: %s\n", TsPath.c_str(), Ts.error().c_str());
+    return 1;
+  }
+  telemetry::ReportInputs Inputs;
+  Inputs.Ts = Ts.take();
+  if (A.has("title"))
+    Inputs.Title = A.get("title");
+  if (A.has("stats")) {
+    auto Raw = readFile(A.get("stats"));
+    if (!Raw) {
+      std::fprintf(stderr, "%s\n", Raw.error().c_str());
+      return 1;
+    }
+    auto Stats = json::parse(std::string(Raw->begin(), Raw->end()));
+    if (!Stats) {
+      std::fprintf(stderr, "%s: %s\n", A.get("stats").c_str(),
+                   Stats.error().c_str());
+      return 1;
+    }
+    Inputs.Stats = Stats.take();
+  }
+  if (A.has("frontier")) {
+    auto Raw = readFile(A.get("frontier"));
+    if (!Raw) {
+      std::fprintf(stderr, "%s\n", Raw.error().c_str());
+      return 1;
+    }
+    auto Census = telemetry::parseFrontierCensus(
+        std::string(Raw->begin(), Raw->end()));
+    if (!Census) {
+      std::fprintf(stderr, "%s: %s\n", A.get("frontier").c_str(),
+                   Census.error().c_str());
+      return 1;
+    }
+    Inputs.Frontier = Census.take();
+  }
+  const std::string Html = telemetry::renderHtmlReport(Inputs);
+  const std::string OutPath = A.get("out");
+  if (OutPath == "-") {
+    std::fputs(Html.c_str(), stdout);
+    return 0;
+  }
+  if (!writeFile(OutPath, Bytes(Html.begin(), Html.end()))) {
+    std::fprintf(stderr, "cannot write %s\n", OutPath.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu bytes)\n", OutPath.c_str(), Html.size());
+  return 0;
+}
+
 int cmdMutators(int Argc, char **Argv) {
   ArgParser A("classfuzz mutators", "", {});
   int Exit = 0;
@@ -994,6 +1207,8 @@ int main(int Argc, char **Argv) {
     return cmdSeeds(Argc, Argv);
   if (Cmd == "mutators")
     return cmdMutators(Argc, Argv);
+  if (Cmd == "report")
+    return cmdReport(Argc, Argv);
   std::fprintf(stderr, "classfuzz: unknown command '%s'\n", Cmd.c_str());
   return usage(stderr);
 }
