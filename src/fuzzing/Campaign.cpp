@@ -218,6 +218,11 @@ struct CampaignTelemetry {
   /// Tier-diff pipeline counters; commit stage only, --jobs-invariant.
   telemetry::Counter &TierBatches;
   telemetry::Counter &TierDisagreements;
+  /// Seed-scheduler counters; commit stage only, --jobs-invariant
+  /// (the sched_epochs counter and sched_* gauges are published by the
+  /// scheduler itself at rebuild time, also commit-stage).
+  telemetry::Counter &SchedDraws;
+  telemetry::Counter &SchedRareDraws;
   telemetry::Histogram &MutateNs;
   telemetry::Histogram &ExecuteNs;
   telemetry::Histogram &CommitNs;
@@ -240,6 +245,8 @@ struct CampaignTelemetry {
         M.counter("campaign.dd_novel_coverage"),
         M.counter("campaign.tier_batches"),
         M.counter("campaign.tier_disagreements"),
+        M.counter("campaign.sched_draws"),
+        M.counter("campaign.sched_rare_draws"),
         M.histogram("campaign.stage.mutate_ns"),
         M.histogram("campaign.stage.execute_ns"),
         M.histogram("campaign.stage.commit_ns"),
@@ -289,6 +296,10 @@ struct DdRun {
 /// rewind the campaign state when the presumed-rejection speculation
 /// turns out wrong.
 struct PendingIteration {
+  /// The pool entry this iteration mutated (drawn by the scheduler at
+  /// speculation time; the commit stage charges the draw counters from
+  /// it so they stay Jobs-invariant).
+  size_t PoolIndex = 0;
   size_t MutatorIndex = 0;
   MutationResult MutResult = MutationResult::Inapplicable;
   bool Produced = false;
@@ -479,6 +490,34 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
 
   Acceptor Accept(Config.Algo);
 
+  // The seed scheduler: picks the pool entry each iteration mutates.
+  // It owns its hit-count table (independent of --frontier) and is fed
+  // only at deterministic driver-side points -- seed registration
+  // below, then the in-order commit stage -- with rebuilds restricted
+  // to commits that discard in-flight speculation, so every pick and
+  // every campaign.sched_* value is identical across Jobs values.
+  // Randfuzz collects no coverage to learn from and degrades to the
+  // uniform policy (the CLI rejects rare/cluster there up front).
+  SeedScheduler::Options SchedOpts;
+  SchedOpts.Policy = Coverage ? Config.SeedSched : SeedSchedPolicy::Uniform;
+  SchedOpts.RareThreshold = Config.RareBranchThreshold;
+  SeedScheduler Sched(SchedOpts);
+
+  /// Commit-stage draw accounting: one per committed iteration, charged
+  /// against the scheduler state the entry was drawn under (no rebuild
+  /// can intervene between a committed pick and its commit).
+  auto countSchedDraw = [&](size_t PoolIndex) {
+    ++Result.SchedDraws;
+    const bool RareDraw = Sched.rareScore(PoolIndex) > 0;
+    if (RareDraw)
+      ++Result.SchedRareDraws;
+    if (Telem) {
+      TM.SchedDraws.inc();
+      if (RareDraw)
+        TM.SchedRareDraws.inc();
+    }
+  };
+
   // Coverage-frontier tracker (--frontier): folds every reference run
   // in driver order -- seed registrations below, then each produced
   // mutant at the in-order commit stage -- so its census is identical
@@ -639,12 +678,20 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
       DdRun Run = ddRunOf(Seed.Name, Seed.Data);
       frontierSeed(SeedIndex, Seed.Name, Run.RefTrace, Run.RefPhase);
       Accept.registerSeedDd(Run.Obs);
+      Sched.addEntry(Run.RefTrace);
+      Sched.noteTrace(Run.RefTrace);
     } else if (Coverage) {
       RefRun Run = coverageOf(Seed.Name, Seed.Data);
       frontierSeed(SeedIndex, Seed.Name, Run.Trace, Run.Phase);
       Accept.registerSeed(Run.Trace);
+      Sched.addEntry(Run.Trace);
+      Sched.noteTrace(Run.Trace);
+    } else {
+      Sched.addEntryNoCoverage();
     }
   }
+  // Scores and slot table over the registered seed corpus; epoch 1.
+  Sched.rebuild();
 
   // Stopping rule: wall-clock budget when configured (Algorithm 1's
   // "until the time budget is used up"), else the iteration budget.
@@ -807,6 +854,9 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
     // mutant itself joins the corpus.
     if (Analyzer)
       analyzeCommitted(Stored, Result.GenClasses.size() - 1);
+    // Every produced run's coverage ages the scheduler's hit table
+    // (no-op for randfuzz, whose traces are empty).
+    Sched.noteTrace(Stored.Trace);
     if (Representative) {
       Result.TestClassIndices.push_back(Result.GenClasses.size() - 1);
       FR.record(telemetry::FlightKind::Accepted, IterIndex,
@@ -822,8 +872,19 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
       }
       if (Analyzer)
         Analyzer->addEnvironmentClass(Stored.Name, Stored.Data);
-      if (Config.FeedbackAcceptedMutants)
+      if (Config.FeedbackAcceptedMutants) {
         Pool.push_back({Stored.Name, Stored.Data, Stored.Prov});
+        // Mirror the pool 1:1 (randfuzz has no trace to register).
+        if (Coverage)
+          Sched.addEntry(Stored.Trace);
+        else
+          Sched.addEntryNoCoverage();
+      }
+      // Rebuild only at accepted commits: in the parallel pipeline an
+      // acceptance discards all in-flight speculation and rewinds the
+      // RNG, so no speculated pick can ever straddle a rebuild -- the
+      // committed pick sequence matches the sequential loop exactly.
+      Sched.rebuild();
     }
   };
 
@@ -832,9 +893,13 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
   if (Jobs <= 1) {
     // ---- Sequential reference loop (Algorithm 1, unchanged) ----------
     for (; budgetLeft(Iter) && !PlateauStop; ++Iter) {
-      // Line 5: pick a classfile from TestClasses. (Index, not
-      // reference: the pool may grow below.)
-      size_t PoolIndex = R.choiceIndex(Pool.size());
+      // Line 5: pick a classfile from TestClasses -- through the seed
+      // scheduler's policy (uniform is bit-compatible with the old
+      // R.choiceIndex draw). Index, not reference: the pool may grow
+      // below. The sequential loop IS the commit stage, so the draw is
+      // charged here, before any rebuild this iteration may trigger.
+      size_t PoolIndex = Sched.pick(R);
+      countSchedDraw(PoolIndex);
 
       // Lines 6-10: mutator selection.
       size_t MutatorIndex =
@@ -940,7 +1005,8 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
 
     auto speculate = [&]() {
       PendingIteration P;
-      size_t PoolIndex = R.choiceIndex(Pool.size());
+      size_t PoolIndex = Sched.pick(R);
+      P.PoolIndex = PoolIndex;
       P.MutatorIndex = Mcmc ? Selector.selectNext(R) : R.choiceIndex(NumMu);
       RngState RngBefore = R.state();
       telemetry::PhaseTimer MutT(TM.MutateNs, "mutate");
@@ -1029,6 +1095,10 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
       ++Result.MutatorSelected[P.MutatorIndex];
       recordMutation(P.MutatorIndex, P.MutResult, P.Produced);
       ++Iter;
+      // Charge the pool draw at commit. The scheduler state is the one
+      // the pick was speculated under: rebuilds happen only at accepted
+      // commits, which discard everything still in flight.
+      countSchedDraw(P.PoolIndex);
       if (!P.Produced) {
         // The rejection recorded at speculation time is exact.
         emitIteration(Iter - 1, P.MutatorIndex, P.MutResult, false, false);
@@ -1124,6 +1194,7 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
   }
 
   Result.Iterations = Iter;
+  Result.SchedEpochs = Sched.epochs();
 
   if (Telem) {
     // Per-mutator selection/success/inapplicable/no-change table for

@@ -32,6 +32,7 @@
 #include "coverage/Frontier.h"
 #include "coverage/Uniqueness.h"
 #include "fuzzing/Provenance.h"
+#include "fuzzing/SeedScheduler.h"
 #include "jvm/ClassPath.h"
 #include "jvm/Policy.h"
 #include "mcmc/McmcSelector.h"
@@ -135,8 +136,12 @@ struct CampaignConfig {
   /// values. Ignored by randfuzz (no coverage to fold). The tracker
   /// lands in CampaignResult::Frontier.
   bool TrackFrontier = false;
-  /// Rarity cut of the frontier tracker (hits <= threshold = rare).
-  uint64_t RareBranchThreshold = 4;
+  /// Rarity cut of the frontier tracker and the seed scheduler (hits
+  /// <= threshold = rare). The default of 2 is the bench_seedsched
+  /// sweet spot: at 4-8 the rare policy's slot table concentrates on
+  /// entries whose "rare" branches are merely uncommon, and the lost
+  /// pick diversity costs discrepancy yield.
+  uint64_t RareBranchThreshold = 2;
   /// When non-null, receives one onCommit per committed iteration (and
   /// a finish at end of run) at the in-order commit stage -- the
   /// deterministic time-series hook (telemetry/TimeSeries.h). Not
@@ -154,6 +159,14 @@ struct CampaignConfig {
   /// at the in-order commit stage; the committed trajectory up to and
   /// including the stopping iteration stays Jobs-invariant).
   bool StopOnPlateau = false;
+  /// Seed-selection policy over the mutation pool (--seed-sched,
+  /// fuzzing/SeedScheduler.h). Every policy consumes exactly one Rng
+  /// draw per iteration with the same bound, so switching policies
+  /// never perturbs mutator selection or mutation draws downstream,
+  /// and the trajectory stays bit-identical across Jobs values. The
+  /// scheduler maintains its own hit-count table (no --frontier
+  /// needed); randfuzz collects no coverage and degrades to Uniform.
+  SeedSchedPolicy SeedSched = SeedSchedPolicy::Uniform;
   CampaignConfig();
 };
 
@@ -249,6 +262,14 @@ struct CampaignResult {
   /// discovery rate plateaued, and at which committed iteration.
   bool Plateaued = false;
   uint64_t PlateauAt = 0;
+  /// Seed-scheduler accounting, maintained at the in-order commit stage
+  /// (Jobs-invariant; mirrored by the campaign.sched_* telemetry).
+  /// SchedDraws counts committed iterations (one pool draw each);
+  /// SchedRareDraws those whose drawn entry covered a rare branch site
+  /// at draw time; SchedEpochs the scheduler rebuilds.
+  uint64_t SchedDraws = 0;
+  uint64_t SchedRareDraws = 0;
+  uint64_t SchedEpochs = 0;
   double ElapsedSeconds = 0;
 
   size_t numGenerated() const { return GenClasses.size(); }

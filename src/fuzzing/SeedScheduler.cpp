@@ -1,0 +1,181 @@
+//===- fuzzing/SeedScheduler.cpp ------------------------------------------===//
+
+#include "fuzzing/SeedScheduler.h"
+
+#include "telemetry/Telemetry.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+using namespace classfuzz;
+
+const char *classfuzz::seedSchedPolicyName(SeedSchedPolicy Policy) {
+  switch (Policy) {
+  case SeedSchedPolicy::Uniform:
+    return "uniform";
+  case SeedSchedPolicy::Rare:
+    return "rare";
+  case SeedSchedPolicy::Cluster:
+    return "cluster";
+  }
+  return "?";
+}
+
+bool classfuzz::parseSeedSchedPolicy(const std::string &Text,
+                                     SeedSchedPolicy &Out) {
+  if (Text == "uniform") {
+    Out = SeedSchedPolicy::Uniform;
+    return true;
+  }
+  if (Text == "rare") {
+    Out = SeedSchedPolicy::Rare;
+    return true;
+  }
+  if (Text == "cluster") {
+    Out = SeedSchedPolicy::Cluster;
+    return true;
+  }
+  return false;
+}
+
+void SeedScheduler::addEntry(const Tracefile &Trace) {
+  Entry E;
+  E.Branches.assign(Trace.branches().begin(), Trace.branches().end());
+  E.Fingerprint = Trace.fingerprint();
+  Entries.push_back(std::move(E));
+}
+
+void SeedScheduler::noteTrace(const Tracefile &Trace) {
+  for (uint32_t B : Trace.branches())
+    ++Hits[B];
+}
+
+void SeedScheduler::rebuild() {
+  ++EpochCount;
+
+  // Rare scores: how many of the entry's branch directions are still
+  // below the rarity threshold in the folded hit table.
+  size_t TotalScore = 0;
+  RareCount = 0;
+  for (Entry &E : Entries) {
+    size_t Score = 0;
+    for (uint32_t B : E.Branches) {
+      auto It = Hits.find(B);
+      uint64_t H = It == Hits.end() ? 0 : It->second;
+      Score += H <= Opts.RareThreshold ? 1 : 0;
+    }
+    E.RareScore = Score;
+    TotalScore += Score;
+    RareCount += Score > 0 ? 1 : 0;
+  }
+
+  // Clusters keyed on the coverage fingerprint, in first-appearance
+  // order (deterministic: entry order is commit order).
+  std::vector<std::vector<size_t>> Clusters;
+  std::unordered_map<uint64_t, size_t> KeyToCluster;
+  for (size_t I = 0; I != Entries.size(); ++I) {
+    auto [It, Fresh] =
+        KeyToCluster.try_emplace(Entries[I].Fingerprint, Clusters.size());
+    if (Fresh)
+      Clusters.emplace_back();
+    Clusters[It->second].push_back(I);
+  }
+  ClusterCount = Clusters.size();
+
+  rebuildDrawMap(TotalScore, Clusters);
+
+  if (telemetry::enabled()) {
+    auto &M = telemetry::metrics();
+    M.counter("campaign.sched_epochs").inc();
+    M.gauge("campaign.sched_entries")
+        .set(static_cast<int64_t>(Entries.size()));
+    M.gauge("campaign.sched_rare_entries")
+        .set(static_cast<int64_t>(RareCount));
+    M.gauge("campaign.sched_clusters")
+        .set(static_cast<int64_t>(ClusterCount));
+    M.gauge("campaign.sched_policy")
+        .set(static_cast<int64_t>(Opts.Policy));
+  }
+}
+
+void SeedScheduler::rebuildDrawMap(
+    size_t TotalScore, const std::vector<std::vector<size_t>> &Clusters) {
+  const size_t N = Entries.size();
+  DrawMap.clear();
+  DrawMap.reserve(N);
+
+  // Uniform -- and every degenerate case -- is the identity table, so
+  // pick() is bit-compatible with the historical uniform draw.
+  auto identity = [&] {
+    for (size_t I = 0; I != N; ++I)
+      DrawMap.push_back(I);
+  };
+
+  switch (Opts.Policy) {
+  case SeedSchedPolicy::Uniform:
+    identity();
+    return;
+
+  case SeedSchedPolicy::Rare: {
+    if (TotalScore == 0) {
+      identity(); // Nothing is rare: fall back to uniform mass.
+      return;
+    }
+    // Largest-remainder apportionment of the N slots by rare score
+    // (ties broken by entry index, so the table is deterministic).
+    std::vector<size_t> Slots(N, 0);
+    std::vector<uint64_t> Remainder(N, 0);
+    size_t Assigned = 0;
+    for (size_t I = 0; I != N; ++I) {
+      uint64_t Scaled =
+          static_cast<uint64_t>(N) * Entries[I].RareScore;
+      Slots[I] = static_cast<size_t>(Scaled / TotalScore);
+      Remainder[I] = Scaled % TotalScore;
+      Assigned += Slots[I];
+    }
+    std::vector<size_t> Order(N);
+    std::iota(Order.begin(), Order.end(), 0);
+    std::sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+      if (Remainder[A] != Remainder[B])
+        return Remainder[A] > Remainder[B];
+      return A < B;
+    });
+    for (size_t K = 0; Assigned < N; ++K, ++Assigned)
+      ++Slots[Order[K % N]];
+    for (size_t I = 0; I != N; ++I)
+      DrawMap.insert(DrawMap.end(), Slots[I], I);
+    return;
+  }
+
+  case SeedSchedPolicy::Cluster: {
+    const size_t C = Clusters.size();
+    if (C == 0) {
+      identity();
+      return;
+    }
+    // Equal slot budget per cluster (first clusters absorb the
+    // remainder), round-robin over members in entry order. One cluster
+    // of N entries gets N slots -> the identity table.
+    const size_t Base = N / C;
+    const size_t Extra = N % C;
+    for (size_t Cl = 0; Cl != C; ++Cl) {
+      const std::vector<size_t> &Members = Clusters[Cl];
+      const size_t Budget = Base + (Cl < Extra ? 1 : 0);
+      for (size_t K = 0; K != Budget; ++K)
+        DrawMap.push_back(Members[K % Members.size()]);
+    }
+    return;
+  }
+  }
+  identity();
+}
+
+size_t SeedScheduler::pick(Rng &R) const {
+  assert(!Entries.empty() && "pick() from an empty pool");
+  // One nextBelow(entries()) per pick, for every policy: the bound --
+  // and therefore the Rng's rejection-sampling raw-draw pattern -- must
+  // not depend on the policy or the slot table's contents.
+  size_t Draw = static_cast<size_t>(R.nextBelow(Entries.size()));
+  return DrawMap.size() == Entries.size() ? DrawMap[Draw] : Draw;
+}

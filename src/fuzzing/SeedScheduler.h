@@ -1,0 +1,145 @@
+//===- fuzzing/SeedScheduler.h - Learned seed selection ------------------===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-iteration seed selection over the mutation pool. The paper (and
+/// this reproduction until now) drew the next parent uniformly; with a
+/// 10-100x corpus, seed choice dominates yield ("Selecting Initial
+/// Seeds for Better JVM Fuzzing", arxiv 2408.08515), so the campaign
+/// can now bias the draw:
+///
+///  * `uniform` -- the historical policy, bit-compatible with the old
+///    `R.choiceIndex(Pool.size())` draw.
+///  * `rare` -- FairFuzz-style rare-branch targeting: entries whose
+///    reference trace covers branch sites hit at most `RareThreshold`
+///    times get selection slots proportional to how many such sites
+///    they cover.
+///  * `cluster` -- entries are clustered by reference-coverage
+///    fingerprint; selection mass is split equally across clusters so
+///    behaviorally redundant seeds share one cluster's budget.
+///
+/// Determinism contract (the campaign's jobs-invariance depends on it):
+///
+///  * pick() consumes exactly one logical draw, `nextBelow(N)` with
+///    N == entries(), for EVERY policy. The policy only permutes the
+///    slot table the drawn index goes through, so the raw Rng draw
+///    pattern -- and everything downstream of it -- is identical across
+///    policies and worker counts.
+///  * noteTrace() folds hit counts and rebuild() recomputes scores,
+///    clusters, and the slot table; the campaign calls them only at the
+///    in-order commit stage (and rebuild() only at commits that discard
+///    in-flight speculation), so scheduler state is a pure function of
+///    the committed trajectory.
+///
+/// The scheduler owns its hit-count table: it never reads the frontier
+/// census, so `--seed-sched rare` works without `--frontier`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_FUZZING_SEEDSCHEDULER_H
+#define CLASSFUZZ_FUZZING_SEEDSCHEDULER_H
+
+#include "coverage/Tracefile.h"
+#include "support/Rng.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace classfuzz {
+
+enum class SeedSchedPolicy {
+  Uniform,
+  Rare,
+  Cluster,
+};
+
+const char *seedSchedPolicyName(SeedSchedPolicy Policy);
+
+/// Parses "uniform" / "rare" / "cluster"; false on anything else.
+bool parseSeedSchedPolicy(const std::string &Text, SeedSchedPolicy &Out);
+
+/// Schedules which mutation-pool entry the next iteration mutates.
+/// Mirrors the pool 1:1: the campaign calls addEntry (or
+/// addEntryNoCoverage) exactly when it pushes a pool entry, so
+/// entries() always equals the pool size.
+class SeedScheduler {
+public:
+  struct Options {
+    SeedSchedPolicy Policy = SeedSchedPolicy::Uniform;
+    /// A branch site with at most this many folded hits is "rare".
+    /// 2 is the bench_seedsched sweet spot (see CampaignConfig).
+    size_t RareThreshold = 2;
+  };
+
+  explicit SeedScheduler(Options Opts) : Opts(Opts) {}
+
+  /// Registers the next pool entry with its reference-trace coverage.
+  /// Stores the branch vector and fingerprint only; does NOT fold hit
+  /// counts (pair with noteTrace, which folds every committed run).
+  void addEntry(const Tracefile &Trace);
+
+  /// Registers a pool entry with no coverage information (randfuzz, or
+  /// coverage-free replay): scores as zero, clusters with its kind.
+  void addEntryNoCoverage() { addEntry(Tracefile()); }
+
+  /// Folds one committed run's branch coverage into the hit-count
+  /// table. Commit-stage only.
+  void noteTrace(const Tracefile &Trace);
+
+  /// Recomputes rare scores, clusters, and the selection slot table
+  /// from the current entries and hit counts, and publishes the
+  /// campaign.sched_* gauges. Commit-stage only, and in the parallel
+  /// pipeline only at commits that discard in-flight speculation.
+  void rebuild();
+
+  /// Draws the next pool index: exactly one nextBelow(entries()) from
+  /// \p R regardless of policy.
+  size_t pick(Rng &R) const;
+
+  size_t entries() const { return Entries.size(); }
+  /// Entries whose trace covers at least one currently-rare branch
+  /// site (as of the last rebuild).
+  size_t rareEntries() const { return RareCount; }
+  /// Coverage-fingerprint clusters (as of the last rebuild).
+  size_t clusters() const { return ClusterCount; }
+  /// Number of rebuild() calls so far.
+  uint64_t epochs() const { return EpochCount; }
+  /// The entry's rare-branch score as of the last rebuild (0 for
+  /// entries added since).
+  size_t rareScore(size_t Index) const {
+    return Index < Entries.size() ? Entries[Index].RareScore : 0;
+  }
+
+  SeedSchedPolicy policy() const { return Opts.Policy; }
+
+private:
+  struct Entry {
+    std::vector<uint32_t> Branches; ///< Sorted distinct branch ids.
+    uint64_t Fingerprint = 0;       ///< Coverage cluster key.
+    size_t RareScore = 0;           ///< As of the last rebuild.
+  };
+
+  void rebuildDrawMap(size_t TotalScore,
+                      const std::vector<std::vector<size_t>> &Clusters);
+
+  Options Opts;
+  std::vector<Entry> Entries;
+  std::unordered_map<uint32_t, uint64_t> Hits; ///< branch id -> folds.
+  /// Slot table: pick() returns DrawMap[nextBelow(DrawMap.size())],
+  /// and DrawMap.size() == Entries.size() always (the determinism
+  /// contract above). Identity until the first rebuild.
+  std::vector<size_t> DrawMap;
+  size_t RareCount = 0;
+  size_t ClusterCount = 0;
+  uint64_t EpochCount = 0;
+};
+
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_FUZZING_SEEDSCHEDULER_H

@@ -8,6 +8,7 @@
 #include "runtime/RuntimeLib.h"
 
 #include <cassert>
+#include <unordered_set>
 
 using namespace classfuzz;
 
@@ -110,6 +111,21 @@ public:
            });
   }
 
+  /// Applies the structural sweep of \p S: pads the constant pool with
+  /// unreferenced Utf8 entries and appends unknown class-level
+  /// attributes. The neutral shape is a strict no-op, so round-0 seeds
+  /// keep their historical bytes.
+  void applyShape(const SeedShape &S) {
+    for (unsigned I = 0; I != S.CpPadding; ++I)
+      CF.CP.utf8("CfPad" + std::to_string(I));
+    for (unsigned I = 0; I != S.AttributeSoup; ++I) {
+      AttributeInfo A;
+      A.Name = "CfSoup" + std::to_string(I);
+      A.Data = {static_cast<uint8_t>(I), 0x5E, 0xED};
+      CF.Attributes.push_back(std::move(A));
+    }
+  }
+
   Bytes build() {
     auto Data = writeClassFile(CF);
     assert(Data.ok() && "seed class failed to serialize");
@@ -120,20 +136,21 @@ private:
   ClassFile CF;
 };
 
-using Gen = SeedClass (*)(Rng &, const std::string &);
+using Gen = SeedClass (*)(Rng &, const std::string &, const SeedShape &);
 
 /// Plain hello class (the Figure 2 shape, valid form).
-SeedClass genHello(Rng &R, const std::string &Name) {
+SeedClass genHello(Rng &R, const std::string &Name, const SeedShape &S) {
   (void)R;
   SeedBuilder B(Name);
   B.defaultCtor();
   B.mainPrinting("Completed!");
+  B.applyShape(S);
   return {Name, B.build(), {}};
 }
 
 /// Class with a batch of fields, a static initializer, and a main that
 /// reads a static.
-SeedClass genFields(Rng &R, const std::string &Name) {
+SeedClass genFields(Rng &R, const std::string &Name, const SeedShape &S) {
   SeedBuilder B(Name);
   int NumFields = static_cast<int>(R.nextInRange(1, 6));
   static const char *Descs[] = {"I", "Ljava/lang/String;",
@@ -171,11 +188,12 @@ SeedClass genFields(Rng &R, const std::string &Name) {
              CB.invokeVirtual("java/io/PrintStream", "println", "(I)V");
              CB.emit(OP_return);
            });
+  B.applyShape(S);
   return {Name, B.build(), {}};
 }
 
 /// Loop-and-arithmetic main (branches, iinc, int ops).
-SeedClass genArith(Rng &R, const std::string &Name) {
+SeedClass genArith(Rng &R, const std::string &Name, const SeedShape &S) {
   int32_t Limit = static_cast<int32_t>(R.nextInRange(3, 20));
   SeedBuilder B(Name);
   B.defaultCtor();
@@ -205,12 +223,14 @@ SeedClass genArith(Rng &R, const std::string &Name) {
         CB.invokeVirtual("java/io/PrintStream", "println", "(I)V");
         CB.emit(OP_return);
       });
+  B.applyShape(S);
   return {Name, B.build(), {}};
 }
 
 /// An interface with constants and abstract methods (main-less seed, as
 /// most JRE classfiles are).
-SeedClass genInterface(Rng &R, const std::string &Name) {
+SeedClass genInterface(Rng &R, const std::string &Name,
+                       const SeedShape &S) {
   SeedBuilder B(Name, "java/lang/Object",
                 ACC_PUBLIC | ACC_INTERFACE | ACC_ABSTRACT);
   int NumConsts = static_cast<int>(R.nextInRange(0, 3));
@@ -223,12 +243,13 @@ SeedClass genInterface(Rng &R, const std::string &Name) {
   for (int I = 0; I != NumMethods; ++I)
     B.abstractMethod("op" + std::to_string(I), Descs[R.choiceIndex(4)],
                      ACC_PUBLIC | ACC_ABSTRACT);
+  B.applyShape(S);
   return {Name, B.build(), {}};
 }
 
 /// Implements Runnable and Comparable with real bodies; main dispatches
 /// through the interface.
-SeedClass genImpl(Rng &R, const std::string &Name) {
+SeedClass genImpl(Rng &R, const std::string &Name, const SeedShape &S) {
   (void)R;
   SeedBuilder B(Name);
   B.implement("java/lang/Runnable");
@@ -256,11 +277,13 @@ SeedClass genImpl(Rng &R, const std::string &Name) {
              CB.invokeInterface("java/lang/Runnable", "run", "()V");
              CB.emit(OP_return);
            });
+  B.applyShape(S);
   return {Name, B.build(), {}};
 }
 
 /// Subclass of Thread overriding run (inheritance + virtual dispatch).
-SeedClass genSubThread(Rng &R, const std::string &Name) {
+SeedClass genSubThread(Rng &R, const std::string &Name,
+                       const SeedShape &S) {
   (void)R;
   SeedBuilder B(Name, "java/lang/Thread");
   B.defaultCtor();
@@ -279,11 +302,17 @@ SeedClass genSubThread(Rng &R, const std::string &Name) {
              CB.invokeVirtual(Name, "run", "()V");
              CB.emit(OP_return);
            });
+  B.applyShape(S);
   return {Name, B.build(), {}};
 }
 
-/// try/catch with a deliberate ArithmeticException, plus a throws clause.
-SeedClass genException(Rng &R, const std::string &Name) {
+/// try/catch with a deliberate ArithmeticException, plus a throws
+/// clause. ExceptionGeometry sweeps the table layout: 0 = one protected
+/// region with one typed handler (the historical shape), 1 = two
+/// sequential protected regions, 2 = one region with a typed handler
+/// shadowed by a catch-all entry.
+SeedClass genException(Rng &R, const std::string &Name,
+                       const SeedShape &S) {
   (void)R;
   SeedBuilder B(Name);
   B.defaultCtor();
@@ -296,39 +325,114 @@ SeedClass genException(Rng &R, const std::string &Name) {
            },
            /*ExceptionTable=*/{},
            /*Throws=*/{"java/lang/ArithmeticException"});
-  // main: try { risky(0) } catch (ArithmeticException e) { print }
   std::vector<ExceptionTableEntry> Table;
-  B.method("main", "([Ljava/lang/String;)V", ACC_PUBLIC | ACC_STATIC, 2,
-           2, [&](CodeBuilder &CB) {
-             uint32_t TryStart = CB.currentOffset();
-             CB.pushInt(0);
-             CB.invokeStatic(Name, "risky", "(I)I");
-             CB.emit(OP_pop);
-             uint32_t TryEnd = CB.currentOffset();
-             CodeBuilder::Label Out = CB.newLabel();
-             CB.branch(OP_goto, Out);
-             uint32_t Handler = CB.currentOffset();
-             CB.storeLocal('a', 1);
-             CB.getStatic("java/lang/System", "out",
-                          "Ljava/io/PrintStream;");
-             CB.pushString("caught");
-             CB.invokeVirtual("java/io/PrintStream", "println",
-                              "(Ljava/lang/String;)V");
-             CB.bind(Out);
-             CB.emit(OP_return);
-             ExceptionTableEntry E;
-             E.StartPc = static_cast<uint16_t>(TryStart);
-             E.EndPc = static_cast<uint16_t>(TryEnd);
-             E.HandlerPc = static_cast<uint16_t>(Handler);
-             E.CatchType = "java/lang/ArithmeticException";
-             Table.push_back(E);
-           },
-           Table);
+  unsigned Geometry = S.ExceptionGeometry % 3;
+  if (Geometry == 1) {
+    // main: two back-to-back try { risky(0) } catch blocks, so the
+    // table holds two disjoint protected regions.
+    B.method("main", "([Ljava/lang/String;)V", ACC_PUBLIC | ACC_STATIC,
+             2, 2, [&](CodeBuilder &CB) {
+               for (int Region = 0; Region != 2; ++Region) {
+                 uint32_t TryStart = CB.currentOffset();
+                 CB.pushInt(0);
+                 CB.invokeStatic(Name, "risky", "(I)I");
+                 CB.emit(OP_pop);
+                 uint32_t TryEnd = CB.currentOffset();
+                 CodeBuilder::Label Out = CB.newLabel();
+                 CB.branch(OP_goto, Out);
+                 uint32_t Handler = CB.currentOffset();
+                 CB.storeLocal('a', 1);
+                 CB.getStatic("java/lang/System", "out",
+                              "Ljava/io/PrintStream;");
+                 CB.pushString(Region == 0 ? "caught" : "caught2");
+                 CB.invokeVirtual("java/io/PrintStream", "println",
+                                  "(Ljava/lang/String;)V");
+                 CB.bind(Out);
+                 ExceptionTableEntry E;
+                 E.StartPc = static_cast<uint16_t>(TryStart);
+                 E.EndPc = static_cast<uint16_t>(TryEnd);
+                 E.HandlerPc = static_cast<uint16_t>(Handler);
+                 E.CatchType = "java/lang/ArithmeticException";
+                 Table.push_back(E);
+               }
+               CB.emit(OP_return);
+             },
+             Table);
+  } else if (Geometry == 2) {
+    // main: one protected region with two entries -- the typed handler
+    // first, then a catch-all (CatchType empty => index 0).
+    B.method("main", "([Ljava/lang/String;)V", ACC_PUBLIC | ACC_STATIC,
+             2, 2, [&](CodeBuilder &CB) {
+               uint32_t TryStart = CB.currentOffset();
+               CB.pushInt(0);
+               CB.invokeStatic(Name, "risky", "(I)I");
+               CB.emit(OP_pop);
+               uint32_t TryEnd = CB.currentOffset();
+               CodeBuilder::Label Out = CB.newLabel();
+               CB.branch(OP_goto, Out);
+               uint32_t Typed = CB.currentOffset();
+               CB.storeLocal('a', 1);
+               CB.getStatic("java/lang/System", "out",
+                            "Ljava/io/PrintStream;");
+               CB.pushString("caught");
+               CB.invokeVirtual("java/io/PrintStream", "println",
+                                "(Ljava/lang/String;)V");
+               CB.branch(OP_goto, Out);
+               uint32_t CatchAll = CB.currentOffset();
+               CB.storeLocal('a', 1);
+               CB.getStatic("java/lang/System", "out",
+                            "Ljava/io/PrintStream;");
+               CB.pushString("caught-any");
+               CB.invokeVirtual("java/io/PrintStream", "println",
+                                "(Ljava/lang/String;)V");
+               CB.bind(Out);
+               CB.emit(OP_return);
+               ExceptionTableEntry E;
+               E.StartPc = static_cast<uint16_t>(TryStart);
+               E.EndPc = static_cast<uint16_t>(TryEnd);
+               E.HandlerPc = static_cast<uint16_t>(Typed);
+               E.CatchType = "java/lang/ArithmeticException";
+               Table.push_back(E);
+               E.HandlerPc = static_cast<uint16_t>(CatchAll);
+               E.CatchType.clear();
+               Table.push_back(E);
+             },
+             Table);
+  } else {
+    // main: try { risky(0) } catch (ArithmeticException e) { print }
+    B.method("main", "([Ljava/lang/String;)V", ACC_PUBLIC | ACC_STATIC,
+             2, 2, [&](CodeBuilder &CB) {
+               uint32_t TryStart = CB.currentOffset();
+               CB.pushInt(0);
+               CB.invokeStatic(Name, "risky", "(I)I");
+               CB.emit(OP_pop);
+               uint32_t TryEnd = CB.currentOffset();
+               CodeBuilder::Label Out = CB.newLabel();
+               CB.branch(OP_goto, Out);
+               uint32_t Handler = CB.currentOffset();
+               CB.storeLocal('a', 1);
+               CB.getStatic("java/lang/System", "out",
+                            "Ljava/io/PrintStream;");
+               CB.pushString("caught");
+               CB.invokeVirtual("java/io/PrintStream", "println",
+                                "(Ljava/lang/String;)V");
+               CB.bind(Out);
+               CB.emit(OP_return);
+               ExceptionTableEntry E;
+               E.StartPc = static_cast<uint16_t>(TryStart);
+               E.EndPc = static_cast<uint16_t>(TryEnd);
+               E.HandlerPc = static_cast<uint16_t>(Handler);
+               E.CatchType = "java/lang/ArithmeticException";
+               Table.push_back(E);
+             },
+             Table);
+  }
+  B.applyShape(S);
   return {Name, B.build(), {}};
 }
 
 /// Arrays: int[] and String[] round trips.
-SeedClass genArray(Rng &R, const std::string &Name) {
+SeedClass genArray(Rng &R, const std::string &Name, const SeedShape &S) {
   int32_t Len = static_cast<int32_t>(R.nextInRange(1, 8));
   SeedBuilder B(Name);
   B.defaultCtor();
@@ -349,11 +453,13 @@ SeedClass genArray(Rng &R, const std::string &Name) {
              CB.invokeVirtual("java/io/PrintStream", "println", "(I)V");
              CB.emit(OP_return);
            });
+  B.applyShape(S);
   return {Name, B.build(), {}};
 }
 
 /// StringBuilder chain.
-SeedClass genStringBuilder(Rng &R, const std::string &Name) {
+SeedClass genStringBuilder(Rng &R, const std::string &Name,
+                           const SeedShape &S) {
   int32_t N = static_cast<int32_t>(R.nextInRange(1, 5));
   SeedBuilder B(Name);
   B.defaultCtor();
@@ -379,23 +485,40 @@ SeedClass genStringBuilder(Rng &R, const std::string &Name) {
                               "(Ljava/lang/String;)V");
              CB.emit(OP_return);
            });
+  B.applyShape(S);
   return {Name, B.build(), {}};
 }
 
-/// A two-class hierarchy: Name extends NameBase, with an overridden
-/// virtual method dispatched through the base type.
-SeedClass genHierarchy(Rng &R, const std::string &Name) {
+/// A hierarchy seed: Name extends a chain of HierarchyDepth base
+/// classes (NameBase, NameBase2, ..., deepest extends Object), with an
+/// overridden virtual method dispatched through the direct base type.
+/// Depth 1 reproduces the historical two-class shape byte-for-byte.
+SeedClass genHierarchy(Rng &R, const std::string &Name,
+                       const SeedShape &S) {
   (void)R;
-  std::string Base = Name + "Base";
-  SeedBuilder BB(Base);
-  BB.defaultCtor();
-  BB.method("describe", "()Ljava/lang/String;", ACC_PUBLIC, 1, 1,
-            [&](CodeBuilder &CB) {
-              CB.pushString("base");
-              CB.emit(OP_areturn);
-            });
+  unsigned Depth = S.HierarchyDepth == 0 ? 1 : S.HierarchyDepth;
+  std::vector<std::string> Chain; // Chain[0] is Name's direct super.
+  for (unsigned K = 1; K <= Depth; ++K)
+    Chain.push_back(K == 1 ? Name + "Base"
+                           : Name + "Base" + std::to_string(K));
 
-  SeedBuilder B(Name, Base);
+  SeedClass Out;
+  Out.Name = Name;
+  for (unsigned K = 0; K != Depth; ++K) {
+    std::string Super =
+        K + 1 < Depth ? Chain[K + 1] : "java/lang/Object";
+    SeedBuilder BB(Chain[K], Super);
+    BB.defaultCtor();
+    BB.method("describe", "()Ljava/lang/String;", ACC_PUBLIC, 1, 1,
+              [&](CodeBuilder &CB) {
+                CB.pushString("base");
+                CB.emit(OP_areturn);
+              });
+    BB.applyShape(S);
+    Out.Helpers.emplace_back(Chain[K], BB.build());
+  }
+
+  SeedBuilder B(Name, Chain[0]);
   B.defaultCtor();
   B.method("describe", "()Ljava/lang/String;", ACC_PUBLIC, 1, 1,
            [&](CodeBuilder &CB) {
@@ -411,18 +534,19 @@ SeedClass genHierarchy(Rng &R, const std::string &Name) {
              CB.getStatic("java/lang/System", "out",
                           "Ljava/io/PrintStream;");
              CB.loadLocal('a', 1);
-             CB.invokeVirtual(Base, "describe", "()Ljava/lang/String;");
+             CB.invokeVirtual(Chain[0], "describe",
+                              "()Ljava/lang/String;");
              CB.invokeVirtual("java/io/PrintStream", "println",
                               "(Ljava/lang/String;)V");
              CB.emit(OP_return);
            });
-  SeedClass Out{Name, B.build(), {}};
-  Out.Helpers.emplace_back(Base, BB.build());
+  B.applyShape(S);
+  Out.Data = B.build();
   return Out;
 }
 
 /// checkcast / instanceof over the runtime hierarchy.
-SeedClass genCast(Rng &R, const std::string &Name) {
+SeedClass genCast(Rng &R, const std::string &Name, const SeedShape &S) {
   (void)R;
   SeedBuilder B(Name);
   B.defaultCtor();
@@ -450,11 +574,13 @@ SeedClass genCast(Rng &R, const std::string &Name) {
              CB.bind(End);
              CB.emit(OP_return);
            });
+  B.applyShape(S);
   return {Name, B.build(), {}};
 }
 
 /// Static helper methods invoked from main.
-SeedClass genStaticHelpers(Rng &R, const std::string &Name) {
+SeedClass genStaticHelpers(Rng &R, const std::string &Name,
+                           const SeedShape &S) {
   int NumHelpers = static_cast<int>(R.nextInRange(1, 3));
   SeedBuilder B(Name);
   B.defaultCtor();
@@ -477,11 +603,12 @@ SeedClass genStaticHelpers(Rng &R, const std::string &Name) {
              CB.invokeVirtual("java/io/PrintStream", "println", "(I)V");
              CB.emit(OP_return);
            });
+  B.applyShape(S);
   return {Name, B.build(), {}};
 }
 
 /// References a version-skewed library class: compatibility seed.
-SeedClass genSkewRef(Rng &R, const std::string &Name) {
+SeedClass genSkewRef(Rng &R, const std::string &Name, const SeedShape &S) {
   VersionSkewedClasses Skew = versionSkewedClasses();
   std::vector<std::string> Pool = Skew.Jre7Plus;
   Pool.insert(Pool.end(), Skew.Jre8Plus.begin(), Skew.Jre8Plus.end());
@@ -504,6 +631,7 @@ SeedClass genSkewRef(Rng &R, const std::string &Name) {
                               "(Ljava/lang/String;)V");
              CB.emit(OP_return);
            });
+  B.applyShape(S);
   return {Name, B.build(), {}};
 }
 
@@ -523,7 +651,7 @@ const Gen SeedGenerators[] = {
 // ---- library corpus (preliminary study) ----------------------------------
 
 /// A plain library-like class: no main, a few members.
-SeedClass genLibPlain(Rng &R, const std::string &Name) {
+SeedClass genLibPlain(Rng &R, const std::string &Name, const SeedShape &S) {
   SeedBuilder B(Name);
   B.defaultCtor();
   int NumFields = static_cast<int>(R.nextInRange(0, 4));
@@ -533,23 +661,27 @@ SeedClass genLibPlain(Rng &R, const std::string &Name) {
     CB.pushInt(static_cast<int32_t>(R.nextInRange(0, 50)));
     CB.emit(OP_ireturn);
   });
+  B.applyShape(S);
   return {Name, B.build(), {}};
 }
 
 /// Library class extending the EnumEditor whose final-ness changed in
 /// jre8 (VerifyError on jre8+ profiles, NoClassDefFoundError where the
 /// parent is absent).
-SeedClass genLibFinalSub(Rng &R, const std::string &Name) {
+SeedClass genLibFinalSub(Rng &R, const std::string &Name,
+                         const SeedShape &S) {
   (void)R;
   VersionSkewedClasses Skew = versionSkewedClasses();
   SeedBuilder B(Name, Skew.FinalizedClass);
   B.defaultCtor();
+  B.applyShape(S);
   return {Name, B.build(), {}};
 }
 
 /// Library class referencing a sun/* internal (gone in jre9) or a
 /// jre7+/jre8+ addition via its superclass.
-SeedClass genLibSkewSuper(Rng &R, const std::string &Name) {
+SeedClass genLibSkewSuper(Rng &R, const std::string &Name,
+                          const SeedShape &S) {
   VersionSkewedClasses Skew = versionSkewedClasses();
   std::vector<std::string> Pool = Skew.RemovedInJre9;
   // Only concrete classes can serve as superclasses.
@@ -558,12 +690,14 @@ SeedClass genLibSkewSuper(Rng &R, const std::string &Name) {
     Super = "sun/misc/BASE64Encoder";
   SeedBuilder B(Name, Super);
   B.defaultCtor();
+  B.applyShape(S);
   return {Name, B.build(), {}};
 }
 
 /// Library interface.
-SeedClass genLibInterface(Rng &R, const std::string &Name) {
-  return genInterface(R, Name);
+SeedClass genLibInterface(Rng &R, const std::string &Name,
+                          const SeedShape &S) {
+  return genInterface(R, Name, S);
 }
 
 // One finalized-superclass user and one sun/*-internal user per 64
@@ -591,15 +725,33 @@ const Gen LibraryGenerators[] = {
 
 } // namespace
 
+SeedShape classfuzz::seedShapeForRound(size_t Round) {
+  SeedShape S;
+  if (Round == 0)
+    return S; // Neutral: round 0 keeps the historical corpus bytes.
+  S.CpPadding = static_cast<unsigned>((Round * 5) % 17);
+  S.HierarchyDepth = static_cast<unsigned>(1 + Round % 4);
+  S.ExceptionGeometry = static_cast<unsigned>(Round % 3);
+  S.AttributeSoup = static_cast<unsigned>((Round / 3) % 4);
+  return S;
+}
+
 std::vector<SeedClass> classfuzz::generateSeedCorpus(Rng &R, size_t Count) {
   std::vector<SeedClass> Out;
   Out.reserve(Count);
   constexpr size_t NumGens = sizeof(SeedGenerators) / sizeof(Gen);
+  std::unordered_set<std::string> Seen;
   for (size_t I = 0; I != Count; ++I) {
-    std::string Name =
-        "M" + std::to_string(1400000000 + R.nextBelow(99999999));
+    // Redraw on collision: the ~1e8 name space yields birthday
+    // collisions well within a 10-100x corpus, and duplicate names
+    // silently shadow each other on the class path. The common
+    // no-collision case consumes exactly one draw, as before.
+    std::string Name;
+    do {
+      Name = "M" + std::to_string(1400000000 + R.nextBelow(99999999));
+    } while (!Seen.insert(Name).second);
     Gen G = SeedGenerators[I % NumGens];
-    Out.push_back(G(R, Name));
+    Out.push_back(G(R, Name, seedShapeForRound(I / NumGens)));
   }
   return Out;
 }
@@ -613,7 +765,7 @@ std::vector<SeedClass> classfuzz::generateLibraryCorpus(Rng &R,
     std::string Name = "lib/pkg" + std::to_string(I % 16) + "/L" +
                        std::to_string(1000 + I);
     Gen G = LibraryGenerators[I % NumGens];
-    Out.push_back(G(R, Name));
+    Out.push_back(G(R, Name, seedShapeForRound(I / NumGens)));
   }
   return Out;
 }

@@ -40,7 +40,38 @@ struct SeedClass {
   std::vector<std::pair<std::string, Bytes>> Helpers;
 };
 
-/// Generates \p Count mutation seeds (valid, diverse classes).
+/// Structural parameters one generation round applies to every seed it
+/// produces. The corpus cycles through its generator table once per
+/// "round"; scaling the corpus 10-100x repeats the table with swept
+/// shapes instead of repeating identical structures.
+///
+/// Round 0 is pinned to the neutral shape, so the first table-length
+/// prefix of any corpus is byte-identical to the historical corpus
+/// (lineage replay and the analyzer golden depend on this).
+struct SeedShape {
+  /// Extra unreferenced Utf8 constants interned into the pool before
+  /// serialization (sweeps constant-pool size and index layout).
+  unsigned CpPadding = 0;
+  /// Length of the superclass chain genHierarchy builds above the seed
+  /// (1 = the historical single base class).
+  unsigned HierarchyDepth = 1;
+  /// genException's try/catch layout: 0 = single handler, 1 = two
+  /// sequential protected regions, 2 = one region with an extra
+  /// catch-all entry.
+  unsigned ExceptionGeometry = 0;
+  /// Unknown (silently-ignored) class-level attributes appended to the
+  /// classfile (sweeps the attribute table past the canonical set).
+  unsigned AttributeSoup = 0;
+};
+
+/// The deterministic shape sweep: round \p Round of corpus generation
+/// (Round = seed index / generator-table size). Round 0 is neutral.
+SeedShape seedShapeForRound(size_t Round);
+
+/// Generates \p Count mutation seeds (valid, diverse classes). Seed
+/// class names are drawn from the Rng and are guaranteed unique within
+/// one corpus (collisions redraw), so no seed silently shadows another
+/// on the class path at 10-100x scale.
 std::vector<SeedClass> generateSeedCorpus(Rng &R, size_t Count);
 
 /// Generates \p Count library-like classes for the preliminary study.

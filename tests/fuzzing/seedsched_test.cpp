@@ -1,0 +1,235 @@
+//===- tests/fuzzing/seedsched_test.cpp ------------------------------------===//
+//
+// The seed scheduler (fuzzing/SeedScheduler.h) and its campaign wiring.
+// The load-bearing property is the determinism contract: every policy
+// consumes exactly one nextBelow(entries()) per pick, so switching
+// --seed-sched never perturbs the Rng stream feeding mutator selection,
+// and the committed trajectory stays identical across --jobs values.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzzing/Campaign.h"
+#include "fuzzing/SeedScheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace classfuzz;
+
+namespace {
+
+Tracefile traceOf(std::initializer_list<uint32_t> Sites) {
+  Tracefile T;
+  for (uint32_t S : Sites)
+    T.addBranch(S, true);
+  return T;
+}
+
+CampaignConfig schedConfig(FuzzAlgorithm Algo, SeedSchedPolicy Policy,
+                           size_t Jobs, size_t Iterations = 150) {
+  CampaignConfig Config;
+  Config.Algo = Algo;
+  Config.Iterations = Iterations;
+  Config.RngSeed = 11;
+  Config.NumSeeds = 13;
+  Config.Jobs = Jobs;
+  Config.SeedSched = Policy;
+  return Config;
+}
+
+/// Trajectory equality plus the scheduler census.
+void expectIdenticalSchedResults(const CampaignResult &A,
+                                 const CampaignResult &B) {
+  ASSERT_EQ(A.Iterations, B.Iterations);
+  ASSERT_EQ(A.numGenerated(), B.numGenerated());
+  for (size_t I = 0; I != A.GenClasses.size(); ++I) {
+    EXPECT_EQ(A.GenClasses[I].Name, B.GenClasses[I].Name);
+    EXPECT_EQ(A.GenClasses[I].Data, B.GenClasses[I].Data);
+    EXPECT_EQ(A.GenClasses[I].MutatorIndex, B.GenClasses[I].MutatorIndex);
+  }
+  EXPECT_EQ(A.TestClassIndices, B.TestClassIndices);
+  EXPECT_EQ(A.MutatorSelected, B.MutatorSelected);
+  EXPECT_EQ(A.SchedDraws, B.SchedDraws);
+  EXPECT_EQ(A.SchedRareDraws, B.SchedRareDraws);
+  EXPECT_EQ(A.SchedEpochs, B.SchedEpochs);
+}
+
+} // namespace
+
+TEST(SeedSchedPolicyNames, ParseAndPrintRoundTrip) {
+  for (SeedSchedPolicy P :
+       {SeedSchedPolicy::Uniform, SeedSchedPolicy::Rare,
+        SeedSchedPolicy::Cluster}) {
+    SeedSchedPolicy Parsed;
+    ASSERT_TRUE(parseSeedSchedPolicy(seedSchedPolicyName(P), Parsed));
+    EXPECT_EQ(Parsed, P);
+  }
+  SeedSchedPolicy Out;
+  EXPECT_FALSE(parseSeedSchedPolicy("greedy", Out));
+  EXPECT_FALSE(parseSeedSchedPolicy("", Out));
+}
+
+TEST(SeedScheduler, UniformIsBitCompatibleWithChoiceIndex) {
+  // The uniform policy must reproduce the historical
+  // R.choiceIndex(Pool.size()) draw exactly -- same picks, same Rng
+  // state afterwards.
+  SeedScheduler::Options Opts;
+  SeedScheduler Sched(Opts);
+  for (uint32_t I = 0; I != 7; ++I)
+    Sched.addEntry(traceOf({I, I + 10}));
+  Sched.rebuild();
+  Rng A(42), B(42);
+  for (int I = 0; I != 200; ++I)
+    EXPECT_EQ(Sched.pick(A), B.choiceIndex(7));
+  EXPECT_EQ(A.state(), B.state());
+}
+
+TEST(SeedScheduler, EveryPolicyConsumesIdenticalDraws) {
+  // One nextBelow(entries()) per pick for every policy: after any
+  // number of picks the three Rng streams are in the same state, so
+  // whatever the campaign draws next is policy-independent.
+  std::vector<SeedScheduler> Scheds;
+  for (SeedSchedPolicy P :
+       {SeedSchedPolicy::Uniform, SeedSchedPolicy::Rare,
+        SeedSchedPolicy::Cluster}) {
+    SeedScheduler::Options Opts;
+    Opts.Policy = P;
+    Scheds.emplace_back(Opts);
+  }
+  for (SeedScheduler &S : Scheds) {
+    S.addEntry(traceOf({1, 2, 3}));
+    S.addEntry(traceOf({1, 2, 3}));
+    S.addEntry(traceOf({4}));
+    S.addEntry(traceOf({5, 6}));
+    S.addEntryNoCoverage();
+    for (int I = 0; I != 9; ++I)
+      S.noteTrace(traceOf({1, 2, 3}));
+    S.rebuild();
+  }
+  Rng U(9), Ra(9), Cl(9);
+  for (int I = 0; I != 300; ++I) {
+    size_t PU = Scheds[0].pick(U);
+    size_t PR = Scheds[1].pick(Ra);
+    size_t PC = Scheds[2].pick(Cl);
+    EXPECT_LT(PU, 5u);
+    EXPECT_LT(PR, 5u);
+    EXPECT_LT(PC, 5u);
+    ASSERT_EQ(U.state(), Ra.state());
+    ASSERT_EQ(U.state(), Cl.state());
+  }
+}
+
+TEST(SeedScheduler, RareRoutesAllMassToRareCoveringEntries) {
+  // Entry 0 covers a site folded once (rare at the default threshold);
+  // entry 1 covers only a site folded far past it. Largest-remainder
+  // apportionment then gives entry 0 both slots.
+  SeedScheduler::Options Opts;
+  Opts.Policy = SeedSchedPolicy::Rare;
+  SeedScheduler Sched(Opts);
+  Sched.addEntry(traceOf({100}));
+  Sched.addEntry(traceOf({200}));
+  Sched.noteTrace(traceOf({100}));
+  for (int I = 0; I != 50; ++I)
+    Sched.noteTrace(traceOf({200}));
+  Sched.rebuild();
+  EXPECT_GT(Sched.rareScore(0), 0u);
+  EXPECT_EQ(Sched.rareScore(1), 0u);
+  EXPECT_EQ(Sched.rareEntries(), 1u);
+  Rng R(3);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(Sched.pick(R), 0u);
+}
+
+TEST(SeedScheduler, RareWithNothingRareFallsBackToUniform) {
+  SeedScheduler::Options Opts;
+  Opts.Policy = SeedSchedPolicy::Rare;
+  Opts.RareThreshold = 2;
+  SeedScheduler Sched(Opts);
+  for (uint32_t I = 0; I != 4; ++I)
+    Sched.addEntry(traceOf({I}));
+  for (int Fold = 0; Fold != 8; ++Fold)
+    Sched.noteTrace(traceOf({0, 1, 2, 3}));
+  Sched.rebuild();
+  EXPECT_EQ(Sched.rareEntries(), 0u);
+  Rng A(5), B(5);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(Sched.pick(A), B.choiceIndex(4));
+}
+
+TEST(SeedScheduler, ClusterSplitsMassEquallyAcrossFingerprints) {
+  // Entries 0-2 share one coverage fingerprint, entry 3 has its own:
+  // two clusters, two slots each. The redundant trio shares its
+  // cluster's budget (round-robin -> entries 0 and 1), while entry 3
+  // fills its cluster's both slots -- half the total mass.
+  SeedScheduler::Options Opts;
+  Opts.Policy = SeedSchedPolicy::Cluster;
+  SeedScheduler Sched(Opts);
+  Sched.addEntry(traceOf({1, 2}));
+  Sched.addEntry(traceOf({1, 2}));
+  Sched.addEntry(traceOf({1, 2}));
+  Sched.addEntry(traceOf({9}));
+  Sched.rebuild();
+  EXPECT_EQ(Sched.clusters(), 2u);
+  Rng R(7);
+  size_t Counts[4] = {0, 0, 0, 0};
+  constexpr int Picks = 4000;
+  for (int I = 0; I != Picks; ++I)
+    ++Counts[Sched.pick(R)];
+  EXPECT_EQ(Counts[2], 0u) << "third redundant member gets no slot";
+  EXPECT_GT(Counts[3], Picks / 3) << "singleton cluster holds half the mass";
+  EXPECT_EQ(Counts[0] + Counts[1] + Counts[3], static_cast<size_t>(Picks));
+}
+
+TEST(SeedSchedCampaign, RareIsJobsInvariant) {
+  auto Seq = runCampaign(schedConfig(FuzzAlgorithm::ClassfuzzDdFine,
+                                     SeedSchedPolicy::Rare, 1));
+  auto Par = runCampaign(schedConfig(FuzzAlgorithm::ClassfuzzDdFine,
+                                     SeedSchedPolicy::Rare, 8));
+  expectIdenticalSchedResults(Seq, Par);
+  EXPECT_EQ(Seq.SchedDraws, Seq.Iterations);
+  EXPECT_GE(Seq.SchedEpochs, 1u);
+}
+
+TEST(SeedSchedCampaign, ClusterIsJobsInvariant) {
+  auto Seq = runCampaign(schedConfig(FuzzAlgorithm::ClassfuzzStBr,
+                                     SeedSchedPolicy::Cluster, 1));
+  auto Par = runCampaign(schedConfig(FuzzAlgorithm::ClassfuzzStBr,
+                                     SeedSchedPolicy::Cluster, 8));
+  expectIdenticalSchedResults(Seq, Par);
+  EXPECT_EQ(Seq.SchedDraws, Seq.Iterations);
+}
+
+TEST(SeedSchedCampaign, RareWorksWithoutFrontierTracking) {
+  // The scheduler owns its hit-count table; --frontier is not required.
+  CampaignConfig Config = schedConfig(FuzzAlgorithm::ClassfuzzDdFine,
+                                      SeedSchedPolicy::Rare, 1, 80);
+  ASSERT_FALSE(Config.TrackFrontier);
+  auto R = runCampaign(Config);
+  EXPECT_EQ(R.SchedDraws, R.Iterations);
+  EXPECT_GE(R.SchedEpochs, 1u);
+}
+
+TEST(SeedSchedCampaign, RandfuzzDegradesToUniform) {
+  // randfuzz never collects coverage, so a learned policy has no signal
+  // to learn from; the campaign runs it as uniform and no draw is ever
+  // attributed to a rare entry.
+  auto Rare = runCampaign(
+      schedConfig(FuzzAlgorithm::Randfuzz, SeedSchedPolicy::Rare, 1, 100));
+  auto Uniform = runCampaign(schedConfig(FuzzAlgorithm::Randfuzz,
+                                         SeedSchedPolicy::Uniform, 1, 100));
+  expectIdenticalSchedResults(Rare, Uniform);
+  EXPECT_EQ(Rare.SchedRareDraws, 0u);
+  EXPECT_EQ(Rare.SchedDraws, Rare.Iterations);
+}
+
+TEST(SeedSchedCampaign, UniformMatchesThePreSchedulerTrajectory) {
+  // Sanity pin: the uniform policy must be a pure refactor of the old
+  // R.choiceIndex(Pool.size()) pick -- same classes out, for the exact
+  // config the parallel determinism suite runs.
+  auto A = runCampaign(schedConfig(FuzzAlgorithm::ClassfuzzStBr,
+                                   SeedSchedPolicy::Uniform, 1));
+  auto B = runCampaign(schedConfig(FuzzAlgorithm::ClassfuzzStBr,
+                                   SeedSchedPolicy::Uniform, 4));
+  expectIdenticalSchedResults(A, B);
+}

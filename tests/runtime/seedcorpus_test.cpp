@@ -2,15 +2,45 @@
 
 #include "../TestHelpers.h"
 #include "classfile/ClassReader.h"
+#include "fuzzing/Provenance.h"
 #include "jvm/Phase.h"
+#include "runtime/RuntimeLib.h"
 #include "runtime/SeedCorpus.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <string>
+#include <vector>
 
 using namespace classfuzz;
 using namespace classfuzz::testhelpers;
+
+namespace {
+
+/// True when \p Data mentions \p Needle (constant-pool Utf8 bytes are
+/// stored verbatim, so a referenced class name is a substring).
+bool mentions(const Bytes &Data, const std::string &Needle) {
+  return std::search(Data.begin(), Data.end(), Needle.begin(),
+                     Needle.end()) != Data.end();
+}
+
+/// Seeds that reference a version-skewed runtime class (the genSkewRef
+/// kind): exactly the seeds whose bytes mention a skew-pool name.
+bool isSkewRefSeed(const SeedClass &S) {
+  VersionSkewedClasses Skew = versionSkewedClasses();
+  std::vector<std::string> Pool = Skew.Jre7Plus;
+  Pool.insert(Pool.end(), Skew.Jre8Plus.begin(), Skew.Jre8Plus.end());
+  Pool.insert(Pool.end(), Skew.RemovedInJre9.begin(),
+              Skew.RemovedInJre9.end());
+  for (const std::string &Target : Pool)
+    if (mentions(S.Data, Target))
+      return true;
+  return false;
+}
+
+} // namespace
 
 TEST(SeedCorpus, DeterministicForEqualSeeds) {
   Rng A(100), B(100);
@@ -81,4 +111,123 @@ TEST(SeedCorpus, LibraryCorpusContainsSkewReferences) {
   }
   EXPECT_GT(Skewed, 0) << "some library classes reference skewed classes";
   EXPECT_LT(Skewed, 30) << "but only a small fraction";
+}
+
+TEST(SeedCorpus, TenThousandSeedsHaveNoDuplicateNames) {
+  // The name draw retries until unique: a ~1e8 namespace yields
+  // birthday collisions well within a 10-100x corpus, and duplicate
+  // names silently shadow each other on the class path.
+  Rng R(77);
+  auto Seeds = generateSeedCorpus(R, 10000);
+  std::set<std::string> Names;
+  for (const SeedClass &S : Seeds)
+    Names.insert(S.Name);
+  EXPECT_EQ(Names.size(), Seeds.size());
+}
+
+TEST(SeedCorpus, SkewRefCadenceHoldsAcrossCorpusScales) {
+  // One version-skew-referencing seed per generator cycle of 25, at
+  // corpus-scale 1, 10, and 100 alike: the parameter sweep must not
+  // disturb the paper's ~3% compatibility-discrepancy rate.
+  for (size_t Count : {25u, 250u, 2500u}) {
+    Rng R(21);
+    auto Seeds = generateSeedCorpus(R, Count);
+    size_t SkewRefs = 0;
+    for (const SeedClass &S : Seeds)
+      SkewRefs += isSkewRefSeed(S) ? 1 : 0;
+    EXPECT_EQ(SkewRefs, Count / 25) << "at corpus size " << Count;
+  }
+}
+
+TEST(SeedCorpus, LibraryCadencesHoldAcrossCorpusScales) {
+  // Per 64 library classes: one finalized-superclass user, one sun/*
+  // internal user; per 16: one interface. Scaling the corpus must keep
+  // the preliminary study's skew background rate.
+  VersionSkewedClasses Skew = versionSkewedClasses();
+  for (size_t Count : {64u, 640u}) {
+    Rng R(31);
+    auto Lib = generateLibraryCorpus(R, Count);
+    size_t FinalSubs = 0, SkewSupers = 0, Interfaces = 0;
+    for (const SeedClass &S : Lib) {
+      auto CF = parseClassFile(S.Data);
+      ASSERT_TRUE(CF.ok()) << S.Name;
+      if (CF->SuperClass == Skew.FinalizedClass)
+        ++FinalSubs;
+      else if (CF->SuperClass.rfind("sun/", 0) == 0)
+        ++SkewSupers;
+      if (CF->AccessFlags & ACC_INTERFACE)
+        ++Interfaces;
+    }
+    EXPECT_EQ(FinalSubs, Count / 64) << "at corpus size " << Count;
+    EXPECT_EQ(SkewSupers, Count / 64) << "at corpus size " << Count;
+    EXPECT_EQ(Interfaces, Count / 16) << "at corpus size " << Count;
+  }
+}
+
+TEST(SeedCorpus, ScaledCorpusKeepsTheRoundZeroPrefix) {
+  // The first generator cycle of a scaled corpus is byte-identical to
+  // an unscaled corpus: round 0 uses the neutral SeedShape, and the
+  // name/parameter draws consume the Rng stream in the same order.
+  Rng Small(3), Large(3);
+  auto Base = generateSeedCorpus(Small, 25);
+  auto Scaled = generateSeedCorpus(Large, 50);
+  ASSERT_GE(Scaled.size(), Base.size());
+  for (size_t I = 0; I != Base.size(); ++I) {
+    EXPECT_EQ(Scaled[I].Name, Base[I].Name);
+    EXPECT_EQ(Scaled[I].Data, Base[I].Data);
+    EXPECT_EQ(Scaled[I].Helpers, Base[I].Helpers);
+  }
+}
+
+TEST(SeedCorpus, LaterRoundShapesDifferButParse) {
+  // Rounds past 0 sweep constant-pool padding, hierarchy depth,
+  // exception-table geometry, and attribute soup; every swept seed
+  // still parses, and at least one differs from its round-0 sibling.
+  Rng R(41);
+  auto Seeds = generateSeedCorpus(R, 100);
+  size_t Divergent = 0;
+  for (size_t I = 25; I != Seeds.size(); ++I) {
+    auto CF = parseClassFile(Seeds[I].Data);
+    ASSERT_TRUE(CF.ok()) << Seeds[I].Name;
+    if (Seeds[I].Data.size() != Seeds[I % 25].Data.size())
+      ++Divergent;
+  }
+  EXPECT_GT(Divergent, 50u) << "the sweep must actually change shapes";
+}
+
+TEST(SeedCorpus, RebuildRoundTripsAScaledCorpus) {
+  // Provenance replay regenerates the corpus from (RngSeed, NumSeeds);
+  // a scaled corpus must come back byte-for-byte.
+  CampaignEnvSpec Spec;
+  Spec.RngSeed = 97;
+  Spec.NumSeeds = 200;
+  auto Rebuilt = rebuildSeedCorpus(Spec);
+  ASSERT_TRUE(Rebuilt.ok());
+  Rng R(97);
+  auto Direct = generateSeedCorpus(R, 200);
+  ASSERT_EQ(Rebuilt->size(), Direct.size());
+  for (size_t I = 0; I != Direct.size(); ++I) {
+    EXPECT_EQ((*Rebuilt)[I].Name, Direct[I].Name);
+    EXPECT_EQ((*Rebuilt)[I].Data, Direct[I].Data);
+    EXPECT_EQ((*Rebuilt)[I].Helpers, Direct[I].Helpers);
+  }
+}
+
+TEST(SeedCorpus, SweptRoundSeedsRunOnHotSpot) {
+  // Rounds 1-2 (seeds 25..74) keep the HotSpot health bar of the
+  // round-0 corpus: no seed may fail loading, linking, or init.
+  Rng R(7);
+  auto Seeds = generateSeedCorpus(R, 75);
+  int Other = 0;
+  for (size_t I = 25; I != Seeds.size(); ++I) {
+    const SeedClass &Seed = Seeds[I];
+    std::vector<std::pair<std::string, Bytes>> Extra = {
+        {Seed.Name, Seed.Data}};
+    for (const auto &H : Seed.Helpers)
+      Extra.push_back(H);
+    JvmResult Res = runOn(makeHotSpot8Policy(), Extra, Seed.Name);
+    if (!Res.Invoked && encodePhase(Res) != 4)
+      ++Other;
+  }
+  EXPECT_EQ(Other, 0) << "no swept seed fails loading/linking/init";
 }

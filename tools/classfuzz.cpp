@@ -94,6 +94,8 @@ int usage(std::FILE *To) {
       "                    [--criterion st|stbr|tr|dd-coarse|dd-fine]\n"
       "                    [--iterations N | --time-budget SECONDS]\n"
       "                    [--seeds N | --seed-dir DIR] [--rng N]\n"
+      "                    [--corpus-scale N]\n"
+      "                    [--seed-sched uniform|rare|cluster]\n"
       "                    [--jobs N] [--out DIR] [--progress SECONDS]\n"
       "                    [--tier switch|threaded|baseline] [--tier-diff]\n"
       "                    [--incidents DIR] [--flightrec N] [--reduce]\n"
@@ -113,6 +115,7 @@ int usage(std::FILE *To) {
       "  classfuzz reduce  FILE.class [--out FILE] [--reduce-jobs N]\n"
       "                    [--max-queries N] [--no-chunks]\n"
       "  classfuzz seeds   --out DIR [--seeds N] [--rng N]\n"
+      "                    [--corpus-scale N]\n"
       "  classfuzz mutators\n"
       "  classfuzz report  TIMESERIES.jsonl [--stats FILE]\n"
       "                    [--frontier FILE] [--out FILE] [--title T]\n"
@@ -302,6 +305,16 @@ int cmdFuzz(int Argc, char **Argv) {
            {"time-budget", "SECONDS",
             "wall-clock budget (overrides --iterations)", ""},
            {"seeds", "N", "generated seed-corpus size", "64"},
+           {"corpus-scale", "N",
+            "multiply the generated corpus by N (parameterized "
+            "generators sweep constant-pool shape, hierarchy depth, "
+            "exception-table geometry, and attribute soup per round)",
+            "1"},
+           {"seed-sched", "P",
+            "seed-selection policy over the mutation pool: "
+            "uniform|rare|cluster (rare/cluster need coverage, so not "
+            "--algo rand)",
+            "uniform"},
            {"seed-dir", "DIR", "seed with the .class files of DIR", ""},
            {"rng", "N", "campaign RNG seed", "1"},
            {"jobs", "N",
@@ -355,7 +368,7 @@ int cmdFuzz(int Argc, char **Argv) {
             "hit-count + first-hit-attribution census to FILE as JSONL",
             ""},
            {"rare-threshold", "N",
-            "a frontier branch/stmt is rare while its hits <= N", "4"},
+            "a frontier branch/stmt is rare while its hits <= N", "2"},
            {"plateau-window", "N",
             "latch campaign.plateau_at when N consecutive committed "
             "iterations discover nothing new (0 = off)",
@@ -391,7 +404,28 @@ int cmdFuzz(int Argc, char **Argv) {
     Config.TimeBudgetSeconds = A.getDouble("time-budget");
   else
     Config.Iterations = static_cast<size_t>(A.getUnsigned("iterations"));
-  Config.NumSeeds = static_cast<size_t>(A.getUnsigned("seeds"));
+  const size_t CorpusScale =
+      std::max<size_t>(1, static_cast<size_t>(A.getUnsigned("corpus-scale")));
+  Config.NumSeeds =
+      static_cast<size_t>(A.getUnsigned("seeds")) * CorpusScale;
+  if (!parseSeedSchedPolicy(A.get("seed-sched"), Config.SeedSched)) {
+    std::fprintf(stderr,
+                 "unknown --seed-sched %s (expected "
+                 "uniform|rare|cluster)\n",
+                 A.get("seed-sched").c_str());
+    return 2;
+  }
+  if (Config.SeedSched != SeedSchedPolicy::Uniform &&
+      Config.Algo == FuzzAlgorithm::Randfuzz) {
+    // rand collects no coverage at all, so there is nothing for the
+    // learned policies to score. (No --frontier requirement, though:
+    // the scheduler keeps its own hit-count table.)
+    std::fprintf(stderr,
+                 "--seed-sched %s needs coverage; --algo rand never "
+                 "collects any\n",
+                 seedSchedPolicyName(Config.SeedSched));
+    return 2;
+  }
   Config.RngSeed = A.getUnsigned("rng");
   // Worker threads for the campaign pipeline; results are identical
   // across --jobs values for a fixed --rng seed.
@@ -482,6 +516,12 @@ int cmdFuzz(int Argc, char **Argv) {
                 "%zu produced mutants, %zu distinct categories\n",
                 R.TierDisagreements, R.numGenerated(), TierCategories);
   }
+  if (Config.SeedSched != SeedSchedPolicy::Uniform)
+    std::printf("sched: policy=%s, %llu draws (%llu rare), %llu epochs\n",
+                seedSchedPolicyName(Config.SeedSched),
+                static_cast<unsigned long long>(R.SchedDraws),
+                static_cast<unsigned long long>(R.SchedRareDraws),
+                static_cast<unsigned long long>(R.SchedEpochs));
   if (R.Plateaued)
     std::printf("plateau: no discoveries over a %zu-commit window; "
                 "latched at iteration %llu%s\n",
@@ -1013,6 +1053,10 @@ int cmdSeeds(int Argc, char **Argv) {
               {{"out", "DIR", "directory to write the .class files into",
                 ""},
                {"seeds", "N", "seed-corpus size", "8"},
+               {"corpus-scale", "N",
+                "multiply the corpus by N (each generator-table round "
+                "sweeps a different structural shape)",
+                "1"},
                {"rng", "N", "corpus RNG seed", "1"}});
   int Exit = 0;
   if (!parseOrExit(A, Argc, Argv, Exit))
@@ -1030,8 +1074,10 @@ int cmdSeeds(int Argc, char **Argv) {
     return 1;
   }
   Rng R(A.getUnsigned("rng"));
-  auto Seeds =
-      generateSeedCorpus(R, static_cast<size_t>(A.getUnsigned("seeds")));
+  const size_t SeedScale =
+      std::max<size_t>(1, static_cast<size_t>(A.getUnsigned("corpus-scale")));
+  auto Seeds = generateSeedCorpus(
+      R, static_cast<size_t>(A.getUnsigned("seeds")) * SeedScale);
   size_t Written = 0;
   auto Dump = [&](const std::string &Name, const Bytes &Data) {
     // Seed names contain no '/', but keep the mapping safe anyway.
