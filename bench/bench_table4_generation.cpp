@@ -26,6 +26,7 @@
 
 #include "difftest/DiffTest.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
@@ -166,5 +167,111 @@ int main() {
   }
   std::printf("\nPASS: [dd-fine] yield %.2f/1k >= [stbr] yield %.2f/1k\n",
               DdFineYield, StBrYield);
+
+  // ---- Typed mutation: analyzer-steered pool vs the untyped baseline ----
+  //
+  // Same fixed-seed dd-fine protocol, with the typed mutator family and
+  // the deep-phase MCMC reward switched on. The steering claim is that
+  // type-aware near-misses get *past* loading/linking more often (deep
+  // reach: completed normally or died at initialization/runtime) while
+  // costing nothing in discrepancy yield. A third run adds the
+  // analyzer-gated pre-filter at full audit, checking its skip rate and
+  // that no audited skip contradicts the reference VM.
+  // Distinct-category counts are coarse below ~700 iterations (a
+  // handful of categories decides the comparison), so this section
+  // keeps a floor on its budget even when CLASSFUZZ_BENCH_SCALE shrinks
+  // the table runs, and re-runs the untyped baseline at the same
+  // budget so the arms stay paired.
+  const size_t TypedIterations = std::max<size_t>(directedIterations(), 700);
+
+  std::fprintf(stderr, "running dd-fine untyped baseline (fixed seed)...\n");
+  CampaignConfig UntypedConfig = configFor(FuzzAlgorithm::ClassfuzzDdFine);
+  UntypedConfig.Iterations = TypedIterations;
+  CampaignResult Untyped = runCampaign(UntypedConfig);
+
+  std::fprintf(stderr, "running dd-fine+typed (fixed seed)...\n");
+  CampaignConfig TypedConfig = UntypedConfig;
+  TypedConfig.TypedMutators = true;
+  TypedConfig.DeepRewardWeight = 0.5;
+  CampaignResult Typed = runCampaign(TypedConfig);
+
+  std::fprintf(stderr, "running dd-fine+typed+prefilter (fixed seed)...\n");
+  CampaignConfig PrefilterConfig = TypedConfig;
+  PrefilterConfig.Prefilter = true;
+  PrefilterConfig.PrefilterAudit = 1.0;
+  CampaignResult Filtered = runCampaign(PrefilterConfig);
+
+  auto deepFraction = [](const CampaignResult &R) {
+    size_t Deep = 0, Executed = 0;
+    for (const GeneratedClass &G : R.GenClasses) {
+      if (G.RefPhase < 0)
+        continue; // Prefilter-skipped: never executed.
+      ++Executed;
+      Deep += G.RefPhase == 0 || G.RefPhase >= 3;
+    }
+    return Executed ? static_cast<double>(Deep) /
+                          static_cast<double>(Executed)
+                    : 0.0;
+  };
+
+  std::printf("\nTyped mutation (dd-fine, fixed seed %llu)\n",
+              static_cast<unsigned long long>(CampaignRngSeed));
+  rule(28 + 16 * 3);
+  std::printf("%-28s%16s%16s%16s\n", "", "untyped", "typed",
+              "typed+filter");
+  std::printf("%-28s%16zu%16zu%16zu\n", "|GenClasses|",
+              Untyped.numGenerated(), Typed.numGenerated(),
+              Filtered.numGenerated());
+  std::printf("%-28s%15.1f%%%15.1f%%%15.1f%%\n", "deep-phase reach",
+              100.0 * deepFraction(Untyped), 100.0 * deepFraction(Typed),
+              100.0 * deepFraction(Filtered));
+  std::printf("%-28s%16.2f%16.2f%16.2f\n", "discrepancies per 1k",
+              per1k(Untyped.ddDistinctDiscrepancies(), Untyped.Iterations),
+              per1k(Typed.ddDistinctDiscrepancies(), Typed.Iterations),
+              per1k(Filtered.ddDistinctDiscrepancies(),
+                    Filtered.Iterations));
+  double SkipRate =
+      Filtered.numGenerated()
+          ? static_cast<double>(Filtered.PrefilterSkipped) /
+                static_cast<double>(Filtered.numGenerated())
+          : 0.0;
+  std::printf("%-28s%16s%16s%15.1f%%\n", "prefilter skip rate", "-", "-",
+              100.0 * SkipRate);
+  std::printf("%-28s%16s%16s%16llu\n", "prefilter mispredicts", "-", "-",
+              static_cast<unsigned long long>(Filtered.PrefilterMispredicts));
+
+  // CI gates: the typed pool must push more mutants past loading and
+  // linking without losing discrepancy yield, and the pre-filter must
+  // earn its keep (>= 20% skipped) without a single audited mispredict.
+  if (deepFraction(Typed) <= deepFraction(Untyped)) {
+    std::printf("\nFAIL: typed deep reach %.1f%% <= untyped %.1f%%\n",
+                100.0 * deepFraction(Typed), 100.0 * deepFraction(Untyped));
+    return 1;
+  }
+  double UntypedYield =
+      per1k(Untyped.ddDistinctDiscrepancies(), Untyped.Iterations);
+  double TypedYield =
+      per1k(Typed.ddDistinctDiscrepancies(), Typed.Iterations);
+  if (TypedYield < UntypedYield) {
+    std::printf("\nFAIL: typed yield %.2f/1k < untyped yield %.2f/1k\n",
+                TypedYield, UntypedYield);
+    return 1;
+  }
+  if (SkipRate < 0.20) {
+    std::printf("\nFAIL: prefilter skipped only %.1f%% (< 20%%)\n",
+                100.0 * SkipRate);
+    return 1;
+  }
+  if (Filtered.PrefilterMispredicts != 0) {
+    std::printf("\nFAIL: %llu audited prefilter mispredicts\n",
+                static_cast<unsigned long long>(
+                    Filtered.PrefilterMispredicts));
+    return 1;
+  }
+  std::printf("\nPASS: typed deep reach %.1f%% > untyped %.1f%%, yield "
+              "%.2f/1k >= %.2f/1k, prefilter skipped %.1f%% with 0 "
+              "mispredicts\n",
+              100.0 * deepFraction(Typed), 100.0 * deepFraction(Untyped),
+              TypedYield, UntypedYield, 100.0 * SkipRate);
   return 0;
 }

@@ -512,6 +512,21 @@ StaticAnalyzer::predictStartupOutcome(const std::string &Name,
 
 void StaticAnalyzer::addEnvironmentClass(const std::string &Name,
                                          Bytes Data) {
+  // Capture the hierarchy edges this redefinition rewires before the
+  // caches forget them: sibling sets keyed off both the old and the
+  // new parent change. Only needed once typed holes are in play --
+  // any sibling query builds the children index, which parses every
+  // env class into EnvCache, so the old parent is always on hand.
+  std::string OldParent;
+  std::string NewParent;
+  if (Children || !HoleMemos.empty()) {
+    if (auto CacheIt = EnvCache.find(Name);
+        CacheIt != EnvCache.end() && CacheIt->second.CF)
+      OldParent = CacheIt->second.CF->SuperClass;
+    if (auto Parsed = parseClassFile(Data); Parsed.ok())
+      NewParent = Parsed.take().SuperClass;
+  }
+
   Env.add(Name, std::move(Data));
   EnvCache.erase(Name);
   // Touched records every environment lookup -- hits and misses alike
@@ -523,6 +538,96 @@ void StaticAnalyzer::addEnvironmentClass(const std::string &Name,
     else
       ++It;
   }
+  // Same contract for hole memos, plus the sibling dimension: a hole
+  // list is stale when its extraction ever queried the children of the
+  // class's old or new superclass.
+  for (auto It = HoleMemos.begin(); It != HoleMemos.end();) {
+    const HoleMemo &M = It->second;
+    bool Stale = M.Touched.contains(Name) ||
+                 (!OldParent.empty() && M.SiblingParents.contains(OldParent)) ||
+                 (!NewParent.empty() && M.SiblingParents.contains(NewParent));
+    if (Stale)
+      It = HoleMemos.erase(It);
+    else
+      ++It;
+  }
+  if (Children) {
+    if (!OldParent.empty()) {
+      auto It = Children->find(OldParent);
+      if (It != Children->end())
+        std::erase(It->second, Name);
+    }
+    if (!NewParent.empty()) {
+      std::vector<std::string> &Kids = (*Children)[NewParent];
+      auto Pos = std::lower_bound(Kids.begin(), Kids.end(), Name);
+      if (Pos == Kids.end() || *Pos != Name)
+        Kids.insert(Pos, Name);
+    }
+  }
+}
+
+const std::map<std::string, std::vector<std::string>> &
+StaticAnalyzer::childrenIndex() const {
+  if (!Children) {
+    Children.emplace();
+    // names() is sorted, so every child list comes out sorted too.
+    for (const std::string &Name : Env.names()) {
+      const EnvClassInfo &Info = envClassInfo(Name);
+      if (Info.CF && !Info.CF->SuperClass.empty())
+        (*Children)[Info.CF->SuperClass].push_back(Name);
+    }
+  }
+  return *Children;
+}
+
+HoleEnv StaticAnalyzer::holeEnv(std::set<std::string> *Touched,
+                                std::set<std::string> *SiblingParents) const {
+  HoleEnv E;
+  E.Siblings = [this, Touched,
+                SiblingParents](const std::string &Name) {
+    if (Touched)
+      Touched->insert(Name);
+    const EnvClassInfo &Info = envClassInfo(Name);
+    if (!Info.CF || Info.CF->SuperClass.empty())
+      return std::vector<std::string>();
+    const std::string &Parent = Info.CF->SuperClass;
+    if (SiblingParents)
+      SiblingParents->insert(Parent);
+    std::vector<std::string> Out;
+    auto It = childrenIndex().find(Parent);
+    if (It != childrenIndex().end())
+      for (const std::string &Kid : It->second)
+        if (Kid != Name)
+          Out.push_back(Kid);
+    return Out;
+  };
+  return E;
+}
+
+const TypedHoleList &
+StaticAnalyzer::typedHoles(const std::string &Name) const {
+  auto It = HoleMemos.find(Name);
+  if (It != HoleMemos.end())
+    return It->second.Holes;
+  HoleMemo Entry;
+  Entry.Touched.insert(Name);
+  const EnvClassInfo &Info = envClassInfo(Name);
+  if (Info.CF)
+    Entry.Holes = extractTypedHoles(
+        *Info.CF, holeEnv(&Entry.Touched, &Entry.SiblingParents));
+  return HoleMemos.emplace(Name, std::move(Entry)).first->second.Holes;
+}
+
+TypedHoleList StaticAnalyzer::typedHolesFor(const std::string &Name,
+                                            const Bytes &Data) const {
+  (void)Name; // The overlay name never feeds sibling queries: holes
+              // skip self-references, so only referenced classes --
+              // which live in the environment -- are looked up.
+  auto Parsed = parseClassFile(Data);
+  if (!Parsed.ok())
+    return {};
+  ClassFile CF = Parsed.take();
+  return extractTypedHoles(CF, holeEnv(nullptr, nullptr));
 }
 
 //===----------------------------------------------------------------------===//

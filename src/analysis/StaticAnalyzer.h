@@ -36,6 +36,7 @@
 #define CLASSFUZZ_ANALYSIS_STATICANALYZER_H
 
 #include "analysis/Diagnostics.h"
+#include "analysis/TypedHoles.h"
 #include "jvm/ClassPath.h"
 #include "jvm/FormatChecker.h"
 #include "jvm/JvmTypes.h"
@@ -120,6 +121,17 @@ public:
   StartupPrediction predictStartupOutcome(const std::string &Name,
                                           const Bytes &Data) const;
 
+  /// Typed mutation sites of an environment class, memoized per name.
+  /// Same invalidation contract as the chain memo: addEnvironmentClass
+  /// drops every hole list whose extraction touched the redefined name
+  /// or whose sibling sets hang off the class's old or new superclass.
+  const TypedHoleList &typedHoles(const std::string &Name) const;
+
+  /// Typed mutation sites of \p Data (shadowing \p Name in the
+  /// environment, like analyzeClass runs on a mutant). Unmemoized.
+  TypedHoleList typedHolesFor(const std::string &Name,
+                              const Bytes &Data) const;
+
   /// Renders \p Report with a javap-style dump of \p Data (annotated
   /// output for `classfuzz analyze --print`).
   static std::string renderAnnotated(const AnalysisReport &Report,
@@ -150,8 +162,29 @@ private:
     std::optional<CheckFailure> FormatFailure;
   };
   struct SimState;
+  /// Memoized typed-hole extraction for one environment class, plus
+  /// the names the extraction looked up (Touched) and the parents
+  /// whose child sets fed sibling alternatives (SiblingParents) --
+  /// together the exact invalidation footprint.
+  struct HoleMemo {
+    TypedHoleList Holes;
+    std::set<std::string> Touched;
+    std::set<std::string> SiblingParents;
+  };
 
   const EnvClassInfo &envClassInfo(const std::string &Name) const;
+
+  /// The env's parent -> sorted children map, built lazily on the
+  /// first sibling query and updated incrementally by
+  /// addEnvironmentClass.
+  const std::map<std::string, std::vector<std::string>> &
+  childrenIndex() const;
+
+  /// A HoleEnv whose sibling callback serves from childrenIndex() and
+  /// records every touched name / queried parent into the given sets
+  /// (either may be null).
+  HoleEnv holeEnv(std::set<std::string> *Touched,
+                  std::set<std::string> *SiblingParents) const;
 
   /// \p CF, when given, is \p Data already parsed (skips a re-parse);
   /// \p FirstVerifyFailure, when given, is the precomputed result of
@@ -195,6 +228,12 @@ private:
   /// pointers into it survive later insertions). Invalidated per-name
   /// by addEnvironmentClass.
   mutable std::map<std::string, EnvClassInfo> EnvCache;
+  /// Typed-hole memo for environment classes, keyed by name.
+  mutable std::map<std::string, HoleMemo> HoleMemos;
+  /// Lazily built parent -> sorted children hierarchy index over the
+  /// environment (nullopt until the first sibling query).
+  mutable std::optional<std::map<std::string, std::vector<std::string>>>
+      Children;
 };
 
 } // namespace classfuzz

@@ -1,0 +1,366 @@
+//===- analysis/TypedHoles.cpp - Typed mutation sites --------------------===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/TypedHoles.h"
+
+#include "analysis/CpGraph.h"
+#include "classfile/ClassFile.h"
+#include "classfile/Descriptor.h"
+#include "jvm/VerifierLattice.h"
+#include "telemetry/Telemetry.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace classfuzz;
+
+namespace {
+
+/// Caps every hole's near-miss set so sibling-rich hierarchies (the
+/// runtime library roots dozens of classes under Object) stay compact.
+constexpr size_t MaxAlternatives = 8;
+
+void capAlternatives(std::vector<std::string> &Alts) {
+  if (Alts.size() > MaxAlternatives)
+    Alts.resize(MaxAlternatives);
+}
+
+/// The confusable twin of a loadable constant tag: same operand width
+/// (Integer/Float share one slot, Long/Double two) or same symbolic
+/// payload (String/Class both name a Utf8).
+const char *confusableTag(CpTag Tag) {
+  switch (Tag) {
+  case CpTag::Integer:
+    return "Float";
+  case CpTag::Float:
+    return "Integer";
+  case CpTag::Long:
+    return "Double";
+  case CpTag::Double:
+    return "Long";
+  case CpTag::String:
+    return "Class";
+  case CpTag::Class:
+    return "String";
+  default:
+    return nullptr;
+  }
+}
+
+/// Lattice-adjacent / plausibly-confused near-miss types for one
+/// descriptor position. Deterministic; never yields \p T itself.
+std::vector<JType> nearMissTypes(const JType &T, const HoleEnv &Env) {
+  std::vector<JType> Out;
+  if (T.ArrayDims > 0) {
+    JType Fewer = T;
+    Fewer.ArrayDims = static_cast<uint8_t>(T.ArrayDims - 1);
+    if (!(Fewer.ArrayDims == 0 && Fewer.Kind == TypeKind::Void))
+      Out.push_back(Fewer);
+    JType More = T;
+    More.ArrayDims = static_cast<uint8_t>(T.ArrayDims + 1);
+    Out.push_back(More);
+    return Out;
+  }
+  switch (T.Kind) {
+  case TypeKind::Void:
+    Out.push_back(intType());
+    break;
+  case TypeKind::Boolean:
+    Out.push_back(JType{TypeKind::Byte, 0, ""});
+    Out.push_back(intType());
+    break;
+  case TypeKind::Byte:
+    Out.push_back(JType{TypeKind::Short, 0, ""});
+    Out.push_back(JType{TypeKind::Boolean, 0, ""});
+    break;
+  case TypeKind::Char:
+    Out.push_back(JType{TypeKind::Short, 0, ""});
+    Out.push_back(intType());
+    break;
+  case TypeKind::Short:
+    Out.push_back(intType());
+    Out.push_back(JType{TypeKind::Byte, 0, ""});
+    break;
+  case TypeKind::Int:
+    Out.push_back(JType{TypeKind::Long, 0, ""});
+    Out.push_back(JType{TypeKind::Float, 0, ""});
+    Out.push_back(JType{TypeKind::Short, 0, ""});
+    break;
+  case TypeKind::Long:
+    Out.push_back(intType());
+    Out.push_back(JType{TypeKind::Double, 0, ""});
+    break;
+  case TypeKind::Float:
+    Out.push_back(JType{TypeKind::Double, 0, ""});
+    Out.push_back(intType());
+    break;
+  case TypeKind::Double:
+    Out.push_back(JType{TypeKind::Float, 0, ""});
+    Out.push_back(JType{TypeKind::Long, 0, ""});
+    break;
+  case TypeKind::Reference: {
+    if (T.ClassName != "java/lang/Object")
+      Out.push_back(refType("java/lang/Object"));
+    std::vector<std::string> Sibs = Env.Siblings(T.ClassName);
+    for (size_t I = 0; I != Sibs.size() && I != 2; ++I)
+      Out.push_back(refType(Sibs[I]));
+    Out.push_back(arrayOf(T));
+    break;
+  }
+  case TypeKind::Array:
+    break;
+  }
+  return Out;
+}
+
+/// Rebuilds \p MD with position \p Which (params first, then the
+/// return type at index Params.size()) replaced by \p NewType.
+std::string withPosition(const MethodDescriptor &MD, size_t Which,
+                         const JType &NewType) {
+  MethodDescriptor Copy = MD;
+  if (Which < Copy.Params.size())
+    Copy.Params[Which] = NewType;
+  else
+    Copy.ReturnType = NewType;
+  return Copy.toDescriptor();
+}
+
+void pushUnique(std::vector<std::string> &Alts, const std::string &Original,
+                std::string Candidate) {
+  if (Candidate == Original)
+    return;
+  if (std::find(Alts.begin(), Alts.end(), Candidate) != Alts.end())
+    return;
+  Alts.push_back(std::move(Candidate));
+}
+
+/// Near-miss verification kinds for a local slot: category-1 pairs
+/// confuse with each other, category-2 pairs with each other, and
+/// references with int (aload <-> iload is the classic verifier probe).
+std::vector<std::string> adjacentVKinds(VKind K) {
+  switch (K) {
+  case VKind::Int:
+    return {"float", "reference"};
+  case VKind::Float:
+    return {"int"};
+  case VKind::Long:
+    return {"double"};
+  case VKind::Double:
+    return {"long"};
+  case VKind::Ref:
+  case VKind::Null:
+    return {"int"};
+  default:
+    return {};
+  }
+}
+
+void extractCpHoles(const ClassFile &CF, const HoleEnv &Env,
+                    TypedHoleList &Out) {
+  CpGraph Graph = CpGraph::build(CF);
+
+  // Tag-confusion holes: loadable constants referenced from bytecode.
+  std::set<uint16_t> SeenRoots;
+  for (uint16_t Root : Graph.bytecodeRoots()) {
+    if (!CF.CP.isValidIndex(Root) || !SeenRoots.insert(Root).second)
+      continue;
+    CpTag Tag = CF.CP.at(Root).Tag;
+    const char *Twin = confusableTag(Tag);
+    if (!Twin)
+      continue;
+    TypedHole H;
+    H.Kind = HoleKind::CpTagConfusion;
+    H.Location = DiagLocation::cp(Root);
+    H.Expected = cpTagName(Tag) + 9; // Skip the "CONSTANT_" prefix.
+    H.Alternatives = {Twin};
+    H.CpIndex = Root;
+    Out.push_back(std::move(H));
+  }
+
+  // Sibling-class holes: every distinct class reference in the pool
+  // with siblings in the env hierarchy (covers super, interfaces,
+  // member refs, catch types, and class-operand bytecodes alike).
+  std::set<std::string> SeenClasses;
+  for (uint16_t I = 1; I != CF.CP.count(); ++I) {
+    if (CF.CP.at(I).Tag != CpTag::Class)
+      continue;
+    Result<std::string> Name = CF.CP.getClassName(I);
+    if (!Name || Name->empty() || (*Name)[0] == '[' || *Name == CF.ThisClass)
+      continue;
+    if (!SeenClasses.insert(*Name).second)
+      continue;
+    std::vector<std::string> Sibs = Env.Siblings(*Name);
+    if (Sibs.empty())
+      continue;
+    capAlternatives(Sibs);
+    TypedHole H;
+    H.Kind = HoleKind::SiblingClass;
+    H.Location = DiagLocation::cp(I);
+    H.Expected = *Name;
+    H.Alternatives = std::move(Sibs);
+    H.CpIndex = I;
+    Out.push_back(std::move(H));
+  }
+}
+
+void extractFieldHoles(const ClassFile &CF, const HoleEnv &Env,
+                       TypedHoleList &Out) {
+  for (const FieldInfo &F : CF.Fields) {
+    JType T;
+    if (!parseFieldDescriptor(F.Descriptor, T))
+      continue;
+    TypedHole H;
+    H.Kind = HoleKind::DescriptorType;
+    H.Location = DiagLocation::field(F.Name, F.Descriptor);
+    H.Expected = F.Descriptor;
+    H.MemberName = F.Name;
+    H.MemberDesc = F.Descriptor;
+    for (const JType &Alt : nearMissTypes(T, Env))
+      pushUnique(H.Alternatives, H.Expected, Alt.toDescriptor());
+    capAlternatives(H.Alternatives);
+    if (!H.Alternatives.empty())
+      Out.push_back(std::move(H));
+  }
+}
+
+void extractMethodHoles(const ClassFile &CF, const HoleEnv &Env,
+                        TypedHoleList &Out) {
+  for (const MethodInfo &M : CF.Methods) {
+    MethodDescriptor MD;
+    if (!parseMethodDescriptor(M.Descriptor, MD))
+      continue;
+
+    // Type near-misses: one hole per member, alternatives drawn from
+    // every descriptor position (params and return).
+    TypedHole TypeHole;
+    TypeHole.Kind = HoleKind::DescriptorType;
+    TypeHole.Location = DiagLocation::method(M.Name, M.Descriptor);
+    TypeHole.Expected = M.Descriptor;
+    TypeHole.MemberName = M.Name;
+    TypeHole.MemberDesc = M.Descriptor;
+    for (size_t Pos = 0; Pos != MD.Params.size() + 1; ++Pos) {
+      const JType &T =
+          Pos < MD.Params.size() ? MD.Params[Pos] : MD.ReturnType;
+      for (const JType &Alt : nearMissTypes(T, Env))
+        pushUnique(TypeHole.Alternatives, TypeHole.Expected,
+                   withPosition(MD, Pos, Alt));
+      if (TypeHole.Alternatives.size() >= MaxAlternatives)
+        break;
+    }
+    capAlternatives(TypeHole.Alternatives);
+    if (!TypeHole.Alternatives.empty())
+      Out.push_back(std::move(TypeHole));
+
+    // Arity near-misses: drop the last parameter, duplicate the first,
+    // append a fresh int.
+    TypedHole ArityHole;
+    ArityHole.Kind = HoleKind::DescriptorArity;
+    ArityHole.Location = DiagLocation::method(M.Name, M.Descriptor);
+    ArityHole.Expected = M.Descriptor;
+    ArityHole.MemberName = M.Name;
+    ArityHole.MemberDesc = M.Descriptor;
+    if (!MD.Params.empty()) {
+      MethodDescriptor Dropped = MD;
+      Dropped.Params.pop_back();
+      pushUnique(ArityHole.Alternatives, M.Descriptor,
+                 Dropped.toDescriptor());
+      MethodDescriptor Doubled = MD;
+      Doubled.Params.insert(Doubled.Params.begin(), MD.Params.front());
+      pushUnique(ArityHole.Alternatives, M.Descriptor,
+                 Doubled.toDescriptor());
+    }
+    MethodDescriptor Extended = MD;
+    Extended.Params.push_back(intType());
+    pushUnique(ArityHole.Alternatives, M.Descriptor,
+               Extended.toDescriptor());
+    if (!ArityHole.Alternatives.empty())
+      Out.push_back(std::move(ArityHole));
+
+    // Local-slot holes: the declared parameter slots, typed through
+    // the verifier lattice ('this' stays untouched).
+    if (M.Code) {
+      int Slot = M.isStatic() ? 0 : 1;
+      for (const JType &P : MD.Params) {
+        VType V = vtypeFromJType(P);
+        std::vector<std::string> Adjacent = adjacentVKinds(V.Kind);
+        if (!Adjacent.empty()) {
+          TypedHole H;
+          H.Kind = HoleKind::LocalSlotType;
+          H.Location = DiagLocation::bytecode(M.Name, M.Descriptor, 0);
+          H.Expected = vkindName(V.Kind);
+          H.Alternatives = std::move(Adjacent);
+          H.MemberName = M.Name;
+          H.MemberDesc = M.Descriptor;
+          H.Slot = Slot;
+          Out.push_back(std::move(H));
+        }
+        Slot += P.slotWidth();
+      }
+    }
+  }
+}
+
+} // namespace
+
+TypedHoleList classfuzz::extractTypedHoles(const ClassFile &CF,
+                                           const HoleEnv &Env) {
+  TypedHoleList Out;
+  extractCpHoles(CF, Env, Out);
+  extractFieldHoles(CF, Env, Out);
+  extractMethodHoles(CF, Env, Out);
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const TypedHole &A, const TypedHole &B) {
+                     std::string LA = A.Location.toString();
+                     std::string LB = B.Location.toString();
+                     if (LA != LB)
+                       return LA < LB;
+                     if (A.Kind != B.Kind)
+                       return std::string(holeKindName(A.Kind)) <
+                              holeKindName(B.Kind);
+                     if (A.Expected != B.Expected)
+                       return A.Expected < B.Expected;
+                     return A.Slot < B.Slot;
+                   });
+  return Out;
+}
+
+std::string classfuzz::holeToJson(const std::string &ClassName,
+                                  const TypedHole &Hole) {
+  std::string J = "{\"class\":\"";
+  J += telemetry::jsonEscape(ClassName);
+  J += "\",\"kind\":\"";
+  J += holeKindName(Hole.Kind);
+  J += "\",\"location\":\"";
+  J += telemetry::jsonEscape(Hole.Location.toString());
+  J += "\",\"expected\":\"";
+  J += telemetry::jsonEscape(Hole.Expected);
+  J += "\",\"alternatives\":[";
+  for (size_t I = 0; I != Hole.Alternatives.size(); ++I) {
+    if (I)
+      J += ',';
+    J += '"';
+    J += telemetry::jsonEscape(Hole.Alternatives[I]);
+    J += '"';
+  }
+  J += "],\"member\":\"";
+  J += telemetry::jsonEscape(Hole.MemberName);
+  J += "\",\"slot\":";
+  J += std::to_string(Hole.Slot);
+  J += ",\"cp\":";
+  J += std::to_string(Hole.CpIndex);
+  J += '}';
+  return J;
+}
+
+std::string classfuzz::holesToJsonl(const std::string &ClassName,
+                                    const TypedHoleList &Holes) {
+  std::string Out;
+  for (const TypedHole &H : Holes) {
+    Out += holeToJson(ClassName, H);
+    Out += '\n';
+  }
+  return Out;
+}

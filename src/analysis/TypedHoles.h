@@ -1,0 +1,119 @@
+//===- analysis/TypedHoles.h - Typed mutation sites ----------------------===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Typed-hole extraction: the analyzer pass that turns CpGraph + the
+/// verifier lattice from a diagnoser into the campaign's steering
+/// layer. A typed hole is one mutation site whose expected type the
+/// spec pins down -- a constant-pool slot with a required tag, a
+/// descriptor position, a local slot with a verification type, a class
+/// reference with a known place in the env hierarchy -- together with
+/// the *near-miss* alternatives a type-aware mutator should substitute
+/// (wrong-but-plausible tag, off-by-one descriptor arity, sibling
+/// class, lattice-adjacent verification type).
+///
+/// The data model in this header is deliberately link-free (plain
+/// structs, no out-of-line members beyond what Diagnostics.h already
+/// provides) so `src/mutation` can consume hole lists through
+/// MutationContext without a dependency edge on cf_analysis; the
+/// extraction itself (extractTypedHoles) is implemented in cf_analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLASSFUZZ_ANALYSIS_TYPEDHOLES_H
+#define CLASSFUZZ_ANALYSIS_TYPEDHOLES_H
+
+#include "analysis/Diagnostics.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace classfuzz {
+
+struct ClassFile;
+
+/// What kind of typed site a hole describes.
+enum class HoleKind : uint8_t {
+  CpTagConfusion,  ///< A loadable constant whose tag has a confusable twin.
+  DescriptorArity, ///< A method descriptor with off-by-one arity near-misses.
+  DescriptorType,  ///< A member descriptor position with near-miss types.
+  SiblingClass,    ///< A class reference with siblings in the env hierarchy.
+  LocalSlotType,   ///< A local slot with lattice-adjacent verification types.
+};
+
+inline constexpr size_t NumHoleKinds = 5;
+
+/// Stable lowercase hole-kind name ("cp-tag-confusion", ...), used in
+/// the JSONL rendering and the golden file.
+inline const char *holeKindName(HoleKind K) {
+  switch (K) {
+  case HoleKind::CpTagConfusion:
+    return "cp-tag-confusion";
+  case HoleKind::DescriptorArity:
+    return "descriptor-arity";
+  case HoleKind::DescriptorType:
+    return "descriptor-type";
+  case HoleKind::SiblingClass:
+    return "sibling-class";
+  case HoleKind::LocalSlotType:
+    return "local-slot-type";
+  }
+  return "?";
+}
+
+/// One typed mutation site.
+struct TypedHole {
+  HoleKind Kind = HoleKind::CpTagConfusion;
+  /// Where the site is (cp index / member / bytecode anchor).
+  DiagLocation Location;
+  /// The type the spec expects here: a constant tag name ("Integer"),
+  /// a full descriptor, an internal class name, or a verification-type
+  /// name ("int", "reference", ...), depending on Kind.
+  std::string Expected;
+  /// Near-miss substitutions; every entry differs from Expected.
+  std::vector<std::string> Alternatives;
+  /// Member context for descriptor/local holes (name of the field or
+  /// method the hole lives in; empty for class-level and cp holes).
+  std::string MemberName;
+  /// The member's original descriptor (parallel to MemberName).
+  std::string MemberDesc;
+  /// Local slot for LocalSlotType holes; -1 otherwise.
+  int Slot = -1;
+  /// Constant-pool index for cp-anchored holes; -1 otherwise.
+  int CpIndex = -1;
+};
+
+using TypedHoleList = std::vector<TypedHole>;
+
+/// The environment view hole extraction needs: just enough hierarchy
+/// to compute sibling-class substitutions. Callbacks (instead of a
+/// ClassPath) so the StaticAnalyzer can record touched-set membership
+/// for memo invalidation while serving the queries from its own cache.
+struct HoleEnv {
+  /// Classes sharing \p Name's direct superclass, sorted, excluding
+  /// \p Name itself; empty when \p Name is unknown or has no siblings.
+  std::function<std::vector<std::string>(const std::string &Name)> Siblings;
+};
+
+/// Extracts every typed hole of \p CF against \p Env, in deterministic
+/// order: sorted by (location, kind, expected). Holes whose near-miss
+/// set would be empty are not emitted.
+TypedHoleList extractTypedHoles(const ClassFile &CF, const HoleEnv &Env);
+
+/// Renders one hole as a stable single-line JSON object:
+/// {"class":...,"kind":...,"location":...,"expected":...,
+///  "alternatives":[...],"member":...,"slot":...,"cp":...}.
+std::string holeToJson(const std::string &ClassName, const TypedHole &Hole);
+
+/// Renders a whole hole list as JSONL (one holeToJson line per hole,
+/// each '\n'-terminated) -- the `classfuzz analyze --holes` format.
+std::string holesToJsonl(const std::string &ClassName,
+                         const TypedHoleList &Holes);
+
+} // namespace classfuzz
+
+#endif // CLASSFUZZ_ANALYSIS_TYPEDHOLES_H

@@ -14,10 +14,12 @@
 #include "telemetry/Telemetry.h"
 #include "telemetry/TimeSeries.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <deque>
+#include <map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -223,6 +225,12 @@ struct CampaignTelemetry {
   /// scheduler itself at rebuild time, also commit-stage).
   telemetry::Counter &SchedDraws;
   telemetry::Counter &SchedRareDraws;
+  /// Analyzer pre-filter counters (--prefilter); commit stage only,
+  /// --jobs-invariant (predictions run on the driver thread).
+  telemetry::Counter &PrefilterSkipped;
+  telemetry::Counter &PrefilterPassed;
+  telemetry::Counter &PrefilterAudited;
+  telemetry::Counter &PrefilterMispredict;
   telemetry::Histogram &MutateNs;
   telemetry::Histogram &ExecuteNs;
   telemetry::Histogram &CommitNs;
@@ -247,6 +255,10 @@ struct CampaignTelemetry {
         M.counter("campaign.tier_disagreements"),
         M.counter("campaign.sched_draws"),
         M.counter("campaign.sched_rare_draws"),
+        M.counter("campaign.prefilter_skipped"),
+        M.counter("campaign.prefilter_passed"),
+        M.counter("campaign.prefilter_audited"),
+        M.counter("campaign.prefilter_mispredict"),
         M.histogram("campaign.stage.mutate_ns"),
         M.histogram("campaign.stage.execute_ns"),
         M.histogram("campaign.stage.commit_ns"),
@@ -311,6 +323,12 @@ struct PendingIteration {
   /// Selector state before this iteration's presumed-rejection
   /// recordOutcome (MCMC algorithms only).
   std::optional<McmcSelector> SelectorBefore;
+  /// Pre-filter verdict, decided on the driver at speculation time
+  /// (--prefilter). A skipped iteration ships no execution unless it is
+  /// in the audit sample; the commit stage charges the counters.
+  bool PrefilterSkip = false;
+  bool PrefilterAudited = false;
+  int PredictedPhase = -1; ///< 1 or 2 when PrefilterSkip.
 };
 
 } // namespace
@@ -342,14 +360,43 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
   std::vector<std::string> KnownClasses = RefEnv.names();
   MutationContext Ctx{R, KnownClasses};
 
-  const size_t NumMu = mutatorRegistry().size();
+  // Typed-hole extraction (--typed-mutators): an analyzer bound to its
+  // own COW view of the *frozen base* corpus -- never fed accepted
+  // mutants -- so the hole list for a given (name, bytes) is a pure
+  // function replay can re-derive (fuzzing/Provenance.h). Extraction
+  // consumes no RNG, so caching order cannot perturb the trajectory.
+  std::optional<StaticAnalyzer> HoleAnalyzer;
+  std::map<std::string, TypedHoleList> HoleCache;
+  if (Config.TypedMutators)
+    HoleAnalyzer.emplace(RefEnv, Config.ReferencePolicy);
+  auto holesFor = [&](const std::string &Name,
+                      const Bytes &Data) -> const TypedHoleList * {
+    if (!HoleAnalyzer)
+      return nullptr;
+    auto It = HoleCache.find(Name);
+    if (It == HoleCache.end())
+      It = HoleCache.emplace(Name, HoleAnalyzer->typedHolesFor(Name, Data))
+               .first;
+    return &It->second;
+  };
+
+  // The mutator pool: the paper's 129 syntax/statement mutators, plus
+  // the analyzer-driven typed mutators when --typed-mutators is on. The
+  // extended registry shares the first 129 indices, so provenance and
+  // telemetry indices mean the same thing either way.
+  const std::vector<Mutator> &Registry =
+      Config.TypedMutators ? extendedMutatorRegistry() : mutatorRegistry();
+  const size_t NumMu = Registry.size();
   McmcSelector Selector(NumMu, Config.GeometricP > 0
                                    ? Config.GeometricP
                                    : defaultGeometricP(NumMu));
+  Selector.setDeepReward(Config.DeepRewardWeight);
   Result.MutatorSelected.assign(NumMu, 0);
   Result.MutatorSucceeded.assign(NumMu, 0);
   Result.MutatorInapplicable.assign(NumMu, 0);
   Result.MutatorNoChange.assign(NumMu, 0);
+  Result.MutatorDeepestPhase.assign(NumMu, -1);
+  Result.MutatorDeepHits.assign(NumMu, 0);
 
   // Telemetry handles. Observation-only: sampled through relaxed
   // atomics and never read back, so the committed trajectory is
@@ -361,6 +408,26 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
   const bool Mcmc = usesMcmc(Config.Algo);
   const bool Coverage = usesCoverage(Config.Algo);
   const bool DdMode = usesDeltaDiversity(Config.Algo);
+  // Deep-phase MCMC reward (--deep-reward): needs an MCMC selector to
+  // reward and a reference run to observe the phase from.
+  const bool DeepRewardOn = Mcmc && Coverage && Config.DeepRewardWeight > 0;
+  // Analyzer pre-filter (--prefilter): needs a reference execution to
+  // skip, so randfuzz (Coverage off) ignores the flag.
+  const bool PrefilterOn = Config.Prefilter && Coverage;
+  // Audit membership is a pure function of the mutant bytes (no RNG, no
+  // iteration index), so the set of audited skips -- and therefore the
+  // mispredict oracle -- is identical across --jobs values, and the
+  // committed trajectory is identical across audit fractions.
+  const uint64_t AuditThreshold = static_cast<uint64_t>(
+      std::min(1.0, std::max(0.0, Config.PrefilterAudit)) * 1000000.0);
+  auto inAuditSample = [&](const Bytes &Data) {
+    return hashBytes(Data) % 1000000 < AuditThreshold;
+  };
+  /// Phase depth for the deep-phase reward: loading(1) < linking(2) <
+  /// init(3) < runtime(4) < completed normally(0).
+  auto phaseDepth = [](int Phase) { return Phase == 0 ? 5 : Phase; };
+  /// Deep = survived loading and linking.
+  auto isDeepPhase = [](int Phase) { return Phase == 0 || Phase >= 3; };
   // Workers only overlap coverage executions; algorithms that collect no
   // coverage (randfuzz) have nothing to offload.
   const size_t Jobs = Coverage ? std::max<size_t>(1, Config.Jobs) : 1;
@@ -527,7 +594,7 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
     FrontierTracker::Options FOpts;
     FOpts.RareThreshold = Config.RareBranchThreshold;
     FOpts.MutatorIds.reserve(NumMu);
-    for (const Mutator &Mu : mutatorRegistry())
+    for (const Mutator &Mu : Registry)
       FOpts.MutatorIds.push_back(Mu.Id);
     Frontier = std::make_shared<FrontierTracker>(std::move(FOpts));
     Result.Frontier = Frontier;
@@ -571,7 +638,7 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
       Info.SeedName = G->Prov.RootSeedName;
       if (!G->Prov.Steps.empty()) {
         Info.MutatorIndex = G->Prov.Steps.back().MutatorIndex;
-        Info.MutatorId = mutatorRegistry()[Info.MutatorIndex].Id;
+        Info.MutatorId = extendedMutatorRegistry()[Info.MutatorIndex].Id;
       }
       Info.Phase = G->RefPhase;
       NewBranches = Frontier->recordCommit(G->Trace, Info).NewBranches;
@@ -634,7 +701,7 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
       return;
     telemetry::EventBuilder("campaign.iteration")
         .field("iter", static_cast<uint64_t>(IterIndex))
-        .field("mutator", mutatorRegistry()[MutatorIndex].Id)
+        .field("mutator", extendedMutatorRegistry()[MutatorIndex].Id)
         .field("result", mutationResultName(MR))
         .field("produced", Produced)
         .field("representative", Representative)
@@ -715,7 +782,7 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
   // analysis.* telemetry follow the committed trajectory and are
   // identical across Jobs values.
   std::optional<StaticAnalyzer> Analyzer;
-  if (Config.RunAnalysis)
+  if (Config.RunAnalysis || PrefilterOn)
     Analyzer.emplace(RefEnv, Config.ReferencePolicy);
   // Per-mutator x per-pass finding counts for the analysis.mutator_diag
   // telemetry grid (filled into the registry at end of run).
@@ -761,6 +828,65 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
     if (Rec.Mismatch)
       Result.SelfChecks.push_back({GenIndex, Stored.RefPhase, std::move(Rep)});
     Result.AnalysisRecords.push_back(Rec);
+  };
+
+  /// Driver-side pre-filter verdict for one produced mutant: true when
+  /// the analyzer statically proves the mutant dies while loading or
+  /// linking (both *definite* predictions -- see StaticAnalyzer.h), so
+  /// the reference execution can be skipped. Also decides audit-sample
+  /// membership (a pure function of the mutant bytes). Runs only on the
+  /// driver thread against the committed environment; never draws from
+  /// the RNG.
+  auto prefilterVerdict = [&](const GeneratedClass &G, bool &Audited,
+                              int &PredictedPhase) -> bool {
+    Audited = false;
+    PredictedPhase = -1;
+    if (!PrefilterOn)
+      return false;
+    StartupPrediction Pred = Analyzer->predictStartupOutcome(G.Name, G.Data);
+    if (Pred.Outcome == PredictedOutcome::PassStatic)
+      return false;
+    PredictedPhase = Pred.predictedPhase();
+    Audited = inAuditSample(G.Data);
+    return true;
+  };
+
+  /// Commit-stage accounting for one pre-filter skip; must run after
+  /// commitProduced so the latched self-check indexes the stored
+  /// mutant. \p ObservedPhase is the audited run's encoded phase (-1
+  /// when the skip was not in the audit sample); a prediction the
+  /// observation contradicts is an analyzer bug and latches the full
+  /// report, exactly like the --analyze predict-vs-observe oracle.
+  auto commitPrefilterSkip = [&](int PredictedPhase, bool Audited,
+                                 int ObservedPhase) {
+    ++Result.PrefilterSkipped;
+    if (Telem)
+      TM.PrefilterSkipped.inc();
+    if (!Audited)
+      return;
+    ++Result.PrefilterAudited;
+    if (Telem)
+      TM.PrefilterAudited.inc();
+    if (ObservedPhase == PredictedPhase)
+      return;
+    ++Result.PrefilterMispredicts;
+    if (Telem)
+      TM.PrefilterMispredict.inc();
+    const size_t GenIndex = Result.GenClasses.size() - 1;
+    const GeneratedClass &Stored = Result.GenClasses[GenIndex];
+    Result.SelfChecks.push_back(
+        {GenIndex, ObservedPhase,
+         Analyzer->analyzeClass(Stored.Name, Stored.Data)});
+  };
+
+  /// Commit-stage accounting for a produced mutant the pre-filter let
+  /// through to execution.
+  auto commitPrefilterPass = [&] {
+    if (!PrefilterOn)
+      return;
+    ++Result.PrefilterPassed;
+    if (Telem)
+      TM.PrefilterPassed.inc();
   };
 
   /// Commit-stage bookkeeping for one δ batch: the outcome census on
@@ -850,9 +976,20 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
       ++Result.MutatorSucceeded[G.MutatorIndex];
     Result.GenClasses.push_back(std::move(G));
     const GeneratedClass &Stored = Result.GenClasses.back();
+    // Deep-phase census: the deepest startup phase each mutator has
+    // reached plus its deep-survival count, folded in commit order.
+    // Pre-filter skips keep RefPhase = -1 and fold nothing.
+    if (Stored.RefPhase >= 0) {
+      int &Deepest = Result.MutatorDeepestPhase[Stored.MutatorIndex];
+      if (Deepest < 0 || phaseDepth(Stored.RefPhase) > phaseDepth(Deepest))
+        Deepest = Stored.RefPhase;
+      if (isDeepPhase(Stored.RefPhase))
+        ++Result.MutatorDeepHits[Stored.MutatorIndex];
+    }
     // Analyze against the environment as the VM saw it: before the
-    // mutant itself joins the corpus.
-    if (Analyzer)
+    // mutant itself joins the corpus. (--prefilter alone constructs the
+    // analyzer too, but only --analyze asks for the full lint record.)
+    if (Analyzer && Config.RunAnalysis)
       analyzeCommitted(Stored, Result.GenClasses.size() - 1);
     // Every produced run's coverage ages the scheduler's hit table
     // (no-op for randfuzz, whose traces are empty).
@@ -908,7 +1045,10 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
 
       // Line 11: mutate. The RNG snapshot taken here (before any
       // mutation draw) is the step's provenance record: restoring it
-      // and re-applying the mutator re-derives the mutant bytes.
+      // and re-applying the mutator re-derives the mutant bytes. The
+      // typed-hole list (null unless --typed-mutators) is extracted
+      // RNG-free, so it cannot perturb the snapshot.
+      Ctx.Holes = holesFor(Pool[PoolIndex].Name, Pool[PoolIndex].Data);
       RngState RngBefore = R.state();
       telemetry::PhaseTimer MutT(TM.MutateNs, "mutate");
       MutationOutcome Mutant =
@@ -933,6 +1073,39 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
       G.Prov = Pool[PoolIndex].Prov;
       G.Prov.Steps.push_back(
           {MutatorIndex, RngBefore, R.drawCount() - RngBefore.Draws});
+
+      // Analyzer pre-filter (--prefilter): mutants statically proven
+      // dead in loading/linking skip execution and commit as
+      // produced-but-rejected (empty trace, RefPhase -1). Audited skips
+      // still execute -- to check the prediction -- but commit exactly
+      // like unaudited ones, so the committed trajectory is independent
+      // of the audit fraction.
+      bool PfAudited = false;
+      int PfPredicted = -1;
+      if (prefilterVerdict(G, PfAudited, PfPredicted)) {
+        int Observed = -1;
+        if (PfAudited) {
+          telemetry::PhaseTimer ExecT(TM.ExecuteNs, "execute");
+          Observed = DdMode ? ddRunOf(G.Name, G.Data).RefPhase
+                            : coverageOf(G.Name, G.Data).Phase;
+        }
+        if (Mcmc)
+          Selector.recordOutcome(MutatorIndex, false);
+        if (Telem)
+          TM.Rejected.inc();
+        emitIteration(Iter, MutatorIndex, Mutant.Result, true, false);
+        FR.record(telemetry::FlightKind::Iteration, Iter, MutatorIndex,
+                  packIterationOutcome(Mutant.Result, true, false));
+        {
+          telemetry::PhaseTimer CommitT(TM.CommitNs, "commit");
+          commitProduced(std::move(G), Iter);
+        }
+        commitPrefilterSkip(PfPredicted, PfAudited, Observed);
+        observeCommitted(Iter + 1, &Result.GenClasses.back(), false, false);
+        maybeProgress(Iter + 1);
+        continue;
+      }
+      commitPrefilterPass();
 
       // Lines 12-16: record, run on the reference JVM (δ modes: on all
       // profiles), accept on uniqueness (δ modes: on tuple novelty).
@@ -967,6 +1140,10 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
 
       if (Mcmc)
         Selector.recordOutcome(MutatorIndex, Representative);
+      // Deep-phase reward (--deep-reward): mutants surviving loading
+      // and linking add to the mutator's blended MCMC success rate.
+      if (DeepRewardOn && isDeepPhase(G.RefPhase))
+        Selector.recordDeepReach(MutatorIndex);
       if (Telem)
         (Representative ? TM.Accepted : TM.Rejected).inc();
       emitIteration(Iter, MutatorIndex, Mutant.Result, true, Representative);
@@ -1008,6 +1185,7 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
       size_t PoolIndex = Sched.pick(R);
       P.PoolIndex = PoolIndex;
       P.MutatorIndex = Mcmc ? Selector.selectNext(R) : R.choiceIndex(NumMu);
+      Ctx.Holes = holesFor(Pool[PoolIndex].Name, Pool[PoolIndex].Data);
       RngState RngBefore = R.state();
       telemetry::PhaseTimer MutT(TM.MutateNs, "mutate");
       MutationOutcome Mutant =
@@ -1022,11 +1200,20 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
         P.G.Prov = Pool[PoolIndex].Prov;
         P.G.Prov.Steps.push_back(
             {P.MutatorIndex, RngBefore, R.drawCount() - RngBefore.Draws});
+        // Pre-filter verdict at speculation time, on the driver. The
+        // analyzer's environment is the committed one -- an acceptance
+        // discards all in-flight speculation -- so the verdict for
+        // every *committed* iteration matches the sequential loop's.
+        P.PrefilterSkip =
+            prefilterVerdict(P.G, P.PrefilterAudited, P.PredictedPhase);
         P.Cancelled = std::make_shared<std::atomic<bool>>(false);
         // The worker's environment: a COW overlay of the corpus as of
         // this iteration (no accept can intervene before commit -- an
         // accept discards all later in-flight iterations).
-        if (DdMode) {
+        if (P.PrefilterSkip && !P.PrefilterAudited) {
+          // Statically proven dead and not in the audit sample: ship
+          // nothing; the commit stage charges the skip.
+        } else if (DdMode) {
           // δ modes ship the whole five-profile batch to the worker;
           // the overlays are made here, on the driver, against this
           // iteration's view of the corpus.
@@ -1113,6 +1300,35 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
         continue;
       }
 
+      if (P.PrefilterSkip) {
+        // The presumed rejection recorded at speculation time is exact
+        // for a skip. Audited skips fetch the observed phase from their
+        // worker; the committed mutant keeps an empty trace and
+        // RefPhase -1 either way, so the trajectory matches the
+        // sequential loop and is independent of the audit fraction.
+        int Observed = -1;
+        if (P.PrefilterAudited)
+          Observed = DdMode ? P.Dd.get().RefPhase : P.Trace.get().Phase;
+        if (Telem)
+          TM.Rejected.inc();
+        emitIteration(Iter - 1, P.MutatorIndex, P.MutResult, true, false);
+        FR.record(telemetry::FlightKind::Iteration, Iter - 1, P.MutatorIndex,
+                  packIterationOutcome(P.MutResult, true, false));
+        {
+          telemetry::PhaseTimer CommitT(TM.CommitNs, "commit");
+          commitProduced(std::move(P.G), Iter - 1);
+        }
+        commitPrefilterSkip(P.PredictedPhase, P.PrefilterAudited, Observed);
+        observeCommitted(Iter, &Result.GenClasses.back(), false, false);
+        maybeProgress(Iter);
+        if (PlateauStop) {
+          discardInFlight();
+          break;
+        }
+        continue;
+      }
+      commitPrefilterPass();
+
       DdRun DdResult;
       JitStats TierJit;
       if (DdMode) {
@@ -1141,11 +1357,17 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
       }
       recordTierBatch(P.G, P.G.TierEncoded, TierJit);
       P.G.Representative = Representative;
-      if (Representative && Mcmc) {
+      // A deep-phase reach (--deep-reward) re-ranks the selector just
+      // like an acceptance, so it too invalidates the presumed-
+      // rejection speculation.
+      const bool DeepReach = DeepRewardOn && isDeepPhase(P.G.RefPhase);
+      if ((Representative || DeepReach) && Mcmc) {
         // Mispredicted: rewind the selector past the presumed rejection
-        // and apply the true outcome.
+        // and apply the true outcome, in the sequential loop's order.
         Selector = std::move(*P.SelectorBefore);
-        Selector.recordOutcome(P.MutatorIndex, true);
+        Selector.recordOutcome(P.MutatorIndex, Representative);
+        if (DeepReach)
+          Selector.recordDeepReach(P.MutatorIndex);
       }
       FR.record(telemetry::FlightKind::Iteration, Iter - 1, P.MutatorIndex,
                 packIterationOutcome(P.MutResult, true, Representative));
@@ -1155,9 +1377,10 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
         (Representative ? TM.Accepted : TM.Rejected).inc();
       emitIteration(Iter - 1, P.MutatorIndex, P.MutResult, true,
                     Representative);
-      if (Representative) {
-        // All later speculation saw a stale pool/ranking/environment:
-        // cancel it and rewind the RNG to just after this iteration.
+      if (Representative || DeepReach) {
+        // All later speculation saw a stale pool/ranking/environment
+        // (a deep reach alone stales the ranking): cancel it and rewind
+        // the RNG to just after this iteration.
         // Deliberately no flight event here: speculation depth is a
         // --jobs artifact, and the flight stream feeds incident bundles
         // that must stay byte-identical across --jobs values (the
@@ -1202,16 +1425,21 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
     // result vectors. The grid accumulates across campaigns in one
     // process.
     static const char *Cols[] = {"selected", "succeeded", "inapplicable",
-                                 "nochange"};
+                                 "nochange", "deep_hits"};
+    // Grid dimensions are fixed at first registration, and one process
+    // may run campaigns with and without --typed-mutators, so the grid
+    // is always sized to the extended registry (a strict superset whose
+    // first rows label the base registry identically).
     telemetry::CounterGrid &Grid = telemetry::metrics().grid(
-        "campaign.mutator", NumMu, 4,
-        [](size_t Row) { return mutatorRegistry()[Row].Id; },
+        "campaign.mutator", extendedMutatorRegistry().size(), 5,
+        [](size_t Row) { return extendedMutatorRegistry()[Row].Id; },
         [](size_t Col) { return std::string(Cols[Col]); });
     for (size_t I = 0; I != NumMu; ++I) {
       Grid.inc(I, 0, Result.MutatorSelected[I]);
       Grid.inc(I, 1, Result.MutatorSucceeded[I]);
       Grid.inc(I, 2, Result.MutatorInapplicable[I]);
       Grid.inc(I, 3, Result.MutatorNoChange[I]);
+      Grid.inc(I, 4, Result.MutatorDeepHits[I]);
     }
     telemetry::metrics().counter("campaign.iterations").inc(Iter);
     if (DdMode) {
@@ -1232,8 +1460,9 @@ CampaignResult classfuzz::runCampaign(const CampaignConfig &Config) {
       // Per-mutator x per-diagnostic-pass finding counts: which
       // mutators produce which classes of statically detectable damage.
       telemetry::CounterGrid &DiagGrid = telemetry::metrics().grid(
-          "analysis.mutator_diag", NumMu, NumPassIds,
-          [](size_t Row) { return mutatorRegistry()[Row].Id; },
+          "analysis.mutator_diag", extendedMutatorRegistry().size(),
+          NumPassIds,
+          [](size_t Row) { return extendedMutatorRegistry()[Row].Id; },
           [](size_t Col) {
             return std::string(passIdName(static_cast<PassId>(Col)));
           });

@@ -167,6 +167,34 @@ struct CampaignConfig {
   /// scheduler maintains its own hit-count table (no --frontier
   /// needed); randfuzz collects no coverage and degrades to Uniform.
   SeedSchedPolicy SeedSched = SeedSchedPolicy::Uniform;
+  /// Select mutators from extendedMutatorRegistry() (the paper's 129
+  /// plus the analyzer-driven "typed.*" family) and feed every
+  /// iteration the typed-hole list of the class being mutated,
+  /// extracted against the *base* environment (runtime library +
+  /// seeds, the same env provenance replay rebuilds). Off by default:
+  /// the historical 129-mutator trajectory is byte-identical.
+  bool TypedMutators = false;
+  /// MCMC deep-phase reward weight (McmcSelector::setDeepReward):
+  /// mutants that survive loading/linking (phase 0, 3, or 4) add this
+  /// on top of the acceptance reward. 0 disables. Requires the mcmc
+  /// algorithms with an execution stage; the parallel pipeline rewinds
+  /// speculation on deep reaches like it does on acceptances, so the
+  /// trajectory stays Jobs-invariant.
+  double DeepRewardWeight = 0;
+  /// Analyzer-gated pre-filter: predictStartupOutcome runs in the
+  /// speculation stage and mutants statically proven dead in loading
+  /// or linking skip the execution stage entirely (committed as
+  /// produced-but-rejected with no trace). Counters fold at the
+  /// in-order commit stage (campaign.prefilter_*, Jobs-invariant).
+  /// Definite predictions make skipping sound; the audit fraction
+  /// below keeps the filter honest. Ignored by randfuzz.
+  bool Prefilter = false;
+  /// Fraction of prefilter-skipped mutants that execute anyway so the
+  /// observed phase can be checked against the prediction (membership
+  /// by content hash -- deterministic, no RNG). Audited runs change
+  /// nothing about the committed trajectory; any mispredict bumps
+  /// campaign.prefilter_mispredict and latches a SelfCheckReport.
+  double PrefilterAudit = 0.05;
   CampaignConfig();
 };
 
@@ -270,6 +298,21 @@ struct CampaignResult {
   uint64_t SchedDraws = 0;
   uint64_t SchedRareDraws = 0;
   uint64_t SchedEpochs = 0;
+  /// Pre-filter accounting (CampaignConfig::Prefilter), folded at the
+  /// in-order commit stage: produced mutants skipped as statically
+  /// dead vs. passed to execution, how many skips were audit-executed,
+  /// and how many audits contradicted the prediction (each mispredict
+  /// also latches a SelfCheckReport).
+  uint64_t PrefilterSkipped = 0;
+  uint64_t PrefilterPassed = 0;
+  uint64_t PrefilterAudited = 0;
+  uint64_t PrefilterMispredicts = 0;
+  /// Per-mutator deep-phase stats over produced mutants with an
+  /// observed reference phase, folded at the commit stage: the deepest
+  /// phase reached (pipeline depth order 1 < 2 < 3 < 4 < 0; -1 until
+  /// observed) and the count of deep reaches (phase 0, 3, or 4).
+  std::vector<int> MutatorDeepestPhase;
+  std::vector<size_t> MutatorDeepHits;
   double ElapsedSeconds = 0;
 
   size_t numGenerated() const { return GenClasses.size(); }

@@ -21,7 +21,8 @@ using namespace classfuzz;
 Result<ReplayedMutant>
 classfuzz::replayLineage(const Bytes &RootSeed,
                          const std::vector<LineageStep> &Steps,
-                         const std::vector<std::string> &KnownClasses) {
+                         const std::vector<std::string> &KnownClasses,
+                         const HoleProviderFn &Holes) {
   if (Steps.empty())
     return makeError("lineage has no steps");
   ReplayedMutant Out;
@@ -29,16 +30,21 @@ classfuzz::replayLineage(const Bytes &RootSeed,
   Rng R;
   for (size_t I = 0; I != Steps.size(); ++I) {
     const LineageStep &Step = Steps[I];
-    if (Step.MutatorIndex >= mutatorRegistry().size())
+    if (Step.MutatorIndex >= extendedMutatorRegistry().size())
       return makeError("lineage step " + std::to_string(I) +
                        ": mutator index " +
                        std::to_string(Step.MutatorIndex) + " out of range");
     R.restore(Step.RngBefore);
     MutationContext Ctx{R, KnownClasses};
+    TypedHoleList StepHoles;
+    if (Holes && Step.MutatorIndex >= NumMutators) {
+      StepHoles = Holes(Current);
+      Ctx.Holes = &StepHoles;
+    }
     MutationOutcome Mutant = mutateClass(Current, Step.MutatorIndex, Ctx);
     if (!Mutant.Produced)
       return makeError("lineage step " + std::to_string(I) + " (" +
-                       mutatorRegistry()[Step.MutatorIndex].Id +
+                       extendedMutatorRegistry()[Step.MutatorIndex].Id +
                        ") no longer produces a classfile: " + Mutant.Error);
     if (I + 1 != Steps.size())
       Out.Ancestors.emplace_back(Mutant.ClassName, Mutant.Data);
@@ -146,8 +152,8 @@ std::string classfuzz::lineageJson(const Provenance &Prov,
     J += I == 0 ? "\n" : ",\n";
     J += "    {\"mutator\": " + std::to_string(S.MutatorIndex) +
          ", \"id\": \"" +
-         tel::jsonEscape(S.MutatorIndex < mutatorRegistry().size()
-                             ? mutatorRegistry()[S.MutatorIndex].Id
+         tel::jsonEscape(S.MutatorIndex < extendedMutatorRegistry().size()
+                             ? extendedMutatorRegistry()[S.MutatorIndex].Id
                              : "?") +
          "\", \"draws\": " + std::to_string(S.Draws) + ", \"rng\": [";
     for (size_t W = 0; W != 4; ++W)

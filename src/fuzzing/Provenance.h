@@ -96,14 +96,25 @@ struct ReplayedMutant {
   std::vector<std::pair<std::string, Bytes>> Ancestors;
 };
 
+/// Supplies the typed-hole list for the classfile bytes a lineage step
+/// is about to mutate (the campaign derives holes from the *base*
+/// environment -- runtime library + seeds -- which replay can rebuild,
+/// so a provider built over that env re-derives typed steps exactly).
+/// Returning an empty list makes the typed mutators inapplicable.
+using HoleProviderFn = std::function<TypedHoleList(const Bytes &Data)>;
+
 /// Re-derives a mutant from \p RootSeed by applying \p Steps in order
 /// against the recorded RNG snapshots. \p KnownClasses must be the
 /// class-name universe of the original campaign (runtime library +
-/// seed corpus, sorted -- see rebuildKnownClasses). Fails when a step's
-/// mutation no longer produces a classfile (environment mismatch).
+/// seed corpus, sorted -- see rebuildKnownClasses); \p Holes, when
+/// set, feeds each step's MutationContext the typed-hole list the
+/// campaign saw (required to replay "typed.*" steps). Fails when a
+/// step's mutation no longer produces a classfile (environment
+/// mismatch).
 Result<ReplayedMutant>
 replayLineage(const Bytes &RootSeed, const std::vector<LineageStep> &Steps,
-              const std::vector<std::string> &KnownClasses);
+              const std::vector<std::string> &KnownClasses,
+              const HoleProviderFn &Holes = nullptr);
 
 /// Rebuilds the campaign's seed corpus from \p Spec: regenerated from
 /// (RngSeed, NumSeeds) or reloaded from SeedDir. The returned Rng draw

@@ -56,7 +56,7 @@ PBounds classfuzz::estimatePBounds(size_t NumMutators, double Epsilon) {
 
 McmcSelector::McmcSelector(size_t NumMutators, double P)
     : P(P), Selected(NumMutators, 0), Succeeded(NumMutators, 0),
-      Ranking(NumMutators), Rank(NumMutators) {
+      DeepHits(NumMutators, 0), Ranking(NumMutators), Rank(NumMutators) {
   assert(NumMutators > 0 && "selector over empty mutator set");
   for (size_t I = 0; I != NumMutators; ++I) {
     Ranking[I] = I;
@@ -70,7 +70,11 @@ double McmcSelector::successRate(size_t MutatorIndex) const {
   // chain under-explores and the Figure 4 correlation degrades).
   if (Selected[MutatorIndex] == 0)
     return 1.0;
-  return static_cast<double>(Succeeded[MutatorIndex]) /
+  // Deep-phase reward: each mutant that survived loading/linking adds
+  // DeepRewardWeight on top of the acceptance reward. At weight 0 this
+  // is exactly the paper's succ/selected.
+  return (static_cast<double>(Succeeded[MutatorIndex]) +
+          DeepRewardWeight * static_cast<double>(DeepHits[MutatorIndex])) /
          static_cast<double>(Selected[MutatorIndex]);
 }
 
@@ -117,6 +121,16 @@ void McmcSelector::recordOutcome(size_t MutatorIndex,
   ++Selected[MutatorIndex];
   if (Representative)
     ++Succeeded[MutatorIndex];
+  reRank(MutatorIndex);
+}
+
+void McmcSelector::recordDeepReach(size_t MutatorIndex) {
+  assert(MutatorIndex < DeepHits.size() && "mutator index out of range");
+  ++DeepHits[MutatorIndex];
+  reRank(MutatorIndex);
+}
+
+void McmcSelector::reRank(size_t MutatorIndex) {
   // Only MutatorIndex's success rate changed, so the ranking (kept
   // sorted by descending rate) needs at most one element moved. Bubble
   // it to its new position; the stopping conditions (strict

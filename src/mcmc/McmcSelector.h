@@ -89,6 +89,23 @@ public:
   /// success rate, at the cost of moving one element.
   void recordOutcome(size_t MutatorIndex, bool Representative);
 
+  /// Records that \p MutatorIndex's mutant reached a deep JVM phase
+  /// (survived loading/linking: completed normally or died at
+  /// initialization/runtime) and re-ranks. With a nonzero deep-reward
+  /// weight this blends into the success rate, steering selection
+  /// toward mutators whose output gets past the front of the pipeline
+  /// rather than just churning coverage.
+  void recordDeepReach(size_t MutatorIndex);
+
+  /// Sets the deep-phase reward weight w: the ranked rate becomes
+  /// (succeeded + w * deep_hits) / selected. 0 (the default) restores
+  /// the paper's pure success rate.
+  void setDeepReward(double Weight) { DeepRewardWeight = Weight; }
+  double deepReward() const { return DeepRewardWeight; }
+  size_t deepHits(size_t MutatorIndex) const {
+    return DeepHits[MutatorIndex];
+  }
+
   double successRate(size_t MutatorIndex) const;
   size_t timesSelected(size_t MutatorIndex) const {
     return Selected[MutatorIndex];
@@ -106,10 +123,16 @@ public:
   double p() const { return P; }
 
 private:
+  /// Moves \p MutatorIndex to its new rank after its rate changed
+  /// (equivalent to a full stable re-sort; see recordOutcome).
+  void reRank(size_t MutatorIndex);
+
   double P;
+  double DeepRewardWeight = 0;
   size_t Current = 0;
   std::vector<size_t> Selected;
   std::vector<size_t> Succeeded;
+  std::vector<size_t> DeepHits;
   std::vector<size_t> Ranking; ///< rank -> mutator index.
   std::vector<size_t> Rank;    ///< mutator index -> rank.
 };

@@ -41,7 +41,7 @@ void classfuzz::ensureMainMethod(JirClass &J) {
 MutationOutcome classfuzz::mutateClass(const Bytes &SeedData,
                                        size_t MutatorIndex,
                                        MutationContext &Ctx) {
-  assert(MutatorIndex < mutatorRegistry().size() &&
+  assert(MutatorIndex < extendedMutatorRegistry().size() &&
          "mutator index out of range");
   MutationOutcome Out;
 
@@ -52,7 +52,7 @@ MutationOutcome classfuzz::mutateClass(const Bytes &SeedData,
   }
   JirClass J = Lowered.take();
 
-  const Mutator &Mu = mutatorRegistry()[MutatorIndex];
+  const Mutator &Mu = extendedMutatorRegistry()[MutatorIndex];
   Out.Result = Mu.Apply(J, Ctx);
   if (Out.Result == MutationResult::Inapplicable) {
     Out.Error = "mutator " + Mu.Id + " not applicable";

@@ -17,6 +17,7 @@
 #ifndef CLASSFUZZ_MUTATION_MUTATOR_H
 #define CLASSFUZZ_MUTATION_MUTATOR_H
 
+#include "analysis/TypedHoles.h"
 #include "jir/Jir.h"
 #include "support/Rng.h"
 
@@ -29,11 +30,19 @@ namespace classfuzz {
 /// The number of mutators, fixed by the paper.
 inline constexpr size_t NumMutators = 129;
 
-/// Shared inputs of a mutation: the random stream and the class names
-/// visible on the class path (used by "...from a class list" mutators).
+/// The number of analyzer-driven typed mutators appended by
+/// extendedMutatorRegistry() beyond the paper's 129.
+inline constexpr size_t NumTypedMutators = 6;
+
+/// Shared inputs of a mutation: the random stream, the class names
+/// visible on the class path (used by "...from a class list" mutators),
+/// and -- when the campaign runs with typed mutators -- the typed-hole
+/// list of the class being mutated (null disables the typed family:
+/// they report Inapplicable without consuming a draw).
 struct MutationContext {
   Rng &R;
   const std::vector<std::string> &KnownClasses;
+  const TypedHoleList *Holes = nullptr;
 };
 
 /// The outcome of one Mutator::Apply call. The three-way split keeps
@@ -73,6 +82,12 @@ struct Mutator {
 
 /// The full registry; exactly NumMutators entries, stable order.
 const std::vector<Mutator> &mutatorRegistry();
+
+/// The paper's 129 mutators plus the NumTypedMutators hole-directed
+/// typed mutators ("typed.*"), stable order; the first NumMutators
+/// entries are identical to mutatorRegistry(), so mutator indices --
+/// and therefore provenance records -- mean the same thing in both.
+const std::vector<Mutator> &extendedMutatorRegistry();
 
 } // namespace classfuzz
 

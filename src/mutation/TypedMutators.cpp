@@ -1,0 +1,373 @@
+//===- mutation/TypedMutators.cpp - Hole-directed typed mutators ---------===//
+//
+// Part of classfuzz-cpp (PLDI 2016 classfuzz reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analyzer-driven typed mutator family ("typed.*"): six operators
+/// that consume the typed-hole list the static analyzer extracts
+/// (analysis/TypedHoles.h) and substitute a *near-miss* of the expected
+/// type at one hole -- a sibling class, an off-by-one descriptor, a
+/// lattice-adjacent local kind, a confusable constant tag.
+///
+/// Draw discipline (the provenance/--jobs contract): a typed mutator
+/// first filters its applicable holes deterministically (zero draws);
+/// when none apply -- in particular whenever MutationContext.Holes is
+/// null -- it reports Inapplicable without touching the Rng. Otherwise
+/// it makes exactly one draw per choice: one for the hole, one for the
+/// alternative, then applies to every matching site deterministically.
+///
+//===----------------------------------------------------------------------===//
+
+#include "classfile/Opcodes.h"
+#include "mutation/Mutator.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace classfuzz;
+
+namespace {
+
+/// True when \p S's StrOperand names a class (class-operand bytecodes
+/// and ldc of a Class constant) rather than a string constant.
+bool isClassOperandStmt(const JirStmt &S) {
+  return !S.StrOperand.empty() &&
+         (S.Op != OP_ldc || S.ConstKind == 'c');
+}
+
+bool hierarchyMentions(const JirClass &J, const std::string &Name) {
+  if (J.SuperClass == Name)
+    return true;
+  if (std::find(J.Interfaces.begin(), J.Interfaces.end(), Name) !=
+      J.Interfaces.end())
+    return true;
+  for (const JirMethod &M : J.Methods) {
+    if (std::find(M.Exceptions.begin(), M.Exceptions.end(), Name) !=
+        M.Exceptions.end())
+      return true;
+    for (const JirExceptionEntry &E : M.ExceptionTable)
+      if (E.CatchType == Name)
+        return true;
+  }
+  return false;
+}
+
+void replaceHierarchy(JirClass &J, const std::string &From,
+                      const std::string &To) {
+  if (J.SuperClass == From)
+    J.SuperClass = To;
+  for (std::string &I : J.Interfaces)
+    if (I == From)
+      I = To;
+  for (JirMethod &M : J.Methods) {
+    for (std::string &E : M.Exceptions)
+      if (E == From)
+        E = To;
+    for (JirExceptionEntry &E : M.ExceptionTable)
+      if (E.CatchType == From)
+        E.CatchType = To;
+  }
+}
+
+bool stmtsMention(const JirClass &J, const std::string &Name) {
+  for (const JirMethod &M : J.Methods)
+    for (const JirStmt &S : M.Body) {
+      if (S.RefClass == Name)
+        return true;
+      if (isClassOperandStmt(S) && S.StrOperand == Name)
+        return true;
+    }
+  return false;
+}
+
+void replaceStmts(JirClass &J, const std::string &From,
+                  const std::string &To) {
+  for (JirMethod &M : J.Methods)
+    for (JirStmt &S : M.Body) {
+      if (S.RefClass == From)
+        S.RefClass = To;
+      if (isClassOperandStmt(S) && S.StrOperand == From)
+        S.StrOperand = To;
+    }
+}
+
+/// The two typed sibling mutators share this shape: filter sibling
+/// holes by a JIR-presence predicate, draw hole + alternative, replace
+/// every occurrence through the given rewriter.
+template <typename Mentions, typename Replace>
+MutationResult applySibling(JirClass &J, MutationContext &Ctx,
+                            Mentions &&MentionsFn, Replace &&ReplaceFn) {
+  if (!Ctx.Holes)
+    return MutationResult::Inapplicable;
+  std::vector<const TypedHole *> Sites;
+  for (const TypedHole &H : *Ctx.Holes)
+    if (H.Kind == HoleKind::SiblingClass && !H.Alternatives.empty() &&
+        MentionsFn(J, H.Expected))
+      Sites.push_back(&H);
+  if (Sites.empty())
+    return MutationResult::Inapplicable;
+  const TypedHole &H = *Sites[Ctx.R.choiceIndex(Sites.size())];
+  const std::string &Alt = H.Alternatives[Ctx.R.choiceIndex(
+      H.Alternatives.size())];
+  ReplaceFn(J, H.Expected, Alt);
+  return MutationResult::Applied;
+}
+
+MutationResult typedClassSibling(JirClass &J, MutationContext &Ctx) {
+  return applySibling(J, Ctx, hierarchyMentions, replaceHierarchy);
+}
+
+MutationResult typedRefSibling(JirClass &J, MutationContext &Ctx) {
+  return applySibling(J, Ctx, stmtsMention, replaceStmts);
+}
+
+/// Descriptor holes (arity and type) both rewrite one member's
+/// descriptor to a drawn near-miss; the hole's location kind says
+/// whether the member is a field or a method.
+MutationResult applyDescriptorHole(JirClass &J, MutationContext &Ctx,
+                                   HoleKind Kind) {
+  if (!Ctx.Holes)
+    return MutationResult::Inapplicable;
+  std::vector<const TypedHole *> Sites;
+  for (const TypedHole &H : *Ctx.Holes) {
+    if (H.Kind != Kind || H.Alternatives.empty())
+      continue;
+    bool Present = false;
+    if (H.Location.LocKind == DiagLocation::Kind::Field) {
+      for (const JirField &F : J.Fields)
+        Present |= F.Name == H.MemberName && F.Descriptor == H.MemberDesc;
+    } else {
+      for (const JirMethod &M : J.Methods)
+        Present |= M.Name == H.MemberName && M.Descriptor == H.MemberDesc;
+    }
+    if (Present)
+      Sites.push_back(&H);
+  }
+  if (Sites.empty())
+    return MutationResult::Inapplicable;
+  const TypedHole &H = *Sites[Ctx.R.choiceIndex(Sites.size())];
+  const std::string &Alt = H.Alternatives[Ctx.R.choiceIndex(
+      H.Alternatives.size())];
+  if (H.Location.LocKind == DiagLocation::Kind::Field) {
+    for (JirField &F : J.Fields)
+      if (F.Name == H.MemberName && F.Descriptor == H.MemberDesc)
+        F.Descriptor = Alt;
+  } else {
+    for (JirMethod &M : J.Methods)
+      if (M.Name == H.MemberName && M.Descriptor == H.MemberDesc)
+        M.Descriptor = Alt;
+  }
+  return MutationResult::Applied;
+}
+
+MutationResult typedDescArity(JirClass &J, MutationContext &Ctx) {
+  return applyDescriptorHole(J, Ctx, HoleKind::DescriptorArity);
+}
+
+MutationResult typedDescType(JirClass &J, MutationContext &Ctx) {
+  return applyDescriptorHole(J, Ctx, HoleKind::DescriptorType);
+}
+
+/// Verification-kind name -> load/store opcode family.
+bool vkindOps(const std::string &Kind, uint8_t &Load, uint8_t &Store) {
+  if (Kind == "int") {
+    Load = OP_iload;
+    Store = OP_istore;
+  } else if (Kind == "float") {
+    Load = OP_fload;
+    Store = OP_fstore;
+  } else if (Kind == "long") {
+    Load = OP_lload;
+    Store = OP_lstore;
+  } else if (Kind == "double") {
+    Load = OP_dload;
+    Store = OP_dstore;
+  } else if (Kind == "reference") {
+    Load = OP_aload;
+    Store = OP_astore;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool isLoadOp(uint8_t Op) { return Op >= OP_iload && Op <= OP_aload; }
+bool isStoreOp(uint8_t Op) { return Op >= OP_istore && Op <= OP_astore; }
+
+MutationResult typedLocalRetype(JirClass &J, MutationContext &Ctx) {
+  if (!Ctx.Holes)
+    return MutationResult::Inapplicable;
+  std::vector<const TypedHole *> Sites;
+  for (const TypedHole &H : *Ctx.Holes) {
+    if (H.Kind != HoleKind::LocalSlotType || H.Alternatives.empty() ||
+        H.Slot < 0)
+      continue;
+    bool Present = false;
+    for (const JirMethod &M : J.Methods) {
+      if (M.Name != H.MemberName || M.Descriptor != H.MemberDesc ||
+          !M.HasBody)
+        continue;
+      for (const JirStmt &S : M.Body)
+        if ((isLoadOp(S.Op) || isStoreOp(S.Op)) && S.IntOperand == H.Slot) {
+          Present = true;
+          break;
+        }
+      if (Present)
+        break;
+    }
+    if (Present)
+      Sites.push_back(&H);
+  }
+  if (Sites.empty())
+    return MutationResult::Inapplicable;
+  const TypedHole &H = *Sites[Ctx.R.choiceIndex(Sites.size())];
+  const std::string &Alt = H.Alternatives[Ctx.R.choiceIndex(
+      H.Alternatives.size())];
+  uint8_t Load = 0;
+  uint8_t Store = 0;
+  if (!vkindOps(Alt, Load, Store))
+    return MutationResult::NoChange;
+  bool Changed = false;
+  for (JirMethod &M : J.Methods) {
+    if (M.Name != H.MemberName || M.Descriptor != H.MemberDesc)
+      continue;
+    for (JirStmt &S : M.Body) {
+      if (S.IntOperand != H.Slot)
+        continue;
+      if (isLoadOp(S.Op) && S.Op != Load) {
+        S.Op = Load;
+        Changed = true;
+      } else if (isStoreOp(S.Op) && S.Op != Store) {
+        S.Op = Store;
+        Changed = true;
+      }
+    }
+  }
+  return Changed ? MutationResult::Applied : MutationResult::NoChange;
+}
+
+/// Constant tag name <-> JIR ldc ConstKind.
+char tagConstKind(const std::string &Tag) {
+  if (Tag == "Integer")
+    return 'i';
+  if (Tag == "Float")
+    return 'f';
+  if (Tag == "Long")
+    return 'j';
+  if (Tag == "Double")
+    return 'd';
+  if (Tag == "String")
+    return 's';
+  if (Tag == "Class")
+    return 'c';
+  return 0;
+}
+
+/// Converts one ldc statement from its kind to \p To, carrying the
+/// payload across the confusion (bit-plausible, not bit-identical:
+/// the numeric value is preserved, which is exactly the near-miss a
+/// tag-confused pool would present).
+void confuseConst(JirStmt &S, char To) {
+  switch (S.ConstKind) {
+  case 'i':
+    if (To == 'f')
+      S.FpOperand = S.IntOperand;
+    break;
+  case 'f':
+    if (To == 'i')
+      S.IntOperand = static_cast<int32_t>(S.FpOperand);
+    break;
+  case 'j':
+    if (To == 'd')
+      S.FpOperand = static_cast<double>(S.LongOperand);
+    break;
+  case 'd':
+    if (To == 'j')
+      S.LongOperand = static_cast<int64_t>(S.FpOperand);
+    break;
+  default:
+    break; // 's' <-> 'c' reuse StrOperand as-is.
+  }
+  S.ConstKind = To;
+}
+
+MutationResult typedConstConfusion(JirClass &J, MutationContext &Ctx) {
+  if (!Ctx.Holes)
+    return MutationResult::Inapplicable;
+  std::vector<const TypedHole *> Sites;
+  for (const TypedHole &H : *Ctx.Holes) {
+    if (H.Kind != HoleKind::CpTagConfusion || H.Alternatives.empty())
+      continue;
+    char From = tagConstKind(H.Expected);
+    if (!From)
+      continue;
+    bool Present = false;
+    for (const JirMethod &M : J.Methods)
+      for (const JirStmt &S : M.Body)
+        Present |= S.Op == OP_ldc && S.ConstKind == From;
+    if (Present)
+      Sites.push_back(&H);
+  }
+  if (Sites.empty())
+    return MutationResult::Inapplicable;
+  const TypedHole &H = *Sites[Ctx.R.choiceIndex(Sites.size())];
+  const std::string &Alt = H.Alternatives[Ctx.R.choiceIndex(
+      H.Alternatives.size())];
+  char From = tagConstKind(H.Expected);
+  char To = tagConstKind(Alt);
+  if (!To || To == From)
+    return MutationResult::NoChange;
+  for (JirMethod &M : J.Methods)
+    for (JirStmt &S : M.Body)
+      if (S.Op == OP_ldc && S.ConstKind == From)
+        confuseConst(S, To);
+  return MutationResult::Applied;
+}
+
+void addTyped(std::vector<Mutator> &Reg, const char *Id,
+              const char *Category, const char *Description,
+              MutationResult (*Apply)(JirClass &, MutationContext &)) {
+  Mutator M;
+  M.Id = Id;
+  M.Description = Description;
+  M.Category = Category;
+  M.Apply = Apply;
+  Reg.push_back(std::move(M));
+}
+
+} // namespace
+
+const std::vector<Mutator> &classfuzz::extendedMutatorRegistry() {
+  static const std::vector<Mutator> Registry = [] {
+    std::vector<Mutator> Reg = mutatorRegistry();
+    addTyped(Reg, "typed.class.sibling", "Class",
+             "Substitute a super/interface/throws/catch class with a "
+             "sibling from the env hierarchy",
+             typedClassSibling);
+    addTyped(Reg, "typed.ref.sibling", "JimpleStmt",
+             "Substitute a member-ref or class-operand class with a "
+             "sibling from the env hierarchy",
+             typedRefSibling);
+    addTyped(Reg, "typed.desc.arity", "Method",
+             "Replace a method descriptor with an off-by-one-arity "
+             "near-miss",
+             typedDescArity);
+    addTyped(Reg, "typed.desc.type", "Method",
+             "Replace a member descriptor with a near-miss of the "
+             "expected type",
+             typedDescType);
+    addTyped(Reg, "typed.local.retype", "LocalVariable",
+             "Retype a parameter slot's loads/stores to a "
+             "lattice-adjacent verification kind",
+             typedLocalRetype);
+    addTyped(Reg, "typed.const.confusion", "JimpleStmt",
+             "Swap a loadable constant's tag for its confusable twin",
+             typedConstConfusion);
+    return Reg;
+  }();
+  assert(Registry.size() == NumMutators + NumTypedMutators &&
+         "extended registry must append exactly the typed family");
+  return Registry;
+}

@@ -1,0 +1,216 @@
+//===- tests/analysis/typedholes_test.cpp ----------------------------------===//
+//
+// Typed-hole extraction (DESIGN.md §17): deterministic ordering, the
+// near-miss contract (every alternative differs from the expected
+// type), the memoized analyzer path, and memo invalidation when
+// addEnvironmentClass reshapes the sibling hierarchy.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../TestHelpers.h"
+#include "analysis/StaticAnalyzer.h"
+#include "analysis/TypedHoles.h"
+#include "classfile/ClassReader.h"
+#include "mutation/Engine.h"
+#include "mutation/Mutator.h"
+#include "runtime/SeedCorpus.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+using namespace classfuzz;
+using namespace classfuzz::testhelpers;
+
+namespace {
+
+/// A hello class with an explicit superclass.
+Bytes makeSubclass(const std::string &Name, const std::string &Super) {
+  ClassFile CF = makeHelloClass(Name);
+  CF.SuperClass = Super;
+  return serialize(CF);
+}
+
+/// A hello class whose constant pool references \p Ref (via the
+/// interface list, which emits a CONSTANT_Class entry).
+Bytes makeUserOf(const std::string &Name, const std::string &Ref) {
+  ClassFile CF = makeHelloClass(Name);
+  CF.Interfaces.push_back(Ref);
+  return serialize(CF);
+}
+
+/// The sort key extractTypedHoles orders by.
+std::tuple<std::string, std::string, std::string, int>
+sortKey(const TypedHole &H) {
+  return {H.Location.toString(), holeKindName(H.Kind), H.Expected, H.Slot};
+}
+
+void expectSameHoles(const TypedHoleList &A, const TypedHoleList &B) {
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I != A.size(); ++I) {
+    EXPECT_EQ(A[I].Kind, B[I].Kind);
+    EXPECT_EQ(A[I].Location.toString(), B[I].Location.toString());
+    EXPECT_EQ(A[I].Expected, B[I].Expected);
+    EXPECT_EQ(A[I].Alternatives, B[I].Alternatives);
+    EXPECT_EQ(A[I].MemberName, B[I].MemberName);
+    EXPECT_EQ(A[I].MemberDesc, B[I].MemberDesc);
+    EXPECT_EQ(A[I].Slot, B[I].Slot);
+    EXPECT_EQ(A[I].CpIndex, B[I].CpIndex);
+  }
+}
+
+/// The sibling alternatives of the CP hole anchored at \p Ref, or
+/// nullptr when no such hole exists.
+const TypedHole *siblingHoleFor(const TypedHoleList &Holes,
+                                const std::string &Ref) {
+  for (const TypedHole &H : Holes)
+    if (H.Kind == HoleKind::SiblingClass && H.Expected == Ref)
+      return &H;
+  return nullptr;
+}
+
+} // namespace
+
+TEST(TypedHoles, ExtractionIsDeterministicAndSorted) {
+  ClassPath Env = makeEnv();
+  StaticAnalyzer Analyzer(Env, referenceJvmPolicy());
+  Bytes Data = serialize(makeHelloClass("Probe"));
+
+  TypedHoleList First = Analyzer.typedHolesFor("Probe", Data);
+  TypedHoleList Second = Analyzer.typedHolesFor("Probe", Data);
+  ASSERT_FALSE(First.empty());
+  expectSameHoles(First, Second);
+  for (size_t I = 1; I < First.size(); ++I)
+    EXPECT_LE(sortKey(First[I - 1]), sortKey(First[I])) << "index " << I;
+}
+
+TEST(TypedHoles, EveryNearMissDiffersFromTheOriginal) {
+  // Exhaustive sweep: seeds plus one mutant per registry stride, so the
+  // contract is checked over classes a campaign actually produces.
+  Rng R(7);
+  auto Seeds = generateSeedCorpus(R, 10);
+  ClassPath Env = makeEnv();
+  for (const SeedClass &S : Seeds) {
+    Env.add(S.Name, S.Data);
+    for (const auto &[Name, Data] : S.Helpers)
+      Env.add(Name, Data);
+  }
+  StaticAnalyzer Analyzer(Env, referenceJvmPolicy());
+  std::vector<std::string> Known = Env.names();
+
+  std::vector<std::pair<std::string, Bytes>> Inputs;
+  for (const SeedClass &S : Seeds)
+    Inputs.push_back({S.Name, S.Data});
+  const auto &Registry = extendedMutatorRegistry();
+  for (size_t I = 0; I < Registry.size(); I += 7) {
+    MutationContext Ctx{R, Known};
+    auto Out = mutateClass(Seeds[I % Seeds.size()].Data, I, Ctx);
+    if (Out.Produced)
+      Inputs.push_back({Out.ClassName, Out.Data});
+  }
+
+  size_t TotalHoles = 0;
+  for (const auto &[Name, Data] : Inputs) {
+    for (const TypedHole &H : Analyzer.typedHolesFor(Name, Data)) {
+      ++TotalHoles;
+      EXPECT_FALSE(H.Alternatives.empty())
+          << Name << " " << H.Location.toString();
+      EXPECT_LE(H.Alternatives.size(), 8u);
+      for (const std::string &Alt : H.Alternatives)
+        EXPECT_NE(Alt, H.Expected)
+            << Name << " " << holeKindName(H.Kind) << " "
+            << H.Location.toString();
+    }
+  }
+  EXPECT_GT(TotalHoles, 50u) << "sweep too small to mean anything";
+}
+
+TEST(TypedHoles, MemoizedPathMatchesUnmemoized) {
+  Bytes Base = makeSubclass("Base", "java/lang/Object");
+  Bytes Child = makeSubclass("Child", "Base");
+  Bytes Sib = makeSubclass("Sib", "Base");
+  Bytes User = makeUserOf("User", "Child");
+  ClassPath Env = makeEnv(
+      {{"Base", Base}, {"Child", Child}, {"Sib", Sib}, {"User", User}});
+  StaticAnalyzer Analyzer(Env, referenceJvmPolicy());
+
+  const TypedHoleList &Memo = Analyzer.typedHoles("User");
+  TypedHoleList Fresh = Analyzer.typedHolesFor("User", User);
+  expectSameHoles(Memo, Fresh);
+  // Second lookup serves the memo; contents identical.
+  expectSameHoles(Analyzer.typedHoles("User"), Fresh);
+
+  const TypedHole *H = siblingHoleFor(Memo, "Child");
+  ASSERT_NE(H, nullptr) << "no sibling hole for Child";
+  EXPECT_EQ(H->Alternatives, std::vector<std::string>{"Sib"});
+}
+
+TEST(TypedHoles, EnvironmentMutationInvalidatesSiblingMemo) {
+  // The satellite regression: a memoized hole list must not survive an
+  // addEnvironmentClass that reshapes the sibling sets it was computed
+  // from. "User" references "Child" (super "Base"); redefining other
+  // classes under "Base" changes Child's sibling alternatives.
+  Bytes Base = makeSubclass("Base", "java/lang/Object");
+  Bytes Child = makeSubclass("Child", "Base");
+  Bytes Sib = makeSubclass("Sib", "Base");
+  Bytes User = makeUserOf("User", "Child");
+  ClassPath Env = makeEnv(
+      {{"Base", Base}, {"Child", Child}, {"Sib", Sib}, {"User", User}});
+  StaticAnalyzer Analyzer(Env, referenceJvmPolicy());
+
+  // Warm the memo with the original hierarchy.
+  {
+    const TypedHole *H = siblingHoleFor(Analyzer.typedHoles("User"), "Child");
+    ASSERT_NE(H, nullptr);
+    EXPECT_EQ(H->Alternatives, std::vector<std::string>{"Sib"});
+  }
+
+  // A new class joins Base's children: the memoized list must pick up
+  // the extra sibling.
+  Analyzer.addEnvironmentClass("Sib2", makeSubclass("Sib2", "Base"));
+  {
+    const TypedHole *H = siblingHoleFor(Analyzer.typedHoles("User"), "Child");
+    ASSERT_NE(H, nullptr);
+    EXPECT_EQ(H->Alternatives, (std::vector<std::string>{"Sib", "Sib2"}));
+  }
+
+  // Mutating a sibling's superclass moves it out of Base's children:
+  // the memoized list must drop it again.
+  Analyzer.addEnvironmentClass("Sib", makeSubclass("Sib", "java/lang/Object"));
+  {
+    const TypedHole *H = siblingHoleFor(Analyzer.typedHoles("User"), "Child");
+    ASSERT_NE(H, nullptr);
+    EXPECT_EQ(H->Alternatives, std::vector<std::string>{"Sib2"});
+  }
+
+  // After every redefinition the memo matches a from-scratch analyzer.
+  ClassPath Env2 = makeEnv({{"Base", Base},
+                            {"Child", Child},
+                            {"Sib", makeSubclass("Sib", "java/lang/Object")},
+                            {"Sib2", makeSubclass("Sib2", "Base")},
+                            {"User", User}});
+  StaticAnalyzer Scratch(Env2, referenceJvmPolicy());
+  expectSameHoles(Analyzer.typedHoles("User"), Scratch.typedHoles("User"));
+}
+
+TEST(TypedHoles, JsonlRenderingIsStable) {
+  ClassPath Env = makeEnv();
+  StaticAnalyzer Analyzer(Env, referenceJvmPolicy());
+  Bytes Data = serialize(makeHelloClass("Probe"));
+  TypedHoleList Holes = Analyzer.typedHolesFor("Probe", Data);
+  ASSERT_FALSE(Holes.empty());
+
+  std::string Jsonl = holesToJsonl("Probe", Holes);
+  EXPECT_EQ(Jsonl, holesToJsonl("Probe", Holes));
+  // One '\n'-terminated object per hole, each carrying the class name.
+  size_t Lines = 0;
+  for (char C : Jsonl)
+    Lines += C == '\n';
+  EXPECT_EQ(Lines, Holes.size());
+  EXPECT_EQ(Jsonl.compare(0, 18, "{\"class\":\"Probe\","
+                                 "\""),
+            0)
+      << Jsonl.substr(0, 40);
+  for (const TypedHole &H : Holes)
+    EXPECT_NE(Jsonl.find(holeToJson("Probe", H) + "\n"), std::string::npos);
+}

@@ -181,3 +181,75 @@ TEST(McmcSelector, GeometricTargetApproximatedOnStableRanking) {
   EXPECT_GT(Top, Mid);
   EXPECT_GT(Mid, Bottom);
 }
+
+TEST(McmcSelector, DeepRewardBlendsIntoSuccessRate) {
+  McmcSelector S(5, 3.0 / 5);
+  S.setDeepReward(0.5);
+  EXPECT_DOUBLE_EQ(S.deepReward(), 0.5);
+  // Never-selected keeps the optimistic prior regardless of weight.
+  EXPECT_DOUBLE_EQ(S.successRate(0), 1.0);
+
+  // 4 selections, 1 acceptance, 2 deep reaches:
+  // (1 + 0.5 * 2) / 4 = 0.5.
+  S.recordOutcome(0, true);
+  S.recordOutcome(0, false);
+  S.recordOutcome(0, false);
+  S.recordOutcome(0, false);
+  S.recordDeepReach(0);
+  S.recordDeepReach(0);
+  EXPECT_EQ(S.deepHits(0), 2u);
+  EXPECT_DOUBLE_EQ(S.successRate(0), 0.5);
+
+  // At weight 0 the same history is the paper's pure rate: 1/4.
+  S.setDeepReward(0.0);
+  EXPECT_DOUBLE_EQ(S.successRate(0), 0.25);
+}
+
+TEST(McmcSelector, DeepReachReRankMatchesStableSort) {
+  // recordDeepReach moves only the updated mutator, like recordOutcome;
+  // the incremental bubble must reproduce a full stable re-sort under
+  // the blended rate, ties and all.
+  const size_t N = 17;
+  const double W = 0.7;
+  McmcSelector S(N, 3.0 / N);
+  S.setDeepReward(W);
+  Rng R(456);
+  std::vector<size_t> Shadow(N);
+  for (size_t I = 0; I != N; ++I)
+    Shadow[I] = I;
+  auto RateOf = [&](size_t Mu) {
+    return S.timesSelected(Mu) == 0
+               ? 1.0
+               : (static_cast<double>(S.timesSucceeded(Mu)) +
+                  W * static_cast<double>(S.deepHits(Mu))) /
+                     static_cast<double>(S.timesSelected(Mu));
+  };
+  for (int Iter = 0; Iter != 3000; ++Iter) {
+    size_t Mu = R.choiceIndex(N);
+    S.recordOutcome(Mu, R.nextBool(0.1 + 0.4 * static_cast<double>(Mu % 3)));
+    if (R.nextBool(0.3))
+      S.recordDeepReach(Mu);
+    std::stable_sort(Shadow.begin(), Shadow.end(),
+                     [&](size_t A, size_t B) { return RateOf(A) > RateOf(B); });
+    ASSERT_EQ(S.ranking(), Shadow) << "diverged at outcome " << Iter;
+    for (size_t K = 0; K != N; ++K)
+      ASSERT_EQ(S.rankOf(Shadow[K]), K);
+  }
+}
+
+TEST(McmcSelector, ZeroWeightDeepReachLeavesRankingAlone) {
+  // With the default weight, recordDeepReach re-ranks on an unchanged
+  // rate -- the ordering (including tie order) must not move, so a
+  // weightless campaign is indistinguishable from one that never
+  // recorded deep reaches.
+  const size_t N = 9;
+  McmcSelector S(N, 3.0 / N);
+  Rng R(789);
+  for (int Iter = 0; Iter != 500; ++Iter) {
+    size_t Mu = R.choiceIndex(N);
+    S.recordOutcome(Mu, R.nextBool(0.3));
+    auto Before = S.ranking();
+    S.recordDeepReach(Mu);
+    ASSERT_EQ(S.ranking(), Before) << "moved at outcome " << Iter;
+  }
+}

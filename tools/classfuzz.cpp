@@ -104,12 +104,14 @@ int usage(std::FILE *To) {
       "                    [--sample-filter PREFIXES] [--frontier FILE]\n"
       "                    [--rare-threshold N] [--plateau-window N]\n"
       "                    [--stop-on-plateau]\n"
+      "                    [--typed-mutators] [--deep-reward W]\n"
+      "                    [--prefilter] [--prefilter-audit F]\n"
       "                    [--stats-json FILE] [--stats-filter PREFIXES]\n"
       "                    [--trace-events FILE] [--trace-perfetto FILE]\n"
       "  classfuzz replay  BUNDLE_DIR\n"
       "  classfuzz run     FILE.class [--env jre5|jre7|jre8|jre9]\n"
       "                    [--tier switch|threaded|baseline]\n"
-      "  classfuzz analyze FILE.class... [--print]\n"
+      "  classfuzz analyze FILE.class... [--print | --holes]\n"
       "                    [--env jre5|jre7|jre8|jre9]\n"
       "  classfuzz inspect FILE.class\n"
       "  classfuzz reduce  FILE.class [--out FILE] [--reduce-jobs N]\n"
@@ -376,7 +378,27 @@ int cmdFuzz(int Argc, char **Argv) {
            {"stop-on-plateau", "",
             "stop the campaign at the plateau (implies --plateau-window "
             "256 unless set)",
-            ""}}));
+            ""},
+           {"typed-mutators", "",
+            "extend the mutator pool with the analyzer-driven typed "
+            "mutators (typed.*): near-miss rewrites at the typed holes "
+            "the static analyzer extracts per class",
+            ""},
+           {"deep-reward", "W",
+            "MCMC deep-phase reward weight: each mutant surviving "
+            "loading/linking adds W to its mutator's blended success "
+            "rate (0 = the paper's pure acceptance rate)",
+            "0"},
+           {"prefilter", "",
+            "skip the reference execution of mutants the static "
+            "analyzer proves dead while loading/linking (counted in "
+            "campaign.prefilter_*)",
+            ""},
+           {"prefilter-audit", "F",
+            "fraction of pre-filter skips (keyed on the mutant's "
+            "content hash) that still execute to audit the prediction; "
+            "a mispredict latches an analyzer self-check",
+            "0.05"}}));
   int Exit = 0;
   if (!parseOrExit(A, Argc, Argv, Exit))
     return Exit;
@@ -440,6 +462,25 @@ int cmdFuzz(int Argc, char **Argv) {
   }
   Config.ReferencePolicy.Tier = *Tier;
   Config.TierDiff = A.has("tier-diff");
+  Config.TypedMutators = A.has("typed-mutators");
+  Config.DeepRewardWeight = A.getDouble("deep-reward");
+  if (Config.DeepRewardWeight > 0 &&
+      (Config.Algo == FuzzAlgorithm::Randfuzz ||
+       Config.Algo == FuzzAlgorithm::Uniquefuzz ||
+       Config.Algo == FuzzAlgorithm::Greedyfuzz)) {
+    std::fprintf(stderr,
+                 "--deep-reward shapes the MCMC selector; %s does not "
+                 "use one\n",
+                 fuzzAlgorithmName(Config.Algo));
+    return 2;
+  }
+  Config.Prefilter = A.has("prefilter");
+  Config.PrefilterAudit = A.getDouble("prefilter-audit");
+  if (Config.Prefilter && Config.Algo == FuzzAlgorithm::Randfuzz) {
+    std::fprintf(stderr, "--prefilter skips reference executions; --algo "
+                         "rand never runs any\n");
+    return 2;
+  }
   const std::string AnalysisDir = A.get("analysis-incidents");
   Config.RunAnalysis = !A.has("no-analysis");
   if (!AnalysisDir.empty() && !Config.RunAnalysis) {
@@ -522,6 +563,13 @@ int cmdFuzz(int Argc, char **Argv) {
                 static_cast<unsigned long long>(R.SchedDraws),
                 static_cast<unsigned long long>(R.SchedRareDraws),
                 static_cast<unsigned long long>(R.SchedEpochs));
+  if (Config.Prefilter)
+    std::printf("prefilter: %llu skipped, %llu passed, %llu audited, "
+                "%llu mispredicted\n",
+                static_cast<unsigned long long>(R.PrefilterSkipped),
+                static_cast<unsigned long long>(R.PrefilterPassed),
+                static_cast<unsigned long long>(R.PrefilterAudited),
+                static_cast<unsigned long long>(R.PrefilterMispredicts));
   if (R.Plateaued)
     std::printf("plateau: no discoveries over a %zu-commit window; "
                 "latched at iteration %llu%s\n",
@@ -578,7 +626,7 @@ int cmdFuzz(int Argc, char **Argv) {
     bool Discrepancy = O.isDiscrepancy();
     if (Discrepancy) {
       Records.push_back(
-          {G.Name, O, mutatorRegistry()[G.MutatorIndex].Description});
+          {G.Name, O, extendedMutatorRegistry()[G.MutatorIndex].Description});
       DiscrepancyIndices.push_back(I);
     }
     if (IncidentsDir.empty() || (!Discrepancy && !O.anyInternalError()))
@@ -746,8 +794,30 @@ int cmdReplay(int Argc, char **Argv) {
     return 1;
   }
 
+  // Typed steps (--typed-mutators campaigns) derive their hole lists
+  // from the *base* environment -- reference runtime library + seed
+  // corpus -- which the spec rebuilds exactly, so the provider below
+  // re-derives every typed.* step's holes byte-for-byte. Cheap to set
+  // up and invoked only for typed steps, so untyped bundles pay only
+  // the environment copy.
+  JvmPolicy ReplayRefPolicy = referenceJvmPolicy();
+  if (!Parsed->Spec.ReferencePolicyName.empty())
+    for (const JvmPolicy &P : allJvmPolicies())
+      if (P.Name == Parsed->Spec.ReferencePolicyName)
+        ReplayRefPolicy = P;
+  ClassPath HoleBaseEnv = runtimeLibraryFor(ReplayRefPolicy);
+  for (const SeedClass &Seed : *Seeds) {
+    HoleBaseEnv.add(Seed.Name, Seed.Data);
+    for (const auto &[Name, Data] : Seed.Helpers)
+      HoleBaseEnv.add(Name, Data);
+  }
+  HoleBaseEnv.freeze();
+  StaticAnalyzer HoleAnalyzer(HoleBaseEnv, ReplayRefPolicy);
   auto Replayed = replayLineage(Root.Data, Parsed->Prov.Steps,
-                                rebuildKnownClasses(Parsed->Spec, *Seeds));
+                                rebuildKnownClasses(Parsed->Spec, *Seeds),
+                                [&](const Bytes &Data) {
+                                  return HoleAnalyzer.typedHolesFor("", Data);
+                                });
   if (!Replayed) {
     std::fprintf(stderr, "replay failed: %s\n", Replayed.error().c_str());
     return 1;
@@ -991,6 +1061,10 @@ int cmdAnalyze(int Argc, char **Argv) {
   ArgParser A("classfuzz analyze", "FILE.class...",
               {{"print", "",
                 "annotated javap-style output instead of JSON lines", ""},
+               {"holes", "",
+                "print the typed mutation holes (one JSON line per "
+                "hole, sorted by location) instead of the analysis",
+                ""},
                {"env", "JRE",
                 "runtime library the analysis resolves against: "
                 "jre5|jre7|jre8|jre9 (default: the reference JVM's, jre9)",
@@ -1037,6 +1111,14 @@ int cmdAnalyze(int Argc, char **Argv) {
   StaticAnalyzer Analyzer(Env, Policy);
   int Ret = 0;
   for (const Input &In : Inputs) {
+    if (A.has("holes")) {
+      // The inputs are environment classes (registered above), so the
+      // memoized extraction path serves them -- the same one campaign
+      // seeds go through.
+      std::fputs(holesToJsonl(In.Name, Analyzer.typedHoles(In.Name)).c_str(),
+                 stdout);
+      continue;
+    }
     AnalysisReport Report = Analyzer.analyzeClass(In.Name, In.Data);
     if (A.has("print"))
       std::fputs(Analyzer.renderAnnotated(Report, In.Data).c_str(), stdout);
@@ -1226,6 +1308,13 @@ int cmdMutators(int Argc, char **Argv) {
   for (const Mutator &Mu : mutatorRegistry())
     std::printf("%-34s %-14s %s\n", Mu.Id.c_str(), Mu.Category.c_str(),
                 Mu.Description.c_str());
+  const std::vector<Mutator> &Ext = extendedMutatorRegistry();
+  std::printf("\n%zu typed mutators (--typed-mutators; analyzer-driven, "
+              "hole-directed):\n\n",
+              Ext.size() - mutatorRegistry().size());
+  for (size_t I = mutatorRegistry().size(); I != Ext.size(); ++I)
+    std::printf("%-34s %-14s %s\n", Ext[I].Id.c_str(),
+                Ext[I].Category.c_str(), Ext[I].Description.c_str());
   return 0;
 }
 
